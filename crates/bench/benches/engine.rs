@@ -1,0 +1,75 @@
+//! End-to-end engine benchmarks: tuple-processing throughput under the
+//! different placement strategies (the ablation behind Figure 2) and with
+//! RIC reuse enabled/disabled (the Section 7 optimisation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rjoin_core::{EngineConfig, PlacementStrategy, RJoinEngine};
+use rjoin_workload::Scenario;
+
+fn bench_scenario() -> Scenario {
+    Scenario { nodes: 48, queries: 300, tuples: 60, ..Scenario::small_test() }
+}
+
+fn run(config: EngineConfig, scenario: &Scenario) -> u64 {
+    let catalog = scenario.workload_schema().build_catalog();
+    let mut engine = RJoinEngine::new(config, catalog, scenario.nodes);
+    let origins: Vec<_> = engine.node_ids().to_vec();
+    for (i, q) in scenario.generate_queries().into_iter().enumerate() {
+        engine.submit_query(origins[i % origins.len()], q).unwrap();
+    }
+    engine.run_until_quiescent().unwrap();
+    for (i, t) in scenario.generate_tuples(engine.now() + 1).into_iter().enumerate() {
+        engine.publish_tuple(origins[i % origins.len()], t).unwrap();
+    }
+    engine.run_until_quiescent().unwrap();
+    engine.total_qpl()
+}
+
+fn bench_placement_strategies(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let mut group = c.benchmark_group("placement_strategy");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("ric_aware", PlacementStrategy::RicAware),
+        ("random", PlacementStrategy::Random),
+        ("worst", PlacementStrategy::Worst),
+        ("first_in_clause", PlacementStrategy::FirstInClause),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, strategy| {
+            b.iter(|| run(EngineConfig::with_placement(*strategy), &scenario))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ric_reuse_ablation(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let mut group = c.benchmark_group("ric_reuse");
+    group.sample_size(10);
+    group.bench_function("with_reuse", |b| b.iter(|| run(EngineConfig::default(), &scenario)));
+    group.bench_function("without_reuse", |b| {
+        b.iter(|| run(EngineConfig::default().without_ric_reuse(), &scenario))
+    });
+    group.finish();
+}
+
+fn bench_window_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("window_size");
+    group.sample_size(10);
+    for window in [10u64, 40, 0] {
+        let mut scenario = bench_scenario();
+        scenario.window = if window == 0 {
+            rjoin_query::WindowSpec::None
+        } else {
+            rjoin_query::WindowSpec::sliding_tuples(window)
+        };
+        let label = if window == 0 { "none".to_string() } else { format!("W{window}") };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &scenario, |b, scenario| {
+            b.iter(|| run(EngineConfig::default(), scenario))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement_strategies, bench_ric_reuse_ablation, bench_window_sizes);
+criterion_main!(benches);

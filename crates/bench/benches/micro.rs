@@ -1,0 +1,68 @@
+//! Micro-benchmarks for the building blocks of the RJoin reproduction:
+//! SHA-1 hashing, Chord lookups, query parsing/rewriting and Zipf sampling.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rjoin_dht::{sha1, ChordNetwork, Id};
+use rjoin_query::{candidate_keys, parse_query, rewrite, tuple_index_keys};
+use rjoin_relation::{Schema, Tuple, Value};
+use rjoin_workload::ZipfSampler;
+
+fn bench_sha1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha1");
+    for size in [16usize, 64, 1024] {
+        let data = vec![0xabu8; size];
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| sha1::sha1(black_box(data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_chord_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chord_lookup");
+    for nodes in [64usize, 256, 1024] {
+        let mut net = ChordNetwork::new(8);
+        for i in 0..nodes {
+            net.join(Id::hash_key(&format!("bench-node-{i}"))).unwrap();
+        }
+        net.full_stabilize();
+        let from = net.node_ids().next().unwrap();
+        let keys: Vec<Id> = (0..128).map(|i| Id::hash_key(&format!("bench-key-{i}"))).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let key = keys[i % keys.len()];
+                i += 1;
+                net.lookup(black_box(from), black_box(key)).unwrap().hops
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_parse_and_rewrite(c: &mut Criterion) {
+    let sql = "SELECT R.B, M.A FROM R, S, J, M WHERE R.A = S.A AND S.B = J.B AND J.C = M.C";
+    c.bench_function("parse_4way_query", |b| b.iter(|| parse_query(black_box(sql)).unwrap()));
+
+    let query = parse_query(sql).unwrap();
+    let schema = Schema::new("R", ["A", "B", "C"]).unwrap();
+    let tuple = Tuple::new("R", vec![Value::from(2), Value::from(5), Value::from(8)], 0);
+    c.bench_function("rewrite_one_step", |b| {
+        b.iter(|| rewrite(black_box(&query), black_box(&tuple), black_box(&schema)).unwrap())
+    });
+    c.bench_function("candidate_keys_4way", |b| b.iter(|| candidate_keys(black_box(&query))));
+    c.bench_function("tuple_index_keys", |b| {
+        b.iter(|| tuple_index_keys(black_box(&tuple), black_box(&schema)))
+    });
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let sampler = ZipfSampler::new(100, 0.9);
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("zipf_sample_100_theta09", |b| b.iter(|| sampler.sample(black_box(&mut rng))));
+}
+
+criterion_group!(benches, bench_sha1, bench_chord_lookup, bench_query_parse_and_rewrite, bench_zipf);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Regenerates the paper's figures as text tables.
+//!
+//! ```text
+//! cargo run --release -p rjoin-bench --bin figures -- [figure] [scale] [--csv] [--json]
+//!
+//!   figure : fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | ablation | all
+//!            (default: all)
+//!   scale  : full | reduced | smoke                                        (default: reduced)
+//! ```
+
+use rjoin_bench::figures::run_figure;
+use rjoin_bench::Scale;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut figure = "all".to_string();
+    let mut scale = Scale::Reduced;
+    let mut emit_csv = false;
+    let mut emit_json = false;
+
+    for arg in &args {
+        match arg.as_str() {
+            "--csv" => emit_csv = true,
+            "--json" => emit_json = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: figures [fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablation|all] \
+                     [full|reduced|smoke] [--csv] [--json]"
+                );
+                return;
+            }
+            other => {
+                if let Some(s) = Scale::parse(other) {
+                    scale = s;
+                } else {
+                    figure = other.to_string();
+                }
+            }
+        }
+    }
+
+    let started = Instant::now();
+    let Some(tables) = run_figure(&figure, scale) else {
+        eprintln!("unknown figure `{figure}`; expected fig2..fig9 or all");
+        std::process::exit(1);
+    };
+
+    println!("# RJoin figure regeneration");
+    println!("# figure = {figure}, scale = {scale:?}");
+    println!();
+    for table in &tables {
+        println!("{}", table.to_text());
+        if emit_csv {
+            println!("--- csv ---");
+            println!("{}", table.to_csv());
+        }
+        if emit_json {
+            println!("--- json ---");
+            println!("{}", table.to_json());
+        }
+    }
+    println!(
+        "# generated {} table(s) in {:.1}s",
+        tables.len(),
+        started.elapsed().as_secs_f64()
+    );
+}

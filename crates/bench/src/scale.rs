@@ -1,0 +1,101 @@
+//! Workload scales for the figure generators.
+
+use serde::{Deserialize, Serialize};
+
+/// How large a workload the figure generators use.
+///
+/// `Full` reproduces the paper's parameters exactly (10^3 nodes, 2·10^4
+/// queries); `Reduced` divides the counts by roughly 10 so that every figure
+/// regenerates in minutes on a laptop; `Smoke` is tiny and exists for tests
+/// of the harness itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Scale {
+    /// The paper's parameters (large; expect long runtimes).
+    Full,
+    /// ~10× smaller than the paper; preserves all trends.
+    #[default]
+    Reduced,
+    /// Minimal workload used in tests of the harness.
+    Smoke,
+}
+
+impl Scale {
+    /// Parses a scale name (`full`, `reduced`, `smoke`).
+    pub fn parse(name: &str) -> Option<Scale> {
+        match name.to_ascii_lowercase().as_str() {
+            "full" => Some(Scale::Full),
+            "reduced" => Some(Scale::Reduced),
+            "smoke" => Some(Scale::Smoke),
+            _ => None,
+        }
+    }
+
+    /// Number of DHT nodes.
+    pub fn nodes(&self) -> usize {
+        match self {
+            Scale::Full => 1000,
+            Scale::Reduced => 100,
+            Scale::Smoke => 24,
+        }
+    }
+
+    /// Number of continuous queries (the paper's default is 2·10^4).
+    pub fn queries(&self) -> usize {
+        match self {
+            Scale::Full => 20_000,
+            Scale::Reduced => 2_000,
+            Scale::Smoke => 100,
+        }
+    }
+
+    /// Divisor applied to the paper's tuple counts.
+    pub fn tuple_divisor(&self) -> usize {
+        match self {
+            Scale::Full => 1,
+            Scale::Reduced => 4,
+            Scale::Smoke => 16,
+        }
+    }
+
+    /// Scales a tuple count from the paper, never dropping below 8.
+    pub fn tuples(&self, paper_count: usize) -> usize {
+        (paper_count / self.tuple_divisor()).max(8)
+    }
+
+    /// Scales a query count from the paper, never dropping below 50.
+    pub fn scaled_queries(&self, paper_count: usize) -> usize {
+        match self {
+            Scale::Full => paper_count,
+            Scale::Reduced => (paper_count / 10).max(50),
+            Scale::Smoke => (paper_count / 200).max(50),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("Reduced"), Some(Scale::Reduced));
+        assert_eq!(Scale::parse("SMOKE"), Some(Scale::Smoke));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn full_scale_matches_paper() {
+        assert_eq!(Scale::Full.nodes(), 1000);
+        assert_eq!(Scale::Full.queries(), 20_000);
+        assert_eq!(Scale::Full.tuples(400), 400);
+        assert_eq!(Scale::Full.scaled_queries(32_000), 32_000);
+    }
+
+    #[test]
+    fn reduced_scale_preserves_floors() {
+        assert_eq!(Scale::Reduced.tuples(40), 10);
+        assert_eq!(Scale::Smoke.tuples(40), 8);
+        assert!(Scale::Smoke.scaled_queries(2_000) >= 50);
+    }
+}

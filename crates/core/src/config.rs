@@ -1,0 +1,162 @@
+//! Engine configuration.
+
+use rjoin_net::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// How a node chooses, among the candidate keys of a query, the one under
+/// which the query is (re-)indexed.
+///
+/// The paper's Figure 2 compares RJoin's RIC-aware choice against a random
+/// choice and against an adversarial "always pick the worst candidate"
+/// baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum PlacementStrategy {
+    /// Ask candidate nodes for their rate of incoming tuples and pick the
+    /// candidate with the lowest rate (the RJoin strategy, Section 6).
+    #[default]
+    RicAware,
+    /// Pick a candidate uniformly at random (no RIC traffic).
+    Random,
+    /// Always pick the candidate with the *highest* incoming-tuple rate
+    /// (the paper's worst-case baseline; uses oracle knowledge and is not
+    /// charged RIC traffic).
+    Worst,
+    /// Always pick the first candidate in the `WHERE` clause order (the
+    /// naive strategy used in Section 3 before RIC information is
+    /// introduced).
+    FirstInClause,
+}
+
+/// Configuration of an [`RJoinEngine`](crate::RJoinEngine) run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Placement strategy for input and rewritten queries.
+    pub placement: PlacementStrategy,
+    /// Whether RIC information is piggy-backed on rewritten queries and
+    /// cached in each node's candidate table (Section 7). When disabled,
+    /// every (re-)indexing decision under [`PlacementStrategy::RicAware`]
+    /// pays the full RIC-request cost again.
+    pub reuse_ric: bool,
+    /// Length of the observation window (in ticks) used to estimate the
+    /// rate of incoming tuples: the estimate for a key is the number of
+    /// tuples that arrived under that key during the last `ric_window`
+    /// ticks ("we observe what has happened during the last time window and
+    /// assume a similar behaviour for the future", Section 6).
+    pub ric_window: SimTime,
+    /// Validity horizon of cached RIC information in the candidate table:
+    /// entries older than this are refreshed (one extra direct hop), as
+    /// described at the end of Section 7. `None` disables expiry.
+    pub ct_validity: Option<SimTime>,
+    /// Retention time Δ of the attribute-level tuple table (ALTT,
+    /// Section 4). `None` disables the ALTT, i.e. tuples received at the
+    /// attribute level are used to trigger stored queries and then
+    /// discarded, as in the base algorithm.
+    pub altt_delta: Option<SimTime>,
+    /// When `true`, rewritten queries are only indexed under value-level
+    /// keys, as in the base algorithm of Section 3. This guarantees that a
+    /// rewritten query always finds matching tuples that arrived before it
+    /// (they are stored at the value level), i.e. eventual completeness
+    /// without the ALTT. When `false` (the default), the Section 6
+    /// generalisation is used: rewritten queries may also be indexed at the
+    /// attribute level if RIC information favours it.
+    pub rewritten_value_level_only: bool,
+    /// Per-message delivery delay bound δ of the simulated network.
+    pub network_delay: SimTime,
+    /// Successor-list length of the Chord nodes.
+    pub successor_list_len: usize,
+    /// Seed for the engine's internal randomness (random placement).
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            placement: PlacementStrategy::RicAware,
+            reuse_ric: true,
+            ric_window: 200,
+            ct_validity: Some(500),
+            altt_delta: None,
+            rewritten_value_level_only: false,
+            network_delay: 1,
+            successor_list_len: 4,
+            seed: 0x8101_2008,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The configuration used for the paper's main experiments: RIC-aware
+    /// placement with reuse, no windows-specific settings (windows are per
+    /// query), base algorithm without ALTT.
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// A configuration using the given placement strategy and otherwise
+    /// default settings.
+    pub fn with_placement(placement: PlacementStrategy) -> Self {
+        EngineConfig { placement, ..Self::default() }
+    }
+
+    /// Enables the ALTT with retention Δ (for the message-delay experiments
+    /// and completeness tests).
+    pub fn with_altt(mut self, delta: SimTime) -> Self {
+        self.altt_delta = Some(delta);
+        self
+    }
+
+    /// Sets the network delay bound δ.
+    pub fn with_delay(mut self, delay: SimTime) -> Self {
+        self.network_delay = delay;
+        self
+    }
+
+    /// Disables RIC reuse (piggy-backing and candidate-table caching), the
+    /// ablation discussed in Section 7.
+    pub fn without_ric_reuse(mut self) -> Self {
+        self.reuse_ric = false;
+        self
+    }
+
+    /// Restricts rewritten queries to value-level placement (the Section 3
+    /// base algorithm), which guarantees eventual completeness without the
+    /// ALTT.
+    pub fn with_value_level_rewrites(mut self) -> Self {
+        self.rewritten_value_level_only = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_ric_aware_with_reuse() {
+        let c = EngineConfig::default();
+        assert_eq!(c.placement, PlacementStrategy::RicAware);
+        assert!(c.reuse_ric);
+        assert!(c.altt_delta.is_none());
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let c = EngineConfig::with_placement(PlacementStrategy::Worst)
+            .with_altt(50)
+            .with_delay(9)
+            .without_ric_reuse();
+        assert_eq!(c.placement, PlacementStrategy::Worst);
+        assert_eq!(c.altt_delta, Some(50));
+        assert_eq!(c.network_delay, 9);
+        assert!(!c.reuse_ric);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = EngineConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: EngineConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.placement, c.placement);
+        assert_eq!(back.ric_window, c.ric_window);
+    }
+}

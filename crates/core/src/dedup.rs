@@ -1,0 +1,150 @@
+//! Duplicate elimination for `SELECT DISTINCT` queries (Section 4).
+
+use rjoin_query::{Conjunct, JoinQuery, SelectItem};
+use rjoin_relation::{Schema, Tuple, Value};
+use std::collections::HashSet;
+
+/// The per-stored-query filter implementing the paper's set-semantics rule:
+///
+/// > let `A1, ..., Ak` be the attributes of `R` in the select or where
+/// > clause of `q'`; a new tuple `τ'` may trigger `q'` only if its
+/// > projection on `A1, ..., Ak` has not occurred in one of the tuples that
+/// > already triggered `q'`.
+#[derive(Debug, Clone, Default)]
+pub struct DedupFilter {
+    seen: HashSet<Vec<Value>>,
+}
+
+impl DedupFilter {
+    /// Creates an empty filter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct projections recorded so far.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Whether no projection has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+
+    /// Returns `true` (and records the projection) if the tuple's projection
+    /// on the query's attributes of the tuple's relation has not been seen
+    /// before; returns `false` if it is a duplicate and must not trigger the
+    /// query again.
+    pub fn admit(&mut self, query: &JoinQuery, tuple: &Tuple, schema: &Schema) -> bool {
+        let projection = projection(query, tuple, schema);
+        self.seen.insert(projection)
+    }
+}
+
+/// Computes the projection `π_{A1..Ak}(τ)` where `A1..Ak` are the attributes
+/// of the tuple's relation that appear in the query's `SELECT` list or
+/// `WHERE` clause (in schema order, so equal projections compare equal).
+pub fn projection(query: &JoinQuery, tuple: &Tuple, schema: &Schema) -> Vec<Value> {
+    let relation = tuple.relation();
+    let mut wanted: Vec<usize> = Vec::new();
+    let mut add = |attr_name: &str| {
+        if let Some(idx) = schema.index_of(attr_name) {
+            if !wanted.contains(&idx) {
+                wanted.push(idx);
+            }
+        }
+    };
+    for item in query.select() {
+        if let SelectItem::Attr(a) = item {
+            if a.relation == relation {
+                add(&a.attribute);
+            }
+        }
+    }
+    for conjunct in query.conjuncts() {
+        match conjunct {
+            Conjunct::JoinEq(a, b) => {
+                if a.relation == relation {
+                    add(&a.attribute);
+                }
+                if b.relation == relation {
+                    add(&b.attribute);
+                }
+            }
+            Conjunct::ConstEq(a, _) => {
+                if a.relation == relation {
+                    add(&a.attribute);
+                }
+            }
+        }
+    }
+    wanted.sort_unstable();
+    wanted
+        .into_iter()
+        .filter_map(|idx| tuple.value(idx).cloned())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rjoin_query::parse_query;
+
+    fn schema() -> Schema {
+        Schema::new("S", ["B1", "B2", "B3"]).unwrap()
+    }
+
+    fn tuple(values: [i64; 3]) -> Tuple {
+        Tuple::new("S", values.iter().map(|v| Value::from(*v)).collect(), 0)
+    }
+
+    /// The exact scenario of Example 2 in the paper: tuples (b,2,c) and
+    /// (b,2,e) of S both join with (1,2,3) of R and would produce the answer
+    /// (1, b) twice; the projection on {B1, B2} is identical, so the second
+    /// tuple must be rejected.
+    #[test]
+    fn example_two_duplicate_is_rejected() {
+        // The rewritten query after R's tuple (1,2,3) arrived:
+        // select 1, S.B1 from S where S.B2 = 2
+        let q = parse_query("SELECT 1, S.B1 FROM S WHERE S.B2 = 2").unwrap();
+        let mut filter = DedupFilter::new();
+        let t1 = Tuple::new("S", vec![Value::from("b"), Value::from(2), Value::from("c")], 2);
+        let t2 = Tuple::new("S", vec![Value::from("b"), Value::from(2), Value::from("e")], 3);
+        assert!(filter.admit(&q, &t1, &schema()));
+        assert!(!filter.admit(&q, &t2, &schema()), "same projection must be rejected");
+        assert_eq!(filter.len(), 1);
+    }
+
+    #[test]
+    fn different_projection_is_admitted() {
+        let q = parse_query("SELECT 1, S.B1 FROM S WHERE S.B2 = 2").unwrap();
+        let mut filter = DedupFilter::new();
+        assert!(filter.admit(&q, &tuple([7, 2, 1]), &schema()));
+        assert!(filter.admit(&q, &tuple([8, 2, 1]), &schema()));
+        assert_eq!(filter.len(), 2);
+    }
+
+    #[test]
+    fn projection_ignores_unreferenced_attributes() {
+        let q = parse_query("SELECT 1, S.B1 FROM S WHERE S.B2 = 2").unwrap();
+        // B3 differs but is not referenced, so the projections are equal.
+        let p1 = projection(&q, &tuple([5, 2, 100]), &schema());
+        let p2 = projection(&q, &tuple([5, 2, 999]), &schema());
+        assert_eq!(p1, p2);
+        assert_eq!(p1, vec![Value::from(5), Value::from(2)]);
+    }
+
+    #[test]
+    fn projection_is_in_schema_order_regardless_of_query_order() {
+        let q1 = parse_query("SELECT S.B2, S.B1 FROM S, R WHERE S.B1 = R.A").unwrap();
+        let q2 = parse_query("SELECT S.B1, S.B2 FROM S, R WHERE S.B1 = R.A").unwrap();
+        let t = tuple([1, 2, 3]);
+        assert_eq!(projection(&q1, &t, &schema()), projection(&q2, &t, &schema()));
+    }
+
+    #[test]
+    fn projection_for_other_relation_is_empty() {
+        let q = parse_query("SELECT R.A FROM R WHERE R.A = 1").unwrap();
+        assert!(projection(&q, &tuple([1, 2, 3]), &schema()).is_empty());
+    }
+}

@@ -1,0 +1,472 @@
+//! The RJoin engine: the simulation driver tying nodes, network and the
+//! algorithm together.
+
+use crate::answers::{AnswerLog, AnswerRecord};
+use crate::config::{EngineConfig, PlacementStrategy};
+use crate::error::EngineError;
+use crate::messages::{PendingQuery, QueryId, RJoinMessage, RicInfo};
+use crate::node_state::{NodeState, RicEntry};
+use crate::placement::choose_candidate;
+use crate::procedures::{self, Action, ProcCtx};
+use crate::stats::ExperimentStats;
+use crate::traffic_class;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rjoin_dht::Id;
+use rjoin_metrics::{Distribution, LoadMap};
+use rjoin_net::{Delivery, Network, NetworkConfig, SimTime, TrafficStats};
+use rjoin_query::{candidate_keys, tuple_index_keys, IndexKey, JoinQuery};
+use rjoin_relation::{Catalog, Tuple};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// The RJoin engine.
+///
+/// It owns a simulated Chord network (via [`rjoin_net::Network`]), one
+/// [`NodeState`] per node, and the metric counters the paper's experiments
+/// report. Drivers submit continuous queries, publish tuples and then drain
+/// the event queue with [`run_until_quiescent`](Self::run_until_quiescent).
+#[derive(Debug)]
+pub struct RJoinEngine {
+    config: EngineConfig,
+    catalog: Catalog,
+    network: Network<RJoinMessage>,
+    nodes: HashMap<Id, NodeState>,
+    node_ids: Vec<Id>,
+    rng: StdRng,
+    next_query_seq: u64,
+    answers: AnswerLog,
+    /// Queries submitted with `SELECT DISTINCT`: their answers pass through
+    /// the owner-side duplicate filter.
+    distinct_queries: HashSet<QueryId>,
+    /// Cumulative query-processing load per node (paper definition).
+    qpl: LoadMap<Id>,
+    /// Cumulative storage-load additions per node (paper definition).
+    sl: LoadMap<Id>,
+    /// The same loads broken down by index key, used for identifier-movement
+    /// load-balancing analysis (Figure 9).
+    qpl_by_key: LoadMap<String>,
+    sl_by_key: LoadMap<String>,
+}
+
+impl RJoinEngine {
+    /// Creates an engine with `num_nodes` Chord nodes, all fully stabilized.
+    pub fn new(config: EngineConfig, catalog: Catalog, num_nodes: usize) -> Self {
+        let mut network = Network::new(NetworkConfig {
+            delay: config.network_delay,
+            successor_list_len: config.successor_list_len,
+        });
+        let node_ids = network.bootstrap(num_nodes, "rjoin-node");
+        let nodes = node_ids.iter().map(|id| (*id, NodeState::new(*id))).collect();
+        let rng = StdRng::seed_from_u64(config.seed);
+        RJoinEngine {
+            config,
+            catalog,
+            network,
+            nodes,
+            node_ids,
+            rng,
+            next_query_seq: 0,
+            answers: AnswerLog::new(),
+            distinct_queries: HashSet::new(),
+            qpl: LoadMap::new(),
+            sl: LoadMap::new(),
+            qpl_by_key: LoadMap::new(),
+            sl_by_key: LoadMap::new(),
+        }
+    }
+
+    /// The identifiers of all nodes, in join order.
+    pub fn node_ids(&self) -> &[Id] {
+        &self.node_ids
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The schema catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.network.now()
+    }
+
+    /// Advances the simulation clock (models idle time between events).
+    pub fn advance_time(&mut self, ticks: SimTime) {
+        let target = self.network.now() + ticks;
+        self.network.advance_to(target);
+    }
+
+    /// Read access to the network-level traffic counters.
+    pub fn traffic(&self) -> &TrafficStats {
+        self.network.traffic()
+    }
+
+    /// The answers delivered so far.
+    pub fn answers(&self) -> &AnswerLog {
+        &self.answers
+    }
+
+    /// Cumulative query-processing load per node.
+    pub fn qpl_per_node(&self) -> &LoadMap<Id> {
+        &self.qpl
+    }
+
+    /// Cumulative storage load per node.
+    pub fn sl_per_node(&self) -> &LoadMap<Id> {
+        &self.sl
+    }
+
+    /// Query-processing load per index key, keyed by the ring identifier the
+    /// key hashes to (input for identifier-movement rebalancing).
+    pub fn qpl_by_key_id(&self) -> BTreeMap<Id, u64> {
+        self.qpl_by_key.iter().map(|(k, v)| (Id::hash_key(k), v)).collect()
+    }
+
+    /// Storage load per index key, keyed by the ring identifier the key
+    /// hashes to.
+    pub fn sl_by_key_id(&self) -> BTreeMap<Id, u64> {
+        self.sl_by_key.iter().map(|(k, v)| (Id::hash_key(k), v)).collect()
+    }
+
+    /// Total query-processing load across all nodes.
+    pub fn total_qpl(&self) -> u64 {
+        self.qpl.total()
+    }
+
+    /// Total (cumulative) storage load across all nodes.
+    pub fn total_sl(&self) -> u64 {
+        self.sl.total()
+    }
+
+    /// Read access to a node's RJoin state (used by tests and examples).
+    pub fn node_state(&self, id: Id) -> Option<&NodeState> {
+        self.nodes.get(&id)
+    }
+
+    /// Number of messages currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.network.in_flight()
+    }
+
+    /// Submits a continuous query from node `origin`. The query is validated
+    /// against the catalog and indexed in the network; returns its id.
+    pub fn submit_query(&mut self, origin: Id, query: JoinQuery) -> Result<QueryId, EngineError> {
+        if !self.nodes.contains_key(&origin) {
+            return Err(EngineError::UnknownNode { id: origin });
+        }
+        query.validate(&self.catalog)?;
+        let id = QueryId { owner: origin, seq: self.next_query_seq };
+        self.next_query_seq += 1;
+        if query.distinct() {
+            self.distinct_queries.insert(id);
+        }
+        let pending = PendingQuery::input(id, origin, self.network.now(), query);
+        self.dispatch_query(origin, pending, true)?;
+        Ok(id)
+    }
+
+    /// Publishes a tuple from node `origin`: the tuple is validated and
+    /// indexed under every attribute-level and value-level key (Procedure 1).
+    pub fn publish_tuple(&mut self, origin: Id, tuple: Tuple) -> Result<(), EngineError> {
+        if !self.nodes.contains_key(&origin) {
+            return Err(EngineError::UnknownNode { id: origin });
+        }
+        self.catalog.validate_tuple(&tuple)?;
+        // The simulation clock never runs behind publication times, so RIC
+        // windows and window joins see consistent time.
+        self.network.advance_to(tuple.pub_time());
+        let schema = self.catalog.require_schema(tuple.relation())?.clone();
+        let keys = tuple_index_keys(&tuple, &schema);
+        let items: Vec<(Id, RJoinMessage)> = keys
+            .into_iter()
+            .map(|key| {
+                let key_id = Id::hash_key(&key.to_key_string());
+                let level = key.level();
+                (
+                    key_id,
+                    RJoinMessage::NewTuple { tuple: tuple.clone(), key, level, publisher: origin },
+                )
+            })
+            .collect();
+        self.network.multi_send(origin, items, traffic_class::TUPLE)?;
+        Ok(())
+    }
+
+    /// Processes a single delivery from the network. Returns `false` when no
+    /// message was in flight.
+    pub fn step(&mut self) -> Result<bool, EngineError> {
+        match self.network.pop_next() {
+            Some(delivery) => {
+                self.handle_delivery(delivery)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Drains the event queue until no message is in flight. Returns the
+    /// number of messages processed.
+    pub fn run_until_quiescent(&mut self) -> Result<u64, EngineError> {
+        let mut processed = 0u64;
+        while self.step()? {
+            processed += 1;
+        }
+        Ok(processed)
+    }
+
+    /// Builds a statistics snapshot in the units the paper's figures use.
+    pub fn stats(&self) -> ExperimentStats {
+        let traffic = self.network.traffic();
+        let traffic_values: Vec<u64> =
+            self.node_ids.iter().map(|id| traffic.sent_by(*id)).collect();
+        let qpl_values: Vec<u64> = self.node_ids.iter().map(|id| self.qpl.get(id)).collect();
+        let sl_values: Vec<u64> = self.node_ids.iter().map(|id| self.sl.get(id)).collect();
+        let storage_values: Vec<u64> =
+            self.node_ids.iter().map(|id| self.nodes[id].current_storage_load()).collect();
+        let qpl_dist = Distribution::from_values(qpl_values);
+        let sl_dist = Distribution::from_values(sl_values);
+        ExperimentStats {
+            nodes: self.node_ids.len(),
+            traffic_total: traffic.total_sent(),
+            traffic_ric: traffic.total_sent_class(traffic_class::RIC),
+            traffic_per_node: Distribution::from_values(traffic_values),
+            qpl_participants: qpl_dist.participants(),
+            sl_participants: sl_dist.participants(),
+            qpl_total: self.qpl.total(),
+            sl_total: self.sl.total(),
+            qpl: qpl_dist,
+            sl: sl_dist,
+            current_storage: Distribution::from_values(storage_values),
+            answers: self.answers.len() as u64,
+        }
+    }
+
+    fn handle_delivery(&mut self, delivery: Delivery<RJoinMessage>) -> Result<(), EngineError> {
+        let node_id = delivery.to;
+        if !self.nodes.contains_key(&node_id) {
+            // The node left or failed after the message was sent: the message
+            // is lost, exactly as in a real deployment.
+            return Ok(());
+        }
+        match delivery.msg {
+            RJoinMessage::NewTuple { tuple, key, level, .. } => {
+                let key_string = key.to_key_string();
+                // QPL: a tuple received in order to search for matching
+                // stored queries.
+                self.qpl.incr(node_id);
+                self.qpl_by_key.incr(key_string.clone());
+                if level == rjoin_query::IndexLevel::Value {
+                    // SL: the value-level copy will be stored.
+                    self.sl.incr(node_id);
+                    self.sl_by_key.incr(key_string);
+                }
+                let actions = {
+                    let ctx = ProcCtx {
+                        catalog: &self.catalog,
+                        config: &self.config,
+                        now: self.network.now(),
+                    };
+                    let state = self.nodes.get_mut(&node_id).expect("checked above");
+                    procedures::handle_new_tuple(state, &ctx, &tuple, &key, level)
+                };
+                self.perform_actions(node_id, actions)?;
+            }
+            RJoinMessage::IndexQuery { pending, key } => {
+                let actions = {
+                    let ctx = ProcCtx {
+                        catalog: &self.catalog,
+                        config: &self.config,
+                        now: self.network.now(),
+                    };
+                    let state = self.nodes.get_mut(&node_id).expect("checked above");
+                    procedures::handle_index_query(state, &ctx, pending, &key)
+                };
+                self.perform_actions(node_id, actions)?;
+            }
+            RJoinMessage::Eval { pending, key, carried_ric } => {
+                let key_string = key.to_key_string();
+                // QPL: a rewritten query received in order to search stored
+                // tuples; SL: the rewritten query is stored.
+                self.qpl.incr(node_id);
+                self.qpl_by_key.incr(key_string.clone());
+                self.sl.incr(node_id);
+                self.sl_by_key.incr(key_string);
+                let actions = {
+                    let ctx = ProcCtx {
+                        catalog: &self.catalog,
+                        config: &self.config,
+                        now: self.network.now(),
+                    };
+                    let state = self.nodes.get_mut(&node_id).expect("checked above");
+                    if self.config.reuse_ric {
+                        state.merge_ric(&carried_ric);
+                    }
+                    procedures::handle_eval(state, &ctx, pending, &key)
+                };
+                self.perform_actions(node_id, actions)?;
+            }
+            RJoinMessage::Answer { query, row, produced_at } => {
+                let record = AnswerRecord { query, row, produced_at, received_at: delivery.at };
+                if self.distinct_queries.contains(&query) {
+                    self.answers.record_distinct(record);
+                } else {
+                    self.answers.record(record);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn perform_actions(&mut self, from: Id, actions: Vec<Action>) -> Result<(), EngineError> {
+        for action in actions {
+            match action {
+                Action::DeliverAnswer { query, owner, row } => {
+                    let produced_at = self.network.now();
+                    self.network.send_direct(
+                        from,
+                        owner,
+                        RJoinMessage::Answer { query, row, produced_at },
+                        traffic_class::ANSWER,
+                    );
+                }
+                Action::Reindex { pending } => {
+                    self.dispatch_query(from, pending, false)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Chooses the index key for a query (input or rewritten) and sends it
+    /// there, charging RIC traffic according to Sections 6 and 7.
+    fn dispatch_query(
+        &mut self,
+        from: Id,
+        pending: PendingQuery,
+        is_input: bool,
+    ) -> Result<(), EngineError> {
+        let mut candidates = candidate_keys(&pending.query);
+        if candidates.is_empty() {
+            // A query with no conjuncts left but remaining relations (e.g. a
+            // single-relation scan): fall back to an attribute-level key of
+            // the first remaining relation.
+            if let Some(rel) = pending.query.relations().first() {
+                if let Ok(schema) = self.catalog.require_schema(rel) {
+                    if let Some(attr) = schema.attribute(0) {
+                        candidates.push(IndexKey::attribute(rel.clone(), attr));
+                    }
+                }
+            }
+        }
+        if candidates.is_empty() {
+            return Err(EngineError::NoCandidateKey);
+        }
+        if !is_input && self.config.rewritten_value_level_only {
+            // Section 3 base algorithm: rewritten queries always go to the
+            // value level (each rewrite introduces at least one value-level
+            // candidate, so the filtered list is non-empty for chain joins).
+            let value_only: Vec<IndexKey> = candidates
+                .iter()
+                .filter(|c| c.level() == rjoin_query::IndexLevel::Value)
+                .cloned()
+                .collect();
+            if !value_only.is_empty() {
+                candidates = value_only;
+            }
+        }
+
+        let strategy = self.config.placement;
+        let needs_rates =
+            matches!(strategy, PlacementStrategy::RicAware | PlacementStrategy::Worst);
+        let now = self.network.now();
+        let mut rates = vec![0u64; candidates.len()];
+
+        if needs_rates {
+            let mut prev_hop = from;
+            let mut requests = 0usize;
+            for (i, candidate) in candidates.iter().enumerate() {
+                let key_string = candidate.to_key_string();
+                let key_id = Id::hash_key(&key_string);
+                // Reuse cached RIC information when allowed (Section 7).
+                if strategy == PlacementStrategy::RicAware && self.config.reuse_ric {
+                    if let Some(entry) = self
+                        .nodes
+                        .get(&from)
+                        .and_then(|s| s.cached_ric(&key_string, now, self.config.ct_validity))
+                    {
+                        rates[i] = entry.rate;
+                        continue;
+                    }
+                }
+                let owner = self.network.owner_of(key_id)?;
+                let rate = self
+                    .nodes
+                    .get_mut(&owner)
+                    .map(|s| s.ric.rate(&key_string, now, self.config.ric_window))
+                    .unwrap_or(0);
+                rates[i] = rate;
+                if strategy == PlacementStrategy::RicAware {
+                    // Chained RIC request: previous hop forwards the request
+                    // to the next candidate (k * O(log N) messages total).
+                    self.network.charge_route(prev_hop, key_id, traffic_class::RIC)?;
+                    prev_hop = owner;
+                    requests += 1;
+                    if self.config.reuse_ric {
+                        if let Some(state) = self.nodes.get_mut(&from) {
+                            state
+                                .candidate_table
+                                .insert(key_string, RicEntry { rate, observed_at: now });
+                        }
+                    }
+                }
+                // The Worst baseline uses oracle knowledge: no traffic is
+                // charged for it (it exists only to bound the design space).
+            }
+            if strategy == PlacementStrategy::RicAware && requests > 0 {
+                // The last contacted candidate returns the collected RIC
+                // information (and every candidate's address) in one hop.
+                self.network.charge_direct(prev_hop, traffic_class::RIC);
+            }
+        }
+
+        let chosen = choose_candidate(&candidates, &rates, strategy, &mut self.rng);
+        let key = candidates[chosen].clone();
+        let key_string = key.to_key_string();
+        let key_id = Id::hash_key(&key_string);
+        let class = if is_input { traffic_class::QUERY_INDEX } else { traffic_class::EVAL };
+
+        let carried_ric: Vec<RicInfo> = if !is_input
+            && self.config.reuse_ric
+            && strategy == PlacementStrategy::RicAware
+        {
+            candidates
+                .iter()
+                .zip(&rates)
+                .map(|(c, r)| RicInfo { key: c.to_key_string(), rate: *r, observed_at: now })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        let msg = if is_input {
+            RJoinMessage::IndexQuery { pending, key: key.clone() }
+        } else {
+            RJoinMessage::Eval { pending, key: key.clone(), carried_ric }
+        };
+
+        if strategy == PlacementStrategy::RicAware {
+            // After the RIC exchange the chooser knows the address of every
+            // candidate node, so the query itself travels in one hop.
+            let owner = self.network.owner_of(key_id)?;
+            self.network.send_direct(from, owner, msg, class);
+        } else {
+            self.network.send(from, key_id, msg, class)?;
+        }
+        Ok(())
+    }
+}

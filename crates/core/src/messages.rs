@@ -1,0 +1,197 @@
+//! Messages exchanged by RJoin nodes and the query metadata they carry.
+
+use rjoin_dht::Id;
+use rjoin_net::SimTime;
+use rjoin_query::{IndexKey, IndexLevel, JoinQuery};
+use rjoin_relation::{Timestamp, Tuple, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A unique identifier for a submitted continuous query.
+///
+/// The paper builds `Key(q)` by concatenating the key of the submitting node
+/// with a positive integer; this struct is the structured equivalent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct QueryId {
+    /// The node that submitted the query.
+    pub owner: Id,
+    /// Sequence number, unique per owner.
+    pub seq: u64,
+}
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.owner, self.seq)
+    }
+}
+
+/// A query in flight: an input query or one of its rewritten descendants,
+/// together with the metadata RJoin needs to evaluate it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PendingQuery {
+    /// Identifier of the original input query.
+    pub id: QueryId,
+    /// Node that submitted the original query (answers are sent here).
+    pub owner: Id,
+    /// Insertion time `insT(q)` of the original query; only tuples published
+    /// at or after this time may contribute to answers.
+    pub insert_time: Timestamp,
+    /// Number of join conjuncts in the original input query (used for
+    /// reporting; the remaining joins are visible in `query`).
+    pub original_joins: usize,
+    /// The window `start` parameter (Section 5): publication time of the
+    /// tuple that created this rewritten query. `None` for input queries.
+    pub window_start: Option<Timestamp>,
+    /// The (possibly already rewritten) query itself.
+    pub query: JoinQuery,
+}
+
+impl PendingQuery {
+    /// Wraps a freshly submitted input query.
+    pub fn input(id: QueryId, owner: Id, insert_time: Timestamp, query: JoinQuery) -> Self {
+        PendingQuery {
+            id,
+            owner,
+            insert_time,
+            original_joins: query.join_count(),
+            window_start: None,
+            query,
+        }
+    }
+
+    /// Whether this is an input query (never rewritten yet).
+    pub fn is_input(&self) -> bool {
+        self.window_start.is_none() && self.query.join_count() == self.original_joins
+    }
+
+    /// Derives the pending metadata for a rewritten descendant created by a
+    /// tuple published at `tuple_pub_time`, following the inheritance rules
+    /// of Section 5 (`start` inheritance is handled by the caller because it
+    /// differs between Procedure 2 and Procedure 3).
+    pub fn child(&self, query: JoinQuery, window_start: Option<Timestamp>) -> Self {
+        PendingQuery {
+            id: self.id,
+            owner: self.owner,
+            insert_time: self.insert_time,
+            original_joins: self.original_joins,
+            window_start,
+            query,
+        }
+    }
+}
+
+/// A cached or piggy-backed RIC observation about one candidate key.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RicInfo {
+    /// The candidate key's canonical string form.
+    pub key: String,
+    /// Estimated number of tuple arrivals per RIC window.
+    pub rate: u64,
+    /// Simulation time at which the estimate was taken.
+    pub observed_at: SimTime,
+}
+
+/// Messages routed between RJoin nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RJoinMessage {
+    /// A new tuple indexed under `key` (Procedure 1 → Procedure 2).
+    NewTuple {
+        /// The published tuple.
+        tuple: Tuple,
+        /// The index key under which this copy was sent.
+        key: IndexKey,
+        /// Whether the copy is an attribute-level or value-level copy.
+        level: IndexLevel,
+        /// The node that published the tuple.
+        publisher: Id,
+    },
+    /// An input query being indexed at its first node.
+    IndexQuery {
+        /// The query and its metadata.
+        pending: PendingQuery,
+        /// The key under which it is being indexed.
+        key: IndexKey,
+    },
+    /// A rewritten query being re-indexed (Procedure 3), carrying
+    /// piggy-backed RIC information (Section 7).
+    Eval {
+        /// The rewritten query and its metadata.
+        pending: PendingQuery,
+        /// The key under which it is being indexed.
+        key: IndexKey,
+        /// RIC observations the sender already holds, forwarded so the
+        /// receiver can reuse them for subsequent re-indexing decisions.
+        carried_ric: Vec<RicInfo>,
+    },
+    /// An answer delivered directly to the node that submitted the query.
+    Answer {
+        /// The original query's identifier.
+        query: QueryId,
+        /// The answer row (fully resolved `SELECT` list).
+        row: Vec<Value>,
+        /// Simulation time at which the answer was produced.
+        produced_at: SimTime,
+    },
+}
+
+impl RJoinMessage {
+    /// Short label used in debugging output.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RJoinMessage::NewTuple { .. } => "NewTuple",
+            RJoinMessage::IndexQuery { .. } => "IndexQuery",
+            RJoinMessage::Eval { .. } => "Eval",
+            RJoinMessage::Answer { .. } => "Answer",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rjoin_query::parse_query;
+
+    fn pending() -> PendingQuery {
+        let q = parse_query("SELECT R.A, S.B FROM R, S WHERE R.A = S.A").unwrap();
+        PendingQuery::input(QueryId { owner: Id(1), seq: 3 }, Id(1), 10, q)
+    }
+
+    #[test]
+    fn query_id_display() {
+        let id = QueryId { owner: Id(0xab), seq: 7 };
+        assert_eq!(id.to_string(), "00000000000000ab#7");
+    }
+
+    #[test]
+    fn input_query_metadata() {
+        let p = pending();
+        assert!(p.is_input());
+        assert_eq!(p.original_joins, 1);
+        assert_eq!(p.insert_time, 10);
+        assert_eq!(p.window_start, None);
+    }
+
+    #[test]
+    fn child_preserves_identity_and_times() {
+        let p = pending();
+        let rewritten = parse_query("SELECT 5, S.B FROM S WHERE S.A = 5").unwrap();
+        let child = p.child(rewritten.clone(), Some(42));
+        assert_eq!(child.id, p.id);
+        assert_eq!(child.owner, p.owner);
+        assert_eq!(child.insert_time, p.insert_time);
+        assert_eq!(child.original_joins, 1);
+        assert_eq!(child.window_start, Some(42));
+        assert!(!child.is_input());
+        assert_eq!(child.query, rewritten);
+    }
+
+    #[test]
+    fn message_kinds() {
+        let msg = RJoinMessage::Answer {
+            query: QueryId { owner: Id(1), seq: 1 },
+            row: vec![Value::from(1)],
+            produced_at: 5,
+        };
+        assert_eq!(msg.kind(), "Answer");
+    }
+}

@@ -1,0 +1,263 @@
+//! Per-node RJoin state.
+
+use crate::dedup::DedupFilter;
+use crate::messages::{PendingQuery, RicInfo};
+use crate::RicTracker;
+use rjoin_dht::Id;
+use rjoin_net::SimTime;
+use rjoin_query::IndexLevel;
+use rjoin_relation::{Timestamp, Tuple};
+use std::collections::{HashMap, VecDeque};
+
+/// A query (input or rewritten) stored at a node, waiting for tuples.
+#[derive(Debug, Clone)]
+pub struct StoredQuery {
+    /// The query and its metadata.
+    pub pending: PendingQuery,
+    /// Canonical string of the key under which it is stored.
+    pub key: String,
+    /// Whether the key is attribute-level or value-level.
+    pub level: IndexLevel,
+    /// Duplicate-elimination filter, present for `SELECT DISTINCT` queries.
+    pub dedup: Option<DedupFilter>,
+}
+
+impl StoredQuery {
+    /// Wraps a pending query for local storage.
+    pub fn new(pending: PendingQuery, key: String, level: IndexLevel) -> Self {
+        let dedup = if pending.query.distinct() { Some(DedupFilter::new()) } else { None };
+        StoredQuery { pending, key, level, dedup }
+    }
+}
+
+/// A cached RIC observation (an entry of the candidate table of Section 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RicEntry {
+    /// Estimated arrivals per RIC window.
+    pub rate: u64,
+    /// When the estimate was taken.
+    pub observed_at: SimTime,
+}
+
+/// The complete RJoin-level state of one network node.
+///
+/// The DHT-level routing state lives in `rjoin-dht`; this struct only holds
+/// what the RJoin application layer needs: stored queries, stored value-level
+/// tuples, the optional attribute-level tuple table (ALTT), the candidate
+/// table of cached RIC information, and the node's own RIC tracker.
+#[derive(Debug, Clone)]
+pub struct NodeState {
+    /// The node's identifier.
+    pub id: Id,
+    /// Queries stored at this node, grouped by the key they are indexed
+    /// under.
+    pub stored_queries: HashMap<String, Vec<StoredQuery>>,
+    /// Value-level tuples stored at this node, grouped by index key.
+    pub stored_tuples: HashMap<String, Vec<Tuple>>,
+    /// Attribute-level tuple table: tuples kept for Δ ticks so that input
+    /// queries delayed in the network do not miss them (Section 4).
+    pub altt: HashMap<String, VecDeque<(Tuple, SimTime)>>,
+    /// Candidate table: cached RIC information per candidate key.
+    pub candidate_table: HashMap<String, RicEntry>,
+    /// Tracker of tuple arrivals used to answer RIC requests.
+    pub ric: RicTracker,
+}
+
+impl NodeState {
+    /// Creates the empty state of node `id`.
+    pub fn new(id: Id) -> Self {
+        NodeState {
+            id,
+            stored_queries: HashMap::new(),
+            stored_tuples: HashMap::new(),
+            altt: HashMap::new(),
+            candidate_table: HashMap::new(),
+            ric: RicTracker::new(),
+        }
+    }
+
+    /// Stores a query under `key`.
+    pub fn store_query(&mut self, stored: StoredQuery) {
+        self.stored_queries.entry(stored.key.clone()).or_default().push(stored);
+    }
+
+    /// Stores a value-level tuple under `key`.
+    pub fn store_tuple(&mut self, key: &str, tuple: Tuple) {
+        self.stored_tuples.entry(key.to_string()).or_default().push(tuple);
+    }
+
+    /// Inserts a tuple into the ALTT with the given expiry time.
+    pub fn altt_insert(&mut self, key: &str, tuple: Tuple, expires_at: SimTime) {
+        self.altt.entry(key.to_string()).or_default().push_back((tuple, expires_at));
+    }
+
+    /// Drops expired ALTT entries for `key` and returns the tuples that are
+    /// still retained and were published at or after `min_pub_time`.
+    pub fn altt_matching(&mut self, key: &str, now: SimTime, min_pub_time: Timestamp) -> Vec<Tuple> {
+        let Some(entries) = self.altt.get_mut(key) else { return Vec::new() };
+        while let Some((_, expiry)) = entries.front() {
+            if *expiry < now {
+                entries.pop_front();
+            } else {
+                break;
+            }
+        }
+        entries
+            .iter()
+            .filter(|(t, _)| t.pub_time() >= min_pub_time)
+            .map(|(t, _)| t.clone())
+            .collect()
+    }
+
+    /// Garbage-collects every expired ALTT entry (called opportunistically).
+    pub fn altt_gc(&mut self, now: SimTime) {
+        for entries in self.altt.values_mut() {
+            while let Some((_, expiry)) = entries.front() {
+                if *expiry < now {
+                    entries.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.altt.retain(|_, v| !v.is_empty());
+    }
+
+    /// Merges piggy-backed RIC observations into the candidate table,
+    /// keeping the most recent estimate per key (Section 7).
+    pub fn merge_ric(&mut self, infos: &[RicInfo]) {
+        for info in infos {
+            let entry = self
+                .candidate_table
+                .entry(info.key.clone())
+                .or_insert(RicEntry { rate: info.rate, observed_at: info.observed_at });
+            if info.observed_at >= entry.observed_at {
+                entry.rate = info.rate;
+                entry.observed_at = info.observed_at;
+            }
+        }
+    }
+
+    /// Looks up a cached RIC estimate that is still valid at `now` given the
+    /// configured validity horizon.
+    pub fn cached_ric(&self, key: &str, now: SimTime, validity: Option<SimTime>) -> Option<RicEntry> {
+        let entry = self.candidate_table.get(key)?;
+        match validity {
+            Some(v) if now.saturating_sub(entry.observed_at) > v => None,
+            _ => Some(*entry),
+        }
+    }
+
+    /// Number of queries currently stored (input + rewritten).
+    pub fn stored_query_count(&self) -> usize {
+        self.stored_queries.values().map(Vec::len).sum()
+    }
+
+    /// Number of *rewritten* queries currently stored.
+    pub fn stored_rewritten_count(&self) -> usize {
+        self.stored_queries
+            .values()
+            .flat_map(|v| v.iter())
+            .filter(|s| !s.pending.is_input())
+            .count()
+    }
+
+    /// Number of value-level tuples currently stored.
+    pub fn stored_tuple_count(&self) -> usize {
+        self.stored_tuples.values().map(Vec::len).sum()
+    }
+
+    /// Current storage load of the node as the paper defines it: stored
+    /// rewritten queries plus stored tuples.
+    pub fn current_storage_load(&self) -> u64 {
+        (self.stored_rewritten_count() + self.stored_tuple_count()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::QueryId;
+    use rjoin_query::parse_query;
+    use rjoin_relation::Value;
+
+    fn pending(distinct: bool) -> PendingQuery {
+        let sql = if distinct {
+            "SELECT DISTINCT R.A FROM R, S WHERE R.A = S.A"
+        } else {
+            "SELECT R.A FROM R, S WHERE R.A = S.A"
+        };
+        PendingQuery::input(
+            QueryId { owner: Id(1), seq: 0 },
+            Id(1),
+            0,
+            parse_query(sql).unwrap(),
+        )
+    }
+
+    fn tuple(pub_time: u64) -> Tuple {
+        Tuple::new("R", vec![Value::from(1), Value::from(2)], pub_time)
+    }
+
+    #[test]
+    fn stored_query_gets_dedup_only_when_distinct() {
+        let s = StoredQuery::new(pending(false), "R+A".into(), IndexLevel::Attribute);
+        assert!(s.dedup.is_none());
+        let s = StoredQuery::new(pending(true), "R+A".into(), IndexLevel::Attribute);
+        assert!(s.dedup.is_some());
+    }
+
+    #[test]
+    fn storage_counts_exclude_input_queries() {
+        let mut state = NodeState::new(Id(7));
+        state.store_query(StoredQuery::new(pending(false), "R+A".into(), IndexLevel::Attribute));
+        let rewritten = pending(false)
+            .child(parse_query("SELECT 5 FROM S WHERE S.A = 5").unwrap(), Some(3));
+        state.store_query(StoredQuery::new(rewritten, "S+A+i:5".into(), IndexLevel::Value));
+        state.store_tuple("R+A+i:1", tuple(0));
+
+        assert_eq!(state.stored_query_count(), 2);
+        assert_eq!(state.stored_rewritten_count(), 1);
+        assert_eq!(state.stored_tuple_count(), 1);
+        assert_eq!(state.current_storage_load(), 2);
+    }
+
+    #[test]
+    fn altt_expires_entries() {
+        let mut state = NodeState::new(Id(7));
+        state.altt_insert("R+A", tuple(5), 10);
+        state.altt_insert("R+A", tuple(6), 20);
+        // At time 15 the first entry has expired.
+        let matching = state.altt_matching("R+A", 15, 0);
+        assert_eq!(matching.len(), 1);
+        assert_eq!(matching[0].pub_time(), 6);
+        // GC removes empty buckets.
+        state.altt_gc(100);
+        assert!(state.altt.is_empty());
+    }
+
+    #[test]
+    fn altt_matching_respects_min_pub_time() {
+        let mut state = NodeState::new(Id(7));
+        state.altt_insert("R+A", tuple(5), 100);
+        state.altt_insert("R+A", tuple(9), 100);
+        let matching = state.altt_matching("R+A", 10, 6);
+        assert_eq!(matching.len(), 1);
+        assert_eq!(matching[0].pub_time(), 9);
+    }
+
+    #[test]
+    fn candidate_table_keeps_most_recent_and_respects_validity() {
+        let mut state = NodeState::new(Id(7));
+        state.merge_ric(&[RicInfo { key: "R+A".into(), rate: 5, observed_at: 10 }]);
+        state.merge_ric(&[RicInfo { key: "R+A".into(), rate: 9, observed_at: 20 }]);
+        state.merge_ric(&[RicInfo { key: "R+A".into(), rate: 1, observed_at: 15 }]); // older, ignored
+        let entry = state.cached_ric("R+A", 25, None).unwrap();
+        assert_eq!(entry.rate, 9);
+        assert_eq!(entry.observed_at, 20);
+        // Validity horizon rejects stale entries.
+        assert!(state.cached_ric("R+A", 200, Some(50)).is_none());
+        assert!(state.cached_ric("R+A", 60, Some(50)).is_some());
+        assert!(state.cached_ric("unknown", 0, None).is_none());
+    }
+}

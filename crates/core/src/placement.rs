@@ -1,0 +1,151 @@
+//! Choice of the index key for a query among its candidates (Section 6).
+
+use crate::PlacementStrategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rjoin_query::IndexKey;
+
+/// Chooses which candidate key a query should be indexed under, given the
+/// (estimated) rate of incoming tuples of each candidate.
+///
+/// `candidates` and `rates` are parallel slices. Returns the index of the
+/// chosen candidate.
+///
+/// * [`PlacementStrategy::RicAware`] — lowest rate wins; ties are broken in
+///   favour of *value-level* candidates (Section 3 indexes rewritten queries
+///   at the value level by default because it both spreads load better and
+///   guarantees that an earlier-stored tuple can still be found), then by
+///   first occurrence;
+/// * [`PlacementStrategy::Worst`] — highest rate wins (the adversarial
+///   baseline of Figure 2);
+/// * [`PlacementStrategy::Random`] — uniform random;
+/// * [`PlacementStrategy::FirstInClause`] — always the first candidate.
+///
+/// # Panics
+/// Panics if `candidates` is empty or the slices have different lengths.
+pub fn choose_candidate(
+    candidates: &[IndexKey],
+    rates: &[u64],
+    strategy: PlacementStrategy,
+    rng: &mut StdRng,
+) -> usize {
+    assert!(!candidates.is_empty(), "placement requires at least one candidate");
+    assert_eq!(candidates.len(), rates.len(), "candidates and rates must be parallel");
+    match strategy {
+        PlacementStrategy::RicAware => {
+            let min_rate = *rates.iter().min().expect("non-empty rates");
+            let minima: Vec<usize> =
+                (0..rates.len()).filter(|&i| rates[i] == min_rate).collect();
+            // Prefer value-level candidates among the minima (Section 3
+            // indexes rewritten queries at the value level by default: it
+            // spreads load better and lets the query find tuples that were
+            // stored before it arrived). Remaining ties are broken randomly,
+            // as the paper does when no further information is available —
+            // a deterministic "first" rule would systematically favour the
+            // lexicographically first relation, which under the Zipf
+            // workload is also the hottest one.
+            let value_minima: Vec<usize> = minima
+                .iter()
+                .copied()
+                .filter(|&i| candidates[i].level() == rjoin_query::IndexLevel::Value)
+                .collect();
+            let pool = if value_minima.is_empty() { &minima } else { &value_minima };
+            pool[rng.gen_range(0..pool.len())]
+        }
+        PlacementStrategy::Worst => {
+            let mut worst = 0;
+            for (i, &rate) in rates.iter().enumerate() {
+                if rate > rates[worst] {
+                    worst = i;
+                }
+            }
+            worst
+        }
+        PlacementStrategy::Random => rng.gen_range(0..candidates.len()),
+        PlacementStrategy::FirstInClause => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rjoin_relation::Value;
+
+    fn candidates() -> Vec<IndexKey> {
+        vec![
+            IndexKey::attribute("R", "A"),
+            IndexKey::attribute("S", "B"),
+            IndexKey::value("S", "C", Value::from(3)),
+        ]
+    }
+
+    #[test]
+    fn ric_aware_picks_lowest_rate() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let idx = choose_candidate(&candidates(), &[10, 2, 7], PlacementStrategy::RicAware, &mut rng);
+        assert_eq!(idx, 1);
+    }
+
+    #[test]
+    fn ric_aware_breaks_ties_in_favour_of_value_level() {
+        let mut rng = StdRng::seed_from_u64(0);
+        // All rates equal: the value-level candidate (index 2) wins the tie.
+        let idx = choose_candidate(&candidates(), &[3, 3, 3], PlacementStrategy::RicAware, &mut rng);
+        assert_eq!(idx, 2);
+        // A strictly lower-rate attribute-level candidate still beats a
+        // value-level one.
+        let idx = choose_candidate(&candidates(), &[3, 1, 3], PlacementStrategy::RicAware, &mut rng);
+        assert_eq!(idx, 1);
+    }
+
+    #[test]
+    fn ric_aware_attribute_level_ties_are_randomised() {
+        // Among equal-rate attribute-level candidates the choice is random,
+        // so over many draws every candidate must be picked at least once.
+        let mut rng = StdRng::seed_from_u64(1);
+        let attrs = vec![
+            IndexKey::attribute("R", "A"),
+            IndexKey::attribute("S", "B"),
+            IndexKey::attribute("P", "C"),
+        ];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[choose_candidate(&attrs, &[3, 3, 3], PlacementStrategy::RicAware, &mut rng)] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "tie-breaking should cover every candidate");
+    }
+
+    #[test]
+    fn worst_picks_highest_rate() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let idx = choose_candidate(&candidates(), &[10, 2, 70], PlacementStrategy::Worst, &mut rng);
+        assert_eq!(idx, 2);
+    }
+
+    #[test]
+    fn first_in_clause_ignores_rates() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let idx =
+            choose_candidate(&candidates(), &[10, 2, 0], PlacementStrategy::FirstInClause, &mut rng);
+        assert_eq!(idx, 0);
+    }
+
+    #[test]
+    fn random_covers_all_candidates() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let idx = choose_candidate(&candidates(), &[1, 1, 1], PlacementStrategy::Random, &mut rng);
+            seen[idx] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "random placement should hit every candidate");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_candidates_panic() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = choose_candidate(&[], &[], PlacementStrategy::Random, &mut rng);
+    }
+}

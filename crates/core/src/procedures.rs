@@ -1,0 +1,569 @@
+//! The per-node message handlers: Procedures 1–3 of the paper.
+//!
+//! These functions operate on a single node's [`NodeState`] and return the
+//! list of [`Action`]s the node wants to perform (answers to deliver,
+//! rewritten queries to re-index). Sending those actions through the network
+//! — including the RIC-aware placement decision — is the engine's job, which
+//! keeps these handlers purely local, exactly like the pseudo-code in the
+//! paper.
+
+use crate::config::EngineConfig;
+use crate::messages::{PendingQuery, QueryId};
+use crate::node_state::{NodeState, StoredQuery};
+use rjoin_net::SimTime;
+use rjoin_query::{rewrite, IndexKey, IndexLevel, RewriteResult};
+use rjoin_relation::{Catalog, Timestamp, Tuple, Value};
+
+/// An outgoing action produced by a local handler.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Deliver an answer row to the node that submitted the query
+    /// (`sendDirect` in the paper).
+    DeliverAnswer {
+        /// The original query.
+        query: QueryId,
+        /// The owner node to deliver to.
+        owner: rjoin_dht::Id,
+        /// The answer row.
+        row: Vec<Value>,
+    },
+    /// Re-index a rewritten query at another node (the `Eval` message of
+    /// Procedures 2 and 3). The engine chooses the target key.
+    Reindex {
+        /// The rewritten query and its metadata.
+        pending: PendingQuery,
+    },
+}
+
+/// Read-only context shared by the handlers.
+pub struct ProcCtx<'a> {
+    /// The schema catalog.
+    pub catalog: &'a Catalog,
+    /// Engine configuration.
+    pub config: &'a EngineConfig,
+    /// Current simulation time.
+    pub now: SimTime,
+}
+
+/// Outcome of attempting to trigger one stored query with one tuple.
+enum TriggerOutcome {
+    /// The stored query expired (window violation) and must be deleted.
+    Expired,
+    /// The tuple did not trigger the query (mismatch, dedup or time filter).
+    NotTriggered,
+    /// The tuple triggered the query, producing an action.
+    Triggered(Action),
+}
+
+/// Applies one tuple to one stored query following the trigger rules:
+/// publication-time filter, window validity (Section 5), duplicate
+/// elimination (Section 4) and the rewriting step itself.
+///
+/// `start_rule` computes the `start` parameter of the produced rewritten
+/// query from the stored query's own `start` and the tuple's publication
+/// time (the rule differs between Procedure 2 and Procedure 3).
+fn try_trigger(
+    stored: &mut StoredQuery,
+    tuple: &Tuple,
+    ctx: &ProcCtx<'_>,
+    start_rule: impl Fn(Option<Timestamp>, Timestamp) -> Option<Timestamp>,
+) -> TriggerOutcome {
+    let pending = &stored.pending;
+    // Only tuples published at or after the query's submission count.
+    if tuple.pub_time() < pending.insert_time {
+        return TriggerOutcome::NotTriggered;
+    }
+    // Window validity (Section 5): a rewritten query whose window has been
+    // exceeded is deleted; input queries (start = None) never expire.
+    let window = *pending.query.window();
+    if window.use_windows() {
+        if let Some(start) = pending.window_start {
+            if !window.within(start, tuple.pub_time()) {
+                return TriggerOutcome::Expired;
+            }
+        }
+    }
+    let Ok(schema) = ctx.catalog.require_schema(tuple.relation()) else {
+        return TriggerOutcome::NotTriggered;
+    };
+    // Duplicate elimination for DISTINCT queries.
+    if let Some(dedup) = stored.dedup.as_mut() {
+        if !dedup.admit(&pending.query, tuple, schema) {
+            return TriggerOutcome::NotTriggered;
+        }
+    }
+    match rewrite(&pending.query, tuple, schema) {
+        Ok(RewriteResult::Complete(row)) => TriggerOutcome::Triggered(Action::DeliverAnswer {
+            query: pending.id,
+            owner: pending.owner,
+            row,
+        }),
+        Ok(RewriteResult::Partial(q1)) => {
+            let new_start = start_rule(pending.window_start, tuple.pub_time());
+            let child = pending.child(q1, new_start);
+            TriggerOutcome::Triggered(Action::Reindex { pending: child })
+        }
+        Ok(RewriteResult::Mismatch) | Err(_) => TriggerOutcome::NotTriggered,
+    }
+}
+
+/// Procedure 2: a node receives a new tuple (at the attribute or value
+/// level).
+///
+/// Returns the actions to perform. Window-expired rewritten queries are
+/// removed from the node's store as a side effect.
+pub fn handle_new_tuple(
+    state: &mut NodeState,
+    ctx: &ProcCtx<'_>,
+    tuple: &Tuple,
+    key: &IndexKey,
+    level: IndexLevel,
+) -> Vec<Action> {
+    let key_string = key.to_key_string();
+    // The node observes the arrival for RIC purposes regardless of level.
+    state.ric.record_arrival(&key_string, ctx.now);
+
+    let mut actions = Vec::new();
+    if let Some(stored_list) = state.stored_queries.get_mut(&key_string) {
+        let mut idx = 0;
+        while idx < stored_list.len() {
+            let outcome = try_trigger(&mut stored_list[idx], tuple, ctx, |start, pub_time| {
+                // Procedure 2 rules (Section 5): a rewritten query created by
+                // triggering an *input* query records the tuple's publication
+                // time as its window start; a rewritten query created from an
+                // already-rewritten query *inherits* the start unchanged.
+                match start {
+                    None => Some(pub_time),
+                    Some(existing) => Some(existing),
+                }
+            });
+            match outcome {
+                TriggerOutcome::Expired => {
+                    stored_list.swap_remove(idx);
+                    // do not advance idx: swap_remove moved a new element here
+                }
+                TriggerOutcome::Triggered(action) => {
+                    actions.push(action);
+                    idx += 1;
+                }
+                TriggerOutcome::NotTriggered => {
+                    idx += 1;
+                }
+            }
+        }
+        if stored_list.is_empty() {
+            state.stored_queries.remove(&key_string);
+        }
+    }
+
+    match level {
+        IndexLevel::Value => {
+            // Value-level copies are stored so future rewritten queries can
+            // find them (Procedure 2, last step).
+            state.store_tuple(&key_string, tuple.clone());
+        }
+        IndexLevel::Attribute => {
+            // Attribute-level copies are normally discarded; with the ALTT
+            // extension (Section 4) they are retained for Δ ticks so delayed
+            // input queries cannot miss them.
+            if let Some(delta) = ctx.config.altt_delta {
+                state.altt_insert(&key_string, tuple.clone(), ctx.now + delta);
+            }
+        }
+    }
+    actions
+}
+
+/// Common logic for the arrival of a query (input or rewritten) at the node
+/// it has been indexed at: the query is matched against every tuple the node
+/// already holds under the same key — value-level stored tuples
+/// (Procedure 3) and, when the ALTT extension is enabled, retained
+/// attribute-level tuples (Section 4, rule 2) — and is then stored locally
+/// so future tuples can trigger it.
+fn handle_query_arrival(
+    state: &mut NodeState,
+    ctx: &ProcCtx<'_>,
+    pending: PendingQuery,
+    key: &IndexKey,
+) -> Vec<Action> {
+    let key_string = key.to_key_string();
+    let mut stored = StoredQuery::new(pending, key_string.clone(), key.level());
+    let mut actions = Vec::new();
+
+    let mut already_here: Vec<Tuple> =
+        state.stored_tuples.get(&key_string).map(|v| v.to_vec()).unwrap_or_default();
+    if ctx.config.altt_delta.is_some() {
+        already_here.extend(state.altt_matching(&key_string, ctx.now, stored.pending.insert_time));
+    }
+
+    for tuple in &already_here {
+        let outcome = try_trigger(&mut stored, tuple, ctx, |start, pub_time| {
+            // Procedure 3 rule (Section 5): the produced rewritten query's
+            // start is the *maximum* of the stored query's start and the
+            // stored tuple's publication time. For input queries (start =
+            // None) this reduces to the Procedure 2 rule (start = pubT(τ)).
+            match start {
+                None => Some(pub_time),
+                Some(existing) => Some(existing.max(pub_time)),
+            }
+        });
+        if let TriggerOutcome::Triggered(action) = outcome {
+            actions.push(action);
+        }
+        // A stored tuple outside the window simply does not trigger; the
+        // query itself stays, waiting for newer tuples.
+    }
+
+    state.store_query(stored);
+    actions
+}
+
+/// Handles the arrival of an *input* query at the node it was indexed at.
+///
+/// The base algorithm simply stores it; with the ALTT extension the node
+/// also searches the attribute-level tuple table for tuples that arrived
+/// before the query did (Section 4, rule 2).
+pub fn handle_index_query(
+    state: &mut NodeState,
+    ctx: &ProcCtx<'_>,
+    pending: PendingQuery,
+    key: &IndexKey,
+) -> Vec<Action> {
+    handle_query_arrival(state, ctx, pending, key)
+}
+
+/// Procedure 3: a node receives a rewritten query with an `Eval` message.
+///
+/// The query is stored locally and matched against every value-level tuple
+/// already stored under the same key (tuples that arrived after the original
+/// query was submitted but before this rewritten query reached the node), as
+/// well as against ALTT-retained attribute-level tuples when that extension
+/// is enabled.
+pub fn handle_eval(
+    state: &mut NodeState,
+    ctx: &ProcCtx<'_>,
+    pending: PendingQuery,
+    key: &IndexKey,
+) -> Vec<Action> {
+    handle_query_arrival(state, ctx, pending, key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::QueryId;
+    use rjoin_dht::Id;
+    use rjoin_query::parse_query;
+    use rjoin_relation::Schema;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        for rel in ["R", "S", "J", "M"] {
+            c.register(Schema::new(rel, ["A", "B", "C"]).unwrap()).unwrap();
+        }
+        c
+    }
+
+    fn config() -> EngineConfig {
+        EngineConfig::default()
+    }
+
+    fn ctx<'a>(catalog: &'a Catalog, config: &'a EngineConfig, now: SimTime) -> ProcCtx<'a> {
+        ProcCtx { catalog, config, now }
+    }
+
+    fn pending(sql: &str, insert_time: u64) -> PendingQuery {
+        PendingQuery::input(
+            QueryId { owner: Id(42), seq: 1 },
+            Id(42),
+            insert_time,
+            parse_query(sql).unwrap(),
+        )
+    }
+
+    fn tuple(rel: &str, values: [i64; 3], pub_time: u64) -> Tuple {
+        Tuple::new(rel, values.iter().map(|v| Value::from(*v)).collect(), pub_time)
+    }
+
+    #[test]
+    fn input_query_triggered_by_matching_tuple() {
+        let catalog = catalog();
+        let config = config();
+        let mut state = NodeState::new(Id(1));
+        let p = pending("SELECT R.B, S.B FROM R, S WHERE R.A = S.A", 0);
+        let key = IndexKey::attribute("R", "A");
+        let actions = handle_index_query(&mut state, &ctx(&catalog, &config, 0), p, &key);
+        assert!(actions.is_empty());
+        assert_eq!(state.stored_query_count(), 1);
+
+        // A matching tuple arrives at the attribute level.
+        let actions = handle_new_tuple(
+            &mut state,
+            &ctx(&catalog, &config, 5),
+            &tuple("R", [7, 9, 0], 5),
+            &key,
+            IndexLevel::Attribute,
+        );
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            Action::Reindex { pending } => {
+                assert_eq!(pending.query.join_count(), 0);
+                assert_eq!(pending.query.relations(), &["S".to_string()]);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+        // Attribute-level tuples are not stored (ALTT disabled by default).
+        assert_eq!(state.stored_tuple_count(), 0);
+        // The input query remains stored for future tuples.
+        assert_eq!(state.stored_query_count(), 1);
+    }
+
+    #[test]
+    fn old_tuples_do_not_trigger() {
+        let catalog = catalog();
+        let config = config();
+        let mut state = NodeState::new(Id(1));
+        let p = pending("SELECT R.B, S.B FROM R, S WHERE R.A = S.A", 10);
+        let key = IndexKey::attribute("R", "A");
+        handle_index_query(&mut state, &ctx(&catalog, &config, 10), p, &key);
+        // Tuple published before the query was submitted: no trigger.
+        let actions = handle_new_tuple(
+            &mut state,
+            &ctx(&catalog, &config, 12),
+            &tuple("R", [7, 9, 0], 5),
+            &key,
+            IndexLevel::Attribute,
+        );
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn value_level_tuple_is_stored_and_triggers_later_eval() {
+        let catalog = catalog();
+        let config = config();
+        let mut state = NodeState::new(Id(1));
+        let key = IndexKey::value("M", "C", Value::from(2));
+
+        // Tuple of M arrives first and is stored at the value level.
+        let actions = handle_new_tuple(
+            &mut state,
+            &ctx(&catalog, &config, 3),
+            &tuple("M", [9, 1, 2], 3),
+            &key,
+            IndexLevel::Value,
+        );
+        assert!(actions.is_empty());
+        assert_eq!(state.stored_tuple_count(), 1);
+
+        // A rewritten query "SELECT 6, M.A FROM M WHERE M.C = 2" arrives.
+        let input = pending("SELECT S.B, M.A FROM S, M WHERE S.B = M.C", 0);
+        let rewritten = input
+            .child(parse_query("SELECT 6, M.A FROM M WHERE M.C = 2").unwrap(), Some(1));
+        let actions = handle_eval(&mut state, &ctx(&catalog, &config, 5), rewritten, &key);
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            Action::DeliverAnswer { row, owner, .. } => {
+                assert_eq!(row, &vec![Value::from(6), Value::from(9)]);
+                assert_eq!(*owner, Id(42));
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+        // The rewritten query is stored for future tuples as well.
+        assert_eq!(state.stored_rewritten_count(), 1);
+    }
+
+    #[test]
+    fn window_expiry_deletes_rewritten_query() {
+        let catalog = catalog();
+        let config = config();
+        let mut state = NodeState::new(Id(1));
+        let key = IndexKey::value("S", "A", Value::from(7));
+        // A rewritten query with a 10-tuple window that started at time 5.
+        let input = pending(
+            "SELECT R.B, S.B FROM R, S WHERE R.A = S.A WINDOW SLIDING 10 TUPLES",
+            0,
+        );
+        let rewritten = input.child(
+            parse_query("SELECT 9, S.B FROM S WHERE S.A = 7 WINDOW SLIDING 10 TUPLES").unwrap(),
+            Some(5),
+        );
+        handle_eval(&mut state, &ctx(&catalog, &config, 6), rewritten, &key);
+        assert_eq!(state.stored_rewritten_count(), 1);
+
+        // A tuple far outside the window arrives: the query is deleted, not
+        // triggered.
+        let actions = handle_new_tuple(
+            &mut state,
+            &ctx(&catalog, &config, 100),
+            &tuple("S", [7, 3, 0], 100),
+            &key,
+            IndexLevel::Value,
+        );
+        assert!(actions.is_empty());
+        assert_eq!(state.stored_rewritten_count(), 0);
+    }
+
+    #[test]
+    fn window_valid_tuple_triggers_and_inherits_start() {
+        let catalog = catalog();
+        let config = config();
+        let mut state = NodeState::new(Id(1));
+        let key = IndexKey::value("S", "A", Value::from(7));
+        let input = pending(
+            "SELECT R.B, S.B, J.A FROM R, S, J WHERE R.A = S.A AND S.B = J.B WINDOW SLIDING 10 TUPLES",
+            0,
+        );
+        let rewritten = input.child(
+            parse_query(
+                "SELECT 9, S.B, J.A FROM S, J WHERE S.A = 7 AND S.B = J.B WINDOW SLIDING 10 TUPLES",
+            )
+            .unwrap(),
+            Some(5),
+        );
+        handle_eval(&mut state, &ctx(&catalog, &config, 6), rewritten, &key);
+
+        let actions = handle_new_tuple(
+            &mut state,
+            &ctx(&catalog, &config, 12),
+            &tuple("S", [7, 3, 0], 12),
+            &key,
+            IndexLevel::Value,
+        );
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            Action::Reindex { pending } => {
+                // Procedure 2 (incoming tuple): start is inherited unchanged.
+                assert_eq!(pending.window_start, Some(5));
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eval_start_uses_max_of_start_and_tuple_time() {
+        let catalog = catalog();
+        let config = config();
+        let mut state = NodeState::new(Id(1));
+        let key = IndexKey::value("S", "A", Value::from(7));
+        // A stored tuple published at time 20.
+        handle_new_tuple(
+            &mut state,
+            &ctx(&catalog, &config, 20),
+            &tuple("S", [7, 3, 0], 20),
+            &key,
+            IndexLevel::Value,
+        );
+        let input = pending(
+            "SELECT R.B, S.B, J.A FROM R, S, J WHERE R.A = S.A AND S.B = J.B WINDOW SLIDING 50 TUPLES",
+            0,
+        );
+        let rewritten = input.child(
+            parse_query(
+                "SELECT 9, S.B, J.A FROM S, J WHERE S.A = 7 AND S.B = J.B WINDOW SLIDING 50 TUPLES",
+            )
+            .unwrap(),
+            Some(5),
+        );
+        let actions = handle_eval(&mut state, &ctx(&catalog, &config, 25), rewritten, &key);
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            Action::Reindex { pending } => {
+                // Procedure 3: start = max(start(q1), pubT(τ)) = max(5, 20).
+                assert_eq!(pending.window_start, Some(20));
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn distinct_query_not_triggered_twice_by_same_projection() {
+        let catalog = catalog();
+        let config = config();
+        let mut state = NodeState::new(Id(1));
+        let key = IndexKey::value("S", "B", Value::from(2));
+        let input = pending("SELECT DISTINCT R.A, S.A FROM R, S WHERE R.B = S.B", 0);
+        let rewritten = input.child(
+            parse_query("SELECT DISTINCT 1, S.A FROM S WHERE S.B = 2").unwrap(),
+            Some(1),
+        );
+        handle_eval(&mut state, &ctx(&catalog, &config, 2), rewritten, &key);
+
+        // Two tuples with the same projection on S's referenced attributes
+        // (A and B): only the first triggers.
+        let first = handle_new_tuple(
+            &mut state,
+            &ctx(&catalog, &config, 3),
+            &tuple("S", [5, 2, 100], 3),
+            &key,
+            IndexLevel::Value,
+        );
+        let second = handle_new_tuple(
+            &mut state,
+            &ctx(&catalog, &config, 4),
+            &tuple("S", [5, 2, 999], 4),
+            &key,
+            IndexLevel::Value,
+        );
+        assert_eq!(first.len(), 1);
+        assert!(second.is_empty());
+    }
+
+    #[test]
+    fn altt_lets_delayed_query_catch_earlier_tuple() {
+        let catalog = catalog();
+        let config = EngineConfig::default().with_altt(100);
+        let mut state = NodeState::new(Id(1));
+        let key = IndexKey::attribute("R", "A");
+
+        // The tuple arrives *before* the query (message delay scenario of
+        // Example 1); with the ALTT it is retained.
+        handle_new_tuple(
+            &mut state,
+            &ctx(&catalog, &config, 5),
+            &tuple("R", [7, 9, 0], 5),
+            &key,
+            IndexLevel::Attribute,
+        );
+        let p = pending("SELECT R.B, S.B FROM R, S WHERE R.A = S.A", 2);
+        let actions = handle_index_query(&mut state, &ctx(&catalog, &config, 9), p, &key);
+        assert_eq!(actions.len(), 1, "the retained tuple must trigger the delayed query");
+    }
+
+    #[test]
+    fn without_altt_delayed_query_misses_earlier_tuple() {
+        let catalog = catalog();
+        let config = config(); // ALTT disabled
+        let mut state = NodeState::new(Id(1));
+        let key = IndexKey::attribute("R", "A");
+        handle_new_tuple(
+            &mut state,
+            &ctx(&catalog, &config, 5),
+            &tuple("R", [7, 9, 0], 5),
+            &key,
+            IndexLevel::Attribute,
+        );
+        let p = pending("SELECT R.B, S.B FROM R, S WHERE R.A = S.A", 2);
+        let actions = handle_index_query(&mut state, &ctx(&catalog, &config, 9), p, &key);
+        assert!(actions.is_empty(), "base algorithm discards attribute-level tuples");
+    }
+
+    #[test]
+    fn windowless_queries_never_expire() {
+        let catalog = catalog();
+        let config = config();
+        let mut state = NodeState::new(Id(1));
+        let key = IndexKey::attribute("R", "A");
+        let p = pending("SELECT R.B, S.B FROM R, S WHERE R.A = S.A", 0);
+        handle_index_query(&mut state, &ctx(&catalog, &config, 0), p, &key);
+        // Even a very late tuple triggers the (windowless) input query.
+        let actions = handle_new_tuple(
+            &mut state,
+            &ctx(&catalog, &config, 1_000_000),
+            &tuple("R", [1, 2, 3], 1_000_000),
+            &key,
+            IndexLevel::Attribute,
+        );
+        assert_eq!(actions.len(), 1);
+        assert_eq!(state.stored_query_count(), 1);
+    }
+}

@@ -1,0 +1,117 @@
+//! Aggregated statistics of an engine run, in the units the paper reports.
+
+use rjoin_metrics::Distribution;
+use serde::{Deserialize, Serialize};
+
+/// A snapshot of the metrics the paper's figures are built from.
+///
+/// Built by [`RJoinEngine::stats`](crate::RJoinEngine::stats); the benchmark
+/// harness prints selected fields of these snapshots as the rows/series of
+/// each figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentStats {
+    /// Number of nodes in the network.
+    pub nodes: usize,
+    /// Total messages sent (created + routed) across all nodes.
+    pub traffic_total: u64,
+    /// Messages spent requesting/returning RIC information.
+    pub traffic_ric: u64,
+    /// Per-node traffic distribution (messages sent per node).
+    pub traffic_per_node: Distribution,
+    /// Per-node query-processing load distribution.
+    pub qpl: Distribution,
+    /// Total query-processing load.
+    pub qpl_total: u64,
+    /// Per-node (cumulative) storage-load distribution.
+    pub sl: Distribution,
+    /// Total (cumulative) storage load.
+    pub sl_total: u64,
+    /// Per-node *current* storage (stored rewritten queries + tuples right
+    /// now, i.e. after window garbage collection).
+    pub current_storage: Distribution,
+    /// Number of answers delivered to querying nodes.
+    pub answers: u64,
+    /// Number of nodes with non-zero query-processing load.
+    pub qpl_participants: usize,
+    /// Number of nodes with non-zero storage load.
+    pub sl_participants: usize,
+}
+
+impl ExperimentStats {
+    /// Average messages per node (the y-axis of the paper's traffic plots).
+    pub fn traffic_per_node_avg(&self) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            self.traffic_total as f64 / self.nodes as f64
+        }
+    }
+
+    /// Average RIC-request messages per node.
+    pub fn ric_per_node_avg(&self) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            self.traffic_ric as f64 / self.nodes as f64
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "nodes={} traffic={} (ric={}) qpl={} sl={} answers={} qpl_participants={} max_qpl={}",
+            self.nodes,
+            self.traffic_total,
+            self.traffic_ric,
+            self.qpl_total,
+            self.sl_total,
+            self.answers,
+            self.qpl_participants,
+            self.qpl.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentStats {
+        ExperimentStats {
+            nodes: 10,
+            traffic_total: 100,
+            traffic_ric: 20,
+            traffic_per_node: Distribution::from_values([10; 10]),
+            qpl: Distribution::from_values([5, 5, 0, 0, 0, 0, 0, 0, 0, 0]),
+            qpl_total: 10,
+            sl: Distribution::from_values([1; 10]),
+            sl_total: 10,
+            current_storage: Distribution::from_values([1; 10]),
+            answers: 3,
+            qpl_participants: 2,
+            sl_participants: 10,
+        }
+    }
+
+    #[test]
+    fn averages() {
+        let s = sample();
+        assert!((s.traffic_per_node_avg() - 10.0).abs() < 1e-9);
+        assert!((s.ric_per_node_avg() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_mentions_key_numbers() {
+        let s = sample().summary();
+        assert!(s.contains("traffic=100"));
+        assert!(s.contains("answers=3"));
+    }
+
+    #[test]
+    fn zero_nodes_do_not_divide_by_zero() {
+        let mut s = sample();
+        s.nodes = 0;
+        assert_eq!(s.traffic_per_node_avg(), 0.0);
+        assert_eq!(s.ric_per_node_avg(), 0.0);
+    }
+}

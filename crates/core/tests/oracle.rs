@@ -1,0 +1,337 @@
+//! End-to-end correctness tests: the distributed RJoin evaluation is checked
+//! against a brute-force centralized oracle implementing Definition 1 of the
+//! paper (the bag union of the instantaneous query results over tuples
+//! published at or after query submission).
+
+use rjoin_core::{EngineConfig, PlacementStrategy, RJoinEngine};
+use rjoin_query::{Conjunct, JoinQuery, SelectItem};
+use rjoin_relation::{Catalog, Timestamp, Tuple, Value};
+use rjoin_workload::{Scenario, WorkloadSchema};
+
+/// Brute-force evaluation of a multi-way equi-join over a set of published
+/// tuples: every combination of one tuple per `FROM` relation (published at
+/// or after `insert_time`) that satisfies all conjuncts contributes one
+/// answer row.
+fn oracle_answers(
+    catalog: &Catalog,
+    query: &JoinQuery,
+    insert_time: Timestamp,
+    tuples: &[Tuple],
+) -> Vec<Vec<Value>> {
+    let relations = query.relations();
+    let per_relation: Vec<Vec<&Tuple>> = relations
+        .iter()
+        .map(|r| {
+            tuples
+                .iter()
+                .filter(|t| t.relation() == r && t.pub_time() >= insert_time)
+                .collect()
+        })
+        .collect();
+
+    let mut results = Vec::new();
+    let mut indices = vec![0usize; relations.len()];
+    if per_relation.iter().any(|v| v.is_empty()) {
+        return results;
+    }
+    loop {
+        let combo: Vec<&Tuple> = indices.iter().zip(&per_relation).map(|(&i, v)| v[i]).collect();
+        if satisfies(catalog, query, relations, &combo) {
+            results.push(project(catalog, query, relations, &combo));
+        }
+        // Advance the mixed-radix counter.
+        let mut pos = 0;
+        loop {
+            indices[pos] += 1;
+            if indices[pos] < per_relation[pos].len() {
+                break;
+            }
+            indices[pos] = 0;
+            pos += 1;
+            if pos == relations.len() {
+                return results;
+            }
+        }
+    }
+}
+
+fn attr_value<'a>(
+    catalog: &Catalog,
+    relations: &[String],
+    combo: &[&'a Tuple],
+    relation: &str,
+    attribute: &str,
+) -> Option<&'a Value> {
+    let idx = relations.iter().position(|r| r == relation)?;
+    let schema = catalog.schema(relation)?;
+    combo[idx].value(schema.index_of(attribute)?)
+}
+
+fn satisfies(catalog: &Catalog, query: &JoinQuery, relations: &[String], combo: &[&Tuple]) -> bool {
+    query.conjuncts().iter().all(|conjunct| match conjunct {
+        Conjunct::JoinEq(a, b) => {
+            attr_value(catalog, relations, combo, &a.relation, &a.attribute)
+                == attr_value(catalog, relations, combo, &b.relation, &b.attribute)
+        }
+        Conjunct::ConstEq(a, v) => {
+            attr_value(catalog, relations, combo, &a.relation, &a.attribute) == Some(v)
+        }
+    })
+}
+
+fn project(
+    catalog: &Catalog,
+    query: &JoinQuery,
+    relations: &[String],
+    combo: &[&Tuple],
+) -> Vec<Value> {
+    query
+        .select()
+        .iter()
+        .map(|item| match item {
+            SelectItem::Const(v) => v.clone(),
+            SelectItem::Attr(a) => attr_value(catalog, relations, combo, &a.relation, &a.attribute)
+                .cloned()
+                .expect("valid queries only reference existing attributes"),
+        })
+        .collect()
+}
+
+fn sorted(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+    rows.sort();
+    rows
+}
+
+/// Runs a scenario through the engine and returns (engine, query ids,
+/// queries, tuples).
+fn run_scenario(
+    config: EngineConfig,
+    scenario: &Scenario,
+) -> (RJoinEngine, Vec<rjoin_core::QueryId>, Vec<JoinQuery>, Vec<Tuple>) {
+    let schema = scenario.workload_schema();
+    let catalog = schema.build_catalog();
+    let mut engine = RJoinEngine::new(config, catalog, scenario.nodes);
+    let origins: Vec<_> = engine.node_ids().to_vec();
+
+    let queries = scenario.generate_queries();
+    let mut qids = Vec::with_capacity(queries.len());
+    for (i, q) in queries.iter().enumerate() {
+        let origin = origins[i % origins.len()];
+        qids.push(engine.submit_query(origin, q.clone()).unwrap());
+    }
+    engine.run_until_quiescent().unwrap();
+
+    let tuples = scenario.generate_tuples(engine.now() + 1);
+    for (i, t) in tuples.iter().enumerate() {
+        let origin = origins[i % origins.len()];
+        engine.publish_tuple(origin, t.clone()).unwrap();
+    }
+    engine.run_until_quiescent().unwrap();
+    (engine, qids, queries, tuples)
+}
+
+fn small_scenario(joins: usize, queries: usize, tuples: usize) -> Scenario {
+    Scenario {
+        nodes: 24,
+        queries,
+        tuples,
+        joins,
+        theta: 0.9,
+        relations: 6,
+        attributes: 4,
+        domain: 8,
+        ..Scenario::small_test()
+    }
+}
+
+/// With value-level placement of rewritten queries (the Section 3 base
+/// algorithm) and no windows, RJoin must produce *exactly* the bag of
+/// answers of the centralized oracle: no answer lost, no duplicate added
+/// (Theorems 1 and 2).
+#[test]
+fn matches_oracle_exactly_two_way() {
+    let scenario = small_scenario(1, 30, 60);
+    let config = EngineConfig::default().with_value_level_rewrites();
+    let (engine, qids, queries, tuples) = run_scenario(config, &scenario);
+    let catalog = scenario.workload_schema().build_catalog();
+
+    let mut total_expected = 0usize;
+    for (qid, query) in qids.iter().zip(&queries) {
+        let expected = sorted(oracle_answers(&catalog, query, 0, &tuples));
+        let actual = sorted(engine.answers().rows_for(*qid));
+        assert_eq!(actual, expected, "query {qid} answers diverge from the oracle");
+        total_expected += expected.len();
+    }
+    assert!(total_expected > 0, "the workload should produce at least one answer");
+}
+
+#[test]
+fn matches_oracle_exactly_three_way() {
+    let scenario = small_scenario(2, 20, 50);
+    let config = EngineConfig::default().with_value_level_rewrites();
+    let (engine, qids, queries, tuples) = run_scenario(config, &scenario);
+    let catalog = scenario.workload_schema().build_catalog();
+
+    let mut produced = 0usize;
+    for (qid, query) in qids.iter().zip(&queries) {
+        let expected = sorted(oracle_answers(&catalog, query, 0, &tuples));
+        let actual = sorted(engine.answers().rows_for(*qid));
+        assert_eq!(actual, expected, "query {qid} answers diverge from the oracle");
+        produced += expected.len();
+    }
+    assert!(produced > 0, "the workload should produce at least one answer");
+}
+
+#[test]
+fn matches_oracle_exactly_four_way() {
+    let scenario = small_scenario(3, 12, 48);
+    let config = EngineConfig::default().with_value_level_rewrites();
+    let (engine, qids, queries, tuples) = run_scenario(config, &scenario);
+    let catalog = scenario.workload_schema().build_catalog();
+
+    for (qid, query) in qids.iter().zip(&queries) {
+        let expected = sorted(oracle_answers(&catalog, query, 0, &tuples));
+        let actual = sorted(engine.answers().rows_for(*qid));
+        assert_eq!(actual, expected, "query {qid} answers diverge from the oracle");
+    }
+}
+
+/// Soundness holds for every placement strategy: every answer RJoin delivers
+/// is an answer the oracle also derives (Theorem 2 additionally rules out
+/// accidental duplicates, which we check via multiset inclusion).
+#[test]
+fn sound_and_duplicate_free_under_all_strategies() {
+    for placement in [
+        PlacementStrategy::RicAware,
+        PlacementStrategy::Random,
+        PlacementStrategy::Worst,
+        PlacementStrategy::FirstInClause,
+    ] {
+        let scenario = small_scenario(2, 15, 40);
+        let config = EngineConfig::with_placement(placement);
+        let (engine, qids, queries, tuples) = run_scenario(config, &scenario);
+        let catalog = scenario.workload_schema().build_catalog();
+
+        for (qid, query) in qids.iter().zip(&queries) {
+            let mut expected = sorted(oracle_answers(&catalog, query, 0, &tuples));
+            let actual = sorted(engine.answers().rows_for(*qid));
+            // Multiset inclusion: every delivered row consumes one oracle row.
+            for row in &actual {
+                let pos = expected
+                    .iter()
+                    .position(|e| e == row)
+                    .unwrap_or_else(|| panic!("unsound or duplicate answer {row:?} ({placement:?})"));
+                expected.remove(pos);
+            }
+        }
+    }
+}
+
+/// Tuples published *before* a query is submitted must not contribute to its
+/// answers (Definition 1).
+#[test]
+fn earlier_tuples_do_not_count() {
+    let schema = WorkloadSchema::new(4, 3, 5);
+    let catalog = schema.build_catalog();
+    let config = EngineConfig::default().with_value_level_rewrites();
+    let mut engine = RJoinEngine::new(config, catalog.clone(), 16);
+    let origin = engine.node_ids()[0];
+
+    // Publish a batch of tuples first.
+    let mut gen = rjoin_workload::TupleGenerator::new(schema.clone(), 0.9, 3);
+    let early = gen.generate_batch(30, 1);
+    for t in &early {
+        engine.publish_tuple(origin, t.clone()).unwrap();
+    }
+    engine.run_until_quiescent().unwrap();
+
+    // Now submit queries, then publish a second batch.
+    let mut qgen = rjoin_workload::QueryGenerator::new(schema.clone(), 2, 5);
+    let queries = qgen.generate_batch(10);
+    let mut qids = Vec::new();
+    let submit_time = engine.now();
+    for q in &queries {
+        qids.push(engine.submit_query(origin, q.clone()).unwrap());
+    }
+    engine.run_until_quiescent().unwrap();
+
+    let late = gen.generate_batch(30, engine.now() + 1);
+    for t in &late {
+        engine.publish_tuple(origin, t.clone()).unwrap();
+    }
+    engine.run_until_quiescent().unwrap();
+
+    // The oracle only sees the late tuples (those published after submission).
+    for (qid, query) in qids.iter().zip(&queries) {
+        let expected = sorted(oracle_answers(&catalog, query, submit_time, &late));
+        let actual = sorted(engine.answers().rows_for(*qid));
+        assert_eq!(actual, expected, "query {qid} must ignore pre-submission tuples");
+    }
+}
+
+/// DISTINCT queries deliver set semantics: no repeated rows, and the set of
+/// rows matches the oracle's set.
+#[test]
+fn distinct_queries_deliver_set_semantics() {
+    let mut scenario = small_scenario(1, 20, 60);
+    scenario.distinct = true;
+    // A tiny domain maximises the chance of duplicate joins.
+    scenario.domain = 3;
+    let config = EngineConfig::default().with_value_level_rewrites();
+    let (engine, qids, queries, tuples) = run_scenario(config, &scenario);
+    let catalog = scenario.workload_schema().build_catalog();
+
+    let mut any_duplicates_avoided = false;
+    for (qid, query) in qids.iter().zip(&queries) {
+        let actual = engine.answers().rows_for(*qid);
+        assert!(
+            !engine.answers().has_duplicate_rows(*qid),
+            "DISTINCT query {qid} received duplicate rows"
+        );
+        let expected_bag = oracle_answers(&catalog, query, 0, &tuples);
+        let mut expected_set = sorted(expected_bag.clone());
+        expected_set.dedup();
+        if expected_bag.len() > expected_set.len() {
+            any_duplicates_avoided = true;
+        }
+        // Every delivered row is a valid answer.
+        for row in &actual {
+            assert!(expected_set.contains(row), "unsound DISTINCT answer {row:?}");
+        }
+    }
+    assert!(
+        any_duplicates_avoided,
+        "the workload should contain at least one potential duplicate"
+    );
+}
+
+/// The ALTT extension recovers answers that would otherwise be lost when an
+/// input query is delayed behind a tuple that should trigger it (Example 1 /
+/// Theorem 1).
+#[test]
+fn altt_recovers_from_message_delays() {
+    let schema = WorkloadSchema::new(3, 3, 4);
+    let catalog = schema.build_catalog();
+
+    let run = |altt: Option<u64>| -> usize {
+        let mut config = EngineConfig::default().with_value_level_rewrites().with_delay(5);
+        config.altt_delta = altt;
+        let mut engine = RJoinEngine::new(config, catalog.clone(), 12);
+        let origin = engine.node_ids()[0];
+        // Publish the tuple and submit the query in the same tick: both are
+        // in flight together and the tuple is processed first (it was sent
+        // first), recreating the race of Example 1.
+        let tuple_r = Tuple::new("R0", vec![Value::from(1), Value::from(2), Value::from(3)], 0);
+        let tuple_s = Tuple::new("R1", vec![Value::from(1), Value::from(7), Value::from(9)], 0);
+        engine.publish_tuple(origin, tuple_r).unwrap();
+        engine.publish_tuple(origin, tuple_s).unwrap();
+        let q = rjoin_query::parse_query("SELECT R0.A1, R1.A1 FROM R0, R1 WHERE R0.A0 = R1.A0")
+            .unwrap();
+        let qid = engine.submit_query(origin, q).unwrap();
+        engine.run_until_quiescent().unwrap();
+        engine.answers().count_for(qid)
+    };
+
+    assert_eq!(run(None), 0, "without the ALTT the racing answer is lost");
+    assert_eq!(run(Some(1000)), 1, "with the ALTT the answer is recovered");
+}

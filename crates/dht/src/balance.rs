@@ -1,0 +1,208 @@
+//! Identifier-movement load balancing (Karger & Ruhl, SPAA'04).
+//!
+//! The RJoin paper's Figure 9 experiment plugs the low-level load-balancing
+//! technique of [19] under RJoin: a node may change its position on the
+//! identifier circle, thereby choosing which identifiers it is responsible
+//! for. This module implements the simulation-side version of that idea:
+//! given the observed load contributed by each *key*, it repeatedly moves
+//! the least-loaded node so that it splits the arc of the most-loaded node
+//! in half (by load, not by identifier span).
+
+use crate::{ChordNetwork, DhtError, Id};
+use std::collections::BTreeMap;
+
+/// A single identifier movement performed by [`rebalance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Movement {
+    /// The node's identifier before the move.
+    pub from: Id,
+    /// The node's identifier after the move.
+    pub to: Id,
+}
+
+/// Aggregates per-key loads into per-node loads according to current ring
+/// ownership.
+pub fn node_loads(
+    network: &ChordNetwork,
+    key_loads: &BTreeMap<Id, u64>,
+) -> Result<BTreeMap<Id, u64>, DhtError> {
+    let mut loads: BTreeMap<Id, u64> = network.node_ids().map(|id| (id, 0)).collect();
+    for (&key, &load) in key_loads {
+        let owner = network.successor_of(key)?;
+        *loads.entry(owner).or_insert(0) += load;
+    }
+    Ok(loads)
+}
+
+/// Finds the identifier at which a new node should be placed so that it
+/// takes over (roughly) half of `heavy`'s load. Returns `None` if the heavy
+/// node owns fewer than two loaded keys (a single hot key cannot be split by
+/// moving identifiers).
+fn split_point(
+    network: &ChordNetwork,
+    key_loads: &BTreeMap<Id, u64>,
+    heavy: Id,
+) -> Option<Id> {
+    // Collect the heavy node's keys ordered clockwise from its predecessor.
+    let pred = network.predecessor_of(heavy).ok()?;
+    let mut owned: Vec<(Id, u64)> = key_loads
+        .iter()
+        .filter(|(k, load)| {
+            **load > 0
+                && network.successor_of(**k).map(|o| o == heavy).unwrap_or(false)
+        })
+        .map(|(k, l)| (*k, *l))
+        .collect();
+    if owned.len() < 2 {
+        return None;
+    }
+    // Sort by clockwise distance from the predecessor so prefix sums follow
+    // ring order within the arc (pred, heavy].
+    owned.sort_by_key(|(k, _)| pred.distance_to(*k));
+    let total: u64 = owned.iter().map(|(_, l)| l).sum();
+    let mut acc = 0u64;
+    for (key, load) in &owned[..owned.len() - 1] {
+        acc += load;
+        if acc * 2 >= total {
+            return Some(*key);
+        }
+    }
+    // Fall back to the penultimate key: the new node takes everything but
+    // the last key.
+    owned.get(owned.len() - 2).map(|(k, _)| *k)
+}
+
+/// Performs up to `max_moves` identifier movements, each time moving the
+/// currently least-loaded node so that it splits the load of the currently
+/// most-loaded node. Loads are recomputed after every move. Returns the
+/// movements actually performed.
+///
+/// The network is left fully stabilized.
+pub fn rebalance(
+    network: &mut ChordNetwork,
+    key_loads: &BTreeMap<Id, u64>,
+    max_moves: usize,
+) -> Result<Vec<Movement>, DhtError> {
+    let mut movements = Vec::new();
+    for _ in 0..max_moves {
+        let loads = node_loads(network, key_loads)?;
+        if loads.len() < 3 {
+            break;
+        }
+        let (&heavy, &heavy_load) =
+            loads.iter().max_by_key(|(_, l)| **l).expect("non-empty loads");
+        let (&light, &light_load) =
+            loads.iter().min_by_key(|(_, l)| **l).expect("non-empty loads");
+        if heavy == light || heavy_load == 0 {
+            break;
+        }
+        // Moving only pays off if the light node is carrying much less than
+        // half of what the heavy node carries (Karger-Ruhl's ε-balance
+        // condition, with ε = 1/4).
+        if light_load * 4 > heavy_load {
+            break;
+        }
+        let Some(split) = split_point(network, key_loads, heavy) else {
+            break;
+        };
+        if network.contains(split) || split == light {
+            break;
+        }
+        network.move_node(light, split)?;
+        movements.push(Movement { from: light, to: split });
+    }
+    network.full_stabilize();
+    Ok(movements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(n: usize) -> ChordNetwork {
+        let mut net = ChordNetwork::new(4);
+        for i in 0..n {
+            net.join(Id::hash_key(&format!("balance-node-{i}"))).unwrap();
+        }
+        net.full_stabilize();
+        net
+    }
+
+    fn skewed_key_loads(net: &ChordNetwork, keys: usize) -> BTreeMap<Id, u64> {
+        // Give every key load 1, except keys owned by one specific node,
+        // which get load 50 each — creating a clear hotspot.
+        let hot_owner = net.node_ids().nth(2).unwrap();
+        let mut loads = BTreeMap::new();
+        for i in 0..keys {
+            let key = Id::hash_key(&format!("load-key-{i}"));
+            let load = if net.successor_of(key).unwrap() == hot_owner { 50 } else { 1 };
+            loads.insert(key, load);
+        }
+        loads
+    }
+
+    #[test]
+    fn node_loads_sum_matches_key_loads() {
+        let net = build(16);
+        let key_loads = skewed_key_loads(&net, 200);
+        let loads = node_loads(&net, &key_loads).unwrap();
+        assert_eq!(
+            loads.values().sum::<u64>(),
+            key_loads.values().sum::<u64>()
+        );
+        assert_eq!(loads.len(), 16);
+    }
+
+    #[test]
+    fn rebalance_reduces_maximum_load() {
+        let mut net = build(32);
+        let key_loads = skewed_key_loads(&net, 400);
+        let before = node_loads(&net, &key_loads).unwrap();
+        let max_before = *before.values().max().unwrap();
+
+        let movements = rebalance(&mut net, &key_loads, 8).unwrap();
+        assert!(!movements.is_empty(), "expected at least one movement");
+
+        let after = node_loads(&net, &key_loads).unwrap();
+        let max_after = *after.values().max().unwrap();
+        assert!(
+            max_after < max_before,
+            "max load should drop: before {max_before}, after {max_after}"
+        );
+        // Total load is preserved.
+        assert_eq!(
+            before.values().sum::<u64>(),
+            after.values().sum::<u64>()
+        );
+        // The ring still has the same number of nodes.
+        assert_eq!(net.len(), 32);
+    }
+
+    #[test]
+    fn rebalance_is_a_noop_on_uniform_load() {
+        let mut net = build(16);
+        let mut key_loads = BTreeMap::new();
+        for i in 0..160 {
+            key_loads.insert(Id::hash_key(&format!("uniform-{i}")), 1u64);
+        }
+        // With near-uniform load the ε-balance condition prevents movement
+        // churn (some movement may still happen if hashing is unlucky, but
+        // the ring size must be preserved and lookups must stay correct).
+        let _ = rebalance(&mut net, &key_loads, 4).unwrap();
+        assert_eq!(net.len(), 16);
+        let from = net.node_ids().next().unwrap();
+        let key = Id::hash_key("sanity");
+        assert_eq!(net.lookup(from, key).unwrap().owner, net.successor_of(key).unwrap());
+    }
+
+    #[test]
+    fn rebalance_with_single_hot_key_does_not_loop() {
+        let mut net = build(8);
+        let mut key_loads = BTreeMap::new();
+        key_loads.insert(Id::hash_key("the-one-hot-key"), 1000u64);
+        let movements = rebalance(&mut net, &key_loads, 10).unwrap();
+        // A single hot key cannot be split, so no movement should occur.
+        assert!(movements.is_empty());
+        assert_eq!(net.len(), 8);
+    }
+}

@@ -1,0 +1,56 @@
+//! Error types for the Chord simulation.
+
+use crate::Id;
+use std::fmt;
+
+/// Errors raised by the Chord network simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DhtError {
+    /// A node with the given identifier is already part of the ring.
+    NodeExists {
+        /// The duplicate identifier.
+        id: Id,
+    },
+    /// The referenced node is not part of the ring.
+    UnknownNode {
+        /// The missing identifier.
+        id: Id,
+    },
+    /// An operation requires a non-empty ring.
+    EmptyRing,
+    /// A lookup could not make progress (can only happen if routing state is
+    /// badly broken, e.g. after massive simultaneous failures without
+    /// stabilization).
+    LookupStuck {
+        /// The node at which the lookup got stuck.
+        at: Id,
+        /// The key being looked up.
+        key: Id,
+    },
+}
+
+impl fmt::Display for DhtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DhtError::NodeExists { id } => write!(f, "node {id} already exists in the ring"),
+            DhtError::UnknownNode { id } => write!(f, "node {id} is not part of the ring"),
+            DhtError::EmptyRing => write!(f, "the ring has no nodes"),
+            DhtError::LookupStuck { at, key } => {
+                write!(f, "lookup for key {key} made no progress at node {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DhtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_ids() {
+        let err = DhtError::UnknownNode { id: Id(0xabc) };
+        assert!(err.to_string().contains("0000000000000abc"));
+    }
+}

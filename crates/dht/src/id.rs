@@ -1,0 +1,158 @@
+//! Identifiers on the Chord ring.
+
+use crate::sha1::sha1;
+use crate::ID_BITS;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 64-bit identifier on the Chord ring.
+///
+/// Node identifiers and item (key) identifiers share the same space; an item
+/// with identifier `k` is owned by `Successor(k)`, the first node whose
+/// identifier is equal to or follows `k` clockwise (Section 2 of the paper).
+///
+/// Identifiers are produced by hashing textual keys with SHA-1 and keeping
+/// the first 8 bytes (big-endian). With 10^3 nodes and ~10^5 distinct keys,
+/// the collision probability in a 2^64 space is negligible, so the
+/// truncation preserves the behaviour the paper relies on.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct Id(pub u64);
+
+impl Id {
+    /// Hashes a textual key onto the identifier ring.
+    pub fn hash_key(key: &str) -> Id {
+        let digest = sha1(key.as_bytes());
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(&digest[..8]);
+        Id(u64::from_be_bytes(bytes))
+    }
+
+    /// Hashes arbitrary bytes onto the identifier ring.
+    pub fn hash_bytes(data: &[u8]) -> Id {
+        let digest = sha1(data);
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(&digest[..8]);
+        Id(u64::from_be_bytes(bytes))
+    }
+
+    /// The identifier `self + 2^k (mod 2^m)`, i.e. the start of the `k`-th
+    /// finger interval.
+    pub fn finger_start(&self, k: u32) -> Id {
+        debug_assert!(k < ID_BITS);
+        Id(self.0.wrapping_add(1u64 << k))
+    }
+
+    /// Clockwise distance from `self` to `other` on the ring.
+    pub fn distance_to(&self, other: Id) -> u64 {
+        other.0.wrapping_sub(self.0)
+    }
+
+    /// Whether `self` lies in the *open* interval `(from, to)` on the ring
+    /// (clockwise). The interval wraps around zero when `to <= from`; the
+    /// degenerate interval `(x, x)` denotes the whole ring minus `x`.
+    pub fn in_open_interval(&self, from: Id, to: Id) -> bool {
+        if from == to {
+            return *self != from;
+        }
+        from.distance_to(*self) > 0 && from.distance_to(*self) < from.distance_to(to)
+    }
+
+    /// Whether `self` lies in the half-open interval `(from, to]` on the
+    /// ring (clockwise). The degenerate interval `(x, x]` denotes the whole
+    /// ring (every identifier is a successor candidate when a single node is
+    /// present).
+    pub fn in_open_closed_interval(&self, from: Id, to: Id) -> bool {
+        if from == to {
+            return true;
+        }
+        from.distance_to(*self) > 0 && from.distance_to(*self) <= from.distance_to(to)
+    }
+}
+
+impl fmt::Display for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl From<u64> for Id {
+    fn from(v: u64) -> Self {
+        Id(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_spread() {
+        let a = Id::hash_key("R+A");
+        let b = Id::hash_key("R+A");
+        let c = Id::hash_key("R+B");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn hash_bytes_matches_hash_key_for_utf8() {
+        assert_eq!(Id::hash_key("abc"), Id::hash_bytes(b"abc"));
+    }
+
+    #[test]
+    fn finger_start_wraps() {
+        let id = Id(u64::MAX);
+        assert_eq!(id.finger_start(0), Id(0));
+        assert_eq!(Id(0).finger_start(3), Id(8));
+    }
+
+    #[test]
+    fn distance_is_clockwise() {
+        assert_eq!(Id(10).distance_to(Id(15)), 5);
+        assert_eq!(Id(15).distance_to(Id(10)), u64::MAX - 4);
+        assert_eq!(Id(7).distance_to(Id(7)), 0);
+    }
+
+    #[test]
+    fn open_interval_without_wrap() {
+        assert!(Id(5).in_open_interval(Id(1), Id(10)));
+        assert!(!Id(1).in_open_interval(Id(1), Id(10)));
+        assert!(!Id(10).in_open_interval(Id(1), Id(10)));
+        assert!(!Id(11).in_open_interval(Id(1), Id(10)));
+    }
+
+    #[test]
+    fn open_interval_with_wrap() {
+        // Interval (u64::MAX - 5, 5) wraps through zero.
+        let from = Id(u64::MAX - 5);
+        let to = Id(5);
+        assert!(Id(0).in_open_interval(from, to));
+        assert!(Id(u64::MAX).in_open_interval(from, to));
+        assert!(!Id(6).in_open_interval(from, to));
+        assert!(!Id(u64::MAX - 5).in_open_interval(from, to));
+    }
+
+    #[test]
+    fn open_closed_interval_contains_upper_bound() {
+        assert!(Id(10).in_open_closed_interval(Id(1), Id(10)));
+        assert!(!Id(1).in_open_closed_interval(Id(1), Id(10)));
+        assert!(Id(2).in_open_closed_interval(Id(1), Id(10)));
+        assert!(!Id(11).in_open_closed_interval(Id(1), Id(10)));
+    }
+
+    #[test]
+    fn degenerate_intervals() {
+        // (x, x) is the whole ring minus x; (x, x] is the whole ring.
+        assert!(Id(3).in_open_interval(Id(7), Id(7)));
+        assert!(!Id(7).in_open_interval(Id(7), Id(7)));
+        assert!(Id(7).in_open_closed_interval(Id(7), Id(7)));
+        assert!(Id(3).in_open_closed_interval(Id(7), Id(7)));
+    }
+
+    #[test]
+    fn display_is_fixed_width_hex() {
+        assert_eq!(Id(0xff).to_string(), "00000000000000ff");
+    }
+}

@@ -1,0 +1,267 @@
+//! Per-node Chord routing state.
+
+use crate::{Id, ID_BITS};
+use serde::{Deserialize, Serialize};
+
+/// Length of the successor list each node maintains for fault tolerance.
+///
+/// The Chord paper recommends `O(log N)` entries; 8 is ample for the
+/// 10^3-node networks used in the RJoin experiments.
+pub const SUCCESSOR_LIST_LEN: usize = 8;
+
+/// The finger table of a Chord node: entry `k` points to
+/// `Successor(n + 2^k)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FingerTable {
+    entries: Vec<Option<Id>>,
+}
+
+impl FingerTable {
+    /// Creates an empty finger table with [`ID_BITS`] entries.
+    pub fn new() -> Self {
+        FingerTable { entries: vec![None; ID_BITS as usize] }
+    }
+
+    /// Number of entries (always [`ID_BITS`]).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no finger has been set yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.iter().all(Option::is_none)
+    }
+
+    /// The `k`-th finger, if known.
+    pub fn get(&self, k: usize) -> Option<Id> {
+        self.entries.get(k).copied().flatten()
+    }
+
+    /// Sets the `k`-th finger.
+    pub fn set(&mut self, k: usize, target: Option<Id>) {
+        if k < self.entries.len() {
+            self.entries[k] = target;
+        }
+    }
+
+    /// Removes every finger pointing at `dead` (used when a node failure is
+    /// detected).
+    pub fn clear_references_to(&mut self, dead: Id) {
+        for entry in &mut self.entries {
+            if *entry == Some(dead) {
+                *entry = None;
+            }
+        }
+    }
+
+    /// Iterates over the set fingers from the *highest* index down, which is
+    /// the order `closest_preceding_finger` scans them.
+    pub fn iter_desc(&self) -> impl Iterator<Item = (usize, Id)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .rev()
+            .filter_map(|(k, entry)| entry.map(|id| (k, id)))
+    }
+}
+
+impl Default for FingerTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Routing state of a single Chord node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChordNode {
+    /// The node's identifier (its position on the ring).
+    id: Id,
+    /// Immediate successors, closest first. The first entry is *the*
+    /// successor used for ownership decisions.
+    successors: Vec<Id>,
+    /// The predecessor, if known.
+    predecessor: Option<Id>,
+    /// The finger table.
+    fingers: FingerTable,
+    /// Index of the next finger to refresh in `fix_fingers` (round-robin, as
+    /// in the Chord paper's periodic maintenance).
+    next_finger: u32,
+}
+
+impl ChordNode {
+    /// Creates a node that only knows about itself (a one-node ring).
+    pub fn new(id: Id) -> Self {
+        ChordNode {
+            id,
+            successors: vec![id],
+            predecessor: None,
+            fingers: FingerTable::new(),
+            next_finger: 0,
+        }
+    }
+
+    /// The node's identifier.
+    pub fn id(&self) -> Id {
+        self.id
+    }
+
+    /// The node's current successor (itself on a one-node ring).
+    pub fn successor(&self) -> Id {
+        self.successors.first().copied().unwrap_or(self.id)
+    }
+
+    /// The full successor list, closest first.
+    pub fn successor_list(&self) -> &[Id] {
+        &self.successors
+    }
+
+    /// The node's predecessor, if known.
+    pub fn predecessor(&self) -> Option<Id> {
+        self.predecessor
+    }
+
+    /// Sets the predecessor pointer.
+    pub fn set_predecessor(&mut self, pred: Option<Id>) {
+        self.predecessor = pred;
+    }
+
+    /// Replaces the successor list (keeps at most [`SUCCESSOR_LIST_LEN`]
+    /// entries and always keeps the list non-empty by falling back to the
+    /// node itself).
+    pub fn set_successors(&mut self, mut successors: Vec<Id>) {
+        successors.dedup();
+        successors.truncate(SUCCESSOR_LIST_LEN);
+        if successors.is_empty() {
+            successors.push(self.id);
+        }
+        self.successors = successors;
+    }
+
+    /// Removes a failed node from the successor list and predecessor/finger
+    /// pointers.
+    pub fn forget(&mut self, dead: Id) {
+        self.successors.retain(|s| *s != dead);
+        if self.successors.is_empty() {
+            self.successors.push(self.id);
+        }
+        if self.predecessor == Some(dead) {
+            self.predecessor = None;
+        }
+        self.fingers.clear_references_to(dead);
+    }
+
+    /// Read access to the finger table.
+    pub fn fingers(&self) -> &FingerTable {
+        &self.fingers
+    }
+
+    /// Write access to the finger table.
+    pub fn fingers_mut(&mut self) -> &mut FingerTable {
+        &mut self.fingers
+    }
+
+    /// Index of the next finger to refresh; advances round-robin.
+    pub fn take_next_finger(&mut self) -> u32 {
+        let k = self.next_finger;
+        self.next_finger = (self.next_finger + 1) % ID_BITS;
+        k
+    }
+
+    /// The closest node preceding `key` among this node's fingers and
+    /// successor, per the Chord routing rule. Returns `None` if no known
+    /// node strictly precedes `key` (the caller then falls back to the
+    /// successor).
+    pub fn closest_preceding_node(&self, key: Id) -> Option<Id> {
+        for (_, finger) in self.fingers.iter_desc() {
+            if finger.in_open_interval(self.id, key) {
+                return Some(finger);
+            }
+        }
+        // Also consider the successor list: right after a join or failure
+        // the finger table may not mention the immediate successor yet.
+        for s in &self.successors {
+            if s.in_open_interval(self.id, key) {
+                return Some(*s);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_node_is_its_own_successor() {
+        let n = ChordNode::new(Id(42));
+        assert_eq!(n.successor(), Id(42));
+        assert_eq!(n.predecessor(), None);
+        assert!(n.fingers().is_empty());
+    }
+
+    #[test]
+    fn successor_list_is_bounded_and_non_empty() {
+        let mut n = ChordNode::new(Id(1));
+        n.set_successors((0..20).map(Id).collect());
+        assert_eq!(n.successor_list().len(), SUCCESSOR_LIST_LEN);
+        n.set_successors(vec![]);
+        assert_eq!(n.successor_list(), &[Id(1)]);
+    }
+
+    #[test]
+    fn forget_removes_dead_node_everywhere() {
+        let mut n = ChordNode::new(Id(1));
+        n.set_successors(vec![Id(5), Id(9)]);
+        n.set_predecessor(Some(Id(5)));
+        n.fingers_mut().set(3, Some(Id(5)));
+        n.forget(Id(5));
+        assert_eq!(n.successor(), Id(9));
+        assert_eq!(n.predecessor(), None);
+        assert_eq!(n.fingers().get(3), None);
+    }
+
+    #[test]
+    fn forget_last_successor_falls_back_to_self() {
+        let mut n = ChordNode::new(Id(1));
+        n.set_successors(vec![Id(5)]);
+        n.forget(Id(5));
+        assert_eq!(n.successor(), Id(1));
+    }
+
+    #[test]
+    fn closest_preceding_node_prefers_far_fingers() {
+        let mut n = ChordNode::new(Id(0));
+        n.set_successors(vec![Id(10)]);
+        n.fingers_mut().set(3, Some(Id(10)));
+        n.fingers_mut().set(10, Some(Id(1000)));
+        // Looking up key 2000: finger 1000 precedes it and is the closest.
+        assert_eq!(n.closest_preceding_node(Id(2000)), Some(Id(1000)));
+        // Looking up key 500: only finger 10 precedes it.
+        assert_eq!(n.closest_preceding_node(Id(500)), Some(Id(10)));
+        // Looking up key 5: nothing precedes it.
+        assert_eq!(n.closest_preceding_node(Id(5)), None);
+    }
+
+    #[test]
+    fn next_finger_round_robin() {
+        let mut n = ChordNode::new(Id(0));
+        assert_eq!(n.take_next_finger(), 0);
+        assert_eq!(n.take_next_finger(), 1);
+        for _ in 2..ID_BITS {
+            n.take_next_finger();
+        }
+        assert_eq!(n.take_next_finger(), 0);
+    }
+
+    #[test]
+    fn finger_table_iter_desc_orders_high_to_low() {
+        let mut ft = FingerTable::new();
+        ft.set(2, Some(Id(4)));
+        ft.set(60, Some(Id(9)));
+        let collected: Vec<(usize, Id)> = ft.iter_desc().collect();
+        assert_eq!(collected, vec![(60, Id(9)), (2, Id(4))]);
+        assert_eq!(ft.len(), ID_BITS as usize);
+        assert!(!ft.is_empty());
+    }
+}

@@ -1,0 +1,209 @@
+//! A from-scratch SHA-1 implementation.
+//!
+//! Chord derives node and key identifiers by hashing keys with a
+//! cryptographic hash function such as SHA-1 (Section 2 of the RJoin paper).
+//! To keep the dependency footprint to the allowed crates we implement SHA-1
+//! here; it is validated against the FIPS 180-1 test vectors. SHA-1 is used
+//! purely for identifier placement (uniformity), not for security.
+
+/// Output size of SHA-1 in bytes.
+pub const DIGEST_LEN: usize = 20;
+
+/// Streaming SHA-1 hasher.
+#[derive(Debug, Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    /// Total message length in bytes.
+    length: u64,
+    buffer: [u8; 64],
+    buffered: usize,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Creates a new hasher with the standard initial state.
+    pub fn new() -> Self {
+        Sha1 {
+            state: [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0],
+            length: 0,
+            buffer: [0u8; 64],
+            buffered: 0,
+        }
+    }
+
+    /// Feeds `data` into the hasher.
+    pub fn update(&mut self, data: &[u8]) {
+        self.length = self.length.wrapping_add(data.len() as u64);
+        let mut input = data;
+        // Fill a partially filled buffer first.
+        if self.buffered > 0 {
+            let take = (64 - self.buffered).min(input.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&input[..take]);
+            self.buffered += take;
+            input = &input[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.process_block(&block);
+                self.buffered = 0;
+            }
+        }
+        // Process full blocks directly from the input.
+        while input.len() >= 64 {
+            let (block, rest) = input.split_at(64);
+            let mut buf = [0u8; 64];
+            buf.copy_from_slice(block);
+            self.process_block(&buf);
+            input = rest;
+        }
+        // Stash the remainder.
+        if !input.is_empty() {
+            self.buffer[..input.len()].copy_from_slice(input);
+            self.buffered = input.len();
+        }
+    }
+
+    /// Finishes the hash and returns the 20-byte digest.
+    pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
+        let bit_len = self.length.wrapping_mul(8);
+        // Append the 0x80 terminator.
+        self.update(&[0x80]);
+        // NB: update() above also bumped self.length, but the final length
+        // field must describe the original message only, so we captured it
+        // before padding.
+        while self.buffered != 56 {
+            self.update(&[0x00]);
+        }
+        // Append the message length in bits, big-endian, without going
+        // through update()'s length accounting (the value is already fixed).
+        let mut block = [0u8; 64];
+        block[..56].copy_from_slice(&self.buffer[..56]);
+        block[56..].copy_from_slice(&bit_len.to_be_bytes());
+        self.process_block(&block);
+
+        let mut digest = [0u8; DIGEST_LEN];
+        for (i, word) in self.state.iter().enumerate() {
+            digest[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        digest
+    }
+
+    fn process_block(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &word) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+                _ => (b ^ c ^ d, 0xCA62_C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(word);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+/// One-shot SHA-1 of `data`.
+pub fn sha1(data: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut hasher = Sha1::new();
+    hasher.update(data);
+    hasher.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(digest: &[u8; DIGEST_LEN]) -> String {
+        digest.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn fips_vector_abc() {
+        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    }
+
+    #[test]
+    fn fips_vector_two_blocks() {
+        assert_eq!(
+            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn empty_message() {
+        assert_eq!(hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn million_a() {
+        let mut hasher = Sha1::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            hasher.update(&chunk);
+        }
+        assert_eq!(hex(&hasher.finalize()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog, repeatedly and at length";
+        let one_shot = sha1(data);
+        // Feed in awkward chunk sizes to exercise buffering paths.
+        for chunk_size in [1, 3, 7, 13, 63, 64, 65] {
+            let mut hasher = Sha1::new();
+            for chunk in data.chunks(chunk_size) {
+                hasher.update(chunk);
+            }
+            assert_eq!(hasher.finalize(), one_shot, "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn messages_around_block_boundary() {
+        // Lengths 55..=66 exercise the padding edge cases: the digest must be
+        // stable under chunked feeding and distinct across lengths.
+        let mut digests = Vec::new();
+        for len in 55usize..=66 {
+            let data = vec![b'x'; len];
+            let one_shot = sha1(&data);
+            let mut hasher = Sha1::new();
+            for chunk in data.chunks(5) {
+                hasher.update(chunk);
+            }
+            assert_eq!(hasher.finalize(), one_shot, "length {len}");
+            digests.push(one_shot);
+        }
+        digests.sort();
+        digests.dedup();
+        assert_eq!(digests.len(), 12, "digests for different lengths must differ");
+    }
+}

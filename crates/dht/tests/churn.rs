@@ -1,0 +1,110 @@
+//! Churn stress tests: the ring keeps answering lookups correctly while
+//! nodes join, leave and crash, provided stabilization keeps running — the
+//! operating regime the RJoin paper assumes from the Chord layer.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rjoin_dht::{ChordNetwork, Id, ID_BITS};
+
+fn fresh_ring(n: usize, label: &str) -> ChordNetwork {
+    let mut net = ChordNetwork::new(8);
+    for i in 0..n {
+        net.join(Id::hash_key(&format!("{label}-{i}"))).unwrap();
+    }
+    net.full_stabilize();
+    net
+}
+
+/// Interleaves joins, graceful leaves, crashes, stabilization rounds and
+/// lookups; every lookup must return the ground-truth owner.
+#[test]
+fn lookups_stay_correct_under_interleaved_churn() {
+    let mut net = fresh_ring(64, "churn-base");
+    let mut rng = StdRng::seed_from_u64(2008);
+    let mut next_node = 0usize;
+
+    for round in 0..60 {
+        // One membership change per round.
+        match rng.gen_range(0..3) {
+            0 => {
+                let id = Id::hash_key(&format!("churn-new-{next_node}"));
+                next_node += 1;
+                let _ = net.join(id);
+            }
+            1 => {
+                if net.len() > 8 {
+                    let victims: Vec<Id> = net.node_ids().collect();
+                    let victim = victims[rng.gen_range(0..victims.len())];
+                    net.leave(victim).unwrap();
+                }
+            }
+            _ => {
+                if net.len() > 8 {
+                    let victims: Vec<Id> = net.node_ids().collect();
+                    let victim = victims[rng.gen_range(0..victims.len())];
+                    net.fail(victim).unwrap();
+                }
+            }
+        }
+        // A few stabilization rounds, as the periodic protocol would run.
+        for _ in 0..4 {
+            net.stabilize_round();
+        }
+        // Lookups from random live nodes must return the true successor.
+        let members: Vec<Id> = net.node_ids().collect();
+        for probe in 0..5 {
+            let from = members[rng.gen_range(0..members.len())];
+            let key = Id::hash_key(&format!("churn-key-{round}-{probe}"));
+            let expected = net.successor_of(key).unwrap();
+            let result = net.lookup(from, key).unwrap();
+            assert_eq!(result.owner, expected, "round {round}, probe {probe}");
+        }
+    }
+    assert!(net.len() >= 8);
+}
+
+/// After a burst of simultaneous crashes (within the successor-list bound),
+/// enough stabilization rounds restore both correctness and logarithmic
+/// routing.
+#[test]
+fn ring_recovers_logarithmic_routing_after_crash_burst() {
+    let mut net = fresh_ring(128, "burst");
+    let victims: Vec<Id> = net.node_ids().step_by(9).collect();
+    for v in &victims {
+        net.fail(*v).unwrap();
+    }
+    for _ in 0..(2 * ID_BITS as usize) {
+        net.stabilize_round();
+    }
+    let avg = net.average_lookup_hops(100);
+    assert!(avg <= 2.0 * (net.len() as f64).log2(), "average hops {avg} too high after recovery");
+
+    let from = net.node_ids().next().unwrap();
+    for i in 0..50 {
+        let key = Id::hash_key(&format!("burst-key-{i}"));
+        assert_eq!(net.lookup(from, key).unwrap().owner, net.successor_of(key).unwrap());
+    }
+}
+
+/// Keys always have exactly one owner: partitioning the key space across the
+/// live nodes is a total function even while membership changes.
+#[test]
+fn every_key_has_exactly_one_owner_under_churn() {
+    let mut net = fresh_ring(32, "ownership");
+    let keys: Vec<Id> = (0..200).map(|i| Id::hash_key(&format!("own-key-{i}"))).collect();
+    for step in 0..10 {
+        // Ownership is a function of the live membership only.
+        let owners: Vec<Id> = keys.iter().map(|k| net.successor_of(*k).unwrap()).collect();
+        for owner in &owners {
+            assert!(net.contains(*owner));
+        }
+        // Change membership.
+        if step % 2 == 0 {
+            net.join(Id::hash_key(&format!("own-new-{step}"))).unwrap();
+        } else {
+            let victim = net.node_ids().nth(step).unwrap();
+            net.leave(victim).unwrap();
+        }
+        net.full_stabilize();
+    }
+}

@@ -1,0 +1,134 @@
+//! Per-key load counters.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A counter map from keys (typically node identifiers) to accumulated load.
+///
+/// Used for query-processing load and storage load, which the simulation
+/// increments as events are handled.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadMap<K: Eq + Hash> {
+    counts: HashMap<K, u64>,
+}
+
+impl<K: Eq + Hash> Default for LoadMap<K> {
+    fn default() -> Self {
+        LoadMap { counts: HashMap::new() }
+    }
+}
+
+impl<K: Eq + Hash + Clone> LoadMap<K> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `amount` to `key`'s load.
+    pub fn add(&mut self, key: K, amount: u64) {
+        *self.counts.entry(key).or_insert(0) += amount;
+    }
+
+    /// Increments `key`'s load by one.
+    pub fn incr(&mut self, key: K) {
+        self.add(key, 1);
+    }
+
+    /// Subtracts `amount` from `key`'s load, saturating at zero. Used when
+    /// stored state is garbage collected (e.g. window expiry shrinking the
+    /// storage load).
+    pub fn sub(&mut self, key: &K, amount: u64) {
+        if let Some(v) = self.counts.get_mut(key) {
+            *v = v.saturating_sub(amount);
+        }
+    }
+
+    /// The load of `key` (zero if never touched).
+    pub fn get(&self, key: &K) -> u64 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Sum of all loads.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Number of keys with a non-zero load.
+    pub fn active(&self) -> usize {
+        self.counts.values().filter(|v| **v > 0).count()
+    }
+
+    /// All values (including zeros for keys that were touched then zeroed).
+    pub fn values(&self) -> impl Iterator<Item = u64> + '_ {
+        self.counts.values().copied()
+    }
+
+    /// Iterates over `(key, load)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, u64)> {
+        self.counts.iter().map(|(k, v)| (k, *v))
+    }
+
+    /// Clears every counter.
+    pub fn reset(&mut self) {
+        self.counts.clear();
+    }
+
+    /// Merges another map into this one.
+    pub fn merge(&mut self, other: &LoadMap<K>) {
+        for (k, v) in &other.counts {
+            *self.counts.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_total() {
+        let mut m: LoadMap<u64> = LoadMap::new();
+        m.incr(1);
+        m.add(1, 4);
+        m.add(2, 10);
+        assert_eq!(m.get(&1), 5);
+        assert_eq!(m.get(&2), 10);
+        assert_eq!(m.get(&3), 0);
+        assert_eq!(m.total(), 15);
+        assert_eq!(m.active(), 2);
+    }
+
+    #[test]
+    fn sub_saturates_at_zero() {
+        let mut m: LoadMap<u64> = LoadMap::new();
+        m.add(1, 3);
+        m.sub(&1, 10);
+        assert_eq!(m.get(&1), 0);
+        m.sub(&99, 1); // unknown key: no-op
+        assert_eq!(m.get(&99), 0);
+    }
+
+    #[test]
+    fn merge_and_reset() {
+        let mut a: LoadMap<&str> = LoadMap::new();
+        a.add("x", 1);
+        let mut b: LoadMap<&str> = LoadMap::new();
+        b.add("x", 2);
+        b.add("y", 3);
+        a.merge(&b);
+        assert_eq!(a.get(&"x"), 3);
+        assert_eq!(a.get(&"y"), 3);
+        a.reset();
+        assert_eq!(a.total(), 0);
+    }
+
+    #[test]
+    fn active_ignores_zeroed_keys() {
+        let mut m: LoadMap<u64> = LoadMap::new();
+        m.add(1, 1);
+        m.add(2, 1);
+        m.sub(&2, 1);
+        assert_eq!(m.active(), 1);
+    }
+}

@@ -1,0 +1,201 @@
+//! Ranked-node distributions and summary statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// A distribution of per-node loads, as plotted in the paper's
+/// "ranked nodes" figures (nodes sorted from most to least loaded on the
+/// x-axis, load on the y-axis, log scales).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Distribution {
+    /// Values sorted in descending order.
+    ranked: Vec<u64>,
+}
+
+impl Distribution {
+    /// Builds a distribution from unordered per-node values.
+    pub fn from_values<I: IntoIterator<Item = u64>>(values: I) -> Self {
+        let mut ranked: Vec<u64> = values.into_iter().collect();
+        ranked.sort_unstable_by(|a, b| b.cmp(a));
+        Distribution { ranked }
+    }
+
+    /// Values ranked from most to least loaded.
+    pub fn ranked(&self) -> &[u64] {
+        &self.ranked
+    }
+
+    /// Number of values (nodes).
+    pub fn len(&self) -> usize {
+        self.ranked.len()
+    }
+
+    /// Whether the distribution is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ranked.is_empty()
+    }
+
+    /// The largest value (the most loaded node), or 0 for an empty
+    /// distribution.
+    pub fn max(&self) -> u64 {
+        self.ranked.first().copied().unwrap_or(0)
+    }
+
+    /// The smallest value, or 0 for an empty distribution.
+    pub fn min(&self) -> u64 {
+        self.ranked.last().copied().unwrap_or(0)
+    }
+
+    /// Sum of all values.
+    pub fn total(&self) -> u64 {
+        self.ranked.iter().sum()
+    }
+
+    /// Arithmetic mean (0 for an empty distribution).
+    pub fn mean(&self) -> f64 {
+        if self.ranked.is_empty() {
+            0.0
+        } else {
+            self.total() as f64 / self.ranked.len() as f64
+        }
+    }
+
+    /// Number of nodes with a non-zero load ("participating nodes" in the
+    /// paper's discussion of Figures 3 and 9).
+    pub fn participants(&self) -> usize {
+        self.ranked.iter().filter(|v| **v > 0).count()
+    }
+
+    /// The value at percentile `p` (0.0–100.0) using the nearest-rank
+    /// definition over the *ascending* order, so `percentile(50.0)` is the
+    /// median and `percentile(100.0)` the maximum.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.ranked.is_empty() {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let n = self.ranked.len();
+        let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as usize;
+        // ranked is descending; ascending index = n - rank.
+        self.ranked[n - rank]
+    }
+
+    /// The value of the node at the given rank (0 = most loaded), or 0 if
+    /// out of range.
+    pub fn at_rank(&self, rank: usize) -> u64 {
+        self.ranked.get(rank).copied().unwrap_or(0)
+    }
+
+    /// Gini coefficient of the distribution (0 = perfectly balanced,
+    /// approaching 1 = one node carries everything). Used to compare load
+    /// balance across configurations.
+    pub fn gini(&self) -> f64 {
+        let n = self.ranked.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        // Ascending order for the standard formula.
+        let mut asc = self.ranked.clone();
+        asc.reverse();
+        let mut weighted = 0.0f64;
+        for (i, &v) in asc.iter().enumerate() {
+            weighted += (i as f64 + 1.0) * v as f64;
+        }
+        (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+    }
+
+    /// Downsamples the ranked curve to at most `points` evenly spaced ranks,
+    /// returning `(rank, value)` pairs — convenient for printing figure
+    /// series without emitting thousands of rows.
+    pub fn sampled_curve(&self, points: usize) -> Vec<(usize, u64)> {
+        if self.ranked.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        if self.ranked.len() <= points {
+            return self.ranked.iter().copied().enumerate().collect();
+        }
+        let step = self.ranked.len() as f64 / points as f64;
+        let mut curve = Vec::with_capacity(points);
+        for i in 0..points {
+            let rank = (i as f64 * step) as usize;
+            curve.push((rank, self.ranked[rank]));
+        }
+        // Always include the last (least loaded) rank.
+        let last = self.ranked.len() - 1;
+        if curve.last().map(|(r, _)| *r) != Some(last) {
+            curve.push((last, self.ranked[last]));
+        }
+        curve
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranking_and_summary_stats() {
+        let d = Distribution::from_values([5, 1, 0, 9, 3]);
+        assert_eq!(d.ranked(), &[9, 5, 3, 1, 0]);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.max(), 9);
+        assert_eq!(d.min(), 0);
+        assert_eq!(d.total(), 18);
+        assert!((d.mean() - 3.6).abs() < 1e-9);
+        assert_eq!(d.participants(), 4);
+        assert_eq!(d.at_rank(0), 9);
+        assert_eq!(d.at_rank(10), 0);
+    }
+
+    #[test]
+    fn empty_distribution_is_well_behaved() {
+        let d = Distribution::from_values(Vec::<u64>::new());
+        assert!(d.is_empty());
+        assert_eq!(d.max(), 0);
+        assert_eq!(d.mean(), 0.0);
+        assert_eq!(d.percentile(50.0), 0);
+        assert_eq!(d.gini(), 0.0);
+        assert!(d.sampled_curve(10).is_empty());
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let d = Distribution::from_values([10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+        assert_eq!(d.percentile(100.0), 100);
+        assert_eq!(d.percentile(50.0), 50);
+        assert_eq!(d.percentile(10.0), 10);
+        assert_eq!(d.percentile(0.0), 10); // clamps to the first rank
+    }
+
+    #[test]
+    fn gini_detects_imbalance() {
+        let balanced = Distribution::from_values([10, 10, 10, 10]);
+        let skewed = Distribution::from_values([40, 0, 0, 0]);
+        assert!(balanced.gini() < 0.01);
+        assert!(skewed.gini() > 0.7);
+        assert!(skewed.gini() <= 1.0);
+    }
+
+    #[test]
+    fn sampled_curve_is_monotone_in_rank() {
+        let values: Vec<u64> = (0..1000).map(|i| 1000 - i).collect();
+        let d = Distribution::from_values(values);
+        let curve = d.sampled_curve(10);
+        assert!(curve.len() >= 10);
+        assert_eq!(curve.first().unwrap().0, 0);
+        assert_eq!(curve.last().unwrap().0, 999);
+        for pair in curve.windows(2) {
+            assert!(pair[0].0 < pair[1].0);
+            assert!(pair[0].1 >= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn sampled_curve_short_input_passthrough() {
+        let d = Distribution::from_values([3, 2, 1]);
+        assert_eq!(d.sampled_curve(10), vec![(0, 3), (1, 2), (2, 1)]);
+    }
+}

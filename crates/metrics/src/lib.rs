@@ -1,0 +1,29 @@
+//! Metric collection and reporting for the RJoin experiments.
+//!
+//! The paper's evaluation (Section 8) reports three per-node metrics:
+//!
+//! * **network traffic** — messages a node sends (created + routed),
+//! * **query processing load (QPL)** — rewritten queries received to match
+//!   against stored tuples plus tuples received to match against stored
+//!   queries,
+//! * **storage load (SL)** — rewritten queries plus tuples a node stores.
+//!
+//! Figures are drawn either as aggregates per workload size (Figure 2), as
+//! ranked-node distributions (Figures 3–7, 9) or as cumulative series
+//! (Figure 8). This crate provides the corresponding containers:
+//!
+//! * [`LoadMap`] — a per-key counter map,
+//! * [`Distribution`] — ranked values with summary statistics,
+//! * [`CumulativeSeries`] — a running total sampled per event,
+//! * [`Table`] — a small text/CSV/JSON table used by the benchmark harness
+//!   to print the rows of each figure.
+
+mod counters;
+mod distribution;
+mod report;
+mod series;
+
+pub use counters::LoadMap;
+pub use distribution::Distribution;
+pub use report::Table;
+pub use series::CumulativeSeries;

@@ -1,0 +1,156 @@
+//! Small tabular reports printed by the benchmark harness.
+
+use serde::{Deserialize, Serialize};
+
+/// A simple table: named columns plus rows of string cells. The figure
+/// harness builds one table per figure panel and prints it as aligned text
+/// (for the console), CSV (for plotting) or JSON (for EXPERIMENTS.md
+/// provenance).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and column headers.
+    pub fn new<T: Into<String>, H: Into<String>, I: IntoIterator<Item = H>>(
+        title: T,
+        headers: I,
+    ) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The rows added so far.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Appends a row. The row is padded or truncated to the number of
+    /// columns.
+    pub fn push_row<C: Into<String>, I: IntoIterator<Item = C>>(&mut self, cells: I) {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if cell.len() > widths[i] {
+                    widths[i] = cell.len();
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:width$}", h, width = widths[i]))
+            .collect();
+        out.push_str(&header_line.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV (headers first).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("tables are always serializable")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Figure 2(a): traffic", ["tuples", "worst", "rjoin"]);
+        t.push_row(["50", "1200", "35"]);
+        t.push_row(["400", "9800", "210"]);
+        t
+    }
+
+    #[test]
+    fn text_rendering_is_aligned() {
+        let text = sample().to_text();
+        assert!(text.contains("Figure 2(a)"));
+        assert!(text.contains("tuples"));
+        let lines: Vec<&str> = text.lines().collect();
+        // Header, separator and two data rows after the title line.
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn csv_rendering_quotes_when_needed() {
+        let mut t = Table::new("t", ["a", "b"]);
+        t.push_row(["plain", "has,comma"]);
+        t.push_row(["has\"quote", ""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"has\"\"quote\""));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn rows_are_padded_to_header_width() {
+        let mut t = Table::new("t", ["a", "b", "c"]);
+        t.push_row(["1"]);
+        assert_eq!(t.rows()[0], vec!["1".to_string(), String::new(), String::new()]);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = sample();
+        let parsed: Table = serde_json::from_str(&t.to_json()).unwrap();
+        assert_eq!(parsed, t);
+    }
+}

@@ -1,0 +1,121 @@
+//! Cumulative series (Figure 8 style plots).
+
+use serde::{Deserialize, Serialize};
+
+/// A cumulative series: per-event increments accumulated into a running
+/// total, as in Figure 8 of the paper (cumulative query-processing and
+/// storage load as tuples arrive).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CumulativeSeries {
+    totals: Vec<u64>,
+}
+
+impl CumulativeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one event with the given increment.
+    pub fn push(&mut self, increment: u64) {
+        let prev = self.totals.last().copied().unwrap_or(0);
+        self.totals.push(prev + increment);
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.totals.len()
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.totals.is_empty()
+    }
+
+    /// The cumulative total after the last event (0 if empty).
+    pub fn total(&self) -> u64 {
+        self.totals.last().copied().unwrap_or(0)
+    }
+
+    /// The cumulative total after event `i` (0-based), or `None` if out of
+    /// range.
+    pub fn at(&self, i: usize) -> Option<u64> {
+        self.totals.get(i).copied()
+    }
+
+    /// The full cumulative curve.
+    pub fn curve(&self) -> &[u64] {
+        &self.totals
+    }
+
+    /// Samples the curve at up to `points` evenly spaced events, returning
+    /// `(event_index, cumulative_total)` pairs; always includes the last
+    /// event.
+    pub fn sampled(&self, points: usize) -> Vec<(usize, u64)> {
+        if self.totals.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        if self.totals.len() <= points {
+            return self.totals.iter().copied().enumerate().collect();
+        }
+        let step = self.totals.len() as f64 / points as f64;
+        let mut out = Vec::with_capacity(points + 1);
+        for i in 0..points {
+            let idx = (i as f64 * step) as usize;
+            out.push((idx, self.totals[idx]));
+        }
+        let last = self.totals.len() - 1;
+        if out.last().map(|(i, _)| *i) != Some(last) {
+            out.push((last, self.totals[last]));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_increments() {
+        let mut s = CumulativeSeries::new();
+        s.push(3);
+        s.push(0);
+        s.push(7);
+        assert_eq!(s.curve(), &[3, 3, 10]);
+        assert_eq!(s.total(), 10);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.at(1), Some(3));
+        assert_eq!(s.at(5), None);
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = CumulativeSeries::new();
+        assert!(s.is_empty());
+        assert_eq!(s.total(), 0);
+        assert!(s.sampled(5).is_empty());
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let mut s = CumulativeSeries::new();
+        for i in 0..100 {
+            s.push(i % 5);
+        }
+        for pair in s.curve().windows(2) {
+            assert!(pair[1] >= pair[0]);
+        }
+    }
+
+    #[test]
+    fn sampled_includes_last_point() {
+        let mut s = CumulativeSeries::new();
+        for _ in 0..1000 {
+            s.push(2);
+        }
+        let sampled = s.sampled(10);
+        assert_eq!(sampled.last(), Some(&(999, 2000)));
+        assert!(sampled.len() >= 10);
+    }
+}

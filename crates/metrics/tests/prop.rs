@@ -1,0 +1,87 @@
+//! Property-based tests for the metric containers.
+
+use proptest::prelude::*;
+use rjoin_metrics::{CumulativeSeries, Distribution, LoadMap};
+
+proptest! {
+    /// Distribution invariants: ranking is a permutation of the input, the
+    /// curve is non-increasing, summary statistics are consistent and the
+    /// Gini coefficient stays within [0, 1).
+    #[test]
+    fn distribution_invariants(values in proptest::collection::vec(0u64..10_000, 0..200)) {
+        let d = Distribution::from_values(values.clone());
+        prop_assert_eq!(d.len(), values.len());
+        prop_assert_eq!(d.total(), values.iter().sum::<u64>());
+        let mut sorted = values.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        prop_assert_eq!(d.ranked(), &sorted[..]);
+        for pair in d.ranked().windows(2) {
+            prop_assert!(pair[0] >= pair[1]);
+        }
+        if !values.is_empty() {
+            prop_assert_eq!(d.max(), *values.iter().max().unwrap());
+            prop_assert_eq!(d.min(), *values.iter().min().unwrap());
+            prop_assert_eq!(d.percentile(100.0), d.max());
+            prop_assert!(d.mean() >= d.min() as f64 && d.mean() <= d.max() as f64);
+        }
+        let gini = d.gini();
+        prop_assert!((0.0..1.0).contains(&gini) || gini.abs() < 1e-9);
+        prop_assert_eq!(d.participants(), values.iter().filter(|v| **v > 0).count());
+    }
+
+    /// The sampled curve is a sub-sequence of the ranked curve: ranks are
+    /// strictly increasing and values non-increasing, and the last rank is
+    /// always included.
+    #[test]
+    fn sampled_curve_is_subsequence(values in proptest::collection::vec(0u64..1000, 1..500), points in 1usize..20) {
+        let d = Distribution::from_values(values);
+        let curve = d.sampled_curve(points);
+        prop_assert!(!curve.is_empty());
+        prop_assert_eq!(curve.last().unwrap().0, d.len() - 1);
+        for pair in curve.windows(2) {
+            prop_assert!(pair[0].0 < pair[1].0);
+            prop_assert!(pair[0].1 >= pair[1].1);
+        }
+        for (rank, value) in curve {
+            prop_assert_eq!(d.at_rank(rank), value);
+        }
+    }
+
+    /// Cumulative series: monotone, final total equals the sum of the
+    /// increments, sampling preserves the last point.
+    #[test]
+    fn cumulative_series_invariants(increments in proptest::collection::vec(0u64..1000, 1..300)) {
+        let mut s = CumulativeSeries::new();
+        for &x in &increments {
+            s.push(x);
+        }
+        prop_assert_eq!(s.len(), increments.len());
+        prop_assert_eq!(s.total(), increments.iter().sum::<u64>());
+        for pair in s.curve().windows(2) {
+            prop_assert!(pair[1] >= pair[0]);
+        }
+        let sampled = s.sampled(10);
+        prop_assert_eq!(sampled.last().copied(), Some((increments.len() - 1, s.total())));
+    }
+
+    /// LoadMap totals equal the sum of all additions minus saturating
+    /// subtractions, and merging two maps adds their totals.
+    #[test]
+    fn load_map_merge_adds_totals(
+        a in proptest::collection::vec((0u64..50, 1u64..100), 0..50),
+        b in proptest::collection::vec((0u64..50, 1u64..100), 0..50),
+    ) {
+        let mut ma: LoadMap<u64> = LoadMap::new();
+        for (k, v) in &a {
+            ma.add(*k, *v);
+        }
+        let mut mb: LoadMap<u64> = LoadMap::new();
+        for (k, v) in &b {
+            mb.add(*k, *v);
+        }
+        let total_a = ma.total();
+        let total_b = mb.total();
+        ma.merge(&mb);
+        prop_assert_eq!(ma.total(), total_a + total_b);
+    }
+}

@@ -1,0 +1,28 @@
+//! Discrete-event network simulation and the messaging API used by RJoin.
+//!
+//! The paper assumes a relaxed asynchronous system: there is a known upper
+//! bound δ on message delay, and messages are delivered through the DHT
+//! using three primitives (Section 2):
+//!
+//! * `send(msg, id)` — deliver `msg` to `Successor(id)` in `O(log N)` hops,
+//! * `multiSend(msg, I)` / `multiSend(M, I)` — deliver one or more messages
+//!   to the successors of a set of identifiers,
+//! * `sendDirect(msg, addr)` — deliver `msg` to a known address in one hop.
+//!
+//! [`Network`] implements these primitives on top of the Chord simulation of
+//! [`rjoin_dht`], accounting **network traffic the way the paper measures
+//! it**: every hop of a routed message is one message sent by the node at
+//! the start of the hop (so both message creation and DHT routing count),
+//! attributed to a caller-chosen [`TrafficClass`] so that e.g. RIC-request
+//! traffic can be reported separately from the total.
+//!
+//! Message payloads are generic: the RJoin engine defines its own message
+//! enum and drives the simulation by draining [`Network::pop_next`].
+
+mod network;
+mod time;
+mod traffic;
+
+pub use network::{Delivery, Network, NetworkConfig};
+pub use time::SimTime;
+pub use traffic::{TrafficClass, TrafficStats};

@@ -1,0 +1,373 @@
+//! The simulated network: DHT-routed delivery with bounded delay.
+
+use crate::{SimTime, TrafficClass, TrafficStats};
+use rjoin_dht::{ChordNetwork, DhtError, Id, LookupResult};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Configuration of the simulated network.
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkConfig {
+    /// Upper bound δ on the delivery delay of a single message, in ticks.
+    /// Every routed or direct message is delivered `delay` ticks after it is
+    /// sent (the worst case allowed by the paper's system model).
+    pub delay: SimTime,
+    /// Length of the successor lists maintained by the Chord nodes.
+    pub successor_list_len: usize,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig { delay: 1, successor_list_len: 4 }
+    }
+}
+
+/// A message delivered to a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery<M> {
+    /// Simulation time at which the message arrives.
+    pub at: SimTime,
+    /// The node receiving the message.
+    pub to: Id,
+    /// The node that originally sent the message.
+    pub from: Id,
+    /// The payload.
+    pub msg: M,
+}
+
+/// Internal queue entry; ordered by (time, sequence number) for determinism.
+#[derive(Debug)]
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    to: Id,
+    from: Id,
+    msg: M,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The simulated network: a Chord ring plus an event queue of in-flight
+/// messages and per-node traffic accounting.
+#[derive(Debug)]
+pub struct Network<M> {
+    dht: ChordNetwork,
+    config: NetworkConfig,
+    clock: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled<M>>>,
+    traffic: TrafficStats,
+}
+
+impl<M> Network<M> {
+    /// Creates an empty network.
+    pub fn new(config: NetworkConfig) -> Self {
+        Network {
+            dht: ChordNetwork::new(config.successor_list_len),
+            config,
+            clock: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            traffic: TrafficStats::new(),
+        }
+    }
+
+    /// Adds `n` nodes with deterministic identifiers derived from `label`
+    /// and fully stabilizes the ring. Returns the node identifiers.
+    pub fn bootstrap(&mut self, n: usize, label: &str) -> Vec<Id> {
+        let mut ids = Vec::with_capacity(n);
+        let mut i = 0u64;
+        while ids.len() < n {
+            let id = Id::hash_key(&format!("{label}-{i}"));
+            i += 1;
+            if self.dht.join(id).is_ok() {
+                ids.push(id);
+            }
+        }
+        self.dht.full_stabilize();
+        ids
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Advances the clock (used by drivers to model idle periods).
+    pub fn advance_to(&mut self, t: SimTime) {
+        if t > self.clock {
+            self.clock = t;
+        }
+    }
+
+    /// The configured per-message delay bound δ.
+    pub fn delay(&self) -> SimTime {
+        self.config.delay
+    }
+
+    /// Read access to the underlying Chord ring.
+    pub fn dht(&self) -> &ChordNetwork {
+        &self.dht
+    }
+
+    /// Write access to the underlying Chord ring (node churn, identifier
+    /// movement).
+    pub fn dht_mut(&mut self) -> &mut ChordNetwork {
+        &mut self.dht
+    }
+
+    /// Read access to the traffic counters.
+    pub fn traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+
+    /// Write access to the traffic counters (reset between phases).
+    pub fn traffic_mut(&mut self) -> &mut TrafficStats {
+        &mut self.traffic
+    }
+
+    /// Number of messages currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Resolves the node currently responsible for `key_id` without sending
+    /// anything and without accounting traffic (an oracle used by tests and
+    /// by the engine for ownership checks).
+    pub fn owner_of(&self, key_id: Id) -> Result<Id, DhtError> {
+        self.dht.successor_of(key_id)
+    }
+
+    fn account_path(&mut self, path: &[Id], class: TrafficClass) {
+        // Every hop is one message sent by the node at the start of the hop:
+        // the originator counts for creating + sending the message, each
+        // intermediate node counts for routing it.
+        if path.len() >= 2 {
+            for sender in &path[..path.len() - 1] {
+                self.traffic.record_sent(*sender, class);
+            }
+        } else if let Some(only) = path.first() {
+            // Local delivery still counts as one message created.
+            self.traffic.record_sent(*only, class);
+        }
+    }
+
+    fn schedule(&mut self, at: SimTime, to: Id, from: Id, msg: M) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, to, from, msg }));
+    }
+
+    /// `send(msg, id)`: routes `msg` from node `from` to `Successor(key_id)`
+    /// through the DHT, accounting one message per hop under `class`, and
+    /// schedules its delivery after the delay bound. Returns the lookup
+    /// result (owner and path).
+    pub fn send(
+        &mut self,
+        from: Id,
+        key_id: Id,
+        msg: M,
+        class: TrafficClass,
+    ) -> Result<LookupResult, DhtError> {
+        let result = self.dht.lookup(from, key_id)?;
+        self.account_path(&result.path, class);
+        self.traffic.record_received(result.owner);
+        let at = self.clock + self.config.delay;
+        self.schedule(at, result.owner, from, msg);
+        Ok(result)
+    }
+
+    /// `multiSend(M, I)`: routes each `(key_id, msg)` pair independently, as
+    /// the paper's API does (cost `h * O(log N)` hops).
+    pub fn multi_send(
+        &mut self,
+        from: Id,
+        items: Vec<(Id, M)>,
+        class: TrafficClass,
+    ) -> Result<Vec<LookupResult>, DhtError> {
+        let mut results = Vec::with_capacity(items.len());
+        for (key_id, msg) in items {
+            results.push(self.send(from, key_id, msg, class)?);
+        }
+        Ok(results)
+    }
+
+    /// `sendDirect(msg, addr)`: delivers `msg` to a node whose address is
+    /// already known, in one hop.
+    pub fn send_direct(&mut self, from: Id, to: Id, msg: M, class: TrafficClass) {
+        self.traffic.record_sent(from, class);
+        self.traffic.record_received(to);
+        let at = self.clock + self.config.delay;
+        self.schedule(at, to, from, msg);
+    }
+
+    /// Accounts the traffic of routing one message from `from` to
+    /// `Successor(key_id)` without scheduling a delivery. Used to model
+    /// synchronous request/response exchanges (such as RIC-information
+    /// requests) whose *content* the engine resolves immediately but whose
+    /// *cost* must still be charged.
+    pub fn charge_route(
+        &mut self,
+        from: Id,
+        key_id: Id,
+        class: TrafficClass,
+    ) -> Result<LookupResult, DhtError> {
+        let result = self.dht.lookup(from, key_id)?;
+        self.account_path(&result.path, class);
+        Ok(result)
+    }
+
+    /// Accounts one direct (single-hop) message from `from` without
+    /// scheduling a delivery. Companion of [`charge_route`](Self::charge_route).
+    pub fn charge_direct(&mut self, from: Id, class: TrafficClass) {
+        self.traffic.record_sent(from, class);
+    }
+
+    /// Pops the next delivery, advancing the clock to its arrival time.
+    /// Returns `None` when no messages are in flight.
+    pub fn pop_next(&mut self) -> Option<Delivery<M>> {
+        let Reverse(next) = self.queue.pop()?;
+        self.clock = self.clock.max(next.at);
+        Some(Delivery { at: next.at, to: next.to, from: next.from, msg: next.msg })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLASS_A: TrafficClass = 0;
+    const CLASS_B: TrafficClass = 1;
+
+    fn network(n: usize) -> (Network<&'static str>, Vec<Id>) {
+        let mut net = Network::new(NetworkConfig { delay: 5, successor_list_len: 4 });
+        let ids = net.bootstrap(n, "net-test");
+        (net, ids)
+    }
+
+    #[test]
+    fn bootstrap_creates_requested_nodes() {
+        let (net, ids) = network(50);
+        assert_eq!(ids.len(), 50);
+        assert_eq!(net.dht().len(), 50);
+    }
+
+    #[test]
+    fn send_delivers_to_owner_after_delay() {
+        let (mut net, ids) = network(20);
+        let key = Id::hash_key("some-key");
+        let expected_owner = net.owner_of(key).unwrap();
+        let result = net.send(ids[0], key, "hello", CLASS_A).unwrap();
+        assert_eq!(result.owner, expected_owner);
+        assert_eq!(net.in_flight(), 1);
+
+        let delivery = net.pop_next().unwrap();
+        assert_eq!(delivery.to, expected_owner);
+        assert_eq!(delivery.from, ids[0]);
+        assert_eq!(delivery.msg, "hello");
+        assert_eq!(delivery.at, 5);
+        assert_eq!(net.now(), 5);
+        assert!(net.pop_next().is_none());
+    }
+
+    #[test]
+    fn traffic_counts_one_message_per_hop() {
+        let (mut net, ids) = network(30);
+        let key = Id::hash_key("another-key");
+        let result = net.send(ids[0], key, "payload", CLASS_A).unwrap();
+        let total = net.traffic().total_sent();
+        assert_eq!(total, result.hops.max(1) as u64);
+        // The sender is charged at least one message.
+        assert!(net.traffic().sent_by(ids[0]) >= 1);
+    }
+
+    #[test]
+    fn classes_are_accounted_separately() {
+        let (mut net, ids) = network(30);
+        net.send(ids[0], Id::hash_key("k1"), "a", CLASS_A).unwrap();
+        net.send(ids[1], Id::hash_key("k2"), "b", CLASS_B).unwrap();
+        let a = net.traffic().total_sent_class(CLASS_A);
+        let b = net.traffic().total_sent_class(CLASS_B);
+        assert!(a >= 1);
+        assert!(b >= 1);
+        assert_eq!(net.traffic().total_sent(), a + b);
+    }
+
+    #[test]
+    fn multi_send_delivers_every_item() {
+        let (mut net, ids) = network(25);
+        let items = vec![
+            (Id::hash_key("x"), "to-x"),
+            (Id::hash_key("y"), "to-y"),
+            (Id::hash_key("z"), "to-z"),
+        ];
+        net.multi_send(ids[2], items, CLASS_A).unwrap();
+        assert_eq!(net.in_flight(), 3);
+        let mut seen = Vec::new();
+        while let Some(d) = net.pop_next() {
+            seen.push(d.msg);
+        }
+        seen.sort();
+        assert_eq!(seen, vec!["to-x", "to-y", "to-z"]);
+    }
+
+    #[test]
+    fn send_direct_costs_one_message() {
+        let (mut net, ids) = network(10);
+        net.send_direct(ids[0], ids[5], "direct", CLASS_B);
+        assert_eq!(net.traffic().sent_by(ids[0]), 1);
+        assert_eq!(net.traffic().total_sent(), 1);
+        let d = net.pop_next().unwrap();
+        assert_eq!(d.to, ids[5]);
+        assert_eq!(d.msg, "direct");
+    }
+
+    #[test]
+    fn deliveries_are_ordered_by_time_then_fifo() {
+        let (mut net, ids) = network(10);
+        net.send_direct(ids[0], ids[1], "first", CLASS_A);
+        net.send_direct(ids[0], ids[2], "second", CLASS_A);
+        net.advance_to(100);
+        net.send_direct(ids[0], ids[3], "third", CLASS_A);
+        let order: Vec<&str> = std::iter::from_fn(|| net.pop_next().map(|d| d.msg)).collect();
+        assert_eq!(order, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn charge_route_accounts_without_delivery() {
+        let (mut net, ids) = network(30);
+        let before = net.traffic().total_sent();
+        net.charge_route(ids[0], Id::hash_key("ric-key"), CLASS_B).unwrap();
+        assert!(net.traffic().total_sent() > before);
+        assert_eq!(net.in_flight(), 0);
+        net.charge_direct(ids[0], CLASS_B);
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn clock_never_goes_backwards() {
+        let (mut net, ids) = network(10);
+        net.advance_to(50);
+        net.send_direct(ids[0], ids[1], "late", CLASS_A);
+        net.advance_to(10); // no-op
+        assert_eq!(net.now(), 50);
+        let d = net.pop_next().unwrap();
+        assert_eq!(d.at, 55);
+        assert_eq!(net.now(), 55);
+    }
+}

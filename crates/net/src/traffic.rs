@@ -1,0 +1,173 @@
+//! Per-node traffic accounting.
+
+use rjoin_dht::Id;
+use std::collections::HashMap;
+
+/// A caller-defined class of traffic.
+///
+/// The paper reports the *total* traffic per node as well as the portion
+/// spent on requesting RIC information (e.g. Figure 2(a), Figure 3(a)), so
+/// every accounted message carries a class tag. The RJoin engine defines its
+/// own constants; this crate only fixes the representation.
+pub type TrafficClass = u8;
+
+/// Per-node message counters, broken down by [`TrafficClass`].
+///
+/// Following the paper's definition, the traffic a node incurs is the number
+/// of messages it has to **send**, which includes both the messages it
+/// creates (RJoin-level messages) and the messages it forwards on behalf of
+/// the DHT routing layer. Received messages are tracked separately for
+/// diagnostics but are not part of the paper's traffic metric.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficStats {
+    sent: HashMap<Id, HashMap<TrafficClass, u64>>,
+    received: HashMap<Id, u64>,
+}
+
+impl TrafficStats {
+    /// Creates an empty set of counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one message sent by `node` (either created or routed).
+    pub fn record_sent(&mut self, node: Id, class: TrafficClass) {
+        *self.sent.entry(node).or_default().entry(class).or_insert(0) += 1;
+    }
+
+    /// Records `count` messages sent by `node`.
+    pub fn record_sent_n(&mut self, node: Id, class: TrafficClass, count: u64) {
+        if count > 0 {
+            *self.sent.entry(node).or_default().entry(class).or_insert(0) += count;
+        }
+    }
+
+    /// Records one message received by `node`.
+    pub fn record_received(&mut self, node: Id) {
+        *self.received.entry(node).or_insert(0) += 1;
+    }
+
+    /// Total messages sent by `node`, all classes combined.
+    pub fn sent_by(&self, node: Id) -> u64 {
+        self.sent.get(&node).map(|m| m.values().sum()).unwrap_or(0)
+    }
+
+    /// Messages of `class` sent by `node`.
+    pub fn sent_by_class(&self, node: Id, class: TrafficClass) -> u64 {
+        self.sent.get(&node).and_then(|m| m.get(&class)).copied().unwrap_or(0)
+    }
+
+    /// Messages received by `node`.
+    pub fn received_by(&self, node: Id) -> u64 {
+        self.received.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Total messages sent across all nodes.
+    pub fn total_sent(&self) -> u64 {
+        self.sent.values().map(|m| m.values().sum::<u64>()).sum()
+    }
+
+    /// Total messages of `class` sent across all nodes.
+    pub fn total_sent_class(&self, class: TrafficClass) -> u64 {
+        self.sent.values().map(|m| m.get(&class).copied().unwrap_or(0)).sum()
+    }
+
+    /// Per-node totals (all classes), for distribution plots.
+    pub fn per_node_sent(&self) -> HashMap<Id, u64> {
+        self.sent.iter().map(|(id, m)| (*id, m.values().sum())).collect()
+    }
+
+    /// Number of nodes that sent at least one message.
+    pub fn active_nodes(&self) -> usize {
+        self.sent.values().filter(|m| m.values().sum::<u64>() > 0).count()
+    }
+
+    /// Resets all counters (used between experiment phases).
+    pub fn reset(&mut self) {
+        self.sent.clear();
+        self.received.clear();
+    }
+
+    /// Merges another set of counters into this one.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        for (id, classes) in &other.sent {
+            let entry = self.sent.entry(*id).or_default();
+            for (class, count) in classes {
+                *entry.entry(*class).or_insert(0) += count;
+            }
+        }
+        for (id, count) in &other.received {
+            *self.received.entry(*id).or_insert(0) += count;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: TrafficClass = 0;
+    const B: TrafficClass = 1;
+
+    #[test]
+    fn counters_accumulate_per_node_and_class() {
+        let mut stats = TrafficStats::new();
+        stats.record_sent(Id(1), A);
+        stats.record_sent(Id(1), A);
+        stats.record_sent(Id(1), B);
+        stats.record_sent(Id(2), B);
+        stats.record_received(Id(2));
+
+        assert_eq!(stats.sent_by(Id(1)), 3);
+        assert_eq!(stats.sent_by_class(Id(1), A), 2);
+        assert_eq!(stats.sent_by_class(Id(1), B), 1);
+        assert_eq!(stats.sent_by(Id(2)), 1);
+        assert_eq!(stats.sent_by(Id(3)), 0);
+        assert_eq!(stats.received_by(Id(2)), 1);
+        assert_eq!(stats.total_sent(), 4);
+        assert_eq!(stats.total_sent_class(B), 2);
+        assert_eq!(stats.active_nodes(), 2);
+    }
+
+    #[test]
+    fn record_sent_n_skips_zero() {
+        let mut stats = TrafficStats::new();
+        stats.record_sent_n(Id(1), A, 0);
+        assert_eq!(stats.total_sent(), 0);
+        stats.record_sent_n(Id(1), A, 5);
+        assert_eq!(stats.sent_by(Id(1)), 5);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut stats = TrafficStats::new();
+        stats.record_sent(Id(1), A);
+        stats.record_received(Id(1));
+        stats.reset();
+        assert_eq!(stats.total_sent(), 0);
+        assert_eq!(stats.received_by(Id(1)), 0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = TrafficStats::new();
+        a.record_sent(Id(1), A);
+        let mut b = TrafficStats::new();
+        b.record_sent(Id(1), A);
+        b.record_sent(Id(2), B);
+        b.record_received(Id(1));
+        a.merge(&b);
+        assert_eq!(a.sent_by(Id(1)), 2);
+        assert_eq!(a.sent_by(Id(2)), 1);
+        assert_eq!(a.received_by(Id(1)), 1);
+    }
+
+    #[test]
+    fn per_node_sent_reports_totals() {
+        let mut stats = TrafficStats::new();
+        stats.record_sent(Id(7), A);
+        stats.record_sent(Id(7), B);
+        let per_node = stats.per_node_sent();
+        assert_eq!(per_node.get(&Id(7)), Some(&2));
+    }
+}

@@ -1,0 +1,67 @@
+//! Property-based tests for the simulated network: delivery ordering,
+//! ownership and traffic accounting.
+
+use proptest::prelude::*;
+use rjoin_dht::Id;
+use rjoin_net::{Network, NetworkConfig, TrafficClass};
+
+const CLASS: TrafficClass = 0;
+
+proptest! {
+    /// Every routed message is delivered to the ground-truth owner of its
+    /// key, the hop count equals the accounted messages, and deliveries come
+    /// out in non-decreasing time order.
+    #[test]
+    fn routing_and_accounting_are_consistent(
+        nodes in 2usize..40,
+        delay in 1u64..20,
+        keys in proptest::collection::vec(any::<u64>(), 1..20),
+    ) {
+        let mut net: Network<usize> = Network::new(NetworkConfig { delay, successor_list_len: 4 });
+        let ids = net.bootstrap(nodes, "prop-net");
+        let from = ids[0];
+
+        let mut expected_owners = Vec::new();
+        let mut total_hops = 0u64;
+        for (i, key) in keys.iter().enumerate() {
+            let key = Id(*key);
+            let owner = net.owner_of(key).unwrap();
+            let result = net.send(from, key, i, CLASS).unwrap();
+            prop_assert_eq!(result.owner, owner);
+            total_hops += result.hops.max(1) as u64;
+            expected_owners.push(owner);
+        }
+        prop_assert_eq!(net.traffic().total_sent(), total_hops);
+        prop_assert_eq!(net.in_flight(), keys.len());
+
+        let mut last_time = 0;
+        let mut delivered = 0usize;
+        while let Some(delivery) = net.pop_next() {
+            prop_assert!(delivery.at >= last_time);
+            last_time = delivery.at;
+            prop_assert_eq!(delivery.to, expected_owners[delivery.msg]);
+            prop_assert_eq!(delivery.from, from);
+            delivered += 1;
+        }
+        prop_assert_eq!(delivered, keys.len());
+        prop_assert_eq!(net.now(), last_time);
+    }
+
+    /// Direct sends cost exactly one message each regardless of the ring
+    /// size, and are delivered after exactly the delay bound.
+    #[test]
+    fn direct_sends_cost_one_message(nodes in 2usize..40, delay in 1u64..50, count in 1usize..30) {
+        let mut net: Network<u32> = Network::new(NetworkConfig { delay, successor_list_len: 4 });
+        let ids = net.bootstrap(nodes, "prop-direct");
+        for i in 0..count {
+            net.send_direct(ids[i % ids.len()], ids[(i + 1) % ids.len()], i as u32, CLASS);
+        }
+        prop_assert_eq!(net.traffic().total_sent(), count as u64);
+        let mut seen = 0;
+        while let Some(delivery) = net.pop_next() {
+            prop_assert_eq!(delivery.at, delay);
+            seen += 1;
+        }
+        prop_assert_eq!(seen, count);
+    }
+}

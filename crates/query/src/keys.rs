@@ -1,0 +1,305 @@
+//! Derivation of DHT index keys for queries and tuples.
+//!
+//! RJoin indexes items (queries and tuples) under string keys that are then
+//! hashed onto the identifier ring:
+//!
+//! * **attribute level** — `RelationName + AttributeName`,
+//! * **value level** — `RelationName + AttributeName + Value`.
+//!
+//! A tuple is indexed *twice per attribute* (once at each level,
+//! Procedure 1). A query is indexed under one key chosen among its
+//! *candidate keys* (Section 6): all relation-attribute pairs of its join
+//! conjuncts, all explicit relation-attribute-value selection triples, and
+//! all triples *implied* by the `WHERE` clause.
+
+use crate::ast::{Conjunct, JoinQuery, QualifiedAttr};
+use rjoin_relation::{Schema, Tuple, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Whether an item is indexed at the attribute level or at the value level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IndexLevel {
+    /// Indexed under `Relation + Attribute`.
+    Attribute,
+    /// Indexed under `Relation + Attribute + Value`.
+    Value,
+}
+
+/// A key under which a query or tuple is indexed in the DHT.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum IndexKey {
+    /// Attribute-level key.
+    Attribute {
+        /// Relation name.
+        relation: String,
+        /// Attribute name.
+        attribute: String,
+    },
+    /// Value-level key.
+    Value {
+        /// Relation name.
+        relation: String,
+        /// Attribute name.
+        attribute: String,
+        /// Attribute value.
+        value: Value,
+    },
+}
+
+impl IndexKey {
+    /// Attribute-level key constructor.
+    pub fn attribute<R: Into<String>, A: Into<String>>(relation: R, attribute: A) -> Self {
+        IndexKey::Attribute { relation: relation.into(), attribute: attribute.into() }
+    }
+
+    /// Value-level key constructor.
+    pub fn value<R: Into<String>, A: Into<String>>(relation: R, attribute: A, value: Value) -> Self {
+        IndexKey::Value { relation: relation.into(), attribute: attribute.into(), value }
+    }
+
+    /// The level of this key.
+    pub fn level(&self) -> IndexLevel {
+        match self {
+            IndexKey::Attribute { .. } => IndexLevel::Attribute,
+            IndexKey::Value { .. } => IndexLevel::Value,
+        }
+    }
+
+    /// The relation this key refers to.
+    pub fn relation(&self) -> &str {
+        match self {
+            IndexKey::Attribute { relation, .. } | IndexKey::Value { relation, .. } => relation,
+        }
+    }
+
+    /// The attribute this key refers to.
+    pub fn attribute_name(&self) -> &str {
+        match self {
+            IndexKey::Attribute { attribute, .. } | IndexKey::Value { attribute, .. } => attribute,
+        }
+    }
+
+    /// The value component, for value-level keys.
+    pub fn value_part(&self) -> Option<&Value> {
+        match self {
+            IndexKey::Attribute { .. } => None,
+            IndexKey::Value { value, .. } => Some(value),
+        }
+    }
+
+    /// Canonical string form of the key: the concatenation that is hashed
+    /// onto the identifier ring. The `+` separator mirrors the notation of
+    /// the paper (`Successor(Hash(R + A + '2'))`).
+    pub fn to_key_string(&self) -> String {
+        match self {
+            IndexKey::Attribute { relation, attribute } => format!("{relation}+{attribute}"),
+            IndexKey::Value { relation, attribute, value } => {
+                format!("{relation}+{attribute}+{}", value.key_fragment())
+            }
+        }
+    }
+
+    /// The attribute-level key covering the same relation/attribute.
+    pub fn to_attribute_level(&self) -> IndexKey {
+        IndexKey::attribute(self.relation(), self.attribute_name())
+    }
+}
+
+impl fmt::Display for IndexKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_key_string())
+    }
+}
+
+/// Computes the full set of keys under which a tuple must be indexed
+/// (Procedure 1): for each attribute, one attribute-level key and one
+/// value-level key.
+pub fn tuple_index_keys(tuple: &Tuple, schema: &Schema) -> Vec<IndexKey> {
+    let mut keys = Vec::with_capacity(tuple.arity() * 2);
+    for (i, value) in tuple.values().iter().enumerate() {
+        let attribute = schema.attribute(i).unwrap_or("_unknown");
+        keys.push(IndexKey::attribute(tuple.relation(), attribute));
+        keys.push(IndexKey::value(tuple.relation(), attribute, value.clone()));
+    }
+    keys
+}
+
+/// A tiny union-find over attribute references used to compute the equality
+/// closure of a `WHERE` clause.
+struct AttrUnionFind {
+    parent: Vec<usize>,
+    ids: BTreeMap<QualifiedAttr, usize>,
+}
+
+impl AttrUnionFind {
+    fn new() -> Self {
+        AttrUnionFind { parent: Vec::new(), ids: BTreeMap::new() }
+    }
+
+    fn id(&mut self, attr: &QualifiedAttr) -> usize {
+        if let Some(&id) = self.ids.get(attr) {
+            return id;
+        }
+        let id = self.parent.len();
+        self.parent.push(id);
+        self.ids.insert(attr.clone(), id);
+        id
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Computes the candidate index keys of a query (input or rewritten), per
+/// Section 6 of the paper:
+///
+/// 1. every relation-attribute pair that appears in a join conjunct,
+/// 2. every relation-attribute-value triple appearing explicitly as a
+///    selection conjunct,
+/// 3. every relation-attribute-value triple *logically implied* by the
+///    `WHERE` clause (via the transitive closure of the equalities).
+///
+/// The returned list is deduplicated and deterministic (sorted), with
+/// value-level candidates listed after attribute-level ones for the same
+/// relation/attribute.
+pub fn candidate_keys(query: &JoinQuery) -> Vec<IndexKey> {
+    let mut uf = AttrUnionFind::new();
+    // Constants attached to equivalence classes (by representative id).
+    let mut pending_consts: Vec<(usize, Value)> = Vec::new();
+
+    let mut keys: Vec<IndexKey> = Vec::new();
+    for conjunct in query.conjuncts() {
+        match conjunct {
+            Conjunct::JoinEq(a, b) => {
+                keys.push(IndexKey::attribute(&a.relation, &a.attribute));
+                keys.push(IndexKey::attribute(&b.relation, &b.attribute));
+                let ia = uf.id(a);
+                let ib = uf.id(b);
+                uf.union(ia, ib);
+            }
+            Conjunct::ConstEq(a, v) => {
+                let ia = uf.id(a);
+                pending_consts.push((ia, v.clone()));
+            }
+        }
+    }
+
+    // Resolve constants to class representatives *after* all unions so the
+    // closure covers chains like R.A = S.B AND S.B = 5  =>  R.A = 5.
+    let mut class_const: BTreeMap<usize, Value> = BTreeMap::new();
+    for (id, v) in pending_consts {
+        let root = uf.find(id);
+        class_const.entry(root).or_insert(v);
+    }
+    let attrs: Vec<(QualifiedAttr, usize)> =
+        uf.ids.iter().map(|(a, &id)| (a.clone(), id)).collect();
+    for (attr, id) in attrs {
+        let root = uf.find(id);
+        if let Some(v) = class_const.get(&root) {
+            keys.push(IndexKey::value(&attr.relation, &attr.attribute, v.clone()));
+        }
+    }
+
+    keys.sort();
+    keys.dedup();
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+
+    #[test]
+    fn tuple_keys_cover_both_levels() {
+        let schema = Schema::new("R", ["A", "B"]).unwrap();
+        let t = Tuple::new("R", vec![Value::from(3), Value::from(5)], 0);
+        let keys = tuple_index_keys(&t, &schema);
+        assert_eq!(keys.len(), 4);
+        assert!(keys.contains(&IndexKey::attribute("R", "A")));
+        assert!(keys.contains(&IndexKey::attribute("R", "B")));
+        assert!(keys.contains(&IndexKey::value("R", "A", Value::from(3))));
+        assert!(keys.contains(&IndexKey::value("R", "B", Value::from(5))));
+    }
+
+    #[test]
+    fn key_string_forms() {
+        assert_eq!(IndexKey::attribute("R", "A").to_key_string(), "R+A");
+        assert_eq!(IndexKey::value("R", "A", Value::from(2)).to_key_string(), "R+A+i:2");
+        assert_eq!(
+            IndexKey::value("R", "A", Value::from("x")).to_key_string(),
+            "R+A+s:x"
+        );
+    }
+
+    #[test]
+    fn attribute_and_value_keys_never_collide() {
+        let a = IndexKey::attribute("R", "A");
+        let v = IndexKey::value("R", "A", Value::from(1));
+        assert_ne!(a.to_key_string(), v.to_key_string());
+        assert_eq!(v.to_attribute_level(), a);
+    }
+
+    #[test]
+    fn candidates_for_pure_join_query_are_attribute_level() {
+        let q = parse_query("SELECT R.A FROM R, S WHERE R.A = S.B").unwrap();
+        let keys = candidate_keys(&q);
+        assert_eq!(
+            keys,
+            vec![IndexKey::attribute("R", "A"), IndexKey::attribute("S", "B")]
+        );
+    }
+
+    #[test]
+    fn explicit_const_eq_yields_value_candidate() {
+        let q = parse_query("SELECT R.A FROM R, S WHERE R.A = S.B AND R.C = 7").unwrap();
+        let keys = candidate_keys(&q);
+        assert!(keys.contains(&IndexKey::value("R", "C", Value::from(7))));
+    }
+
+    #[test]
+    fn implied_const_eq_yields_value_candidates_for_whole_class() {
+        // R.A = S.B AND S.B = 5 implies R.A = 5.
+        let q = parse_query("SELECT R.A FROM R, S WHERE R.A = S.B AND S.B = 5").unwrap();
+        let keys = candidate_keys(&q);
+        assert!(keys.contains(&IndexKey::value("R", "A", Value::from(5))));
+        assert!(keys.contains(&IndexKey::value("S", "B", Value::from(5))));
+    }
+
+    #[test]
+    fn implied_closure_spans_chains() {
+        // R.A = S.B AND S.B = P.C AND P.C = 9 implies R.A = 9.
+        let q = parse_query(
+            "SELECT R.A FROM R, S, P WHERE R.A = S.B AND S.B = P.C AND P.C = 9",
+        )
+        .unwrap();
+        let keys = candidate_keys(&q);
+        assert!(keys.contains(&IndexKey::value("R", "A", Value::from(9))));
+        assert!(keys.contains(&IndexKey::value("S", "B", Value::from(9))));
+        assert!(keys.contains(&IndexKey::value("P", "C", Value::from(9))));
+    }
+
+    #[test]
+    fn candidates_are_deduplicated() {
+        let q = parse_query("SELECT R.A FROM R, S, P WHERE R.A = S.B AND R.A = P.C").unwrap();
+        let keys = candidate_keys(&q);
+        let attr_r_a =
+            keys.iter().filter(|k| **k == IndexKey::attribute("R", "A")).count();
+        assert_eq!(attr_r_a, 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! Query model for the RJoin reproduction.
+//!
+//! This crate contains everything RJoin needs to know about continuous
+//! multi-way equi-join queries, independently of any network concern:
+//!
+//! * [`JoinQuery`] — the AST of a (possibly already rewritten) multi-way
+//!   equi-join: a `SELECT` list, a set of remaining relations and a
+//!   conjunction of equality predicates ([`Conjunct`]),
+//! * [`parse_query`] — a small SQL parser for the continuous-query dialect
+//!   used throughout the paper (`SELECT ... FROM ... WHERE a = b AND ...`,
+//!   optional `DISTINCT`, optional `WINDOW` clause),
+//! * [`rewrite`] — the incremental rewriting step at the heart of RJoin:
+//!   substituting an incoming tuple into a query produces either a smaller
+//!   query, a complete answer, or a mismatch,
+//! * [`IndexKey`] / [`candidate_keys`] — derivation of the attribute-level
+//!   and value-level DHT keys under which queries and tuples are indexed
+//!   (Sections 3 and 6 of the paper),
+//! * [`WindowSpec`] — sliding/tumbling window declarations (Section 5).
+//!
+//! # Example
+//!
+//! ```
+//! use rjoin_query::{parse_query, rewrite, RewriteResult};
+//! use rjoin_relation::{Schema, Tuple, Value};
+//!
+//! let q = parse_query(
+//!     "SELECT S.B, M.A FROM R, S, M WHERE R.A = S.A AND S.B = M.B",
+//! ).unwrap();
+//! assert_eq!(q.join_count(), 2);
+//!
+//! // A tuple of R arrives; the query loses one join.
+//! let schema_r = Schema::new("R", ["A", "B", "C"]).unwrap();
+//! let t = Tuple::new("R", vec![Value::from(2), Value::from(5), Value::from(8)], 0);
+//! match rewrite(&q, &t, &schema_r).unwrap() {
+//!     RewriteResult::Partial(q1) => assert_eq!(q1.join_count(), 1),
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! ```
+
+mod ast;
+mod error;
+mod keys;
+mod parser;
+mod rewrite;
+mod window;
+
+pub use ast::{Conjunct, JoinQuery, QualifiedAttr, SelectItem};
+pub use error::QueryError;
+pub use keys::{candidate_keys, tuple_index_keys, IndexKey, IndexLevel};
+pub use parser::parse_query;
+pub use rewrite::{rewrite, RewriteResult};
+pub use window::{WindowKind, WindowSpec};

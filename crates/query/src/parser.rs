@@ -1,0 +1,468 @@
+//! A small SQL parser for the continuous-query dialect used in the paper.
+//!
+//! Supported grammar (keywords are case-insensitive):
+//!
+//! ```text
+//! query      := SELECT [DISTINCT] select_list FROM rel_list
+//!               [WHERE conjunct (AND conjunct)*] [window]
+//! select_list:= item (',' item)*
+//! item       := ident '.' ident | literal
+//! rel_list   := ident (',' ident)*
+//! conjunct   := operand '=' operand          -- at least one side an attribute
+//! operand    := ident '.' ident | literal
+//! literal    := integer | 'string'
+//! window     := WINDOW (NONE | (SLIDING|TUMBLING) integer (TIME|TUPLES))
+//! ```
+
+use crate::ast::{Conjunct, JoinQuery, QualifiedAttr, SelectItem};
+use crate::window::{WindowKind, WindowSpec};
+use crate::QueryError;
+use rjoin_relation::Value;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    Comma,
+    Dot,
+    Equals,
+    End,
+}
+
+struct Lexer<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Lexer { input, bytes: input.as_bytes(), pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> QueryError {
+        QueryError::Parse { message: message.into(), position: self.pos }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn next_token(&mut self) -> Result<(Token, usize), QueryError> {
+        self.skip_whitespace();
+        let start = self.pos;
+        if self.pos >= self.bytes.len() {
+            return Ok((Token::End, start));
+        }
+        let c = self.bytes[self.pos];
+        match c {
+            b',' => {
+                self.pos += 1;
+                Ok((Token::Comma, start))
+            }
+            b'.' => {
+                self.pos += 1;
+                Ok((Token::Dot, start))
+            }
+            b'=' => {
+                self.pos += 1;
+                Ok((Token::Equals, start))
+            }
+            b'\'' => {
+                self.pos += 1;
+                let content_start = self.pos;
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                    self.pos += 1;
+                }
+                if self.pos >= self.bytes.len() {
+                    return Err(self.error("unterminated string literal"));
+                }
+                let s = self.input[content_start..self.pos].to_string();
+                self.pos += 1; // consume closing quote
+                Ok((Token::Str(s), start))
+            }
+            b'-' | b'0'..=b'9' => {
+                let num_start = self.pos;
+                if c == b'-' {
+                    self.pos += 1;
+                    if self.pos >= self.bytes.len() || !self.bytes[self.pos].is_ascii_digit() {
+                        return Err(self.error("expected digits after `-`"));
+                    }
+                }
+                while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+                    self.pos += 1;
+                }
+                let text = &self.input[num_start..self.pos];
+                let value: i64 =
+                    text.parse().map_err(|_| self.error(format!("invalid integer `{text}`")))?;
+                Ok((Token::Int(value), start))
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                while self.pos < self.bytes.len()
+                    && (self.bytes[self.pos].is_ascii_alphanumeric() || self.bytes[self.pos] == b'_')
+                {
+                    self.pos += 1;
+                }
+                Ok((Token::Ident(self.input[start..self.pos].to_string()), start))
+            }
+            other => Err(self.error(format!("unexpected character `{}`", other as char))),
+        }
+    }
+}
+
+struct Parser<'a> {
+    tokens: Vec<(Token, usize)>,
+    index: usize,
+    input_len: usize,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Result<Self, QueryError> {
+        let mut lexer = Lexer::new(input);
+        let mut tokens = Vec::new();
+        loop {
+            let (tok, pos) = lexer.next_token()?;
+            let end = tok == Token::End;
+            tokens.push((tok, pos));
+            if end {
+                break;
+            }
+        }
+        Ok(Parser { tokens, index: 0, input_len: input.len(), _marker: std::marker::PhantomData })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.index].0
+    }
+
+    fn position(&self) -> usize {
+        self.tokens.get(self.index).map(|(_, p)| *p).unwrap_or(self.input_len)
+    }
+
+    fn error(&self, message: impl Into<String>) -> QueryError {
+        QueryError::Parse { message: message.into(), position: self.position() }
+    }
+
+    fn advance(&mut self) -> Token {
+        let tok = self.tokens[self.index].0.clone();
+        if self.index + 1 < self.tokens.len() {
+            self.index += 1;
+        }
+        tok
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), QueryError> {
+        match self.advance() {
+            Token::Ident(word) if word.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(self.error(format!("expected keyword `{kw}`, found {other:?}"))),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Token::Ident(word) if word.eq_ignore_ascii_case(kw))
+    }
+
+    fn expect_ident(&mut self) -> Result<String, QueryError> {
+        match self.advance() {
+            Token::Ident(word) => Ok(word),
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn parse_operand(&mut self) -> Result<Operand, QueryError> {
+        match self.advance() {
+            Token::Int(v) => Ok(Operand::Literal(Value::Int(v))),
+            Token::Str(s) => Ok(Operand::Literal(Value::Str(s))),
+            Token::Ident(relation) => {
+                if *self.peek() == Token::Dot {
+                    self.advance();
+                    let attribute = self.expect_ident()?;
+                    Ok(Operand::Attr(QualifiedAttr { relation, attribute }))
+                } else {
+                    Err(self.error(format!(
+                        "expected `.` after `{relation}` (attributes must be qualified as Relation.Attribute)"
+                    )))
+                }
+            }
+            other => Err(self.error(format!("expected attribute or literal, found {other:?}"))),
+        }
+    }
+
+    fn parse_select_list(&mut self) -> Result<(bool, Vec<SelectItem>), QueryError> {
+        let distinct = if self.peek_keyword("DISTINCT") {
+            self.advance();
+            true
+        } else {
+            false
+        };
+        let mut items = Vec::new();
+        loop {
+            let item = match self.parse_operand()? {
+                Operand::Attr(a) => SelectItem::Attr(a),
+                Operand::Literal(v) => SelectItem::Const(v),
+            };
+            items.push(item);
+            if *self.peek() == Token::Comma {
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        Ok((distinct, items))
+    }
+
+    fn parse_rel_list(&mut self) -> Result<Vec<String>, QueryError> {
+        let mut rels = Vec::new();
+        loop {
+            rels.push(self.expect_ident()?);
+            if *self.peek() == Token::Comma {
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        Ok(rels)
+    }
+
+    fn parse_conjuncts(&mut self) -> Result<Vec<Conjunct>, QueryError> {
+        let mut conjuncts = Vec::new();
+        loop {
+            let left = self.parse_operand()?;
+            if self.advance() != Token::Equals {
+                return Err(self.error("expected `=` in WHERE conjunct"));
+            }
+            let right = self.parse_operand()?;
+            let conjunct = match (left, right) {
+                (Operand::Attr(a), Operand::Attr(b)) => Conjunct::JoinEq(a, b),
+                (Operand::Attr(a), Operand::Literal(v))
+                | (Operand::Literal(v), Operand::Attr(a)) => Conjunct::ConstEq(a, v),
+                (Operand::Literal(_), Operand::Literal(_)) => {
+                    return Err(self.error("a conjunct must reference at least one attribute"))
+                }
+            };
+            conjuncts.push(conjunct);
+            if self.peek_keyword("AND") {
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        Ok(conjuncts)
+    }
+
+    fn parse_window(&mut self) -> Result<WindowSpec, QueryError> {
+        // The WINDOW keyword has already been consumed.
+        if self.peek_keyword("NONE") {
+            self.advance();
+            return Ok(WindowSpec::None);
+        }
+        let sliding = if self.peek_keyword("SLIDING") {
+            self.advance();
+            true
+        } else if self.peek_keyword("TUMBLING") {
+            self.advance();
+            false
+        } else {
+            return Err(self.error("expected SLIDING, TUMBLING or NONE after WINDOW"));
+        };
+        let duration = match self.advance() {
+            Token::Int(v) if v > 0 => v as u64,
+            Token::Int(v) => {
+                return Err(self.error(format!("window duration must be positive, got {v}")))
+            }
+            other => return Err(self.error(format!("expected window duration, found {other:?}"))),
+        };
+        let kind = if self.peek_keyword("TIME") {
+            self.advance();
+            WindowKind::Time
+        } else if self.peek_keyword("TUPLES") {
+            self.advance();
+            WindowKind::Tuples
+        } else {
+            return Err(self.error("expected TIME or TUPLES after window duration"));
+        };
+        Ok(if sliding {
+            WindowSpec::Sliding { duration, kind }
+        } else {
+            WindowSpec::Tumbling { duration, kind }
+        })
+    }
+
+    fn parse_query(&mut self) -> Result<JoinQuery, QueryError> {
+        self.expect_keyword("SELECT")?;
+        let (distinct, select) = self.parse_select_list()?;
+        self.expect_keyword("FROM")?;
+        let relations = self.parse_rel_list()?;
+        let conjuncts = if self.peek_keyword("WHERE") {
+            self.advance();
+            self.parse_conjuncts()?
+        } else {
+            Vec::new()
+        };
+        let window = if self.peek_keyword("WINDOW") {
+            self.advance();
+            self.parse_window()?
+        } else {
+            WindowSpec::None
+        };
+        if *self.peek() != Token::End {
+            return Err(self.error(format!("unexpected trailing input: {:?}", self.peek())));
+        }
+        JoinQuery::new(distinct, select, relations, conjuncts, window)
+    }
+}
+
+enum Operand {
+    Attr(QualifiedAttr),
+    Literal(Value),
+}
+
+/// Parses a continuous multi-way equi-join query from SQL text.
+///
+/// ```
+/// use rjoin_query::parse_query;
+/// let q = parse_query("SELECT R.B, S.B FROM R, S, P WHERE R.A = S.A AND S.B = P.B").unwrap();
+/// assert_eq!(q.join_count(), 2);
+/// assert_eq!(q.relations(), &["R".to_string(), "S".to_string(), "P".to_string()]);
+/// ```
+pub fn parse_query(input: &str) -> Result<JoinQuery, QueryError> {
+    Parser::new(input)?.parse_query()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_query_q1() {
+        let q = parse_query("select R.B, S.B from R,S,P where R.A=S.A and S.B=P.B").unwrap();
+        assert!(!q.distinct());
+        assert_eq!(q.relations(), &["R".to_string(), "S".to_string(), "P".to_string()]);
+        assert_eq!(q.join_count(), 2);
+        assert_eq!(
+            q.select(),
+            &[
+                SelectItem::Attr(QualifiedAttr::new("R", "B")),
+                SelectItem::Attr(QualifiedAttr::new("S", "B"))
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_distinct_and_const_eq() {
+        let q = parse_query("SELECT DISTINCT R.A FROM R, S WHERE R.A = S.B AND S.C = 42").unwrap();
+        assert!(q.distinct());
+        assert!(q
+            .conjuncts()
+            .contains(&Conjunct::ConstEq(QualifiedAttr::new("S", "C"), Value::from(42))));
+    }
+
+    #[test]
+    fn parses_literal_on_left_side() {
+        let q = parse_query("SELECT S.B FROM S WHERE 3 = S.A").unwrap();
+        assert_eq!(
+            q.conjuncts(),
+            &[Conjunct::ConstEq(QualifiedAttr::new("S", "A"), Value::from(3))]
+        );
+    }
+
+    #[test]
+    fn parses_string_literals_and_negative_integers() {
+        let q = parse_query("SELECT S.B FROM S WHERE S.A = 'abc' AND S.B = -7").unwrap();
+        assert_eq!(q.conjuncts().len(), 2);
+        assert!(q
+            .conjuncts()
+            .contains(&Conjunct::ConstEq(QualifiedAttr::new("S", "A"), Value::from("abc"))));
+        assert!(q
+            .conjuncts()
+            .contains(&Conjunct::ConstEq(QualifiedAttr::new("S", "B"), Value::from(-7))));
+    }
+
+    #[test]
+    fn parses_window_clauses() {
+        let q = parse_query("SELECT R.A FROM R, S WHERE R.A = S.A WINDOW SLIDING 100 TUPLES")
+            .unwrap();
+        assert_eq!(*q.window(), WindowSpec::sliding_tuples(100));
+
+        let q = parse_query("SELECT R.A FROM R, S WHERE R.A = S.A WINDOW TUMBLING 60 TIME")
+            .unwrap();
+        assert_eq!(*q.window(), WindowSpec::tumbling_time(60));
+
+        let q = parse_query("SELECT R.A FROM R, S WHERE R.A = S.A WINDOW NONE").unwrap();
+        assert_eq!(*q.window(), WindowSpec::None);
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let q = parse_query("Select r.a From r, s Where r.a = s.b").unwrap();
+        assert_eq!(q.join_count(), 1);
+    }
+
+    #[test]
+    fn query_without_where_on_single_relation() {
+        let q = parse_query("SELECT R.A FROM R").unwrap();
+        assert_eq!(q.join_count(), 0);
+        assert_eq!(q.relations(), &["R".to_string()]);
+    }
+
+    #[test]
+    fn error_on_unqualified_attribute() {
+        let err = parse_query("SELECT A FROM R").unwrap_err();
+        assert!(matches!(err, QueryError::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn error_on_missing_from() {
+        let err = parse_query("SELECT R.A").unwrap_err();
+        assert!(matches!(err, QueryError::Parse { .. }));
+    }
+
+    #[test]
+    fn error_on_literal_equals_literal() {
+        let err = parse_query("SELECT R.A FROM R WHERE 1 = 2").unwrap_err();
+        assert!(matches!(err, QueryError::Parse { .. }));
+    }
+
+    #[test]
+    fn error_on_trailing_garbage() {
+        let err = parse_query("SELECT R.A FROM R WHERE R.A = 1 GARBAGE MORE").unwrap_err();
+        assert!(matches!(err, QueryError::Parse { .. }));
+    }
+
+    #[test]
+    fn error_on_unterminated_string() {
+        let err = parse_query("SELECT R.A FROM R WHERE R.A = 'oops").unwrap_err();
+        assert!(matches!(err, QueryError::Parse { .. }));
+    }
+
+    #[test]
+    fn error_on_zero_window_duration() {
+        let err =
+            parse_query("SELECT R.A FROM R, S WHERE R.A = S.A WINDOW SLIDING 0 TUPLES").unwrap_err();
+        assert!(matches!(err, QueryError::Parse { .. }));
+    }
+
+    #[test]
+    fn error_positions_are_byte_offsets() {
+        let input = "SELECT R.A FROM R WHERE ???";
+        match parse_query(input).unwrap_err() {
+            QueryError::Parse { position, .. } => assert!(position >= input.find('?').unwrap()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_output_reparses_to_equal_query() {
+        let original = parse_query(
+            "SELECT DISTINCT R.B, S.B FROM R, S, P WHERE R.A = S.A AND S.B = P.B AND P.C = 5 \
+             WINDOW SLIDING 20 TIME",
+        )
+        .unwrap();
+        let reparsed = parse_query(&original.to_string()).unwrap();
+        assert_eq!(original, reparsed);
+    }
+}

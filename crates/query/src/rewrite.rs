@@ -1,0 +1,276 @@
+//! The incremental rewriting step at the heart of RJoin.
+//!
+//! When a tuple `t` of relation `R` triggers a query `q` (input or already
+//! rewritten), `q` is rewritten into a query with fewer joins: every
+//! occurrence of an attribute of `R` is replaced by the corresponding value
+//! of `t` and the `WHERE` clause is simplified. Three outcomes are possible:
+//!
+//! * the `WHERE` clause becomes `true` — an **answer** has been produced,
+//! * some conjuncts remain — a smaller **rewritten query** is produced and
+//!   must be re-indexed at another node,
+//! * a selection conjunct over `R` evaluates to `false` — the tuple does
+//!   **not** match and nothing is produced.
+
+use crate::ast::{Conjunct, JoinQuery, SelectItem};
+use crate::QueryError;
+use rjoin_relation::{Schema, Tuple, Value};
+
+/// Result of rewriting a query with an incoming tuple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RewriteResult {
+    /// The `WHERE` clause became `true`; the answer row (the fully resolved
+    /// `SELECT` list) is returned.
+    Complete(Vec<Value>),
+    /// The query still has work to do; the rewritten query is returned and
+    /// must be re-indexed.
+    Partial(JoinQuery),
+    /// The tuple does not satisfy a selection conjunct of the query; the
+    /// query is unaffected.
+    Mismatch,
+}
+
+impl RewriteResult {
+    /// Convenience predicate.
+    pub fn is_mismatch(&self) -> bool {
+        matches!(self, RewriteResult::Mismatch)
+    }
+}
+
+fn tuple_value<'t>(
+    tuple: &'t Tuple,
+    schema: &Schema,
+    attribute: &str,
+) -> Result<&'t Value, QueryError> {
+    let idx = schema.index_of(attribute).ok_or_else(|| QueryError::UnknownAttribute {
+        attr: crate::ast::QualifiedAttr::new(tuple.relation(), attribute),
+    })?;
+    tuple.value(idx).ok_or_else(|| QueryError::UnknownAttribute {
+        attr: crate::ast::QualifiedAttr::new(tuple.relation(), attribute),
+    })
+}
+
+/// Rewrites `query` with the incoming `tuple` (whose schema is `schema`),
+/// implementing the `rewrite(q, t)` function of Procedures 2 and 3.
+///
+/// Returns an error if the tuple's relation is not referenced by the query,
+/// if the schema does not describe the tuple's relation, or if the query
+/// references an attribute that does not exist in the schema. These are
+/// caller bugs, not data-dependent conditions.
+pub fn rewrite(
+    query: &JoinQuery,
+    tuple: &Tuple,
+    schema: &Schema,
+) -> Result<RewriteResult, QueryError> {
+    let relation = tuple.relation();
+    if schema.relation() != relation {
+        return Err(QueryError::SchemaMismatch {
+            tuple_relation: relation.to_string(),
+            schema_relation: schema.relation().to_string(),
+        });
+    }
+    if !query.references_relation(relation) {
+        return Err(QueryError::IrrelevantTuple { relation: relation.to_string() });
+    }
+
+    // Simplify the WHERE clause.
+    let mut new_conjuncts = Vec::with_capacity(query.conjuncts().len());
+    for conjunct in query.conjuncts() {
+        match conjunct {
+            Conjunct::JoinEq(a, b) => {
+                if a.relation == relation {
+                    let v = tuple_value(tuple, schema, &a.attribute)?;
+                    new_conjuncts.push(Conjunct::ConstEq(b.clone(), v.clone()));
+                } else if b.relation == relation {
+                    let v = tuple_value(tuple, schema, &b.attribute)?;
+                    new_conjuncts.push(Conjunct::ConstEq(a.clone(), v.clone()));
+                } else {
+                    new_conjuncts.push(conjunct.clone());
+                }
+            }
+            Conjunct::ConstEq(a, expected) => {
+                if a.relation == relation {
+                    let v = tuple_value(tuple, schema, &a.attribute)?;
+                    if v != expected {
+                        return Ok(RewriteResult::Mismatch);
+                    }
+                    // Satisfied: drop the conjunct.
+                } else {
+                    new_conjuncts.push(conjunct.clone());
+                }
+            }
+        }
+    }
+
+    // Resolve SELECT items that refer to the incoming relation.
+    let mut new_select = Vec::with_capacity(query.select().len());
+    for item in query.select() {
+        match item {
+            SelectItem::Attr(a) if a.relation == relation => {
+                let v = tuple_value(tuple, schema, &a.attribute)?;
+                new_select.push(SelectItem::Const(v.clone()));
+            }
+            other => new_select.push(other.clone()),
+        }
+    }
+
+    // Drop the relation from the FROM list.
+    let new_relations: Vec<String> =
+        query.relations().iter().filter(|r| r.as_str() != relation).cloned().collect();
+
+    let rewritten = JoinQuery::from_parts_unchecked(
+        query.distinct(),
+        new_select,
+        new_relations,
+        new_conjuncts,
+        *query.window(),
+    );
+
+    if rewritten.is_complete() {
+        match rewritten.answer_row() {
+            Some(row) => Ok(RewriteResult::Complete(row)),
+            // Complete WHERE clause but unresolved SELECT items can only
+            // happen for queries that select attributes of relations absent
+            // from the (original) WHERE clause; the constructor prevents
+            // that, so treat it as partial work that can never finish.
+            None => Ok(RewriteResult::Partial(rewritten)),
+        }
+    } else {
+        Ok(RewriteResult::Partial(rewritten))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+    use rjoin_relation::Schema;
+
+    fn schema(rel: &str) -> Schema {
+        Schema::new(rel, ["A", "B", "C"]).unwrap()
+    }
+
+    fn tuple(rel: &str, values: [i64; 3]) -> Tuple {
+        Tuple::new(rel, values.iter().map(|v| Value::from(*v)).collect(), 0)
+    }
+
+    /// Reproduces the running example of Figure 1 in the paper end to end.
+    #[test]
+    fn figure_one_example() {
+        let q = parse_query(
+            "SELECT S.B, M.A FROM R, S, J, M WHERE R.A = S.A AND S.B = J.B AND J.C = M.C",
+        )
+        .unwrap();
+
+        // Event 2: tuple t1 = (2,5,8) of R.
+        let q1 = match rewrite(&q, &tuple("R", [2, 5, 8]), &schema("R")).unwrap() {
+            RewriteResult::Partial(q1) => q1,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(q1.join_count(), 2);
+        assert!(q1.conjuncts().contains(&Conjunct::ConstEq(
+            crate::ast::QualifiedAttr::new("S", "A"),
+            Value::from(2)
+        )));
+        assert!(!q1.references_relation("R"));
+
+        // Event 3: tuple t2 = (2,6,3) of S.
+        let q2 = match rewrite(&q1, &tuple("S", [2, 6, 3]), &schema("S")).unwrap() {
+            RewriteResult::Partial(q2) => q2,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(q2.join_count(), 1);
+        assert_eq!(q2.select()[0], SelectItem::Const(Value::from(6)));
+
+        // Event 5 (first half): tuple t4 = (7,6,2) of J.
+        let q3 = match rewrite(&q2, &tuple("J", [7, 6, 2]), &schema("J")).unwrap() {
+            RewriteResult::Partial(q3) => q3,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(q3.join_count(), 0);
+        assert_eq!(q3.relations(), &["M".to_string()]);
+
+        // Event 5 (second half): stored tuple t3 = (9,1,2) of M completes it.
+        match rewrite(&q3, &tuple("M", [9, 1, 2]), &schema("M")).unwrap() {
+            RewriteResult::Complete(row) => {
+                assert_eq!(row, vec![Value::from(6), Value::from(9)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn const_mismatch_is_detected() {
+        let q = parse_query("SELECT S.B FROM S WHERE S.A = 2").unwrap();
+        // S.A = 3 does not satisfy S.A = 2.
+        let r = rewrite(&q, &tuple("S", [3, 6, 3]), &schema("S")).unwrap();
+        assert!(r.is_mismatch());
+        // S.A = 2 does.
+        let r = rewrite(&q, &tuple("S", [2, 6, 3]), &schema("S")).unwrap();
+        assert_eq!(r, RewriteResult::Complete(vec![Value::from(6)]));
+    }
+
+    #[test]
+    fn irrelevant_tuple_is_an_error() {
+        let q = parse_query("SELECT S.B FROM S WHERE S.A = 2").unwrap();
+        let err = rewrite(&q, &tuple("Z", [1, 2, 3]), &schema("Z")).unwrap_err();
+        assert!(matches!(err, QueryError::IrrelevantTuple { .. }));
+    }
+
+    #[test]
+    fn schema_mismatch_is_an_error() {
+        let q = parse_query("SELECT S.B FROM S WHERE S.A = 2").unwrap();
+        let err = rewrite(&q, &tuple("S", [2, 6, 3]), &schema("R")).unwrap_err();
+        assert!(matches!(err, QueryError::SchemaMismatch { .. }));
+    }
+
+    #[test]
+    fn unknown_attribute_is_an_error() {
+        let q = parse_query("SELECT S.Z FROM S, R WHERE S.Z = R.A").unwrap();
+        let err = rewrite(&q, &tuple("S", [2, 6, 3]), &schema("S")).unwrap_err();
+        assert!(matches!(err, QueryError::UnknownAttribute { .. }));
+    }
+
+    #[test]
+    fn multiple_joins_on_same_relation_all_rewritten() {
+        // R joins with both S and P; one tuple of R resolves both sides.
+        let q = parse_query("SELECT R.A FROM R, S, P WHERE R.A = S.A AND R.B = P.B").unwrap();
+        let q1 = match rewrite(&q, &tuple("R", [1, 2, 3]), &schema("R")).unwrap() {
+            RewriteResult::Partial(q1) => q1,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(q1.join_count(), 0);
+        assert_eq!(q1.conjuncts().len(), 2);
+        assert!(q1
+            .conjuncts()
+            .iter()
+            .all(|c| matches!(c, Conjunct::ConstEq(_, _))));
+    }
+
+    #[test]
+    fn rewriting_preserves_distinct_and_window() {
+        let q = parse_query(
+            "SELECT DISTINCT R.A FROM R, S WHERE R.A = S.A WINDOW SLIDING 100 TUPLES",
+        )
+        .unwrap();
+        let q1 = match rewrite(&q, &tuple("R", [1, 2, 3]), &schema("R")).unwrap() {
+            RewriteResult::Partial(q1) => q1,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(q1.distinct());
+        assert_eq!(q1.window(), q.window());
+    }
+
+    #[test]
+    fn string_values_flow_through() {
+        let q = parse_query("SELECT S.B FROM S WHERE S.A = 'abc'").unwrap();
+        let t = Tuple::new(
+            "S",
+            vec![Value::from("abc"), Value::from("out"), Value::from(0)],
+            0,
+        );
+        match rewrite(&q, &t, &schema("S")).unwrap() {
+            RewriteResult::Complete(row) => assert_eq!(row, vec![Value::from("out")]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

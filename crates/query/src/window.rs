@@ -1,0 +1,187 @@
+//! Sliding/tumbling window declarations (Section 5 of the paper).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How the window duration is measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WindowKind {
+    /// Duration is a number of logical time units.
+    Time,
+    /// Duration is a number of tuple arrivals of the triggering relation.
+    Tuples,
+}
+
+impl fmt::Display for WindowKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WindowKind::Time => write!(f, "TIME"),
+            WindowKind::Tuples => write!(f, "TUPLES"),
+        }
+    }
+}
+
+/// A window declaration attached to a continuous query.
+///
+/// The paper supports time-based and tuple-based *sliding* windows plus
+/// tumbling windows, all implemented with purely local bookkeeping: a
+/// rewritten query inherits `useWindows` and `window` from the query it was
+/// derived from, records the publication time of the tuple that created it
+/// as `start`, and is dropped by the node holding it as soon as a triggering
+/// tuple falls outside `start + window`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum WindowSpec {
+    /// No window: every tuple published after the query combines with every
+    /// other (the most demanding configuration, default in the paper's
+    /// experiments).
+    #[default]
+    None,
+    /// Sliding window of the given duration.
+    Sliding {
+        /// Window length.
+        duration: u64,
+        /// Whether the length counts time units or tuples.
+        kind: WindowKind,
+    },
+    /// Tumbling window of the given duration: the window advances in fixed
+    /// strides instead of sliding with each tuple.
+    Tumbling {
+        /// Window length (and stride).
+        duration: u64,
+        /// Whether the length counts time units or tuples.
+        kind: WindowKind,
+    },
+}
+
+impl WindowSpec {
+    /// Convenience constructor for a time-based sliding window.
+    pub fn sliding_time(duration: u64) -> Self {
+        WindowSpec::Sliding { duration, kind: WindowKind::Time }
+    }
+
+    /// Convenience constructor for a tuple-based sliding window.
+    pub fn sliding_tuples(duration: u64) -> Self {
+        WindowSpec::Sliding { duration, kind: WindowKind::Tuples }
+    }
+
+    /// Convenience constructor for a time-based tumbling window.
+    pub fn tumbling_time(duration: u64) -> Self {
+        WindowSpec::Tumbling { duration, kind: WindowKind::Time }
+    }
+
+    /// Whether the query declares any window at all (the paper's
+    /// `useWindows` flag).
+    pub fn use_windows(&self) -> bool {
+        !matches!(self, WindowSpec::None)
+    }
+
+    /// The declared duration, if a window is declared.
+    pub fn duration(&self) -> Option<u64> {
+        match self {
+            WindowSpec::None => None,
+            WindowSpec::Sliding { duration, .. } | WindowSpec::Tumbling { duration, .. } => {
+                Some(*duration)
+            }
+        }
+    }
+
+    /// The unit in which the duration is measured, if a window is declared.
+    pub fn kind(&self) -> Option<WindowKind> {
+        match self {
+            WindowSpec::None => None,
+            WindowSpec::Sliding { kind, .. } | WindowSpec::Tumbling { kind, .. } => Some(*kind),
+        }
+    }
+
+    /// Whether two events at positions `start` and `now` (in the window's
+    /// unit — time or tuple count) fall within the same window.
+    ///
+    /// This implements the validity test of Section 5:
+    /// `|start - now| + 1 <= window`. For tumbling windows the test is that
+    /// both positions fall in the same fixed-size bucket.
+    pub fn within(&self, start: u64, now: u64) -> bool {
+        match self {
+            WindowSpec::None => true,
+            WindowSpec::Sliding { duration, .. } => {
+                let span = start.abs_diff(now);
+                span.saturating_add(1) <= *duration
+            }
+            WindowSpec::Tumbling { duration, .. } => {
+                if *duration == 0 {
+                    return false;
+                }
+                start / duration == now / duration
+            }
+        }
+    }
+}
+
+impl fmt::Display for WindowSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WindowSpec::None => write!(f, "WINDOW NONE"),
+            WindowSpec::Sliding { duration, kind } => {
+                write!(f, "WINDOW SLIDING {duration} {kind}")
+            }
+            WindowSpec::Tumbling { duration, kind } => {
+                write!(f, "WINDOW TUMBLING {duration} {kind}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_window_accepts_everything() {
+        assert!(WindowSpec::None.within(0, u64::MAX));
+        assert!(!WindowSpec::None.use_windows());
+        assert_eq!(WindowSpec::None.duration(), None);
+        assert_eq!(WindowSpec::None.kind(), None);
+    }
+
+    #[test]
+    fn sliding_window_boundary() {
+        let w = WindowSpec::sliding_tuples(100);
+        assert!(w.use_windows());
+        assert_eq!(w.duration(), Some(100));
+        assert_eq!(w.kind(), Some(WindowKind::Tuples));
+        // |start-now|+1 <= 100
+        assert!(w.within(10, 10));
+        assert!(w.within(10, 109)); // span 99 + 1 = 100
+        assert!(!w.within(10, 110)); // span 100 + 1 = 101
+        // The test is symmetric in start/now (the paper uses an absolute value).
+        assert!(w.within(109, 10));
+        assert!(!w.within(110, 10));
+    }
+
+    #[test]
+    fn sliding_window_of_one_only_same_instant() {
+        let w = WindowSpec::sliding_time(1);
+        assert!(w.within(5, 5));
+        assert!(!w.within(5, 6));
+    }
+
+    #[test]
+    fn tumbling_window_buckets() {
+        let w = WindowSpec::tumbling_time(10);
+        assert!(w.within(0, 9));
+        assert!(!w.within(9, 10));
+        assert!(w.within(10, 19));
+        assert!(!w.within(19, 20));
+    }
+
+    #[test]
+    fn zero_duration_tumbling_rejects() {
+        let w = WindowSpec::Tumbling { duration: 0, kind: WindowKind::Time };
+        assert!(!w.within(0, 0));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(WindowSpec::sliding_tuples(50).to_string(), "WINDOW SLIDING 50 TUPLES");
+        assert_eq!(WindowSpec::tumbling_time(5).to_string(), "WINDOW TUMBLING 5 TIME");
+    }
+}

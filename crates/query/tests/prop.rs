@@ -1,0 +1,181 @@
+//! Property-based tests for the query model: parser/printer round-trips and
+//! invariants of the rewriting step.
+
+use proptest::prelude::*;
+use rjoin_query::{
+    candidate_keys, parse_query, rewrite, Conjunct, IndexLevel, JoinQuery, QualifiedAttr,
+    RewriteResult, SelectItem, WindowSpec,
+};
+use rjoin_relation::{Schema, Tuple, Value};
+
+/// Strategy producing random chain-join queries over relations `R0..R5` with
+/// attributes `A0..A3`.
+fn arb_chain_query() -> impl Strategy<Value = JoinQuery> {
+    (
+        2usize..=5,                       // number of relations in the chain
+        proptest::collection::vec(0usize..4, 10), // attribute picks
+        proptest::bool::ANY,              // distinct
+        prop_oneof![
+            Just(WindowSpec::None),
+            (1u64..200).prop_map(WindowSpec::sliding_tuples),
+            (1u64..200).prop_map(WindowSpec::sliding_time),
+        ],
+        proptest::option::of(0i64..5),    // optional constant predicate value
+    )
+        .prop_map(|(relations, attrs, distinct, window, const_pred)| {
+            let rels: Vec<String> = (0..relations).map(|i| format!("R{i}")).collect();
+            let attr = |i: usize| format!("A{}", attrs[i % attrs.len()]);
+            let mut conjuncts = Vec::new();
+            for (i, pair) in rels.windows(2).enumerate() {
+                conjuncts.push(Conjunct::JoinEq(
+                    QualifiedAttr::new(pair[0].clone(), attr(2 * i)),
+                    QualifiedAttr::new(pair[1].clone(), attr(2 * i + 1)),
+                ));
+            }
+            if let Some(v) = const_pred {
+                conjuncts.push(Conjunct::ConstEq(
+                    QualifiedAttr::new(rels[0].clone(), "A0"),
+                    Value::from(v),
+                ));
+            }
+            let select = vec![
+                SelectItem::Attr(QualifiedAttr::new(rels[0].clone(), attr(7))),
+                SelectItem::Attr(QualifiedAttr::new(rels[rels.len() - 1].clone(), attr(8))),
+            ];
+            JoinQuery::new(distinct, select, rels, conjuncts, window).expect("well-formed chain")
+        })
+}
+
+fn schema_for(relation: &str) -> Schema {
+    Schema::new(relation, ["A0", "A1", "A2", "A3"]).unwrap()
+}
+
+fn arb_tuple_for(relation: String) -> impl Strategy<Value = Tuple> {
+    proptest::collection::vec(0i64..5, 4)
+        .prop_map(move |vals| Tuple::new(relation.clone(), vals.into_iter().map(Value::from).collect(), 0))
+}
+
+proptest! {
+    /// Printing a query and re-parsing it yields an identical query.
+    #[test]
+    fn display_parse_round_trip(query in arb_chain_query()) {
+        let printed = query.to_string();
+        let reparsed = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("failed to reparse `{printed}`: {e}"));
+        prop_assert_eq!(reparsed, query);
+    }
+
+    /// Rewriting with a tuple of relation `R` removes `R` from the FROM list,
+    /// never increases the number of join conjuncts, and preserves DISTINCT
+    /// and the window declaration.
+    #[test]
+    fn rewrite_shrinks_query(
+        query in arb_chain_query(),
+        tuple_vals in proptest::collection::vec(0i64..5, 4),
+    ) {
+        let relation = query.relations()[0].clone();
+        let schema = schema_for(&relation);
+        let tuple = Tuple::new(
+            relation.clone(),
+            tuple_vals.into_iter().map(Value::from).collect(),
+            0,
+        );
+        match rewrite(&query, &tuple, &schema).unwrap() {
+            RewriteResult::Partial(rewritten) => {
+                prop_assert!(!rewritten.references_relation(&relation));
+                prop_assert!(rewritten.join_count() < query.join_count()
+                    || query.join_count() == 0);
+                prop_assert_eq!(rewritten.relations().len(), query.relations().len() - 1);
+                prop_assert_eq!(rewritten.distinct(), query.distinct());
+                prop_assert_eq!(rewritten.window(), query.window());
+            }
+            RewriteResult::Complete(row) => {
+                prop_assert_eq!(row.len(), query.select().len());
+                prop_assert_eq!(query.relations().len(), 1);
+            }
+            RewriteResult::Mismatch => {
+                // Only possible when the query constrains the relation with a
+                // constant predicate.
+                prop_assert!(query
+                    .conjuncts()
+                    .iter()
+                    .any(|c| matches!(c, Conjunct::ConstEq(a, _) if a.relation == relation)));
+            }
+        }
+    }
+
+    /// Repeatedly rewriting a chain query with matching tuples (one per
+    /// relation, sharing the join values) always terminates in a complete
+    /// answer after exactly `relations` steps.
+    #[test]
+    fn full_rewrite_chain_completes(query in arb_chain_query()) {
+        // Build tuples whose every attribute is 0 so that all join conjuncts
+        // match; a constant predicate on value v != 0 may legitimately
+        // mismatch, in which case the chain stops early.
+        let mut current = query.clone();
+        let mut steps = 0usize;
+        while let Some(relation) = current.relations().first().cloned() {
+            let schema = schema_for(&relation);
+            let tuple = Tuple::new(
+                relation.clone(),
+                vec![Value::from(0); 4],
+                0,
+            );
+            match rewrite(&current, &tuple, &schema).unwrap() {
+                RewriteResult::Partial(next) => {
+                    current = next;
+                    steps += 1;
+                    prop_assert!(steps <= query.relations().len());
+                }
+                RewriteResult::Complete(row) => {
+                    prop_assert_eq!(row.len(), query.select().len());
+                    prop_assert_eq!(steps + 1, query.relations().len());
+                    break;
+                }
+                RewriteResult::Mismatch => {
+                    // The optional constant predicate did not match value 0.
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Candidate keys are non-empty for any query with at least one conjunct,
+    /// deduplicated, and every value-level candidate also has its
+    /// attribute-level counterpart or stems from a constant predicate.
+    #[test]
+    fn candidate_keys_cover_conjuncts(query in arb_chain_query()) {
+        let keys = candidate_keys(&query);
+        prop_assert!(!keys.is_empty());
+        let mut sorted = keys.clone();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), keys.len(), "candidates must be deduplicated");
+        // Every join conjunct contributes its two attribute-level keys.
+        for conjunct in query.conjuncts() {
+            if let Conjunct::JoinEq(a, b) = conjunct {
+                prop_assert!(keys.iter().any(|k| k.level() == IndexLevel::Attribute
+                    && k.relation() == a.relation
+                    && k.attribute_name() == a.attribute));
+                prop_assert!(keys.iter().any(|k| k.level() == IndexLevel::Attribute
+                    && k.relation() == b.relation
+                    && k.attribute_name() == b.attribute));
+            }
+        }
+    }
+
+    /// Key strings are injective over the candidate set: two distinct keys
+    /// never produce the same hashed string.
+    #[test]
+    fn key_strings_are_unique(query in arb_chain_query(), tuple in arb_tuple_for("R0".to_string())) {
+        let schema = schema_for("R0");
+        let mut keys = candidate_keys(&query);
+        keys.extend(rjoin_query::tuple_index_keys(&tuple, &schema));
+        keys.sort();
+        keys.dedup();
+        let mut strings: Vec<String> = keys.iter().map(|k| k.to_key_string()).collect();
+        strings.sort();
+        let before = strings.len();
+        strings.dedup();
+        prop_assert_eq!(strings.len(), before);
+    }
+}

@@ -1,0 +1,130 @@
+//! Schema catalog.
+
+use crate::{RelationError, Schema, Tuple};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A registry of relation schemas.
+///
+/// The paper allows several schemas to co-exist in the network (without
+/// schema mappings); the catalog simply records every relation known to the
+/// workload so that tuples and queries can be validated before they are
+/// injected into the simulation.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    schemas: BTreeMap<String, Schema>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a schema. Fails if a relation with the same name exists.
+    pub fn register(&mut self, schema: Schema) -> Result<(), RelationError> {
+        if self.schemas.contains_key(schema.relation()) {
+            return Err(RelationError::DuplicateRelation { relation: schema.relation().to_string() });
+        }
+        self.schemas.insert(schema.relation().to_string(), schema);
+        Ok(())
+    }
+
+    /// Looks up the schema of `relation`.
+    pub fn schema(&self, relation: &str) -> Option<&Schema> {
+        self.schemas.get(relation)
+    }
+
+    /// Looks up the schema of `relation`, failing if it is unknown.
+    pub fn require_schema(&self, relation: &str) -> Result<&Schema, RelationError> {
+        self.schema(relation)
+            .ok_or_else(|| RelationError::UnknownRelation { relation: relation.to_string() })
+    }
+
+    /// Number of registered relations.
+    pub fn len(&self) -> usize {
+        self.schemas.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.schemas.is_empty()
+    }
+
+    /// Iterates over all registered schemas in relation-name order.
+    pub fn schemas(&self) -> impl Iterator<Item = &Schema> {
+        self.schemas.values()
+    }
+
+    /// Relation names in sorted order.
+    pub fn relation_names(&self) -> Vec<&str> {
+        self.schemas.keys().map(String::as_str).collect()
+    }
+
+    /// Checks that a tuple refers to a known relation and has the right
+    /// arity.
+    pub fn validate_tuple(&self, tuple: &Tuple) -> Result<(), RelationError> {
+        let schema = self.require_schema(tuple.relation())?;
+        if schema.arity() != tuple.arity() {
+            return Err(RelationError::ArityMismatch {
+                relation: tuple.relation().to_string(),
+                expected: schema.arity(),
+                actual: tuple.arity(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(Schema::new("R", ["A", "B"]).unwrap()).unwrap();
+        c.register(Schema::new("S", ["A", "B", "C"]).unwrap()).unwrap();
+        c
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let c = catalog();
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        assert_eq!(c.schema("R").unwrap().arity(), 2);
+        assert!(c.schema("T").is_none());
+        assert_eq!(c.relation_names(), vec!["R", "S"]);
+    }
+
+    #[test]
+    fn rejects_duplicate_relation() {
+        let mut c = catalog();
+        let err = c.register(Schema::new("R", ["X"]).unwrap()).unwrap_err();
+        assert_eq!(err, RelationError::DuplicateRelation { relation: "R".into() });
+    }
+
+    #[test]
+    fn validate_tuple_checks_relation_and_arity() {
+        let c = catalog();
+        let ok = Tuple::new("R", vec![Value::from(1), Value::from(2)], 0);
+        assert!(c.validate_tuple(&ok).is_ok());
+
+        let unknown = Tuple::new("T", vec![Value::from(1)], 0);
+        assert!(matches!(c.validate_tuple(&unknown), Err(RelationError::UnknownRelation { .. })));
+
+        let bad_arity = Tuple::new("R", vec![Value::from(1)], 0);
+        assert_eq!(
+            c.validate_tuple(&bad_arity),
+            Err(RelationError::ArityMismatch { relation: "R".into(), expected: 2, actual: 1 })
+        );
+    }
+
+    #[test]
+    fn require_schema_errors_on_missing() {
+        let c = catalog();
+        assert!(c.require_schema("R").is_ok());
+        assert!(c.require_schema("nope").is_err());
+    }
+}

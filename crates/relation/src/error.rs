@@ -1,0 +1,105 @@
+//! Error types for the relational model.
+
+use std::fmt;
+
+/// Errors raised while constructing or validating relational objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationError {
+    /// A schema was declared with no attributes.
+    EmptySchema {
+        /// Name of the offending relation.
+        relation: String,
+    },
+    /// A schema declares the same attribute name twice.
+    DuplicateAttribute {
+        /// Name of the offending relation.
+        relation: String,
+        /// The repeated attribute name.
+        attribute: String,
+    },
+    /// A schema with this relation name is already registered.
+    DuplicateRelation {
+        /// Name of the offending relation.
+        relation: String,
+    },
+    /// A tuple refers to a relation that is not in the catalog.
+    UnknownRelation {
+        /// The missing relation name.
+        relation: String,
+    },
+    /// An attribute name does not exist in the relation's schema.
+    UnknownAttribute {
+        /// Relation searched.
+        relation: String,
+        /// The missing attribute name.
+        attribute: String,
+    },
+    /// A tuple's arity does not match its schema.
+    ArityMismatch {
+        /// Relation the tuple claims to belong to.
+        relation: String,
+        /// Arity declared by the schema.
+        expected: usize,
+        /// Arity of the tuple.
+        actual: usize,
+    },
+    /// An identifier (relation or attribute name) is syntactically invalid.
+    InvalidIdentifier {
+        /// The rejected identifier.
+        name: String,
+    },
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::EmptySchema { relation } => {
+                write!(f, "schema for relation `{relation}` has no attributes")
+            }
+            RelationError::DuplicateAttribute { relation, attribute } => {
+                write!(f, "relation `{relation}` declares attribute `{attribute}` more than once")
+            }
+            RelationError::DuplicateRelation { relation } => {
+                write!(f, "relation `{relation}` is already registered in the catalog")
+            }
+            RelationError::UnknownRelation { relation } => {
+                write!(f, "relation `{relation}` is not registered in the catalog")
+            }
+            RelationError::UnknownAttribute { relation, attribute } => {
+                write!(f, "relation `{relation}` has no attribute named `{attribute}`")
+            }
+            RelationError::ArityMismatch { relation, expected, actual } => {
+                write!(
+                    f,
+                    "tuple for relation `{relation}` has {actual} values but the schema expects {expected}"
+                )
+            }
+            RelationError::InvalidIdentifier { name } => {
+                write!(f, "`{name}` is not a valid identifier")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_names() {
+        let err = RelationError::UnknownAttribute {
+            relation: "R".into(),
+            attribute: "Z".into(),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains('R') && msg.contains('Z'));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&RelationError::EmptySchema { relation: "R".into() });
+    }
+}

@@ -1,0 +1,161 @@
+//! Relation schemas.
+
+use crate::RelationError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Index of an attribute within a relation schema.
+pub type AttrIndex = usize;
+
+/// A named relation schema: a relation name plus an ordered list of
+/// attribute names.
+///
+/// Schemas are cheap to clone (the attribute list is shared behind an
+/// [`Arc`]) because every tuple and query in the simulation refers to them.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Schema {
+    relation: String,
+    attributes: Arc<Vec<String>>,
+}
+
+fn valid_identifier(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .map(|c| c.is_ascii_alphabetic() || c == '_')
+            .unwrap_or(false)
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+impl Schema {
+    /// Creates a new schema.
+    ///
+    /// Fails if the relation name or any attribute name is not a valid
+    /// identifier, if there are no attributes, or if an attribute name is
+    /// repeated.
+    pub fn new<R, I, A>(relation: R, attributes: I) -> Result<Self, RelationError>
+    where
+        R: Into<String>,
+        I: IntoIterator<Item = A>,
+        A: Into<String>,
+    {
+        let relation = relation.into();
+        if !valid_identifier(&relation) {
+            return Err(RelationError::InvalidIdentifier { name: relation });
+        }
+        let attributes: Vec<String> = attributes.into_iter().map(Into::into).collect();
+        if attributes.is_empty() {
+            return Err(RelationError::EmptySchema { relation });
+        }
+        for (i, attr) in attributes.iter().enumerate() {
+            if !valid_identifier(attr) {
+                return Err(RelationError::InvalidIdentifier { name: attr.clone() });
+            }
+            if attributes[..i].contains(attr) {
+                return Err(RelationError::DuplicateAttribute {
+                    relation,
+                    attribute: attr.clone(),
+                });
+            }
+        }
+        Ok(Schema { relation, attributes: Arc::new(attributes) })
+    }
+
+    /// The relation name.
+    pub fn relation(&self) -> &str {
+        &self.relation
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// The ordered attribute names.
+    pub fn attributes(&self) -> &[String] {
+        &self.attributes
+    }
+
+    /// Name of the attribute at `index`, if it exists.
+    pub fn attribute(&self, index: AttrIndex) -> Option<&str> {
+        self.attributes.get(index).map(String::as_str)
+    }
+
+    /// Position of the attribute named `name`, if it exists.
+    pub fn index_of(&self, name: &str) -> Option<AttrIndex> {
+        self.attributes.iter().position(|a| a == name)
+    }
+
+    /// Returns an error if `name` is not an attribute of this schema.
+    pub fn require_attribute(&self, name: &str) -> Result<AttrIndex, RelationError> {
+        self.index_of(name).ok_or_else(|| RelationError::UnknownAttribute {
+            relation: self.relation.clone(),
+            attribute: name.to_string(),
+        })
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.relation, self.attributes.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_valid_schema() {
+        let s = Schema::new("R", ["A", "B"]).unwrap();
+        assert_eq!(s.relation(), "R");
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.attribute(0), Some("A"));
+        assert_eq!(s.index_of("B"), Some(1));
+        assert_eq!(s.index_of("C"), None);
+    }
+
+    #[test]
+    fn rejects_empty_schema() {
+        let err = Schema::new("R", Vec::<String>::new()).unwrap_err();
+        assert_eq!(err, RelationError::EmptySchema { relation: "R".into() });
+    }
+
+    #[test]
+    fn rejects_duplicate_attribute() {
+        let err = Schema::new("R", ["A", "A"]).unwrap_err();
+        assert!(matches!(err, RelationError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn rejects_invalid_identifiers() {
+        assert!(Schema::new("1R", ["A"]).is_err());
+        assert!(Schema::new("R", ["a b"]).is_err());
+        assert!(Schema::new("", ["A"]).is_err());
+        assert!(Schema::new("R", [""]).is_err());
+    }
+
+    #[test]
+    fn underscore_identifiers_allowed() {
+        let s = Schema::new("_events", ["attr_1", "_x"]).unwrap();
+        assert_eq!(s.arity(), 2);
+    }
+
+    #[test]
+    fn require_attribute_reports_relation() {
+        let s = Schema::new("R", ["A"]).unwrap();
+        let err = s.require_attribute("Z").unwrap_err();
+        assert_eq!(
+            err,
+            RelationError::UnknownAttribute { relation: "R".into(), attribute: "Z".into() }
+        );
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = Schema::new("R", ["A", "B"]).unwrap();
+        assert_eq!(s.to_string(), "R(A, B)");
+    }
+}

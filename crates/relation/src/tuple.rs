@@ -1,0 +1,123 @@
+//! Published tuples.
+
+use crate::{Timestamp, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// A tuple published into the network.
+///
+/// Tuples are append-only (Section 2 of the paper): once published they are
+/// never updated. Each tuple records its publication time `pubT(t)`, which
+/// drives the "tuples must be published at or after query submission"
+/// semantics and sliding-window checks.
+///
+/// The value vector is shared behind an [`Arc`] so that indexing a tuple at
+/// both the attribute level and the value level for every attribute
+/// (Procedure 1 in the paper) does not copy the payload 2k times.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Tuple {
+    relation: String,
+    values: Arc<Vec<Value>>,
+    pub_time: Timestamp,
+}
+
+impl Tuple {
+    /// Creates a new tuple of `relation` published at `pub_time`.
+    pub fn new<R: Into<String>>(relation: R, values: Vec<Value>, pub_time: Timestamp) -> Self {
+        Tuple { relation: relation.into(), values: Arc::new(values), pub_time }
+    }
+
+    /// The relation this tuple belongs to.
+    pub fn relation(&self) -> &str {
+        &self.relation
+    }
+
+    /// Number of attribute values.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// All attribute values in schema order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// The value of the attribute at position `index`, if any.
+    pub fn value(&self, index: usize) -> Option<&Value> {
+        self.values.get(index)
+    }
+
+    /// The publication time `pubT(t)` of this tuple.
+    pub fn pub_time(&self) -> Timestamp {
+        self.pub_time
+    }
+
+    /// Returns a copy of this tuple with a different publication time.
+    ///
+    /// Useful in tests and in workload generators that pre-build tuples and
+    /// stamp them when they are actually injected into the simulation.
+    pub fn with_pub_time(&self, pub_time: Timestamp) -> Self {
+        Tuple { relation: self.relation.clone(), values: Arc::clone(&self.values), pub_time }
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")@{}", self.pub_time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple() -> Tuple {
+        Tuple::new("R", vec![Value::from(2), Value::from(5), Value::from(8)], 7)
+    }
+
+    #[test]
+    fn accessors() {
+        let t = tuple();
+        assert_eq!(t.relation(), "R");
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.value(0), Some(&Value::Int(2)));
+        assert_eq!(t.value(3), None);
+        assert_eq!(t.pub_time(), 7);
+    }
+
+    #[test]
+    fn cloning_shares_values() {
+        let t = tuple();
+        let c = t.clone();
+        assert!(Arc::ptr_eq(&t.values, &c.values));
+    }
+
+    #[test]
+    fn with_pub_time_keeps_payload() {
+        let t = tuple();
+        let later = t.with_pub_time(100);
+        assert_eq!(later.pub_time(), 100);
+        assert_eq!(later.values(), t.values());
+        assert!(Arc::ptr_eq(&t.values, &later.values));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(tuple().to_string(), "R(2, 5, 8)@7");
+    }
+
+    #[test]
+    fn equality_includes_pub_time() {
+        let t = tuple();
+        assert_ne!(t, t.with_pub_time(8));
+        assert_eq!(t, t.clone());
+    }
+}

@@ -1,0 +1,140 @@
+//! Attribute values.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A typed attribute value.
+///
+/// The paper's workload uses small integer domains (a value range of 100
+/// values per attribute), but queries may also contain string constants, so
+/// the model supports both. Values are totally ordered (integers before
+/// strings) so they can be used as keys in ordered collections.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Value {
+    /// A 64-bit signed integer value.
+    Int(i64),
+    /// A string value.
+    Str(String),
+}
+
+impl Value {
+    /// Returns the integer payload if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Returns the string payload if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Int(_) => None,
+            Value::Str(s) => Some(s),
+        }
+    }
+
+    /// Canonical textual form used when building DHT index keys
+    /// (`RelationName + AttributeName + Value` concatenation, Section 3 of
+    /// the paper). Distinct values must map to distinct strings.
+    pub fn key_fragment(&self) -> String {
+        match self {
+            Value::Int(v) => format!("i:{v}"),
+            Value::Str(s) => format!("s:{s}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_accessors() {
+        let v = Value::from(42);
+        assert_eq!(v.as_int(), Some(42));
+        assert_eq!(v.as_str(), None);
+    }
+
+    #[test]
+    fn str_accessors() {
+        let v = Value::from("hello");
+        assert_eq!(v.as_int(), None);
+        assert_eq!(v.as_str(), Some("hello"));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::from(7).to_string(), "7");
+        assert_eq!(Value::from("x").to_string(), "'x'");
+    }
+
+    #[test]
+    fn key_fragments_distinguish_types() {
+        // The integer 5 and the string "5" must not collide in index keys.
+        assert_ne!(Value::from(5).key_fragment(), Value::from("5").key_fragment());
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut values = vec![Value::from("b"), Value::from(3), Value::from("a"), Value::from(-1)];
+        values.sort();
+        assert_eq!(
+            values,
+            vec![Value::from(-1), Value::from(3), Value::from("a"), Value::from("b")]
+        );
+    }
+
+    #[test]
+    fn equality_is_type_sensitive() {
+        assert_ne!(Value::from(1), Value::from("1"));
+        assert_eq!(Value::from(1), Value::Int(1));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let v = Value::from("abc");
+        let json = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+}

@@ -1,0 +1,66 @@
+//! Property-based tests for the relational model.
+
+use proptest::prelude::*;
+use rjoin_relation::{Schema, Tuple, Value};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        "[a-z]{0,8}".prop_map(Value::Str),
+    ]
+}
+
+proptest! {
+    /// `key_fragment` must be injective: distinct values yield distinct
+    /// fragments (otherwise value-level index keys could collide logically).
+    #[test]
+    fn key_fragment_injective(a in arb_value(), b in arb_value()) {
+        if a != b {
+            prop_assert_ne!(a.key_fragment(), b.key_fragment());
+        } else {
+            prop_assert_eq!(a.key_fragment(), b.key_fragment());
+        }
+    }
+
+    /// Value ordering is a total order: antisymmetric and transitive on
+    /// random triples.
+    #[test]
+    fn value_order_total(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        if a.cmp(&b) == Ordering::Less {
+            prop_assert_eq!(b.cmp(&a), Ordering::Greater);
+        }
+        // Transitivity.
+        if a <= b && b <= c {
+            prop_assert!(a <= c);
+        }
+    }
+
+    /// Schema index_of/attribute are inverse of each other.
+    #[test]
+    fn schema_index_roundtrip(names in proptest::collection::btree_set("[A-Z][a-z0-9]{0,5}", 1..10)) {
+        let names: Vec<String> = names.into_iter().collect();
+        let schema = Schema::new("Rel", names.clone()).unwrap();
+        for (i, name) in names.iter().enumerate() {
+            prop_assert_eq!(schema.index_of(name), Some(i));
+            prop_assert_eq!(schema.attribute(i), Some(name.as_str()));
+        }
+        prop_assert_eq!(schema.arity(), names.len());
+    }
+
+    /// Tuples keep their values and publication time through cloning and
+    /// re-stamping.
+    #[test]
+    fn tuple_restamp_preserves_values(
+        values in proptest::collection::vec(arb_value(), 1..8),
+        t0 in any::<u64>(),
+        t1 in any::<u64>(),
+    ) {
+        let t = Tuple::new("R", values.clone(), t0);
+        prop_assert_eq!(t.values(), &values[..]);
+        let restamped = t.with_pub_time(t1);
+        prop_assert_eq!(restamped.pub_time(), t1);
+        prop_assert_eq!(restamped.values(), &values[..]);
+    }
+}

@@ -1,0 +1,35 @@
+//! Workload generation for the RJoin experiments.
+//!
+//! Section 8 of the paper describes the workload used throughout the
+//! evaluation:
+//!
+//! * a schema of **10 relations, each with 10 attributes**, every attribute
+//!   drawing values from a domain of **100 values**;
+//! * tuples are created by choosing a relation with a **Zipf** distribution
+//!   and assigning each attribute a value drawn from a Zipf distribution
+//!   (default θ = 0.9, i.e. highly skewed);
+//! * queries are **k-way chain joins** (default k = 4) of the form
+//!   `R.A = S.B AND S.C = J.F AND J.C = K.D`, where adjacent joins share a
+//!   relation, and relations/attributes are chosen randomly per query.
+//!
+//! This crate reproduces those generators deterministically (seeded) so
+//! experiments are repeatable:
+//!
+//! * [`ZipfSampler`] — the skewed distribution,
+//! * [`WorkloadSchema`] — the 10×10×100 default schema (configurable),
+//! * [`TupleGenerator`] — random tuples,
+//! * [`QueryGenerator`] — random chain-join queries,
+//! * [`Scenario`] — a bundle of all workload parameters used by the
+//!   experiment harness.
+
+mod query_gen;
+mod scenario;
+mod schema_gen;
+mod tuple_gen;
+mod zipf;
+
+pub use query_gen::QueryGenerator;
+pub use scenario::Scenario;
+pub use schema_gen::WorkloadSchema;
+pub use tuple_gen::TupleGenerator;
+pub use zipf::ZipfSampler;

@@ -1,0 +1,177 @@
+//! Random chain-join query generation (Section 8 of the paper).
+
+use crate::WorkloadSchema;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rjoin_query::{Conjunct, JoinQuery, QualifiedAttr, SelectItem, WindowSpec};
+
+/// Generates k-way chain-join queries over a [`WorkloadSchema`].
+///
+/// The paper's queries have a `WHERE` clause of the form
+/// `R.A = S.B AND S.C = J.F AND J.C = K.D`: a chain in which adjacent join
+/// conjuncts share a relation, relations are pairwise distinct and relations
+/// and attributes are chosen randomly per query.
+#[derive(Debug, Clone)]
+pub struct QueryGenerator {
+    schema: WorkloadSchema,
+    joins: usize,
+    window: WindowSpec,
+    distinct: bool,
+    rng: StdRng,
+}
+
+impl QueryGenerator {
+    /// Creates a generator producing queries with `joins` join conjuncts
+    /// (i.e. `joins + 1`-way joins), no window and bag semantics.
+    ///
+    /// # Panics
+    /// Panics if `joins + 1` exceeds the number of relations in the schema
+    /// (chain joins need pairwise distinct relations) or if `joins == 0`.
+    pub fn new(schema: WorkloadSchema, joins: usize, seed: u64) -> Self {
+        assert!(joins >= 1, "queries must contain at least one join");
+        assert!(
+            joins < schema.relation_count(),
+            "a {}-way chain join needs {} distinct relations but the schema has {}",
+            joins + 1,
+            joins + 1,
+            schema.relation_count()
+        );
+        QueryGenerator {
+            schema,
+            joins,
+            window: WindowSpec::None,
+            distinct: false,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Attaches a window declaration to every generated query.
+    pub fn with_window(mut self, window: WindowSpec) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Requests `SELECT DISTINCT` queries (set semantics).
+    pub fn with_distinct(mut self, distinct: bool) -> Self {
+        self.distinct = distinct;
+        self
+    }
+
+    /// Number of join conjuncts per query.
+    pub fn joins(&self) -> usize {
+        self.joins
+    }
+
+    /// Generates one chain-join query.
+    pub fn generate(&mut self) -> JoinQuery {
+        let relation_count = self.schema.relation_count();
+        let attribute_count = self.schema.attribute_count();
+
+        // Pick joins+1 pairwise distinct relations, in random order.
+        let mut relation_indices: Vec<usize> = (0..relation_count).collect();
+        relation_indices.shuffle(&mut self.rng);
+        relation_indices.truncate(self.joins + 1);
+        let relations: Vec<String> =
+            relation_indices.iter().map(|&i| self.schema.relation_name(i)).collect();
+
+        // Chain conjuncts between consecutive relations.
+        let mut conjuncts = Vec::with_capacity(self.joins);
+        for pair in relations.windows(2) {
+            let left_attr = self.schema.attribute_name(self.rng.gen_range(0..attribute_count));
+            let right_attr = self.schema.attribute_name(self.rng.gen_range(0..attribute_count));
+            conjuncts.push(Conjunct::JoinEq(
+                QualifiedAttr::new(pair[0].clone(), left_attr),
+                QualifiedAttr::new(pair[1].clone(), right_attr),
+            ));
+        }
+
+        // SELECT two attributes from the two ends of the chain (mirroring the
+        // paper's examples, e.g. `SELECT S.B, M.A`).
+        let first = relations.first().expect("chain has at least two relations").clone();
+        let last = relations.last().expect("chain has at least two relations").clone();
+        let select = vec![
+            SelectItem::Attr(QualifiedAttr::new(
+                first,
+                self.schema.attribute_name(self.rng.gen_range(0..attribute_count)),
+            )),
+            SelectItem::Attr(QualifiedAttr::new(
+                last,
+                self.schema.attribute_name(self.rng.gen_range(0..attribute_count)),
+            )),
+        ];
+
+        JoinQuery::new(self.distinct, select, relations, conjuncts, self.window)
+            .expect("generated chain joins are well-formed")
+    }
+
+    /// Generates `count` queries.
+    pub fn generate_batch(&mut self, count: usize) -> Vec<JoinQuery> {
+        (0..count).map(|_| self.generate()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_join_count() {
+        for joins in [1, 3, 5, 7] {
+            let mut g = QueryGenerator::new(WorkloadSchema::paper_default(), joins, 11);
+            for q in g.generate_batch(50) {
+                assert_eq!(q.join_count(), joins);
+                assert_eq!(q.relations().len(), joins + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_joins_share_a_relation() {
+        let mut g = QueryGenerator::new(WorkloadSchema::paper_default(), 3, 5);
+        for q in g.generate_batch(100) {
+            let conjuncts = q.conjuncts();
+            for pair in conjuncts.windows(2) {
+                let (a, b) = (&pair[0], &pair[1]);
+                let shares = a
+                    .attrs()
+                    .iter()
+                    .any(|x| b.attrs().iter().any(|y| y.relation == x.relation));
+                assert!(shares, "adjacent conjuncts must share a relation: {a} / {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn queries_validate_against_catalog() {
+        let schema = WorkloadSchema::paper_default();
+        let catalog = schema.build_catalog();
+        let mut g = QueryGenerator::new(schema, 3, 9);
+        for q in g.generate_batch(200) {
+            q.validate(&catalog).unwrap();
+        }
+    }
+
+    #[test]
+    fn window_and_distinct_are_propagated() {
+        let mut g = QueryGenerator::new(WorkloadSchema::paper_default(), 2, 4)
+            .with_window(WindowSpec::sliding_tuples(50))
+            .with_distinct(true);
+        let q = g.generate();
+        assert_eq!(*q.window(), WindowSpec::sliding_tuples(50));
+        assert!(q.distinct());
+    }
+
+    #[test]
+    fn same_seed_same_queries() {
+        let mut a = QueryGenerator::new(WorkloadSchema::paper_default(), 3, 77);
+        let mut b = QueryGenerator::new(WorkloadSchema::paper_default(), 3, 77);
+        assert_eq!(a.generate_batch(20), b.generate_batch(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct relations")]
+    fn too_many_joins_for_schema_panics() {
+        let _ = QueryGenerator::new(WorkloadSchema::new(3, 3, 10), 5, 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Scenario descriptions: the workload side of an experiment.
+
+use crate::{QueryGenerator, TupleGenerator, WorkloadSchema};
+use rjoin_query::WindowSpec;
+use rjoin_relation::Tuple;
+use rjoin_query::JoinQuery;
+use serde::{Deserialize, Serialize};
+
+/// A complete workload description for one experiment run: schema shape,
+/// skew, query shape and counts. The paper's default scenario (Section 8) is
+/// [`Scenario::paper_default`]: 10 relations × 10 attributes × 100 values,
+/// θ = 0.9, 2·10^4 4-way join queries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Number of DHT nodes.
+    pub nodes: usize,
+    /// Number of continuous queries to submit.
+    pub queries: usize,
+    /// Number of tuples to publish.
+    pub tuples: usize,
+    /// Join conjuncts per query (`joins + 1`-way joins).
+    pub joins: usize,
+    /// Zipf skew θ used for relation and value choice.
+    pub theta: f64,
+    /// Window declaration attached to every query.
+    pub window: WindowSpec,
+    /// Whether queries use `SELECT DISTINCT` (set semantics).
+    pub distinct: bool,
+    /// Relations in the schema.
+    pub relations: usize,
+    /// Attributes per relation.
+    pub attributes: usize,
+    /// Value-domain size.
+    pub domain: i64,
+    /// RNG seed; two runs with equal scenarios produce identical workloads.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The default workload of Section 8: 10^3 nodes, 2·10^4 4-way join
+    /// queries, θ = 0.9, no windows.
+    pub fn paper_default() -> Self {
+        Scenario {
+            nodes: 1000,
+            queries: 20_000,
+            tuples: 400,
+            joins: 3,
+            theta: 0.9,
+            window: WindowSpec::None,
+            distinct: false,
+            relations: 10,
+            attributes: 10,
+            domain: 100,
+            seed: 0xEDB7_2008,
+        }
+    }
+
+    /// A small scenario suitable for unit/integration tests (runs in
+    /// milliseconds).
+    pub fn small_test() -> Self {
+        Scenario {
+            nodes: 32,
+            queries: 100,
+            tuples: 60,
+            joins: 3,
+            theta: 0.9,
+            window: WindowSpec::None,
+            distinct: false,
+            relations: 10,
+            attributes: 10,
+            domain: 100,
+            seed: 7,
+        }
+    }
+
+    /// The schema shape of this scenario.
+    pub fn workload_schema(&self) -> WorkloadSchema {
+        WorkloadSchema::new(self.relations, self.attributes, self.domain)
+    }
+
+    /// Builds the query generator for this scenario.
+    pub fn query_generator(&self) -> QueryGenerator {
+        QueryGenerator::new(self.workload_schema(), self.joins, self.seed ^ 0x51)
+            .with_window(self.window)
+            .with_distinct(self.distinct)
+    }
+
+    /// Builds the tuple generator for this scenario.
+    pub fn tuple_generator(&self) -> TupleGenerator {
+        TupleGenerator::new(self.workload_schema(), self.theta, self.seed ^ 0x7e)
+    }
+
+    /// Generates the full list of queries for this scenario.
+    pub fn generate_queries(&self) -> Vec<JoinQuery> {
+        self.query_generator().generate_batch(self.queries)
+    }
+
+    /// Generates the full list of tuples for this scenario with publication
+    /// times starting at `start_time`.
+    pub fn generate_tuples(&self, start_time: u64) -> Vec<Tuple> {
+        self.tuple_generator().generate_batch(self.tuples, start_time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_8() {
+        let s = Scenario::paper_default();
+        assert_eq!(s.nodes, 1000);
+        assert_eq!(s.queries, 20_000);
+        assert_eq!(s.joins, 3); // 4-way joins
+        assert!((s.theta - 0.9).abs() < f64::EPSILON);
+        assert_eq!(s.relations, 10);
+        assert_eq!(s.attributes, 10);
+        assert_eq!(s.domain, 100);
+    }
+
+    #[test]
+    fn generators_are_consistent_with_counts() {
+        let s = Scenario::small_test();
+        assert_eq!(s.generate_queries().len(), s.queries);
+        assert_eq!(s.generate_tuples(10).len(), s.tuples);
+    }
+
+    #[test]
+    fn scenario_is_reproducible() {
+        let s = Scenario::small_test();
+        assert_eq!(s.generate_queries(), s.generate_queries());
+        assert_eq!(s.generate_tuples(0), s.generate_tuples(0));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = Scenario::small_test();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.queries, s.queries);
+        assert_eq!(back.window, s.window);
+    }
+}

@@ -1,0 +1,108 @@
+//! The experimental schema of the paper: 10 relations × 10 attributes, each
+//! attribute drawing from a domain of 100 values.
+
+use rjoin_relation::{Catalog, Schema};
+use serde::{Deserialize, Serialize};
+
+/// The workload schema: a set of uniformly shaped relations plus the size of
+/// the shared value domain.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadSchema {
+    relations: usize,
+    attributes: usize,
+    domain: i64,
+}
+
+impl WorkloadSchema {
+    /// The paper's default: 10 relations, 10 attributes each, 100 values per
+    /// attribute.
+    pub fn paper_default() -> Self {
+        WorkloadSchema { relations: 10, attributes: 10, domain: 100 }
+    }
+
+    /// A custom schema shape.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn new(relations: usize, attributes: usize, domain: i64) -> Self {
+        assert!(relations > 0 && attributes > 0 && domain > 0, "schema dimensions must be positive");
+        WorkloadSchema { relations, attributes, domain }
+    }
+
+    /// Number of relations.
+    pub fn relation_count(&self) -> usize {
+        self.relations
+    }
+
+    /// Number of attributes per relation.
+    pub fn attribute_count(&self) -> usize {
+        self.attributes
+    }
+
+    /// Size of the value domain (values are `0..domain`).
+    pub fn domain(&self) -> i64 {
+        self.domain
+    }
+
+    /// Name of the `i`-th relation (`R0`, `R1`, ...).
+    pub fn relation_name(&self, i: usize) -> String {
+        format!("R{i}")
+    }
+
+    /// Name of the `j`-th attribute (`A0`, `A1`, ...).
+    pub fn attribute_name(&self, j: usize) -> String {
+        format!("A{j}")
+    }
+
+    /// Builds the catalog containing every relation of this schema.
+    pub fn build_catalog(&self) -> Catalog {
+        let mut catalog = Catalog::new();
+        for i in 0..self.relations {
+            let attrs: Vec<String> = (0..self.attributes).map(|j| self.attribute_name(j)).collect();
+            let schema = Schema::new(self.relation_name(i), attrs)
+                .expect("generated schema names are valid identifiers");
+            catalog.register(schema).expect("generated relation names are unique");
+        }
+        catalog
+    }
+}
+
+impl Default for WorkloadSchema {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_8() {
+        let ws = WorkloadSchema::paper_default();
+        assert_eq!(ws.relation_count(), 10);
+        assert_eq!(ws.attribute_count(), 10);
+        assert_eq!(ws.domain(), 100);
+        let catalog = ws.build_catalog();
+        assert_eq!(catalog.len(), 10);
+        let r0 = catalog.schema("R0").unwrap();
+        assert_eq!(r0.arity(), 10);
+        assert_eq!(r0.attribute(0), Some("A0"));
+        assert_eq!(r0.attribute(9), Some("A9"));
+    }
+
+    #[test]
+    fn custom_shape() {
+        let ws = WorkloadSchema::new(3, 2, 5);
+        let catalog = ws.build_catalog();
+        assert_eq!(catalog.len(), 3);
+        assert_eq!(catalog.schema("R2").unwrap().arity(), 2);
+        assert!(catalog.schema("R3").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_panics() {
+        let _ = WorkloadSchema::new(0, 10, 100);
+    }
+}

@@ -1,0 +1,93 @@
+//! Random tuple generation (Section 8 of the paper).
+
+use crate::{WorkloadSchema, ZipfSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rjoin_relation::{Timestamp, Tuple, Value};
+
+/// Generates tuples the way the paper's experiments do: the relation is
+/// chosen with a Zipf distribution over the schema's relations, and every
+/// attribute value is chosen with a Zipf distribution over the value domain.
+#[derive(Debug, Clone)]
+pub struct TupleGenerator {
+    schema: WorkloadSchema,
+    relation_sampler: ZipfSampler,
+    value_sampler: ZipfSampler,
+    rng: StdRng,
+}
+
+impl TupleGenerator {
+    /// Creates a generator with the given skew θ (used for both the relation
+    /// choice and the value choice, as in the paper) and RNG seed.
+    pub fn new(schema: WorkloadSchema, theta: f64, seed: u64) -> Self {
+        let relation_sampler = ZipfSampler::new(schema.relation_count(), theta);
+        let value_sampler = ZipfSampler::new(schema.domain() as usize, theta);
+        TupleGenerator { schema, relation_sampler, value_sampler, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The workload schema this generator draws from.
+    pub fn schema(&self) -> &WorkloadSchema {
+        &self.schema
+    }
+
+    /// Generates one tuple published at `pub_time`.
+    pub fn generate(&mut self, pub_time: Timestamp) -> Tuple {
+        let relation_idx = self.relation_sampler.sample(&mut self.rng);
+        let relation = self.schema.relation_name(relation_idx);
+        let values: Vec<Value> = (0..self.schema.attribute_count())
+            .map(|_| Value::Int(self.value_sampler.sample(&mut self.rng) as i64))
+            .collect();
+        Tuple::new(relation, values, pub_time)
+    }
+
+    /// Generates `count` tuples with publication times `start, start+1, ...`.
+    pub fn generate_batch(&mut self, count: usize, start: Timestamp) -> Vec<Tuple> {
+        (0..count).map(|i| self.generate(start + i as Timestamp)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn tuples_respect_schema_and_domain() {
+        let mut g = TupleGenerator::new(WorkloadSchema::paper_default(), 0.9, 1);
+        let catalog = g.schema().build_catalog();
+        for t in g.generate_batch(200, 0) {
+            catalog.validate_tuple(&t).unwrap();
+            for v in t.values() {
+                let x = v.as_int().unwrap();
+                assert!((0..100).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn publication_times_are_sequential() {
+        let mut g = TupleGenerator::new(WorkloadSchema::paper_default(), 0.5, 2);
+        let batch = g.generate_batch(10, 100);
+        let times: Vec<u64> = batch.iter().map(|t| t.pub_time()).collect();
+        assert_eq!(times, (100..110).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn skew_concentrates_relations() {
+        let mut g = TupleGenerator::new(WorkloadSchema::paper_default(), 0.9, 3);
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for t in g.generate_batch(5000, 0) {
+            *counts.entry(t.relation().to_string()).or_insert(0) += 1;
+        }
+        let r0 = counts.get("R0").copied().unwrap_or(0);
+        let r9 = counts.get("R9").copied().unwrap_or(0);
+        assert!(r0 > r9, "Zipf should favour the first relation: R0={r0}, R9={r9}");
+    }
+
+    #[test]
+    fn same_seed_same_tuples() {
+        let mut a = TupleGenerator::new(WorkloadSchema::paper_default(), 0.9, 7);
+        let mut b = TupleGenerator::new(WorkloadSchema::paper_default(), 0.9, 7);
+        assert_eq!(a.generate_batch(50, 0), b.generate_batch(50, 0));
+    }
+}

@@ -1,0 +1,177 @@
+//! Zipf-distributed sampling.
+
+use rand::Rng;
+
+/// A sampler for the Zipf distribution over `{0, 1, ..., n-1}` with skew
+/// parameter θ.
+///
+/// Rank `i` (0-based) is drawn with probability proportional to
+/// `1 / (i + 1)^θ`, the formulation used by Gray et al. and by the paper's
+/// experimental section (θ = 0.9 is described as "highly skewed", θ = 0
+/// degenerates to the uniform distribution).
+///
+/// Sampling uses a precomputed cumulative table and binary search, so each
+/// draw is `O(log n)`; the table is built once per sampler.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+    theta: f64,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n` ranks with skew `theta`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`, or if `theta` is negative or not finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "ZipfSampler requires at least one rank");
+        assert!(theta >= 0.0 && theta.is_finite(), "theta must be finite and non-negative");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(theta);
+            cumulative.push(total);
+        }
+        // Normalize so the last entry is exactly 1.0.
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        ZipfSampler { cumulative, theta }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the sampler has a single rank (never empty by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// The skew parameter θ.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Probability of drawing rank `i`.
+    pub fn probability(&self, i: usize) -> f64 {
+        if i >= self.cumulative.len() {
+            return 0.0;
+        }
+        if i == 0 {
+            self.cumulative[0]
+        } else {
+            self.cumulative[i] - self.cumulative[i - 1]
+        }
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).expect("finite")) {
+            Ok(idx) => (idx + 1).min(self.cumulative.len() - 1),
+            Err(idx) => idx.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(sampler: &ZipfSampler, draws: usize, seed: u64) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; sampler.len()];
+        for _ in 0..draws {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = ZipfSampler::new(100, 0.9);
+        let sum: f64 = (0..100).map(|i| z.probability(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(z.probability(200), 0.0);
+        assert_eq!(z.len(), 100);
+        assert!(!z.is_empty());
+        assert!((z.theta() - 0.9).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        for i in 0..10 {
+            assert!((z.probability(i) - 0.1).abs() < 1e-9);
+        }
+        let counts = histogram(&z, 20_000, 1);
+        for &c in &counts {
+            // Each rank should get roughly 2000 draws; allow wide tolerance.
+            assert!(c > 1500 && c < 2500, "count {c} outside uniform band");
+        }
+    }
+
+    #[test]
+    fn higher_theta_is_more_skewed() {
+        let mild = ZipfSampler::new(100, 0.3);
+        let heavy = ZipfSampler::new(100, 0.9);
+        assert!(heavy.probability(0) > mild.probability(0));
+        assert!(heavy.probability(99) < mild.probability(99));
+        // Ranks are monotonically decreasing in probability.
+        for i in 1..100 {
+            assert!(heavy.probability(i) <= heavy.probability(i - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_track_probabilities() {
+        let z = ZipfSampler::new(20, 0.9);
+        let draws = 100_000;
+        let counts = histogram(&z, draws, 42);
+        for (i, &count) in counts.iter().enumerate() {
+            let expected = z.probability(i) * draws as f64;
+            let observed = count as f64;
+            // 15% relative tolerance plus a small absolute slack for rare ranks.
+            assert!(
+                (observed - expected).abs() < expected * 0.15 + 30.0,
+                "rank {i}: expected {expected:.1}, observed {observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let z = ZipfSampler::new(50, 0.7);
+        let a = histogram(&z, 1000, 7);
+        let b = histogram(&z, 1000, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = ZipfSampler::new(1, 0.9);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = ZipfSampler::new(0, 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_theta_panics() {
+        let _ = ZipfSampler::new(5, -1.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the workload generators.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution as _, Zipf};
+use rjoin_workload::{QueryGenerator, Scenario, TupleGenerator, WorkloadSchema, ZipfSampler};
+
+proptest! {
+    /// Our Zipf sampler's probabilities are a valid, monotonically
+    /// non-increasing distribution for any (n, θ).
+    #[test]
+    fn zipf_probabilities_form_a_distribution(n in 1usize..200, theta in 0.0f64..2.0) {
+        let z = ZipfSampler::new(n, theta);
+        let sum: f64 = (0..n).map(|i| z.probability(i)).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "probabilities sum to {sum}");
+        for i in 1..n {
+            prop_assert!(z.probability(i) <= z.probability(i - 1) + 1e-12);
+        }
+    }
+
+    /// The head probability of our sampler matches the reference
+    /// implementation in `rand_distr` (same Zipf formulation): the most
+    /// popular rank is drawn with statistically indistinguishable frequency.
+    #[test]
+    fn zipf_head_matches_rand_distr(seed in any::<u64>(), theta in 0.2f64..1.2) {
+        let n = 50usize;
+        let draws = 4000usize;
+        let ours = ZipfSampler::new(n, theta);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ours_head = 0usize;
+        for _ in 0..draws {
+            if ours.sample(&mut rng) == 0 {
+                ours_head += 1;
+            }
+        }
+        let reference = Zipf::new(n as u64, theta).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+        let mut ref_head = 0usize;
+        for _ in 0..draws {
+            // rand_distr's Zipf yields ranks starting at 1.
+            if (reference.sample(&mut rng) as u64) == 1 {
+                ref_head += 1;
+            }
+        }
+        let ours_frac = ours_head as f64 / draws as f64;
+        let ref_frac = ref_head as f64 / draws as f64;
+        prop_assert!(
+            (ours_frac - ref_frac).abs() < 0.05,
+            "head frequencies diverge: ours {ours_frac:.3} vs rand_distr {ref_frac:.3}"
+        );
+    }
+
+    /// Generated tuples always validate against the generated catalog and
+    /// stay within the declared value domain, for arbitrary schema shapes.
+    #[test]
+    fn tuples_respect_arbitrary_schemas(
+        relations in 1usize..8,
+        attributes in 1usize..8,
+        domain in 1i64..50,
+        theta in 0.0f64..1.5,
+        seed in any::<u64>(),
+    ) {
+        let schema = WorkloadSchema::new(relations, attributes, domain);
+        let catalog = schema.build_catalog();
+        let mut generator = TupleGenerator::new(schema, theta, seed);
+        for tuple in generator.generate_batch(50, 0) {
+            prop_assert!(catalog.validate_tuple(&tuple).is_ok());
+            for value in tuple.values() {
+                let v = value.as_int().expect("workload tuples are integers");
+                prop_assert!((0..domain).contains(&v));
+            }
+        }
+    }
+
+    /// Generated chain-join queries always validate and have the requested
+    /// join count, for any feasible (schema, joins) combination.
+    #[test]
+    fn queries_respect_arbitrary_schemas(
+        relations in 2usize..10,
+        attributes in 1usize..6,
+        joins_pick in any::<usize>(),
+        seed in any::<u64>(),
+    ) {
+        let max_joins = relations - 1;
+        let joins = 1 + joins_pick % max_joins;
+        let schema = WorkloadSchema::new(relations, attributes, 10);
+        let catalog = schema.build_catalog();
+        let mut generator = QueryGenerator::new(schema, joins, seed);
+        for query in generator.generate_batch(25) {
+            prop_assert!(query.validate(&catalog).is_ok());
+            prop_assert_eq!(query.join_count(), joins);
+            prop_assert_eq!(query.relations().len(), joins + 1);
+        }
+    }
+
+    /// Scenarios are fully reproducible: equal seeds give equal workloads,
+    /// different seeds (almost always) give different ones.
+    #[test]
+    fn scenarios_are_seed_deterministic(seed in any::<u64>()) {
+        let a = Scenario { seed, queries: 20, tuples: 20, ..Scenario::small_test() };
+        let b = Scenario { seed, queries: 20, tuples: 20, ..Scenario::small_test() };
+        prop_assert_eq!(a.generate_queries(), b.generate_queries());
+        prop_assert_eq!(a.generate_tuples(5), b.generate_tuples(5));
+    }
+}

@@ -1,0 +1,62 @@
+//! # RJoin — Continuous Multi-Way Joins over Distributed Hash Tables
+//!
+//! A from-scratch Rust reproduction of *"Continuous Multi-Way Joins over
+//! Distributed Hash Tables"* (Idreos, Liarou, Koubarakis — EDBT 2008),
+//! including every substrate the paper depends on:
+//!
+//! * [`dht`] — a Chord simulation (identifier ring, finger tables, lookups,
+//!   churn, identifier-movement load balancing),
+//! * [`net`] — the discrete-event network with the `send` / `multiSend` /
+//!   `sendDirect` API and per-node traffic accounting,
+//! * [`relation`] — the relational data model (schemas, tuples, catalog),
+//! * [`query`] — the continuous-query model: SQL parser, rewriting engine,
+//!   index-key derivation, sliding windows,
+//! * [`core`] — the RJoin algorithm itself (Procedures 1–3, RIC-aware
+//!   placement, candidate-table caching, ALTT, duplicate elimination),
+//! * [`workload`] — the paper's Zipf workload generators,
+//! * [`metrics`] — distributions, cumulative series and report tables.
+//!
+//! This facade crate re-exports everything; the most common entry points are
+//! available directly from the [`prelude`].
+//!
+//! ```
+//! use rjoin::prelude::*;
+//!
+//! // Build the paper's default 10x10x100 schema and a small network.
+//! let schema = WorkloadSchema::paper_default();
+//! let mut engine = RJoinEngine::new(EngineConfig::default(), schema.build_catalog(), 32);
+//! let node = engine.node_ids()[0];
+//!
+//! // Register a continuous 3-way join and stream a few tuples through it.
+//! let q = parse_query("SELECT R0.A1, R2.A1 FROM R0, R1, R2 \
+//!                      WHERE R0.A0 = R1.A0 AND R1.A1 = R2.A2").unwrap();
+//! let qid = engine.submit_query(node, q).unwrap();
+//!
+//! let mut tuples = TupleGenerator::new(schema, 0.9, 42);
+//! for t in tuples.generate_batch(200, 1) {
+//!     engine.publish_tuple(node, t).unwrap();
+//! }
+//! engine.run_until_quiescent().unwrap();
+//! println!("answers so far: {}", engine.answers().count_for(qid));
+//! ```
+
+pub use rjoin_core as core;
+pub use rjoin_dht as dht;
+pub use rjoin_metrics as metrics;
+pub use rjoin_net as net;
+pub use rjoin_query as query;
+pub use rjoin_relation as relation;
+pub use rjoin_workload as workload;
+
+/// The most commonly used types, re-exported for convenience.
+pub mod prelude {
+    pub use rjoin_core::{
+        AnswerLog, EngineConfig, ExperimentStats, PlacementStrategy, QueryId, RJoinEngine,
+    };
+    pub use rjoin_dht::{ChordNetwork, Id};
+    pub use rjoin_metrics::{CumulativeSeries, Distribution, Table};
+    pub use rjoin_net::{Network, NetworkConfig};
+    pub use rjoin_query::{parse_query, JoinQuery, WindowSpec};
+    pub use rjoin_relation::{Catalog, Schema, Tuple, Value};
+    pub use rjoin_workload::{QueryGenerator, Scenario, TupleGenerator, WorkloadSchema, ZipfSampler};
+}
