@@ -18,41 +18,9 @@ fn oracle_answers(
     insert_time: Timestamp,
     tuples: &[Tuple],
 ) -> Vec<Vec<Value>> {
-    let relations = query.relations();
-    let per_relation: Vec<Vec<&Tuple>> = relations
-        .iter()
-        .map(|r| {
-            tuples
-                .iter()
-                .filter(|t| t.relation() == r && t.pub_time() >= insert_time)
-                .collect()
-        })
-        .collect();
-
-    let mut results = Vec::new();
-    let mut indices = vec![0usize; relations.len()];
-    if per_relation.iter().any(|v| v.is_empty()) {
-        return results;
-    }
-    loop {
-        let combo: Vec<&Tuple> = indices.iter().zip(&per_relation).map(|(&i, v)| v[i]).collect();
-        if satisfies(catalog, query, relations, &combo) {
-            results.push(project(catalog, query, relations, &combo));
-        }
-        // Advance the mixed-radix counter.
-        let mut pos = 0;
-        loop {
-            indices[pos] += 1;
-            if indices[pos] < per_relation[pos].len() {
-                break;
-            }
-            indices[pos] = 0;
-            pos += 1;
-            if pos == relations.len() {
-                return results;
-            }
-        }
-    }
+    // `WindowSpec::None.within()` accepts everything, so the windowed oracle
+    // degenerates to the plain Definition 1 evaluation for unwindowed queries.
+    windowed_oracle_answers(catalog, query, insert_time, tuples)
 }
 
 fn attr_value<'a>(
@@ -302,6 +270,149 @@ fn distinct_queries_deliver_set_semantics() {
     assert!(
         any_duplicates_avoided,
         "the workload should contain at least one potential duplicate"
+    );
+}
+
+/// Windowed oracle: brute-force evaluation where a combination only counts
+/// if the publication times of all participating tuples fit in one sliding
+/// window (`max - min + 1 <= duration`, the Section 5 validity test applied
+/// to the whole combination).
+fn windowed_oracle_answers(
+    catalog: &Catalog,
+    query: &JoinQuery,
+    insert_time: Timestamp,
+    tuples: &[Tuple],
+) -> Vec<Vec<Value>> {
+    let window = *query.window();
+    let relations = query.relations();
+    let per_relation: Vec<Vec<&Tuple>> = relations
+        .iter()
+        .map(|r| {
+            tuples
+                .iter()
+                .filter(|t| t.relation() == r && t.pub_time() >= insert_time)
+                .collect()
+        })
+        .collect();
+    if per_relation.iter().any(|v| v.is_empty()) {
+        return Vec::new();
+    }
+
+    let mut results = Vec::new();
+    let mut indices = vec![0usize; relations.len()];
+    loop {
+        let combo: Vec<&Tuple> = indices.iter().zip(&per_relation).map(|(&i, v)| v[i]).collect();
+        let earliest = combo.iter().map(|t| t.pub_time()).min().expect("non-empty combo");
+        let latest = combo.iter().map(|t| t.pub_time()).max().expect("non-empty combo");
+        if window.within(earliest, latest) && satisfies(catalog, query, relations, &combo) {
+            results.push(project(catalog, query, relations, &combo));
+        }
+        let mut pos = 0;
+        loop {
+            indices[pos] += 1;
+            if indices[pos] < per_relation[pos].len() {
+                break;
+            }
+            indices[pos] = 0;
+            pos += 1;
+            if pos == relations.len() {
+                return results;
+            }
+        }
+    }
+}
+
+/// A 4-way `SELECT DISTINCT` join under a sliding window, checked against
+/// the centralized windowed oracle.
+///
+/// Tuples are published in bursts: within a burst all publication times fit
+/// the window, while consecutive bursts are separated by far more than the
+/// window length. Join values are chosen so that combinations mixing bursts
+/// still satisfy every conjunct whenever R0 or R3 comes from a different
+/// burst than the R1/R2 pair (the burst marker rides on the R1.A1 = R2.A1
+/// edge, so those two relations must agree) — for all such combos only the
+/// window can exclude them — and so
+/// that each burst contributes fresh DISTINCT projections for every relation
+/// (otherwise Section 4's duplicate elimination would legitimately suppress
+/// later bursts). Each burst also contains a pair of tuples with identical
+/// referenced projections, so bag semantics would deliver duplicate rows and
+/// DISTINCT has to collapse them.
+#[test]
+fn four_way_distinct_sliding_window_matches_windowed_oracle() {
+    let schema = WorkloadSchema::new(4, 3, 64);
+    let catalog = schema.build_catalog();
+    let config = EngineConfig::default().with_value_level_rewrites();
+    let mut engine = RJoinEngine::new(config, catalog.clone(), 24);
+    let origin = engine.node_ids()[0];
+
+    // Chain: R0.A0 = R1.A0 (constant 1), R1.A1 = R2.A1 (burst marker),
+    // R2.A0 = R3.A0 (constant 3); select the two ends of the chain.
+    let query = JoinQuery::new(
+        true,
+        vec![
+            SelectItem::Attr(rjoin_query::QualifiedAttr::new("R0", "A2")),
+            SelectItem::Attr(rjoin_query::QualifiedAttr::new("R3", "A2")),
+        ],
+        vec!["R0".into(), "R1".into(), "R2".into(), "R3".into()],
+        vec![
+            Conjunct::JoinEq(
+                rjoin_query::QualifiedAttr::new("R0", "A0"),
+                rjoin_query::QualifiedAttr::new("R1", "A0"),
+            ),
+            Conjunct::JoinEq(
+                rjoin_query::QualifiedAttr::new("R1", "A1"),
+                rjoin_query::QualifiedAttr::new("R2", "A1"),
+            ),
+            Conjunct::JoinEq(
+                rjoin_query::QualifiedAttr::new("R2", "A0"),
+                rjoin_query::QualifiedAttr::new("R3", "A0"),
+            ),
+        ],
+        rjoin_query::WindowSpec::sliding_tuples(8),
+    )
+    .unwrap();
+    let qid = engine.submit_query(origin, query.clone()).unwrap();
+    engine.run_until_quiescent().unwrap();
+
+    let tuple = |rel: &str, vals: [i64; 3], at: Timestamp| {
+        Tuple::new(rel, vals.iter().map(|v| Value::from(*v)).collect(), at)
+    };
+    let mut published = Vec::new();
+    for burst in 0..3i64 {
+        // Bursts are 50 ticks apart — far beyond the 8-tuple window — while
+        // the 6 tuples of one burst span 6 <= 8 positions.
+        let base = engine.now() + 1 + 50 * burst as u64;
+        let burst_tuples = [
+            // Two R0 tuples with the same referenced projection (A0, A2):
+            // the bag answer would repeat, DISTINCT must not.
+            tuple("R0", [1, 0, burst], base),
+            tuple("R0", [1, 5, burst], base + 1),
+            tuple("R1", [1, burst, 0], base + 2),
+            tuple("R2", [3, burst, 0], base + 3),
+            tuple("R3", [3, 0, 10 + burst], base + 4),
+            tuple("R3", [3, 1, 20 + burst], base + 5),
+        ];
+        for t in burst_tuples {
+            engine.publish_tuple(origin, t.clone()).unwrap();
+            published.push(t);
+        }
+        engine.run_until_quiescent().unwrap();
+    }
+
+    // The windowed bag oracle must see duplicates (the scenario exercises
+    // DISTINCT), and its deduplicated form is the expected answer set.
+    let bag = windowed_oracle_answers(&catalog, &query, 0, &published);
+    let mut expected = sorted(bag.clone());
+    expected.dedup();
+    assert!(bag.len() > expected.len(), "the scenario must produce bag-duplicates");
+    // Every burst contributes its two distinct rows: (b, 10+b) and (b, 20+b).
+    assert_eq!(expected.len(), 6, "three bursts x two distinct rows each");
+
+    let actual = sorted(engine.answers().rows_for(qid));
+    assert!(!engine.answers().has_duplicate_rows(qid), "DISTINCT delivered duplicate rows");
+    assert_eq!(
+        actual, expected,
+        "windowed DISTINCT answers diverge from the centralized windowed oracle"
     );
 }
 

@@ -70,7 +70,7 @@ fn main() {
                 vec![
                     Value::Int(rng.gen_range(0..hosts)),
                     Value::Int(rng.gen_range(0..hosts)),
-                    Value::Int([22, 80, 443, 3389][rng.gen_range(0..4)]),
+                    Value::Int([22, 80, 443, 3389][rng.gen_range(0..4usize)]),
                 ],
                 t,
             ),

@@ -1,0 +1,89 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::collections::BTreeSet;
+
+/// Sizes accepted by collection strategies: an exact `usize` or a range.
+pub trait SizeRange: Clone {
+    fn pick_len(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn pick_len(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for core::ops::Range<usize> {
+    fn pick_len(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl SizeRange for core::ops::RangeInclusive<usize> {
+    fn pick_len(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy producing `Vec`s whose elements come from `element` and whose
+/// length is drawn from `size`.
+pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+    VecStrategy { element, size }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S, Z> {
+    element: S,
+    size: Z,
+}
+
+impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick_len(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy producing `BTreeSet`s of distinct elements with a size drawn
+/// from `size` (best effort: gives up growing after enough duplicate draws,
+/// like upstream).
+pub fn btree_set<S, Z>(element: S, size: Z) -> BTreeSetStrategy<S, Z>
+where
+    S: Strategy,
+    S::Value: Ord,
+    Z: SizeRange,
+{
+    BTreeSetStrategy { element, size }
+}
+
+/// The strategy returned by [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S, Z> {
+    element: S,
+    size: Z,
+}
+
+impl<S, Z> Strategy for BTreeSetStrategy<S, Z>
+where
+    S: Strategy,
+    S::Value: Ord,
+    Z: SizeRange,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.pick_len(rng);
+        let mut out = BTreeSet::new();
+        let mut misses = 0usize;
+        while out.len() < target && misses < 100 {
+            if !out.insert(self.element.generate(rng)) {
+                misses += 1;
+            }
+        }
+        out
+    }
+}

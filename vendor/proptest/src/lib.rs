@@ -1,0 +1,135 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the property-testing surface its tests use: the [`proptest!`] macro,
+//! [`strategy::Strategy`] with `prop_map`, [`arbitrary::any`], range and
+//! regex-literal strategies, [`collection`], [`bool`](crate::bool),
+//! [`option`], [`prop_oneof!`], `Just`, and the `prop_assert*` /
+//! [`prop_assume!`] macros.
+//!
+//! Differences from upstream, deliberate for size:
+//! * no shrinking — a failing case reports its inputs but is not minimized;
+//! * each test runs a fixed number of cases (`PROPTEST_CASES` env var,
+//!   default 64), seeded deterministically from the test's name, so failures
+//!   reproduce across runs;
+//! * string strategies support the regex subset the workspace uses
+//!   (literals, `[...]` classes with ranges, `{n}`/`{m,n}`/`?`/`*`/`+`).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// `proptest::bool` look-alike.
+pub mod bool {
+    /// Strategy producing uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Upstream calls this `proptest::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl crate::strategy::Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut crate::test_runner::TestRng) -> bool {
+            use rand::Rng;
+            rng.gen_range(0u32..2) == 1
+        }
+    }
+}
+
+/// The glob-import module used by every test file.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over random draws from the
+/// strategies.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run_cases(stringify!($name), |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)*
+                    let __body_result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    __body_result
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the current case (without panicking the generator loop) when the
+/// condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*))
+            );
+        }
+    };
+}
+
+/// `prop_assert!(a == b)` with a diagnostic rendering of both sides.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), __a, __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(*__a == *__b, $($fmt)*);
+    }};
+}
+
+/// `prop_assert!(a != b)` with a diagnostic rendering of both sides.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a != *__b,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a), stringify!($b), __a
+        );
+    }};
+}
+
+/// Skips the current case (drawing a fresh one) when the assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject());
+        }
+    };
+}
+
+/// Chooses uniformly among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

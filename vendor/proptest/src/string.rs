@@ -1,0 +1,172 @@
+//! Regex-subset string generation for string-literal strategies.
+//!
+//! Supports the constructs the workspace's tests use: literal characters,
+//! `[...]` character classes with ranges and plain members, and the
+//! quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (star/plus capped at 8 repeats).
+//! `\\` escapes the next character.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// Flattened member list of a `[...]` class.
+    Class(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let count = if piece.min == piece.max {
+            piece.min
+        } else {
+            rng.gen_range(piece.min..=piece.max)
+        };
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(members) => {
+                    out.push(members[rng.gen_range(0..members.len())]);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed `[` in pattern `{pattern}`"))
+                    + i;
+                let members = parse_class(&chars[i + 1..close], pattern);
+                i = close + 1;
+                Atom::Class(members)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling `\\` in pattern `{pattern}`"));
+                i += 1;
+                Atom::Literal(c)
+            }
+            '.' => {
+                i += 1;
+                Atom::Class(('a'..='z').chain('A'..='Z').chain('0'..='9').collect())
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed `{{` in pattern `{pattern}`"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => {
+                        let lo = lo.trim().parse().expect("bad lower bound in {m,n}");
+                        let hi = hi.trim().parse().expect("bad upper bound in {m,n}");
+                        (lo, hi)
+                    }
+                    None => {
+                        let n = body.trim().parse().expect("bad count in {n}");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_class(body: &[char], pattern: &str) -> Vec<char> {
+    assert!(!body.is_empty(), "empty `[]` class in pattern `{pattern}`");
+    let mut members = Vec::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            assert!(lo <= hi, "inverted range `{lo}-{hi}` in pattern `{pattern}`");
+            members.extend(lo..=hi);
+            i += 3;
+        } else if body[i] == '\\' && i + 1 < body.len() {
+            members.push(body[i + 1]);
+            i += 2;
+        } else {
+            members.push(body[i]);
+            i += 1;
+        }
+    }
+    members
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn patterns_used_by_the_workspace() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = generate_matching("[a-z]{0,8}", &mut rng);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let s = generate_matching("[A-Z][a-z0-9]{0,5}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 6);
+            assert!(s.chars().next().unwrap().is_ascii_uppercase());
+            assert!(s.chars().skip(1).all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn literals_and_quantifiers() {
+        let mut rng = TestRng::seed_from_u64(2);
+        assert_eq!(generate_matching("abc", &mut rng), "abc");
+        assert_eq!(generate_matching("a{3}", &mut rng), "aaa");
+        for _ in 0..50 {
+            let s = generate_matching("x?y+", &mut rng);
+            assert!(s.trim_start_matches('x').chars().all(|c| c == 'y'));
+            assert!(s.contains('y'));
+        }
+    }
+}

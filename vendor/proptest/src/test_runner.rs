@@ -1,0 +1,75 @@
+//! The case-running loop behind the `proptest!` macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Failure modes of one generated case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case's assumptions did not hold; draw a fresh case.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+}
+
+/// Number of passing cases required per property (`PROPTEST_CASES`
+/// overrides; upstream defaults to 256, this harness to 64 for CI speed).
+fn case_count() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Runs `case` until [`case_count`] draws pass, panicking on the first
+/// failure. The RNG is seeded from the test's name (FNV-1a), so runs are
+/// deterministic and failures reproduce without a persistence file.
+pub fn run_cases(
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let cases = case_count();
+    let mut rng = TestRng::seed_from_u64(fnv1a(name.as_bytes()));
+    let mut passed = 0usize;
+    let mut rejected = 0usize;
+    while passed < cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= cases * 200,
+                    "property `{name}`: too many rejected cases ({rejected}) — \
+                     prop_assume! filter is too strict"
+                );
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "property `{name}` failed after {passed} passing case(s):\n{message}"
+                );
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}

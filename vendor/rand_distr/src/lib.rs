@@ -1,0 +1,113 @@
+//! Offline, API-compatible subset of the `rand_distr` crate: just the
+//! [`Zipf`] distribution and the [`Distribution`] trait, which the workload
+//! property tests use as a reference implementation to validate the
+//! workspace's own `ZipfSampler`.
+
+use rand::{Rng, RngCore};
+
+/// Types that sample values of type `T` from a fixed distribution.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned by [`Zipf::new`] for invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZipfError {
+    /// `n` was zero.
+    ZeroElements,
+    /// The exponent was negative or non-finite.
+    BadExponent,
+}
+
+impl std::fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZipfError::ZeroElements => write!(f, "Zipf requires at least one element"),
+            ZipfError::BadExponent => write!(f, "Zipf exponent must be finite and non-negative"),
+        }
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
+/// The Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(k) ∝ 1 / k^s`, matching `rand_distr::Zipf`'s formulation (ranks start
+/// at 1 and are returned as `f64`).
+///
+/// Sampling uses a precomputed cumulative table and binary search — `O(log n)`
+/// per draw. Upstream uses rejection sampling; the sampled *distribution* is
+/// the same, which is all the reference tests rely on.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates the distribution over `1..=n` with exponent `s`.
+    pub fn new(n: u64, s: f64) -> Result<Self, ZipfError> {
+        if n == 0 {
+            return Err(ZipfError::ZeroElements);
+        }
+        if !(s.is_finite() && s >= 0.0) {
+            return Err(ZipfError::BadExponent);
+        }
+        let mut cumulative = Vec::with_capacity(n as usize);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Ok(Zipf { cumulative })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let idx = match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cumulative table is finite"))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i.min(self.cumulative.len() - 1),
+        };
+        (idx + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert_eq!(Zipf::new(0, 1.0).unwrap_err(), ZipfError::ZeroElements);
+        assert_eq!(Zipf::new(5, f64::NAN).unwrap_err(), ZipfError::BadExponent);
+        assert_eq!(Zipf::new(5, -1.0).unwrap_err(), ZipfError::BadExponent);
+    }
+
+    #[test]
+    fn samples_stay_in_range_and_favour_the_head() {
+        let z = Zipf::new(20, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut head = 0usize;
+        for _ in 0..20_000 {
+            let v = z.sample(&mut rng);
+            assert!((1.0..=20.0).contains(&v));
+            if v == 1.0 {
+                head += 1;
+            }
+        }
+        // P(1) = 1/H_20 ≈ 0.278; allow a generous band.
+        assert!((4_000..7_000).contains(&head), "head draws: {head}");
+    }
+}

@@ -1,0 +1,376 @@
+//! `Serialize`/`Deserialize` implementations for std types.
+
+use crate::json::{JsonError, JsonValue};
+use crate::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::hash::{BuildHasher, Hash};
+
+// ---------------------------------------------------------------- primitives
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self) -> JsonValue { JsonValue::Int(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(v: &JsonValue) -> Result<Self, JsonError> {
+                let wide: i128 = match *v {
+                    JsonValue::Int(x) => x as i128,
+                    JsonValue::UInt(x) => x as i128,
+                    JsonValue::Float(x) if x.fract() == 0.0 => x as i128,
+                    ref other => return Err(JsonError::expected("integer", other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| JsonError(format!("integer {wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self) -> JsonValue {
+                let wide = *self as u64;
+                if wide <= i64::MAX as u64 {
+                    JsonValue::Int(wide as i64)
+                } else {
+                    JsonValue::UInt(wide)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(v: &JsonValue) -> Result<Self, JsonError> {
+                let wide: u128 = match *v {
+                    JsonValue::Int(x) if x >= 0 => x as u128,
+                    JsonValue::UInt(x) => x as u128,
+                    JsonValue::Float(x) if x.fract() == 0.0 && x >= 0.0 => x as u128,
+                    ref other => return Err(JsonError::expected("unsigned integer", other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| JsonError(format!("integer {wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+serialize_signed!(i8, i16, i32, i64, isize);
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self) -> JsonValue { JsonValue::Float(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(v: &JsonValue) -> Result<Self, JsonError> {
+                match *v {
+                    JsonValue::Float(x) => Ok(x as $t),
+                    JsonValue::Int(x) => Ok(x as $t),
+                    JsonValue::UInt(x) => Ok(x as $t),
+                    // serde_json renders non-finite floats as null.
+                    JsonValue::Null => Ok(<$t>::NAN),
+                    ref other => Err(JsonError::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_json(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_json(v: &JsonValue) -> Result<Self, JsonError> {
+        match v {
+            JsonValue::Bool(b) => Ok(*b),
+            other => Err(JsonError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize_json(&self) -> JsonValue {
+        JsonValue::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_json(v: &JsonValue) -> Result<Self, JsonError> {
+        let s = v.as_str().ok_or_else(|| JsonError::expected("single-char string", v))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(JsonError::expected("single-char string", v)),
+        }
+    }
+}
+
+// ------------------------------------------------------------------ strings
+
+impl Serialize for String {
+    fn serialize_json(&self) -> JsonValue {
+        JsonValue::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self) -> JsonValue {
+        JsonValue::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_json(v: &JsonValue) -> Result<Self, JsonError> {
+        v.as_str().map(str::to_string).ok_or_else(|| JsonError::expected("string", v))
+    }
+}
+
+// --------------------------------------------------------------- containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self) -> JsonValue {
+        (**self).serialize_json()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_json(&self) -> JsonValue {
+        (**self).serialize_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_json(v: &JsonValue) -> Result<Self, JsonError> {
+        T::deserialize_json(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn serialize_json(&self) -> JsonValue {
+        (**self).serialize_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::rc::Rc<T> {
+    fn deserialize_json(v: &JsonValue) -> Result<Self, JsonError> {
+        T::deserialize_json(v).map(std::rc::Rc::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize_json(&self) -> JsonValue {
+        (**self).serialize_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn deserialize_json(v: &JsonValue) -> Result<Self, JsonError> {
+        T::deserialize_json(v).map(std::sync::Arc::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self) -> JsonValue {
+        match self {
+            Some(x) => x.serialize_json(),
+            None => JsonValue::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_json(v: &JsonValue) -> Result<Self, JsonError> {
+        match v {
+            JsonValue::Null => Ok(None),
+            other => T::deserialize_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::serialize_json).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self) -> JsonValue {
+        self[..].serialize_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self) -> JsonValue {
+        self[..].serialize_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_json(v: &JsonValue) -> Result<Self, JsonError> {
+        v.as_array()
+            .ok_or_else(|| JsonError::expected("array", v))?
+            .iter()
+            .map(T::deserialize_json)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize_json(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::serialize_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn deserialize_json(v: &JsonValue) -> Result<Self, JsonError> {
+        Vec::<T>::deserialize_json(v).map(VecDeque::from)
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn serialize_json(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::serialize_json).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize_json(v: &JsonValue) -> Result<Self, JsonError> {
+        Vec::<T>::deserialize_json(v).map(|items| items.into_iter().collect())
+    }
+}
+
+impl<T: Serialize, S: BuildHasher> Serialize for HashSet<T, S> {
+    fn serialize_json(&self) -> JsonValue {
+        // Deterministic output: sort by the rendered form.
+        let mut items: Vec<JsonValue> = self.iter().map(Serialize::serialize_json).collect();
+        items.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        JsonValue::Array(items)
+    }
+}
+
+impl<T: Deserialize + Eq + Hash, S: BuildHasher + Default> Deserialize for HashSet<T, S> {
+    fn deserialize_json(v: &JsonValue) -> Result<Self, JsonError> {
+        Vec::<T>::deserialize_json(v).map(|items| items.into_iter().collect())
+    }
+}
+
+// Maps serialize as arrays of `[key, value]` pairs. Upstream serde_json only
+// supports string keys in objects; the pair representation round-trips any
+// key type without a string-conversion side channel.
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_json(&self) -> JsonValue {
+        JsonValue::Array(
+            self.iter()
+                .map(|(k, v)| JsonValue::Array(vec![k.serialize_json(), v.serialize_json()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_json(v: &JsonValue) -> Result<Self, JsonError> {
+        Vec::<(K, V)>::deserialize_json(v).map(|pairs| pairs.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize, S: BuildHasher> Serialize for HashMap<K, V, S> {
+    fn serialize_json(&self) -> JsonValue {
+        let mut pairs: Vec<JsonValue> = self
+            .iter()
+            .map(|(k, v)| JsonValue::Array(vec![k.serialize_json(), v.serialize_json()]))
+            .collect();
+        pairs.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        JsonValue::Array(pairs)
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize, S: BuildHasher + Default> Deserialize
+    for HashMap<K, V, S>
+{
+    fn deserialize_json(v: &JsonValue) -> Result<Self, JsonError> {
+        Vec::<(K, V)>::deserialize_json(v).map(|pairs| pairs.into_iter().collect())
+    }
+}
+
+// ------------------------------------------------------------------- tuples
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_json(&self) -> JsonValue {
+                JsonValue::Array(vec![$(self.$idx.serialize_json()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_json(v: &JsonValue) -> Result<Self, JsonError> {
+                let items = v.as_array().ok_or_else(|| JsonError::expected("tuple array", v))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(JsonError(format!(
+                        "expected tuple of {expected} elements, found {}", items.len()
+                    )));
+                }
+                Ok(($($name::deserialize_json(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+impl Serialize for () {
+    fn serialize_json(&self) -> JsonValue {
+        JsonValue::Null
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize_json(v: &JsonValue) -> Result<Self, JsonError> {
+        match v {
+            JsonValue::Null => Ok(()),
+            other => Err(JsonError::expected("null", other)),
+        }
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn serialize_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("secs".to_string(), self.as_secs().serialize_json()),
+            ("nanos".to_string(), self.subsec_nanos().serialize_json()),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn deserialize_json(v: &JsonValue) -> Result<Self, JsonError> {
+        let secs = u64::deserialize_json(crate::json::field_or_null(v, "secs"))?;
+        let nanos = u32::deserialize_json(crate::json::field_or_null(v, "nanos"))?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+impl Serialize for JsonValue {
+    fn serialize_json(&self) -> JsonValue {
+        self.clone()
+    }
+}
+
+impl Deserialize for JsonValue {
+    fn deserialize_json(v: &JsonValue) -> Result<Self, JsonError> {
+        Ok(v.clone())
+    }
+}

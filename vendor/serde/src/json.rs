@@ -1,0 +1,105 @@
+//! The self-describing data model shared by the `serde` traits, the derive
+//! macro's generated code, and `serde_json`'s text layer.
+
+use std::fmt;
+
+/// An in-memory JSON tree.
+///
+/// Object fields are kept as an insertion-ordered `Vec` (not a map) so that
+/// struct round-trips preserve declaration order and `to_string_pretty`
+/// output is stable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    /// Signed integers (also produced by the parser for any integral literal
+    /// that fits in `i64`).
+    Int(i64),
+    /// Unsigned integers above `i64::MAX`.
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<JsonValue>),
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Returns the object fields, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Returns the array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Returns the string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object by name.
+    pub fn get_field(&self, name: &str) -> Option<&JsonValue> {
+        self.as_object()
+            .and_then(|fields| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v))
+    }
+
+    /// A short tag naming the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JsonValue::Null => "null",
+            JsonValue::Bool(_) => "bool",
+            JsonValue::Int(_) | JsonValue::UInt(_) => "integer",
+            JsonValue::Float(_) => "float",
+            JsonValue::Str(_) => "string",
+            JsonValue::Array(_) => "array",
+            JsonValue::Object(_) => "object",
+        }
+    }
+}
+
+/// Error produced when deserialization (or parsing) fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl JsonError {
+    /// "expected X, found Y" constructor used by generated code.
+    pub fn expected(what: &str, found: &JsonValue) -> Self {
+        JsonError(format!("expected {what}, found {}", found.kind()))
+    }
+
+    /// Missing-field constructor used by generated code.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        JsonError(format!("missing field `{field}` while deserializing {ty}"))
+    }
+
+    /// Unknown-variant constructor used by generated code.
+    pub fn unknown_variant(ty: &str, variant: &str) -> Self {
+        JsonError(format!("unknown variant `{variant}` for enum {ty}"))
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Helper used by derived `Deserialize` impls: fetch a struct field, mapping
+/// a missing entry to `Null` so `Option` fields deserialize to `None`.
+pub fn field_or_null<'v>(v: &'v JsonValue, name: &str) -> &'v JsonValue {
+    static NULL: JsonValue = JsonValue::Null;
+    v.get_field(name).unwrap_or(&NULL)
+}

@@ -1,0 +1,45 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! The build environment has no access to a crates registry, so the workspace
+//! vendors a serde work-alike that is *actually functional* — round-tripping
+//! through `serde_json` works — while being a fraction of the size. Instead
+//! of upstream's visitor-based zero-copy architecture, this implementation
+//! funnels everything through one self-describing in-memory tree,
+//! [`json::JsonValue`]:
+//!
+//! * [`Serialize`] renders a value into a [`json::JsonValue`],
+//! * [`Deserialize`] rebuilds a value from a [`json::JsonValue`],
+//! * `#[derive(Serialize, Deserialize)]` (from the vendored `serde_derive`)
+//!   generates those impls with upstream-compatible shapes (externally tagged
+//!   enums, transparent newtypes, objects for named-field structs).
+//!
+//! The `serde_json` vendor crate adds the text layer (printing/parsing).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+/// A value that can be rendered into the self-describing JSON tree.
+pub trait Serialize {
+    /// Renders `self` as a [`json::JsonValue`].
+    fn serialize_json(&self) -> json::JsonValue;
+}
+
+/// A value that can be rebuilt from the self-describing JSON tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value from `v`.
+    fn deserialize_json(v: &json::JsonValue) -> Result<Self, json::JsonError>;
+}
+
+mod impls;
+
+/// `serde::de` stand-in so `use serde::de::...` paths keep compiling.
+pub mod de {
+    pub use crate::json::JsonError as Error;
+    pub use crate::Deserialize;
+}
+
+/// `serde::ser` stand-in so `use serde::ser::...` paths keep compiling.
+pub mod ser {
+    pub use crate::Serialize;
+}

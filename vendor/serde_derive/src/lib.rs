@@ -1,0 +1,235 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde subset.
+//!
+//! The build environment has no registry access, so this derive is written
+//! against bare `proc_macro` — no `syn`, no `quote`. It hand-parses the item
+//! into a small shape model (struct: unit/newtype/tuple/named; enum: the same
+//! four variant shapes) and emits impls of the vendored `serde::Serialize` /
+//! `serde::Deserialize` traits with upstream-compatible representations:
+//! objects for named fields, transparent newtypes, externally tagged enums.
+//!
+//! Supported grammar is deliberately the subset this workspace uses: type
+//! generics with plain bounds (`<K: Eq + Hash>`), no lifetimes, no const
+//! generics, no `where` clauses, no `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+mod parse;
+
+use parse::{Data, Input, VariantKind};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = Input::parse(input);
+    let body = serialize_body(&item);
+    let code = item.impl_block("::serde::Serialize", &body);
+    code.parse().expect("serde_derive generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = Input::parse(input);
+    let body = deserialize_body(&item);
+    let code = item.impl_block("::serde::Deserialize", &body);
+    code.parse().expect("serde_derive generated invalid Deserialize impl")
+}
+
+/// Renders `JsonValue::Object(vec![(name, value), ...])` from rendered pairs.
+fn object_expr(pairs: &[(String, String)]) -> String {
+    let fields: Vec<String> = pairs
+        .iter()
+        .map(|(name, value)| format!("(::std::string::String::from({name:?}), {value})"))
+        .collect();
+    format!("::serde::json::JsonValue::Object(::std::vec![{}])", fields.join(", "))
+}
+
+fn serialize_body(item: &Input) -> String {
+    let expr = match &item.data {
+        Data::UnitStruct => "::serde::json::JsonValue::Null".to_string(),
+        Data::NewtypeStruct => "::serde::Serialize::serialize_json(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::serialize_json(&self.{i})")).collect();
+            format!("::serde::json::JsonValue::Array(::std::vec![{}])", items.join(", "))
+        }
+        Data::NamedStruct(fields) => {
+            let pairs: Vec<(String, String)> = fields
+                .iter()
+                .map(|f| (f.clone(), format!("::serde::Serialize::serialize_json(&self.{f})")))
+                .collect();
+            object_expr(&pairs)
+        }
+        Data::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "Self::{vname} => \
+                             ::serde::json::JsonValue::Str(::std::string::String::from({vname:?})),"
+                        ),
+                        VariantKind::Newtype => {
+                            let payload = "::serde::Serialize::serialize_json(__x0)".to_string();
+                            let obj = object_expr(&[(vname.clone(), payload)]);
+                            format!("Self::{vname}(__x0) => {obj},")
+                        }
+                        VariantKind::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_json({b})"))
+                                .collect();
+                            let payload = format!(
+                                "::serde::json::JsonValue::Array(::std::vec![{}])",
+                                items.join(", ")
+                            );
+                            let obj = object_expr(&[(vname.clone(), payload)]);
+                            format!("Self::{vname}({}) => {obj},", binders.join(", "))
+                        }
+                        VariantKind::Named(fields) => {
+                            let pairs: Vec<(String, String)> = fields
+                                .iter()
+                                .map(|f| {
+                                    (f.clone(), format!("::serde::Serialize::serialize_json({f})"))
+                                })
+                                .collect();
+                            let payload = object_expr(&pairs);
+                            let obj = object_expr(&[(vname.clone(), payload)]);
+                            format!("Self::{vname} {{ {} }} => {obj},", fields.join(", "))
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!("fn serialize_json(&self) -> ::serde::json::JsonValue {{ {expr} }}")
+}
+
+/// Renders the field initializers for a named-field body deserialized from
+/// the object expression `source`.
+fn named_inits(ty: &str, fields: &[String], source: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::deserialize_json(\
+                 ::serde::json::field_or_null({source}, {f:?}))\
+                 .map_err(|e| ::serde::json::JsonError(\
+                 ::std::format!(\"{ty}.{f}: {{e}}\")))?,"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Renders an expression deserializing a tuple payload of `n` items from the
+/// array behind `source`, applied to constructor path `ctor`.
+fn tuple_init(ty: &str, ctor: &str, n: usize, source: &str) -> String {
+    let items: Vec<String> = (0..n)
+        .map(|i| format!("::serde::Deserialize::deserialize_json(&__items[{i}])?"))
+        .collect();
+    format!(
+        "{{ let __items = {source}.as_array()\
+         .ok_or_else(|| ::serde::json::JsonError::expected(\"array\", {source}))?; \
+         if __items.len() != {n} {{ \
+         return Err(::serde::json::JsonError(::std::format!(\
+         \"{ty}: expected {n} elements, found {{}}\", __items.len()))); }} \
+         Ok({ctor}({})) }}",
+        items.join(", ")
+    )
+}
+
+fn deserialize_body(item: &Input) -> String {
+    let ty = &item.name;
+    let expr = match &item.data {
+        Data::UnitStruct => format!(
+            "match __v {{ ::serde::json::JsonValue::Null => Ok(Self), \
+             other => Err(::serde::json::JsonError::expected({ty:?}, other)) }}"
+        ),
+        Data::NewtypeStruct => {
+            "Ok(Self(::serde::Deserialize::deserialize_json(__v)?))".to_string()
+        }
+        Data::TupleStruct(n) => tuple_init(ty, "Self", *n, "__v"),
+        Data::NamedStruct(fields) => format!(
+            "{{ if __v.as_object().is_none() {{ \
+             return Err(::serde::json::JsonError::expected(\"object\", __v)); }} \
+             Ok(Self {{ {} }}) }}",
+            named_inits(ty, fields, "__v")
+        ),
+        Data::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{:?} => Ok(Self::{}),", v.name, v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    let arm_body = match &v.kind {
+                        VariantKind::Unit => return None,
+                        VariantKind::Newtype => format!(
+                            "Ok(Self::{vname}(::serde::Deserialize::deserialize_json(__payload)?))"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            tuple_init(ty, &format!("Self::{vname}"), *n, "__payload")
+                        }
+                        VariantKind::Named(fields) => format!(
+                            "{{ if __payload.as_object().is_none() {{ \
+                             return Err(::serde::json::JsonError::expected(\"object\", __payload)); }} \
+                             Ok(Self::{vname} {{ {} }}) }}",
+                            named_inits(ty, fields, "__payload")
+                        ),
+                    };
+                    Some(format!("{vname:?} => {arm_body},"))
+                })
+                .collect();
+            format!(
+                "match __v {{ \
+                 ::serde::json::JsonValue::Str(__s) => match __s.as_str() {{ \
+                 {} __other => Err(::serde::json::JsonError::unknown_variant({ty:?}, __other)) }}, \
+                 ::serde::json::JsonValue::Object(__fields) if __fields.len() == 1 => {{ \
+                 let (__tag, __payload) = &__fields[0]; \
+                 match __tag.as_str() {{ \
+                 {} __other => Err(::serde::json::JsonError::unknown_variant({ty:?}, __other)) }} }}, \
+                 __other => Err(::serde::json::JsonError::expected({ty:?}, __other)) }}",
+                unit_arms.join(" "),
+                tagged_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "fn deserialize_json(__v: &::serde::json::JsonValue) \
+         -> ::std::result::Result<Self, ::serde::json::JsonError> {{ {expr} }}"
+    )
+}
+
+/// Shared helper: renders a token tree sequence back to source text, keeping
+/// joint punctuation glued (so `::` does not become `: :`).
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    let mut out = String::new();
+    let mut glue_next = false;
+    for tt in tokens {
+        if !out.is_empty() && !glue_next {
+            out.push(' ');
+        }
+        glue_next = matches!(tt, TokenTree::Punct(p) if p.spacing() == proc_macro::Spacing::Joint);
+        match tt {
+            TokenTree::Group(g) => {
+                let (open, close) = match g.delimiter() {
+                    Delimiter::Parenthesis => ("(", ")"),
+                    Delimiter::Brace => ("{", "}"),
+                    Delimiter::Bracket => ("[", "]"),
+                    Delimiter::None => ("", ""),
+                };
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                out.push_str(open);
+                out.push_str(&tokens_to_string(&inner));
+                out.push_str(close);
+            }
+            other => out.push_str(&other.to_string()),
+        }
+    }
+    out
+}

@@ -1,0 +1,286 @@
+//! Hand-rolled parser from a derive input `TokenStream` to the shape model.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Shape of the deriving item.
+pub enum Data {
+    UnitStruct,
+    /// One-element tuple struct — serialized transparently.
+    NewtypeStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+pub struct Variant {
+    pub name: String,
+    pub kind: VariantKind,
+}
+
+pub enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Parsed derive input.
+pub struct Input {
+    pub name: String,
+    /// Generic parameter declarations as written, e.g. `K : Eq + Hash`.
+    pub generics_decl: String,
+    /// Just the parameter names, e.g. `["K"]`.
+    pub generic_params: Vec<String>,
+    pub data: Data,
+}
+
+impl Input {
+    pub fn parse(stream: TokenStream) -> Input {
+        let tokens: Vec<TokenTree> = stream.into_iter().collect();
+        let mut pos = 0;
+
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        let keyword = expect_ident(&tokens, &mut pos);
+        assert!(
+            keyword == "struct" || keyword == "enum",
+            "serde_derive: expected `struct` or `enum`, found `{keyword}`"
+        );
+        let name = expect_ident(&tokens, &mut pos);
+
+        let (generics_decl, generic_params) = parse_generics(&tokens, &mut pos);
+
+        let data = if keyword == "struct" {
+            match tokens.get(pos) {
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::UnitStruct,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    match count_tuple_fields(g.stream()) {
+                        1 => Data::NewtypeStruct,
+                        n => Data::TupleStruct(n),
+                    }
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Data::NamedStruct(parse_named_fields(g.stream()))
+                }
+                other => panic!("serde_derive: unexpected struct body: {other:?}"),
+            }
+        } else {
+            match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Data::Enum(parse_variants(g.stream()))
+                }
+                other => panic!("serde_derive: unexpected enum body: {other:?}"),
+            }
+        };
+
+        Input { name, generics_decl, generic_params, data }
+    }
+
+    /// Renders `impl<...> TRAIT for Name<...> { body }`, adding the trait as
+    /// an extra bound on every type parameter.
+    pub fn impl_block(&self, trait_path: &str, body: &str) -> String {
+        if self.generic_params.is_empty() {
+            return format!("impl {trait_path} for {} {{ {body} }}", self.name);
+        }
+        let bounded: Vec<String> = split_top_level_commas_str(&self.generics_decl)
+            .into_iter()
+            .map(|param| {
+                let param = param.trim().to_string();
+                if param.contains(':') {
+                    format!("{param} + {trait_path}")
+                } else {
+                    format!("{param}: {trait_path}")
+                }
+            })
+            .collect();
+        format!(
+            "impl<{}> {trait_path} for {}<{}> {{ {body} }}",
+            bounded.join(", "),
+            self.name,
+            self.generic_params.join(", ")
+        )
+    }
+}
+
+/// Skips `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attributes_and_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *pos += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses an optional `<...>` generics list; returns (decl text, param names).
+fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> (String, Vec<String>) {
+    match tokens.get(*pos) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return (String::new(), Vec::new()),
+    }
+    *pos += 1;
+    let mut depth = 1usize;
+    let mut decl_tokens = Vec::new();
+    while depth > 0 {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                depth += 1;
+                decl_tokens.push(tokens[*pos].clone());
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth > 0 {
+                    decl_tokens.push(tokens[*pos].clone());
+                }
+            }
+            Some(tt) => decl_tokens.push(tt.clone()),
+            None => panic!("serde_derive: unterminated generics list"),
+        }
+        *pos += 1;
+    }
+
+    let mut params = Vec::new();
+    for segment in split_top_level_commas(&decl_tokens) {
+        match segment.first() {
+            Some(TokenTree::Ident(id)) => {
+                let word = id.to_string();
+                assert!(
+                    word != "const",
+                    "serde_derive: const generics are not supported by the vendored derive"
+                );
+                params.push(word);
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                panic!("serde_derive: lifetimes are not supported by the vendored derive")
+            }
+            _ => {}
+        }
+    }
+    (crate::tokens_to_string(&decl_tokens), params)
+}
+
+/// Splits a token slice on commas that sit outside any `<...>` nesting
+/// (delimiter groups are atomic token trees, so only angles need tracking).
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut segments = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0usize;
+    for tt in tokens {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                current.push(tt.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' && angle_depth > 0 => {
+                angle_depth -= 1;
+                current.push(tt.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if !current.is_empty() {
+                    segments.push(std::mem::take(&mut current));
+                }
+            }
+            _ => current.push(tt.clone()),
+        }
+    }
+    if !current.is_empty() {
+        segments.push(current);
+    }
+    segments
+}
+
+fn split_top_level_commas_str(text: &str) -> Vec<String> {
+    let mut segments = Vec::new();
+    let mut current = String::new();
+    let mut angle_depth = 0usize;
+    for c in text.chars() {
+        match c {
+            '<' => {
+                angle_depth += 1;
+                current.push(c);
+            }
+            '>' if angle_depth > 0 => {
+                angle_depth -= 1;
+                current.push(c);
+            }
+            ',' if angle_depth == 0 => {
+                if !current.trim().is_empty() {
+                    segments.push(std::mem::take(&mut current));
+                }
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        segments.push(current);
+    }
+    segments
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    split_top_level_commas(&tokens).len()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    for segment in split_top_level_commas(&tokens) {
+        let mut pos = 0;
+        skip_attributes_and_visibility(&segment, &mut pos);
+        if pos < segment.len() {
+            fields.push(expect_ident(&segment, &mut pos));
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    for segment in split_top_level_commas(&tokens) {
+        let mut pos = 0;
+        skip_attributes_and_visibility(&segment, &mut pos);
+        if pos >= segment.len() {
+            continue;
+        }
+        let name = expect_ident(&segment, &mut pos);
+        let kind = match segment.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                match count_tuple_fields(g.stream()) {
+                    1 => VariantKind::Newtype,
+                    n => VariantKind::Tuple(n),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("serde_derive: explicit discriminants are not supported")
+            }
+            None => VariantKind::Unit,
+            other => panic!("serde_derive: unexpected token in variant: {other:?}"),
+        };
+        variants.push(Variant { name, kind });
+    }
+    variants
+}

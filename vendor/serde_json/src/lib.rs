@@ -1,0 +1,373 @@
+//! Offline, API-compatible subset of `serde_json`: printing and parsing of
+//! the vendored serde crate's [`serde::json::JsonValue`] tree.
+//!
+//! Supports the entry points the workspace uses — [`to_string`],
+//! [`to_string_pretty`], [`from_str`] — with full JSON text syntax
+//! (escapes, nested containers, all number shapes). Floats are printed via
+//! Rust's shortest-round-trip formatting, so `f64` values survive
+//! `to_string` → `from_str` exactly; non-finite floats print as `null` like
+//! upstream.
+
+use serde::json::{JsonError, JsonValue};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+pub use serde::json::JsonError as Error;
+
+/// Alias mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Re-export of the tree type under upstream's name.
+pub use serde::json::JsonValue as Value;
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_json(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` to a pretty-printed JSON string (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_json(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses a value from a JSON string.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
+    let tree = parse(text)?;
+    T::deserialize_json(&tree)
+}
+
+/// Parses a JSON string into the raw tree.
+pub fn parse(text: &str) -> Result<JsonValue> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_whitespace(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(JsonError(format!("trailing characters at byte {pos}")));
+    }
+    Ok(value)
+}
+
+// ------------------------------------------------------------------ printer
+
+fn write_value(out: &mut String, v: &JsonValue, indent: Option<usize>, level: usize) {
+    match v {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(true) => out.push_str("true"),
+        JsonValue::Bool(false) => out.push_str("false"),
+        JsonValue::Int(x) => {
+            let _ = write!(out, "{x}");
+        }
+        JsonValue::UInt(x) => {
+            let _ = write!(out, "{x}");
+        }
+        JsonValue::Float(x) => {
+            if x.is_finite() {
+                // `{:?}` is Rust's shortest round-trip float form and always
+                // contains a '.' or 'e', keeping the token a float on re-parse.
+                let _ = write!(out, "{x:?}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        JsonValue::Str(s) => write_string(out, s),
+        JsonValue::Array(items) =>
+            write_seq(out, items.iter(), items.len(), indent, level, ('[', ']'), |out, item, ind, lvl| {
+                write_value(out, item, ind, lvl)
+            }),
+        JsonValue::Object(fields) => write_seq(
+            out,
+            fields.iter(),
+            fields.len(),
+            indent,
+            level,
+            ('{', '}'),
+            |out, (name, value), ind, lvl| {
+                write_string(out, name);
+                out.push(':');
+                if ind.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, value, ind, lvl);
+            },
+        ),
+    }
+}
+
+fn write_seq<I: Iterator>(
+    out: &mut String,
+    items: I,
+    len: usize,
+    indent: Option<usize>,
+    level: usize,
+    brackets: (char, char),
+    mut write_item: impl FnMut(&mut String, I::Item, Option<usize>, usize),
+) {
+    out.push(brackets.0);
+    if len == 0 {
+        out.push(brackets.1);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (level + 1)));
+        }
+        write_item(out, item, indent, level + 1);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * level));
+    }
+    out.push(brackets.1);
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ------------------------------------------------------------------- parser
+
+fn skip_whitespace(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue> {
+    skip_whitespace(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(JsonError("unexpected end of input".to_string())),
+        Some(b'n') => parse_literal(bytes, pos, "null", JsonValue::Null),
+        Some(b't') => parse_literal(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(JsonValue::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            loop {
+                skip_whitespace(bytes, pos);
+                if bytes.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                if !items.is_empty() {
+                    expect_byte(bytes, pos, b',')?;
+                }
+                items.push(parse_value(bytes, pos)?);
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            loop {
+                skip_whitespace(bytes, pos);
+                if bytes.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                if !fields.is_empty() {
+                    expect_byte(bytes, pos, b',')?;
+                    skip_whitespace(bytes, pos);
+                }
+                let name = parse_string(bytes, pos)?;
+                skip_whitespace(bytes, pos);
+                expect_byte(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                fields.push((name, value));
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &str,
+    value: JsonValue,
+) -> Result<JsonValue> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(JsonError(format!("invalid literal at byte {pos}", pos = *pos)))
+    }
+}
+
+fn expect_byte(bytes: &[u8], pos: &mut usize, expected: u8) -> Result<()> {
+    skip_whitespace(bytes, pos);
+    if bytes.get(*pos) == Some(&expected) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(JsonError(format!(
+            "expected `{}` at byte {}",
+            expected as char, *pos
+        )))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(JsonError(format!("expected string at byte {}", *pos)));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(JsonError("unterminated string".to_string())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| JsonError("truncated \\u escape".to_string()))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| JsonError("invalid \\u escape".to_string()))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| JsonError("invalid \\u escape".to_string()))?;
+                        // Surrogate pairs are not needed for the workspace's
+                        // own output (it never escapes above U+001F).
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| JsonError("invalid \\u code point".to_string()))?,
+                        );
+                        *pos += 4;
+                    }
+                    other => return Err(JsonError(format!("invalid escape {other:?}"))),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| JsonError("invalid UTF-8 in string".to_string()))?;
+                let c = rest.chars().next().expect("non-empty by construction");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| JsonError("invalid number".to_string()))?;
+    if text.is_empty() || text == "-" {
+        return Err(JsonError(format!("invalid number at byte {start}")));
+    }
+    if !is_float {
+        if let Ok(x) = text.parse::<i64>() {
+            return Ok(JsonValue::Int(x));
+        }
+        if let Ok(x) = text.parse::<u64>() {
+            return Ok(JsonValue::UInt(x));
+        }
+    }
+    text.parse::<f64>()
+        .map(JsonValue::Float)
+        .map_err(|_| JsonError(format!("invalid number `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(to_string(&42i64).unwrap(), "42");
+        assert_eq!(from_str::<i64>("42").unwrap(), 42);
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert!(!from_str::<bool>("false").unwrap());
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        // Integral floats keep a float-shaped token.
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(from_str::<f64>(&to_string(&2.0f64).unwrap()).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn strings_escape_and_round_trip() {
+        let nasty = "a\"b\\c\nd\te\u{1}é漢";
+        let json = to_string(&nasty.to_string()).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), nasty);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v: Vec<Option<u64>> = vec![Some(1), None, Some(3)];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[1,null,3]");
+        assert_eq!(from_str::<Vec<Option<u64>>>(&json).unwrap(), v);
+
+        let pairs: Vec<(String, i64)> = vec![("a".into(), 1), ("b".into(), -2)];
+        let json = to_string(&pairs).unwrap();
+        assert_eq!(from_str::<Vec<(String, i64)>>(&json).unwrap(), pairs);
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_reparsable() {
+        let v: Vec<Vec<u64>> = vec![vec![1, 2], vec![]];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  "));
+        assert_eq!(from_str::<Vec<Vec<u64>>>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<i64>("").is_err());
+        assert!(from_str::<i64>("12 trailing").is_err());
+        assert!(from_str::<Vec<i64>>("[1,").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+    }
+}
