@@ -1,0 +1,132 @@
+//! Machine-readable benchmark emitter: runs the criterion engine scenarios
+//! in quick mode and writes per-benchmark ms/iter results as JSON, so CI can
+//! track the performance trajectory across PRs.
+//!
+//! Usage: `cargo run --release -p rjoin-bench --bin bench_json -- [OUT.json]`
+//! (default output path `BENCH_2.json`). The environment variable
+//! `BENCH_JSON_ITERS` overrides the per-benchmark iteration count (default 5;
+//! CI uses a small count — the point is trajectory, not statistics).
+
+use rjoin_core::{EngineConfig, PlacementStrategy, RJoinEngine};
+use rjoin_workload::Scenario;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One benchmark's timing result.
+#[derive(Debug, Serialize)]
+struct BenchResult {
+    group: String,
+    bench: String,
+    /// Mean wall-clock milliseconds per iteration.
+    ms_per_iter: f64,
+    /// Fastest single iteration (robust to scheduling noise).
+    ms_best: f64,
+    iters: u64,
+}
+
+/// The emitted file: scenario parameters plus every result row.
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    schema_version: u32,
+    nodes: usize,
+    queries: usize,
+    tuples: usize,
+    results: Vec<BenchResult>,
+}
+
+fn bench_scenario() -> Scenario {
+    // Must stay in lockstep with `benches/engine.rs` so the JSON numbers are
+    // comparable with the interactive criterion runs.
+    Scenario { nodes: 48, queries: 300, tuples: 60, ..Scenario::small_test() }
+}
+
+fn run(config: EngineConfig, scenario: &Scenario) -> u64 {
+    let catalog = scenario.workload_schema().build_catalog();
+    let mut engine = RJoinEngine::new(config, catalog, scenario.nodes);
+    let origins: Vec<_> = engine.node_ids().to_vec();
+    for (i, q) in scenario.generate_queries().into_iter().enumerate() {
+        engine.submit_query(origins[i % origins.len()], q).unwrap();
+    }
+    engine.run_until_quiescent().unwrap();
+    for (i, t) in scenario.generate_tuples(engine.now() + 1).into_iter().enumerate() {
+        engine.publish_tuple(origins[i % origins.len()], t).unwrap();
+    }
+    engine.run_until_quiescent().unwrap();
+    engine.total_qpl()
+}
+
+fn measure(
+    group: &str,
+    bench: &str,
+    iters: u64,
+    mut f: impl FnMut() -> u64,
+) -> BenchResult {
+    // One untimed warm-up iteration.
+    std::hint::black_box(f());
+    let mut best = f64::INFINITY;
+    let mut total = 0.0f64;
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        best = best.min(ms);
+        total += ms;
+    }
+    let result = BenchResult {
+        group: group.to_string(),
+        bench: bench.to_string(),
+        ms_per_iter: total / iters as f64,
+        ms_best: best,
+        iters,
+    };
+    println!(
+        "{}/{}: {:.3} ms/iter (best {:.3} ms, {} iters)",
+        result.group, result.bench, result.ms_per_iter, result.ms_best, result.iters
+    );
+    result
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_2.json".to_string());
+    let iters: u64 = std::env::var("BENCH_JSON_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let scenario = bench_scenario();
+
+    let mut results = Vec::new();
+    for (name, strategy) in [
+        ("ric_aware", PlacementStrategy::RicAware),
+        ("random", PlacementStrategy::Random),
+        ("worst", PlacementStrategy::Worst),
+        ("first_in_clause", PlacementStrategy::FirstInClause),
+    ] {
+        results.push(measure("placement_strategy", name, iters, || {
+            run(EngineConfig::with_placement(strategy), &scenario)
+        }));
+    }
+    results.push(measure("ric_reuse", "with_reuse", iters, || {
+        run(EngineConfig::default(), &scenario)
+    }));
+    results.push(measure("ric_reuse", "without_reuse", iters, || {
+        run(EngineConfig::default().without_ric_reuse(), &scenario)
+    }));
+    for window in [10u64, 40] {
+        let mut windowed = bench_scenario();
+        windowed.window = rjoin_query::WindowSpec::sliding_tuples(window);
+        results.push(measure("window_size", &format!("W{window}"), iters, || {
+            run(EngineConfig::default(), &windowed)
+        }));
+    }
+
+    let report = BenchReport {
+        schema_version: 1,
+        nodes: scenario.nodes,
+        queries: scenario.queries,
+        tuples: scenario.tuples,
+        results,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json).expect("writing the report file succeeds");
+    println!("wrote {out_path}");
+}

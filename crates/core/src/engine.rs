@@ -12,25 +12,136 @@ use crate::stats::ExperimentStats;
 use crate::traffic_class;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rjoin_dht::Id;
+use rjoin_dht::{HashedKey, Id, RingBuildHasher};
 use rjoin_metrics::{Distribution, LoadMap};
 use rjoin_net::{Delivery, Network, NetworkConfig, SimTime, TrafficStats};
-use rjoin_query::{candidate_keys, tuple_index_keys, IndexKey, JoinQuery};
+use rjoin_query::{candidate_keys, tuple_index_keys, IndexKey, IndexLevel, JoinQuery};
 use rjoin_relation::{Catalog, Tuple};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// Per-key load maps are keyed by precomputed ring identifiers, so they use
+/// the cheap ring-id hasher instead of SipHash.
+type KeyLoadMap = LoadMap<u64, RingBuildHasher>;
+
+/// Per-node load maps and the node-state map itself are keyed by node
+/// identifiers, which are ring identifiers too — same cheap hasher.
+type NodeLoadMap = LoadMap<Id, RingBuildHasher>;
+type NodeMap = HashMap<Id, NodeState, RingBuildHasher>;
+
+/// Minimum number of node-bound deliveries in one tick before the parallel
+/// driver spawns worker threads; smaller ticks are processed inline because
+/// thread startup would dominate.
+const PARALLEL_TICK_MIN_DELIVERIES: usize = 24;
+
+/// The query-processing / storage-load counter increments one delivery
+/// charges, resolved during the node-local phase and applied in the
+/// deterministic effect phase.
+struct LoadDelta {
+    /// Ring id of the index key the delivery was addressed to.
+    key: u64,
+    /// Whether the delivery also adds storage load (value-level tuple copy
+    /// or a rewritten query being stored).
+    sl: bool,
+}
+
+/// The deferred, engine-global effect of one delivery. Produced during the
+/// node-local phase (possibly on a worker thread), applied strictly in
+/// `(at, seq)` order afterwards so that serial and threaded tick draining
+/// observe the same global event order.
+enum TickEffect {
+    /// The destination node left the ring; the message is lost.
+    Lost,
+    /// An answer reached the node that submitted the query.
+    Answer(AnswerRecord),
+    /// A node-local handler ran: apply its load counters and actions.
+    Node {
+        node: Id,
+        load: Option<LoadDelta>,
+        actions: Vec<Action>,
+    },
+}
+
+/// All deliveries of one tick addressed to one node, bundled with that
+/// node's state (temporarily taken out of the engine's node map so groups
+/// can be processed on independent threads without aliasing).
+struct NodeGroup {
+    node: Id,
+    state: NodeState,
+    /// `(position in the tick batch, message)` in `(at, seq)` order.
+    items: Vec<(usize, RJoinMessage)>,
+    /// Effects produced by the handlers, same positions as `items`.
+    effects: Vec<(usize, TickEffect)>,
+}
+
+impl NodeGroup {
+    /// Runs every handler of this group in sequence-number order. Touches
+    /// only this group's [`NodeState`] plus the shared read-only context,
+    /// which is what makes whole groups safe to run concurrently.
+    fn run(&mut self, catalog: &Catalog, config: &EngineConfig, now: SimTime) {
+        self.effects.reserve(self.items.len());
+        for (pos, msg) in self.items.drain(..) {
+            let effect = handle_node_msg(&mut self.state, catalog, config, now, self.node, msg);
+            self.effects.push((pos, effect));
+        }
+    }
+}
+
+/// Runs the node-local part of one delivery (Procedures 1–3): mutates only
+/// `state`, reads only the shared catalog/config. Shared by the serial and
+/// the per-group parallel phase-1 drivers so both produce identical effects.
+fn handle_node_msg(
+    state: &mut NodeState,
+    catalog: &Catalog,
+    config: &EngineConfig,
+    now: SimTime,
+    node: Id,
+    msg: RJoinMessage,
+) -> TickEffect {
+    let ctx = ProcCtx { catalog, config, now };
+    let (load, actions) = match msg {
+        RJoinMessage::NewTuple { tuple, key, level, .. } => {
+            // QPL: a tuple received in order to search for matching stored
+            // queries; SL: value-level copies are stored.
+            let load = LoadDelta { key: key.ring(), sl: level == IndexLevel::Value };
+            let actions = procedures::handle_new_tuple(state, &ctx, &tuple, &key, level);
+            (Some(load), actions)
+        }
+        RJoinMessage::IndexQuery { pending, key, level } => {
+            let actions = procedures::handle_index_query(state, &ctx, pending, &key, level);
+            (None, actions)
+        }
+        RJoinMessage::Eval { pending, key, level, carried_ric } => {
+            // QPL: a rewritten query received in order to search stored
+            // tuples; SL: the rewritten query is stored.
+            let load = LoadDelta { key: key.ring(), sl: true };
+            if config.reuse_ric {
+                state.merge_ric(&carried_ric);
+            }
+            let actions = procedures::handle_eval(state, &ctx, pending, &key, level);
+            (Some(load), actions)
+        }
+        RJoinMessage::Answer { .. } => {
+            unreachable!("answers are engine-global and never reach a node handler")
+        }
+    };
+    TickEffect::Node { node, load, actions }
+}
 
 /// The RJoin engine.
 ///
 /// It owns a simulated Chord network (via [`rjoin_net::Network`]), one
 /// [`NodeState`] per node, and the metric counters the paper's experiments
 /// report. Drivers submit continuous queries, publish tuples and then drain
-/// the event queue with [`run_until_quiescent`](Self::run_until_quiescent).
+/// the event queue with [`run_until_quiescent`](Self::run_until_quiescent)
+/// (or its multicore twin,
+/// [`run_until_quiescent_parallel`](Self::run_until_quiescent_parallel)).
 #[derive(Debug)]
 pub struct RJoinEngine {
     config: EngineConfig,
     catalog: Catalog,
     network: Network<RJoinMessage>,
-    nodes: HashMap<Id, NodeState>,
+    nodes: NodeMap,
     node_ids: Vec<Id>,
     rng: StdRng,
     next_query_seq: u64,
@@ -39,13 +150,13 @@ pub struct RJoinEngine {
     /// the owner-side duplicate filter.
     distinct_queries: HashSet<QueryId>,
     /// Cumulative query-processing load per node (paper definition).
-    qpl: LoadMap<Id>,
+    qpl: NodeLoadMap,
     /// Cumulative storage-load additions per node (paper definition).
-    sl: LoadMap<Id>,
-    /// The same loads broken down by index key, used for identifier-movement
-    /// load-balancing analysis (Figure 9).
-    qpl_by_key: LoadMap<String>,
-    sl_by_key: LoadMap<String>,
+    sl: NodeLoadMap,
+    /// The same loads broken down by index key (ring identifier), used for
+    /// identifier-movement load-balancing analysis (Figure 9).
+    qpl_by_key: KeyLoadMap,
+    sl_by_key: KeyLoadMap,
 }
 
 impl RJoinEngine {
@@ -68,10 +179,10 @@ impl RJoinEngine {
             next_query_seq: 0,
             answers: AnswerLog::new(),
             distinct_queries: HashSet::new(),
-            qpl: LoadMap::new(),
-            sl: LoadMap::new(),
-            qpl_by_key: LoadMap::new(),
-            sl_by_key: LoadMap::new(),
+            qpl: NodeLoadMap::new(),
+            sl: NodeLoadMap::new(),
+            qpl_by_key: KeyLoadMap::new(),
+            sl_by_key: KeyLoadMap::new(),
         }
     }
 
@@ -112,25 +223,25 @@ impl RJoinEngine {
     }
 
     /// Cumulative query-processing load per node.
-    pub fn qpl_per_node(&self) -> &LoadMap<Id> {
+    pub fn qpl_per_node(&self) -> &NodeLoadMap {
         &self.qpl
     }
 
     /// Cumulative storage load per node.
-    pub fn sl_per_node(&self) -> &LoadMap<Id> {
+    pub fn sl_per_node(&self) -> &NodeLoadMap {
         &self.sl
     }
 
     /// Query-processing load per index key, keyed by the ring identifier the
     /// key hashes to (input for identifier-movement rebalancing).
     pub fn qpl_by_key_id(&self) -> BTreeMap<Id, u64> {
-        self.qpl_by_key.iter().map(|(k, v)| (Id::hash_key(k), v)).collect()
+        self.qpl_by_key.iter().map(|(k, v)| (Id(*k), v)).collect()
     }
 
     /// Storage load per index key, keyed by the ring identifier the key
     /// hashes to.
     pub fn sl_by_key_id(&self) -> BTreeMap<Id, u64> {
-        self.sl_by_key.iter().map(|(k, v)| (Id::hash_key(k), v)).collect()
+        self.sl_by_key.iter().map(|(k, v)| (Id(*k), v)).collect()
     }
 
     /// Total query-processing load across all nodes.
@@ -172,6 +283,10 @@ impl RJoinEngine {
 
     /// Publishes a tuple from node `origin`: the tuple is validated and
     /// indexed under every attribute-level and value-level key (Procedure 1).
+    ///
+    /// The payload is moved into one shared [`Arc`]; the `2 × arity` index
+    /// copies all reference it, and every index key is interned (string
+    /// derived + SHA-1 hashed exactly once) before it enters the network.
     pub fn publish_tuple(&mut self, origin: Id, tuple: Tuple) -> Result<(), EngineError> {
         if !self.nodes.contains_key(&origin) {
             return Err(EngineError::UnknownNode { id: origin });
@@ -180,16 +295,22 @@ impl RJoinEngine {
         // The simulation clock never runs behind publication times, so RIC
         // windows and window joins see consistent time.
         self.network.advance_to(tuple.pub_time());
-        let schema = self.catalog.require_schema(tuple.relation())?.clone();
-        let keys = tuple_index_keys(&tuple, &schema);
+        let schema = self.catalog.require_schema(tuple.relation())?;
+        let keys = tuple_index_keys(&tuple, schema);
+        let tuple = Arc::new(tuple);
         let items: Vec<(Id, RJoinMessage)> = keys
             .into_iter()
             .map(|key| {
-                let key_id = Id::hash_key(&key.to_key_string());
                 let level = key.level();
+                let key = key.hashed();
                 (
-                    key_id,
-                    RJoinMessage::NewTuple { tuple: tuple.clone(), key, level, publisher: origin },
+                    key.id(),
+                    RJoinMessage::NewTuple {
+                        tuple: Arc::clone(&tuple),
+                        key,
+                        level,
+                        publisher: origin,
+                    },
                 )
             })
             .collect();
@@ -199,24 +320,204 @@ impl RJoinEngine {
 
     /// Processes a single delivery from the network. Returns `false` when no
     /// message was in flight.
+    ///
+    /// Single-stepping interleaves each delivery's effects (RIC-aware
+    /// placement, sends) before the next delivery's handler, whereas the
+    /// tick-draining drivers run *all* handlers of a tick before any
+    /// effects. Within one tick a RIC rate read can therefore observe one
+    /// arrival more under tick draining than under stepping, so don't mix
+    /// the two drivers in a run whose exact placement/traffic trace matters.
+    /// (Answer *soundness* is unaffected — only placement choices shift.)
     pub fn step(&mut self) -> Result<bool, EngineError> {
         match self.network.pop_next() {
             Some(delivery) => {
-                self.handle_delivery(delivery)?;
+                self.process_batch(vec![delivery], false)?;
                 Ok(true)
             }
             None => Ok(false),
         }
     }
 
-    /// Drains the event queue until no message is in flight. Returns the
-    /// number of messages processed.
+    /// Drains the event queue until no message is in flight, one tick at a
+    /// time, on the calling thread. Returns the number of messages
+    /// processed.
     pub fn run_until_quiescent(&mut self) -> Result<u64, EngineError> {
+        self.drain(false)
+    }
+
+    /// Like [`run_until_quiescent`](Self::run_until_quiescent), but fans the
+    /// node-local handler work of each tick out across CPU cores.
+    ///
+    /// Handlers are purely node-local by design (Procedures 1–3 touch only
+    /// the receiving node's state), so deliveries of one tick are grouped by
+    /// destination node and whole groups run concurrently under
+    /// [`std::thread::scope`]. All engine-global effects — load counters,
+    /// answer recording, and the placement + send of rewritten queries — are
+    /// then applied on the calling thread in `(at, seq)` order, which makes
+    /// the results **byte-identical** to the sequential driver: same
+    /// answers, same loads, same traffic, same RNG stream. Small ticks are
+    /// processed inline, so the parallel driver never loses to thread
+    /// startup overhead.
+    pub fn run_until_quiescent_parallel(&mut self) -> Result<u64, EngineError> {
+        self.drain(true)
+    }
+
+    fn drain(&mut self, parallel: bool) -> Result<u64, EngineError> {
         let mut processed = 0u64;
-        while self.step()? {
-            processed += 1;
+        while let Some((_, batch)) = self.network.pop_tick() {
+            processed += batch.len() as u64;
+            self.process_batch(batch, parallel)?;
         }
         Ok(processed)
+    }
+
+    /// Processes one tick's deliveries: node-local phase (serial, or across
+    /// threads for fat ticks), then the deterministic effect phase in
+    /// `(at, seq)` order. The two drivers run the handlers against each
+    /// node's state in the same per-node order and apply effects in the same
+    /// global order, so their results are identical by construction.
+    fn process_batch(
+        &mut self,
+        batch: Vec<Delivery<RJoinMessage>>,
+        parallel: bool,
+    ) -> Result<(), EngineError> {
+        let now = self.network.now();
+        let effects = if parallel && batch.len() >= PARALLEL_TICK_MIN_DELIVERIES {
+            self.node_local_phase_parallel(batch, now)
+        } else {
+            self.node_local_phase_serial(batch, now)
+        };
+
+        // Effect phase: strictly in (at, seq) order, on the calling thread.
+        for effect in effects {
+            match effect {
+                TickEffect::Lost => {}
+                TickEffect::Answer(record) => {
+                    if self.distinct_queries.contains(&record.query) {
+                        self.answers.record_distinct(record);
+                    } else {
+                        self.answers.record(record);
+                    }
+                }
+                TickEffect::Node { node, load, actions } => {
+                    if let Some(load) = load {
+                        self.qpl.incr(node);
+                        self.qpl_by_key.incr(load.key);
+                        if load.sl {
+                            self.sl.incr(node);
+                            self.sl_by_key.incr(load.key);
+                        }
+                    }
+                    self.perform_actions(node, actions)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serial node-local phase: handlers run in `(at, seq)` order directly
+    /// against the node map — no grouping machinery, which keeps the common
+    /// small-tick case as lean as single-stepping.
+    fn node_local_phase_serial(
+        &mut self,
+        batch: Vec<Delivery<RJoinMessage>>,
+        now: SimTime,
+    ) -> Vec<TickEffect> {
+        let mut effects = Vec::with_capacity(batch.len());
+        for delivery in batch {
+            let Some(state) = self.nodes.get_mut(&delivery.to) else {
+                // The node left or failed after the message was sent: the
+                // message is lost, exactly as in a real deployment.
+                effects.push(TickEffect::Lost);
+                continue;
+            };
+            let effect = match delivery.msg {
+                RJoinMessage::Answer { query, row, produced_at } => TickEffect::Answer(
+                    AnswerRecord { query, row, produced_at, received_at: delivery.at },
+                ),
+                msg => {
+                    handle_node_msg(state, &self.catalog, &self.config, now, delivery.to, msg)
+                }
+            };
+            effects.push(effect);
+        }
+        effects
+    }
+
+    /// Threaded node-local phase: deliveries are grouped by destination node
+    /// (handlers are purely node-local), whole groups run concurrently under
+    /// `std::thread::scope`, and the effects are stitched back into the
+    /// original `(at, seq)` positions.
+    fn node_local_phase_parallel(
+        &mut self,
+        batch: Vec<Delivery<RJoinMessage>>,
+        now: SimTime,
+    ) -> Vec<TickEffect> {
+        let mut slots: Vec<Option<TickEffect>> = Vec::with_capacity(batch.len());
+        slots.resize_with(batch.len(), || None);
+        let mut groups: Vec<NodeGroup> = Vec::new();
+        let mut group_of: HashMap<Id, usize, RingBuildHasher> = HashMap::default();
+
+        for (pos, delivery) in batch.into_iter().enumerate() {
+            // A node already pulled into a group this tick is no longer in
+            // `self.nodes`, but it is very much alive.
+            if !group_of.contains_key(&delivery.to) && !self.nodes.contains_key(&delivery.to) {
+                slots[pos] = Some(TickEffect::Lost);
+                continue;
+            }
+            match delivery.msg {
+                RJoinMessage::Answer { query, row, produced_at } => {
+                    let record =
+                        AnswerRecord { query, row, produced_at, received_at: delivery.at };
+                    slots[pos] = Some(TickEffect::Answer(record));
+                }
+                msg => {
+                    let group = *group_of.entry(delivery.to).or_insert_with(|| {
+                        let state =
+                            self.nodes.remove(&delivery.to).expect("membership checked above");
+                        groups.push(NodeGroup {
+                            node: delivery.to,
+                            state,
+                            items: Vec::new(),
+                            effects: Vec::new(),
+                        });
+                        groups.len() - 1
+                    });
+                    groups[group].items.push((pos, msg));
+                }
+            }
+        }
+
+        let catalog = &self.catalog;
+        let config = &self.config;
+        let workers = available_workers().min(groups.len());
+        if workers > 1 {
+            let chunk_size = groups.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                for chunk in groups.chunks_mut(chunk_size) {
+                    scope.spawn(move || {
+                        for group in chunk {
+                            group.run(catalog, config, now);
+                        }
+                    });
+                }
+            });
+        } else {
+            for group in &mut groups {
+                group.run(catalog, config, now);
+            }
+        }
+
+        for group in groups {
+            self.nodes.insert(group.node, group.state);
+            for (pos, effect) in group.effects {
+                slots[pos] = Some(effect);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every delivery resolves to exactly one effect"))
+            .collect()
     }
 
     /// Builds a statistics snapshot in the units the paper's figures use.
@@ -244,82 +545,6 @@ impl RJoinEngine {
             current_storage: Distribution::from_values(storage_values),
             answers: self.answers.len() as u64,
         }
-    }
-
-    fn handle_delivery(&mut self, delivery: Delivery<RJoinMessage>) -> Result<(), EngineError> {
-        let node_id = delivery.to;
-        if !self.nodes.contains_key(&node_id) {
-            // The node left or failed after the message was sent: the message
-            // is lost, exactly as in a real deployment.
-            return Ok(());
-        }
-        match delivery.msg {
-            RJoinMessage::NewTuple { tuple, key, level, .. } => {
-                let key_string = key.to_key_string();
-                // QPL: a tuple received in order to search for matching
-                // stored queries.
-                self.qpl.incr(node_id);
-                self.qpl_by_key.incr(key_string.clone());
-                if level == rjoin_query::IndexLevel::Value {
-                    // SL: the value-level copy will be stored.
-                    self.sl.incr(node_id);
-                    self.sl_by_key.incr(key_string);
-                }
-                let actions = {
-                    let ctx = ProcCtx {
-                        catalog: &self.catalog,
-                        config: &self.config,
-                        now: self.network.now(),
-                    };
-                    let state = self.nodes.get_mut(&node_id).expect("checked above");
-                    procedures::handle_new_tuple(state, &ctx, &tuple, &key, level)
-                };
-                self.perform_actions(node_id, actions)?;
-            }
-            RJoinMessage::IndexQuery { pending, key } => {
-                let actions = {
-                    let ctx = ProcCtx {
-                        catalog: &self.catalog,
-                        config: &self.config,
-                        now: self.network.now(),
-                    };
-                    let state = self.nodes.get_mut(&node_id).expect("checked above");
-                    procedures::handle_index_query(state, &ctx, pending, &key)
-                };
-                self.perform_actions(node_id, actions)?;
-            }
-            RJoinMessage::Eval { pending, key, carried_ric } => {
-                let key_string = key.to_key_string();
-                // QPL: a rewritten query received in order to search stored
-                // tuples; SL: the rewritten query is stored.
-                self.qpl.incr(node_id);
-                self.qpl_by_key.incr(key_string.clone());
-                self.sl.incr(node_id);
-                self.sl_by_key.incr(key_string);
-                let actions = {
-                    let ctx = ProcCtx {
-                        catalog: &self.catalog,
-                        config: &self.config,
-                        now: self.network.now(),
-                    };
-                    let state = self.nodes.get_mut(&node_id).expect("checked above");
-                    if self.config.reuse_ric {
-                        state.merge_ric(&carried_ric);
-                    }
-                    procedures::handle_eval(state, &ctx, pending, &key)
-                };
-                self.perform_actions(node_id, actions)?;
-            }
-            RJoinMessage::Answer { query, row, produced_at } => {
-                let record = AnswerRecord { query, row, produced_at, received_at: delivery.at };
-                if self.distinct_queries.contains(&query) {
-                    self.answers.record_distinct(record);
-                } else {
-                    self.answers.record(record);
-                }
-            }
-        }
-        Ok(())
     }
 
     fn perform_actions(&mut self, from: Id, actions: Vec<Action>) -> Result<(), EngineError> {
@@ -372,7 +597,7 @@ impl RJoinEngine {
             // candidate, so the filtered list is non-empty for chain joins).
             let value_only: Vec<IndexKey> = candidates
                 .iter()
-                .filter(|c| c.level() == rjoin_query::IndexLevel::Value)
+                .filter(|c| c.level() == IndexLevel::Value)
                 .cloned()
                 .collect();
             if !value_only.is_empty() {
@@ -386,41 +611,47 @@ impl RJoinEngine {
         let now = self.network.now();
         let mut rates = vec![0u64; candidates.len()];
 
+        // Rate-less strategies never look at the non-chosen candidates, so
+        // only rate-driven ones pay to intern the whole list. When they do,
+        // each key is interned exactly once: the ring identifier computed
+        // here serves the rates loop, the candidate table, the piggy-backed
+        // RIC information *and* the final send — no key is hashed twice.
+        let hashed: Vec<HashedKey> =
+            if needs_rates { candidates.iter().map(IndexKey::hashed).collect() } else { Vec::new() };
+
         if needs_rates {
             let mut prev_hop = from;
             let mut requests = 0usize;
-            for (i, candidate) in candidates.iter().enumerate() {
-                let key_string = candidate.to_key_string();
-                let key_id = Id::hash_key(&key_string);
+            for (i, hkey) in hashed.iter().enumerate() {
                 // Reuse cached RIC information when allowed (Section 7).
                 if strategy == PlacementStrategy::RicAware && self.config.reuse_ric {
                     if let Some(entry) = self
                         .nodes
                         .get(&from)
-                        .and_then(|s| s.cached_ric(&key_string, now, self.config.ct_validity))
+                        .and_then(|s| s.cached_ric(hkey.ring(), now, self.config.ct_validity))
                     {
                         rates[i] = entry.rate;
                         continue;
                     }
                 }
-                let owner = self.network.owner_of(key_id)?;
+                let owner = self.network.owner_of(hkey.id())?;
                 let rate = self
                     .nodes
                     .get_mut(&owner)
-                    .map(|s| s.ric.rate(&key_string, now, self.config.ric_window))
+                    .map(|s| s.ric.rate(hkey.ring(), now, self.config.ric_window))
                     .unwrap_or(0);
                 rates[i] = rate;
                 if strategy == PlacementStrategy::RicAware {
                     // Chained RIC request: previous hop forwards the request
                     // to the next candidate (k * O(log N) messages total).
-                    self.network.charge_route(prev_hop, key_id, traffic_class::RIC)?;
+                    self.network.charge_route(prev_hop, hkey.id(), traffic_class::RIC)?;
                     prev_hop = owner;
                     requests += 1;
                     if self.config.reuse_ric {
                         if let Some(state) = self.nodes.get_mut(&from) {
                             state
                                 .candidate_table
-                                .insert(key_string, RicEntry { rate, observed_at: now });
+                                .insert(hkey.ring(), RicEntry { rate, observed_at: now });
                         }
                     }
                 }
@@ -435,28 +666,34 @@ impl RJoinEngine {
         }
 
         let chosen = choose_candidate(&candidates, &rates, strategy, &mut self.rng);
-        let key = candidates[chosen].clone();
-        let key_string = key.to_key_string();
-        let key_id = Id::hash_key(&key_string);
+        let level = candidates[chosen].level();
+        // Under rate-driven strategies the chosen key was already interned
+        // above (no re-derive, no second SHA-1); otherwise intern just the
+        // winner now.
+        let key = match hashed.get(chosen) {
+            Some(h) => h.clone(),
+            None => candidates[chosen].hashed(),
+        };
+        let key_id = key.id();
         let class = if is_input { traffic_class::QUERY_INDEX } else { traffic_class::EVAL };
 
         let carried_ric: Vec<RicInfo> = if !is_input
             && self.config.reuse_ric
             && strategy == PlacementStrategy::RicAware
         {
-            candidates
+            hashed
                 .iter()
                 .zip(&rates)
-                .map(|(c, r)| RicInfo { key: c.to_key_string(), rate: *r, observed_at: now })
+                .map(|(k, r)| RicInfo { key: k.clone(), rate: *r, observed_at: now })
                 .collect()
         } else {
             Vec::new()
         };
 
         let msg = if is_input {
-            RJoinMessage::IndexQuery { pending, key: key.clone() }
+            RJoinMessage::IndexQuery { pending, key, level }
         } else {
-            RJoinMessage::Eval { pending, key: key.clone(), carried_ric }
+            RJoinMessage::Eval { pending, key, level, carried_ric }
         };
 
         if strategy == PlacementStrategy::RicAware {
@@ -469,4 +706,9 @@ impl RJoinEngine {
         }
         Ok(())
     }
+}
+
+/// Number of worker threads the parallel driver may use.
+fn available_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }

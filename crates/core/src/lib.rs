@@ -20,6 +20,31 @@
 //! (Section 4) and the ALTT extension for completeness under message delays
 //! (Section 4) are all supported.
 //!
+//! # Hot-path architecture
+//!
+//! Three design decisions keep the per-message cost flat:
+//!
+//! * **Interned key identities** — every index key is converted once into a
+//!   [`rjoin_dht::HashedKey`] (canonical string as `Arc<str>` plus the ring
+//!   identifier from a single SHA-1). Messages carry the interned key, and
+//!   all per-node tables ([`NodeState`]'s stored queries/tuples, ALTT,
+//!   candidate table, RIC tracker) and per-key load maps are keyed by the
+//!   precomputed `u64` ring id, so the delivery path performs no string
+//!   formatting, no re-hashing and no SipHash-over-string map probes.
+//! * **Zero-copy tuple fan-out** — Procedure 1 indexes a tuple under
+//!   `2 × arity` keys; the payload travels as one shared `Arc<Tuple>` and
+//!   value-level stores/ALTT retain `Arc` handles, so publication performs a
+//!   single allocation regardless of arity.
+//! * **Tick-batched delivery loop** — the network's event queue is a
+//!   constant-δ bucket queue ([`rjoin_net::Network::pop_tick`]); the engine
+//!   drains one tick at a time, runs the purely node-local Procedures 1–3
+//!   per destination node (optionally across cores via
+//!   [`RJoinEngine::run_until_quiescent_parallel`], which uses
+//!   `std::thread::scope` over per-node delivery groups), and then applies
+//!   all global effects — load counters, answer recording, RIC-aware
+//!   placement and sends — in deterministic `(at, seq)` order. Sequential
+//!   and parallel driving are byte-identical by construction.
+//!
 //! The main entry point is [`RJoinEngine`]:
 //!
 //! ```

@@ -1,11 +1,12 @@
 //! Messages exchanged by RJoin nodes and the query metadata they carry.
 
-use rjoin_dht::Id;
+use rjoin_dht::{HashedKey, Id};
 use rjoin_net::SimTime;
-use rjoin_query::{IndexKey, IndexLevel, JoinQuery};
+use rjoin_query::{IndexLevel, JoinQuery};
 use rjoin_relation::{Timestamp, Tuple, Value};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// A unique identifier for a submitted continuous query.
 ///
@@ -83,8 +84,8 @@ impl PendingQuery {
 /// A cached or piggy-backed RIC observation about one candidate key.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RicInfo {
-    /// The candidate key's canonical string form.
-    pub key: String,
+    /// The candidate key, interned (string hashed onto the ring once).
+    pub key: HashedKey,
     /// Estimated number of tuple arrivals per RIC window.
     pub rate: u64,
     /// Simulation time at which the estimate was taken.
@@ -92,14 +93,19 @@ pub struct RicInfo {
 }
 
 /// Messages routed between RJoin nodes.
+///
+/// Index keys travel as interned [`HashedKey`]s — canonical string plus
+/// precomputed ring identifier — so receivers never re-derive or re-hash
+/// them, and tuple payloads are shared behind an [`Arc`] so that the
+/// `2 × arity` copies Procedure 1 fans out all point at one allocation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum RJoinMessage {
     /// A new tuple indexed under `key` (Procedure 1 → Procedure 2).
     NewTuple {
-        /// The published tuple.
-        tuple: Tuple,
+        /// The published tuple (shared across all its index-key copies).
+        tuple: Arc<Tuple>,
         /// The index key under which this copy was sent.
-        key: IndexKey,
+        key: HashedKey,
         /// Whether the copy is an attribute-level or value-level copy.
         level: IndexLevel,
         /// The node that published the tuple.
@@ -110,7 +116,9 @@ pub enum RJoinMessage {
         /// The query and its metadata.
         pending: PendingQuery,
         /// The key under which it is being indexed.
-        key: IndexKey,
+        key: HashedKey,
+        /// Whether `key` is attribute-level or value-level.
+        level: IndexLevel,
     },
     /// A rewritten query being re-indexed (Procedure 3), carrying
     /// piggy-backed RIC information (Section 7).
@@ -118,7 +126,9 @@ pub enum RJoinMessage {
         /// The rewritten query and its metadata.
         pending: PendingQuery,
         /// The key under which it is being indexed.
-        key: IndexKey,
+        key: HashedKey,
+        /// Whether `key` is attribute-level or value-level.
+        level: IndexLevel,
         /// RIC observations the sender already holds, forwarded so the
         /// receiver can reuse them for subsequent re-indexing decisions.
         carried_ric: Vec<RicInfo>,

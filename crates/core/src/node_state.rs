@@ -3,19 +3,20 @@
 use crate::dedup::DedupFilter;
 use crate::messages::{PendingQuery, RicInfo};
 use crate::RicTracker;
-use rjoin_dht::Id;
+use rjoin_dht::{HashedKey, Id, RingMap};
 use rjoin_net::SimTime;
 use rjoin_query::IndexLevel;
 use rjoin_relation::{Timestamp, Tuple};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// A query (input or rewritten) stored at a node, waiting for tuples.
 #[derive(Debug, Clone)]
 pub struct StoredQuery {
     /// The query and its metadata.
     pub pending: PendingQuery,
-    /// Canonical string of the key under which it is stored.
-    pub key: String,
+    /// The interned key under which it is stored.
+    pub key: HashedKey,
     /// Whether the key is attribute-level or value-level.
     pub level: IndexLevel,
     /// Duplicate-elimination filter, present for `SELECT DISTINCT` queries.
@@ -24,7 +25,7 @@ pub struct StoredQuery {
 
 impl StoredQuery {
     /// Wraps a pending query for local storage.
-    pub fn new(pending: PendingQuery, key: String, level: IndexLevel) -> Self {
+    pub fn new(pending: PendingQuery, key: HashedKey, level: IndexLevel) -> Self {
         let dedup = if pending.query.distinct() { Some(DedupFilter::new()) } else { None };
         StoredQuery { pending, key, level, dedup }
     }
@@ -45,22 +46,35 @@ pub struct RicEntry {
 /// what the RJoin application layer needs: stored queries, stored value-level
 /// tuples, the optional attribute-level tuple table (ALTT), the candidate
 /// table of cached RIC information, and the node's own RIC tracker.
+///
+/// All tables are keyed by the 64-bit **ring identifier** of the index key
+/// (precomputed once in [`HashedKey`]), so the delivery hot path performs no
+/// string hashing or allocation. Storage counters are maintained
+/// incrementally by the mutating methods, which is why the tables themselves
+/// are crate-private: [`current_storage_load`](Self::current_storage_load)
+/// and friends are O(1) snapshots, not map scans.
 #[derive(Debug, Clone)]
 pub struct NodeState {
     /// The node's identifier.
     pub id: Id,
-    /// Queries stored at this node, grouped by the key they are indexed
-    /// under.
-    pub stored_queries: HashMap<String, Vec<StoredQuery>>,
-    /// Value-level tuples stored at this node, grouped by index key.
-    pub stored_tuples: HashMap<String, Vec<Tuple>>,
+    /// Queries stored at this node, grouped by the ring id of the key they
+    /// are indexed under.
+    pub(crate) stored_queries: RingMap<Vec<StoredQuery>>,
+    /// Value-level tuples stored at this node, grouped by index-key ring id.
+    pub(crate) stored_tuples: RingMap<Vec<Arc<Tuple>>>,
     /// Attribute-level tuple table: tuples kept for Δ ticks so that input
     /// queries delayed in the network do not miss them (Section 4).
-    pub altt: HashMap<String, VecDeque<(Tuple, SimTime)>>,
-    /// Candidate table: cached RIC information per candidate key.
-    pub candidate_table: HashMap<String, RicEntry>,
+    pub(crate) altt: RingMap<VecDeque<(Arc<Tuple>, SimTime)>>,
+    /// Candidate table: cached RIC information per candidate-key ring id.
+    pub(crate) candidate_table: RingMap<RicEntry>,
     /// Tracker of tuple arrivals used to answer RIC requests.
-    pub ric: RicTracker,
+    pub(crate) ric: RicTracker,
+    /// Incremental count of stored queries (input + rewritten).
+    query_count: usize,
+    /// Incremental count of stored *rewritten* queries.
+    rewritten_count: usize,
+    /// Incremental count of stored value-level tuples.
+    tuple_count: usize,
 }
 
 impl NodeState {
@@ -68,33 +82,59 @@ impl NodeState {
     pub fn new(id: Id) -> Self {
         NodeState {
             id,
-            stored_queries: HashMap::new(),
-            stored_tuples: HashMap::new(),
-            altt: HashMap::new(),
-            candidate_table: HashMap::new(),
+            stored_queries: RingMap::default(),
+            stored_tuples: RingMap::default(),
+            altt: RingMap::default(),
+            candidate_table: RingMap::default(),
             ric: RicTracker::new(),
+            query_count: 0,
+            rewritten_count: 0,
+            tuple_count: 0,
         }
     }
 
-    /// Stores a query under `key`.
-    pub fn store_query(&mut self, stored: StoredQuery) {
-        self.stored_queries.entry(stored.key.clone()).or_default().push(stored);
+    /// Read access to this node's RIC tracker.
+    pub fn ric(&self) -> &RicTracker {
+        &self.ric
     }
 
-    /// Stores a value-level tuple under `key`.
-    pub fn store_tuple(&mut self, key: &str, tuple: Tuple) {
-        self.stored_tuples.entry(key.to_string()).or_default().push(tuple);
+    /// Stores a query under its key.
+    pub fn store_query(&mut self, stored: StoredQuery) {
+        self.query_count += 1;
+        if !stored.pending.is_input() {
+            self.rewritten_count += 1;
+        }
+        self.stored_queries.entry(stored.key.ring()).or_default().push(stored);
+    }
+
+    /// Debits the storage counters after queries were removed directly from
+    /// a bucket obtained via `stored_queries` (window-expiry sweeps in the
+    /// procedures).
+    pub(crate) fn debit_removed_queries(&mut self, total: usize, rewritten: usize) {
+        self.query_count -= total;
+        self.rewritten_count -= rewritten;
+    }
+
+    /// Stores a value-level tuple under the key with ring id `key`.
+    pub fn store_tuple(&mut self, key: u64, tuple: Arc<Tuple>) {
+        self.tuple_count += 1;
+        self.stored_tuples.entry(key).or_default().push(tuple);
     }
 
     /// Inserts a tuple into the ALTT with the given expiry time.
-    pub fn altt_insert(&mut self, key: &str, tuple: Tuple, expires_at: SimTime) {
-        self.altt.entry(key.to_string()).or_default().push_back((tuple, expires_at));
+    pub fn altt_insert(&mut self, key: u64, tuple: Arc<Tuple>, expires_at: SimTime) {
+        self.altt.entry(key).or_default().push_back((tuple, expires_at));
     }
 
     /// Drops expired ALTT entries for `key` and returns the tuples that are
     /// still retained and were published at or after `min_pub_time`.
-    pub fn altt_matching(&mut self, key: &str, now: SimTime, min_pub_time: Timestamp) -> Vec<Tuple> {
-        let Some(entries) = self.altt.get_mut(key) else { return Vec::new() };
+    pub fn altt_matching(
+        &mut self,
+        key: u64,
+        now: SimTime,
+        min_pub_time: Timestamp,
+    ) -> Vec<Arc<Tuple>> {
+        let Some(entries) = self.altt.get_mut(&key) else { return Vec::new() };
         while let Some((_, expiry)) = entries.front() {
             if *expiry < now {
                 entries.pop_front();
@@ -105,7 +145,7 @@ impl NodeState {
         entries
             .iter()
             .filter(|(t, _)| t.pub_time() >= min_pub_time)
-            .map(|(t, _)| t.clone())
+            .map(|(t, _)| Arc::clone(t))
             .collect()
     }
 
@@ -123,54 +163,77 @@ impl NodeState {
         self.altt.retain(|_, v| !v.is_empty());
     }
 
+    /// Number of ALTT buckets currently retained (diagnostic).
+    pub fn altt_len(&self) -> usize {
+        self.altt.len()
+    }
+
     /// Merges piggy-backed RIC observations into the candidate table,
     /// keeping the most recent estimate per key (Section 7).
     pub fn merge_ric(&mut self, infos: &[RicInfo]) {
         for info in infos {
-            let entry = self
-                .candidate_table
-                .entry(info.key.clone())
-                .or_insert(RicEntry { rate: info.rate, observed_at: info.observed_at });
-            if info.observed_at >= entry.observed_at {
-                entry.rate = info.rate;
-                entry.observed_at = info.observed_at;
+            // Probe with `get_mut` first: the common case is a key that is
+            // already cached, which must not pay an insert.
+            match self.candidate_table.get_mut(&info.key.ring()) {
+                Some(entry) => {
+                    if info.observed_at >= entry.observed_at {
+                        entry.rate = info.rate;
+                        entry.observed_at = info.observed_at;
+                    }
+                }
+                None => {
+                    self.candidate_table
+                        .insert(info.key.ring(), RicEntry { rate: info.rate, observed_at: info.observed_at });
+                }
             }
         }
     }
 
     /// Looks up a cached RIC estimate that is still valid at `now` given the
     /// configured validity horizon.
-    pub fn cached_ric(&self, key: &str, now: SimTime, validity: Option<SimTime>) -> Option<RicEntry> {
-        let entry = self.candidate_table.get(key)?;
+    pub fn cached_ric(&self, key: u64, now: SimTime, validity: Option<SimTime>) -> Option<RicEntry> {
+        let entry = self.candidate_table.get(&key)?;
         match validity {
             Some(v) if now.saturating_sub(entry.observed_at) > v => None,
             _ => Some(*entry),
         }
     }
 
-    /// Number of queries currently stored (input + rewritten).
+    /// Number of queries currently stored (input + rewritten). O(1).
     pub fn stored_query_count(&self) -> usize {
-        self.stored_queries.values().map(Vec::len).sum()
+        self.query_count
     }
 
-    /// Number of *rewritten* queries currently stored.
+    /// Number of *rewritten* queries currently stored. O(1).
     pub fn stored_rewritten_count(&self) -> usize {
-        self.stored_queries
-            .values()
-            .flat_map(|v| v.iter())
-            .filter(|s| !s.pending.is_input())
-            .count()
+        self.rewritten_count
     }
 
-    /// Number of value-level tuples currently stored.
+    /// Number of value-level tuples currently stored. O(1).
     pub fn stored_tuple_count(&self) -> usize {
-        self.stored_tuples.values().map(Vec::len).sum()
+        self.tuple_count
     }
 
     /// Current storage load of the node as the paper defines it: stored
-    /// rewritten queries plus stored tuples.
+    /// rewritten queries plus stored tuples. O(1) — the counters are
+    /// maintained incrementally as state is stored and expired.
     pub fn current_storage_load(&self) -> u64 {
-        (self.stored_rewritten_count() + self.stored_tuple_count()) as u64
+        (self.rewritten_count + self.tuple_count) as u64
+    }
+
+    /// Recomputes the storage counters from the tables (test support: the
+    /// incremental counters must always agree with a full scan).
+    #[cfg(test)]
+    fn recount(&self) -> (usize, usize, usize) {
+        let queries = self.stored_queries.values().map(Vec::len).sum();
+        let rewritten = self
+            .stored_queries
+            .values()
+            .flat_map(|v| v.iter())
+            .filter(|s| !s.pending.is_input())
+            .count();
+        let tuples = self.stored_tuples.values().map(Vec::len).sum();
+        (queries, rewritten, tuples)
     }
 }
 
@@ -180,6 +243,10 @@ mod tests {
     use crate::messages::QueryId;
     use rjoin_query::parse_query;
     use rjoin_relation::Value;
+
+    fn key(text: &str) -> HashedKey {
+        HashedKey::new(text)
+    }
 
     fn pending(distinct: bool) -> PendingQuery {
         let sql = if distinct {
@@ -195,53 +262,80 @@ mod tests {
         )
     }
 
-    fn tuple(pub_time: u64) -> Tuple {
-        Tuple::new("R", vec![Value::from(1), Value::from(2)], pub_time)
+    fn tuple(pub_time: u64) -> Arc<Tuple> {
+        Arc::new(Tuple::new("R", vec![Value::from(1), Value::from(2)], pub_time))
     }
 
     #[test]
     fn stored_query_gets_dedup_only_when_distinct() {
-        let s = StoredQuery::new(pending(false), "R+A".into(), IndexLevel::Attribute);
+        let s = StoredQuery::new(pending(false), key("R+A"), IndexLevel::Attribute);
         assert!(s.dedup.is_none());
-        let s = StoredQuery::new(pending(true), "R+A".into(), IndexLevel::Attribute);
+        let s = StoredQuery::new(pending(true), key("R+A"), IndexLevel::Attribute);
         assert!(s.dedup.is_some());
     }
 
     #[test]
     fn storage_counts_exclude_input_queries() {
         let mut state = NodeState::new(Id(7));
-        state.store_query(StoredQuery::new(pending(false), "R+A".into(), IndexLevel::Attribute));
+        state.store_query(StoredQuery::new(pending(false), key("R+A"), IndexLevel::Attribute));
         let rewritten = pending(false)
             .child(parse_query("SELECT 5 FROM S WHERE S.A = 5").unwrap(), Some(3));
-        state.store_query(StoredQuery::new(rewritten, "S+A+i:5".into(), IndexLevel::Value));
-        state.store_tuple("R+A+i:1", tuple(0));
+        state.store_query(StoredQuery::new(rewritten, key("S+A+i:5"), IndexLevel::Value));
+        state.store_tuple(key("R+A+i:1").ring(), tuple(0));
 
         assert_eq!(state.stored_query_count(), 2);
         assert_eq!(state.stored_rewritten_count(), 1);
         assert_eq!(state.stored_tuple_count(), 1);
         assert_eq!(state.current_storage_load(), 2);
+        assert_eq!(
+            state.recount(),
+            (state.stored_query_count(), state.stored_rewritten_count(), state.stored_tuple_count())
+        );
+    }
+
+    #[test]
+    fn debit_keeps_counters_consistent_with_tables() {
+        let mut state = NodeState::new(Id(7));
+        let rewritten = pending(false)
+            .child(parse_query("SELECT 5 FROM S WHERE S.A = 5").unwrap(), Some(3));
+        let k = key("S+A+i:5");
+        state.store_query(StoredQuery::new(rewritten, k.clone(), IndexLevel::Value));
+        state.store_query(StoredQuery::new(pending(false), k.clone(), IndexLevel::Value));
+        // Simulate the procedures' expiry sweep removing the rewritten one.
+        let bucket = state.stored_queries.get_mut(&k.ring()).unwrap();
+        bucket.retain(|s| s.pending.is_input());
+        state.debit_removed_queries(1, 1);
+
+        assert_eq!(state.stored_query_count(), 1);
+        assert_eq!(state.stored_rewritten_count(), 0);
+        assert_eq!(
+            state.recount(),
+            (state.stored_query_count(), state.stored_rewritten_count(), state.stored_tuple_count())
+        );
     }
 
     #[test]
     fn altt_expires_entries() {
         let mut state = NodeState::new(Id(7));
-        state.altt_insert("R+A", tuple(5), 10);
-        state.altt_insert("R+A", tuple(6), 20);
+        let k = key("R+A").ring();
+        state.altt_insert(k, tuple(5), 10);
+        state.altt_insert(k, tuple(6), 20);
         // At time 15 the first entry has expired.
-        let matching = state.altt_matching("R+A", 15, 0);
+        let matching = state.altt_matching(k, 15, 0);
         assert_eq!(matching.len(), 1);
         assert_eq!(matching[0].pub_time(), 6);
         // GC removes empty buckets.
         state.altt_gc(100);
-        assert!(state.altt.is_empty());
+        assert_eq!(state.altt_len(), 0);
     }
 
     #[test]
     fn altt_matching_respects_min_pub_time() {
         let mut state = NodeState::new(Id(7));
-        state.altt_insert("R+A", tuple(5), 100);
-        state.altt_insert("R+A", tuple(9), 100);
-        let matching = state.altt_matching("R+A", 10, 6);
+        let k = key("R+A").ring();
+        state.altt_insert(k, tuple(5), 100);
+        state.altt_insert(k, tuple(9), 100);
+        let matching = state.altt_matching(k, 10, 6);
         assert_eq!(matching.len(), 1);
         assert_eq!(matching[0].pub_time(), 9);
     }
@@ -249,15 +343,16 @@ mod tests {
     #[test]
     fn candidate_table_keeps_most_recent_and_respects_validity() {
         let mut state = NodeState::new(Id(7));
-        state.merge_ric(&[RicInfo { key: "R+A".into(), rate: 5, observed_at: 10 }]);
-        state.merge_ric(&[RicInfo { key: "R+A".into(), rate: 9, observed_at: 20 }]);
-        state.merge_ric(&[RicInfo { key: "R+A".into(), rate: 1, observed_at: 15 }]); // older, ignored
-        let entry = state.cached_ric("R+A", 25, None).unwrap();
+        let k = key("R+A");
+        state.merge_ric(&[RicInfo { key: k.clone(), rate: 5, observed_at: 10 }]);
+        state.merge_ric(&[RicInfo { key: k.clone(), rate: 9, observed_at: 20 }]);
+        state.merge_ric(&[RicInfo { key: k.clone(), rate: 1, observed_at: 15 }]); // older, ignored
+        let entry = state.cached_ric(k.ring(), 25, None).unwrap();
         assert_eq!(entry.rate, 9);
         assert_eq!(entry.observed_at, 20);
         // Validity horizon rejects stale entries.
-        assert!(state.cached_ric("R+A", 200, Some(50)).is_none());
-        assert!(state.cached_ric("R+A", 60, Some(50)).is_some());
-        assert!(state.cached_ric("unknown", 0, None).is_none());
+        assert!(state.cached_ric(k.ring(), 200, Some(50)).is_none());
+        assert!(state.cached_ric(k.ring(), 60, Some(50)).is_some());
+        assert!(state.cached_ric(key("unknown").ring(), 0, None).is_none());
     }
 }

@@ -10,9 +10,11 @@
 use crate::config::EngineConfig;
 use crate::messages::{PendingQuery, QueryId};
 use crate::node_state::{NodeState, StoredQuery};
+use rjoin_dht::HashedKey;
 use rjoin_net::SimTime;
-use rjoin_query::{rewrite, IndexKey, IndexLevel, RewriteResult};
+use rjoin_query::{rewrite, IndexLevel, RewriteResult};
 use rjoin_relation::{Catalog, Timestamp, Tuple, Value};
+use std::sync::Arc;
 
 /// An outgoing action produced by a local handler.
 #[derive(Debug, Clone, PartialEq)]
@@ -115,31 +117,39 @@ fn try_trigger(
 pub fn handle_new_tuple(
     state: &mut NodeState,
     ctx: &ProcCtx<'_>,
-    tuple: &Tuple,
-    key: &IndexKey,
+    tuple: &Arc<Tuple>,
+    key: &HashedKey,
     level: IndexLevel,
 ) -> Vec<Action> {
-    let key_string = key.to_key_string();
+    let ring = key.ring();
     // The node observes the arrival for RIC purposes regardless of level.
-    state.ric.record_arrival(&key_string, ctx.now);
+    state.ric.record_arrival(ring, ctx.now);
 
     let mut actions = Vec::new();
-    if let Some(stored_list) = state.stored_queries.get_mut(&key_string) {
+    let mut removed = 0usize;
+    let mut removed_rewritten = 0usize;
+    if let Some(stored_list) = state.stored_queries.get_mut(&ring) {
         let mut idx = 0;
         while idx < stored_list.len() {
-            let outcome = try_trigger(&mut stored_list[idx], tuple, ctx, |start, pub_time| {
-                // Procedure 2 rules (Section 5): a rewritten query created by
-                // triggering an *input* query records the tuple's publication
-                // time as its window start; a rewritten query created from an
-                // already-rewritten query *inherits* the start unchanged.
-                match start {
-                    None => Some(pub_time),
-                    Some(existing) => Some(existing),
-                }
-            });
+            let outcome =
+                try_trigger(&mut stored_list[idx], tuple.as_ref(), ctx, |start, pub_time| {
+                    // Procedure 2 rules (Section 5): a rewritten query created
+                    // by triggering an *input* query records the tuple's
+                    // publication time as its window start; a rewritten query
+                    // created from an already-rewritten query *inherits* the
+                    // start unchanged.
+                    match start {
+                        None => Some(pub_time),
+                        Some(existing) => Some(existing),
+                    }
+                });
             match outcome {
                 TriggerOutcome::Expired => {
-                    stored_list.swap_remove(idx);
+                    let expired = stored_list.swap_remove(idx);
+                    removed += 1;
+                    if !expired.pending.is_input() {
+                        removed_rewritten += 1;
+                    }
                     // do not advance idx: swap_remove moved a new element here
                 }
                 TriggerOutcome::Triggered(action) => {
@@ -152,22 +162,26 @@ pub fn handle_new_tuple(
             }
         }
         if stored_list.is_empty() {
-            state.stored_queries.remove(&key_string);
+            state.stored_queries.remove(&ring);
         }
+    }
+    if removed > 0 {
+        state.debit_removed_queries(removed, removed_rewritten);
     }
 
     match level {
         IndexLevel::Value => {
             // Value-level copies are stored so future rewritten queries can
-            // find them (Procedure 2, last step).
-            state.store_tuple(&key_string, tuple.clone());
+            // find them (Procedure 2, last step). The payload is shared, not
+            // copied.
+            state.store_tuple(ring, Arc::clone(tuple));
         }
         IndexLevel::Attribute => {
             // Attribute-level copies are normally discarded; with the ALTT
             // extension (Section 4) they are retained for Δ ticks so delayed
             // input queries cannot miss them.
             if let Some(delta) = ctx.config.altt_delta {
-                state.altt_insert(&key_string, tuple.clone(), ctx.now + delta);
+                state.altt_insert(ring, Arc::clone(tuple), ctx.now + delta);
             }
         }
     }
@@ -184,20 +198,22 @@ fn handle_query_arrival(
     state: &mut NodeState,
     ctx: &ProcCtx<'_>,
     pending: PendingQuery,
-    key: &IndexKey,
+    key: &HashedKey,
+    level: IndexLevel,
 ) -> Vec<Action> {
-    let key_string = key.to_key_string();
-    let mut stored = StoredQuery::new(pending, key_string.clone(), key.level());
+    let ring = key.ring();
+    let mut stored = StoredQuery::new(pending, key.clone(), level);
     let mut actions = Vec::new();
 
-    let mut already_here: Vec<Tuple> =
-        state.stored_tuples.get(&key_string).map(|v| v.to_vec()).unwrap_or_default();
+    // Cloning the bucket clones `Arc` handles, not tuple payloads.
+    let mut already_here: Vec<Arc<Tuple>> =
+        state.stored_tuples.get(&ring).cloned().unwrap_or_default();
     if ctx.config.altt_delta.is_some() {
-        already_here.extend(state.altt_matching(&key_string, ctx.now, stored.pending.insert_time));
+        already_here.extend(state.altt_matching(ring, ctx.now, stored.pending.insert_time));
     }
 
     for tuple in &already_here {
-        let outcome = try_trigger(&mut stored, tuple, ctx, |start, pub_time| {
+        let outcome = try_trigger(&mut stored, tuple.as_ref(), ctx, |start, pub_time| {
             // Procedure 3 rule (Section 5): the produced rewritten query's
             // start is the *maximum* of the stored query's start and the
             // stored tuple's publication time. For input queries (start =
@@ -227,9 +243,10 @@ pub fn handle_index_query(
     state: &mut NodeState,
     ctx: &ProcCtx<'_>,
     pending: PendingQuery,
-    key: &IndexKey,
+    key: &HashedKey,
+    level: IndexLevel,
 ) -> Vec<Action> {
-    handle_query_arrival(state, ctx, pending, key)
+    handle_query_arrival(state, ctx, pending, key, level)
 }
 
 /// Procedure 3: a node receives a rewritten query with an `Eval` message.
@@ -243,9 +260,10 @@ pub fn handle_eval(
     state: &mut NodeState,
     ctx: &ProcCtx<'_>,
     pending: PendingQuery,
-    key: &IndexKey,
+    key: &HashedKey,
+    level: IndexLevel,
 ) -> Vec<Action> {
-    handle_query_arrival(state, ctx, pending, key)
+    handle_query_arrival(state, ctx, pending, key, level)
 }
 
 #[cfg(test)]
@@ -253,7 +271,7 @@ mod tests {
     use super::*;
     use crate::messages::QueryId;
     use rjoin_dht::Id;
-    use rjoin_query::parse_query;
+    use rjoin_query::{parse_query, IndexKey};
     use rjoin_relation::Schema;
 
     fn catalog() -> Catalog {
@@ -281,8 +299,8 @@ mod tests {
         )
     }
 
-    fn tuple(rel: &str, values: [i64; 3], pub_time: u64) -> Tuple {
-        Tuple::new(rel, values.iter().map(|v| Value::from(*v)).collect(), pub_time)
+    fn tuple(rel: &str, values: [i64; 3], pub_time: u64) -> Arc<Tuple> {
+        Arc::new(Tuple::new(rel, values.iter().map(|v| Value::from(*v)).collect(), pub_time))
     }
 
     #[test]
@@ -292,7 +310,7 @@ mod tests {
         let mut state = NodeState::new(Id(1));
         let p = pending("SELECT R.B, S.B FROM R, S WHERE R.A = S.A", 0);
         let key = IndexKey::attribute("R", "A");
-        let actions = handle_index_query(&mut state, &ctx(&catalog, &config, 0), p, &key);
+        let actions = handle_index_query(&mut state, &ctx(&catalog, &config, 0), p, &key.hashed(), key.level());
         assert!(actions.is_empty());
         assert_eq!(state.stored_query_count(), 1);
 
@@ -301,7 +319,7 @@ mod tests {
             &mut state,
             &ctx(&catalog, &config, 5),
             &tuple("R", [7, 9, 0], 5),
-            &key,
+            &key.hashed(),
             IndexLevel::Attribute,
         );
         assert_eq!(actions.len(), 1);
@@ -325,13 +343,13 @@ mod tests {
         let mut state = NodeState::new(Id(1));
         let p = pending("SELECT R.B, S.B FROM R, S WHERE R.A = S.A", 10);
         let key = IndexKey::attribute("R", "A");
-        handle_index_query(&mut state, &ctx(&catalog, &config, 10), p, &key);
+        handle_index_query(&mut state, &ctx(&catalog, &config, 10), p, &key.hashed(), key.level());
         // Tuple published before the query was submitted: no trigger.
         let actions = handle_new_tuple(
             &mut state,
             &ctx(&catalog, &config, 12),
             &tuple("R", [7, 9, 0], 5),
-            &key,
+            &key.hashed(),
             IndexLevel::Attribute,
         );
         assert!(actions.is_empty());
@@ -349,7 +367,7 @@ mod tests {
             &mut state,
             &ctx(&catalog, &config, 3),
             &tuple("M", [9, 1, 2], 3),
-            &key,
+            &key.hashed(),
             IndexLevel::Value,
         );
         assert!(actions.is_empty());
@@ -359,7 +377,7 @@ mod tests {
         let input = pending("SELECT S.B, M.A FROM S, M WHERE S.B = M.C", 0);
         let rewritten = input
             .child(parse_query("SELECT 6, M.A FROM M WHERE M.C = 2").unwrap(), Some(1));
-        let actions = handle_eval(&mut state, &ctx(&catalog, &config, 5), rewritten, &key);
+        let actions = handle_eval(&mut state, &ctx(&catalog, &config, 5), rewritten, &key.hashed(), key.level());
         assert_eq!(actions.len(), 1);
         match &actions[0] {
             Action::DeliverAnswer { row, owner, .. } => {
@@ -387,7 +405,7 @@ mod tests {
             parse_query("SELECT 9, S.B FROM S WHERE S.A = 7 WINDOW SLIDING 10 TUPLES").unwrap(),
             Some(5),
         );
-        handle_eval(&mut state, &ctx(&catalog, &config, 6), rewritten, &key);
+        handle_eval(&mut state, &ctx(&catalog, &config, 6), rewritten, &key.hashed(), key.level());
         assert_eq!(state.stored_rewritten_count(), 1);
 
         // A tuple far outside the window arrives: the query is deleted, not
@@ -396,7 +414,7 @@ mod tests {
             &mut state,
             &ctx(&catalog, &config, 100),
             &tuple("S", [7, 3, 0], 100),
-            &key,
+            &key.hashed(),
             IndexLevel::Value,
         );
         assert!(actions.is_empty());
@@ -420,13 +438,13 @@ mod tests {
             .unwrap(),
             Some(5),
         );
-        handle_eval(&mut state, &ctx(&catalog, &config, 6), rewritten, &key);
+        handle_eval(&mut state, &ctx(&catalog, &config, 6), rewritten, &key.hashed(), key.level());
 
         let actions = handle_new_tuple(
             &mut state,
             &ctx(&catalog, &config, 12),
             &tuple("S", [7, 3, 0], 12),
-            &key,
+            &key.hashed(),
             IndexLevel::Value,
         );
         assert_eq!(actions.len(), 1);
@@ -450,7 +468,7 @@ mod tests {
             &mut state,
             &ctx(&catalog, &config, 20),
             &tuple("S", [7, 3, 0], 20),
-            &key,
+            &key.hashed(),
             IndexLevel::Value,
         );
         let input = pending(
@@ -464,7 +482,8 @@ mod tests {
             .unwrap(),
             Some(5),
         );
-        let actions = handle_eval(&mut state, &ctx(&catalog, &config, 25), rewritten, &key);
+        let actions =
+            handle_eval(&mut state, &ctx(&catalog, &config, 25), rewritten, &key.hashed(), key.level());
         assert_eq!(actions.len(), 1);
         match &actions[0] {
             Action::Reindex { pending } => {
@@ -486,7 +505,7 @@ mod tests {
             parse_query("SELECT DISTINCT 1, S.A FROM S WHERE S.B = 2").unwrap(),
             Some(1),
         );
-        handle_eval(&mut state, &ctx(&catalog, &config, 2), rewritten, &key);
+        handle_eval(&mut state, &ctx(&catalog, &config, 2), rewritten, &key.hashed(), key.level());
 
         // Two tuples with the same projection on S's referenced attributes
         // (A and B): only the first triggers.
@@ -494,14 +513,14 @@ mod tests {
             &mut state,
             &ctx(&catalog, &config, 3),
             &tuple("S", [5, 2, 100], 3),
-            &key,
+            &key.hashed(),
             IndexLevel::Value,
         );
         let second = handle_new_tuple(
             &mut state,
             &ctx(&catalog, &config, 4),
             &tuple("S", [5, 2, 999], 4),
-            &key,
+            &key.hashed(),
             IndexLevel::Value,
         );
         assert_eq!(first.len(), 1);
@@ -521,11 +540,11 @@ mod tests {
             &mut state,
             &ctx(&catalog, &config, 5),
             &tuple("R", [7, 9, 0], 5),
-            &key,
+            &key.hashed(),
             IndexLevel::Attribute,
         );
         let p = pending("SELECT R.B, S.B FROM R, S WHERE R.A = S.A", 2);
-        let actions = handle_index_query(&mut state, &ctx(&catalog, &config, 9), p, &key);
+        let actions = handle_index_query(&mut state, &ctx(&catalog, &config, 9), p, &key.hashed(), key.level());
         assert_eq!(actions.len(), 1, "the retained tuple must trigger the delayed query");
     }
 
@@ -539,11 +558,11 @@ mod tests {
             &mut state,
             &ctx(&catalog, &config, 5),
             &tuple("R", [7, 9, 0], 5),
-            &key,
+            &key.hashed(),
             IndexLevel::Attribute,
         );
         let p = pending("SELECT R.B, S.B FROM R, S WHERE R.A = S.A", 2);
-        let actions = handle_index_query(&mut state, &ctx(&catalog, &config, 9), p, &key);
+        let actions = handle_index_query(&mut state, &ctx(&catalog, &config, 9), p, &key.hashed(), key.level());
         assert!(actions.is_empty(), "base algorithm discards attribute-level tuples");
     }
 
@@ -554,13 +573,13 @@ mod tests {
         let mut state = NodeState::new(Id(1));
         let key = IndexKey::attribute("R", "A");
         let p = pending("SELECT R.B, S.B FROM R, S WHERE R.A = S.A", 0);
-        handle_index_query(&mut state, &ctx(&catalog, &config, 0), p, &key);
+        handle_index_query(&mut state, &ctx(&catalog, &config, 0), p, &key.hashed(), key.level());
         // Even a very late tuple triggers the (windowless) input query.
         let actions = handle_new_tuple(
             &mut state,
             &ctx(&catalog, &config, 1_000_000),
             &tuple("R", [1, 2, 3], 1_000_000),
-            &key,
+            &key.hashed(),
             IndexLevel::Attribute,
         );
         assert_eq!(actions.len(), 1);

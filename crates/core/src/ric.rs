@@ -1,12 +1,18 @@
 //! RIC (Rate of Incoming tuple Count) tracking (Section 6).
 
+use rjoin_dht::RingMap;
 use rjoin_net::SimTime;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Tracks, per index key, the arrival times of recent tuples so that a node
 /// can answer "how many tuples arrived under this key during the last
 /// observation window?" — the RIC information used to choose where to index
 /// queries.
+///
+/// Keys are the 64-bit ring identifiers of the index keys (see
+/// [`rjoin_dht::HashedKey`]): the identifier is computed once when a key
+/// enters the system, so the tracker never hashes strings on the arrival
+/// path.
 ///
 /// The paper's prediction model is deliberately simple ("we observe what has
 /// happened during the last time window and assume a similar behaviour for
@@ -14,7 +20,7 @@ use std::collections::{HashMap, VecDeque};
 /// which is why this tracker is a standalone component.
 #[derive(Debug, Clone, Default)]
 pub struct RicTracker {
-    arrivals: HashMap<String, VecDeque<SimTime>>,
+    arrivals: RingMap<VecDeque<SimTime>>,
     total_arrivals: u64,
 }
 
@@ -24,16 +30,17 @@ impl RicTracker {
         Self::default()
     }
 
-    /// Records the arrival of one tuple under `key` at time `now`.
-    pub fn record_arrival(&mut self, key: &str, now: SimTime) {
-        self.arrivals.entry(key.to_string()).or_default().push_back(now);
+    /// Records the arrival of one tuple under the key with ring identifier
+    /// `key` at time `now`.
+    pub fn record_arrival(&mut self, key: u64, now: SimTime) {
+        self.arrivals.entry(key).or_default().push_back(now);
         self.total_arrivals += 1;
     }
 
     /// Number of tuples that arrived under `key` during `(now - window, now]`.
     /// Also prunes arrivals that fell out of the window.
-    pub fn rate(&mut self, key: &str, now: SimTime, window: SimTime) -> u64 {
-        let Some(times) = self.arrivals.get_mut(key) else { return 0 };
+    pub fn rate(&mut self, key: u64, now: SimTime, window: SimTime) -> u64 {
+        let Some(times) = self.arrivals.get_mut(&key) else { return 0 };
         let cutoff = now.saturating_sub(window);
         while let Some(&front) = times.front() {
             if front <= cutoff && front != now {
@@ -59,29 +66,34 @@ impl RicTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rjoin_dht::HashedKey;
+
+    fn k(text: &str) -> u64 {
+        HashedKey::new(text).ring()
+    }
 
     #[test]
     fn counts_arrivals_within_window() {
         let mut t = RicTracker::new();
         for time in [10, 20, 30, 40] {
-            t.record_arrival("R+A", time);
+            t.record_arrival(k("R+A"), time);
         }
-        assert_eq!(t.rate("R+A", 40, 100), 4);
-        assert_eq!(t.rate("R+A", 40, 15), 2); // 30 and 40 are within (25, 40]
-        assert_eq!(t.rate("R+A", 40, 5), 1); // only 40
-        assert_eq!(t.rate("S+B", 40, 100), 0);
+        assert_eq!(t.rate(k("R+A"), 40, 100), 4);
+        assert_eq!(t.rate(k("R+A"), 40, 15), 2); // 30 and 40 are within (25, 40]
+        assert_eq!(t.rate(k("R+A"), 40, 5), 1); // only 40
+        assert_eq!(t.rate(k("S+B"), 40, 100), 0);
     }
 
     #[test]
     fn pruning_is_permanent() {
         let mut t = RicTracker::new();
-        t.record_arrival("k", 1);
-        t.record_arrival("k", 100);
+        t.record_arrival(k("k"), 1);
+        t.record_arrival(k("k"), 100);
         // A narrow window at t=100 prunes the old arrival...
-        assert_eq!(t.rate("k", 100, 10), 1);
+        assert_eq!(t.rate(k("k"), 100, 10), 1);
         // ...so a later wide query no longer sees it (the tracker only keeps
         // what the most recent window retained).
-        assert_eq!(t.rate("k", 100, 1000), 1);
+        assert_eq!(t.rate(k("k"), 100, 1000), 1);
         assert_eq!(t.total_arrivals(), 2);
         assert_eq!(t.tracked_keys(), 1);
     }
@@ -89,19 +101,19 @@ mod tests {
     #[test]
     fn distinct_keys_are_independent() {
         let mut t = RicTracker::new();
-        t.record_arrival("a", 5);
-        t.record_arrival("b", 5);
-        t.record_arrival("b", 6);
-        assert_eq!(t.rate("a", 10, 100), 1);
-        assert_eq!(t.rate("b", 10, 100), 2);
+        t.record_arrival(k("a"), 5);
+        t.record_arrival(k("b"), 5);
+        t.record_arrival(k("b"), 6);
+        assert_eq!(t.rate(k("a"), 10, 100), 1);
+        assert_eq!(t.rate(k("b"), 10, 100), 2);
         assert_eq!(t.tracked_keys(), 2);
     }
 
     #[test]
     fn rate_at_same_tick_counts_current_arrival() {
         let mut t = RicTracker::new();
-        t.record_arrival("k", 50);
+        t.record_arrival(k("k"), 50);
         // window of zero ticks still counts the arrival at `now` itself.
-        assert_eq!(t.rate("k", 50, 0), 1);
+        assert_eq!(t.rate(k("k"), 50, 0), 1);
     }
 }

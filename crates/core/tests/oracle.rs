@@ -416,6 +416,99 @@ fn four_way_distinct_sliding_window_matches_windowed_oracle() {
     );
 }
 
+/// A 3-way join under a *tumbling* window, checked against the centralized
+/// windowed oracle (ROADMAP "Oracle coverage" gap).
+///
+/// Join values are constant across bursts, so every cross-bucket combination
+/// satisfies every conjunct — only the tumbling-bucket test can exclude it.
+/// Three bursts land in three consecutive buckets, and one extra pair of
+/// matching tuples straddles a bucket boundary, which the sliding validity
+/// test would accept but the tumbling test must reject.
+#[test]
+fn three_way_tumbling_window_matches_windowed_oracle() {
+    let schema = WorkloadSchema::new(3, 3, 64);
+    let catalog = schema.build_catalog();
+    let config = EngineConfig::default().with_value_level_rewrites();
+    let mut engine = RJoinEngine::new(config, catalog.clone(), 24);
+    let origin = engine.node_ids()[0];
+
+    let parts = |window| {
+        JoinQuery::new(
+            false,
+            vec![
+                SelectItem::Attr(rjoin_query::QualifiedAttr::new("R0", "A2")),
+                SelectItem::Attr(rjoin_query::QualifiedAttr::new("R2", "A2")),
+            ],
+            vec!["R0".into(), "R1".into(), "R2".into()],
+            vec![
+                Conjunct::JoinEq(
+                    rjoin_query::QualifiedAttr::new("R0", "A0"),
+                    rjoin_query::QualifiedAttr::new("R1", "A0"),
+                ),
+                Conjunct::JoinEq(
+                    rjoin_query::QualifiedAttr::new("R1", "A1"),
+                    rjoin_query::QualifiedAttr::new("R2", "A1"),
+                ),
+            ],
+            window,
+        )
+        .unwrap()
+    };
+    let query = parts(rjoin_query::WindowSpec::tumbling_time(20));
+    let qid = engine.submit_query(origin, query.clone()).unwrap();
+    engine.run_until_quiescent().unwrap();
+
+    let tuple = |rel: &str, vals: [i64; 3], at: Timestamp| {
+        Tuple::new(rel, vals.iter().map(|v| Value::from(*v)).collect(), at)
+    };
+    let mut published = Vec::new();
+    // Three bursts, one per tumbling bucket [20b, 20b + 20).
+    for burst in 0..3i64 {
+        let base = 20 * burst as u64;
+        for t in [
+            tuple("R0", [1, 0, 100 + burst], base + 2),
+            tuple("R1", [1, 2, 0], base + 3),
+            tuple("R2", [5, 2, 200 + burst], base + 4),
+        ] {
+            published.push(t.clone());
+            engine.publish_tuple(origin, t).unwrap();
+        }
+    }
+    // A straddling pair: 18/19 sit in bucket 0, 21 in bucket 1. The sliding
+    // test |start - now| + 1 <= 20 would join all three; tumbling must not.
+    for t in [
+        tuple("R0", [1, 0, 900], 18),
+        tuple("R1", [1, 2, 1], 19),
+        tuple("R2", [5, 2, 901], 21),
+    ] {
+        published.push(t.clone());
+        engine.publish_tuple(origin, t).unwrap();
+    }
+    engine.run_until_quiescent().unwrap();
+
+    let expected = sorted(windowed_oracle_answers(&catalog, &query, 0, &published));
+    // Sanity: without the window the constant join values join across
+    // bursts, so the tumbling buckets must have excluded combinations.
+    let unwindowed =
+        windowed_oracle_answers(&catalog, &parts(rjoin_query::WindowSpec::None), 0, &published);
+    assert!(
+        unwindowed.len() > expected.len(),
+        "the scenario must contain cross-bucket combinations for the window to exclude"
+    );
+    // And the straddling pair must not have produced the (900, 901) row.
+    assert!(
+        !expected.contains(&vec![Value::from(900), Value::from(901)]),
+        "a combination straddling a bucket boundary must be excluded"
+    );
+    assert!(!expected.is_empty(), "within-bucket combinations must survive");
+
+    let actual = sorted(engine.answers().rows_for(qid));
+    assert_eq!(
+        actual, expected,
+        "tumbling-window answers diverge from the centralized windowed oracle"
+    );
+}
+
 /// The ALTT extension recovers answers that would otherwise be lost when an
 /// input query is delayed behind a tuple that should trigger it (Example 1 /
 /// Theorem 1).

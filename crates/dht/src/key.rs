@@ -1,0 +1,250 @@
+//! Interned key identities: a canonical key string paired with its ring
+//! identifier, hashed exactly once.
+//!
+//! The RJoin hot path used to re-derive the canonical string of an index key
+//! and re-run SHA-1 over it at every layer (publication, placement, delivery,
+//! per-node storage). A [`HashedKey`] computes the ring [`Id`] once at
+//! construction and then travels through messages and node state as a cheap
+//! `Arc<str>` clone, so every downstream consumer can key its maps by the
+//! precomputed 64-bit ring identifier instead of the string.
+//!
+//! Ring identifiers are SHA-1 prefixes and therefore already uniformly
+//! distributed, so maps keyed by them do not need SipHash on top: the
+//! [`RingHasher`] build hasher passes the `u64` through (with a cheap
+//! avalanche step for safety against accidental structure) and [`RingMap`] /
+//! [`RingSet`] are the corresponding container aliases.
+
+use crate::id::Id;
+use serde::json::{JsonError, JsonValue};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
+
+/// A canonical index-key string together with its ring identifier.
+///
+/// Construction hashes the string once ([`Id::hash_key`]); cloning is an
+/// `Arc` reference bump. Equality compares the text (so distinct keys are
+/// distinct even under a — cosmically unlikely — 64-bit digest collision),
+/// while hashing uses the precomputed ring identifier, which is consistent
+/// because equal texts always produce equal identifiers.
+#[derive(Debug, Clone)]
+pub struct HashedKey {
+    text: Arc<str>,
+    id: Id,
+}
+
+impl HashedKey {
+    /// Interns `text`, hashing it onto the identifier ring exactly once.
+    pub fn new(text: impl Into<Arc<str>>) -> Self {
+        let text = text.into();
+        let id = Id::hash_key(&text);
+        HashedKey { text, id }
+    }
+
+    /// The canonical key string.
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+
+    /// The interned string, shareable without copying.
+    pub fn text(&self) -> &Arc<str> {
+        &self.text
+    }
+
+    /// The precomputed ring identifier `Hash(text)`.
+    pub fn id(&self) -> Id {
+        self.id
+    }
+
+    /// The ring identifier as a raw `u64`, the map key used throughout the
+    /// hot path.
+    pub fn ring(&self) -> u64 {
+        self.id.0
+    }
+}
+
+impl PartialEq for HashedKey {
+    fn eq(&self, other: &Self) -> bool {
+        // Fast path on the digest; fall back to the text so behaviour is
+        // correct even under digest collisions.
+        self.id == other.id && self.text == other.text
+    }
+}
+
+impl Eq for HashedKey {}
+
+impl std::hash::Hash for HashedKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Equal texts imply equal ids, so hashing the id alone is consistent
+        // with `Eq` — and free, because the id was computed at construction.
+        state.write_u64(self.id.0);
+    }
+}
+
+impl PartialOrd for HashedKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HashedKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.text.cmp(&other.text)
+    }
+}
+
+impl fmt::Display for HashedKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl From<&str> for HashedKey {
+    fn from(s: &str) -> Self {
+        HashedKey::new(s)
+    }
+}
+
+impl From<String> for HashedKey {
+    fn from(s: String) -> Self {
+        HashedKey::new(s)
+    }
+}
+
+// Serialized as the bare canonical string; the ring identifier is re-derived
+// on deserialization, so the wire format carries no redundancy.
+impl Serialize for HashedKey {
+    fn serialize_json(&self) -> JsonValue {
+        JsonValue::Str(self.text.to_string())
+    }
+}
+
+impl Deserialize for HashedKey {
+    fn deserialize_json(v: &JsonValue) -> Result<Self, JsonError> {
+        match v {
+            JsonValue::Str(s) => Ok(HashedKey::new(s.as_str())),
+            other => Err(JsonError::expected("string", other)),
+        }
+    }
+}
+
+/// A hasher for keys that are already uniformly distributed ring
+/// identifiers (SHA-1 prefixes): instead of running SipHash over 8 bytes it
+/// applies one cheap 64-bit avalanche round, which preserves the uniformity
+/// of the digest while still decorrelating accidental arithmetic structure.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RingHasher {
+    state: u64,
+}
+
+impl Hasher for RingHasher {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic path (used e.g. when a tuple of keys is hashed): fold the
+        // bytes in 8-byte chunks through the same mix.
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        // splitmix64 finalizer: full avalanche in three shifts and two
+        // multiplies — far cheaper than SipHash for a single word.
+        let mut z = self.state ^ i;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.state = z ^ (z >> 31);
+    }
+}
+
+/// `BuildHasher` for [`RingHasher`]-backed maps.
+pub type RingBuildHasher = BuildHasherDefault<RingHasher>;
+
+/// A hash map keyed by `u64` ring identifiers.
+pub type RingMap<V> = HashMap<u64, V, RingBuildHasher>;
+
+/// A hash set of `u64` ring identifiers.
+pub type RingSet = HashSet<u64, RingBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{BuildHasher, Hash};
+
+    #[test]
+    fn hashed_key_matches_hash_key() {
+        let k = HashedKey::new("R+A+i:7");
+        assert_eq!(k.id(), Id::hash_key("R+A+i:7"));
+        assert_eq!(k.ring(), Id::hash_key("R+A+i:7").0);
+        assert_eq!(k.as_str(), "R+A+i:7");
+        assert_eq!(k.to_string(), "R+A+i:7");
+    }
+
+    #[test]
+    fn clones_share_the_interned_text() {
+        let k = HashedKey::new("R+A");
+        let c = k.clone();
+        assert!(Arc::ptr_eq(k.text(), c.text()));
+        assert_eq!(k, c);
+    }
+
+    #[test]
+    fn equality_and_std_hash_are_consistent() {
+        let a = HashedKey::new("R+A");
+        let b = HashedKey::from("R+A".to_string());
+        let c = HashedKey::from("R+B");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+
+        let hash = |k: &HashedKey| {
+            let mut h = DefaultHasher::new();
+            k.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+    }
+
+    #[test]
+    fn ordering_follows_the_text() {
+        let mut keys = [HashedKey::new("S+B"), HashedKey::new("R+A")];
+        keys.sort();
+        assert_eq!(keys[0].as_str(), "R+A");
+    }
+
+    #[test]
+    fn serde_round_trips_through_the_string_form() {
+        let k = HashedKey::new("R+A+s:x");
+        let v = k.serialize_json();
+        let back = HashedKey::deserialize_json(&v).unwrap();
+        assert_eq!(back, k);
+        assert_eq!(back.id(), k.id());
+        assert!(HashedKey::deserialize_json(&JsonValue::Int(3)).is_err());
+    }
+
+    #[test]
+    fn ring_map_stores_and_finds_by_ring_id() {
+        let mut m: RingMap<&str> = RingMap::default();
+        let k = HashedKey::new("R+A");
+        m.insert(k.ring(), "hello");
+        assert_eq!(m.get(&k.ring()), Some(&"hello"));
+        assert_eq!(m.get(&HashedKey::new("S+B").ring()), None);
+    }
+
+    #[test]
+    fn ring_hasher_avalanches_single_words() {
+        let b = RingBuildHasher::default();
+        let h1 = b.hash_one(1u64);
+        let h2 = b.hash_one(2u64);
+        assert_ne!(h1, h2);
+        // Deterministic across builders (no per-instance randomness).
+        assert_eq!(h1, RingBuildHasher::default().hash_one(1u64));
+    }
+}

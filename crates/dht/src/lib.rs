@@ -36,12 +36,14 @@
 pub mod balance;
 mod error;
 mod id;
+mod key;
 mod node;
 mod ring;
 pub mod sha1;
 
 pub use error::DhtError;
 pub use id::Id;
+pub use key::{HashedKey, RingBuildHasher, RingHasher, RingMap, RingSet};
 pub use node::{ChordNode, FingerTable, SUCCESSOR_LIST_LEN};
 pub use ring::{ChordNetwork, LookupResult};
 

@@ -1,25 +1,43 @@
 //! Per-key load counters.
 
+use serde::json::{JsonError, JsonValue};
 use serde::{Deserialize, Serialize};
+use std::collections::hash_map::RandomState;
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{BuildHasher, Hash};
 
 /// A counter map from keys (typically node identifiers) to accumulated load.
 ///
 /// Used for query-processing load and storage load, which the simulation
-/// increments as events are handled.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct LoadMap<K: Eq + Hash> {
-    counts: HashMap<K, u64>,
+/// increments as events are handled. The hasher is pluggable so that hot
+/// maps keyed by already-uniform identifiers (e.g. DHT ring ids) can swap
+/// SipHash for a cheaper mix without changing the call sites.
+#[derive(Debug, Clone)]
+pub struct LoadMap<K: Eq + Hash, S: BuildHasher + Default = RandomState> {
+    counts: HashMap<K, u64, S>,
 }
 
-impl<K: Eq + Hash> Default for LoadMap<K> {
+impl<K: Eq + Hash, S: BuildHasher + Default> Default for LoadMap<K, S> {
     fn default() -> Self {
-        LoadMap { counts: HashMap::new() }
+        LoadMap { counts: HashMap::default() }
     }
 }
 
-impl<K: Eq + Hash + Clone> LoadMap<K> {
+// Serialized as the bare key→count pair list (the shape `HashMap` itself
+// uses), hand-written because derives do not cover default type parameters.
+impl<K: Eq + Hash + Serialize, S: BuildHasher + Default> Serialize for LoadMap<K, S> {
+    fn serialize_json(&self) -> JsonValue {
+        self.counts.serialize_json()
+    }
+}
+
+impl<K: Eq + Hash + Deserialize, S: BuildHasher + Default> Deserialize for LoadMap<K, S> {
+    fn deserialize_json(v: &JsonValue) -> Result<Self, JsonError> {
+        Ok(LoadMap { counts: HashMap::deserialize_json(v)? })
+    }
+}
+
+impl<K: Eq + Hash + Clone, S: BuildHasher + Default> LoadMap<K, S> {
     /// Creates an empty map.
     pub fn new() -> Self {
         Self::default()
@@ -74,8 +92,8 @@ impl<K: Eq + Hash + Clone> LoadMap<K> {
         self.counts.clear();
     }
 
-    /// Merges another map into this one.
-    pub fn merge(&mut self, other: &LoadMap<K>) {
+    /// Merges another map into this one (any hasher).
+    pub fn merge<S2: BuildHasher + Default>(&mut self, other: &LoadMap<K, S2>) {
         for (k, v) in &other.counts {
             *self.counts.entry(k.clone()).or_insert(0) += v;
         }
@@ -121,6 +139,25 @@ mod tests {
         assert_eq!(a.get(&"y"), 3);
         a.reset();
         assert_eq!(a.total(), 0);
+    }
+
+    #[test]
+    fn serde_round_trips_counts_and_custom_hashers_interoperate() {
+        let mut m: LoadMap<u64> = LoadMap::new();
+        m.add(3, 7);
+        m.add(9, 1);
+        let v = m.serialize_json();
+        let back: LoadMap<u64> = LoadMap::deserialize_json(&v).unwrap();
+        assert_eq!(back.get(&3), 7);
+        assert_eq!(back.get(&9), 1);
+        assert_eq!(back.total(), 8);
+
+        // A map with a different hasher merges into the default one.
+        let mut custom: LoadMap<u64, std::hash::BuildHasherDefault<std::hash::DefaultHasher>> =
+            LoadMap::new();
+        custom.add(3, 2);
+        m.merge(&custom);
+        assert_eq!(m.get(&3), 9);
     }
 
     #[test]

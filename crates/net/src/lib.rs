@@ -16,8 +16,22 @@
 //! attributed to a caller-chosen [`TrafficClass`] so that e.g. RIC-request
 //! traffic can be reported separately from the total.
 //!
+//! # Event queue
+//!
+//! Because the delay bound δ is a constant and the clock is monotone,
+//! arrival times are scheduled in non-decreasing order. The in-flight queue
+//! exploits this: it is a *bucket queue* — one FIFO bucket per delivery
+//! tick — with O(1) push and pop instead of a binary heap's O(log n)
+//! comparisons per event. Two drain APIs expose the same total `(at, seq)`
+//! order:
+//!
+//! * [`Network::pop_next`] — one delivery at a time (single-stepping), and
+//! * [`Network::pop_tick`] — every delivery of the earliest tick at once,
+//!   which is what lets the engine process one tick as a batch and fan the
+//!   batch out across cores.
+//!
 //! Message payloads are generic: the RJoin engine defines its own message
-//! enum and drives the simulation by draining [`Network::pop_next`].
+//! enum and drives the simulation by draining the queue.
 
 mod network;
 mod time;

@@ -13,6 +13,7 @@
 //! all triples *implied* by the `WHERE` clause.
 
 use crate::ast::{Conjunct, JoinQuery, QualifiedAttr};
+use rjoin_dht::HashedKey;
 use rjoin_relation::{Schema, Tuple, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -104,6 +105,14 @@ impl IndexKey {
     /// The attribute-level key covering the same relation/attribute.
     pub fn to_attribute_level(&self) -> IndexKey {
         IndexKey::attribute(self.relation(), self.attribute_name())
+    }
+
+    /// Interns this key: derives the canonical string and hashes it onto the
+    /// identifier ring exactly once. All hot-path consumers (messages, node
+    /// state, load accounting) carry the returned [`HashedKey`] instead of
+    /// re-deriving string + SHA-1 at every layer.
+    pub fn hashed(&self) -> HashedKey {
+        HashedKey::new(self.to_key_string())
     }
 }
 
@@ -245,6 +254,14 @@ mod tests {
             IndexKey::value("R", "A", Value::from("x")).to_key_string(),
             "R+A+s:x"
         );
+    }
+
+    #[test]
+    fn hashed_key_agrees_with_key_string() {
+        let k = IndexKey::value("R", "A", Value::from(2));
+        let h = k.hashed();
+        assert_eq!(h.as_str(), k.to_key_string());
+        assert_eq!(h.id(), rjoin_dht::Id::hash_key(&k.to_key_string()));
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub mod prelude {
     pub use rjoin_core::{
         AnswerLog, EngineConfig, ExperimentStats, PlacementStrategy, QueryId, RJoinEngine,
     };
-    pub use rjoin_dht::{ChordNetwork, Id};
+    pub use rjoin_dht::{ChordNetwork, HashedKey, Id};
     pub use rjoin_metrics::{CumulativeSeries, Distribution, Table};
     pub use rjoin_net::{Network, NetworkConfig};
     pub use rjoin_query::{parse_query, JoinQuery, WindowSpec};
