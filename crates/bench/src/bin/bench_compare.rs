@@ -1,0 +1,98 @@
+//! Bench-regression gate: diffs a fresh `BENCH_*.json` report against a
+//! committed baseline and **warns** (never fails) when a case regressed by
+//! more than a threshold.
+//!
+//! Usage:
+//! `cargo run -p rjoin-bench --bin bench_compare -- BASELINE.json FRESH.json [threshold_pct]`
+//!
+//! * Prints a per-case table (`old ms/iter`, `new ms/iter`, `Δ%`).
+//! * Cases slower than `threshold_pct` (default 15) are flagged with
+//!   `::warning::` annotations, and a Markdown summary is appended to
+//!   `$GITHUB_STEP_SUMMARY` when that variable is set (the CI job summary).
+//! * Exit code is always 0: quick-mode numbers on shared runners are
+//!   trajectory signals, not a merge gate.
+
+use rjoin_bench::{compare_reports, BenchReport};
+
+const DEFAULT_THRESHOLD_PCT: f64 = 15.0;
+
+fn load(path: &str) -> BenchReport {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read bench report {path}: {e}"));
+    serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("cannot parse bench report {path}: {e}"))
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (Some(baseline_path), Some(fresh_path)) = (args.next(), args.next()) else {
+        eprintln!("usage: bench_compare BASELINE.json FRESH.json [threshold_pct]");
+        std::process::exit(2);
+    };
+    let threshold: f64 = args
+        .next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_THRESHOLD_PCT);
+
+    let baseline = load(&baseline_path);
+    let fresh = load(&fresh_path);
+    let deltas = compare_reports(&baseline, &fresh);
+    if deltas.is_empty() {
+        println!("no common benchmark cases between {baseline_path} and {fresh_path}");
+        return;
+    }
+
+    println!("{:<32} {:>12} {:>12} {:>9}", "case", "old ms/iter", "new ms/iter", "delta");
+    let mut regressions = Vec::new();
+    for d in &deltas {
+        let flag = if d.regressed(threshold) { "  <-- REGRESSION" } else { "" };
+        println!(
+            "{:<32} {:>12.3} {:>12.3} {:>8.1}%{flag}",
+            d.case_id, d.old_ms, d.new_ms, d.pct
+        );
+        if d.regressed(threshold) {
+            // GitHub Actions warning annotation: visible in the run UI
+            // without failing the job.
+            println!(
+                "::warning title=bench regression::{} slowed {:.1}% ({:.3} -> {:.3} ms/iter)",
+                d.case_id, d.pct, d.old_ms, d.new_ms
+            );
+            regressions.push(d);
+        }
+    }
+
+    if let Ok(summary_path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        let mut md = String::from("## Bench comparison\n\n");
+        md.push_str(&format!(
+            "Baseline `{baseline_path}` vs fresh `{fresh_path}` (warn threshold {threshold:.0}%)\n\n"
+        ));
+        md.push_str("| case | old ms/iter | new ms/iter | Δ |\n|---|---:|---:|---:|\n");
+        for d in &deltas {
+            let marker = if d.regressed(threshold) { " ⚠️" } else { "" };
+            md.push_str(&format!(
+                "| {} | {:.3} | {:.3} | {:+.1}%{marker} |\n",
+                d.case_id, d.old_ms, d.new_ms, d.pct
+            ));
+        }
+        if regressions.is_empty() {
+            md.push_str("\nNo case regressed beyond the threshold.\n");
+        } else {
+            md.push_str(&format!(
+                "\n**{} case(s) regressed by more than {threshold:.0}%.** Quick-mode numbers \
+                 are noisy; re-run locally with `BENCH_JSON_ITERS=7` before acting on this.\n",
+                regressions.len()
+            ));
+        }
+        use std::io::Write;
+        if let Ok(mut f) = std::fs::OpenOptions::new().append(true).create(true).open(&summary_path)
+        {
+            let _ = f.write_all(md.as_bytes());
+        }
+    }
+
+    if regressions.is_empty() {
+        println!("OK: no case regressed by more than {threshold:.1}%");
+    } else {
+        println!("WARNING: {} case(s) regressed by more than {threshold:.1}%", regressions.len());
+    }
+}

@@ -3,36 +3,17 @@
 //! track the performance trajectory across PRs.
 //!
 //! Usage: `cargo run --release -p rjoin-bench --bin bench_json -- [OUT.json]`
-//! (default output path `BENCH_2.json`). The environment variable
+//! (default output path `BENCH_3.json`). The environment variable
 //! `BENCH_JSON_ITERS` overrides the per-benchmark iteration count (default 5;
 //! CI uses a small count — the point is trajectory, not statistics).
+//!
+//! Compare a fresh report against a committed one with the `bench_compare`
+//! binary.
 
+use rjoin_bench::{BenchReport, BenchResult};
 use rjoin_core::{EngineConfig, PlacementStrategy, RJoinEngine};
 use rjoin_workload::Scenario;
-use serde::Serialize;
 use std::time::Instant;
-
-/// One benchmark's timing result.
-#[derive(Debug, Serialize)]
-struct BenchResult {
-    group: String,
-    bench: String,
-    /// Mean wall-clock milliseconds per iteration.
-    ms_per_iter: f64,
-    /// Fastest single iteration (robust to scheduling noise).
-    ms_best: f64,
-    iters: u64,
-}
-
-/// The emitted file: scenario parameters plus every result row.
-#[derive(Debug, Serialize)]
-struct BenchReport {
-    schema_version: u32,
-    nodes: usize,
-    queries: usize,
-    tuples: usize,
-    results: Vec<BenchResult>,
-}
 
 fn bench_scenario() -> Scenario {
     // Must stay in lockstep with `benches/engine.rs` so the JSON numbers are
@@ -40,11 +21,13 @@ fn bench_scenario() -> Scenario {
     Scenario { nodes: 48, queries: 300, tuples: 60, ..Scenario::small_test() }
 }
 
-fn run(config: EngineConfig, scenario: &Scenario) -> u64 {
-    let catalog = scenario.workload_schema().build_catalog();
-    let mut engine = RJoinEngine::new(config, catalog, scenario.nodes);
+/// Number of distinct sub-join patterns in the overlapping (multi-query)
+/// scenario: 300 queries / 20 patterns = 15 queries per shared sub-join.
+const OVERLAP_PATTERNS: usize = 20;
+
+fn drive(engine: &mut RJoinEngine, queries: Vec<rjoin_query::JoinQuery>, scenario: &Scenario) -> u64 {
     let origins: Vec<_> = engine.node_ids().to_vec();
-    for (i, q) in scenario.generate_queries().into_iter().enumerate() {
+    for (i, q) in queries.into_iter().enumerate() {
         engine.submit_query(origins[i % origins.len()], q).unwrap();
     }
     engine.run_until_quiescent().unwrap();
@@ -53,6 +36,20 @@ fn run(config: EngineConfig, scenario: &Scenario) -> u64 {
     }
     engine.run_until_quiescent().unwrap();
     engine.total_qpl()
+}
+
+fn run(config: EngineConfig, scenario: &Scenario) -> u64 {
+    let catalog = scenario.workload_schema().build_catalog();
+    let mut engine = RJoinEngine::new(config, catalog, scenario.nodes);
+    drive(&mut engine, scenario.generate_queries(), scenario)
+}
+
+/// The overlapping multi-query workload: same engine driving, but the
+/// queries share [`OVERLAP_PATTERNS`] sub-join structures.
+fn run_overlap(config: EngineConfig, scenario: &Scenario) -> u64 {
+    let catalog = scenario.workload_schema().build_catalog();
+    let mut engine = RJoinEngine::new(config, catalog, scenario.nodes);
+    drive(&mut engine, scenario.generate_overlapping_queries(OVERLAP_PATTERNS), scenario)
 }
 
 fn measure(
@@ -87,7 +84,7 @@ fn measure(
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_2.json".to_string());
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_3.json".to_string());
     let iters: u64 = std::env::var("BENCH_JSON_ITERS")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -118,9 +115,17 @@ fn main() {
             run(EngineConfig::default(), &windowed)
         }));
     }
+    // Multi-query optimization: the same overlapping workload with and
+    // without the shared sub-join registry. The delta is the sharing win.
+    results.push(measure("sharing", "unshared", iters, || {
+        run_overlap(EngineConfig::default(), &scenario)
+    }));
+    results.push(measure("sharing", "shared", iters, || {
+        run_overlap(EngineConfig::default().with_shared_subjoins(), &scenario)
+    }));
 
     let report = BenchReport {
-        schema_version: 1,
+        schema_version: 2,
         nodes: scenario.nodes,
         queries: scenario.queries,
         tuples: scenario.tuples,

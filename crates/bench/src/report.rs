@@ -1,0 +1,140 @@
+//! The machine-readable benchmark report format (`BENCH_*.json`).
+//!
+//! The `bench_json` binary emits one [`BenchReport`] per run; CI uploads it
+//! and the `bench_compare` binary diffs a fresh report against the
+//! previously committed one, warning when a case regresses beyond a
+//! threshold. Keeping the shape here (with both `Serialize` and
+//! `Deserialize`) is what lets reports round-trip across PRs.
+
+use serde::{Deserialize, Serialize};
+
+/// One benchmark's timing result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchResult {
+    /// Benchmark group (e.g. `placement_strategy`).
+    pub group: String,
+    /// Case name within the group (e.g. `ric_aware`).
+    pub bench: String,
+    /// Mean wall-clock milliseconds per iteration.
+    pub ms_per_iter: f64,
+    /// Fastest single iteration (robust to scheduling noise).
+    pub ms_best: f64,
+    /// Number of timed iterations.
+    pub iters: u64,
+}
+
+impl BenchResult {
+    /// `group/bench`, the stable identity used when diffing reports.
+    pub fn case_id(&self) -> String {
+        format!("{}/{}", self.group, self.bench)
+    }
+}
+
+/// The emitted file: scenario parameters plus every result row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Format version of this report.
+    pub schema_version: u32,
+    /// Nodes in the benchmark scenario.
+    pub nodes: usize,
+    /// Queries submitted per iteration.
+    pub queries: usize,
+    /// Tuples published per iteration.
+    pub tuples: usize,
+    /// All measured cases.
+    pub results: Vec<BenchResult>,
+}
+
+/// One row of a report comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseDelta {
+    /// `group/bench`.
+    pub case_id: String,
+    /// Baseline ms/iter.
+    pub old_ms: f64,
+    /// Fresh ms/iter.
+    pub new_ms: f64,
+    /// Relative change in percent (`+` = slower = regression).
+    pub pct: f64,
+}
+
+impl CaseDelta {
+    /// Whether this case regressed by more than `threshold_pct` percent.
+    pub fn regressed(&self, threshold_pct: f64) -> bool {
+        self.pct > threshold_pct
+    }
+}
+
+/// Diffs two reports on their common cases (matched by `group/bench`),
+/// preserving the baseline's order. Cases present in only one report are
+/// skipped: a renamed or newly added benchmark is not a regression.
+pub fn compare_reports(baseline: &BenchReport, fresh: &BenchReport) -> Vec<CaseDelta> {
+    let mut deltas = Vec::new();
+    for old in &baseline.results {
+        let id = old.case_id();
+        let Some(new) = fresh.results.iter().find(|r| r.case_id() == id) else {
+            continue;
+        };
+        if old.ms_per_iter <= 0.0 {
+            continue;
+        }
+        let pct = (new.ms_per_iter - old.ms_per_iter) / old.ms_per_iter * 100.0;
+        deltas.push(CaseDelta { case_id: id, old_ms: old.ms_per_iter, new_ms: new.ms_per_iter, pct });
+    }
+    deltas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cases: &[(&str, &str, f64)]) -> BenchReport {
+        BenchReport {
+            schema_version: 2,
+            nodes: 48,
+            queries: 300,
+            tuples: 60,
+            results: cases
+                .iter()
+                .map(|(g, b, ms)| BenchResult {
+                    group: g.to_string(),
+                    bench: b.to_string(),
+                    ms_per_iter: *ms,
+                    ms_best: *ms,
+                    iters: 3,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = report(&[("g", "a", 1.5), ("g", "b", 2.0)]);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.results.len(), 2);
+        assert_eq!(back.results[0].case_id(), "g/a");
+        assert!((back.results[1].ms_per_iter - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compare_matches_cases_and_flags_regressions() {
+        let old = report(&[("g", "a", 10.0), ("g", "b", 10.0), ("g", "gone", 1.0)]);
+        let new = report(&[("g", "a", 11.0), ("g", "b", 12.0), ("g", "added", 1.0)]);
+        let deltas = compare_reports(&old, &new);
+        assert_eq!(deltas.len(), 2, "only common cases are compared");
+        assert!((deltas[0].pct - 10.0).abs() < 1e-9);
+        assert!(!deltas[0].regressed(15.0));
+        assert!((deltas[1].pct - 20.0).abs() < 1e-9);
+        assert!(deltas[1].regressed(15.0));
+    }
+
+    #[test]
+    fn improvements_are_never_regressions() {
+        let old = report(&[("g", "a", 10.0)]);
+        let new = report(&[("g", "a", 5.0)]);
+        let deltas = compare_reports(&old, &new);
+        assert!((deltas[0].pct + 50.0).abs() < 1e-9);
+        assert!(!deltas[0].regressed(15.0));
+    }
+}

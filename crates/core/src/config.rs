@@ -60,6 +60,16 @@ pub struct EngineConfig {
     /// generalisation is used: rewritten queries may also be indexed at the
     /// attribute level if RIC information favours it.
     pub rewritten_value_level_only: bool,
+    /// When `true`, nodes share the evaluation of structurally identical
+    /// (sub-)queries: a query arriving at a node that already stores a query
+    /// with the same sub-join fingerprint (same `FROM`/`WHERE`/window, any
+    /// `SELECT` list) under the same key is merged into it as an extra
+    /// subscriber instead of being stored and rewritten separately. The
+    /// shared entry is rewritten and re-indexed once per triggering tuple
+    /// and completed answers fan back out to every subscriber — the
+    /// multi-query optimization of Dossinger & Michel. Off by default: the
+    /// unshared path reproduces the paper's per-query accounting exactly.
+    pub share_subjoins: bool,
     /// Per-message delivery delay bound δ of the simulated network.
     pub network_delay: SimTime,
     /// Successor-list length of the Chord nodes.
@@ -77,6 +87,7 @@ impl Default for EngineConfig {
             ct_validity: Some(500),
             altt_delta: None,
             rewritten_value_level_only: false,
+            share_subjoins: false,
             network_delay: 1,
             successor_list_len: 4,
             seed: 0x8101_2008,
@@ -125,6 +136,14 @@ impl EngineConfig {
         self.rewritten_value_level_only = true;
         self
     }
+
+    /// Enables shared sub-join evaluation (the multi-query optimization):
+    /// structurally identical queries are stored, rewritten and re-indexed
+    /// once, with answers fanned back out per subscriber.
+    pub fn with_shared_subjoins(mut self) -> Self {
+        self.share_subjoins = true;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +156,8 @@ mod tests {
         assert_eq!(c.placement, PlacementStrategy::RicAware);
         assert!(c.reuse_ric);
         assert!(c.altt_delta.is_none());
+        assert!(!c.share_subjoins, "sharing is opt-in: the default reproduces the paper");
+        assert!(EngineConfig::default().with_shared_subjoins().share_subjoins);
     }
 
     #[test]

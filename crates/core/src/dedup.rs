@@ -12,7 +12,7 @@ use std::collections::HashSet;
 /// > already triggered `q'`.
 #[derive(Debug, Clone, Default)]
 pub struct DedupFilter {
-    seen: HashSet<Vec<Value>>,
+    seen: HashSet<Vec<Option<Value>>>,
 }
 
 impl DedupFilter {
@@ -44,7 +44,13 @@ impl DedupFilter {
 /// Computes the projection `π_{A1..Ak}(τ)` where `A1..Ak` are the attributes
 /// of the tuple's relation that appear in the query's `SELECT` list or
 /// `WHERE` clause (in schema order, so equal projections compare equal).
-pub fn projection(query: &JoinQuery, tuple: &Tuple, schema: &Schema) -> Vec<Value> {
+///
+/// The projection is **total**: every selected position yields exactly one
+/// entry, with `None` marking an attribute the tuple does not carry (e.g. a
+/// short tuple). Silently skipping missing values would let two tuples with
+/// different missing-attribute patterns collapse onto the same projection
+/// and wrongly suppress answers.
+pub fn projection(query: &JoinQuery, tuple: &Tuple, schema: &Schema) -> Vec<Option<Value>> {
     let relation = tuple.relation();
     let mut wanted: Vec<usize> = Vec::new();
     let mut add = |attr_name: &str| {
@@ -81,7 +87,7 @@ pub fn projection(query: &JoinQuery, tuple: &Tuple, schema: &Schema) -> Vec<Valu
     wanted.sort_unstable();
     wanted
         .into_iter()
-        .filter_map(|idx| tuple.value(idx).cloned())
+        .map(|idx| tuple.value(idx).cloned())
         .collect()
 }
 
@@ -131,7 +137,38 @@ mod tests {
         let p1 = projection(&q, &tuple([5, 2, 100]), &schema());
         let p2 = projection(&q, &tuple([5, 2, 999]), &schema());
         assert_eq!(p1, p2);
-        assert_eq!(p1, vec![Value::from(5), Value::from(2)]);
+        assert_eq!(p1, vec![Some(Value::from(5)), Some(Value::from(2))]);
+    }
+
+    /// Regression: the projection used to `filter_map` over missing values,
+    /// silently shrinking when a tuple did not carry a referenced attribute.
+    /// The projection is now **total**: every referenced attribute yields one
+    /// positional entry, with an explicit absent marker, so a tuple missing a
+    /// referenced value can never collapse onto the projection of a tuple
+    /// that carries one.
+    #[test]
+    fn projection_is_total_with_explicit_absent_markers() {
+        // The query references B1 and B2 of S.
+        let q = parse_query("SELECT S.B1 FROM S, R WHERE S.B2 = R.A").unwrap();
+        let missing_b2 = Tuple::new("S", vec![Value::from(7)], 0);
+        let full = Tuple::new("S", vec![Value::from(7), Value::from(7)], 0);
+        let p_short = projection(&q, &missing_b2, &schema());
+        let p_full = projection(&q, &full, &schema());
+        // Both projections cover both referenced attributes — the absent B2
+        // is an explicit `None`, not a silently dropped entry.
+        assert_eq!(p_short, vec![Some(Value::from(7)), None]);
+        assert_eq!(p_full, vec![Some(Value::from(7)), Some(Value::from(7))]);
+        assert_ne!(p_short, p_full);
+
+        // The filter therefore admits both: different missing-attribute
+        // patterns are different projections.
+        let mut filter = DedupFilter::new();
+        assert!(filter.admit(&q, &missing_b2, &schema()));
+        assert!(
+            filter.admit(&q, &full, &schema()),
+            "a tuple carrying a value where another was absent must not be suppressed"
+        );
+        assert_eq!(filter.len(), 2);
     }
 
     #[test]

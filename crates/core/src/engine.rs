@@ -10,10 +10,11 @@ use crate::placement::choose_candidate;
 use crate::procedures::{self, Action, ProcCtx};
 use crate::stats::ExperimentStats;
 use crate::traffic_class;
+use crate::node_state::DrainedState;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rjoin_dht::{HashedKey, Id, RingBuildHasher};
-use rjoin_metrics::{Distribution, LoadMap};
+use rjoin_metrics::{Distribution, LoadMap, SharingCounters};
 use rjoin_net::{Delivery, Network, NetworkConfig, SimTime, TrafficStats};
 use rjoin_query::{candidate_keys, tuple_index_keys, IndexKey, IndexLevel, JoinQuery};
 use rjoin_relation::{Catalog, Tuple};
@@ -318,6 +319,96 @@ impl RJoinEngine {
         Ok(())
     }
 
+    /// Adds a node to the running network (churn): the identifier is derived
+    /// from `label`, the ring is re-stabilized, and every bucket of
+    /// application state whose key the new node now owns is handed over from
+    /// its previous owner — the state transfer a real DHT performs when a
+    /// node joins. Returns the new node's identifier.
+    ///
+    /// Membership changes are driver-level operations: call them between
+    /// [`run_until_quiescent`](Self::run_until_quiescent) phases. A message
+    /// already in flight to a node that subsequently leaves is lost, exactly
+    /// as in a real deployment.
+    pub fn join_node(&mut self, label: &str) -> Result<Id, EngineError> {
+        let id = Id::hash_key(label);
+        self.network.dht_mut().join(id)?;
+        self.network.dht_mut().full_stabilize();
+        self.nodes.insert(id, NodeState::new(id));
+        self.node_ids.push(id);
+        self.rehome_misplaced_state()?;
+        Ok(id)
+    }
+
+    /// Gracefully removes a node from the network (churn): the ring is
+    /// re-stabilized and the departing node's stored queries, value-level
+    /// tuples and ALTT entries are handed to the nodes now responsible for
+    /// their keys, so continuous queries keep producing answers. RIC
+    /// history and cached candidate-table entries are dropped (they only
+    /// affect placement quality, not soundness). Returns the number of
+    /// re-homed items.
+    pub fn leave_node(&mut self, id: Id) -> Result<usize, EngineError> {
+        if !self.nodes.contains_key(&id) {
+            return Err(EngineError::UnknownNode { id });
+        }
+        self.network.dht_mut().leave(id)?;
+        self.network.dht_mut().full_stabilize();
+        let state = self.nodes.remove(&id).expect("membership checked above");
+        self.node_ids.retain(|n| *n != id);
+        let drained = state.into_drained();
+        let moved = drained.len();
+        self.absorb_drained(drained)?;
+        Ok(moved)
+    }
+
+    /// Splits the drained state by current key owner and hands each share to
+    /// that node via [`NodeState::absorb`] (the single place that knows how
+    /// re-homed state re-enters a node — queries go through the shared path,
+    /// so structurally identical entries re-merge at their new home).
+    fn absorb_drained(&mut self, drained: DrainedState) -> Result<(), EngineError> {
+        let share = self.config.share_subjoins;
+        let mut per_owner: HashMap<Id, DrainedState, RingBuildHasher> = HashMap::default();
+        for stored in drained.queries {
+            let owner = self.network.owner_of(stored.key.id())?;
+            per_owner.entry(owner).or_default().queries.push(stored);
+        }
+        for (ring, bucket) in drained.tuples {
+            let owner = self.network.owner_of(Id(ring))?;
+            per_owner.entry(owner).or_default().tuples.push((ring, bucket));
+        }
+        for (ring, bucket) in drained.altt {
+            let owner = self.network.owner_of(Id(ring))?;
+            per_owner.entry(owner).or_default().altt.push((ring, bucket));
+        }
+        for (owner, share_of_owner) in per_owner {
+            if let Some(state) = self.nodes.get_mut(&owner) {
+                state.absorb(share_of_owner, share);
+            }
+        }
+        Ok(())
+    }
+
+    /// After a membership change, moves every bucket that is no longer owned
+    /// by the node holding it to the current owner (the handover a real DHT
+    /// performs on join).
+    fn rehome_misplaced_state(&mut self) -> Result<(), EngineError> {
+        let network = &self.network;
+        let mut moved: Vec<DrainedState> = Vec::new();
+        for (node, state) in self.nodes.iter_mut() {
+            let drained = state.drain_misplaced(|ring| {
+                // On a lookup failure, keep the bucket where it is rather
+                // than dropping state.
+                network.owner_of(Id(ring)).map(|owner| owner == *node).unwrap_or(true)
+            });
+            if !drained.is_empty() {
+                moved.push(drained);
+            }
+        }
+        for drained in moved {
+            self.absorb_drained(drained)?;
+        }
+        Ok(())
+    }
+
     /// Processes a single delivery from the network. Returns `false` when no
     /// message was in flight.
     ///
@@ -520,6 +611,23 @@ impl RJoinEngine {
             .collect()
     }
 
+    /// Cumulative shared sub-join savings across all live nodes.
+    pub fn sharing_counters(&self) -> SharingCounters {
+        let mut total = SharingCounters::new();
+        for state in self.nodes.values() {
+            total.merge(state.sharing());
+        }
+        total
+    }
+
+    /// Total number of queries (input + rewritten) currently stored across
+    /// all live nodes. A shared entry counts once regardless of how many
+    /// subscribers ride on it — this is the stored-query load that sharing
+    /// reduces.
+    pub fn stored_queries_current(&self) -> u64 {
+        self.nodes.values().map(|s| s.stored_query_count() as u64).sum()
+    }
+
     /// Builds a statistics snapshot in the units the paper's figures use.
     pub fn stats(&self) -> ExperimentStats {
         let traffic = self.network.traffic();
@@ -544,6 +652,8 @@ impl RJoinEngine {
             sl: sl_dist,
             current_storage: Distribution::from_values(storage_values),
             answers: self.answers.len() as u64,
+            stored_queries_current: self.stored_queries_current(),
+            sharing: self.sharing_counters(),
         }
     }
 

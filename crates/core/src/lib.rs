@@ -45,6 +45,31 @@
 //!   placement and sends — in deterministic `(at, seq)` order. Sequential
 //!   and parallel driving are byte-identical by construction.
 //!
+//! # Shared sub-join evaluation (multi-query optimization)
+//!
+//! With [`EngineConfig::with_shared_subjoins`] enabled, every node keeps a
+//! [`SubJoinRegistry`]: queries whose canonical sub-join structure
+//! ([`rjoin_query::fingerprint`] — `FROM` + `WHERE` + window, `SELECT`
+//! abstracted) matches an entry already stored under the same key are merged
+//! into it as extra [`Subscriber`]s instead of being stored separately. The
+//! shared entry is rewritten and re-indexed **once** per triggering tuple —
+//! subscribers' `SELECT` continuations are resolved in lockstep — and a
+//! completed `WHERE` clause fans one answer out to every subscriber. On
+//! overlapping workloads this cuts stored-query load and `Eval`/RIC traffic
+//! roughly by the overlap factor while producing the same per-query answers
+//! as the unshared engine (`DISTINCT` queries are never shared; the
+//! insertion-time filter is enforced per subscriber). Savings are reported
+//! in [`ExperimentStats::sharing`].
+//!
+//! # Churn
+//!
+//! [`RJoinEngine::join_node`] and [`RJoinEngine::leave_node`] change ring
+//! membership mid-run, re-homing the application state (stored queries,
+//! value-level tuples, ALTT entries) to the nodes now responsible for the
+//! keys — the state handover a real DHT performs. Combined with the ALTT the
+//! engine keeps matching the centralized oracle while nodes come and go
+//! (`tests/oracle.rs`).
+//!
 //! The main entry point is [`RJoinEngine`]:
 //!
 //! ```
@@ -80,6 +105,7 @@ mod node_state;
 mod placement;
 mod procedures;
 mod ric;
+mod shared;
 mod stats;
 
 pub use answers::{AnswerLog, AnswerRecord};
@@ -87,9 +113,10 @@ pub use config::{EngineConfig, PlacementStrategy};
 pub use dedup::DedupFilter;
 pub use engine::RJoinEngine;
 pub use error::EngineError;
-pub use messages::{PendingQuery, QueryId, RJoinMessage, RicInfo};
-pub use node_state::{NodeState, RicEntry, StoredQuery};
+pub use messages::{PendingQuery, QueryId, RJoinMessage, RicInfo, Subscriber};
+pub use node_state::{DrainedState, NodeState, RicEntry, StoredQuery};
 pub use ric::RicTracker;
+pub use shared::SubJoinRegistry;
 pub use stats::ExperimentStats;
 
 /// Traffic classes used when accounting messages, so that the share of

@@ -2,7 +2,7 @@
 
 use rjoin_dht::{HashedKey, Id};
 use rjoin_net::SimTime;
-use rjoin_query::{IndexLevel, JoinQuery};
+use rjoin_query::{IndexLevel, JoinQuery, SelectItem};
 use rjoin_relation::{Timestamp, Tuple, Value};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -26,16 +26,43 @@ impl fmt::Display for QueryId {
     }
 }
 
+/// One continuation riding on a shared sub-join: the identity of an input
+/// query whose evaluation has been merged into another, structurally
+/// identical query, together with everything needed to fan a completed
+/// answer back out to it — its owner node, its own insertion-time filter and
+/// its (progressively resolved) `SELECT` list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Subscriber {
+    /// Identifier of the subscriber's original input query.
+    pub id: QueryId,
+    /// Node that submitted the subscriber's query (answers are sent here).
+    pub owner: Id,
+    /// Insertion time of the subscriber's query: tuples published earlier
+    /// must not contribute to *this* subscriber's answers even when they
+    /// trigger the shared entry for another subscriber.
+    pub insert_time: Timestamp,
+    /// The subscriber's `SELECT` list, resolved in lockstep with the shared
+    /// query's rewriting (its select-resolution continuation).
+    pub select: Vec<SelectItem>,
+}
+
 /// A query in flight: an input query or one of its rewritten descendants,
 /// together with the metadata RJoin needs to evaluate it.
+///
+/// With shared sub-join evaluation enabled, one `PendingQuery` can carry the
+/// continuations of several input queries whose sub-join structure is
+/// identical: the fields below describe the *primary* subscriber (the first
+/// query to claim the shared entry, whose `SELECT` list lives in `query`),
+/// and `extra_subscribers` lists the others. The shared `WHERE` clause is
+/// rewritten and re-indexed once; answers fan back out to every subscriber.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PendingQuery {
-    /// Identifier of the original input query.
+    /// Identifier of the (primary) original input query.
     pub id: QueryId,
-    /// Node that submitted the original query (answers are sent here).
+    /// Node that submitted the (primary) query (answers are sent here).
     pub owner: Id,
-    /// Insertion time `insT(q)` of the original query; only tuples published
-    /// at or after this time may contribute to answers.
+    /// Insertion time `insT(q)` of the (primary) original query; only tuples
+    /// published at or after this time may contribute to answers.
     pub insert_time: Timestamp,
     /// Number of join conjuncts in the original input query (used for
     /// reporting; the remaining joins are visible in `query`).
@@ -43,8 +70,23 @@ pub struct PendingQuery {
     /// The window `start` parameter (Section 5): publication time of the
     /// tuple that created this rewritten query. `None` for input queries.
     pub window_start: Option<Timestamp>,
+    /// Earliest publication time among the tuples that contributed to this
+    /// rewritten query. Together with [`window_max`](Self::window_max) this
+    /// tracks the exact span of the partial combination, which the Section 5
+    /// `start` parameter alone cannot: `start` follows the *first* (Proc. 2)
+    /// or *latest* (Proc. 3) contribution, so a combination that picks up an
+    /// older stored/ALTT tuple late would pass the pairwise `|start - now|`
+    /// test while its true span already exceeds the window. `None` until a
+    /// tuple contributes.
+    pub window_min: Option<Timestamp>,
+    /// Latest publication time among the contributing tuples (see
+    /// [`window_min`](Self::window_min)).
+    pub window_max: Option<Timestamp>,
     /// The (possibly already rewritten) query itself.
     pub query: JoinQuery,
+    /// Additional input queries sharing this sub-join (empty when sharing is
+    /// disabled or no structurally identical query was merged).
+    pub extra_subscribers: Vec<Subscriber>,
 }
 
 impl PendingQuery {
@@ -56,7 +98,10 @@ impl PendingQuery {
             insert_time,
             original_joins: query.join_count(),
             window_start: None,
+            window_min: None,
+            window_max: None,
             query,
+            extra_subscribers: Vec::new(),
         }
     }
 
@@ -69,6 +114,11 @@ impl PendingQuery {
     /// tuple published at `tuple_pub_time`, following the inheritance rules
     /// of Section 5 (`start` inheritance is handled by the caller because it
     /// differs between Procedure 2 and Procedure 3).
+    ///
+    /// Extra subscribers do **not** carry over: the rewriting procedures
+    /// re-attach the subscribers that remain eligible for the triggering
+    /// tuple (see `Procedures` — a subscriber whose query was submitted
+    /// after the tuple's publication must not ride on the child).
     pub fn child(&self, query: JoinQuery, window_start: Option<Timestamp>) -> Self {
         PendingQuery {
             id: self.id,
@@ -76,8 +126,46 @@ impl PendingQuery {
             insert_time: self.insert_time,
             original_joins: self.original_joins,
             window_start,
+            window_min: self.window_min,
+            window_max: self.window_max,
             query,
+            extra_subscribers: Vec::new(),
         }
+    }
+
+    /// Records one more contributing tuple's publication time, keeping the
+    /// exact `[window_min, window_max]` span of the partial combination up
+    /// to date (called on every child the rewriting procedures produce).
+    pub fn note_contribution(&mut self, pub_time: Timestamp) {
+        self.window_min = Some(self.window_min.map_or(pub_time, |m| m.min(pub_time)));
+        self.window_max = Some(self.window_max.map_or(pub_time, |m| m.max(pub_time)));
+    }
+
+    /// The primary subscriber's view of this query, in [`Subscriber`] form
+    /// (used when this query is merged into an existing shared entry).
+    pub fn primary_subscriber(&self) -> Subscriber {
+        Subscriber {
+            id: self.id,
+            owner: self.owner,
+            insert_time: self.insert_time,
+            select: self.query.select().to_vec(),
+        }
+    }
+
+    /// The earliest insertion time across the primary and every extra
+    /// subscriber: the publication-time filter of the *shared entry* (a
+    /// tuple older than every subscriber triggers nothing; per-subscriber
+    /// eligibility is re-checked when answers or children are produced).
+    pub fn min_insert_time(&self) -> Timestamp {
+        self.extra_subscribers
+            .iter()
+            .map(|s| s.insert_time)
+            .fold(self.insert_time, Timestamp::min)
+    }
+
+    /// Total number of subscribers (primary + extras).
+    pub fn subscriber_count(&self) -> usize {
+        1 + self.extra_subscribers.len()
     }
 }
 
@@ -193,6 +281,35 @@ mod tests {
         assert_eq!(child.window_start, Some(42));
         assert!(!child.is_input());
         assert_eq!(child.query, rewritten);
+    }
+
+    #[test]
+    fn subscriber_helpers_track_min_insert_time() {
+        let mut p = pending();
+        assert_eq!(p.subscriber_count(), 1);
+        assert_eq!(p.min_insert_time(), 10);
+        let primary = p.primary_subscriber();
+        assert_eq!(primary.id, p.id);
+        assert_eq!(primary.insert_time, 10);
+        assert_eq!(primary.select.len(), 2);
+
+        p.extra_subscribers.push(Subscriber {
+            id: QueryId { owner: Id(2), seq: 0 },
+            owner: Id(2),
+            insert_time: 4,
+            select: vec![],
+        });
+        p.extra_subscribers.push(Subscriber {
+            id: QueryId { owner: Id(3), seq: 0 },
+            owner: Id(3),
+            insert_time: 25,
+            select: vec![],
+        });
+        assert_eq!(p.subscriber_count(), 3);
+        assert_eq!(p.min_insert_time(), 4);
+        // Children never inherit extras implicitly.
+        let child = p.child(parse_query("SELECT 5, S.B FROM S WHERE S.A = 5").unwrap(), Some(1));
+        assert!(child.extra_subscribers.is_empty());
     }
 
     #[test]

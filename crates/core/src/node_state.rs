@@ -2,10 +2,12 @@
 
 use crate::dedup::DedupFilter;
 use crate::messages::{PendingQuery, RicInfo};
+use crate::shared::SubJoinRegistry;
 use crate::RicTracker;
 use rjoin_dht::{HashedKey, Id, RingMap};
+use rjoin_metrics::SharingCounters;
 use rjoin_net::SimTime;
-use rjoin_query::IndexLevel;
+use rjoin_query::{fingerprint, subjoin_signature, Fingerprint, IndexLevel};
 use rjoin_relation::{Timestamp, Tuple};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -21,13 +23,16 @@ pub struct StoredQuery {
     pub level: IndexLevel,
     /// Duplicate-elimination filter, present for `SELECT DISTINCT` queries.
     pub dedup: Option<DedupFilter>,
+    /// The sub-join fingerprint, computed when the entry was stored through
+    /// the shared path (`None` for unshared or `DISTINCT` entries).
+    pub(crate) fingerprint: Option<Fingerprint>,
 }
 
 impl StoredQuery {
     /// Wraps a pending query for local storage.
     pub fn new(pending: PendingQuery, key: HashedKey, level: IndexLevel) -> Self {
         let dedup = if pending.query.distinct() { Some(DedupFilter::new()) } else { None };
-        StoredQuery { pending, key, level, dedup }
+        StoredQuery { pending, key, level, dedup, fingerprint: None }
     }
 }
 
@@ -69,12 +74,49 @@ pub struct NodeState {
     pub(crate) candidate_table: RingMap<RicEntry>,
     /// Tracker of tuple arrivals used to answer RIC requests.
     pub(crate) ric: RicTracker,
+    /// Sub-join registry: index from canonical sub-join identity to the
+    /// stored entry sharing it (see [`crate::SubJoinRegistry`]).
+    pub(crate) subjoins: SubJoinRegistry,
+    /// Counters of the work the sub-join registry saved on this node.
+    pub(crate) sharing: SharingCounters,
     /// Incremental count of stored queries (input + rewritten).
     query_count: usize,
     /// Incremental count of stored *rewritten* queries.
     rewritten_count: usize,
     /// Incremental count of stored value-level tuples.
     tuple_count: usize,
+}
+
+/// One drained ALTT bucket: the key ring id and its retained
+/// `(tuple, expiry)` entries.
+pub type DrainedAlttBucket = (u64, VecDeque<(Arc<Tuple>, SimTime)>);
+
+/// Node state drained for re-homing during churn: the buckets a node no
+/// longer owns (or all of them, when the node leaves), ready to be absorbed
+/// by the nodes now responsible for the keys.
+#[derive(Debug, Default)]
+pub struct DrainedState {
+    /// Stored queries (each carries its interned key, so the new owner can
+    /// be resolved from `key.id()`).
+    pub queries: Vec<StoredQuery>,
+    /// Value-level tuple buckets, by key ring id.
+    pub tuples: Vec<(u64, Vec<Arc<Tuple>>)>,
+    /// ALTT buckets (tuple + expiry time), by key ring id.
+    pub altt: Vec<DrainedAlttBucket>,
+}
+
+impl DrainedState {
+    /// Total number of drained items (queries + tuples + ALTT entries).
+    pub fn len(&self) -> usize {
+        self.queries.len()
+            + self.tuples.iter().map(|(_, b)| b.len()).sum::<usize>()
+            + self.altt.iter().map(|(_, b)| b.len()).sum::<usize>()
+    }
+
+    /// Whether nothing was drained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 impl NodeState {
@@ -87,6 +129,8 @@ impl NodeState {
             altt: RingMap::default(),
             candidate_table: RingMap::default(),
             ric: RicTracker::new(),
+            subjoins: SubJoinRegistry::new(),
+            sharing: SharingCounters::new(),
             query_count: 0,
             rewritten_count: 0,
             tuple_count: 0,
@@ -98,6 +142,16 @@ impl NodeState {
         &self.ric
     }
 
+    /// Read access to this node's sharing counters.
+    pub fn sharing(&self) -> &SharingCounters {
+        &self.sharing
+    }
+
+    /// Read access to this node's sub-join registry.
+    pub fn subjoins(&self) -> &SubJoinRegistry {
+        &self.subjoins
+    }
+
     /// Stores a query under its key.
     pub fn store_query(&mut self, stored: StoredQuery) {
         self.query_count += 1;
@@ -105,6 +159,59 @@ impl NodeState {
             self.rewritten_count += 1;
         }
         self.stored_queries.entry(stored.key.ring()).or_default().push(stored);
+    }
+
+    /// Stores a query, merging it into a structurally identical entry when
+    /// `share` is enabled (the shared sub-join path of Procedures 2/3).
+    ///
+    /// A merge requires the same index key, the same canonical sub-join
+    /// signature (relations, conjuncts, window, semantics flag — `SELECT`
+    /// abstracted), the same index level and the same window state
+    /// (`start` plus the exact `window_min`/`window_max` span);
+    /// `DISTINCT` queries never merge (their duplicate-elimination filter
+    /// depends on the `SELECT` list). On a merge the incoming query's
+    /// subscribers join the entry's subscriber list and **no** new stored
+    /// copy is created. Returns whether the query was merged.
+    pub fn store_query_shared(&mut self, mut stored: StoredQuery, share: bool) -> bool {
+        if !share || stored.pending.query.distinct() {
+            self.store_query(stored);
+            return false;
+        }
+        let ring = stored.key.ring();
+        let fp = fingerprint(&stored.pending.query);
+        let ws = stored.pending.window_start;
+        let window = (ws, stored.pending.window_min, stored.pending.window_max);
+        if let Some(pos) = self.subjoins.candidate(ring, fp, window) {
+            if let Some(entry) =
+                self.stored_queries.get_mut(&ring).and_then(|bucket| bucket.get_mut(pos))
+            {
+                // A fingerprint hit is only a candidate: confirm structural
+                // equality so a hash collision can never corrupt answers.
+                // The full window state must match too — `window_start`
+                // drives expiry and `window_min`/`window_max` drive the
+                // sliding-window span gate, so twins created by tuples with
+                // different publication times must not share one entry.
+                let mergeable = entry.level == stored.level
+                    && entry.pending.window_start == ws
+                    && entry.pending.window_min == stored.pending.window_min
+                    && entry.pending.window_max == stored.pending.window_max
+                    && !entry.pending.query.distinct()
+                    && subjoin_signature(&entry.pending.query)
+                        == subjoin_signature(&stored.pending.query);
+                if mergeable {
+                    let added = stored.pending.subscriber_count() as u64;
+                    entry.pending.extra_subscribers.push(stored.pending.primary_subscriber());
+                    entry.pending.extra_subscribers.append(&mut stored.pending.extra_subscribers);
+                    self.sharing.merged_queries += added;
+                    return true;
+                }
+            }
+        }
+        stored.fingerprint = Some(fp);
+        let position = self.stored_queries.get(&ring).map_or(0, Vec::len);
+        self.subjoins.register(ring, fp, window, position);
+        self.store_query(stored);
+        false
     }
 
     /// Debits the storage counters after queries were removed directly from
@@ -196,6 +303,62 @@ impl NodeState {
         match validity {
             Some(v) if now.saturating_sub(entry.observed_at) > v => None,
             _ => Some(*entry),
+        }
+    }
+
+    /// Drains every bucket whose key ring id fails `keep` (the node is no
+    /// longer responsible for it after a membership change), adjusting the
+    /// storage counters and the sub-join registry. The drained state is
+    /// returned so the engine can hand it to the new owners.
+    pub fn drain_misplaced(&mut self, mut keep: impl FnMut(u64) -> bool) -> DrainedState {
+        let mut drained = DrainedState::default();
+        let rings: Vec<u64> =
+            self.stored_queries.keys().copied().filter(|r| !keep(*r)).collect();
+        for ring in rings {
+            let bucket = self.stored_queries.remove(&ring).expect("ring collected above");
+            let rewritten = bucket.iter().filter(|s| !s.pending.is_input()).count();
+            self.debit_removed_queries(bucket.len(), rewritten);
+            self.subjoins.forget_ring(ring);
+            drained.queries.extend(bucket);
+        }
+        let rings: Vec<u64> = self.stored_tuples.keys().copied().filter(|r| !keep(*r)).collect();
+        for ring in rings {
+            let bucket = self.stored_tuples.remove(&ring).expect("ring collected above");
+            self.tuple_count -= bucket.len();
+            drained.tuples.push((ring, bucket));
+        }
+        let rings: Vec<u64> = self.altt.keys().copied().filter(|r| !keep(*r)).collect();
+        for ring in rings {
+            drained.altt.push((ring, self.altt.remove(&ring).expect("ring collected above")));
+        }
+        drained
+    }
+
+    /// Consumes the node's entire application state (graceful leave: the
+    /// departing node hands everything to its successors).
+    pub fn into_drained(mut self) -> DrainedState {
+        self.drain_misplaced(|_| false)
+    }
+
+    /// Absorbs re-homed state from another node. Queries go through the
+    /// shared path when `share` is enabled, so structurally identical
+    /// entries re-merge at their new home.
+    pub fn absorb(&mut self, drained: DrainedState, share: bool) {
+        for mut stored in drained.queries {
+            // The fingerprint slot is tied to the previous bucket position;
+            // the shared path recomputes and re-registers it here.
+            stored.fingerprint = None;
+            self.store_query_shared(stored, share);
+        }
+        for (ring, bucket) in drained.tuples {
+            for tuple in bucket {
+                self.store_tuple(ring, tuple);
+            }
+        }
+        for (ring, bucket) in drained.altt {
+            for (tuple, expires_at) in bucket {
+                self.altt_insert(ring, tuple, expires_at);
+            }
         }
     }
 
@@ -312,6 +475,145 @@ mod tests {
             state.recount(),
             (state.stored_query_count(), state.stored_rewritten_count(), state.stored_tuple_count())
         );
+    }
+
+    fn input_from(owner: u64, insert_time: u64, sql: &str) -> PendingQuery {
+        PendingQuery::input(
+            QueryId { owner: Id(owner), seq: owner },
+            Id(owner),
+            insert_time,
+            parse_query(sql).unwrap(),
+        )
+    }
+
+    #[test]
+    fn shared_store_merges_identical_subjoins() {
+        let mut state = NodeState::new(Id(7));
+        let k = key("R+A");
+        let a = input_from(1, 0, "SELECT R.A FROM R, S WHERE R.A = S.A");
+        // Same sub-join, different SELECT list and later insertion time.
+        let b = input_from(2, 5, "SELECT S.B, R.C FROM R, S WHERE R.A = S.A");
+        assert!(!state.store_query_shared(StoredQuery::new(a, k.clone(), IndexLevel::Attribute), true));
+        assert!(state.store_query_shared(StoredQuery::new(b, k.clone(), IndexLevel::Attribute), true));
+
+        // One stored copy carrying both subscribers.
+        assert_eq!(state.stored_query_count(), 1);
+        let bucket = state.stored_queries.get(&k.ring()).unwrap();
+        assert_eq!(bucket.len(), 1);
+        assert_eq!(bucket[0].pending.subscriber_count(), 2);
+        assert_eq!(bucket[0].pending.min_insert_time(), 0);
+        assert_eq!(bucket[0].pending.extra_subscribers[0].insert_time, 5);
+        assert_eq!(state.sharing().merged_queries, 1);
+        assert_eq!(state.subjoins().len(), 1);
+    }
+
+    #[test]
+    fn shared_store_respects_structure_window_start_and_distinct() {
+        let mut state = NodeState::new(Id(7));
+        let k = key("R+A");
+        let base = input_from(1, 0, "SELECT R.A FROM R, S WHERE R.A = S.A");
+        assert!(!state.store_query_shared(StoredQuery::new(base, k.clone(), IndexLevel::Attribute), true));
+
+        // Different WHERE: no merge.
+        let other = input_from(2, 0, "SELECT R.A FROM R, S WHERE R.B = S.A");
+        assert!(!state.store_query_shared(StoredQuery::new(other, k.clone(), IndexLevel::Attribute), true));
+        // DISTINCT: never merged, even with identical structure.
+        let distinct = input_from(3, 0, "SELECT DISTINCT R.A FROM R, S WHERE R.A = S.A");
+        assert!(!state.store_query_shared(StoredQuery::new(distinct, k.clone(), IndexLevel::Attribute), true));
+        // Different window start: no merge (expiry would diverge).
+        let rewritten_a = input_from(4, 0, "SELECT R.A, S.B FROM R, S, J WHERE R.A = S.A AND S.B = J.B")
+            .child(parse_query("SELECT R.A, 9 FROM R, S WHERE R.A = S.A").unwrap(), Some(3));
+        let rewritten_b = input_from(5, 0, "SELECT R.A, S.B FROM R, S, J WHERE R.A = S.A AND S.B = J.B")
+            .child(parse_query("SELECT R.A, 8 FROM R, S WHERE R.A = S.A").unwrap(), Some(4));
+        assert!(!state.store_query_shared(StoredQuery::new(rewritten_a, k.clone(), IndexLevel::Value), true));
+        assert!(!state.store_query_shared(StoredQuery::new(rewritten_b, k.clone(), IndexLevel::Value), true));
+        // With sharing disabled nothing ever merges.
+        let twin = input_from(6, 0, "SELECT S.B FROM R, S WHERE R.A = S.A");
+        assert!(!state.store_query_shared(StoredQuery::new(twin, k.clone(), IndexLevel::Attribute), false));
+
+        assert_eq!(state.stored_query_count(), 6);
+        assert_eq!(state.sharing().merged_queries, 0);
+    }
+
+    /// Regression: two rewritten twins with the same `window_start` but
+    /// different contribution spans must not merge — the shared entry's
+    /// sliding-window span gate would apply one twin's `[min, max]` to the
+    /// other, losing (or wrongly admitting) answers.
+    #[test]
+    fn shared_store_requires_equal_window_span() {
+        let mut state = NodeState::new(Id(7));
+        let k = key("J+B+i:3");
+        let input = input_from(
+            1,
+            0,
+            "SELECT R.B, J.A FROM R, S, J WHERE R.A = S.A AND S.B = J.B WINDOW SLIDING 8 TUPLES",
+        );
+        let rewritten = |pub_time: u64| {
+            let mut child = input.child(
+                parse_query("SELECT 9, J.A FROM J WHERE J.B = 3 WINDOW SLIDING 8 TUPLES").unwrap(),
+                Some(10),
+            );
+            child.note_contribution(pub_time);
+            child.note_contribution(10);
+            child
+        };
+        // Same structure, same window_start (10), but spans [5,10] vs [9,10].
+        let g1 = rewritten(5);
+        let g2 = rewritten(9);
+        assert!(!state.store_query_shared(StoredQuery::new(g1, k.clone(), IndexLevel::Value), true));
+        assert!(
+            !state.store_query_shared(StoredQuery::new(g2, k.clone(), IndexLevel::Value), true),
+            "different contribution spans must not share one entry"
+        );
+        assert_eq!(state.stored_query_count(), 2);
+        // An exact twin (same span) still merges.
+        let g3 = rewritten(9);
+        assert!(state.store_query_shared(StoredQuery::new(g3, k.clone(), IndexLevel::Value), true));
+        assert_eq!(state.stored_query_count(), 2);
+    }
+
+    #[test]
+    fn drain_and_absorb_keep_counters_consistent() {
+        let mut donor = NodeState::new(Id(1));
+        let k_q = key("R+A");
+        let k_t = key("S+B+i:2");
+        donor.store_query_shared(
+            StoredQuery::new(input_from(1, 0, "SELECT R.A FROM R, S WHERE R.A = S.A"), k_q.clone(), IndexLevel::Attribute),
+            true,
+        );
+        donor.store_query_shared(
+            StoredQuery::new(input_from(2, 1, "SELECT R.B FROM R, S WHERE R.A = S.A"), k_q.clone(), IndexLevel::Attribute),
+            true,
+        );
+        donor.store_tuple(k_t.ring(), tuple(3));
+        donor.altt_insert(k_q.ring(), tuple(4), 99);
+
+        // Drain only the tuple bucket first (simulating partial re-homing).
+        let keep_ring = k_q.ring();
+        let partial = donor.drain_misplaced(|ring| ring == keep_ring);
+        assert_eq!(partial.tuples.len(), 1);
+        assert_eq!(donor.stored_tuple_count(), 0);
+        assert_eq!(donor.stored_query_count(), 1, "shared entry counts once");
+
+        // Now everything.
+        let rest = donor.into_drained();
+        assert_eq!(rest.queries.len(), 1);
+        assert_eq!(rest.queries[0].pending.subscriber_count(), 2);
+        assert_eq!(rest.altt.len(), 1);
+
+        let mut receiver = NodeState::new(Id(2));
+        receiver.absorb(partial, true);
+        receiver.absorb(rest, true);
+        assert_eq!(receiver.stored_query_count(), 1);
+        assert_eq!(receiver.stored_tuple_count(), 1);
+        assert_eq!(receiver.altt_len(), 1);
+        assert_eq!(receiver.current_storage_load(), 1);
+        // The re-homed shared entry is registered again: a structurally
+        // identical newcomer merges into it at the new home.
+        let late = input_from(9, 2, "SELECT S.A FROM R, S WHERE R.A = S.A");
+        assert!(receiver
+            .store_query_shared(StoredQuery::new(late, k_q.clone(), IndexLevel::Attribute), true));
+        assert_eq!(receiver.stored_query_count(), 1);
     }
 
     #[test]

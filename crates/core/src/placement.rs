@@ -21,6 +21,13 @@ use rjoin_query::IndexKey;
 /// * [`PlacementStrategy::Random`] — uniform random;
 /// * [`PlacementStrategy::FirstInClause`] — always the first candidate.
 ///
+/// The randomized tie-break also matters for shared sub-join evaluation: a
+/// deterministic "first candidate" rule was tried for co-locating
+/// structurally identical queries, but collapsing every twin onto one
+/// placement path loses answers at scale (all subscribers explore the same
+/// single continuation instead of an ensemble), so sharing relies on the
+/// natural collisions at rewrite sites instead.
+///
 /// # Panics
 /// Panics if `candidates` is empty or the slices have different lengths.
 pub fn choose_candidate(

@@ -8,12 +8,12 @@
 //! paper.
 
 use crate::config::EngineConfig;
-use crate::messages::{PendingQuery, QueryId};
+use crate::messages::{PendingQuery, QueryId, Subscriber};
 use crate::node_state::{NodeState, StoredQuery};
 use rjoin_dht::HashedKey;
 use rjoin_net::SimTime;
-use rjoin_query::{rewrite, IndexLevel, RewriteResult};
-use rjoin_relation::{Catalog, Timestamp, Tuple, Value};
+use rjoin_query::{resolve_select_items, rewrite, IndexLevel, RewriteResult, SelectItem};
+use rjoin_relation::{Catalog, Schema, Timestamp, Tuple, Value};
 use std::sync::Arc;
 
 /// An outgoing action produced by a local handler.
@@ -53,8 +53,79 @@ enum TriggerOutcome {
     Expired,
     /// The tuple did not trigger the query (mismatch, dedup or time filter).
     NotTriggered,
-    /// The tuple triggered the query, producing an action.
-    Triggered(Action),
+    /// The tuple triggered the query. Unshared entries produce exactly one
+    /// action; shared entries can fan a completion out into one answer per
+    /// subscriber.
+    Triggered(Vec<Action>),
+}
+
+/// Resolves a subscriber's `SELECT` continuation with the completing tuple
+/// and extracts the answer row. Returns `None` if any item is still
+/// unresolved, which cannot happen for subscribers merged on an identical
+/// sub-join structure (defensive: an unresolved item must not produce a
+/// malformed answer).
+fn subscriber_row(select: &[SelectItem], tuple: &Tuple, schema: &Schema) -> Option<Vec<Value>> {
+    let resolved = resolve_select_items(select, tuple, schema).ok()?;
+    resolved
+        .into_iter()
+        .map(|item| match item {
+            SelectItem::Const(v) => Some(v),
+            SelectItem::Attr(_) => None,
+        })
+        .collect()
+}
+
+/// Builds the rewritten descendant of a (possibly shared) triggered query.
+///
+/// Subscribers only ride on the child if the triggering tuple was published
+/// at or after their own insertion time, and their `SELECT` continuations
+/// are resolved with the tuple in lockstep with the shared `WHERE` rewrite.
+/// When the primary subscriber itself is ineligible, the first eligible
+/// extra subscriber is promoted to primary (its resolved `SELECT` list
+/// becomes the representative one). Returns `None` when no subscriber is
+/// eligible.
+fn shared_child(
+    pending: &PendingQuery,
+    rewritten: rjoin_query::JoinQuery,
+    new_start: Option<Timestamp>,
+    tuple: &Tuple,
+    schema: &Schema,
+) -> Option<PendingQuery> {
+    let eligible_extras: Vec<Subscriber> = pending
+        .extra_subscribers
+        .iter()
+        .filter(|s| tuple.pub_time() >= s.insert_time)
+        .filter_map(|s| {
+            Some(Subscriber {
+                id: s.id,
+                owner: s.owner,
+                insert_time: s.insert_time,
+                select: resolve_select_items(&s.select, tuple, schema).ok()?,
+            })
+        })
+        .collect();
+    let mut child = if tuple.pub_time() >= pending.insert_time {
+        let mut child = pending.child(rewritten, new_start);
+        child.extra_subscribers = eligible_extras;
+        child
+    } else {
+        let mut extras = eligible_extras.into_iter();
+        let promoted = extras.next()?;
+        let query = rewritten.with_select(promoted.select).ok()?;
+        PendingQuery {
+            id: promoted.id,
+            owner: promoted.owner,
+            insert_time: promoted.insert_time,
+            original_joins: pending.original_joins,
+            window_start: new_start,
+            window_min: pending.window_min,
+            window_max: pending.window_max,
+            query,
+            extra_subscribers: extras.collect(),
+        }
+    };
+    child.note_contribution(tuple.pub_time());
+    Some(child)
 }
 
 /// Applies one tuple to one stored query following the trigger rules:
@@ -64,6 +135,9 @@ enum TriggerOutcome {
 /// `start_rule` computes the `start` parameter of the produced rewritten
 /// query from the stored query's own `start` and the tuple's publication
 /// time (the rule differs between Procedure 2 and Procedure 3).
+///
+/// For shared entries (subscriber count > 1) the `WHERE` clause is rewritten
+/// **once**; eligibility and `SELECT` resolution are applied per subscriber.
 fn try_trigger(
     stored: &mut StoredQuery,
     tuple: &Tuple,
@@ -71,8 +145,10 @@ fn try_trigger(
     start_rule: impl Fn(Option<Timestamp>, Timestamp) -> Option<Timestamp>,
 ) -> TriggerOutcome {
     let pending = &stored.pending;
-    // Only tuples published at or after the query's submission count.
-    if tuple.pub_time() < pending.insert_time {
+    // Only tuples published at or after the submission of at least one
+    // subscriber can trigger (per-subscriber eligibility is re-checked when
+    // answers or children are produced).
+    if tuple.pub_time() < pending.min_insert_time() {
         return TriggerOutcome::NotTriggered;
     }
     // Window validity (Section 5): a rewritten query whose window has been
@@ -84,28 +160,81 @@ fn try_trigger(
                 return TriggerOutcome::Expired;
             }
         }
+        // Exact sliding-window span: the paper's pairwise `|start - now|`
+        // test misses combinations that pick up an *older* stored/ALTT tuple
+        // late, so additionally require the whole contribution span
+        // `[window_min, window_max] ∪ {now}` to fit one window. (Tumbling
+        // buckets are transitive, so the pairwise test is already exact for
+        // them.) The entry itself stays stored: other tuples may still fit.
+        if matches!(window, rjoin_query::WindowSpec::Sliding { .. }) {
+            if let (Some(min), Some(max)) = (pending.window_min, pending.window_max) {
+                let p = tuple.pub_time();
+                if !window.within(min.min(p), max.max(p)) {
+                    return TriggerOutcome::NotTriggered;
+                }
+            }
+        }
     }
     let Ok(schema) = ctx.catalog.require_schema(tuple.relation()) else {
         return TriggerOutcome::NotTriggered;
     };
-    // Duplicate elimination for DISTINCT queries.
+    // Duplicate elimination for DISTINCT queries (never shared, so the
+    // projection is always the single subscriber's).
     if let Some(dedup) = stored.dedup.as_mut() {
         if !dedup.admit(&pending.query, tuple, schema) {
             return TriggerOutcome::NotTriggered;
         }
     }
     match rewrite(&pending.query, tuple, schema) {
-        Ok(RewriteResult::Complete(row)) => TriggerOutcome::Triggered(Action::DeliverAnswer {
-            query: pending.id,
-            owner: pending.owner,
-            row,
-        }),
+        Ok(RewriteResult::Complete(row)) => {
+            let mut actions = Vec::with_capacity(pending.subscriber_count());
+            if tuple.pub_time() >= pending.insert_time {
+                actions.push(Action::DeliverAnswer {
+                    query: pending.id,
+                    owner: pending.owner,
+                    row,
+                });
+            }
+            for sub in &pending.extra_subscribers {
+                if tuple.pub_time() < sub.insert_time {
+                    continue;
+                }
+                if let Some(row) = subscriber_row(&sub.select, tuple, schema) {
+                    actions.push(Action::DeliverAnswer { query: sub.id, owner: sub.owner, row });
+                }
+            }
+            if actions.is_empty() {
+                TriggerOutcome::NotTriggered
+            } else {
+                TriggerOutcome::Triggered(actions)
+            }
+        }
         Ok(RewriteResult::Partial(q1)) => {
             let new_start = start_rule(pending.window_start, tuple.pub_time());
-            let child = pending.child(q1, new_start);
-            TriggerOutcome::Triggered(Action::Reindex { pending: child })
+            match shared_child(pending, q1, new_start, tuple, schema) {
+                Some(child) => TriggerOutcome::Triggered(vec![Action::Reindex { pending: child }]),
+                None => TriggerOutcome::NotTriggered,
+            }
         }
         Ok(RewriteResult::Mismatch) | Err(_) => TriggerOutcome::NotTriggered,
+    }
+}
+
+/// Books the savings a shared trigger realized into the node's counters:
+/// each extra subscriber riding on a re-indexed child is one `Eval` message
+/// that was not sent, and each answer delivered to a non-primary subscriber
+/// is a fanned-out answer.
+fn record_sharing(state: &mut NodeState, primary: QueryId, actions: &[Action]) {
+    for action in actions {
+        match action {
+            Action::Reindex { pending } => {
+                state.sharing.evals_saved += pending.extra_subscribers.len() as u64;
+            }
+            Action::DeliverAnswer { query, .. } if *query != primary => {
+                state.sharing.fanout_answers += 1;
+            }
+            Action::DeliverAnswer { .. } => {}
+        }
     }
 }
 
@@ -128,6 +257,7 @@ pub fn handle_new_tuple(
     let mut actions = Vec::new();
     let mut removed = 0usize;
     let mut removed_rewritten = 0usize;
+    let mut sharing: Vec<(QueryId, usize, usize)> = Vec::new();
     if let Some(stored_list) = state.stored_queries.get_mut(&ring) {
         let mut idx = 0;
         while idx < stored_list.len() {
@@ -152,8 +282,13 @@ pub fn handle_new_tuple(
                     }
                     // do not advance idx: swap_remove moved a new element here
                 }
-                TriggerOutcome::Triggered(action) => {
-                    actions.push(action);
+                TriggerOutcome::Triggered(mut produced) => {
+                    sharing.push((
+                        stored_list[idx].pending.id,
+                        actions.len(),
+                        produced.len(),
+                    ));
+                    actions.append(&mut produced);
                     idx += 1;
                 }
                 TriggerOutcome::NotTriggered => {
@@ -163,10 +298,21 @@ pub fn handle_new_tuple(
         }
         if stored_list.is_empty() {
             state.stored_queries.remove(&ring);
+            state.subjoins.forget_ring(ring);
+        } else if removed > 0 {
+            // `swap_remove` shuffled bucket positions: re-point the sub-join
+            // registry so future arrivals keep merging into live entries.
+            let (bucket, subjoins) = (&state.stored_queries, &mut state.subjoins);
+            if let Some(bucket) = bucket.get(&ring) {
+                subjoins.reindex_bucket(ring, bucket);
+            }
         }
     }
     if removed > 0 {
         state.debit_removed_queries(removed, removed_rewritten);
+    }
+    for (primary, start, len) in sharing {
+        record_sharing(state, primary, &actions[start..start + len]);
     }
 
     match level {
@@ -209,7 +355,7 @@ fn handle_query_arrival(
     let mut already_here: Vec<Arc<Tuple>> =
         state.stored_tuples.get(&ring).cloned().unwrap_or_default();
     if ctx.config.altt_delta.is_some() {
-        already_here.extend(state.altt_matching(ring, ctx.now, stored.pending.insert_time));
+        already_here.extend(state.altt_matching(ring, ctx.now, stored.pending.min_insert_time()));
     }
 
     for tuple in &already_here {
@@ -223,14 +369,19 @@ fn handle_query_arrival(
                 Some(existing) => Some(existing.max(pub_time)),
             }
         });
-        if let TriggerOutcome::Triggered(action) = outcome {
-            actions.push(action);
+        if let TriggerOutcome::Triggered(mut produced) = outcome {
+            record_sharing(state, stored.pending.id, &produced);
+            actions.append(&mut produced);
         }
         // A stored tuple outside the window simply does not trigger; the
         // query itself stays, waiting for newer tuples.
     }
 
-    state.store_query(stored);
+    // Stored for future tuples — merged into a structurally identical entry
+    // instead when the shared sub-join path is enabled and a twin exists.
+    // The arrival matching above always runs for the newcomer alone: the
+    // twin already consumed the stored tuples for its own subscribers.
+    state.store_query_shared(stored, ctx.config.share_subjoins);
     actions
 }
 
@@ -494,6 +645,74 @@ mod tests {
         }
     }
 
+    /// Regression for the exact sliding-window span: a combination that
+    /// picks up an *older* stored tuple late passes the paper's pairwise
+    /// `|start - now|` test (start follows the max under Procedure 3) but
+    /// its true span already exceeds the window — it must not trigger.
+    #[test]
+    fn sliding_window_span_counts_oldest_contribution() {
+        let catalog = catalog();
+        let config = config();
+        let mut state = NodeState::new(Id(1));
+        let skey = IndexKey::value("S", "A", Value::from(7));
+        // A stored S tuple published at 5.
+        handle_new_tuple(
+            &mut state,
+            &ctx(&catalog, &config, 5),
+            &tuple("S", [7, 3, 0], 5),
+            &skey.hashed(),
+            IndexLevel::Value,
+        );
+        // A rewritten query created by an R tuple published at 10 (window 8).
+        let input = pending(
+            "SELECT R.B, J.A FROM R, S, J WHERE R.A = S.A AND S.B = J.B WINDOW SLIDING 8 TUPLES",
+            0,
+        );
+        let mut rewritten = input.child(
+            parse_query(
+                "SELECT 9, J.A FROM S, J WHERE S.A = 7 AND S.B = J.B WINDOW SLIDING 8 TUPLES",
+            )
+            .unwrap(),
+            Some(10),
+        );
+        rewritten.note_contribution(10);
+        // Procedure 3 picks up the stored tuple: start = max(10, 5) = 10,
+        // but the true span is now [5, 10].
+        let actions =
+            handle_eval(&mut state, &ctx(&catalog, &config, 11), rewritten, &skey.hashed(), skey.level());
+        assert_eq!(actions.len(), 1);
+        let child = match &actions[0] {
+            Action::Reindex { pending } => pending.clone(),
+            other => panic!("unexpected action {other:?}"),
+        };
+        assert_eq!(child.window_start, Some(10), "paper rule: start = max(start, pubT)");
+        assert_eq!((child.window_min, child.window_max), (Some(5), Some(10)));
+
+        // A J tuple published at 13: pairwise |10 - 13| + 1 = 4 <= 8 passes,
+        // but the combination's span [5, 13] = 9 exceeds the window.
+        let jkey = IndexKey::value("J", "B", Value::from(3));
+        let mut state2 = NodeState::new(Id(2));
+        handle_eval(&mut state2, &ctx(&catalog, &config, 12), child, &jkey.hashed(), jkey.level());
+        let actions = handle_new_tuple(
+            &mut state2,
+            &ctx(&catalog, &config, 13),
+            &tuple("J", [1, 3, 0], 13),
+            &jkey.hashed(),
+            IndexLevel::Value,
+        );
+        assert!(actions.is_empty(), "a combination spanning more than the window must not fire");
+        // The entry is *not* expired: a J tuple inside the span still fires.
+        assert_eq!(state2.stored_rewritten_count(), 1);
+        let actions = handle_new_tuple(
+            &mut state2,
+            &ctx(&catalog, &config, 14),
+            &tuple("J", [2, 3, 0], 12),
+            &jkey.hashed(),
+            IndexLevel::Value,
+        );
+        assert_eq!(actions.len(), 1, "a within-span tuple must still complete the join");
+    }
+
     #[test]
     fn distinct_query_not_triggered_twice_by_same_projection() {
         let catalog = catalog();
@@ -564,6 +783,170 @@ mod tests {
         let p = pending("SELECT R.B, S.B FROM R, S WHERE R.A = S.A", 2);
         let actions = handle_index_query(&mut state, &ctx(&catalog, &config, 9), p, &key.hashed(), key.level());
         assert!(actions.is_empty(), "base algorithm discards attribute-level tuples");
+    }
+
+    fn shared_config() -> EngineConfig {
+        EngineConfig::default().with_shared_subjoins()
+    }
+
+    fn pending_from(owner: u64, sql: &str, insert_time: u64) -> PendingQuery {
+        PendingQuery::input(
+            QueryId { owner: Id(owner), seq: owner },
+            Id(owner),
+            insert_time,
+            parse_query(sql).unwrap(),
+        )
+    }
+
+    /// Two overlapping input queries merge at the node; a triggering tuple
+    /// rewrites the shared entry once and the single produced `Eval` carries
+    /// both subscribers with their SELECT continuations resolved in
+    /// lockstep.
+    #[test]
+    fn shared_entry_reindexes_once_with_subscribers() {
+        let catalog = catalog();
+        let config = shared_config();
+        let mut state = NodeState::new(Id(1));
+        let key = IndexKey::attribute("R", "A");
+        let a = pending_from(10, "SELECT R.B, S.B FROM R, S WHERE R.A = S.A", 0);
+        let b = pending_from(20, "SELECT S.C, R.C FROM R, S WHERE R.A = S.A", 0);
+        handle_index_query(&mut state, &ctx(&catalog, &config, 0), a, &key.hashed(), key.level());
+        handle_index_query(&mut state, &ctx(&catalog, &config, 1), b, &key.hashed(), key.level());
+        assert_eq!(state.stored_query_count(), 1, "the twin must merge, not stack");
+
+        let actions = handle_new_tuple(
+            &mut state,
+            &ctx(&catalog, &config, 5),
+            &tuple("R", [7, 9, 2], 5),
+            &key.hashed(),
+            IndexLevel::Attribute,
+        );
+        // One rewrite, one re-index — not one per input query.
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            Action::Reindex { pending } => {
+                assert_eq!(pending.subscriber_count(), 2);
+                assert_eq!(pending.id, QueryId { owner: Id(10), seq: 10 });
+                // Primary SELECT: R.B resolved to 9.
+                assert_eq!(pending.query.select()[0], rjoin_query::SelectItem::Const(Value::from(9)));
+                // Subscriber continuation: S.C untouched, R.C resolved to 2.
+                let sub = &pending.extra_subscribers[0];
+                assert_eq!(sub.id, QueryId { owner: Id(20), seq: 20 });
+                assert_eq!(sub.select[1], rjoin_query::SelectItem::Const(Value::from(2)));
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+        assert_eq!(state.sharing().evals_saved, 1);
+    }
+
+    /// A completing tuple fans one answer out to every subscriber, each with
+    /// its own resolved SELECT row.
+    #[test]
+    fn shared_completion_fans_out_per_subscriber() {
+        let catalog = catalog();
+        let config = shared_config();
+        let mut state = NodeState::new(Id(1));
+        let key = IndexKey::attribute("S", "A");
+        let a = pending_from(10, "SELECT S.B FROM S, R WHERE S.A = R.A", 0);
+        let b = pending_from(20, "SELECT S.C, S.B FROM S, R WHERE S.A = R.A", 0);
+        handle_index_query(&mut state, &ctx(&catalog, &config, 0), a, &key.hashed(), key.level());
+        handle_index_query(&mut state, &ctx(&catalog, &config, 0), b, &key.hashed(), key.level());
+        assert_eq!(state.stored_query_count(), 1);
+
+        // S arrives: the shared entry rewrites into "... FROM R WHERE R.A=7"
+        // carrying both subscribers.
+        let actions = handle_new_tuple(
+            &mut state,
+            &ctx(&catalog, &config, 2),
+            &tuple("S", [7, 8, 9], 2),
+            &key.hashed(),
+            IndexLevel::Attribute,
+        );
+        assert_eq!(actions.len(), 1);
+        let child = match &actions[0] {
+            Action::Reindex { pending } => pending.clone(),
+            other => panic!("unexpected action {other:?}"),
+        };
+
+        // The child arrives at the value-level node where a matching R tuple
+        // is already stored: both subscribers get their own answer.
+        let vkey = IndexKey::value("R", "A", Value::from(7));
+        let mut state2 = NodeState::new(Id(2));
+        handle_new_tuple(
+            &mut state2,
+            &ctx(&catalog, &config, 3),
+            &tuple("R", [7, 1, 1], 3),
+            &vkey.hashed(),
+            IndexLevel::Value,
+        );
+        let answers = handle_eval(&mut state2, &ctx(&catalog, &config, 4), child, &vkey.hashed(), vkey.level());
+        assert_eq!(answers.len(), 2);
+        match (&answers[0], &answers[1]) {
+            (
+                Action::DeliverAnswer { query: q1, row: r1, owner: o1 },
+                Action::DeliverAnswer { query: q2, row: r2, owner: o2 },
+            ) => {
+                assert_eq!((*q1, o1, r1.clone()), (QueryId { owner: Id(10), seq: 10 }, &Id(10), vec![Value::from(8)]));
+                assert_eq!((*q2, o2, r2.clone()), (QueryId { owner: Id(20), seq: 20 }, &Id(20), vec![Value::from(9), Value::from(8)]));
+            }
+            other => panic!("unexpected actions {other:?}"),
+        }
+        assert_eq!(state2.sharing().fanout_answers, 1);
+    }
+
+    /// A tuple published before the primary subscriber's insertion time but
+    /// after an extra subscriber's still triggers the shared entry: the
+    /// eligible subscriber is promoted to primary on the child.
+    #[test]
+    fn ineligible_primary_is_not_served_but_extras_are() {
+        let catalog = catalog();
+        let config = shared_config();
+        let mut state = NodeState::new(Id(1));
+        let key = IndexKey::attribute("R", "A");
+        // Early subscriber (insert_time 0) merged into a late primary
+        // (insert_time 10): merge order makes the late one primary.
+        let late = pending_from(10, "SELECT R.B, S.B FROM R, S WHERE R.A = S.A", 10);
+        let early = pending_from(20, "SELECT R.C, S.C FROM R, S WHERE R.A = S.A", 0);
+        handle_index_query(&mut state, &ctx(&catalog, &config, 10), late, &key.hashed(), key.level());
+        handle_index_query(&mut state, &ctx(&catalog, &config, 10), early, &key.hashed(), key.level());
+        assert_eq!(state.stored_query_count(), 1);
+
+        // Published at time 5: before the primary's submission, after the
+        // extra subscriber's.
+        let actions = handle_new_tuple(
+            &mut state,
+            &ctx(&catalog, &config, 11),
+            &tuple("R", [7, 9, 2], 5),
+            &key.hashed(),
+            IndexLevel::Attribute,
+        );
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            Action::Reindex { pending } => {
+                assert_eq!(pending.id, QueryId { owner: Id(20), seq: 20 }, "eligible extra promoted");
+                assert_eq!(pending.subscriber_count(), 1, "the ineligible primary must not ride");
+                assert_eq!(pending.insert_time, 0);
+                // The promoted SELECT (R.C, S.C) is the representative one.
+                assert_eq!(pending.query.select()[0], rjoin_query::SelectItem::Const(Value::from(2)));
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    /// DISTINCT queries never share: their dedup projection depends on the
+    /// SELECT list that sharing abstracts away.
+    #[test]
+    fn distinct_queries_are_not_shared() {
+        let catalog = catalog();
+        let config = shared_config();
+        let mut state = NodeState::new(Id(1));
+        let key = IndexKey::attribute("R", "A");
+        let a = pending_from(10, "SELECT DISTINCT R.B, S.B FROM R, S WHERE R.A = S.A", 0);
+        let b = pending_from(20, "SELECT DISTINCT R.C, S.C FROM R, S WHERE R.A = S.A", 0);
+        handle_index_query(&mut state, &ctx(&catalog, &config, 0), a, &key.hashed(), key.level());
+        handle_index_query(&mut state, &ctx(&catalog, &config, 0), b, &key.hashed(), key.level());
+        assert_eq!(state.stored_query_count(), 2);
+        assert_eq!(state.sharing().merged_queries, 0);
     }
 
     #[test]

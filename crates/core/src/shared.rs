@@ -1,0 +1,137 @@
+//! The per-node **sub-join registry**: shared evaluation of structurally
+//! identical (sub-)queries across input queries.
+//!
+//! # Why
+//!
+//! RJoin's incremental rewriting (Procedures 1–3) treats every stored query
+//! independently. When several input queries share the same join structure —
+//! the common case in multi-tenant workloads, and the redundancy targeted by
+//! Dossinger & Michel's *Optimizing Multiple Multi-Way Stream Joins* — a
+//! node ends up storing one copy of the same rewritten sub-query per input
+//! query, and every triggering tuple rewrites and re-indexes each copy
+//! separately: `k` overlapping queries cost `k×` storage, `k×` rewriting
+//! work and `k×` `Eval` messages at every step of the join chain.
+//!
+//! # How
+//!
+//! The registry keys every stored query by its canonical sub-join
+//! fingerprint ([`rjoin_query::fingerprint`]): `FROM` + normalized `WHERE` +
+//! window, with the `SELECT` list abstracted away. When a query arrives at a
+//! node that already stores a structurally identical query under the same
+//! index key and with the same window `start`, the newcomer is **merged**:
+//! its identity, owner, insertion time and `SELECT` list join the entry's
+//! subscriber list ([`crate::Subscriber`]) instead of becoming a second
+//! stored copy. From then on the shared entry is rewritten and re-indexed
+//! **once** per triggering tuple — subscribers' `SELECT` lists are resolved
+//! in lockstep — and when the `WHERE` clause completes, one answer per
+//! subscriber fans back out to each owner.
+//!
+//! # Correctness
+//!
+//! Sharing preserves the unshared semantics exactly:
+//!
+//! * **Insertion-time filter** — the shared entry triggers on the *earliest*
+//!   subscriber insertion time, but a subscriber only rides on a produced
+//!   child (or receives an answer) if the triggering tuple was published at
+//!   or after its own insertion time.
+//! * **Windows** — merging additionally requires identical window state
+//!   (`start` *and* the exact contribution span `window_min`/`window_max`),
+//!   so expiry decisions and sliding-window span gates are identical for
+//!   every subscriber.
+//! * **`DISTINCT`** — set-semantics queries are never merged: their
+//!   duplicate-elimination filter projects on the attributes referenced by
+//!   the `SELECT` list, which sharing abstracts away.
+//! * **Fingerprint collisions** — a fingerprint hit is only a candidate; the
+//!   registry confirms structural equality (`FROM`, `WHERE`, window, flags)
+//!   before merging, so a 64-bit collision can cost a missed merge but never
+//!   a wrong answer.
+//!
+//! The registry itself is an index from `(key ring id, fingerprint, window
+//! state)` to the entry's position in the node's stored-query bucket. It is
+//! validated on every use, so a stale slot (e.g. after a window-expiry
+//! sweep compacted a bucket) degrades to a missed merge, never to a wrong
+//! one; sweeps re-register the bucket to keep hits warm.
+
+use crate::node_state::StoredQuery;
+use rjoin_query::Fingerprint;
+use rjoin_relation::Timestamp;
+use std::collections::HashMap;
+
+/// The window state that must match exactly for two entries to share a
+/// slot: `(window_start, window_min, window_max)` — `start` drives expiry,
+/// the min/max pair drives the sliding-window span gate.
+pub(crate) type WindowState = (Option<Timestamp>, Option<Timestamp>, Option<Timestamp>);
+
+/// The lookup key of one shared slot: the index key's ring identifier, the
+/// sub-join fingerprint and the full window state.
+pub(crate) type SlotKey = (u64, u64, WindowState);
+
+/// Index from sub-join identity to the entry's position in the node's
+/// stored-query bucket for that ring id.
+#[derive(Debug, Clone, Default)]
+pub struct SubJoinRegistry {
+    slots: HashMap<SlotKey, usize>,
+}
+
+impl SubJoinRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered shared slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no slot is registered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The candidate bucket position for a sub-join, if one is registered.
+    /// Callers must validate the entry at that position before merging.
+    pub(crate) fn candidate(
+        &self,
+        ring: u64,
+        fp: Fingerprint,
+        window: WindowState,
+    ) -> Option<usize> {
+        self.slots.get(&(ring, fp.0, window)).copied()
+    }
+
+    /// Registers (or re-points) the slot for a sub-join.
+    pub(crate) fn register(
+        &mut self,
+        ring: u64,
+        fp: Fingerprint,
+        window: WindowState,
+        position: usize,
+    ) {
+        self.slots.insert((ring, fp.0, window), position);
+    }
+
+    /// Drops every slot registered under `ring` (bucket removed or about to
+    /// be re-registered after compaction).
+    pub(crate) fn forget_ring(&mut self, ring: u64) {
+        self.slots.retain(|(r, _, _), _| *r != ring);
+    }
+
+    /// Re-registers every shareable entry of a bucket after its positions
+    /// changed (window-expiry sweeps use `swap_remove`). Entries without a
+    /// computed fingerprint (stored before sharing was enabled, or
+    /// `DISTINCT`) are skipped.
+    pub(crate) fn reindex_bucket(&mut self, ring: u64, bucket: &[StoredQuery]) {
+        self.forget_ring(ring);
+        for (position, entry) in bucket.iter().enumerate() {
+            if let Some(fp) = entry.fingerprint {
+                let window = (
+                    entry.pending.window_start,
+                    entry.pending.window_min,
+                    entry.pending.window_max,
+                );
+                self.register(ring, fp, window, position);
+            }
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! Aggregated statistics of an engine run, in the units the paper reports.
 
-use rjoin_metrics::Distribution;
+use rjoin_metrics::{Distribution, SharingCounters};
 use serde::{Deserialize, Serialize};
 
 /// A snapshot of the metrics the paper's figures are built from.
@@ -35,6 +35,11 @@ pub struct ExperimentStats {
     pub qpl_participants: usize,
     /// Number of nodes with non-zero storage load.
     pub sl_participants: usize,
+    /// Queries (input + rewritten) currently stored across all nodes — one
+    /// shared entry counts once however many subscribers it carries.
+    pub stored_queries_current: u64,
+    /// Cumulative shared sub-join savings (zero when sharing is disabled).
+    pub sharing: SharingCounters,
 }
 
 impl ExperimentStats {
@@ -90,6 +95,8 @@ mod tests {
             answers: 3,
             qpl_participants: 2,
             sl_participants: 10,
+            stored_queries_current: 12,
+            sharing: SharingCounters::default(),
         }
     }
 

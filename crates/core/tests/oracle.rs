@@ -509,6 +509,120 @@ fn three_way_tumbling_window_matches_windowed_oracle() {
     );
 }
 
+/// ALTT under churn (ROADMAP oracle gap): nodes join and leave mid-stream
+/// while windowed queries keep running with the ALTT enabled and
+/// attribute-level placement allowed. Membership changes hand application
+/// state (stored queries, value-level tuples, ALTT entries) to the nodes
+/// that become responsible for the keys, so the engine's answers must still
+/// be exactly the centralized windowed oracle's.
+#[test]
+fn altt_under_churn_matches_windowed_oracle() {
+    let schema = WorkloadSchema::new(4, 3, 6);
+    let catalog = schema.build_catalog();
+    // Attribute-level placement of rewrites is allowed: completeness then
+    // rests on the ALTT (retention far beyond the run length) — exactly the
+    // Section 4 configuration the churn must not break.
+    let config = EngineConfig::default().with_altt(100_000).with_delay(2);
+    let mut engine = RJoinEngine::new(config, catalog.clone(), 20);
+    let origin = engine.node_ids()[0];
+
+    let mut qgen = rjoin_workload::QueryGenerator::new(schema.clone(), 2, 11)
+        .with_window(rjoin_query::WindowSpec::sliding_tuples(30));
+    let queries = qgen.generate_batch(8);
+    let mut qids = Vec::new();
+    for q in &queries {
+        qids.push(engine.submit_query(origin, q.clone()).unwrap());
+    }
+    engine.run_until_quiescent().unwrap();
+
+    let mut tgen = rjoin_workload::TupleGenerator::new(schema.clone(), 0.9, 13);
+    let mut published = Vec::new();
+    let mut moved_total = 0usize;
+    for round in 0..6 {
+        for t in tgen.generate_batch(10, engine.now() + 1) {
+            engine.publish_tuple(origin, t.clone()).unwrap();
+            published.push(t);
+        }
+        engine.run_until_quiescent().unwrap();
+
+        // Churn between bursts: one node joins, one (never the query owner,
+        // never the newcomer) leaves gracefully, handing its state over.
+        let added = engine.join_node(&format!("churn-oracle-{round}")).unwrap();
+        let victim = engine
+            .node_ids()
+            .iter()
+            .copied()
+            .find(|id| *id != origin && *id != added)
+            .expect("the ring always keeps more than two nodes");
+        moved_total += engine.leave_node(victim).unwrap();
+        engine.run_until_quiescent().unwrap();
+    }
+    assert!(moved_total > 0, "churn must actually re-home application state");
+
+    let mut total = 0usize;
+    for (qid, query) in qids.iter().zip(&queries) {
+        let expected = sorted(windowed_oracle_answers(&catalog, query, 0, &published));
+        let actual = sorted(engine.answers().rows_for(*qid));
+        assert_eq!(
+            actual, expected,
+            "query {qid} diverges from the centralized windowed oracle under churn"
+        );
+        total += expected.len();
+    }
+    assert!(total > 0, "the churn workload must produce answers");
+}
+
+/// The same churn schedule with shared sub-join evaluation enabled on an
+/// overlapping workload: re-homed shared entries must keep fanning answers
+/// out to every subscriber, still matching the oracle exactly.
+#[test]
+fn shared_subjoins_survive_churn() {
+    let schema = WorkloadSchema::new(4, 3, 6);
+    let catalog = schema.build_catalog();
+    let config =
+        EngineConfig::default().with_value_level_rewrites().with_shared_subjoins();
+    let mut engine = RJoinEngine::new(config, catalog.clone(), 20);
+    let origin = engine.node_ids()[0];
+
+    // 12 queries over 3 shared sub-join patterns.
+    let mut qgen = rjoin_workload::QueryGenerator::new(schema.clone(), 2, 21);
+    let queries = qgen.generate_overlapping_batch(12, 3);
+    let mut qids = Vec::new();
+    for q in &queries {
+        qids.push(engine.submit_query(origin, q.clone()).unwrap());
+    }
+    engine.run_until_quiescent().unwrap();
+
+    let mut tgen = rjoin_workload::TupleGenerator::new(schema.clone(), 0.9, 23);
+    let mut published = Vec::new();
+    for round in 0..4 {
+        for t in tgen.generate_batch(12, engine.now() + 1) {
+            engine.publish_tuple(origin, t.clone()).unwrap();
+            published.push(t);
+        }
+        engine.run_until_quiescent().unwrap();
+        let added = engine.join_node(&format!("churn-shared-{round}")).unwrap();
+        let victim = engine
+            .node_ids()
+            .iter()
+            .copied()
+            .find(|id| *id != origin && *id != added)
+            .expect("the ring always keeps more than two nodes");
+        engine.leave_node(victim).unwrap();
+        engine.run_until_quiescent().unwrap();
+    }
+
+    assert!(engine.sharing_counters().any_sharing(), "the overlap must engage sharing");
+    let mut total = 0usize;
+    for (qid, query) in qids.iter().zip(&queries) {
+        let expected = sorted(oracle_answers(&catalog, query, 0, &published));
+        let actual = sorted(engine.answers().rows_for(*qid));
+        assert_eq!(actual, expected, "shared query {qid} diverges from the oracle under churn");
+        total += expected.len();
+    }
+    assert!(total > 0, "the shared churn workload must produce answers");
+}
+
 /// The ALTT extension recovers answers that would otherwise be lost when an
 /// input query is delayed behind a tuple that should trigger it (Example 1 /
 /// Theorem 1).

@@ -16,14 +16,18 @@
 //! * [`Distribution`] — ranked values with summary statistics,
 //! * [`CumulativeSeries`] — a running total sampled per event,
 //! * [`Table`] — a small text/CSV/JSON table used by the benchmark harness
-//!   to print the rows of each figure.
+//!   to print the rows of each figure,
+//! * [`SharingCounters`] — how much indexing/storage work the shared
+//!   sub-join registry saved (multi-query optimization).
 
 mod counters;
 mod distribution;
 mod report;
 mod series;
+mod sharing;
 
 pub use counters::LoadMap;
 pub use distribution::Distribution;
 pub use report::Table;
 pub use series::CumulativeSeries;
+pub use sharing::SharingCounters;

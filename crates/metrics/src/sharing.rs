@@ -1,0 +1,70 @@
+//! Counters for shared sub-join evaluation (multi-query optimization).
+
+use serde::{Deserialize, Serialize};
+
+/// Counters describing how much work the shared sub-join registry saved.
+///
+/// Each node maintains one instance; the engine sums them into the run-level
+/// statistics snapshot. All counters are cumulative over a run:
+///
+/// * `merged_queries` — queries (input or rewritten) that were absorbed into
+///   an existing registry entry instead of being stored as their own copy.
+///   Every merge is one stored query *not* added to the node's storage load.
+/// * `evals_saved` — re-index (`Eval`) messages that were not sent because a
+///   shared trigger produced one rewritten query for all subscribers instead
+///   of one per subscriber: a trigger of an entry carrying `k` extra
+///   subscribers saves `k` messages.
+/// * `fanout_answers` — answers delivered to *extra* subscribers of a shared
+///   entry when its `WHERE` clause completed (the primary subscriber's
+///   answer is accounted as usual).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SharingCounters {
+    /// Queries merged into an existing shared entry instead of stored anew.
+    pub merged_queries: u64,
+    /// `Eval` re-index messages avoided by shared triggers.
+    pub evals_saved: u64,
+    /// Answers produced for non-primary subscribers at completion.
+    pub fanout_answers: u64,
+}
+
+impl SharingCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether sharing ever kicked in.
+    pub fn any_sharing(&self) -> bool {
+        self.merged_queries > 0 || self.evals_saved > 0 || self.fanout_answers > 0
+    }
+
+    /// Adds another instance's counts into this one (per-node → run totals).
+    pub fn merge(&mut self, other: &SharingCounters) {
+        self.merged_queries += other.merged_queries;
+        self.evals_saved += other.evals_saved;
+        self.fanout_answers += other.fanout_answers;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = SharingCounters { merged_queries: 1, evals_saved: 2, fanout_answers: 3 };
+        let b = SharingCounters { merged_queries: 10, evals_saved: 20, fanout_answers: 30 };
+        a.merge(&b);
+        assert_eq!(a, SharingCounters { merged_queries: 11, evals_saved: 22, fanout_answers: 33 });
+        assert!(a.any_sharing());
+        assert!(!SharingCounters::new().any_sharing());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = SharingCounters { merged_queries: 4, evals_saved: 5, fanout_answers: 6 };
+        let v = c.serialize_json();
+        let back = SharingCounters::deserialize_json(&v).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -187,6 +187,26 @@ impl JoinQuery {
         self
     }
 
+    /// Replaces the `SELECT` list, validating that every attribute reference
+    /// belongs to a relation of the `FROM` list. Used by the overlapping
+    /// workload generator (same sub-join, different projections) and by
+    /// shared sub-join evaluation when a subscriber's projection is promoted
+    /// to be the representative one.
+    pub fn with_select(mut self, select: Vec<SelectItem>) -> Result<Self, QueryError> {
+        if select.is_empty() {
+            return Err(QueryError::EmptySelect);
+        }
+        for item in &select {
+            if let SelectItem::Attr(a) = item {
+                if !self.relations.contains(&a.relation) {
+                    return Err(QueryError::UnknownQueryRelation { attr: a.clone() });
+                }
+            }
+        }
+        self.select = select;
+        Ok(self)
+    }
+
     /// Number of equi-join conjuncts remaining in the `WHERE` clause.
     pub fn join_count(&self) -> usize {
         self.conjuncts.iter().filter(|c| matches!(c, Conjunct::JoinEq(..))).count()
@@ -378,6 +398,22 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, QueryError::SelfJoin { .. }));
+    }
+
+    #[test]
+    fn with_select_validates_relations() {
+        let q = three_way();
+        let swapped = q
+            .clone()
+            .with_select(vec![SelectItem::Attr(attr("P", "B")), SelectItem::Const(Value::from(1))])
+            .unwrap();
+        assert_eq!(swapped.select().len(), 2);
+        assert_eq!(swapped.conjuncts(), q.conjuncts());
+        assert!(q.clone().with_select(vec![]).is_err());
+        assert!(matches!(
+            q.with_select(vec![SelectItem::Attr(attr("Z", "A"))]).unwrap_err(),
+            QueryError::UnknownQueryRelation { .. }
+        ));
     }
 
     #[test]

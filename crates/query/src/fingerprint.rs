@@ -1,0 +1,173 @@
+//! Canonical sub-join fingerprints for shared evaluation.
+//!
+//! Multi-query optimization in the style of Dossinger & Michel ("Optimizing
+//! Multiple Multi-Way Stream Joins") shares the evaluation of structurally
+//! identical sub-joins across queries. Two (possibly rewritten) queries can
+//! share evaluation when they agree on everything that drives the rewriting
+//! process — the `FROM` list, the `WHERE` conjuncts, the window declaration
+//! and the bag/set semantics flag — regardless of what each of them
+//! `SELECT`s: the `SELECT` list only determines the final projection, which
+//! each subscriber resolves for itself.
+//!
+//! [`fingerprint`] therefore hashes a *canonical* form of the query that
+//!
+//! * sorts the `FROM` relations,
+//! * normalizes each conjunct (the two sides of an equi-join predicate are
+//!   ordered lexicographically) and sorts the conjunct list,
+//! * includes the window declaration and the `DISTINCT` flag,
+//! * **abstracts the `SELECT` list away entirely**,
+//!
+//! so that identical sub-joins produced by different input queries — or by
+//! the same rewriting step applied to equivalent queries on different nodes —
+//! collide on the same 64-bit fingerprint. The canonical string itself is
+//! available via [`subjoin_signature`] for diagnostics and tests.
+
+use crate::ast::{Conjunct, JoinQuery, QualifiedAttr};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 64-bit digest of a query's sub-join structure (everything except the
+/// `SELECT` list). Equal fingerprints are a fast *candidate* test for
+/// sharing; callers must confirm with a structural comparison before merging
+/// (hash collisions, while astronomically unlikely, must not corrupt
+/// answers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Fingerprint(pub u64);
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+fn push_attr(out: &mut String, attr: &QualifiedAttr) {
+    out.push_str(&attr.relation);
+    out.push('.');
+    out.push_str(&attr.attribute);
+}
+
+/// The canonical string form of a query's sub-join structure. Stable across
+/// conjunct order, join-side order and `SELECT` list differences.
+pub fn subjoin_signature(query: &JoinQuery) -> String {
+    let mut out = String::with_capacity(64);
+    out.push_str(if query.distinct() { "D|" } else { "B|" });
+
+    let mut relations: Vec<&str> = query.relations().iter().map(String::as_str).collect();
+    relations.sort_unstable();
+    for (i, r) in relations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(r);
+    }
+    out.push('|');
+
+    let mut conjuncts: Vec<String> = query
+        .conjuncts()
+        .iter()
+        .map(|c| {
+            let mut s = String::with_capacity(16);
+            match c {
+                Conjunct::JoinEq(a, b) => {
+                    let (first, second) = if (&a.relation, &a.attribute) <= (&b.relation, &b.attribute)
+                    {
+                        (a, b)
+                    } else {
+                        (b, a)
+                    };
+                    s.push_str("j:");
+                    push_attr(&mut s, first);
+                    s.push('=');
+                    push_attr(&mut s, second);
+                }
+                Conjunct::ConstEq(a, v) => {
+                    s.push_str("c:");
+                    push_attr(&mut s, a);
+                    s.push('=');
+                    s.push_str(&v.key_fragment());
+                }
+            }
+            s
+        })
+        .collect();
+    conjuncts.sort_unstable();
+    for (i, c) in conjuncts.iter().enumerate() {
+        if i > 0 {
+            out.push('&');
+        }
+        out.push_str(c);
+    }
+    out.push('|');
+    out.push_str(&query.window().to_string());
+    out
+}
+
+/// Computes the sub-join [`Fingerprint`] of a query: an FNV-1a 64-bit hash
+/// of [`subjoin_signature`]. Deterministic across processes and runs (no
+/// per-process hasher randomness), so fingerprints can travel in messages
+/// and be compared across nodes.
+pub fn fingerprint(query: &JoinQuery) -> Fingerprint {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for byte in subjoin_signature(query).bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    Fingerprint(hash)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+
+    #[test]
+    fn select_list_is_abstracted() {
+        let a = parse_query("SELECT R.A FROM R, S WHERE R.A = S.B").unwrap();
+        let b = parse_query("SELECT S.B, R.C FROM R, S WHERE R.A = S.B").unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        assert_eq!(subjoin_signature(&a), subjoin_signature(&b));
+    }
+
+    #[test]
+    fn conjunct_and_side_order_are_normalized() {
+        let a = parse_query("SELECT R.A FROM R, S, P WHERE R.A = S.B AND S.C = P.C").unwrap();
+        let b = parse_query("SELECT R.A FROM P, S, R WHERE P.C = S.C AND S.B = R.A").unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn different_conjuncts_do_not_collide() {
+        let a = parse_query("SELECT R.A FROM R, S WHERE R.A = S.B").unwrap();
+        let b = parse_query("SELECT R.A FROM R, S WHERE R.A = S.C").unwrap();
+        let c = parse_query("SELECT R.A FROM R, S WHERE R.A = S.B AND R.C = 7").unwrap();
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn window_and_distinct_are_part_of_the_fingerprint() {
+        let plain = parse_query("SELECT R.A FROM R, S WHERE R.A = S.B").unwrap();
+        let windowed =
+            parse_query("SELECT R.A FROM R, S WHERE R.A = S.B WINDOW SLIDING 10 TUPLES").unwrap();
+        let distinct = parse_query("SELECT DISTINCT R.A FROM R, S WHERE R.A = S.B").unwrap();
+        assert_ne!(fingerprint(&plain), fingerprint(&windowed));
+        assert_ne!(fingerprint(&plain), fingerprint(&distinct));
+    }
+
+    #[test]
+    fn const_values_distinguish_type_and_value() {
+        let a = parse_query("SELECT R.A FROM R WHERE R.A = 5").unwrap();
+        let b = parse_query("SELECT R.A FROM R WHERE R.A = '5'").unwrap();
+        let c = parse_query("SELECT R.A FROM R WHERE R.A = 6").unwrap();
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn signature_shape_is_documented() {
+        let q = parse_query("SELECT R.A FROM S, R WHERE S.B = R.A").unwrap();
+        assert_eq!(subjoin_signature(&q), "B|R,S|j:R.A=S.B|WINDOW NONE");
+    }
+}

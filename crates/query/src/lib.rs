@@ -15,7 +15,11 @@
 //! * [`IndexKey`] / [`candidate_keys`] — derivation of the attribute-level
 //!   and value-level DHT keys under which queries and tuples are indexed
 //!   (Sections 3 and 6 of the paper),
-//! * [`WindowSpec`] — sliding/tumbling window declarations (Section 5).
+//! * [`WindowSpec`] — sliding/tumbling window declarations (Section 5),
+//! * [`fingerprint`] / [`subjoin_signature`] — canonical fingerprints of a
+//!   query's sub-join structure (`FROM` + `WHERE` + window, `SELECT`
+//!   abstracted away), the collision test used by shared multi-query
+//!   evaluation.
 //!
 //! # Example
 //!
@@ -39,6 +43,7 @@
 
 mod ast;
 mod error;
+mod fingerprint;
 mod keys;
 mod parser;
 mod rewrite;
@@ -46,7 +51,8 @@ mod window;
 
 pub use ast::{Conjunct, JoinQuery, QualifiedAttr, SelectItem};
 pub use error::QueryError;
+pub use fingerprint::{fingerprint, subjoin_signature, Fingerprint};
 pub use keys::{candidate_keys, tuple_index_keys, IndexKey, IndexLevel};
 pub use parser::parse_query;
-pub use rewrite::{rewrite, RewriteResult};
+pub use rewrite::{resolve_select_items, rewrite, RewriteResult};
 pub use window::{WindowKind, WindowSpec};

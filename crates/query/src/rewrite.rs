@@ -77,7 +77,20 @@ pub fn rewrite(
     for conjunct in query.conjuncts() {
         match conjunct {
             Conjunct::JoinEq(a, b) => {
-                if a.relation == relation {
+                if a.relation == relation && b.relation == relation {
+                    // Both sides belong to the incoming tuple's relation
+                    // (a self-join conjunct such as `R.A = R.B`): the
+                    // conjunct is fully resolvable right now, so evaluate it
+                    // immediately. Emitting a `ConstEq` over `relation` here
+                    // would be residue that can never fire again, because
+                    // `relation` is dropped from the `FROM` list below.
+                    let va = tuple_value(tuple, schema, &a.attribute)?;
+                    let vb = tuple_value(tuple, schema, &b.attribute)?;
+                    if va != vb {
+                        return Ok(RewriteResult::Mismatch);
+                    }
+                    // Satisfied: drop the conjunct.
+                } else if a.relation == relation {
                     let v = tuple_value(tuple, schema, &a.attribute)?;
                     new_conjuncts.push(Conjunct::ConstEq(b.clone(), v.clone()));
                 } else if b.relation == relation {
@@ -102,16 +115,7 @@ pub fn rewrite(
     }
 
     // Resolve SELECT items that refer to the incoming relation.
-    let mut new_select = Vec::with_capacity(query.select().len());
-    for item in query.select() {
-        match item {
-            SelectItem::Attr(a) if a.relation == relation => {
-                let v = tuple_value(tuple, schema, &a.attribute)?;
-                new_select.push(SelectItem::Const(v.clone()));
-            }
-            other => new_select.push(other.clone()),
-        }
-    }
+    let new_select = resolve_select_items(query.select(), tuple, schema)?;
 
     // Drop the relation from the FROM list.
     let new_relations: Vec<String> =
@@ -137,6 +141,32 @@ pub fn rewrite(
     } else {
         Ok(RewriteResult::Partial(rewritten))
     }
+}
+
+/// Resolves every `SELECT` item referring to the tuple's relation to the
+/// constant carried by the tuple, leaving all other items untouched.
+///
+/// This is the `SELECT`-resolution half of [`rewrite`], exposed separately so
+/// shared sub-join evaluation can resolve the *per-subscriber* `SELECT` lists
+/// of a shared query with the same tuple that rewrote the shared `WHERE`
+/// clause once.
+pub fn resolve_select_items(
+    items: &[SelectItem],
+    tuple: &Tuple,
+    schema: &Schema,
+) -> Result<Vec<SelectItem>, QueryError> {
+    let relation = tuple.relation();
+    let mut resolved = Vec::with_capacity(items.len());
+    for item in items {
+        match item {
+            SelectItem::Attr(a) if a.relation == relation => {
+                let v = tuple_value(tuple, schema, &a.attribute)?;
+                resolved.push(SelectItem::Const(v.clone()));
+            }
+            other => resolved.push(other.clone()),
+        }
+    }
+    Ok(resolved)
 }
 
 #[cfg(test)]
@@ -258,6 +288,86 @@ mod tests {
         };
         assert!(q1.distinct());
         assert_eq!(q1.window(), q.window());
+    }
+
+    /// Regression: a conjunct with *both* sides in the incoming tuple's
+    /// relation (`R.A = R.B`) used to fire only the `a` branch, leaving a
+    /// `ConstEq` over the relation being dropped from `FROM` — residue that
+    /// could never be evaluated. Such conjuncts are rejected by
+    /// `JoinQuery::new`, but unchecked construction (deserialization, the
+    /// rewriting engine itself) can carry them, and `rewrite` must evaluate
+    /// them immediately.
+    #[test]
+    fn self_join_conjunct_satisfied_by_tuple_is_dropped() {
+        let q = JoinQuery::from_parts_unchecked(
+            false,
+            vec![SelectItem::Attr(crate::ast::QualifiedAttr::new("S", "B"))],
+            vec!["R".into(), "S".into()],
+            vec![
+                Conjunct::JoinEq(
+                    crate::ast::QualifiedAttr::new("R", "A"),
+                    crate::ast::QualifiedAttr::new("R", "B"),
+                ),
+                Conjunct::JoinEq(
+                    crate::ast::QualifiedAttr::new("R", "C"),
+                    crate::ast::QualifiedAttr::new("S", "C"),
+                ),
+            ],
+            crate::WindowSpec::None,
+        );
+        // R.A == R.B holds (7 == 7): the self-join conjunct is consumed, and
+        // the surviving conjunct mentions only S — no dangling residue.
+        let q1 = match rewrite(&q, &tuple("R", [7, 7, 3]), &schema("R")).unwrap() {
+            RewriteResult::Partial(q1) => q1,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(q1.relations(), &["S".to_string()]);
+        assert!(
+            q1.conjuncts().iter().all(|c| !c.mentions("R")),
+            "no conjunct may reference the dropped relation: {q1}"
+        );
+        assert_eq!(q1.conjuncts().len(), 1);
+    }
+
+    #[test]
+    fn self_join_conjunct_violated_by_tuple_is_a_mismatch() {
+        let q = JoinQuery::from_parts_unchecked(
+            false,
+            vec![SelectItem::Attr(crate::ast::QualifiedAttr::new("S", "B"))],
+            vec!["R".into(), "S".into()],
+            vec![
+                Conjunct::JoinEq(
+                    crate::ast::QualifiedAttr::new("R", "A"),
+                    crate::ast::QualifiedAttr::new("R", "B"),
+                ),
+                Conjunct::JoinEq(
+                    crate::ast::QualifiedAttr::new("R", "C"),
+                    crate::ast::QualifiedAttr::new("S", "C"),
+                ),
+            ],
+            crate::WindowSpec::None,
+        );
+        // R.A != R.B (7 vs 8): the tuple cannot satisfy the query at all.
+        let r = rewrite(&q, &tuple("R", [7, 8, 3]), &schema("R")).unwrap();
+        assert!(r.is_mismatch());
+    }
+
+    #[test]
+    fn resolve_select_items_only_touches_the_tuple_relation() {
+        let items = vec![
+            SelectItem::Attr(crate::ast::QualifiedAttr::new("R", "B")),
+            SelectItem::Attr(crate::ast::QualifiedAttr::new("S", "A")),
+            SelectItem::Const(Value::from(42)),
+        ];
+        let resolved = resolve_select_items(&items, &tuple("R", [1, 2, 3]), &schema("R")).unwrap();
+        assert_eq!(
+            resolved,
+            vec![
+                SelectItem::Const(Value::from(2)),
+                SelectItem::Attr(crate::ast::QualifiedAttr::new("S", "A")),
+                SelectItem::Const(Value::from(42)),
+            ]
+        );
     }
 
     #[test]

@@ -109,6 +109,55 @@ impl QueryGenerator {
     pub fn generate_batch(&mut self, count: usize) -> Vec<JoinQuery> {
         (0..count).map(|_| self.generate()).collect()
     }
+
+    /// Generates `count` queries that share `patterns` distinct sub-join
+    /// structures — the overlap knob of a multi-query workload.
+    ///
+    /// First `patterns` base chain joins are generated; each of the `count`
+    /// output queries then reuses base `i % patterns` (same `FROM`, `WHERE`
+    /// and window — an identical sub-join fingerprint) with a **fresh random
+    /// `SELECT` list**, so the queries are genuinely different continuous
+    /// queries that a shared sub-join registry can nevertheless evaluate
+    /// once. `patterns` is clamped to `count` (more patterns than queries
+    /// degenerates to no overlap).
+    ///
+    /// # Panics
+    /// Panics if `patterns == 0` while `count > 0`.
+    pub fn generate_overlapping_batch(&mut self, count: usize, patterns: usize) -> Vec<JoinQuery> {
+        if count == 0 {
+            return Vec::new();
+        }
+        assert!(patterns > 0, "an overlapping batch needs at least one pattern");
+        let patterns = patterns.min(count);
+        let bases = self.generate_batch(patterns);
+        (0..count)
+            .map(|i| {
+                let base = &bases[i % patterns];
+                let select = self.random_select_for(base);
+                base.clone()
+                    .with_select(select)
+                    .expect("random SELECT lists reference FROM relations only")
+            })
+            .collect()
+    }
+
+    /// A random two-attribute `SELECT` list over the ends of a chain join
+    /// (the same shape [`generate`](Self::generate) produces).
+    fn random_select_for(&mut self, query: &JoinQuery) -> Vec<SelectItem> {
+        let attribute_count = self.schema.attribute_count();
+        let first = query.relations().first().expect("chain joins are non-empty").clone();
+        let last = query.relations().last().expect("chain joins are non-empty").clone();
+        vec![
+            SelectItem::Attr(QualifiedAttr::new(
+                first,
+                self.schema.attribute_name(self.rng.gen_range(0..attribute_count)),
+            )),
+            SelectItem::Attr(QualifiedAttr::new(
+                last,
+                self.schema.attribute_name(self.rng.gen_range(0..attribute_count)),
+            )),
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -173,5 +222,45 @@ mod tests {
     #[should_panic(expected = "distinct relations")]
     fn too_many_joins_for_schema_panics() {
         let _ = QueryGenerator::new(WorkloadSchema::new(3, 3, 10), 5, 0);
+    }
+
+    #[test]
+    fn overlapping_batch_shares_subjoin_structures() {
+        let mut g = QueryGenerator::new(WorkloadSchema::paper_default(), 3, 42);
+        let queries = g.generate_overlapping_batch(24, 4);
+        assert_eq!(queries.len(), 24);
+        // Every query with the same pattern index shares the sub-join
+        // fingerprint of its base...
+        let fps: Vec<_> = queries.iter().map(rjoin_query::fingerprint).collect();
+        for (i, fp) in fps.iter().enumerate() {
+            assert_eq!(fp, &fps[i % 4], "query {i} must share its base pattern");
+        }
+        // ...and the 4 patterns are pairwise distinct.
+        let mut distinct = fps[..4].to_vec();
+        distinct.sort();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 4);
+        // The queries themselves are not all identical: SELECT lists vary.
+        let unique_selects: std::collections::BTreeSet<String> =
+            queries.iter().map(|q| format!("{:?}", q.select())).collect();
+        assert!(unique_selects.len() > 4, "SELECT lists should vary within a pattern");
+        // All stay valid against the catalog.
+        let catalog = WorkloadSchema::paper_default().build_catalog();
+        for q in &queries {
+            q.validate(&catalog).unwrap();
+        }
+    }
+
+    #[test]
+    fn overlapping_batch_edge_cases() {
+        let mut g = QueryGenerator::new(WorkloadSchema::paper_default(), 2, 1);
+        assert!(g.generate_overlapping_batch(0, 3).is_empty());
+        // More patterns than queries degenerates gracefully.
+        let qs = g.generate_overlapping_batch(3, 10);
+        assert_eq!(qs.len(), 3);
+        // Deterministic under the same seed.
+        let mut a = QueryGenerator::new(WorkloadSchema::paper_default(), 3, 7);
+        let mut b = QueryGenerator::new(WorkloadSchema::paper_default(), 3, 7);
+        assert_eq!(a.generate_overlapping_batch(12, 3), b.generate_overlapping_batch(12, 3));
     }
 }

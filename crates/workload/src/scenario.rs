@@ -95,6 +95,15 @@ impl Scenario {
         self.query_generator().generate_batch(self.queries)
     }
 
+    /// Generates this scenario's queries with an **overlap knob**: the
+    /// `queries` continuous queries share `patterns` distinct sub-join
+    /// structures (identical `FROM`/`WHERE`/window, fresh random `SELECT`
+    /// lists). This is the workload that shared sub-join evaluation is
+    /// benchmarked and oracle-tested on.
+    pub fn generate_overlapping_queries(&self, patterns: usize) -> Vec<JoinQuery> {
+        self.query_generator().generate_overlapping_batch(self.queries, patterns)
+    }
+
     /// Generates the full list of tuples for this scenario with publication
     /// times starting at `start_time`.
     pub fn generate_tuples(&self, start_time: u64) -> Vec<Tuple> {
