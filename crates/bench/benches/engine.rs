@@ -25,6 +25,24 @@ fn run(config: EngineConfig, scenario: &Scenario) -> u64 {
     engine.total_qpl()
 }
 
+/// Same workload, drained through `run_until_quiescent_parallel` — the
+/// single global queue for `shards == 1`, the sharded event-queue runtime
+/// otherwise.
+fn run_parallel(config: EngineConfig, scenario: &Scenario) -> u64 {
+    let catalog = scenario.workload_schema().build_catalog();
+    let mut engine = RJoinEngine::new(config, catalog, scenario.nodes);
+    let origins: Vec<_> = engine.node_ids().to_vec();
+    for (i, q) in scenario.generate_queries().into_iter().enumerate() {
+        engine.submit_query(origins[i % origins.len()], q).unwrap();
+    }
+    engine.run_until_quiescent_parallel().unwrap();
+    for (i, t) in scenario.generate_tuples(engine.now() + 1).into_iter().enumerate() {
+        engine.publish_tuple(origins[i % origins.len()], t).unwrap();
+    }
+    engine.run_until_quiescent_parallel().unwrap();
+    engine.total_qpl()
+}
+
 fn bench_placement_strategies(c: &mut Criterion) {
     let scenario = bench_scenario();
     let mut group = c.benchmark_group("placement_strategy");
@@ -71,5 +89,35 @@ fn bench_window_sizes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_placement_strategies, bench_ric_reuse_ablation, bench_window_sizes);
+/// The sharded event-queue runtime on the cascade-heavy standard workload
+/// (3-join chain queries whose rewrites hop Eval/Index chains across the
+/// ring): the single-queue driver versus per-shard clocks at 2/4/8 shards.
+/// On a multicore host the shards run on persistent worker threads; on a
+/// single core the same shard structures are driven cooperatively.
+fn bench_sharding_runtime(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let mut group = c.benchmark_group("sharding_runtime");
+    group.sample_size(10);
+    group.bench_function("single_queue", |b| {
+        b.iter(|| run_parallel(EngineConfig::default(), &scenario))
+    });
+    for shards in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("shards{shards}")),
+            &shards,
+            |b, &shards| {
+                b.iter(|| run_parallel(EngineConfig::default().with_shards(shards), &scenario))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_placement_strategies,
+    bench_ric_reuse_ablation,
+    bench_window_sizes,
+    bench_sharding_runtime
+);
 criterion_main!(benches);

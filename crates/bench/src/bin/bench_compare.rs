@@ -3,14 +3,18 @@
 //! more than a threshold.
 //!
 //! Usage:
-//! `cargo run -p rjoin-bench --bin bench_compare -- BASELINE.json FRESH.json [threshold_pct]`
+//! `cargo run -p rjoin-bench --bin bench_compare -- [BASELINE.json] FRESH.json [threshold_pct]`
 //!
+//! * With a single report argument, the baseline is **auto-discovered**:
+//!   the highest-numbered committed `BENCH_<n>.json` in the current
+//!   directory (so the CI gate keeps working every time a new baseline
+//!   lands, without editing the workflow).
 //! * Prints a per-case table (`old ms/iter`, `new ms/iter`, `Δ%`).
 //! * Cases slower than `threshold_pct` (default 15) are flagged with
 //!   `::warning::` annotations, and a Markdown summary is appended to
 //!   `$GITHUB_STEP_SUMMARY` when that variable is set (the CI job summary).
-//! * Exit code is always 0: quick-mode numbers on shared runners are
-//!   trajectory signals, not a merge gate.
+//! * Exit code is always 0 when reports compare: quick-mode numbers on
+//!   shared runners are trajectory signals, not a merge gate.
 
 use rjoin_bench::{compare_reports, BenchReport};
 
@@ -23,16 +27,58 @@ fn load(path: &str) -> BenchReport {
         .unwrap_or_else(|e| panic!("cannot parse bench report {path}: {e}"))
 }
 
+/// The highest-numbered `BENCH_<n>.json` in the current directory — the
+/// most recent committed baseline.
+fn discover_baseline() -> Option<String> {
+    let mut best: Option<(u64, String)> = None;
+    for entry in std::fs::read_dir(".").ok()? {
+        // Skip unreadable entries rather than aborting the discovery.
+        let Ok(entry) = entry else { continue };
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let Some(number) = name
+            .strip_prefix("BENCH_")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|n| n.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|(b, _)| number > *b) {
+            best = Some((number, name));
+        }
+    }
+    best.map(|(_, name)| name)
+}
+
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let (Some(baseline_path), Some(fresh_path)) = (args.next(), args.next()) else {
-        eprintln!("usage: bench_compare BASELINE.json FRESH.json [threshold_pct]");
-        std::process::exit(2);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Trailing numeric argument = threshold; what remains is either
+    // `FRESH` (baseline auto-discovered) or `BASELINE FRESH`.
+    let mut paths: Vec<&String> = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD_PCT;
+    for (i, arg) in args.iter().enumerate() {
+        if i == args.len() - 1 && args.len() > 1 {
+            if let Ok(t) = arg.parse::<f64>() {
+                threshold = t;
+                continue;
+            }
+        }
+        paths.push(arg);
+    }
+    let (baseline_path, fresh_path) = match paths.as_slice() {
+        [fresh] => {
+            let Some(baseline) = discover_baseline() else {
+                eprintln!("no committed BENCH_<n>.json baseline found in the current directory");
+                std::process::exit(2);
+            };
+            println!("auto-discovered baseline: {baseline}");
+            (baseline, (*fresh).clone())
+        }
+        [baseline, fresh] => ((*baseline).clone(), (*fresh).clone()),
+        _ => {
+            eprintln!("usage: bench_compare [BASELINE.json] FRESH.json [threshold_pct]");
+            std::process::exit(2);
+        }
     };
-    let threshold: f64 = args
-        .next()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(DEFAULT_THRESHOLD_PCT);
 
     let baseline = load(&baseline_path);
     let fresh = load(&fresh_path);

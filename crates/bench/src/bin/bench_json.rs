@@ -3,7 +3,7 @@
 //! track the performance trajectory across PRs.
 //!
 //! Usage: `cargo run --release -p rjoin-bench --bin bench_json -- [OUT.json]`
-//! (default output path `BENCH_3.json`). The environment variable
+//! (default output path `BENCH_4.json`). The environment variable
 //! `BENCH_JSON_ITERS` overrides the per-benchmark iteration count (default 5;
 //! CI uses a small count — the point is trajectory, not statistics).
 //!
@@ -42,6 +42,23 @@ fn run(config: EngineConfig, scenario: &Scenario) -> u64 {
     let catalog = scenario.workload_schema().build_catalog();
     let mut engine = RJoinEngine::new(config, catalog, scenario.nodes);
     drive(&mut engine, scenario.generate_queries(), scenario)
+}
+
+/// Same standard workload, drained through `run_until_quiescent_parallel`
+/// (the sharded event-queue runtime when `config.shards > 1`).
+fn run_parallel(config: EngineConfig, scenario: &Scenario) -> u64 {
+    let catalog = scenario.workload_schema().build_catalog();
+    let mut engine = RJoinEngine::new(config, catalog, scenario.nodes);
+    let origins: Vec<_> = engine.node_ids().to_vec();
+    for (i, q) in scenario.generate_queries().into_iter().enumerate() {
+        engine.submit_query(origins[i % origins.len()], q).unwrap();
+    }
+    engine.run_until_quiescent_parallel().unwrap();
+    for (i, t) in scenario.generate_tuples(engine.now() + 1).into_iter().enumerate() {
+        engine.publish_tuple(origins[i % origins.len()], t).unwrap();
+    }
+    engine.run_until_quiescent_parallel().unwrap();
+    engine.total_qpl()
 }
 
 /// The overlapping multi-query workload: same engine driving, but the
@@ -84,7 +101,7 @@ fn measure(
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_3.json".to_string());
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_4.json".to_string());
     let iters: u64 = std::env::var("BENCH_JSON_ITERS")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -123,9 +140,22 @@ fn main() {
     results.push(measure("sharing", "shared", iters, || {
         run_overlap(EngineConfig::default().with_shared_subjoins(), &scenario)
     }));
+    // Sharded event-queue runtime on the cascade-heavy standard workload:
+    // single global queue vs per-shard clocks with conservative cross-shard
+    // synchronization (threaded on multicore hosts, cooperative on one
+    // core). Compare against placement_strategy/ric_aware — the PR 3
+    // sequential baseline on the same workload.
+    results.push(measure("sharding_runtime", "single_queue", iters, || {
+        run_parallel(EngineConfig::default(), &scenario)
+    }));
+    for shards in [2usize, 4, 8] {
+        results.push(measure("sharding_runtime", &format!("shards{shards}"), iters, || {
+            run_parallel(EngineConfig::default().with_shards(shards), &scenario)
+        }));
+    }
 
     let report = BenchReport {
-        schema_version: 2,
+        schema_version: 3,
         nodes: scenario.nodes,
         queries: scenario.queries,
         tuples: scenario.tuples,

@@ -3,8 +3,9 @@
 //! ```text
 //! cargo run --release -p rjoin-bench --bin figures -- [figure] [scale] [--csv] [--json]
 //!
-//!   figure : fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | ablation | all
-//!            (default: all)
+//!   figure : fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | ablation | sharing | all
+//!            (default: all; `sharing` runs every figure scenario in both
+//!            share_subjoins modes and reports the deltas)
 //!   scale  : full | reduced | smoke                                        (default: reduced)
 //! ```
 
@@ -25,7 +26,7 @@ fn main() {
             "--json" => emit_json = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: figures [fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablation|all] \
+                    "usage: figures [fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablation|sharing|all] \
                      [full|reduced|smoke] [--csv] [--json]"
                 );
                 return;

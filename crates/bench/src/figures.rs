@@ -473,11 +473,93 @@ pub fn ablation_ric_reuse(scale: Scale) -> Vec<Table> {
     vec![table]
 }
 
+/// The characteristic scenario of each figure (its primary workload shape
+/// at the given scale), used to measure one optimization across the whole
+/// figure surface.
+fn figure_scenarios(scale: Scale) -> Vec<(&'static str, Scenario)> {
+    let base = |tuples: usize| {
+        let mut s = base_scenario(scale);
+        s.tuples = scale.tuples(tuples);
+        s
+    };
+    let mut fig4 = base(1000);
+    fig4.queries = scale.scaled_queries(32_000);
+    let mut fig5 = base(1000);
+    fig5.theta = 0.9;
+    let mut fig6 = base(1000);
+    fig6.joins = 5;
+    let mut fig7 = base(1000);
+    fig7.window = WindowSpec::sliding_tuples(scale.tuples(200) as u64);
+    vec![
+        ("fig2_ric_aware", base(400)),
+        ("fig3_tuple_sweep", base(2560)),
+        ("fig4_many_queries", fig4),
+        ("fig5_skew_0.9", fig5),
+        ("fig6_6way_joins", fig6),
+        ("fig7_window_200", fig7),
+        ("fig9_id_movement", base(1000)),
+    ]
+}
+
+/// Shared sub-join evaluation measured across every figure scenario: each
+/// workload runs twice — `share_subjoins` off (the paper's per-query
+/// accounting) and on (the multi-query optimization) — and the table
+/// reports the deltas. This is the measurement the "sharing by default"
+/// question needs: the default should only flip if **every** scenario wins
+/// (identical answers, no metric regresses).
+pub fn sharing_modes(scale: Scale) -> Vec<Table> {
+    let mut table = Table::new(
+        "Shared sub-join evaluation across figure scenarios (off vs on)",
+        [
+            "scenario",
+            "answers_off",
+            "answers_on",
+            "answers_equal",
+            "traffic/node off",
+            "traffic/node on",
+            "qpl/node off",
+            "qpl/node on",
+            "stored_off",
+            "stored_on",
+            "merged",
+            "evals_saved",
+            "verdict",
+        ],
+    );
+    for (name, scenario) in figure_scenarios(scale) {
+        let off = run_experiment(&scenario, EngineConfig::default(), &[]);
+        let on =
+            run_experiment(&scenario, EngineConfig::default().with_shared_subjoins(), &[]);
+        let answers_equal = off.answers == on.answers;
+        let wins = answers_equal
+            && on.stats.traffic_total <= off.stats.traffic_total
+            && on.stats.qpl_total <= off.stats.qpl_total
+            && on.stats.stored_queries_current <= off.stats.stored_queries_current;
+        table.push_row([
+            name.to_string(),
+            off.answers.to_string(),
+            on.answers.to_string(),
+            answers_equal.to_string(),
+            fmt_f(per_node(off.stats.traffic_total, off.nodes)),
+            fmt_f(per_node(on.stats.traffic_total, on.nodes)),
+            fmt_f(per_node(off.stats.qpl_total, off.nodes)),
+            fmt_f(per_node(on.stats.qpl_total, on.nodes)),
+            off.stats.stored_queries_current.to_string(),
+            on.stats.stored_queries_current.to_string(),
+            on.stats.sharing.merged_queries.to_string(),
+            on.stats.sharing.evals_saved.to_string(),
+            if wins { "win" } else { "no-win" }.to_string(),
+        ]);
+    }
+    vec![table]
+}
+
 /// Runs the generator selected by `name` (`fig2` … `fig9`, `ablation`,
-/// `all`).
+/// `sharing`, `all`).
 pub fn run_figure(name: &str, scale: Scale) -> Option<Vec<Table>> {
     match name {
         "ablation" | "ablation_ric" => Some(ablation_ric_reuse(scale)),
+        "sharing" | "sharing_modes" => Some(sharing_modes(scale)),
         "fig2" => Some(fig2(scale)),
         "fig3" => Some(fig3(scale)),
         "fig4" => Some(fig4(scale)),
@@ -494,6 +576,7 @@ pub fn run_figure(name: &str, scale: Scale) -> Option<Vec<Table>> {
             tables.extend(fig6(scale));
             tables.extend(fig7_fig8(scale));
             tables.extend(fig9(scale));
+            tables.extend(sharing_modes(scale));
             Some(tables)
         }
         _ => None,
@@ -543,6 +626,36 @@ mod tests {
     #[test]
     fn unknown_figure_is_rejected() {
         assert!(run_figure("fig42", Scale::Smoke).is_none());
+    }
+
+    #[test]
+    fn sharing_modes_covers_every_figure_scenario_with_sound_answers() {
+        let tables = sharing_modes(Scale::Smoke);
+        assert_eq!(tables.len(), 1);
+        let table = &tables[0];
+        assert_eq!(table.rows().len(), figure_scenarios(Scale::Smoke).len());
+        for row in table.rows() {
+            // On the pinned smoke workloads every scenario delivers
+            // identical answers in both modes (a regression canary, not a
+            // universal invariant: without the ALTT, completeness is
+            // placement-dependent, and at reduced scale the deep-join
+            // scenario's answer sets genuinely shift when twins merge —
+            // which is exactly why `share_subjoins` stays off by default;
+            // see the ROADMAP "sharing by default" note for the numbers).
+            assert_eq!(
+                row[3], "true",
+                "scenario {} must deliver identical answers with sharing on ({} vs {})",
+                row[0], row[1], row[2]
+            );
+            // Stored queries can only shrink when entries merge.
+            let stored_off: u64 = row[8].parse().unwrap();
+            let stored_on: u64 = row[9].parse().unwrap();
+            assert!(
+                stored_on <= stored_off,
+                "scenario {}: sharing must not store more queries ({stored_on} > {stored_off})",
+                row[0]
+            );
+        }
     }
 
     #[test]

@@ -76,6 +76,20 @@ pub struct EngineConfig {
     pub successor_list_len: usize,
     /// Seed for the engine's internal randomness (random placement).
     pub seed: u64,
+    /// Number of event-queue shards used by
+    /// [`RJoinEngine::run_until_quiescent_parallel`](crate::RJoinEngine::run_until_quiescent_parallel).
+    ///
+    /// With `1` (the default) the driver uses the single global event queue
+    /// and is byte-identical to the sequential driver. With `n > 1` the
+    /// ring's nodes are split into `n` contiguous identifier ranges, each
+    /// owning its own bucket queue, local virtual clock and worker thread,
+    /// synchronized only through the conservative watermark protocol of
+    /// [`rjoin_net::ShardedNetwork`]. Sharded runs are deterministic and
+    /// produce identical answers/loads/traffic for every `n > 1`; they can
+    /// differ from the `n = 1` trace only through placement-RNG draws
+    /// (derived per decision instead of from one global stream) and the
+    /// pruning-free RIC reads.
+    pub shards: usize,
 }
 
 impl Default for EngineConfig {
@@ -91,6 +105,7 @@ impl Default for EngineConfig {
             network_delay: 1,
             successor_list_len: 4,
             seed: 0x8101_2008,
+            shards: 1,
         }
     }
 }
@@ -144,6 +159,19 @@ impl EngineConfig {
         self.share_subjoins = true;
         self
     }
+
+    /// Sets the number of event-queue shards the parallel driver uses
+    /// (clamped to at least 1). `with_shards(1)` keeps the single global
+    /// queue and is byte-identical to the sequential driver.
+    ///
+    /// The sharded runtime's conservative synchronization uses the delay
+    /// bound δ as its lookahead, so it requires `network_delay >= 1`; with
+    /// a zero-delay configuration the parallel driver falls back to the
+    /// single-queue tick-batched path regardless of the shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -158,6 +186,9 @@ mod tests {
         assert!(c.altt_delta.is_none());
         assert!(!c.share_subjoins, "sharing is opt-in: the default reproduces the paper");
         assert!(EngineConfig::default().with_shared_subjoins().share_subjoins);
+        assert_eq!(c.shards, 1, "the default driver is the single-queue one");
+        assert_eq!(EngineConfig::default().with_shards(8).shards, 8);
+        assert_eq!(EngineConfig::default().with_shards(0).shards, 1, "shards clamp to >= 1");
     }
 
     #[test]

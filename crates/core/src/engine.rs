@@ -14,8 +14,8 @@ use crate::node_state::DrainedState;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rjoin_dht::{HashedKey, Id, RingBuildHasher};
-use rjoin_metrics::{Distribution, LoadMap, SharingCounters};
-use rjoin_net::{Delivery, Network, NetworkConfig, SimTime, TrafficStats};
+use rjoin_metrics::{Distribution, LoadMap, ShardRuntimeStats, SharingCounters};
+use rjoin_net::{Delivery, Network, NetworkConfig, SimTime, TrafficStats, Transport};
 use rjoin_query::{candidate_keys, tuple_index_keys, IndexKey, IndexLevel, JoinQuery};
 use rjoin_relation::{Catalog, Tuple};
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -23,12 +23,12 @@ use std::sync::Arc;
 
 /// Per-key load maps are keyed by precomputed ring identifiers, so they use
 /// the cheap ring-id hasher instead of SipHash.
-type KeyLoadMap = LoadMap<u64, RingBuildHasher>;
+pub(crate) type KeyLoadMap = LoadMap<u64, RingBuildHasher>;
 
 /// Per-node load maps and the node-state map itself are keyed by node
 /// identifiers, which are ring identifiers too — same cheap hasher.
-type NodeLoadMap = LoadMap<Id, RingBuildHasher>;
-type NodeMap = HashMap<Id, NodeState, RingBuildHasher>;
+pub(crate) type NodeLoadMap = LoadMap<Id, RingBuildHasher>;
+pub(crate) type NodeMap = HashMap<Id, NodeState, RingBuildHasher>;
 
 /// Minimum number of node-bound deliveries in one tick before the parallel
 /// driver spawns worker threads; smaller ticks are processed inline because
@@ -38,19 +38,19 @@ const PARALLEL_TICK_MIN_DELIVERIES: usize = 24;
 /// The query-processing / storage-load counter increments one delivery
 /// charges, resolved during the node-local phase and applied in the
 /// deterministic effect phase.
-struct LoadDelta {
+pub(crate) struct LoadDelta {
     /// Ring id of the index key the delivery was addressed to.
-    key: u64,
+    pub(crate) key: u64,
     /// Whether the delivery also adds storage load (value-level tuple copy
     /// or a rewritten query being stored).
-    sl: bool,
+    pub(crate) sl: bool,
 }
 
 /// The deferred, engine-global effect of one delivery. Produced during the
 /// node-local phase (possibly on a worker thread), applied strictly in
-/// `(at, seq)` order afterwards so that serial and threaded tick draining
-/// observe the same global event order.
-enum TickEffect {
+/// `(at, seq)` order afterwards (per shard, in `(at, lineage)` order under
+/// the sharded driver) so all drivers observe the same event order.
+pub(crate) enum TickEffect {
     /// The destination node left the ring; the message is lost.
     Lost,
     /// An answer reached the node that submitted the query.
@@ -69,8 +69,9 @@ enum TickEffect {
 struct NodeGroup {
     node: Id,
     state: NodeState,
-    /// `(position in the tick batch, message)` in `(at, seq)` order.
-    items: Vec<(usize, RJoinMessage)>,
+    /// `(position in the tick batch, arrival tick, message)` in `(at, seq)`
+    /// order.
+    items: Vec<(usize, SimTime, RJoinMessage)>,
     /// Effects produced by the handlers, same positions as `items`.
     effects: Vec<(usize, TickEffect)>,
 }
@@ -81,25 +82,27 @@ impl NodeGroup {
     /// which is what makes whole groups safe to run concurrently.
     fn run(&mut self, catalog: &Catalog, config: &EngineConfig, now: SimTime) {
         self.effects.reserve(self.items.len());
-        for (pos, msg) in self.items.drain(..) {
-            let effect = handle_node_msg(&mut self.state, catalog, config, now, self.node, msg);
+        for (pos, at, msg) in self.items.drain(..) {
+            let effect =
+                handle_node_msg(&mut self.state, catalog, config, now, at, self.node, msg);
             self.effects.push((pos, effect));
         }
     }
 }
 
 /// Runs the node-local part of one delivery (Procedures 1–3): mutates only
-/// `state`, reads only the shared catalog/config. Shared by the serial and
-/// the per-group parallel phase-1 drivers so both produce identical effects.
-fn handle_node_msg(
+/// `state`, reads only the shared catalog/config. Shared by the serial, the
+/// tick-parallel and the sharded drivers so all produce identical effects.
+pub(crate) fn handle_node_msg(
     state: &mut NodeState,
     catalog: &Catalog,
     config: &EngineConfig,
     now: SimTime,
+    at: SimTime,
     node: Id,
     msg: RJoinMessage,
 ) -> TickEffect {
-    let ctx = ProcCtx { catalog, config, now };
+    let ctx = ProcCtx { catalog, config, now, at };
     let (load, actions) = match msg {
         RJoinMessage::NewTuple { tuple, key, level, .. } => {
             // QPL: a tuple received in order to search for matching stored
@@ -139,25 +142,28 @@ fn handle_node_msg(
 /// [`run_until_quiescent_parallel`](Self::run_until_quiescent_parallel)).
 #[derive(Debug)]
 pub struct RJoinEngine {
-    config: EngineConfig,
-    catalog: Catalog,
-    network: Network<RJoinMessage>,
-    nodes: NodeMap,
-    node_ids: Vec<Id>,
-    rng: StdRng,
+    pub(crate) config: EngineConfig,
+    pub(crate) catalog: Catalog,
+    pub(crate) network: Network<RJoinMessage>,
+    pub(crate) nodes: NodeMap,
+    pub(crate) node_ids: Vec<Id>,
+    pub(crate) rng: StdRng,
     next_query_seq: u64,
-    answers: AnswerLog,
+    pub(crate) answers: AnswerLog,
     /// Queries submitted with `SELECT DISTINCT`: their answers pass through
     /// the owner-side duplicate filter.
-    distinct_queries: HashSet<QueryId>,
+    pub(crate) distinct_queries: HashSet<QueryId>,
     /// Cumulative query-processing load per node (paper definition).
-    qpl: NodeLoadMap,
+    pub(crate) qpl: NodeLoadMap,
     /// Cumulative storage-load additions per node (paper definition).
-    sl: NodeLoadMap,
+    pub(crate) sl: NodeLoadMap,
     /// The same loads broken down by index key (ring identifier), used for
     /// identifier-movement load-balancing analysis (Figure 9).
-    qpl_by_key: KeyLoadMap,
-    sl_by_key: KeyLoadMap,
+    pub(crate) qpl_by_key: KeyLoadMap,
+    pub(crate) sl_by_key: KeyLoadMap,
+    /// Cumulative sharded-runtime observability counters (all zero until a
+    /// sharded drain runs).
+    pub(crate) shard_runtime: ShardRuntimeStats,
 }
 
 impl RJoinEngine {
@@ -184,6 +190,7 @@ impl RJoinEngine {
             sl: NodeLoadMap::new(),
             qpl_by_key: KeyLoadMap::new(),
             sl_by_key: KeyLoadMap::new(),
+            shard_runtime: ShardRuntimeStats::default(),
         }
     }
 
@@ -436,21 +443,38 @@ impl RJoinEngine {
         self.drain(false)
     }
 
-    /// Like [`run_until_quiescent`](Self::run_until_quiescent), but fans the
-    /// node-local handler work of each tick out across CPU cores.
+    /// Like [`run_until_quiescent`](Self::run_until_quiescent), but
+    /// parallelized according to [`EngineConfig::shards`]:
     ///
-    /// Handlers are purely node-local by design (Procedures 1–3 touch only
-    /// the receiving node's state), so deliveries of one tick are grouped by
-    /// destination node and whole groups run concurrently under
-    /// [`std::thread::scope`]. All engine-global effects — load counters,
-    /// answer recording, and the placement + send of rewritten queries — are
-    /// then applied on the calling thread in `(at, seq)` order, which makes
-    /// the results **byte-identical** to the sequential driver: same
-    /// answers, same loads, same traffic, same RNG stream. Small ticks are
-    /// processed inline, so the parallel driver never loses to thread
-    /// startup overhead.
+    /// * **`shards == 1`** (default): the single global event queue is
+    ///   drained tick by tick and each fat tick's node-local handler work is
+    ///   fanned out across CPU cores under [`std::thread::scope`], with all
+    ///   engine-global effects applied on the calling thread in `(at, seq)`
+    ///   order. This is **byte-identical** to the sequential driver: same
+    ///   answers, same loads, same traffic, same RNG stream.
+    /// * **`shards > 1`**: the drain runs on the sharded event-queue
+    ///   runtime — one persistent worker per shard, each owning a contiguous
+    ///   range of ring nodes, its own bucket queue and local virtual clock,
+    ///   synchronized only through [`rjoin_net::ShardedNetwork`]'s
+    ///   conservative watermark protocol. Long cascades that touch few
+    ///   shards no longer serialize through a global tick barrier. Sharded
+    ///   runs are deterministic, and their answers/loads/traffic are
+    ///   identical for **every** shard count `> 1`; they may differ from
+    ///   the single-queue trace only through placement-RNG draws (derived
+    ///   per decision instead of from one global stream) and pruning-free
+    ///   RIC reads — with an RNG-free placement strategy on an unwindowed
+    ///   workload the sharded trace is byte-identical to the sequential one
+    ///   too (see `tests/determinism.rs`).
     pub fn run_until_quiescent_parallel(&mut self) -> Result<u64, EngineError> {
-        self.drain(true)
+        // The watermark protocol's lookahead is the delay bound δ, so the
+        // sharded runtime requires δ >= 1; a zero-delay configuration (legal
+        // for the single queue) falls back to the tick-batched driver
+        // rather than silently changing delivery timing.
+        if self.config.shards > 1 && self.network.delay() >= 1 {
+            crate::shard_driver::drain_sharded(self)
+        } else {
+            self.drain(true)
+        }
     }
 
     fn drain(&mut self, parallel: bool) -> Result<u64, EngineError> {
@@ -526,9 +550,15 @@ impl RJoinEngine {
                 RJoinMessage::Answer { query, row, produced_at } => TickEffect::Answer(
                     AnswerRecord { query, row, produced_at, received_at: delivery.at },
                 ),
-                msg => {
-                    handle_node_msg(state, &self.catalog, &self.config, now, delivery.to, msg)
-                }
+                msg => handle_node_msg(
+                    state,
+                    &self.catalog,
+                    &self.config,
+                    now,
+                    delivery.at,
+                    delivery.to,
+                    msg,
+                ),
             };
             effects.push(effect);
         }
@@ -574,7 +604,7 @@ impl RJoinEngine {
                         });
                         groups.len() - 1
                     });
-                    groups[group].items.push((pos, msg));
+                    groups[group].items.push((pos, delivery.at, msg));
                 }
             }
         }
@@ -628,6 +658,15 @@ impl RJoinEngine {
         self.nodes.values().map(|s| s.stored_query_count() as u64).sum()
     }
 
+    /// Cumulative sharded-runtime observability counters: shard count of
+    /// the latest sharded drain, per-shard tick activations, deliveries
+    /// processed on shard workers, and blocked remote RIC reads. All zero
+    /// until [`run_until_quiescent_parallel`](Self::run_until_quiescent_parallel)
+    /// runs with `shards > 1`.
+    pub fn shard_runtime_stats(&self) -> &ShardRuntimeStats {
+        &self.shard_runtime
+    }
+
     /// Builds a statistics snapshot in the units the paper's figures use.
     pub fn stats(&self) -> ExperimentStats {
         let traffic = self.network.traffic();
@@ -654,27 +693,19 @@ impl RJoinEngine {
             answers: self.answers.len() as u64,
             stored_queries_current: self.stored_queries_current(),
             sharing: self.sharing_counters(),
+            intra_shard_messages: traffic.intra_shard_sent(),
+            cross_shard_messages: traffic.cross_shard_sent(),
+            shard_runtime: self.shard_runtime.clone(),
         }
     }
 
     fn perform_actions(&mut self, from: Id, actions: Vec<Action>) -> Result<(), EngineError> {
-        for action in actions {
-            match action {
-                Action::DeliverAnswer { query, owner, row } => {
-                    let produced_at = self.network.now();
-                    self.network.send_direct(
-                        from,
-                        owner,
-                        RJoinMessage::Answer { query, row, produced_at },
-                        traffic_class::ANSWER,
-                    );
-                }
-                Action::Reindex { pending } => {
-                    self.dispatch_query(from, pending, false)?;
-                }
-            }
-        }
-        Ok(())
+        let mut env = SeqEnv {
+            network: &mut self.network,
+            nodes: &mut self.nodes,
+            rng: &mut self.rng,
+        };
+        perform_actions_in(&mut env, &self.config, &self.catalog, from, actions)
     }
 
     /// Chooses the index key for a query (input or rewritten) and sends it
@@ -685,112 +716,244 @@ impl RJoinEngine {
         pending: PendingQuery,
         is_input: bool,
     ) -> Result<(), EngineError> {
-        let mut candidates = candidate_keys(&pending.query);
-        if candidates.is_empty() {
-            // A query with no conjuncts left but remaining relations (e.g. a
-            // single-relation scan): fall back to an attribute-level key of
-            // the first remaining relation.
-            if let Some(rel) = pending.query.relations().first() {
-                if let Ok(schema) = self.catalog.require_schema(rel) {
-                    if let Some(attr) = schema.attribute(0) {
-                        candidates.push(IndexKey::attribute(rel.clone(), attr));
-                    }
-                }
-            }
-        }
-        if candidates.is_empty() {
-            return Err(EngineError::NoCandidateKey);
-        }
-        if !is_input && self.config.rewritten_value_level_only {
-            // Section 3 base algorithm: rewritten queries always go to the
-            // value level (each rewrite introduces at least one value-level
-            // candidate, so the filtered list is non-empty for chain joins).
-            let value_only: Vec<IndexKey> = candidates
-                .iter()
-                .filter(|c| c.level() == IndexLevel::Value)
-                .cloned()
-                .collect();
-            if !value_only.is_empty() {
-                candidates = value_only;
-            }
-        }
-
-        let strategy = self.config.placement;
-        let needs_rates =
-            matches!(strategy, PlacementStrategy::RicAware | PlacementStrategy::Worst);
-        let now = self.network.now();
-        let mut rates = vec![0u64; candidates.len()];
-
-        // Rate-less strategies never look at the non-chosen candidates, so
-        // only rate-driven ones pay to intern the whole list. When they do,
-        // each key is interned exactly once: the ring identifier computed
-        // here serves the rates loop, the candidate table, the piggy-backed
-        // RIC information *and* the final send — no key is hashed twice.
-        let hashed: Vec<HashedKey> =
-            if needs_rates { candidates.iter().map(IndexKey::hashed).collect() } else { Vec::new() };
-
-        if needs_rates {
-            let mut prev_hop = from;
-            let mut requests = 0usize;
-            for (i, hkey) in hashed.iter().enumerate() {
-                // Reuse cached RIC information when allowed (Section 7).
-                if strategy == PlacementStrategy::RicAware && self.config.reuse_ric {
-                    if let Some(entry) = self
-                        .nodes
-                        .get(&from)
-                        .and_then(|s| s.cached_ric(hkey.ring(), now, self.config.ct_validity))
-                    {
-                        rates[i] = entry.rate;
-                        continue;
-                    }
-                }
-                let owner = self.network.owner_of(hkey.id())?;
-                let rate = self
-                    .nodes
-                    .get_mut(&owner)
-                    .map(|s| s.ric.rate(hkey.ring(), now, self.config.ric_window))
-                    .unwrap_or(0);
-                rates[i] = rate;
-                if strategy == PlacementStrategy::RicAware {
-                    // Chained RIC request: previous hop forwards the request
-                    // to the next candidate (k * O(log N) messages total).
-                    self.network.charge_route(prev_hop, hkey.id(), traffic_class::RIC)?;
-                    prev_hop = owner;
-                    requests += 1;
-                    if self.config.reuse_ric {
-                        if let Some(state) = self.nodes.get_mut(&from) {
-                            state
-                                .candidate_table
-                                .insert(hkey.ring(), RicEntry { rate, observed_at: now });
-                        }
-                    }
-                }
-                // The Worst baseline uses oracle knowledge: no traffic is
-                // charged for it (it exists only to bound the design space).
-            }
-            if strategy == PlacementStrategy::RicAware && requests > 0 {
-                // The last contacted candidate returns the collected RIC
-                // information (and every candidate's address) in one hop.
-                self.network.charge_direct(prev_hop, traffic_class::RIC);
-            }
-        }
-
-        let chosen = choose_candidate(&candidates, &rates, strategy, &mut self.rng);
-        let level = candidates[chosen].level();
-        // Under rate-driven strategies the chosen key was already interned
-        // above (no re-derive, no second SHA-1); otherwise intern just the
-        // winner now.
-        let key = match hashed.get(chosen) {
-            Some(h) => h.clone(),
-            None => candidates[chosen].hashed(),
+        let mut env = SeqEnv {
+            network: &mut self.network,
+            nodes: &mut self.nodes,
+            rng: &mut self.rng,
         };
-        let key_id = key.id();
-        let class = if is_input { traffic_class::QUERY_INDEX } else { traffic_class::EVAL };
+        dispatch_query_in(&mut env, &self.config, &self.catalog, from, pending, is_input)
+    }
+}
 
-        let carried_ric: Vec<RicInfo> = if !is_input
-            && self.config.reuse_ric
-            && strategy == PlacementStrategy::RicAware
-        {
+/// The engine-global context an effect phase runs against: the transport it
+/// sends through, the RIC information it reads, and the randomness its
+/// placement decisions draw from.
+///
+/// Two implementations exist: [`SeqEnv`] (the single-queue drivers — global
+/// RNG stream, lossy in-place RIC reads) and the sharded driver's per-worker
+/// environment (per-decision RNG derived from the triggering message's
+/// lineage, pure watermark-synchronized RIC reads). Keeping the *entire*
+/// Sections 6–7 dispatch logic in [`dispatch_query_in`], generic over this
+/// trait, is what guarantees the drivers can never drift apart in cost
+/// accounting or placement rules.
+pub(crate) trait EffectEnv {
+    /// The transport this environment sends through.
+    type Net: Transport<RJoinMessage>;
+
+    /// The transport handle.
+    fn net(&mut self) -> &mut Self::Net;
+
+    /// The clock placement decisions and answers are stamped with.
+    fn now(&self) -> SimTime;
+
+    /// A still-valid cached RIC estimate from `node`'s candidate table.
+    fn cached_ric(
+        &self,
+        node: Id,
+        ring: u64,
+        now: SimTime,
+        validity: Option<SimTime>,
+    ) -> Option<RicEntry>;
+
+    /// Caches an RIC observation in `node`'s candidate table.
+    fn cache_ric(&mut self, node: Id, ring: u64, entry: RicEntry);
+
+    /// The rate of incoming tuples `owner` observed for key `ring` during
+    /// the window ending at `now` (the content of one RIC request).
+    fn observed_rate(&mut self, owner: Id, ring: u64, now: SimTime, window: SimTime) -> u64;
+
+    /// Applies the placement strategy, drawing any random tie-breaks from
+    /// this environment's randomness source.
+    fn choose(
+        &mut self,
+        candidates: &[IndexKey],
+        rates: &[u64],
+        strategy: PlacementStrategy,
+    ) -> usize;
+}
+
+/// The single-queue environment: global network, global node map, global
+/// RNG stream drawn in `(at, seq)` effect order.
+pub(crate) struct SeqEnv<'a> {
+    pub(crate) network: &'a mut Network<RJoinMessage>,
+    pub(crate) nodes: &'a mut NodeMap,
+    pub(crate) rng: &'a mut StdRng,
+}
+
+impl EffectEnv for SeqEnv<'_> {
+    type Net = Network<RJoinMessage>;
+
+    fn net(&mut self) -> &mut Network<RJoinMessage> {
+        self.network
+    }
+
+    fn now(&self) -> SimTime {
+        self.network.now()
+    }
+
+    fn cached_ric(
+        &self,
+        node: Id,
+        ring: u64,
+        now: SimTime,
+        validity: Option<SimTime>,
+    ) -> Option<RicEntry> {
+        self.nodes.get(&node).and_then(|s| s.cached_ric(ring, now, validity))
+    }
+
+    fn cache_ric(&mut self, node: Id, ring: u64, entry: RicEntry) {
+        if let Some(state) = self.nodes.get_mut(&node) {
+            state.candidate_table.insert(ring, entry);
+        }
+    }
+
+    fn observed_rate(&mut self, owner: Id, ring: u64, now: SimTime, window: SimTime) -> u64 {
+        self.nodes.get(&owner).map(|s| s.ric().rate(ring, now, window)).unwrap_or(0)
+    }
+
+    fn choose(
+        &mut self,
+        candidates: &[IndexKey],
+        rates: &[u64],
+        strategy: PlacementStrategy,
+    ) -> usize {
+        choose_candidate(candidates, rates, strategy, self.rng)
+    }
+}
+
+/// Applies the actions a node handler produced: answers travel by
+/// `sendDirect`, rewritten queries are re-indexed through the full
+/// placement pipeline. Generic over [`EffectEnv`] so the single-queue and
+/// sharded drivers share it verbatim.
+pub(crate) fn perform_actions_in<E: EffectEnv>(
+    env: &mut E,
+    config: &EngineConfig,
+    catalog: &Catalog,
+    from: Id,
+    actions: Vec<Action>,
+) -> Result<(), EngineError> {
+    for action in actions {
+        match action {
+            Action::DeliverAnswer { query, owner, row } => {
+                let produced_at = env.now();
+                env.net().send_direct(
+                    from,
+                    owner,
+                    RJoinMessage::Answer { query, row, produced_at },
+                    traffic_class::ANSWER,
+                );
+            }
+            Action::Reindex { pending } => {
+                dispatch_query_in(env, config, catalog, from, pending, false)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Chooses the index key for a query (input or rewritten) and sends it
+/// there, charging RIC traffic according to Sections 6 and 7. The complete
+/// dispatch pipeline — candidate derivation, RIC collection and caching,
+/// placement, piggy-backing, send — shared by every driver.
+pub(crate) fn dispatch_query_in<E: EffectEnv>(
+    env: &mut E,
+    config: &EngineConfig,
+    catalog: &Catalog,
+    from: Id,
+    pending: PendingQuery,
+    is_input: bool,
+) -> Result<(), EngineError> {
+    let mut candidates = candidate_keys(&pending.query);
+    if candidates.is_empty() {
+        // A query with no conjuncts left but remaining relations (e.g. a
+        // single-relation scan): fall back to an attribute-level key of
+        // the first remaining relation.
+        if let Some(rel) = pending.query.relations().first() {
+            if let Ok(schema) = catalog.require_schema(rel) {
+                if let Some(attr) = schema.attribute(0) {
+                    candidates.push(IndexKey::attribute(rel.clone(), attr));
+                }
+            }
+        }
+    }
+    if candidates.is_empty() {
+        return Err(EngineError::NoCandidateKey);
+    }
+    if !is_input && config.rewritten_value_level_only {
+        // Section 3 base algorithm: rewritten queries always go to the
+        // value level (each rewrite introduces at least one value-level
+        // candidate, so the filtered list is non-empty for chain joins).
+        let value_only: Vec<IndexKey> = candidates
+            .iter()
+            .filter(|c| c.level() == IndexLevel::Value)
+            .cloned()
+            .collect();
+        if !value_only.is_empty() {
+            candidates = value_only;
+        }
+    }
+
+    let strategy = config.placement;
+    let needs_rates = matches!(strategy, PlacementStrategy::RicAware | PlacementStrategy::Worst);
+    let now = env.now();
+    let mut rates = vec![0u64; candidates.len()];
+
+    // Rate-less strategies never look at the non-chosen candidates, so
+    // only rate-driven ones pay to intern the whole list. When they do,
+    // each key is interned exactly once: the ring identifier computed
+    // here serves the rates loop, the candidate table, the piggy-backed
+    // RIC information *and* the final send — no key is hashed twice.
+    let hashed: Vec<HashedKey> =
+        if needs_rates { candidates.iter().map(IndexKey::hashed).collect() } else { Vec::new() };
+
+    if needs_rates {
+        let mut prev_hop = from;
+        let mut requests = 0usize;
+        for (i, hkey) in hashed.iter().enumerate() {
+            // Reuse cached RIC information when allowed (Section 7).
+            if strategy == PlacementStrategy::RicAware && config.reuse_ric {
+                if let Some(entry) = env.cached_ric(from, hkey.ring(), now, config.ct_validity) {
+                    rates[i] = entry.rate;
+                    continue;
+                }
+            }
+            let owner = env.net().owner_of(hkey.id())?;
+            let rate = env.observed_rate(owner, hkey.ring(), now, config.ric_window);
+            rates[i] = rate;
+            if strategy == PlacementStrategy::RicAware {
+                // Chained RIC request: previous hop forwards the request
+                // to the next candidate (k * O(log N) messages total).
+                env.net().charge_route(prev_hop, hkey.id(), traffic_class::RIC)?;
+                prev_hop = owner;
+                requests += 1;
+                if config.reuse_ric {
+                    env.cache_ric(from, hkey.ring(), RicEntry { rate, observed_at: now });
+                }
+            }
+            // The Worst baseline uses oracle knowledge: no traffic is
+            // charged for it (it exists only to bound the design space).
+        }
+        if strategy == PlacementStrategy::RicAware && requests > 0 {
+            // The last contacted candidate returns the collected RIC
+            // information (and every candidate's address) in one hop.
+            env.net().charge_direct(prev_hop, traffic_class::RIC);
+        }
+    }
+
+    let chosen = env.choose(&candidates, &rates, strategy);
+    let level = candidates[chosen].level();
+    // Under rate-driven strategies the chosen key was already interned
+    // above (no re-derive, no second SHA-1); otherwise intern just the
+    // winner now.
+    let key = match hashed.get(chosen) {
+        Some(h) => h.clone(),
+        None => candidates[chosen].hashed(),
+    };
+    let key_id = key.id();
+    let class = if is_input { traffic_class::QUERY_INDEX } else { traffic_class::EVAL };
+
+    let carried_ric: Vec<RicInfo> =
+        if !is_input && config.reuse_ric && strategy == PlacementStrategy::RicAware {
             hashed
                 .iter()
                 .zip(&rates)
@@ -800,22 +963,21 @@ impl RJoinEngine {
             Vec::new()
         };
 
-        let msg = if is_input {
-            RJoinMessage::IndexQuery { pending, key, level }
-        } else {
-            RJoinMessage::Eval { pending, key, level, carried_ric }
-        };
+    let msg = if is_input {
+        RJoinMessage::IndexQuery { pending, key, level }
+    } else {
+        RJoinMessage::Eval { pending, key, level, carried_ric }
+    };
 
-        if strategy == PlacementStrategy::RicAware {
-            // After the RIC exchange the chooser knows the address of every
-            // candidate node, so the query itself travels in one hop.
-            let owner = self.network.owner_of(key_id)?;
-            self.network.send_direct(from, owner, msg, class);
-        } else {
-            self.network.send(from, key_id, msg, class)?;
-        }
-        Ok(())
+    if strategy == PlacementStrategy::RicAware {
+        // After the RIC exchange the chooser knows the address of every
+        // candidate node, so the query itself travels in one hop.
+        let owner = env.net().owner_of(key_id)?;
+        env.net().send_direct(from, owner, msg, class);
+    } else {
+        env.net().send(from, key_id, msg, class)?;
     }
+    Ok(())
 }
 
 /// Number of worker threads the parallel driver may use.

@@ -45,6 +45,34 @@
 //!   placement and sends — in deterministic `(at, seq)` order. Sequential
 //!   and parallel driving are byte-identical by construction.
 //!
+//! # Sharded event-queue runtime
+//!
+//! The tick-batched loop still serializes every cascade through one global
+//! queue: a chain of Eval/Index hops advances one tick at a time no matter
+//! how many independent cascades are in flight. With
+//! [`EngineConfig::with_shards`]`(n > 1)`,
+//! [`RJoinEngine::run_until_quiescent_parallel`] instead drains on the
+//! **sharded runtime** ([`rjoin_net::ShardedNetwork`]): the ring's nodes
+//! are split into `n` contiguous identifier ranges, each owning its own
+//! bucket queue, local virtual clock, per-shard `NodeState` slice and
+//! persistent worker. Intra-shard messages never leave their shard;
+//! cross-shard messages go through inbox handoff under a conservative
+//! watermark protocol (lookahead = δ ≥ 1, provably deadlock-free — see the
+//! `rjoin_net` docs), so independent cascades on different shards advance
+//! concurrently with no global barrier. Determinism is preserved by
+//! construction: intra-tick delivery order comes from hash-chained message
+//! *lineages* instead of a global sequence counter, placement randomness
+//! is derived per decision from the triggering lineage, and remote RIC
+//! reads are watermark-synchronized pure snapshots — making every
+//! observable (answers, loads, traffic) identical across shard counts
+//! `> 1` and across repeated runs (`tests/determinism.rs` additionally
+//! pins an exact-identity configuration where sharded equals sequential
+//! byte for byte). On a single-core host the same shard structures are
+//! driven cooperatively by the calling thread, so results never depend on
+//! the machine. Shard-aware accounting (intra/cross-shard deliveries,
+//! tick activations, blocked remote reads) is reported through
+//! [`ExperimentStats`] and [`RJoinEngine::shard_runtime_stats`].
+//!
 //! # Shared sub-join evaluation (multi-query optimization)
 //!
 //! With [`EngineConfig::with_shared_subjoins`] enabled, every node keeps a
@@ -105,6 +133,7 @@ mod node_state;
 mod placement;
 mod procedures;
 mod ric;
+mod shard_driver;
 mod shared;
 mod stats;
 

@@ -10,7 +10,7 @@ use rjoin_net::SimTime;
 use rjoin_query::{fingerprint, subjoin_signature, Fingerprint, IndexLevel};
 use rjoin_relation::{Timestamp, Tuple};
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// A query (input or rewritten) stored at a node, waiting for tuples.
 #[derive(Debug, Clone)]
@@ -73,7 +73,16 @@ pub struct NodeState {
     /// Candidate table: cached RIC information per candidate-key ring id.
     pub(crate) candidate_table: RingMap<RicEntry>,
     /// Tracker of tuple arrivals used to answer RIC requests.
-    pub(crate) ric: RicTracker,
+    ///
+    /// Behind a shared lock because it is the one piece of node state read
+    /// *across* shard workers: under the sharded runtime, another shard's
+    /// effect phase resolves an RIC rate request against this node while
+    /// this node's own shard may concurrently be recording arrivals for
+    /// later ticks. All other tables are only ever touched by the shard
+    /// that owns the node. The `Arc` lets the engine keep a directory of
+    /// every node's tracker without aliasing the rest of the state; the
+    /// uncontended lock costs a few nanoseconds on the sequential path.
+    pub(crate) ric: Arc<Mutex<RicTracker>>,
     /// Sub-join registry: index from canonical sub-join identity to the
     /// stored entry sharing it (see [`crate::SubJoinRegistry`]).
     pub(crate) subjoins: SubJoinRegistry,
@@ -128,7 +137,7 @@ impl NodeState {
             stored_tuples: RingMap::default(),
             altt: RingMap::default(),
             candidate_table: RingMap::default(),
-            ric: RicTracker::new(),
+            ric: Arc::new(Mutex::new(RicTracker::new())),
             subjoins: SubJoinRegistry::new(),
             sharing: SharingCounters::new(),
             query_count: 0,
@@ -137,9 +146,15 @@ impl NodeState {
         }
     }
 
-    /// Read access to this node's RIC tracker.
-    pub fn ric(&self) -> &RicTracker {
-        &self.ric
+    /// Locked access to this node's RIC tracker.
+    pub fn ric(&self) -> MutexGuard<'_, RicTracker> {
+        self.ric.lock().expect("ric lock poisoned")
+    }
+
+    /// A shared handle to this node's RIC tracker (used by the sharded
+    /// runtime's rate directory).
+    pub(crate) fn ric_handle(&self) -> Arc<Mutex<RicTracker>> {
+        Arc::clone(&self.ric)
     }
 
     /// Read access to this node's sharing counters.

@@ -43,8 +43,13 @@ pub struct ProcCtx<'a> {
     pub catalog: &'a Catalog,
     /// Engine configuration.
     pub config: &'a EngineConfig,
-    /// Current simulation time.
+    /// Current simulation time (the clock, `>= at` when the driver advanced
+    /// the clock past pending deliveries).
     pub now: SimTime,
+    /// The raw delivery tick of the message being handled. Recorded next to
+    /// `now` for RIC arrivals so the sharded runtime can answer remote rate
+    /// reads exactly as of a reader's tick.
+    pub at: SimTime,
 }
 
 /// Outcome of attempting to trigger one stored query with one tuple.
@@ -251,8 +256,12 @@ pub fn handle_new_tuple(
     level: IndexLevel,
 ) -> Vec<Action> {
     let ring = key.ring();
-    // The node observes the arrival for RIC purposes regardless of level.
-    state.ric.record_arrival(ring, ctx.now);
+    // The node observes the arrival for RIC purposes regardless of level;
+    // the retention horizon keeps the per-key history bounded without being
+    // observable by any rate read (sequential reads never use an older
+    // clock, sharded remote readers lag by at most the δ lookahead).
+    let horizon = ctx.config.ric_window + 2 * ctx.config.network_delay.max(1);
+    state.ric().record_arrival_bounded(ring, ctx.now, ctx.at, horizon);
 
     let mut actions = Vec::new();
     let mut removed = 0usize;
@@ -438,7 +447,7 @@ mod tests {
     }
 
     fn ctx<'a>(catalog: &'a Catalog, config: &'a EngineConfig, now: SimTime) -> ProcCtx<'a> {
-        ProcCtx { catalog, config, now }
+        ProcCtx { catalog, config, now, at: now }
     }
 
     fn pending(sql: &str, insert_time: u64) -> PendingQuery {

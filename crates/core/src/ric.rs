@@ -14,13 +14,21 @@ use std::collections::VecDeque;
 /// enters the system, so the tracker never hashes strings on the arrival
 /// path.
 ///
+/// Each arrival is recorded as `(now, tick)`: `now` is the node's clock at
+/// arrival (the timestamp the rate window is measured against) and `tick`
+/// is the raw delivery tick. The two differ only when the driver advanced
+/// the global clock past still-pending deliveries; the sharded runtime
+/// needs the raw tick to answer a remote rate request *as of* the reader's
+/// tick ([`rate_at`](RicTracker::rate_at)), because under a compressed
+/// clock several ticks share one `now`.
+///
 /// The paper's prediction model is deliberately simple ("we observe what has
 /// happened during the last time window and assume a similar behaviour for
 /// the future"); more sophisticated predictors can be plugged in locally,
 /// which is why this tracker is a standalone component.
 #[derive(Debug, Clone, Default)]
 pub struct RicTracker {
-    arrivals: RingMap<VecDeque<SimTime>>,
+    arrivals: RingMap<VecDeque<(SimTime, SimTime)>>,
     total_arrivals: u64,
 }
 
@@ -31,18 +39,51 @@ impl RicTracker {
     }
 
     /// Records the arrival of one tuple under the key with ring identifier
-    /// `key` at time `now`.
-    pub fn record_arrival(&mut self, key: u64, now: SimTime) {
-        self.arrivals.entry(key).or_default().push_back(now);
+    /// `key` at clock time `now`, delivered at tick `at`.
+    pub fn record_arrival(&mut self, key: u64, now: SimTime, at: SimTime) {
+        self.arrivals.entry(key).or_default().push_back((now, at));
+        self.total_arrivals += 1;
+    }
+
+    /// Like [`record_arrival`](Self::record_arrival), but first drops
+    /// arrivals recorded more than `horizon` ticks before `now`, keeping
+    /// the per-key deque bounded by the arrival rate times the horizon.
+    ///
+    /// With `horizon >= window + 2δ` this is invisible to every read: a
+    /// dropped entry is strictly below the cutoff of any [`rate`](Self::rate)
+    /// call (reads never use a clock older than the recording node's), and
+    /// remote [`rate_at`](Self::rate_at) readers lag the owner by at most
+    /// the shard lookahead δ.
+    pub fn record_arrival_bounded(
+        &mut self,
+        key: u64,
+        now: SimTime,
+        at: SimTime,
+        horizon: SimTime,
+    ) {
+        let times = self.arrivals.entry(key).or_default();
+        let cutoff = now.saturating_sub(horizon);
+        while let Some(&(front, _)) = times.front() {
+            if front < cutoff {
+                times.pop_front();
+            } else {
+                break;
+            }
+        }
+        times.push_back((now, at));
         self.total_arrivals += 1;
     }
 
     /// Number of tuples that arrived under `key` during `(now - window, now]`.
     /// Also prunes arrivals that fell out of the window.
+    ///
+    /// This is the sequential driver's read: pruning is lossy on purpose
+    /// (the tracker only keeps what the most recent window retained), which
+    /// keeps the arrival deques short on the hot path.
     pub fn rate(&mut self, key: u64, now: SimTime, window: SimTime) -> u64 {
         let Some(times) = self.arrivals.get_mut(&key) else { return 0 };
         let cutoff = now.saturating_sub(window);
-        while let Some(&front) = times.front() {
+        while let Some(&(front, _)) = times.front() {
             if front <= cutoff && front != now {
                 times.pop_front();
             } else {
@@ -50,6 +91,33 @@ impl RicTracker {
             }
         }
         times.len() as u64
+    }
+
+    /// Pure (non-pruning) twin of [`rate`](Self::rate) used by the sharded
+    /// runtime: counts the arrivals in `(now - window, now]` that were
+    /// delivered at tick `max_tick` or earlier, without mutating anything.
+    ///
+    /// The tick bound makes a remote read exact under shard lookahead: the
+    /// owning shard may already have processed deliveries *beyond* the
+    /// reader's tick, and when a driver compressed the clock several of
+    /// those share the reader's `now` — filtering by raw tick reproduces
+    /// exactly the arrivals a sequential `(at, seq)`-ordered run would have
+    /// observed at the reader's position. Being read-only it is also
+    /// insensitive to the (non-deterministic) wall-clock order in which
+    /// concurrent readers arrive, which the lossy pruning of
+    /// [`rate`](Self::rate) is not.
+    pub fn rate_at(&self, key: u64, now: SimTime, window: SimTime, max_tick: SimTime) -> u64 {
+        let Some(times) = self.arrivals.get(&key) else { return 0 };
+        // Entries are appended with non-decreasing clock *and* tick, so all
+        // three bounds are prefix/suffix boundaries: count entries with
+        // `clock in (now - window, now]` (the `== now` window-0 exception
+        // collapses into the lower bound) and `tick <= max_tick`.
+        let cutoff = now.saturating_sub(window);
+        let lower = cutoff.saturating_add(1).min(now);
+        let lo = times.partition_point(|&(t, _)| t < lower);
+        let hi_now = times.partition_point(|&(t, _)| t <= now);
+        let hi_tick = times.partition_point(|&(_, at)| at <= max_tick);
+        (hi_now.min(hi_tick).saturating_sub(lo)) as u64
     }
 
     /// Total arrivals ever recorded (diagnostic).
@@ -76,7 +144,7 @@ mod tests {
     fn counts_arrivals_within_window() {
         let mut t = RicTracker::new();
         for time in [10, 20, 30, 40] {
-            t.record_arrival(k("R+A"), time);
+            t.record_arrival(k("R+A"), time, time);
         }
         assert_eq!(t.rate(k("R+A"), 40, 100), 4);
         assert_eq!(t.rate(k("R+A"), 40, 15), 2); // 30 and 40 are within (25, 40]
@@ -87,8 +155,8 @@ mod tests {
     #[test]
     fn pruning_is_permanent() {
         let mut t = RicTracker::new();
-        t.record_arrival(k("k"), 1);
-        t.record_arrival(k("k"), 100);
+        t.record_arrival(k("k"), 1, 1);
+        t.record_arrival(k("k"), 100, 100);
         // A narrow window at t=100 prunes the old arrival...
         assert_eq!(t.rate(k("k"), 100, 10), 1);
         // ...so a later wide query no longer sees it (the tracker only keeps
@@ -101,9 +169,9 @@ mod tests {
     #[test]
     fn distinct_keys_are_independent() {
         let mut t = RicTracker::new();
-        t.record_arrival(k("a"), 5);
-        t.record_arrival(k("b"), 5);
-        t.record_arrival(k("b"), 6);
+        t.record_arrival(k("a"), 5, 5);
+        t.record_arrival(k("b"), 5, 5);
+        t.record_arrival(k("b"), 6, 6);
         assert_eq!(t.rate(k("a"), 10, 100), 1);
         assert_eq!(t.rate(k("b"), 10, 100), 2);
         assert_eq!(t.tracked_keys(), 2);
@@ -112,8 +180,45 @@ mod tests {
     #[test]
     fn rate_at_same_tick_counts_current_arrival() {
         let mut t = RicTracker::new();
-        t.record_arrival(k("k"), 50);
+        t.record_arrival(k("k"), 50, 50);
         // window of zero ticks still counts the arrival at `now` itself.
         assert_eq!(t.rate(k("k"), 50, 0), 1);
+        assert_eq!(t.rate_at(k("k"), 50, 0, 50), 1);
+    }
+
+    #[test]
+    fn rate_at_is_pure_and_filters_by_tick() {
+        let mut t = RicTracker::new();
+        // Three arrivals sharing one compressed clock (`now`=50) but
+        // delivered at ticks 10, 11 and 12, plus one genuinely later.
+        t.record_arrival(k("k"), 50, 10);
+        t.record_arrival(k("k"), 50, 11);
+        t.record_arrival(k("k"), 50, 12);
+        t.record_arrival(k("k"), 60, 60);
+        // A reader at tick 11 sees only the first two, whatever the owner
+        // has processed since.
+        assert_eq!(t.rate_at(k("k"), 50, 100, 11), 2);
+        // A reader at tick 12 sees all three compressed arrivals but not
+        // the future one (now-bounded).
+        assert_eq!(t.rate_at(k("k"), 50, 100, 12), 3);
+        assert_eq!(t.rate_at(k("k"), 60, 100, 60), 4);
+        // Narrow windows apply to the recorded clock, not the tick.
+        assert_eq!(t.rate_at(k("k"), 60, 5, 60), 1);
+        // rate_at never pruned anything.
+        assert_eq!(t.rate(k("k"), 60, 1000), 4);
+    }
+
+    #[test]
+    fn bounded_recording_drops_only_out_of_horizon_entries() {
+        let mut t = RicTracker::new();
+        t.record_arrival_bounded(k("k"), 10, 10, 20);
+        t.record_arrival_bounded(k("k"), 25, 25, 20);
+        // horizon 20 at now=35 drops the arrival at 10 (< 15), keeps 25.
+        t.record_arrival_bounded(k("k"), 35, 35, 20);
+        assert_eq!(t.rate_at(k("k"), 35, 1000, 35), 2);
+        assert_eq!(t.total_arrivals(), 3, "totals count every arrival ever");
+        // Reads inside the horizon are unaffected by the pruning.
+        assert_eq!(t.rate_at(k("k"), 35, 20, 35), 2);
+        assert_eq!(t.rate(k("k"), 35, 20), 2);
     }
 }

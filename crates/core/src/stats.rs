@@ -1,6 +1,6 @@
 //! Aggregated statistics of an engine run, in the units the paper reports.
 
-use rjoin_metrics::{Distribution, SharingCounters};
+use rjoin_metrics::{Distribution, ShardRuntimeStats, SharingCounters};
 use serde::{Deserialize, Serialize};
 
 /// A snapshot of the metrics the paper's figures are built from.
@@ -40,6 +40,13 @@ pub struct ExperimentStats {
     pub stored_queries_current: u64,
     /// Cumulative shared sub-join savings (zero when sharing is disabled).
     pub sharing: SharingCounters,
+    /// Deliveries that stayed inside their source shard (sharded drains
+    /// only; zero under the single-queue driver).
+    pub intra_shard_messages: u64,
+    /// Deliveries that crossed a shard boundary (sharded drains only).
+    pub cross_shard_messages: u64,
+    /// How the sharded runtime executed (zeroed for single-queue runs).
+    pub shard_runtime: ShardRuntimeStats,
 }
 
 impl ExperimentStats {
@@ -97,6 +104,9 @@ mod tests {
             sl_participants: 10,
             stored_queries_current: 12,
             sharing: SharingCounters::default(),
+            intra_shard_messages: 0,
+            cross_shard_messages: 0,
+            shard_runtime: ShardRuntimeStats::default(),
         }
     }
 

@@ -172,15 +172,26 @@ impl ChordNode {
     /// node strictly precedes `key` (the caller then falls back to the
     /// successor).
     pub fn closest_preceding_node(&self, key: Id) -> Option<Id> {
+        self.closest_preceding_live_node(key, |_| true)
+    }
+
+    /// Like [`closest_preceding_node`](Self::closest_preceding_node) but
+    /// skips candidates rejected by `alive` (used by read-only lookups that
+    /// must route around dead pointers without repairing them).
+    pub fn closest_preceding_live_node(
+        &self,
+        key: Id,
+        mut alive: impl FnMut(Id) -> bool,
+    ) -> Option<Id> {
         for (_, finger) in self.fingers.iter_desc() {
-            if finger.in_open_interval(self.id, key) {
+            if finger.in_open_interval(self.id, key) && alive(finger) {
                 return Some(finger);
             }
         }
         // Also consider the successor list: right after a join or failure
         // the finger table may not mention the immediate successor yet.
         for s in &self.successors {
-            if s.in_open_interval(self.id, key) {
+            if s.in_open_interval(self.id, key) && alive(*s) {
                 return Some(*s);
             }
         }

@@ -398,6 +398,60 @@ impl ChordNetwork {
         Err(DhtError::LookupStuck { at: current, key })
     }
 
+    /// Routes a lookup for `key` starting at node `from` **without mutating
+    /// any routing state** — the shared-reference twin of
+    /// [`lookup`](Self::lookup), used by the sharded runtime where many
+    /// worker threads route concurrently over one ring.
+    ///
+    /// On a fully stabilized ring (no dead pointers) the walk, path and
+    /// owner are identical to [`lookup`](Self::lookup) — this is the only
+    /// regime the engine drains in, since membership changes re-stabilize
+    /// the ring first. When a dead pointer *is* encountered, the walk skips
+    /// it (modelling timeout-and-retry) but, unlike the `&mut` version,
+    /// leaves the repair to the next stabilization round.
+    pub fn lookup_stable(&self, from: Id, key: Id) -> Result<LookupResult, DhtError> {
+        if !self.nodes.contains_key(&from) {
+            return Err(DhtError::UnknownNode { id: from });
+        }
+        let mut path = vec![from];
+        let mut current = from;
+        for _ in 0..self.max_hops {
+            let node = self.nodes.get(&current).expect("current node is live");
+            let successor = node.successor();
+
+            if current == successor || key.in_open_closed_interval(current, successor) {
+                let owner = if self.nodes.contains_key(&successor) {
+                    successor
+                } else {
+                    // Successor died and has not been repaired yet: fall
+                    // back to the ground truth (without repairing).
+                    self.successor_of(key)?
+                };
+                if owner != current {
+                    path.push(owner);
+                }
+                let hops = path.len() - 1;
+                return Ok(LookupResult { owner, path, hops });
+            }
+
+            // Forward to the closest preceding *live* node, skipping (but
+            // not repairing) dead fingers.
+            let next = node
+                .closest_preceding_live_node(key, |c| self.nodes.contains_key(&c))
+                .filter(|n| *n != current)
+                .or_else(|| {
+                    let succ = node.successor();
+                    (succ != current && self.nodes.contains_key(&succ)).then_some(succ)
+                });
+            let Some(next) = next else {
+                return Err(DhtError::LookupStuck { at: current, key });
+            };
+            path.push(next);
+            current = next;
+        }
+        Err(DhtError::LookupStuck { at: current, key })
+    }
+
     /// Moves a node from `old_id` to `new_id` on the ring (identifier
     /// movement, the load-balancing primitive of Karger & Ruhl used in the
     /// paper's Figure 9 experiment). The node leaves gracefully and re-joins

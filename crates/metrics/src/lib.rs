@@ -18,16 +18,20 @@
 //! * [`Table`] — a small text/CSV/JSON table used by the benchmark harness
 //!   to print the rows of each figure,
 //! * [`SharingCounters`] — how much indexing/storage work the shared
-//!   sub-join registry saved (multi-query optimization).
+//!   sub-join registry saved (multi-query optimization),
+//! * [`ShardRuntimeStats`] — how a sharded event-queue drain executed
+//!   (shard count, per-shard tick activations, blocked cross-shard reads).
 
 mod counters;
 mod distribution;
 mod report;
 mod series;
+mod shard;
 mod sharing;
 
 pub use counters::LoadMap;
 pub use distribution::Distribution;
 pub use report::Table;
 pub use series::CumulativeSeries;
+pub use shard::ShardRuntimeStats;
 pub use sharing::SharingCounters;

@@ -9,34 +9,61 @@
 //!   to the successors of a set of identifiers,
 //! * `sendDirect(msg, addr)` — deliver `msg` to a known address in one hop.
 //!
-//! [`Network`] implements these primitives on top of the Chord simulation of
-//! [`rjoin_dht`], accounting **network traffic the way the paper measures
+//! The [`Transport`] trait captures those primitives (plus the cost-only
+//! `charge_*` variants used to model synchronous request/response
+//! exchanges), accounting **network traffic the way the paper measures
 //! it**: every hop of a routed message is one message sent by the node at
-//! the start of the hop (so both message creation and DHT routing count),
-//! attributed to a caller-chosen [`TrafficClass`] so that e.g. RIC-request
-//! traffic can be reported separately from the total.
+//! the start of the hop, attributed to a caller-chosen [`TrafficClass`].
+//! Two runtimes implement it:
 //!
-//! # Event queue
+//! # The single-queue runtime ([`Network`])
 //!
-//! Because the delay bound δ is a constant and the clock is monotone,
-//! arrival times are scheduled in non-decreasing order. The in-flight queue
-//! exploits this: it is a *bucket queue* — one FIFO bucket per delivery
-//! tick — with O(1) push and pop instead of a binary heap's O(log n)
-//! comparisons per event. Two drain APIs expose the same total `(at, seq)`
-//! order:
+//! One global event queue driven by one thread. Because the delay bound δ
+//! is a constant and the clock is monotone, arrival times are scheduled in
+//! non-decreasing order, so the in-flight queue is a *bucket queue* — one
+//! FIFO bucket per delivery tick — with O(1) push and pop. Two drain APIs
+//! expose the same total `(at, seq)` order: [`Network::pop_next`] (single
+//! stepping) and [`Network::pop_tick`] (a whole tick at once, which lets a
+//! driver fan one tick's handlers out across cores).
 //!
-//! * [`Network::pop_next`] — one delivery at a time (single-stepping), and
-//! * [`Network::pop_tick`] — every delivery of the earliest tick at once,
-//!   which is what lets the engine process one tick as a batch and fan the
-//!   batch out across cores.
+//! # The sharded runtime ([`ShardedNetwork`])
+//!
+//! N per-shard bucket queues, each with its own local virtual clock, each
+//! driven by a persistent worker thread. Shards own disjoint, contiguous
+//! ranges of the ring ([`ShardMap`]); intra-shard messages never leave
+//! their shard's queue, cross-shard messages go through a bounded
+//! outbox/inbox handoff. Instead of a global tick barrier, shards obey a
+//! conservative **watermark protocol** (documented on [`ShardedNetwork`]): a
+//! shard processes its next tick `t` only once every peer's published low
+//! watermark proves that no message arriving at or before `t` can still be
+//! produced. With the uniform link delay δ ≥ 1 this is deadlock-free — the
+//! shard holding the minimal watermark can always run, and by running it
+//! releases its peers — so independent event cascades on different shards
+//! proceed concurrently with no synchronization beyond a few atomic
+//! watermark updates per tick.
+//!
+//! Intra-tick determinism under sharding comes from **lineages**
+//! ([`root_lineage`]/[`child_lineage`]): 128-bit causal identities chained
+//! from each message's parent, invariant across shard counts and thread
+//! interleavings, which replace the single queue's global sequence numbers
+//! as the intra-tick order key.
 //!
 //! Message payloads are generic: the RJoin engine defines its own message
-//! enum and drives the simulation by draining the queue.
+//! enum and drives the simulation by draining the queue(s).
 
 mod network;
+mod queue;
+mod shard;
 mod time;
 mod traffic;
+mod transport;
 
 pub use network::{Delivery, Network, NetworkConfig};
+pub use queue::BucketQueue;
+pub use shard::{
+    child_lineage, lineage_seed, root_lineage, Lineage, ShardDelivery, ShardHandle, ShardLocal,
+    ShardMap, ShardPoll, ShardedNetwork,
+};
 pub use time::SimTime;
-pub use traffic::{TrafficClass, TrafficStats};
+pub use traffic::{account_route, TrafficClass, TrafficStats};
+pub use transport::Transport;

@@ -1,8 +1,8 @@
 //! The simulated network: DHT-routed delivery with bounded delay.
 
-use crate::{SimTime, TrafficClass, TrafficStats};
+use crate::queue::BucketQueue;
+use crate::{SimTime, TrafficClass, TrafficStats, Transport};
 use rjoin_dht::{ChordNetwork, DhtError, Id, LookupResult};
-use std::collections::VecDeque;
 
 /// Configuration of the simulated network.
 #[derive(Debug, Clone, Copy)]
@@ -39,85 +39,18 @@ pub struct Delivery<M> {
 }
 
 /// Internal queue entry; buckets keep entries in (time, sequence) order.
+///
+/// Every message is scheduled `δ` ticks after the (monotone) clock, so
+/// arrival times enter the [`BucketQueue`] in non-decreasing order and
+/// entries within a bucket are FIFO by sequence number: draining a whole
+/// bucket yields exactly the global `(at, seq)` order a binary heap would
+/// have produced, at O(1) per event.
 #[derive(Debug)]
 struct Scheduled<M> {
     seq: u64,
     to: Id,
     from: Id,
     msg: M,
-}
-
-/// A bucket queue of in-flight messages, one bucket per delivery tick.
-///
-/// Every message is scheduled `δ` ticks after the (monotone) clock, so
-/// arrival times are pushed in non-decreasing order and a push is O(1):
-/// either the last bucket matches the arrival tick or a new bucket is
-/// appended. Entries within a bucket are FIFO by sequence number, which
-/// makes draining a whole bucket ([`BucketQueue::pop_tick`]) yield exactly
-/// the global `(at, seq)` order the old binary heap produced — without the
-/// `O(log n)` comparisons per event. Out-of-order pushes (not produced by
-/// any current caller) are still handled correctly via binary search.
-#[derive(Debug)]
-struct BucketQueue<M> {
-    buckets: VecDeque<(SimTime, VecDeque<Scheduled<M>>)>,
-    len: usize,
-}
-
-impl<M> BucketQueue<M> {
-    fn new() -> Self {
-        BucketQueue { buckets: VecDeque::new(), len: 0 }
-    }
-
-    fn len(&self) -> usize {
-        self.len
-    }
-
-    /// The earliest scheduled delivery tick, if any message is in flight.
-    fn next_time(&self) -> Option<SimTime> {
-        self.buckets.front().map(|(at, _)| *at)
-    }
-
-    fn push(&mut self, at: SimTime, entry: Scheduled<M>) {
-        self.len += 1;
-        let behind_tail = match self.buckets.back_mut() {
-            Some((t, bucket)) if *t == at => {
-                bucket.push_back(entry);
-                return;
-            }
-            Some((t, _)) => *t > at,
-            None => false,
-        };
-        if !behind_tail {
-            self.buckets.push_back((at, VecDeque::from([entry])));
-            return;
-        }
-        // Slow path for a push behind the tail. Sequence numbers are
-        // globally increasing, so appending within the found bucket
-        // preserves FIFO order.
-        match self.buckets.binary_search_by(|(t, _)| t.cmp(&at)) {
-            Ok(i) => self.buckets[i].1.push_back(entry),
-            Err(i) => self.buckets.insert(i, (at, VecDeque::from([entry]))),
-        }
-    }
-
-    /// Pops the globally earliest entry.
-    fn pop_front(&mut self) -> Option<(SimTime, Scheduled<M>)> {
-        let (at, bucket) = self.buckets.front_mut()?;
-        let at = *at;
-        let entry = bucket.pop_front().expect("buckets are never left empty");
-        if bucket.is_empty() {
-            self.buckets.pop_front();
-        }
-        self.len -= 1;
-        Some((at, entry))
-    }
-
-    /// Drains the entire earliest bucket in FIFO order.
-    fn pop_bucket(&mut self) -> Option<(SimTime, VecDeque<Scheduled<M>>)> {
-        let (at, bucket) = self.buckets.pop_front()?;
-        self.len -= bucket.len();
-        Some((at, bucket))
-    }
 }
 
 /// The simulated network: a Chord ring plus an event queue of in-flight
@@ -128,7 +61,7 @@ pub struct Network<M> {
     config: NetworkConfig,
     clock: SimTime,
     seq: u64,
-    queue: BucketQueue<M>,
+    queue: BucketQueue<Scheduled<M>>,
     traffic: TrafficStats,
 }
 
@@ -212,17 +145,7 @@ impl<M> Network<M> {
     }
 
     fn account_path(&mut self, path: &[Id], class: TrafficClass) {
-        // Every hop is one message sent by the node at the start of the hop:
-        // the originator counts for creating + sending the message, each
-        // intermediate node counts for routing it.
-        if path.len() >= 2 {
-            for sender in &path[..path.len() - 1] {
-                self.traffic.record_sent(*sender, class);
-            }
-        } else if let Some(only) = path.first() {
-            // Local delivery still counts as one message created.
-            self.traffic.record_sent(*only, class);
-        }
+        crate::traffic::account_route(&mut self.traffic, path, class);
     }
 
     fn schedule(&mut self, at: SimTime, to: Id, from: Id, msg: M) {
@@ -325,6 +248,64 @@ impl<M> Network<M> {
             .map(|s| Delivery { at, seq: s.seq, to: s.to, from: s.from, msg: s.msg })
             .collect();
         Some((at, deliveries))
+    }
+
+    /// Removes *every* in-flight message in `(at, seq)` order **without**
+    /// advancing the clock. Used to hand the pending event set over to a
+    /// [`ShardedNetwork`](crate::ShardedNetwork) drain: the sharded runtime
+    /// re-schedules the messages into its per-shard queues and reports the
+    /// final clock back via [`advance_to`](Self::advance_to).
+    pub fn drain_in_flight(&mut self) -> Vec<Delivery<M>> {
+        let mut drained = Vec::with_capacity(self.queue.len());
+        while let Some((at, bucket)) = self.queue.pop_bucket() {
+            drained.extend(
+                bucket
+                    .into_iter()
+                    .map(|s| Delivery { at, seq: s.seq, to: s.to, from: s.from, msg: s.msg }),
+            );
+        }
+        drained
+    }
+}
+
+impl<M> Transport<M> for Network<M> {
+    fn now(&self) -> SimTime {
+        Network::now(self)
+    }
+
+    fn delay(&self) -> SimTime {
+        Network::delay(self)
+    }
+
+    fn owner_of(&self, key_id: Id) -> Result<Id, DhtError> {
+        Network::owner_of(self, key_id)
+    }
+
+    fn send(
+        &mut self,
+        from: Id,
+        key_id: Id,
+        msg: M,
+        class: TrafficClass,
+    ) -> Result<LookupResult, DhtError> {
+        Network::send(self, from, key_id, msg, class)
+    }
+
+    fn send_direct(&mut self, from: Id, to: Id, msg: M, class: TrafficClass) {
+        Network::send_direct(self, from, to, msg, class)
+    }
+
+    fn charge_route(
+        &mut self,
+        from: Id,
+        key_id: Id,
+        class: TrafficClass,
+    ) -> Result<LookupResult, DhtError> {
+        Network::charge_route(self, from, key_id, class)
+    }
+
+    fn charge_direct(&mut self, from: Id, class: TrafficClass) {
+        Network::charge_direct(self, from, class)
     }
 }
 
@@ -483,16 +464,32 @@ mod tests {
         // No current caller schedules behind the queue tail (δ is constant
         // and the clock is monotone), but the bucket queue must stay correct
         // if one ever does.
-        let mut q: super::BucketQueue<&str> = super::BucketQueue::new();
-        q.push(10, super::Scheduled { seq: 0, to: Id(1), from: Id(2), msg: "late" });
-        q.push(5, super::Scheduled { seq: 1, to: Id(1), from: Id(2), msg: "early" });
-        q.push(5, super::Scheduled { seq: 2, to: Id(1), from: Id(2), msg: "early2" });
-        q.push(7, super::Scheduled { seq: 3, to: Id(1), from: Id(2), msg: "mid" });
+        let mut q: BucketQueue<Scheduled<&str>> = BucketQueue::new();
+        q.push(10, Scheduled { seq: 0, to: Id(1), from: Id(2), msg: "late" });
+        q.push(5, Scheduled { seq: 1, to: Id(1), from: Id(2), msg: "early" });
+        q.push(5, Scheduled { seq: 2, to: Id(1), from: Id(2), msg: "early2" });
+        q.push(7, Scheduled { seq: 3, to: Id(1), from: Id(2), msg: "mid" });
         assert_eq!(q.len(), 4);
         let order: Vec<(SimTime, &str)> =
             std::iter::from_fn(|| q.pop_front().map(|(at, s)| (at, s.msg))).collect();
         assert_eq!(order, vec![(5, "early"), (5, "early2"), (7, "mid"), (10, "late")]);
         assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn drain_in_flight_empties_the_queue_without_advancing_the_clock() {
+        let (mut net, ids) = network(10);
+        net.send_direct(ids[0], ids[1], "a", CLASS_A);
+        net.advance_to(40);
+        net.send_direct(ids[0], ids[2], "b", CLASS_A);
+        let drained = net.drain_in_flight();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].msg, "a");
+        assert_eq!(drained[0].at, 5);
+        assert_eq!(drained[1].at, 45);
+        assert!(drained[0].seq < drained[1].seq);
+        assert_eq!(net.in_flight(), 0);
+        assert_eq!(net.now(), 40, "draining must not move the clock");
     }
 
     #[test]

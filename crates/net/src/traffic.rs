@@ -38,6 +38,25 @@ impl ClassCounts {
     }
 }
 
+/// Accounts one routed message along `path` into `traffic`: every hop is one
+/// message sent by the node at the start of the hop (the originator counts
+/// for creating + sending the message, each intermediate node for routing
+/// it); a purely local delivery still counts as one message created.
+///
+/// This is the single definition of the paper's per-hop cost model, shared
+/// by the single-queue [`Network`](crate::Network) and the per-shard senders
+/// of [`ShardedNetwork`](crate::ShardedNetwork) so the two transports are
+/// accounting-identical by construction.
+pub fn account_route(traffic: &mut TrafficStats, path: &[Id], class: TrafficClass) {
+    if path.len() >= 2 {
+        for sender in &path[..path.len() - 1] {
+            traffic.record_sent(*sender, class);
+        }
+    } else if let Some(only) = path.first() {
+        traffic.record_sent(*only, class);
+    }
+}
+
 /// Per-node message counters, broken down by [`TrafficClass`].
 ///
 /// Following the paper's definition, the traffic a node incurs is the number
@@ -50,10 +69,17 @@ impl ClassCounts {
 /// counters in the simulation; node keys are ring identifiers (already
 /// uniform), so the maps use the cheap [`RingBuildHasher`] instead of
 /// SipHash.
+///
+/// Under the sharded runtime the stats additionally record, per scheduled
+/// delivery, whether the message stayed inside its source shard or crossed
+/// a shard boundary — the shard-locality signal the sharded drain is tuned
+/// by. The single-queue transport leaves both counters at zero.
 #[derive(Debug, Clone, Default)]
 pub struct TrafficStats {
     sent: HashMap<Id, ClassCounts, RingBuildHasher>,
     received: HashMap<Id, u64, RingBuildHasher>,
+    intra_shard: u64,
+    cross_shard: u64,
 }
 
 impl TrafficStats {
@@ -114,10 +140,33 @@ impl TrafficStats {
         self.sent.values().filter(|m| m.total() > 0).count()
     }
 
+    /// Records one delivery scheduled by the sharded runtime, tagged by
+    /// whether it crossed a shard boundary.
+    pub fn record_shard_hop(&mut self, cross_shard: bool) {
+        if cross_shard {
+            self.cross_shard += 1;
+        } else {
+            self.intra_shard += 1;
+        }
+    }
+
+    /// Deliveries that stayed within their source shard (sharded runtime
+    /// only; zero under the single-queue transport).
+    pub fn intra_shard_sent(&self) -> u64 {
+        self.intra_shard
+    }
+
+    /// Deliveries that crossed a shard boundary (sharded runtime only).
+    pub fn cross_shard_sent(&self) -> u64 {
+        self.cross_shard
+    }
+
     /// Resets all counters (used between experiment phases).
     pub fn reset(&mut self) {
         self.sent.clear();
         self.received.clear();
+        self.intra_shard = 0;
+        self.cross_shard = 0;
     }
 
     /// Merges another set of counters into this one.
@@ -131,6 +180,8 @@ impl TrafficStats {
         for (id, count) in &other.received {
             *self.received.entry(*id).or_insert(0) += count;
         }
+        self.intra_shard += other.intra_shard;
+        self.cross_shard += other.cross_shard;
     }
 }
 
@@ -192,6 +243,35 @@ mod tests {
         assert_eq!(a.sent_by(Id(1)), 2);
         assert_eq!(a.sent_by(Id(2)), 1);
         assert_eq!(a.received_by(Id(1)), 1);
+    }
+
+    #[test]
+    fn shard_hop_counters_accumulate_merge_and_reset() {
+        let mut a = TrafficStats::new();
+        a.record_shard_hop(false);
+        a.record_shard_hop(true);
+        a.record_shard_hop(true);
+        assert_eq!(a.intra_shard_sent(), 1);
+        assert_eq!(a.cross_shard_sent(), 2);
+        let mut b = TrafficStats::new();
+        b.record_shard_hop(false);
+        b.merge(&a);
+        assert_eq!(b.intra_shard_sent(), 2);
+        assert_eq!(b.cross_shard_sent(), 2);
+        b.reset();
+        assert_eq!(b.intra_shard_sent(), 0);
+        assert_eq!(b.cross_shard_sent(), 0);
+    }
+
+    #[test]
+    fn account_route_charges_every_hop_sender() {
+        let mut stats = TrafficStats::new();
+        account_route(&mut stats, &[Id(1), Id(2), Id(3)], A);
+        assert_eq!(stats.sent_by(Id(1)), 1);
+        assert_eq!(stats.sent_by(Id(2)), 1);
+        assert_eq!(stats.sent_by(Id(3)), 0, "the final receiver sends nothing");
+        account_route(&mut stats, &[Id(9)], B);
+        assert_eq!(stats.sent_by_class(Id(9), B), 1, "local delivery is one created message");
     }
 
     #[test]

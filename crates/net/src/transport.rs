@@ -1,0 +1,80 @@
+//! The transport abstraction: the messaging API a simulation driver sees.
+//!
+//! The paper's system model needs exactly three primitives — `send`,
+//! `multiSend` and `sendDirect` — plus the cost-only accounting variants the
+//! engine uses to model synchronous RIC exchanges. [`Transport`] captures
+//! them behind one trait so the engine's effect phase can be written once
+//! and run against either event-queue runtime:
+//!
+//! * [`Network`](crate::Network) — the single global bucket queue, driven by
+//!   one thread in strict `(at, seq)` order, and
+//! * the per-shard sender handles of [`ShardedNetwork`](crate::ShardedNetwork)
+//!   — each shard schedules into its own queue and exchanges cross-shard
+//!   messages through outbox/inbox handoff under conservative clock
+//!   synchronization.
+
+use crate::{SimTime, TrafficClass};
+use rjoin_dht::{DhtError, Id, LookupResult};
+
+/// The messaging surface of a simulated network runtime.
+///
+/// All implementations share the same cost model: a routed message is one
+/// message sent per hop of its DHT lookup path (creation + routing), a
+/// direct message is one message, and every delivery is scheduled exactly
+/// the delay bound δ after the sender's current clock.
+pub trait Transport<M> {
+    /// The sender-side clock: the simulation time deliveries are scheduled
+    /// relative to.
+    fn now(&self) -> SimTime;
+
+    /// The configured per-message delay bound δ.
+    fn delay(&self) -> SimTime;
+
+    /// Resolves the node currently responsible for `key_id` without sending
+    /// anything and without accounting traffic (an ownership oracle).
+    fn owner_of(&self, key_id: Id) -> Result<Id, DhtError>;
+
+    /// `send(msg, id)`: routes `msg` from `from` to `Successor(key_id)`,
+    /// accounting one message per hop under `class`, and schedules delivery
+    /// after the delay bound.
+    fn send(
+        &mut self,
+        from: Id,
+        key_id: Id,
+        msg: M,
+        class: TrafficClass,
+    ) -> Result<LookupResult, DhtError>;
+
+    /// `multiSend(M, I)`: routes each `(key_id, msg)` pair independently, as
+    /// the paper's API does (cost `h * O(log N)` hops).
+    fn multi_send(
+        &mut self,
+        from: Id,
+        items: Vec<(Id, M)>,
+        class: TrafficClass,
+    ) -> Result<Vec<LookupResult>, DhtError> {
+        let mut results = Vec::with_capacity(items.len());
+        for (key_id, msg) in items {
+            results.push(self.send(from, key_id, msg, class)?);
+        }
+        Ok(results)
+    }
+
+    /// `sendDirect(msg, addr)`: delivers `msg` to a known address in one
+    /// hop.
+    fn send_direct(&mut self, from: Id, to: Id, msg: M, class: TrafficClass);
+
+    /// Accounts the traffic of routing one message to `Successor(key_id)`
+    /// without scheduling a delivery (synchronous request/response whose
+    /// cost must still be charged).
+    fn charge_route(
+        &mut self,
+        from: Id,
+        key_id: Id,
+        class: TrafficClass,
+    ) -> Result<LookupResult, DhtError>;
+
+    /// Accounts one direct (single-hop) message without scheduling a
+    /// delivery. Companion of [`charge_route`](Self::charge_route).
+    fn charge_direct(&mut self, from: Id, class: TrafficClass);
+}

@@ -123,6 +123,117 @@ fn parallel_mode_is_byte_identical_to_sequential_mode() {
     );
 }
 
+/// One engine run with a caller-chosen driver: `shards == 0` uses the
+/// sequential driver, any other count drains through
+/// `run_until_quiescent_parallel` with that shard count. Returns every
+/// observable the suite compares: answer count, loads, traffic, the sorted
+/// per-node load/traffic vectors and the sorted delivered-row multiset.
+fn run_observables(
+    scenario: &Scenario,
+    config: EngineConfig,
+    shards: usize,
+) -> (u64, u64, u64, Vec<u64>, Vec<u64>, String) {
+    let catalog = scenario.workload_schema().build_catalog();
+    let config = if shards == 0 { config } else { config.with_shards(shards) };
+    let mut engine = RJoinEngine::new(config, catalog, scenario.nodes);
+    let nodes = engine.node_ids().to_vec();
+    let drain = |engine: &mut RJoinEngine| {
+        if shards == 0 {
+            engine.run_until_quiescent().unwrap();
+        } else {
+            engine.run_until_quiescent_parallel().unwrap();
+        }
+    };
+    let mut qids = Vec::new();
+    for (i, q) in scenario.generate_queries().into_iter().enumerate() {
+        qids.push(engine.submit_query(nodes[i % nodes.len()], q).unwrap());
+    }
+    drain(&mut engine);
+    for (i, t) in scenario.generate_tuples(engine.now() + 1).into_iter().enumerate() {
+        engine.publish_tuple(nodes[i % nodes.len()], t).unwrap();
+    }
+    drain(&mut engine);
+
+    let stats = engine.stats();
+    let mut qpl_per_node: Vec<u64> = nodes.iter().map(|id| engine.qpl_per_node().get(id)).collect();
+    qpl_per_node.sort_unstable();
+    let mut traffic_per_node: Vec<u64> = nodes.iter().map(|id| engine.traffic().sent_by(*id)).collect();
+    traffic_per_node.sort_unstable();
+    let mut all_rows: Vec<Vec<Value>> =
+        qids.iter().flat_map(|qid| engine.answers().rows_for(*qid)).collect();
+    all_rows.sort();
+    (
+        stats.answers,
+        stats.qpl_total,
+        stats.traffic_total,
+        qpl_per_node,
+        traffic_per_node,
+        serde_json::to_string(&all_rows).unwrap(),
+    )
+}
+
+/// The sharded event-queue runtime is **byte-identical across shard counts
+/// {1, 2, 4, 8}** — answers, QPL (total and per node), traffic (total and
+/// per node) and the delivered-row multiset all match exactly, with shard
+/// count 1 being the plain sequential driver.
+///
+/// The config pins down the two legitimate sources of divergence so the
+/// identity is exact: `FirstInClause` placement consumes no randomness
+/// (the sharded driver derives placement RNG per decision instead of from
+/// the sequential global stream), and the ALTT makes same-tick
+/// query/attribute-tuple arrivals order-symmetric (without it, an
+/// attribute-level tuple is discarded by its handler, so whether a query
+/// arriving in the *same tick* sees it depends on intra-tick order — the
+/// exact completeness hole under delays that Section 4 introduces the ALTT
+/// to close).
+#[test]
+fn sharded_driver_is_byte_identical_across_shard_counts() {
+    let scenario = test_scenario();
+    let config = || EngineConfig::with_placement(PlacementStrategy::FirstInClause).with_altt(100);
+    let reference = run_observables(&scenario, config(), 0);
+    assert!(reference.0 > 0, "the determinism scenario should produce answers");
+    for shards in [1usize, 2, 4, 8] {
+        let sharded = run_observables(&scenario, config(), shards);
+        assert_eq!(
+            reference, sharded,
+            "shard count {shards} must be byte-identical to the sequential driver"
+        );
+    }
+}
+
+/// Under the default configuration (RIC-aware placement), sharded runs are
+/// deterministic and **identical for every shard count > 1**, and their
+/// answer multiset matches the sequential driver's (the RNG-stream and
+/// RIC-pruning differences shift placement choices, i.e. traffic, but never
+/// answers).
+#[test]
+fn sharded_default_config_agrees_across_shard_counts() {
+    let scenario = test_scenario();
+    let reference = run_observables(&scenario, EngineConfig::default(), 2);
+    assert!(reference.0 > 0, "the determinism scenario should produce answers");
+    for shards in [2usize, 4, 8] {
+        let run_a = run_observables(&scenario, EngineConfig::default(), shards);
+        let run_b = run_observables(&scenario, EngineConfig::default(), shards);
+        assert_eq!(run_a, run_b, "repeated sharded runs at {shards} shards must be identical");
+        assert_eq!(run_a, reference, "shard counts 2 and {shards} must agree exactly");
+    }
+    let sequential = run_observables(&scenario, EngineConfig::default(), 0);
+    assert_eq!(
+        sequential.5, reference.5,
+        "sharded and sequential drivers must deliver the same answer multiset"
+    );
+}
+
+/// `with_shards(1)` routes through the single-queue driver and stays
+/// byte-identical to the plain sequential drain under the default config.
+#[test]
+fn with_shards_one_is_the_sequential_driver() {
+    let scenario = test_scenario();
+    let sequential = run_observables(&scenario, EngineConfig::default(), 0);
+    let one_shard = run_observables(&scenario, EngineConfig::default(), 1);
+    assert_eq!(sequential, one_shard);
+}
+
 /// Different seeds produce observably different workloads (sanity check that
 /// the seed is actually threaded through, not ignored).
 #[test]
