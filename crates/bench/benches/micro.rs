@@ -64,5 +64,11 @@ fn bench_zipf(c: &mut Criterion) {
     c.bench_function("zipf_sample_100_theta09", |b| b.iter(|| sampler.sample(black_box(&mut rng))));
 }
 
-criterion_group!(benches, bench_sha1, bench_chord_lookup, bench_query_parse_and_rewrite, bench_zipf);
+criterion_group!(
+    benches,
+    bench_sha1,
+    bench_chord_lookup,
+    bench_query_parse_and_rewrite,
+    bench_zipf
+);
 criterion_main!(benches);

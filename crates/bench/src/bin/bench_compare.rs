@@ -23,8 +23,7 @@ const DEFAULT_THRESHOLD_PCT: f64 = 15.0;
 fn load(path: &str) -> BenchReport {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read bench report {path}: {e}"));
-    serde_json::from_str(&text)
-        .unwrap_or_else(|e| panic!("cannot parse bench report {path}: {e}"))
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("cannot parse bench report {path}: {e}"))
 }
 
 /// The highest-numbered `BENCH_<n>.json` in the current directory — the
@@ -92,10 +91,7 @@ fn main() {
     let mut regressions = Vec::new();
     for d in &deltas {
         let flag = if d.regressed(threshold) { "  <-- REGRESSION" } else { "" };
-        println!(
-            "{:<32} {:>12.3} {:>12.3} {:>8.1}%{flag}",
-            d.case_id, d.old_ms, d.new_ms, d.pct
-        );
+        println!("{:<32} {:>12.3} {:>12.3} {:>8.1}%{flag}", d.case_id, d.old_ms, d.new_ms, d.pct);
         if d.regressed(threshold) {
             // GitHub Actions warning annotation: visible in the run UI
             // without failing the job.

@@ -3,12 +3,16 @@
 //! track the performance trajectory across PRs.
 //!
 //! Usage: `cargo run --release -p rjoin-bench --bin bench_json -- [OUT.json]`
-//! (default output path `BENCH_4.json`). The environment variable
-//! `BENCH_JSON_ITERS` overrides the per-benchmark iteration count (default 5;
-//! CI uses a small count — the point is trajectory, not statistics).
+//! (default output path `BENCH_5.json`). Environment variables:
 //!
-//! Compare a fresh report against a committed one with the `bench_compare`
-//! binary.
+//! * `BENCH_JSON_ITERS` — per-benchmark iteration count (default 5; CI uses
+//!   a small count — the point is trajectory, not statistics);
+//! * `BENCH_JSON_GROUPS` — comma-separated group filter (e.g.
+//!   `sharding_runtime`), so special-purpose CI legs (the multicore runner)
+//!   can re-record just the groups they exist for;
+//! * `RJOIN_WORKERS` — worker-thread count of the sharded drains (read by
+//!   the engine), decoupling worker count from shard count on multicore
+//!   runners.
 
 use rjoin_bench::{BenchReport, BenchResult};
 use rjoin_core::{EngineConfig, PlacementStrategy, RJoinEngine};
@@ -25,7 +29,11 @@ fn bench_scenario() -> Scenario {
 /// scenario: 300 queries / 20 patterns = 15 queries per shared sub-join.
 const OVERLAP_PATTERNS: usize = 20;
 
-fn drive(engine: &mut RJoinEngine, queries: Vec<rjoin_query::JoinQuery>, scenario: &Scenario) -> u64 {
+fn drive(
+    engine: &mut RJoinEngine,
+    queries: Vec<rjoin_query::JoinQuery>,
+    scenario: &Scenario,
+) -> u64 {
     let origins: Vec<_> = engine.node_ids().to_vec();
     for (i, q) in queries.into_iter().enumerate() {
         engine.submit_query(origins[i % origins.len()], q).unwrap();
@@ -69,12 +77,32 @@ fn run_overlap(config: EngineConfig, scenario: &Scenario) -> u64 {
     drive(&mut engine, scenario.generate_overlapping_queries(OVERLAP_PATTERNS), scenario)
 }
 
-fn measure(
-    group: &str,
-    bench: &str,
-    iters: u64,
-    mut f: impl FnMut() -> u64,
-) -> BenchResult {
+/// Heavy-hitter threshold / partition count of the `skew` group's split
+/// leg (the values the split-vs-unsplit oracle suite uses).
+const SKEW_THRESHOLD: u64 = 12;
+const SKEW_PARTITIONS: u32 = 16;
+
+/// The skewed hot-key workload, driven the continuous way (drain after
+/// every publication, so heat detection sees quiescent points). The
+/// `unsplit`/`split` delta is the cost/benefit of hot-key splitting on a
+/// point-mass workload.
+fn run_skew(config: EngineConfig) -> u64 {
+    let scenario = Scenario::skew_test(0.9);
+    let catalog = scenario.workload_schema().build_catalog();
+    let mut engine = RJoinEngine::new(config, catalog, scenario.nodes);
+    let origins: Vec<_> = engine.node_ids().to_vec();
+    for (i, q) in scenario.generate_queries().into_iter().enumerate() {
+        engine.submit_query(origins[i % origins.len()], q).unwrap();
+    }
+    engine.run_until_quiescent().unwrap();
+    for (i, t) in scenario.generate_tuples(engine.now() + 1).into_iter().enumerate() {
+        engine.publish_tuple(origins[i % origins.len()], t).unwrap();
+        engine.run_until_quiescent().unwrap();
+    }
+    engine.total_qpl()
+}
+
+fn measure(group: &str, bench: &str, iters: u64, mut f: impl FnMut() -> u64) -> BenchResult {
     // One untimed warm-up iteration.
     std::hint::black_box(f());
     let mut best = f64::INFINITY;
@@ -101,61 +129,91 @@ fn measure(
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_4.json".to_string());
-    let iters: u64 = std::env::var("BENCH_JSON_ITERS")
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_5.json".to_string());
+    let iters: u64 =
+        std::env::var("BENCH_JSON_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(5);
+    // Optional group filter: `BENCH_JSON_GROUPS=sharding_runtime,skew`.
+    let groups: Option<Vec<String>> = std::env::var("BENCH_JSON_GROUPS")
         .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(5);
+        .map(|v| v.split(',').map(|g| g.trim().to_string()).filter(|g| !g.is_empty()).collect());
+    let want = |group: &str| groups.as_ref().is_none_or(|gs| gs.iter().any(|g| g == group));
     let scenario = bench_scenario();
 
     let mut results = Vec::new();
-    for (name, strategy) in [
-        ("ric_aware", PlacementStrategy::RicAware),
-        ("random", PlacementStrategy::Random),
-        ("worst", PlacementStrategy::Worst),
-        ("first_in_clause", PlacementStrategy::FirstInClause),
-    ] {
-        results.push(measure("placement_strategy", name, iters, || {
-            run(EngineConfig::with_placement(strategy), &scenario)
+    if want("placement_strategy") {
+        for (name, strategy) in [
+            ("ric_aware", PlacementStrategy::RicAware),
+            ("random", PlacementStrategy::Random),
+            ("worst", PlacementStrategy::Worst),
+            ("first_in_clause", PlacementStrategy::FirstInClause),
+        ] {
+            results.push(measure("placement_strategy", name, iters, || {
+                run(EngineConfig::with_placement(strategy), &scenario)
+            }));
+        }
+    }
+    if want("ric_reuse") {
+        results.push(measure("ric_reuse", "with_reuse", iters, || {
+            run(EngineConfig::default(), &scenario)
+        }));
+        results.push(measure("ric_reuse", "without_reuse", iters, || {
+            run(EngineConfig::default().without_ric_reuse(), &scenario)
         }));
     }
-    results.push(measure("ric_reuse", "with_reuse", iters, || {
-        run(EngineConfig::default(), &scenario)
-    }));
-    results.push(measure("ric_reuse", "without_reuse", iters, || {
-        run(EngineConfig::default().without_ric_reuse(), &scenario)
-    }));
-    for window in [10u64, 40] {
-        let mut windowed = bench_scenario();
-        windowed.window = rjoin_query::WindowSpec::sliding_tuples(window);
-        results.push(measure("window_size", &format!("W{window}"), iters, || {
-            run(EngineConfig::default(), &windowed)
-        }));
+    if want("window_size") {
+        for window in [10u64, 40] {
+            let mut windowed = bench_scenario();
+            windowed.window = rjoin_query::WindowSpec::sliding_tuples(window);
+            results.push(measure("window_size", &format!("W{window}"), iters, || {
+                run(EngineConfig::default(), &windowed)
+            }));
+        }
     }
     // Multi-query optimization: the same overlapping workload with and
     // without the shared sub-join registry. The delta is the sharing win.
-    results.push(measure("sharing", "unshared", iters, || {
-        run_overlap(EngineConfig::default(), &scenario)
-    }));
-    results.push(measure("sharing", "shared", iters, || {
-        run_overlap(EngineConfig::default().with_shared_subjoins(), &scenario)
-    }));
+    if want("sharing") {
+        results.push(measure("sharing", "unshared", iters, || {
+            run_overlap(EngineConfig::default(), &scenario)
+        }));
+        results.push(measure("sharing", "shared", iters, || {
+            run_overlap(EngineConfig::default().with_shared_subjoins(), &scenario)
+        }));
+    }
     // Sharded event-queue runtime on the cascade-heavy standard workload:
     // single global queue vs per-shard clocks with conservative cross-shard
     // synchronization (threaded on multicore hosts, cooperative on one
     // core). Compare against placement_strategy/ric_aware — the PR 3
     // sequential baseline on the same workload.
-    results.push(measure("sharding_runtime", "single_queue", iters, || {
-        run_parallel(EngineConfig::default(), &scenario)
-    }));
-    for shards in [2usize, 4, 8] {
-        results.push(measure("sharding_runtime", &format!("shards{shards}"), iters, || {
-            run_parallel(EngineConfig::default().with_shards(shards), &scenario)
+    if want("sharding_runtime") {
+        results.push(measure("sharding_runtime", "single_queue", iters, || {
+            run_parallel(EngineConfig::default(), &scenario)
+        }));
+        for shards in [2usize, 4, 8] {
+            results.push(measure("sharding_runtime", &format!("shards{shards}"), iters, || {
+                run_parallel(EngineConfig::default().with_shards(shards), &scenario)
+            }));
+        }
+    }
+    // Hot-key splitting on the point-mass skew workload: the `split` leg
+    // pays tuple routing, query fan-out and activation migration; the
+    // answer stream is identical (oracle-checked in the split suite).
+    if want("skew") {
+        results.push(measure("skew", "unsplit", iters, || {
+            run_skew(EngineConfig::default().with_altt(8_000))
+        }));
+        results.push(measure("skew", "split", iters, || {
+            run_skew(
+                EngineConfig::default()
+                    .with_altt(8_000)
+                    .with_hot_key_splitting(SKEW_THRESHOLD, SKEW_PARTITIONS),
+            )
         }));
     }
 
     let report = BenchReport {
-        schema_version: 3,
+        // v4 adds the `skew` group (hot-key splitting on the point-mass
+        // workload) and the group filter.
+        schema_version: 4,
         nodes: scenario.nodes,
         queries: scenario.queries,
         tuples: scenario.tuples,

@@ -61,9 +61,5 @@ fn main() {
             println!("{}", table.to_json());
         }
     }
-    println!(
-        "# generated {} table(s) in {:.1}s",
-        tables.len(),
-        started.elapsed().as_secs_f64()
-    );
+    println!("# generated {} table(s) in {:.1}s", tables.len(), started.elapsed().as_secs_f64());
 }

@@ -52,9 +52,7 @@ fn distribution_table(title: &str, series: &[(String, &Distribution)]) -> Table 
     if len == 0 {
         return table;
     }
-    let mut ranks: Vec<usize> = (0..CURVE_POINTS)
-        .map(|i| i * len / CURVE_POINTS)
-        .collect();
+    let mut ranks: Vec<usize> = (0..CURVE_POINTS).map(|i| i * len / CURVE_POINTS).collect();
     ranks.push(len - 1);
     ranks.dedup();
     for rank in ranks {
@@ -98,10 +96,8 @@ pub fn fig2(scale: Scale) -> Vec<Table> {
         "Figure 2(b): query processing load per node",
         ["tuples", "worst", "random", "rjoin"],
     );
-    let mut sl = Table::new(
-        "Figure 2(c): storage load per node",
-        ["tuples", "worst", "random", "rjoin"],
-    );
+    let mut sl =
+        Table::new("Figure 2(c): storage load per node", ["tuples", "worst", "random", "rjoin"]);
 
     for (i, point) in tuple_points.iter().enumerate() {
         let at = |name: &str| -> &rjoin_core::ExperimentStats {
@@ -175,10 +171,8 @@ pub fn fig3(scale: Scale) -> Vec<Table> {
 
 /// Figure 4: effect of increasing the number of indexed queries.
 pub fn fig4(scale: Scale) -> Vec<Table> {
-    let query_points: Vec<usize> = [2_000, 4_000, 8_000, 16_000, 32_000]
-        .iter()
-        .map(|q| scale.scaled_queries(*q))
-        .collect();
+    let query_points: Vec<usize> =
+        [2_000, 4_000, 8_000, 16_000, 32_000].iter().map(|q| scale.scaled_queries(*q)).collect();
     let tuples = scale.tuples(1000);
 
     let results: Vec<(usize, RunResult)> = query_points
@@ -374,6 +368,93 @@ fn aggregate_on_ring(ring: &ChordNetwork, key_loads: &BTreeMap<Id, u64>) -> Dist
     Distribution::from_values(loads.values().copied())
 }
 
+/// The point-mass skew workload of the Figure 9 extension, scaled.
+fn skew_scenario(scale: Scale) -> Scenario {
+    let mut scenario = Scenario::skew_test(0.9);
+    match scale {
+        Scale::Full => {
+            scenario.nodes = 128;
+            scenario.queries = 240;
+            scenario.tuples = 400;
+        }
+        Scale::Reduced => {}
+        Scale::Smoke => {
+            scenario.queries = 60;
+            scenario.tuples = 50;
+        }
+    }
+    scenario
+}
+
+/// Figure 9 extension: hot-key splitting vs identifier movement on the
+/// point-mass skew workload (θ = 0.9 plus a hotspot). Identifier movement
+/// alone cannot divide the hottest key's load; share-based splitting turns
+/// it into medium sub-keys that identifier movement then balances, so the
+/// two tiers compose. One summary table: per-node QPL max / Gini /
+/// participants for (a) no balancing, (b) identifier movement only,
+/// (c) splitting + identifier movement — plus the answer counts proving
+/// the split run delivers the same answers.
+pub fn fig9_split(scale: Scale) -> Vec<Table> {
+    let scenario = skew_scenario(scale);
+    let base_config = EngineConfig::default().with_altt(8_000);
+    let split_config = base_config.clone().with_hot_key_splitting(12, 16);
+    let unsplit = run_experiment(&scenario, base_config, &[]);
+    let split = run_experiment(&scenario, split_config, &[]);
+
+    let mut reference: Network<()> = Network::new(NetworkConfig::default());
+    reference.bootstrap(scenario.nodes, "rjoin-node");
+    let raw = aggregate_on_ring(reference.dht(), &unsplit.qpl_by_key);
+
+    let moves = scenario.nodes / 4;
+    let mut idmove_ring: Network<()> = Network::new(NetworkConfig::default());
+    idmove_ring.bootstrap(scenario.nodes, "rjoin-node");
+    balance::rebalance(idmove_ring.dht_mut(), &unsplit.qpl_by_key, moves)
+        .expect("rebalance on a healthy ring");
+    let idmove_only = aggregate_on_ring(idmove_ring.dht(), &unsplit.qpl_by_key);
+
+    let mut two_tier_ring: Network<()> = Network::new(NetworkConfig::default());
+    two_tier_ring.bootstrap(scenario.nodes, "rjoin-node");
+    balance::rebalance(two_tier_ring.dht_mut(), &split.qpl_by_key, moves)
+        .expect("rebalance on a healthy ring");
+    let two_tier = aggregate_on_ring(two_tier_ring.dht(), &split.qpl_by_key);
+
+    let mut summary = Table::new(
+        "Figure 9 extension: hot-key splitting under identifier movement (skew θ=0.9 + hotspot)",
+        ["metric", "unbalanced", "id_movement_only", "split_plus_id_movement"],
+    );
+    summary.push_row([
+        "max QPL".to_string(),
+        raw.max().to_string(),
+        idmove_only.max().to_string(),
+        two_tier.max().to_string(),
+    ]);
+    summary.push_row([
+        "gini".to_string(),
+        fmt_f(raw.gini()),
+        fmt_f(idmove_only.gini()),
+        fmt_f(two_tier.gini()),
+    ]);
+    summary.push_row([
+        "participants".to_string(),
+        raw.participants().to_string(),
+        idmove_only.participants().to_string(),
+        two_tier.participants().to_string(),
+    ]);
+    summary.push_row([
+        "answers".to_string(),
+        unsplit.answers.to_string(),
+        unsplit.answers.to_string(),
+        split.answers.to_string(),
+    ]);
+    summary.push_row([
+        "keys split".to_string(),
+        "0".to_string(),
+        "0".to_string(),
+        split.stats.splits.keys_split.to_string(),
+    ]);
+    vec![summary]
+}
+
 /// Figure 9: effect of identifier movement (the low-level load-balancing
 /// technique of Karger & Ruhl) on the query-processing and storage load
 /// distributions.
@@ -407,10 +488,8 @@ pub fn fig9(scale: Scale) -> Vec<Table> {
         &[("without".to_string(), &without_sl), ("with".to_string(), &with_sl)],
     );
 
-    let mut summary = Table::new(
-        "Figure 9 summary: id movement effect",
-        ["metric", "without", "with"],
-    );
+    let mut summary =
+        Table::new("Figure 9 summary: id movement effect", ["metric", "without", "with"]);
     summary.push_row([
         "max QPL".to_string(),
         without_qpl.max().to_string(),
@@ -432,7 +511,9 @@ pub fn fig9(scale: Scale) -> Vec<Table> {
         with_sl.participants().to_string(),
     ]);
 
-    vec![fig9a, fig9b, summary]
+    let mut tables = vec![fig9a, fig9b, summary];
+    tables.extend(fig9_split(scale));
+    tables
 }
 
 /// Ablation of the Section 7 traffic optimisations: RIC piggy-backing and
@@ -465,11 +546,7 @@ pub fn ablation_ric_reuse(scale: Scale) -> Vec<Table> {
         fmt_f(per_node(with.stats.qpl_total, with.nodes)),
         fmt_f(per_node(without.stats.qpl_total, without.nodes)),
     ]);
-    table.push_row([
-        "answers".to_string(),
-        with.answers.to_string(),
-        without.answers.to_string(),
-    ]);
+    table.push_row(["answers".to_string(), with.answers.to_string(), without.answers.to_string()]);
     vec![table]
 }
 
@@ -528,8 +605,7 @@ pub fn sharing_modes(scale: Scale) -> Vec<Table> {
     );
     for (name, scenario) in figure_scenarios(scale) {
         let off = run_experiment(&scenario, EngineConfig::default(), &[]);
-        let on =
-            run_experiment(&scenario, EngineConfig::default().with_shared_subjoins(), &[]);
+        let on = run_experiment(&scenario, EngineConfig::default().with_shared_subjoins(), &[]);
         let answers_equal = off.answers == on.answers;
         let wins = answers_equal
             && on.stats.traffic_total <= off.stats.traffic_total
@@ -567,6 +643,7 @@ pub fn run_figure(name: &str, scale: Scale) -> Option<Vec<Table>> {
         "fig6" => Some(fig6(scale)),
         "fig7" | "fig8" | "fig7_fig8" => Some(fig7_fig8(scale)),
         "fig9" => Some(fig9(scale)),
+        "fig9_split" | "skew" => Some(fig9_split(scale)),
         "all" => {
             let mut tables = Vec::new();
             tables.extend(fig2(scale));
@@ -615,12 +692,31 @@ mod tests {
     #[test]
     fn fig9_reports_both_configurations() {
         let tables = fig9(Scale::Smoke);
-        assert_eq!(tables.len(), 3);
+        assert_eq!(tables.len(), 4);
         let summary = &tables[2];
         assert_eq!(summary.rows().len(), 4);
         let max_without: u64 = summary.rows()[0][1].parse().unwrap();
         let max_with: u64 = summary.rows()[0][2].parse().unwrap();
         assert!(max_with <= max_without, "id movement must not increase the maximum load");
+    }
+
+    #[test]
+    fn fig9_split_extension_composes_the_two_tiers() {
+        let tables = fig9_split(Scale::Smoke);
+        assert_eq!(tables.len(), 1);
+        let rows = tables[0].rows();
+        assert_eq!(rows.len(), 5);
+        let idmove_max: u64 = rows[0][2].parse().unwrap();
+        let two_tier_max: u64 = rows[0][3].parse().unwrap();
+        assert!(
+            two_tier_max <= idmove_max,
+            "splitting + id movement must not exceed id movement alone ({two_tier_max} vs {idmove_max})"
+        );
+        let answers_unsplit: u64 = rows[3][1].parse().unwrap();
+        let answers_split: u64 = rows[3][3].parse().unwrap();
+        assert_eq!(answers_unsplit, answers_split, "the split run must deliver the same answers");
+        let keys_split: u64 = rows[4][3].parse().unwrap();
+        assert!(keys_split > 0, "the smoke skew workload must trip the splitter");
     }
 
     #[test]

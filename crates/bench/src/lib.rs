@@ -11,9 +11,10 @@
 //! | 4(a–c) | [`figures::fig4`] | Effect of the number of indexed queries |
 //! | 5(a–c) | [`figures::fig5`] | Effect of the Zipf skew θ |
 //! | 6(a–c) | [`figures::fig6`] | Effect of query complexity (4/6/8-way joins) |
-//! | 7(a–c) | [`figures::fig7`] | Effect of the sliding-window size |
-//! | 8(a–b) | [`figures::fig8`] | Cumulative QPL/SL per window size |
+//! | 7(a–c) | [`figures::fig7_fig8`] | Effect of the sliding-window size |
+//! | 8(a–b) | [`figures::fig7_fig8`] | Cumulative QPL/SL per window size |
 //! | 9(a–b) | [`figures::fig9`] | Identifier-movement load balancing |
+//! | 9-ext | [`figures::fig9_split`] | Hot-key splitting + identifier movement |
 //!
 //! The `figures` binary (`cargo run -p rjoin-bench --release --bin figures`)
 //! prints the tables; Criterion micro-benchmarks live under `benches/`.

@@ -79,7 +79,12 @@ pub fn compare_reports(baseline: &BenchReport, fresh: &BenchReport) -> Vec<CaseD
             continue;
         }
         let pct = (new.ms_per_iter - old.ms_per_iter) / old.ms_per_iter * 100.0;
-        deltas.push(CaseDelta { case_id: id, old_ms: old.ms_per_iter, new_ms: new.ms_per_iter, pct });
+        deltas.push(CaseDelta {
+            case_id: id,
+            old_ms: old.ms_per_iter,
+            new_ms: new.ms_per_iter,
+            pct,
+        });
     }
     deltas
 }

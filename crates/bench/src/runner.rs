@@ -101,8 +101,7 @@ mod tests {
 
     #[test]
     fn runner_produces_consistent_metrics() {
-        let result =
-            run_experiment(&smoke_scenario(), EngineConfig::default(), &[20, 40]);
+        let result = run_experiment(&smoke_scenario(), EngineConfig::default(), &[20, 40]);
         assert_eq!(result.tuples, 40);
         assert_eq!(result.per_tuple_qpl.len(), 40);
         assert_eq!(result.per_tuple_sl.len(), 40);
@@ -125,11 +124,8 @@ mod tests {
     fn ric_aware_produces_less_traffic_than_worst() {
         let scenario = smoke_scenario();
         let rjoin = run_experiment(&scenario, EngineConfig::default(), &[]);
-        let worst = run_experiment(
-            &scenario,
-            EngineConfig::with_placement(PlacementStrategy::Worst),
-            &[],
-        );
+        let worst =
+            run_experiment(&scenario, EngineConfig::with_placement(PlacementStrategy::Worst), &[]);
         assert!(
             rjoin.stats.qpl_total < worst.stats.qpl_total,
             "RIC-aware placement should process fewer rewritten queries ({} vs {})",

@@ -90,6 +90,26 @@ pub struct EngineConfig {
     /// (derived per decision instead of from one global stream) and the
     /// pruning-free RIC reads.
     pub shards: usize,
+    /// Number of worker threads the sharded drain may use, decoupled from
+    /// the shard count. `None` (the default) resolves at drain time: the
+    /// `RJOIN_WORKERS` environment variable if set, otherwise the machine's
+    /// available parallelism. `1` forces the cooperative single-threaded
+    /// scheduler; values between `2` and `shards - 1` drive the shards with
+    /// a phase-parallel worker pool; values `>= shards` give every shard
+    /// its own persistent worker. The choice never changes results — only
+    /// how the same deterministic schedule is executed.
+    pub workers: Option<usize>,
+    /// Heavy-hitter threshold for hot-key splitting: when a tuple
+    /// publication observes that one of its index keys received at least
+    /// this many tuples during the last [`ric_window`](Self::ric_window)
+    /// ticks (read from the owning node's RIC tracker), the key is split
+    /// into [`hot_key_partitions`](Self::hot_key_partitions) sub-keys.
+    /// `None` (the default) disables splitting: the paper's base system.
+    pub hot_key_threshold: Option<u64>,
+    /// Number of sub-keys `s` a hot key is split into (the key's *share* in
+    /// Afrati et al.'s terms). Ignored while
+    /// [`hot_key_threshold`](Self::hot_key_threshold) is `None`.
+    pub hot_key_partitions: u32,
 }
 
 impl Default for EngineConfig {
@@ -106,6 +126,9 @@ impl Default for EngineConfig {
             successor_list_len: 4,
             seed: 0x8101_2008,
             shards: 1,
+            workers: None,
+            hot_key_threshold: None,
+            hot_key_partitions: 8,
         }
     }
 }
@@ -172,6 +195,27 @@ impl EngineConfig {
         self.shards = shards.max(1);
         self
     }
+
+    /// Pins the number of worker threads the sharded drain uses (clamped to
+    /// at least 1), independent of the shard count. Without this the drain
+    /// honours the `RJOIN_WORKERS` environment variable, falling back to
+    /// the machine's available parallelism.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Enables hot-key splitting: a key observed to receive at least
+    /// `threshold` tuples per RIC window is split into `partitions`
+    /// deterministic sub-keys — tuples route to exactly one sub-key,
+    /// queries register at all of them, and the answer stream is identical
+    /// to the unsplit run while the hot key's load spreads over
+    /// `partitions` nodes. `partitions` is clamped to at least 2.
+    pub fn with_hot_key_splitting(mut self, threshold: u64, partitions: u32) -> Self {
+        self.hot_key_threshold = Some(threshold);
+        self.hot_key_partitions = partitions.max(2);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -189,6 +233,19 @@ mod tests {
         assert_eq!(c.shards, 1, "the default driver is the single-queue one");
         assert_eq!(EngineConfig::default().with_shards(8).shards, 8);
         assert_eq!(EngineConfig::default().with_shards(0).shards, 1, "shards clamp to >= 1");
+        assert_eq!(c.workers, None, "worker count resolves at drain time by default");
+        assert_eq!(EngineConfig::default().with_workers(3).workers, Some(3));
+        assert_eq!(EngineConfig::default().with_workers(0).workers, Some(1));
+        assert!(c.hot_key_threshold.is_none(), "splitting is opt-in: the default is the paper");
+    }
+
+    #[test]
+    fn hot_key_splitting_builder_sets_and_clamps() {
+        let c = EngineConfig::default().with_hot_key_splitting(25, 4);
+        assert_eq!(c.hot_key_threshold, Some(25));
+        assert_eq!(c.hot_key_partitions, 4);
+        let c = EngineConfig::default().with_hot_key_splitting(1, 0);
+        assert_eq!(c.hot_key_partitions, 2, "a split needs at least two partitions");
     }
 
     #[test]

@@ -85,10 +85,7 @@ pub fn projection(query: &JoinQuery, tuple: &Tuple, schema: &Schema) -> Vec<Opti
         }
     }
     wanted.sort_unstable();
-    wanted
-        .into_iter()
-        .map(|idx| tuple.value(idx).cloned())
-        .collect()
+    wanted.into_iter().map(|idx| tuple.value(idx).cloned()).collect()
 }
 
 #[cfg(test)]

@@ -5,16 +5,17 @@ use crate::answers::{AnswerLog, AnswerRecord};
 use crate::config::{EngineConfig, PlacementStrategy};
 use crate::error::EngineError;
 use crate::messages::{PendingQuery, QueryId, RJoinMessage, RicInfo};
+use crate::node_state::DrainedState;
 use crate::node_state::{NodeState, RicEntry};
 use crate::placement::choose_candidate;
 use crate::procedures::{self, Action, ProcCtx};
+use crate::split::{choose_grid, partition_for_query, partition_for_tuple, SplitGrid, SplitMap};
 use crate::stats::ExperimentStats;
 use crate::traffic_class;
-use crate::node_state::DrainedState;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rjoin_dht::{HashedKey, Id, RingBuildHasher};
-use rjoin_metrics::{Distribution, LoadMap, ShardRuntimeStats, SharingCounters};
+use rjoin_metrics::{Distribution, LoadMap, ShardRuntimeStats, SharingCounters, SplitCounters};
 use rjoin_net::{Delivery, Network, NetworkConfig, SimTime, TrafficStats, Transport};
 use rjoin_query::{candidate_keys, tuple_index_keys, IndexKey, IndexLevel, JoinQuery};
 use rjoin_relation::{Catalog, Tuple};
@@ -56,11 +57,7 @@ pub(crate) enum TickEffect {
     /// An answer reached the node that submitted the query.
     Answer(AnswerRecord),
     /// A node-local handler ran: apply its load counters and actions.
-    Node {
-        node: Id,
-        load: Option<LoadDelta>,
-        actions: Vec<Action>,
-    },
+    Node { node: Id, load: Option<LoadDelta>, actions: Vec<Action> },
 }
 
 /// All deliveries of one tick addressed to one node, bundled with that
@@ -83,8 +80,7 @@ impl NodeGroup {
     fn run(&mut self, catalog: &Catalog, config: &EngineConfig, now: SimTime) {
         self.effects.reserve(self.items.len());
         for (pos, at, msg) in self.items.drain(..) {
-            let effect =
-                handle_node_msg(&mut self.state, catalog, config, now, at, self.node, msg);
+            let effect = handle_node_msg(&mut self.state, catalog, config, now, at, self.node, msg);
             self.effects.push((pos, effect));
         }
     }
@@ -164,6 +160,13 @@ pub struct RJoinEngine {
     /// Cumulative sharded-runtime observability counters (all zero until a
     /// sharded drain runs).
     pub(crate) shard_runtime: ShardRuntimeStats,
+    /// Active hot-key splits. Mutated only between drains (split activation
+    /// is a quiescent-point operation, like membership churn); read-only
+    /// during drains, which keeps the sharded driver's concurrent dispatch
+    /// deterministic.
+    pub(crate) splits: SplitMap,
+    /// Cumulative hot-key splitting counters.
+    pub(crate) split_counters: SplitCounters,
 }
 
 impl RJoinEngine {
@@ -191,6 +194,8 @@ impl RJoinEngine {
             qpl_by_key: KeyLoadMap::new(),
             sl_by_key: KeyLoadMap::new(),
             shard_runtime: ShardRuntimeStats::default(),
+            splits: SplitMap::new(),
+            split_counters: SplitCounters::new(),
         }
     }
 
@@ -295,6 +300,14 @@ impl RJoinEngine {
     /// The payload is moved into one shared [`Arc`]; the `2 × arity` index
     /// copies all reference it, and every index key is interned (string
     /// derived + SHA-1 hashed exactly once) before it enters the network.
+    ///
+    /// With hot-key splitting enabled
+    /// ([`EngineConfig::with_hot_key_splitting`]), publication is also where
+    /// heavy hitters are detected: when the network is quiescent, each index
+    /// key's observed tuple rate (the owning node's RIC tracker) is checked
+    /// against the threshold and crossing keys are split before this tuple
+    /// is routed. Index copies for a split key go to exactly one sub-key,
+    /// chosen by a deterministic content hash of the tuple.
     pub fn publish_tuple(&mut self, origin: Id, tuple: Tuple) -> Result<(), EngineError> {
         if !self.nodes.contains_key(&origin) {
             return Err(EngineError::UnknownNode { id: origin });
@@ -304,14 +317,27 @@ impl RJoinEngine {
         // windows and window joins see consistent time.
         self.network.advance_to(tuple.pub_time());
         let schema = self.catalog.require_schema(tuple.relation())?;
-        let keys = tuple_index_keys(&tuple, schema);
-        let tuple = Arc::new(tuple);
-        let items: Vec<(Id, RJoinMessage)> = keys
+        let keys: Vec<(HashedKey, IndexLevel)> = tuple_index_keys(&tuple, schema)
             .into_iter()
             .map(|key| {
                 let level = key.level();
-                let key = key.hashed();
-                (
+                (key.hashed(), level)
+            })
+            .collect();
+        self.maybe_split_hot_keys(&keys)?;
+        let tuple = Arc::new(tuple);
+        let mut items: Vec<(Id, RJoinMessage)> = Vec::with_capacity(keys.len());
+        for (key, level) in keys {
+            let targets = match self.splits.route_tuple(&key, &tuple) {
+                None => vec![key],
+                Some(cells) => {
+                    self.split_counters.tuples_routed += 1;
+                    self.split_counters.tuple_fanout += cells.len() as u64 - 1;
+                    cells
+                }
+            };
+            for key in targets {
+                items.push((
                     key.id(),
                     RJoinMessage::NewTuple {
                         tuple: Arc::clone(&tuple),
@@ -319,11 +345,163 @@ impl RJoinEngine {
                         level,
                         publisher: origin,
                     },
-                )
-            })
-            .collect();
+                ));
+            }
+        }
         self.network.multi_send(origin, items, traffic_class::TUPLE)?;
         Ok(())
+    }
+
+    /// Heavy-hitter detection: splits every not-yet-split key in `keys`
+    /// whose observed tuple rate over the last RIC window (read pure from
+    /// the owning node's tracker) has reached the configured threshold.
+    ///
+    /// Runs only while the network is quiescent: like membership churn, a
+    /// split re-homes stored state, and messages already in flight to the
+    /// base key must not race the migration. Between drains every message
+    /// referencing the base key has been delivered, so gating on
+    /// `in_flight == 0` makes activation exact — and deterministic, because
+    /// quiescence points and RIC state are identical across drivers.
+    fn maybe_split_hot_keys(
+        &mut self,
+        keys: &[(HashedKey, IndexLevel)],
+    ) -> Result<(), EngineError> {
+        let Some(threshold) = self.config.hot_key_threshold else {
+            return Ok(());
+        };
+        if self.network.in_flight() > 0 {
+            return Ok(());
+        }
+        let partitions = self.config.hot_key_partitions.max(2);
+        let now = self.network.now();
+        let window = self.config.ric_window;
+        for (key, _) in keys {
+            if self.splits.is_split(key.ring()) {
+                continue;
+            }
+            let owner = self.network.owner_of(key.id())?;
+            let Some((tuple_rate, eval_rate)) = self.nodes.get(&owner).map(|s| {
+                (
+                    s.ric().rate_at(key.ring(), now, window, now),
+                    s.eval_ric().rate_at(key.ring(), now, window, now),
+                )
+            }) else {
+                continue;
+            };
+            if tuple_rate.max(eval_rate) >= threshold {
+                // The share grid apportions the cells between the two
+                // streams in proportion to their observed rates (Afrati's
+                // shares applied to RJoin's two delivery streams).
+                let grid = choose_grid(partitions, tuple_rate, eval_rate);
+                self.activate_split(key.clone(), grid)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Activates a split of `key` over the share grid and migrates the base
+    /// key's stored state: each stored query moves to its identity
+    /// column's cells, each stored value-level tuple and ALTT entry to its
+    /// content row's cells — exactly where future arrivals will look for
+    /// them. No-op if the key is already split.
+    ///
+    /// Exposed for harnesses via [`RJoinEngine::split_key`]; the engine
+    /// itself calls it from the publication-time heat check.
+    fn activate_split(&mut self, key: HashedKey, grid: SplitGrid) -> Result<(), EngineError> {
+        let now = self.network.now();
+        if !self.splits.insert(key.clone(), grid, now) {
+            return Ok(());
+        }
+        self.split_counters.keys_split += 1;
+        self.split_counters.partitions_created += grid.cells() as u64;
+
+        let base_ring = key.ring();
+        // Drop every cached RIC estimate for the base key: entries cached
+        // before the split hold the pre-split hot rate, and the candidate
+        // table would keep serving them for up to `ct_validity` ticks,
+        // shunning the freshly split key. Activation is a quiescent-point
+        // operation, so walking the node map here is safe and cheap.
+        for state in self.nodes.values_mut() {
+            state.candidate_table.remove(&base_ring);
+        }
+        let owner = self.network.owner_of(key.id())?;
+        let Some(state) = self.nodes.get_mut(&owner) else {
+            return Ok(());
+        };
+        let drained = state.drain_misplaced(|ring| ring != base_ring);
+        let share = self.config.share_subjoins;
+        let cells = grid.cells();
+        for stored in drained.queries {
+            let col = partition_for_query(stored.pending.id, grid.cols);
+            for row in 0..grid.rows {
+                let sub = key.split_part(row * grid.cols + col, cells);
+                let new_owner = self.network.owner_of(sub.id())?;
+                let mut replica = stored.clone();
+                replica.key = sub;
+                replica.fingerprint = None;
+                if let Some(target) = self.nodes.get_mut(&new_owner) {
+                    target.store_query_shared(replica, share);
+                    self.split_counters.migrated_queries += 1;
+                }
+            }
+        }
+        for (_, bucket) in drained.tuples {
+            for tuple in bucket {
+                let row = partition_for_tuple(&tuple, grid.rows);
+                for col in 0..grid.cols {
+                    let sub = key.split_part(row * grid.cols + col, cells);
+                    let new_owner = self.network.owner_of(sub.id())?;
+                    if let Some(target) = self.nodes.get_mut(&new_owner) {
+                        target.store_tuple(sub.ring(), Arc::clone(&tuple));
+                        self.split_counters.migrated_tuples += 1;
+                    }
+                }
+            }
+        }
+        for (_, bucket) in drained.altt {
+            for (tuple, expires_at) in bucket {
+                let row = partition_for_tuple(&tuple, grid.rows);
+                for col in 0..grid.cols {
+                    let sub = key.split_part(row * grid.cols + col, cells);
+                    let new_owner = self.network.owner_of(sub.id())?;
+                    if let Some(target) = self.nodes.get_mut(&new_owner) {
+                        target.altt_insert(sub.ring(), Arc::clone(&tuple), expires_at);
+                        self.split_counters.migrated_tuples += 1;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Splits `key` over `partitions` sub-keys right now, regardless of its
+    /// observed rate (harness/experiment entry point; the engine's own
+    /// threshold-driven activation uses the same machinery). The share grid
+    /// is chosen from the key's current telemetry exactly like the
+    /// automatic path. Requires a quiescent network — like churn, splitting
+    /// re-homes stored state and must not race in-flight messages.
+    pub fn split_key(
+        &mut self,
+        key: &rjoin_query::IndexKey,
+        partitions: u32,
+    ) -> Result<(), EngineError> {
+        assert_eq!(self.network.in_flight(), 0, "split_key requires a quiescent network");
+        let hashed = key.hashed();
+        let now = self.network.now();
+        let window = self.config.ric_window;
+        let owner = self.network.owner_of(hashed.id())?;
+        let (tuple_rate, eval_rate) = self
+            .nodes
+            .get(&owner)
+            .map(|s| {
+                (
+                    s.ric().rate_at(hashed.ring(), now, window, now),
+                    s.eval_ric().rate_at(hashed.ring(), now, window, now),
+                )
+            })
+            .unwrap_or((0, 0));
+        let grid = choose_grid(partitions.max(2), tuple_rate, eval_rate);
+        self.activate_split(hashed, grid)
     }
 
     /// Adds a node to the running network (churn): the identifier is derived
@@ -547,9 +725,14 @@ impl RJoinEngine {
                 continue;
             };
             let effect = match delivery.msg {
-                RJoinMessage::Answer { query, row, produced_at } => TickEffect::Answer(
-                    AnswerRecord { query, row, produced_at, received_at: delivery.at },
-                ),
+                RJoinMessage::Answer { query, row, produced_at } => {
+                    TickEffect::Answer(AnswerRecord {
+                        query,
+                        row,
+                        produced_at,
+                        received_at: delivery.at,
+                    })
+                }
                 msg => handle_node_msg(
                     state,
                     &self.catalog,
@@ -588,8 +771,7 @@ impl RJoinEngine {
             }
             match delivery.msg {
                 RJoinMessage::Answer { query, row, produced_at } => {
-                    let record =
-                        AnswerRecord { query, row, produced_at, received_at: delivery.at };
+                    let record = AnswerRecord { query, row, produced_at, received_at: delivery.at };
                     slots[pos] = Some(TickEffect::Answer(record));
                 }
                 msg => {
@@ -667,6 +849,19 @@ impl RJoinEngine {
         &self.shard_runtime
     }
 
+    /// The active hot-key splits (empty unless
+    /// [`EngineConfig::with_hot_key_splitting`] is enabled and a key
+    /// crossed the threshold, or a harness called
+    /// [`split_key`](Self::split_key)).
+    pub fn split_map(&self) -> &SplitMap {
+        &self.splits
+    }
+
+    /// Cumulative hot-key splitting counters.
+    pub fn split_counters(&self) -> &SplitCounters {
+        &self.split_counters
+    }
+
     /// Builds a statistics snapshot in the units the paper's figures use.
     pub fn stats(&self) -> ExperimentStats {
         let traffic = self.network.traffic();
@@ -696,6 +891,8 @@ impl RJoinEngine {
             intra_shard_messages: traffic.intra_shard_sent(),
             cross_shard_messages: traffic.cross_shard_sent(),
             shard_runtime: self.shard_runtime.clone(),
+            key_heat: Distribution::from_values(self.qpl_by_key.values()),
+            splits: self.split_counters,
         }
     }
 
@@ -704,6 +901,8 @@ impl RJoinEngine {
             network: &mut self.network,
             nodes: &mut self.nodes,
             rng: &mut self.rng,
+            splits: &self.splits,
+            split_counters: &mut self.split_counters,
         };
         perform_actions_in(&mut env, &self.config, &self.catalog, from, actions)
     }
@@ -720,6 +919,8 @@ impl RJoinEngine {
             network: &mut self.network,
             nodes: &mut self.nodes,
             rng: &mut self.rng,
+            splits: &self.splits,
+            split_counters: &mut self.split_counters,
         };
         dispatch_query_in(&mut env, &self.config, &self.catalog, from, pending, is_input)
     }
@@ -770,6 +971,13 @@ pub(crate) trait EffectEnv {
         rates: &[u64],
         strategy: PlacementStrategy,
     ) -> usize;
+
+    /// The engine's hot-key split registry (read-only during drains).
+    fn splits(&self) -> &SplitMap;
+
+    /// Books `extra` additional query copies sent because the chosen key
+    /// was split (a query registers at every partition).
+    fn note_query_fanout(&mut self, extra: u64);
 }
 
 /// The single-queue environment: global network, global node map, global
@@ -778,6 +986,8 @@ pub(crate) struct SeqEnv<'a> {
     pub(crate) network: &'a mut Network<RJoinMessage>,
     pub(crate) nodes: &'a mut NodeMap,
     pub(crate) rng: &'a mut StdRng,
+    pub(crate) splits: &'a SplitMap,
+    pub(crate) split_counters: &'a mut SplitCounters,
 }
 
 impl EffectEnv for SeqEnv<'_> {
@@ -818,6 +1028,14 @@ impl EffectEnv for SeqEnv<'_> {
         strategy: PlacementStrategy,
     ) -> usize {
         choose_candidate(candidates, rates, strategy, self.rng)
+    }
+
+    fn splits(&self) -> &SplitMap {
+        self.splits
+    }
+
+    fn note_query_fanout(&mut self, extra: u64) {
+        self.split_counters.query_fanout += extra;
     }
 }
 
@@ -883,11 +1101,8 @@ pub(crate) fn dispatch_query_in<E: EffectEnv>(
         // Section 3 base algorithm: rewritten queries always go to the
         // value level (each rewrite introduces at least one value-level
         // candidate, so the filtered list is non-empty for chain joins).
-        let value_only: Vec<IndexKey> = candidates
-            .iter()
-            .filter(|c| c.level() == IndexLevel::Value)
-            .cloned()
-            .collect();
+        let value_only: Vec<IndexKey> =
+            candidates.iter().filter(|c| c.level() == IndexLevel::Value).cloned().collect();
         if !value_only.is_empty() {
             candidates = value_only;
         }
@@ -910,25 +1125,61 @@ pub(crate) fn dispatch_query_in<E: EffectEnv>(
         let mut prev_hop = from;
         let mut requests = 0usize;
         for (i, hkey) in hashed.iter().enumerate() {
-            // Reuse cached RIC information when allowed (Section 7).
+            // Reuse cached RIC information when allowed (Section 7). Cached
+            // entries for split candidates are always split-aware: both
+            // paths cache under the base ring identifier, and activation
+            // purges every pre-split entry for the key, so whatever is
+            // cached here was computed from the per-cell rates below.
             if strategy == PlacementStrategy::RicAware && config.reuse_ric {
                 if let Some(entry) = env.cached_ric(from, hkey.ring(), now, config.ct_validity) {
                     rates[i] = entry.rate;
                     continue;
                 }
             }
-            let owner = env.net().owner_of(hkey.id())?;
-            let rate = env.observed_rate(owner, hkey.ring(), now, config.ric_window);
-            rates[i] = rate;
-            if strategy == PlacementStrategy::RicAware {
-                // Chained RIC request: previous hop forwards the request
-                // to the next candidate (k * O(log N) messages total).
-                env.net().charge_route(prev_hop, hkey.id(), traffic_class::RIC)?;
-                prev_hop = owner;
-                requests += 1;
-                if config.reuse_ric {
-                    env.cache_ric(from, hkey.ring(), RicEntry { rate, observed_at: now });
+            // Split-aware candidate rate: for a split hot key the unit that
+            // carries load is one *cell*, so the candidate's effective
+            // rate is the maximum over its sub-keys (see
+            // `placement::split_effective_rate`) — which is what makes a
+            // freshly split key attractive again. Each cell owner is one
+            // more chained RIC hop.
+            let parts = env.splits().get(hkey.ring()).map(|e| e.grid.cells());
+            let rate = match parts {
+                None => {
+                    let owner = env.net().owner_of(hkey.id())?;
+                    let rate = env.observed_rate(owner, hkey.ring(), now, config.ric_window);
+                    if strategy == PlacementStrategy::RicAware {
+                        // Chained RIC request: previous hop forwards the
+                        // request to the next candidate (k * O(log N)
+                        // messages total).
+                        env.net().charge_route(prev_hop, hkey.id(), traffic_class::RIC)?;
+                        prev_hop = owner;
+                        requests += 1;
+                    }
+                    rate
                 }
+                Some(parts) => {
+                    let mut partition_rates = Vec::with_capacity(parts as usize);
+                    for p in 0..parts {
+                        let sub = hkey.split_part(p, parts);
+                        let owner = env.net().owner_of(sub.id())?;
+                        partition_rates.push(env.observed_rate(
+                            owner,
+                            sub.ring(),
+                            now,
+                            config.ric_window,
+                        ));
+                        if strategy == PlacementStrategy::RicAware {
+                            env.net().charge_route(prev_hop, sub.id(), traffic_class::RIC)?;
+                            prev_hop = owner;
+                            requests += 1;
+                        }
+                    }
+                    crate::placement::split_effective_rate(&partition_rates)
+                }
+            };
+            rates[i] = rate;
+            if strategy == PlacementStrategy::RicAware && config.reuse_ric {
+                env.cache_ric(from, hkey.ring(), RicEntry { rate, observed_at: now });
             }
             // The Worst baseline uses oracle knowledge: no traffic is
             // charged for it (it exists only to bound the design space).
@@ -949,7 +1200,6 @@ pub(crate) fn dispatch_query_in<E: EffectEnv>(
         Some(h) => h.clone(),
         None => candidates[chosen].hashed(),
     };
-    let key_id = key.id();
     let class = if is_input { traffic_class::QUERY_INDEX } else { traffic_class::EVAL };
 
     let carried_ric: Vec<RicInfo> =
@@ -963,19 +1213,48 @@ pub(crate) fn dispatch_query_in<E: EffectEnv>(
             Vec::new()
         };
 
-    let msg = if is_input {
-        RJoinMessage::IndexQuery { pending, key, level }
-    } else {
-        RJoinMessage::Eval { pending, key, level, carried_ric }
+    // Share routing for split keys: the query registers at its identity
+    // column's cells (tuples visit their content row's cells, and the two
+    // sets intersect in exactly one sub-key), so every (query, tuple) pair
+    // still meets exactly once and the answer stream is identical to the
+    // unsplit run. Replicated copies are the split's cost, booked as
+    // fan-out.
+    let targets: Vec<HashedKey> = match env.splits().route_query(&key, pending.id) {
+        Some(cells) => {
+            env.note_query_fanout(cells.len() as u64 - 1);
+            cells
+        }
+        None => vec![key],
     };
-
-    if strategy == PlacementStrategy::RicAware {
-        // After the RIC exchange the chooser knows the address of every
-        // candidate node, so the query itself travels in one hop.
-        let owner = env.net().owner_of(key_id)?;
-        env.net().send_direct(from, owner, msg, class);
-    } else {
-        env.net().send(from, key_id, msg, class)?;
+    let last = targets.len() - 1;
+    let mut pending = Some(pending);
+    let mut carried_ric = Some(carried_ric);
+    for (t, sub) in targets.into_iter().enumerate() {
+        let sub_id = sub.id();
+        // The last copy moves the pending query; earlier ones clone it
+        // (the unsplit common case never clones).
+        let (p, ric) = if t == last {
+            (pending.take().expect("taken once"), carried_ric.take().expect("taken once"))
+        } else {
+            (
+                pending.as_ref().expect("taken only on the last copy").clone(),
+                carried_ric.as_ref().expect("taken only on the last copy").clone(),
+            )
+        };
+        let msg = if is_input {
+            RJoinMessage::IndexQuery { pending: p, key: sub, level }
+        } else {
+            RJoinMessage::Eval { pending: p, key: sub, level, carried_ric: ric }
+        };
+        if strategy == PlacementStrategy::RicAware {
+            // After the RIC exchange the chooser knows the address of every
+            // candidate node (for split candidates: of every partition
+            // owner), so each copy travels in one hop.
+            let owner = env.net().owner_of(sub_id)?;
+            env.net().send_direct(from, owner, msg, class);
+        } else {
+            env.net().send(from, sub_id, msg, class)?;
+        }
     }
     Ok(())
 }

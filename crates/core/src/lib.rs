@@ -73,6 +73,27 @@
 //! tick activations, blocked remote reads) is reported through
 //! [`ExperimentStats`] and [`RJoinEngine::shard_runtime_stats`].
 //!
+//! # Hot-key splitting (share-based partitioning)
+//!
+//! Identifier movement balances load that is spread over many keys, but a
+//! single hot key is a point mass: it hashes to one identifier, and its
+//! entire load lands on whichever node owns it. With
+//! [`EngineConfig::with_hot_key_splitting`] the engine watches each index
+//! key's tuple and `Eval` arrival rates (the existing RIC telemetry plus a
+//! per-node `Eval` twin) at publication time, and a key crossing the
+//! heavy-hitter threshold is split into `s` deterministic sub-keys salted
+//! onto the ring ([`rjoin_dht::HashedKey::split_part`]). The sub-keys form
+//! an `r × c` share grid ([`split::SplitGrid`], shaped by the observed
+//! tuple/`Eval` ratio): tuples route to one row, queries register at one
+//! column, and the two meet in exactly one cell — so the answer stream is
+//! **identical** to the unsplit run (oracle-checked under churn and under
+//! every sharded driver in `tests/split.rs`) while the hot key's load
+//! spreads over `s` nodes. Activation is a quiescent-point operation like
+//! churn: stored state migrates to the cells where future arrivals will
+//! look for it. This is the first optimization that changes *where work
+//! lands* rather than how fast it runs; identifier movement
+//! (`rjoin_dht::balance`) composes with it as the lower tier.
+//!
 //! # Shared sub-join evaluation (multi-query optimization)
 //!
 //! With [`EngineConfig::with_shared_subjoins`] enabled, every node keeps a
@@ -135,6 +156,7 @@ mod procedures;
 mod ric;
 mod shard_driver;
 mod shared;
+pub mod split;
 mod stats;
 
 pub use answers::{AnswerLog, AnswerRecord};
@@ -146,6 +168,7 @@ pub use messages::{PendingQuery, QueryId, RJoinMessage, RicInfo, Subscriber};
 pub use node_state::{DrainedState, NodeState, RicEntry, StoredQuery};
 pub use ric::RicTracker;
 pub use shared::SubJoinRegistry;
+pub use split::{partition_for_tuple, SplitEntry, SplitMap};
 pub use stats::ExperimentStats;
 
 /// Traffic classes used when accounting messages, so that the share of

@@ -157,10 +157,7 @@ impl PendingQuery {
     /// tuple older than every subscriber triggers nothing; per-subscriber
     /// eligibility is re-checked when answers or children are produced).
     pub fn min_insert_time(&self) -> Timestamp {
-        self.extra_subscribers
-            .iter()
-            .map(|s| s.insert_time)
-            .fold(self.insert_time, Timestamp::min)
+        self.extra_subscribers.iter().map(|s| s.insert_time).fold(self.insert_time, Timestamp::min)
     }
 
     /// Total number of subscribers (primary + extras).

@@ -83,6 +83,12 @@ pub struct NodeState {
     /// every node's tracker without aliasing the rest of the state; the
     /// uncontended lock costs a few nanoseconds on the sequential path.
     pub(crate) ric: Arc<Mutex<RicTracker>>,
+    /// Tracker of rewritten-query (`Eval`) arrivals, the query-side twin of
+    /// [`ric`](Self::ric): hot-key splitting compares the two streams to
+    /// decide which side of a heavy hitter to partition. Only read by the
+    /// driver thread between drains (never across shards), so it needs no
+    /// lock.
+    pub(crate) eval_ric: RicTracker,
     /// Sub-join registry: index from canonical sub-join identity to the
     /// stored entry sharing it (see [`crate::SubJoinRegistry`]).
     pub(crate) subjoins: SubJoinRegistry,
@@ -138,6 +144,7 @@ impl NodeState {
             altt: RingMap::default(),
             candidate_table: RingMap::default(),
             ric: Arc::new(Mutex::new(RicTracker::new())),
+            eval_ric: RicTracker::new(),
             subjoins: SubJoinRegistry::new(),
             sharing: SharingCounters::new(),
             query_count: 0,
@@ -155,6 +162,12 @@ impl NodeState {
     /// runtime's rate directory).
     pub(crate) fn ric_handle(&self) -> Arc<Mutex<RicTracker>> {
         Arc::clone(&self.ric)
+    }
+
+    /// Read access to this node's `Eval`-arrival tracker (the query-side
+    /// heat signal of hot-key splitting).
+    pub fn eval_ric(&self) -> &RicTracker {
+        &self.eval_ric
     }
 
     /// Read access to this node's sharing counters.
@@ -304,8 +317,10 @@ impl NodeState {
                     }
                 }
                 None => {
-                    self.candidate_table
-                        .insert(info.key.ring(), RicEntry { rate: info.rate, observed_at: info.observed_at });
+                    self.candidate_table.insert(
+                        info.key.ring(),
+                        RicEntry { rate: info.rate, observed_at: info.observed_at },
+                    );
                 }
             }
         }
@@ -313,7 +328,12 @@ impl NodeState {
 
     /// Looks up a cached RIC estimate that is still valid at `now` given the
     /// configured validity horizon.
-    pub fn cached_ric(&self, key: u64, now: SimTime, validity: Option<SimTime>) -> Option<RicEntry> {
+    pub fn cached_ric(
+        &self,
+        key: u64,
+        now: SimTime,
+        validity: Option<SimTime>,
+    ) -> Option<RicEntry> {
         let entry = self.candidate_table.get(&key)?;
         match validity {
             Some(v) if now.saturating_sub(entry.observed_at) > v => None,
@@ -327,8 +347,7 @@ impl NodeState {
     /// returned so the engine can hand it to the new owners.
     pub fn drain_misplaced(&mut self, mut keep: impl FnMut(u64) -> bool) -> DrainedState {
         let mut drained = DrainedState::default();
-        let rings: Vec<u64> =
-            self.stored_queries.keys().copied().filter(|r| !keep(*r)).collect();
+        let rings: Vec<u64> = self.stored_queries.keys().copied().filter(|r| !keep(*r)).collect();
         for ring in rings {
             let bucket = self.stored_queries.remove(&ring).expect("ring collected above");
             let rewritten = bucket.iter().filter(|s| !s.pending.is_input()).count();
@@ -432,12 +451,7 @@ mod tests {
         } else {
             "SELECT R.A FROM R, S WHERE R.A = S.A"
         };
-        PendingQuery::input(
-            QueryId { owner: Id(1), seq: 0 },
-            Id(1),
-            0,
-            parse_query(sql).unwrap(),
-        )
+        PendingQuery::input(QueryId { owner: Id(1), seq: 0 }, Id(1), 0, parse_query(sql).unwrap())
     }
 
     fn tuple(pub_time: u64) -> Arc<Tuple> {
@@ -456,8 +470,8 @@ mod tests {
     fn storage_counts_exclude_input_queries() {
         let mut state = NodeState::new(Id(7));
         state.store_query(StoredQuery::new(pending(false), key("R+A"), IndexLevel::Attribute));
-        let rewritten = pending(false)
-            .child(parse_query("SELECT 5 FROM S WHERE S.A = 5").unwrap(), Some(3));
+        let rewritten =
+            pending(false).child(parse_query("SELECT 5 FROM S WHERE S.A = 5").unwrap(), Some(3));
         state.store_query(StoredQuery::new(rewritten, key("S+A+i:5"), IndexLevel::Value));
         state.store_tuple(key("R+A+i:1").ring(), tuple(0));
 
@@ -467,15 +481,19 @@ mod tests {
         assert_eq!(state.current_storage_load(), 2);
         assert_eq!(
             state.recount(),
-            (state.stored_query_count(), state.stored_rewritten_count(), state.stored_tuple_count())
+            (
+                state.stored_query_count(),
+                state.stored_rewritten_count(),
+                state.stored_tuple_count()
+            )
         );
     }
 
     #[test]
     fn debit_keeps_counters_consistent_with_tables() {
         let mut state = NodeState::new(Id(7));
-        let rewritten = pending(false)
-            .child(parse_query("SELECT 5 FROM S WHERE S.A = 5").unwrap(), Some(3));
+        let rewritten =
+            pending(false).child(parse_query("SELECT 5 FROM S WHERE S.A = 5").unwrap(), Some(3));
         let k = key("S+A+i:5");
         state.store_query(StoredQuery::new(rewritten, k.clone(), IndexLevel::Value));
         state.store_query(StoredQuery::new(pending(false), k.clone(), IndexLevel::Value));
@@ -488,7 +506,11 @@ mod tests {
         assert_eq!(state.stored_rewritten_count(), 0);
         assert_eq!(
             state.recount(),
-            (state.stored_query_count(), state.stored_rewritten_count(), state.stored_tuple_count())
+            (
+                state.stored_query_count(),
+                state.stored_rewritten_count(),
+                state.stored_tuple_count()
+            )
         );
     }
 
@@ -508,8 +530,12 @@ mod tests {
         let a = input_from(1, 0, "SELECT R.A FROM R, S WHERE R.A = S.A");
         // Same sub-join, different SELECT list and later insertion time.
         let b = input_from(2, 5, "SELECT S.B, R.C FROM R, S WHERE R.A = S.A");
-        assert!(!state.store_query_shared(StoredQuery::new(a, k.clone(), IndexLevel::Attribute), true));
-        assert!(state.store_query_shared(StoredQuery::new(b, k.clone(), IndexLevel::Attribute), true));
+        assert!(
+            !state.store_query_shared(StoredQuery::new(a, k.clone(), IndexLevel::Attribute), true)
+        );
+        assert!(
+            state.store_query_shared(StoredQuery::new(b, k.clone(), IndexLevel::Attribute), true)
+        );
 
         // One stored copy carrying both subscribers.
         assert_eq!(state.stored_query_count(), 1);
@@ -527,24 +553,34 @@ mod tests {
         let mut state = NodeState::new(Id(7));
         let k = key("R+A");
         let base = input_from(1, 0, "SELECT R.A FROM R, S WHERE R.A = S.A");
-        assert!(!state.store_query_shared(StoredQuery::new(base, k.clone(), IndexLevel::Attribute), true));
+        assert!(!state
+            .store_query_shared(StoredQuery::new(base, k.clone(), IndexLevel::Attribute), true));
 
         // Different WHERE: no merge.
         let other = input_from(2, 0, "SELECT R.A FROM R, S WHERE R.B = S.A");
-        assert!(!state.store_query_shared(StoredQuery::new(other, k.clone(), IndexLevel::Attribute), true));
+        assert!(!state
+            .store_query_shared(StoredQuery::new(other, k.clone(), IndexLevel::Attribute), true));
         // DISTINCT: never merged, even with identical structure.
         let distinct = input_from(3, 0, "SELECT DISTINCT R.A FROM R, S WHERE R.A = S.A");
-        assert!(!state.store_query_shared(StoredQuery::new(distinct, k.clone(), IndexLevel::Attribute), true));
+        assert!(!state.store_query_shared(
+            StoredQuery::new(distinct, k.clone(), IndexLevel::Attribute),
+            true
+        ));
         // Different window start: no merge (expiry would diverge).
-        let rewritten_a = input_from(4, 0, "SELECT R.A, S.B FROM R, S, J WHERE R.A = S.A AND S.B = J.B")
-            .child(parse_query("SELECT R.A, 9 FROM R, S WHERE R.A = S.A").unwrap(), Some(3));
-        let rewritten_b = input_from(5, 0, "SELECT R.A, S.B FROM R, S, J WHERE R.A = S.A AND S.B = J.B")
-            .child(parse_query("SELECT R.A, 8 FROM R, S WHERE R.A = S.A").unwrap(), Some(4));
-        assert!(!state.store_query_shared(StoredQuery::new(rewritten_a, k.clone(), IndexLevel::Value), true));
-        assert!(!state.store_query_shared(StoredQuery::new(rewritten_b, k.clone(), IndexLevel::Value), true));
+        let rewritten_a =
+            input_from(4, 0, "SELECT R.A, S.B FROM R, S, J WHERE R.A = S.A AND S.B = J.B")
+                .child(parse_query("SELECT R.A, 9 FROM R, S WHERE R.A = S.A").unwrap(), Some(3));
+        let rewritten_b =
+            input_from(5, 0, "SELECT R.A, S.B FROM R, S, J WHERE R.A = S.A AND S.B = J.B")
+                .child(parse_query("SELECT R.A, 8 FROM R, S WHERE R.A = S.A").unwrap(), Some(4));
+        assert!(!state
+            .store_query_shared(StoredQuery::new(rewritten_a, k.clone(), IndexLevel::Value), true));
+        assert!(!state
+            .store_query_shared(StoredQuery::new(rewritten_b, k.clone(), IndexLevel::Value), true));
         // With sharing disabled nothing ever merges.
         let twin = input_from(6, 0, "SELECT S.B FROM R, S WHERE R.A = S.A");
-        assert!(!state.store_query_shared(StoredQuery::new(twin, k.clone(), IndexLevel::Attribute), false));
+        assert!(!state
+            .store_query_shared(StoredQuery::new(twin, k.clone(), IndexLevel::Attribute), false));
 
         assert_eq!(state.stored_query_count(), 6);
         assert_eq!(state.sharing().merged_queries, 0);
@@ -593,11 +629,19 @@ mod tests {
         let k_q = key("R+A");
         let k_t = key("S+B+i:2");
         donor.store_query_shared(
-            StoredQuery::new(input_from(1, 0, "SELECT R.A FROM R, S WHERE R.A = S.A"), k_q.clone(), IndexLevel::Attribute),
+            StoredQuery::new(
+                input_from(1, 0, "SELECT R.A FROM R, S WHERE R.A = S.A"),
+                k_q.clone(),
+                IndexLevel::Attribute,
+            ),
             true,
         );
         donor.store_query_shared(
-            StoredQuery::new(input_from(2, 1, "SELECT R.B FROM R, S WHERE R.A = S.A"), k_q.clone(), IndexLevel::Attribute),
+            StoredQuery::new(
+                input_from(2, 1, "SELECT R.B FROM R, S WHERE R.A = S.A"),
+                k_q.clone(),
+                IndexLevel::Attribute,
+            ),
             true,
         );
         donor.store_tuple(k_t.ring(), tuple(3));

@@ -1,9 +1,42 @@
-//! Choice of the index key for a query among its candidates (Section 6).
+//! Choice of the index key for a query among its candidates (Section 6),
+//! and the candidate-rate model under hot-key splitting.
+//!
+//! # Two tiers of load balancing
+//!
+//! Placement is the upper half of a two-tier balancing story:
+//!
+//! * **Spread load** — many moderately warm keys landing on few nodes — is
+//!   handled *below* RJoin by identifier movement
+//!   ([`rjoin_dht::balance`]): nodes reposition on the ring so each owns a
+//!   fair share of the per-key load. Placement helps by steering queries
+//!   toward low-rate candidates in the first place.
+//! * **Point-mass load** — one key hot enough to overwhelm whichever node
+//!   owns it — cannot be fixed by either of the above: the key hashes to
+//!   one identifier, so there is nothing to move and no colder candidate
+//!   guaranteed to exist. That case is handled by **hot-key splitting**
+//!   ([`crate::split`]): the key becomes `s` sub-keys, tuples route to one
+//!   of them, queries register at all of them.
+//!
+//! Candidate enumeration stays split-aware through
+//! [`split_effective_rate`]: once a key is split, the unit that carries its
+//! load is one *partition*, so the rate the placement decision should see
+//! for that candidate is the maximum over its partitions (≈ `rate / s`
+//! under the content hash) — a freshly split key becomes a viable
+//! placement target again instead of being permanently shunned for its
+//! pre-split history.
 
 use crate::PlacementStrategy;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rjoin_query::IndexKey;
+
+/// The effective rate of a split candidate key, given the observed rates of
+/// its partitions: the maximum — the per-node burden a query copy stored at
+/// the hottest partition would actually experience. An empty slice (a
+/// degenerate split) is rated 0.
+pub fn split_effective_rate(partition_rates: &[u64]) -> u64 {
+    partition_rates.iter().copied().max().unwrap_or(0)
+}
 
 /// Chooses which candidate key a query should be indexed under, given the
 /// (estimated) rate of incoming tuples of each candidate.
@@ -41,8 +74,7 @@ pub fn choose_candidate(
     match strategy {
         PlacementStrategy::RicAware => {
             let min_rate = *rates.iter().min().expect("non-empty rates");
-            let minima: Vec<usize> =
-                (0..rates.len()).filter(|&i| rates[i] == min_rate).collect();
+            let minima: Vec<usize> = (0..rates.len()).filter(|&i| rates[i] == min_rate).collect();
             // Prefer value-level candidates among the minima (Section 3
             // indexes rewritten queries at the value level by default: it
             // spreads load better and lets the query find tuples that were
@@ -90,7 +122,8 @@ mod tests {
     #[test]
     fn ric_aware_picks_lowest_rate() {
         let mut rng = StdRng::seed_from_u64(0);
-        let idx = choose_candidate(&candidates(), &[10, 2, 7], PlacementStrategy::RicAware, &mut rng);
+        let idx =
+            choose_candidate(&candidates(), &[10, 2, 7], PlacementStrategy::RicAware, &mut rng);
         assert_eq!(idx, 1);
     }
 
@@ -98,11 +131,13 @@ mod tests {
     fn ric_aware_breaks_ties_in_favour_of_value_level() {
         let mut rng = StdRng::seed_from_u64(0);
         // All rates equal: the value-level candidate (index 2) wins the tie.
-        let idx = choose_candidate(&candidates(), &[3, 3, 3], PlacementStrategy::RicAware, &mut rng);
+        let idx =
+            choose_candidate(&candidates(), &[3, 3, 3], PlacementStrategy::RicAware, &mut rng);
         assert_eq!(idx, 2);
         // A strictly lower-rate attribute-level candidate still beats a
         // value-level one.
-        let idx = choose_candidate(&candidates(), &[3, 1, 3], PlacementStrategy::RicAware, &mut rng);
+        let idx =
+            choose_candidate(&candidates(), &[3, 1, 3], PlacementStrategy::RicAware, &mut rng);
         assert_eq!(idx, 1);
     }
 
@@ -118,7 +153,8 @@ mod tests {
         ];
         let mut seen = [false; 3];
         for _ in 0..200 {
-            seen[choose_candidate(&attrs, &[3, 3, 3], PlacementStrategy::RicAware, &mut rng)] = true;
+            seen[choose_candidate(&attrs, &[3, 3, 3], PlacementStrategy::RicAware, &mut rng)] =
+                true;
         }
         assert!(seen.iter().all(|s| *s), "tie-breaking should cover every candidate");
     }
@@ -133,8 +169,12 @@ mod tests {
     #[test]
     fn first_in_clause_ignores_rates() {
         let mut rng = StdRng::seed_from_u64(0);
-        let idx =
-            choose_candidate(&candidates(), &[10, 2, 0], PlacementStrategy::FirstInClause, &mut rng);
+        let idx = choose_candidate(
+            &candidates(),
+            &[10, 2, 0],
+            PlacementStrategy::FirstInClause,
+            &mut rng,
+        );
         assert_eq!(idx, 0);
     }
 
@@ -143,7 +183,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let mut seen = [false; 3];
         for _ in 0..200 {
-            let idx = choose_candidate(&candidates(), &[1, 1, 1], PlacementStrategy::Random, &mut rng);
+            let idx =
+                choose_candidate(&candidates(), &[1, 1, 1], PlacementStrategy::Random, &mut rng);
             seen[idx] = true;
         }
         assert!(seen.iter().all(|s| *s), "random placement should hit every candidate");
@@ -154,5 +195,12 @@ mod tests {
     fn empty_candidates_panic() {
         let mut rng = StdRng::seed_from_u64(0);
         let _ = choose_candidate(&[], &[], PlacementStrategy::Random, &mut rng);
+    }
+
+    #[test]
+    fn split_effective_rate_is_the_partition_maximum() {
+        assert_eq!(split_effective_rate(&[3, 9, 1, 4]), 9);
+        assert_eq!(split_effective_rate(&[7]), 7);
+        assert_eq!(split_effective_rate(&[]), 0);
     }
 }

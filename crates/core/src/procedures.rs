@@ -292,11 +292,7 @@ pub fn handle_new_tuple(
                     // do not advance idx: swap_remove moved a new element here
                 }
                 TriggerOutcome::Triggered(mut produced) => {
-                    sharing.push((
-                        stored_list[idx].pending.id,
-                        actions.len(),
-                        produced.len(),
-                    ));
+                    sharing.push((stored_list[idx].pending.id, actions.len(), produced.len()));
                     actions.append(&mut produced);
                     idx += 1;
                 }
@@ -423,6 +419,11 @@ pub fn handle_eval(
     key: &HashedKey,
     level: IndexLevel,
 ) -> Vec<Action> {
+    // The query-side heat signal of hot-key splitting: `Eval` arrivals are
+    // tracked per key exactly like tuple arrivals, bounded by the same
+    // retention horizon.
+    let horizon = ctx.config.ric_window + 2 * ctx.config.network_delay.max(1);
+    state.eval_ric.record_arrival_bounded(key.ring(), ctx.now, ctx.at, horizon);
     handle_query_arrival(state, ctx, pending, key, level)
 }
 
@@ -470,7 +471,13 @@ mod tests {
         let mut state = NodeState::new(Id(1));
         let p = pending("SELECT R.B, S.B FROM R, S WHERE R.A = S.A", 0);
         let key = IndexKey::attribute("R", "A");
-        let actions = handle_index_query(&mut state, &ctx(&catalog, &config, 0), p, &key.hashed(), key.level());
+        let actions = handle_index_query(
+            &mut state,
+            &ctx(&catalog, &config, 0),
+            p,
+            &key.hashed(),
+            key.level(),
+        );
         assert!(actions.is_empty());
         assert_eq!(state.stored_query_count(), 1);
 
@@ -535,9 +542,15 @@ mod tests {
 
         // A rewritten query "SELECT 6, M.A FROM M WHERE M.C = 2" arrives.
         let input = pending("SELECT S.B, M.A FROM S, M WHERE S.B = M.C", 0);
-        let rewritten = input
-            .child(parse_query("SELECT 6, M.A FROM M WHERE M.C = 2").unwrap(), Some(1));
-        let actions = handle_eval(&mut state, &ctx(&catalog, &config, 5), rewritten, &key.hashed(), key.level());
+        let rewritten =
+            input.child(parse_query("SELECT 6, M.A FROM M WHERE M.C = 2").unwrap(), Some(1));
+        let actions = handle_eval(
+            &mut state,
+            &ctx(&catalog, &config, 5),
+            rewritten,
+            &key.hashed(),
+            key.level(),
+        );
         assert_eq!(actions.len(), 1);
         match &actions[0] {
             Action::DeliverAnswer { row, owner, .. } => {
@@ -557,10 +570,8 @@ mod tests {
         let mut state = NodeState::new(Id(1));
         let key = IndexKey::value("S", "A", Value::from(7));
         // A rewritten query with a 10-tuple window that started at time 5.
-        let input = pending(
-            "SELECT R.B, S.B FROM R, S WHERE R.A = S.A WINDOW SLIDING 10 TUPLES",
-            0,
-        );
+        let input =
+            pending("SELECT R.B, S.B FROM R, S WHERE R.A = S.A WINDOW SLIDING 10 TUPLES", 0);
         let rewritten = input.child(
             parse_query("SELECT 9, S.B FROM S WHERE S.A = 7 WINDOW SLIDING 10 TUPLES").unwrap(),
             Some(5),
@@ -642,8 +653,13 @@ mod tests {
             .unwrap(),
             Some(5),
         );
-        let actions =
-            handle_eval(&mut state, &ctx(&catalog, &config, 25), rewritten, &key.hashed(), key.level());
+        let actions = handle_eval(
+            &mut state,
+            &ctx(&catalog, &config, 25),
+            rewritten,
+            &key.hashed(),
+            key.level(),
+        );
         assert_eq!(actions.len(), 1);
         match &actions[0] {
             Action::Reindex { pending } => {
@@ -687,8 +703,13 @@ mod tests {
         rewritten.note_contribution(10);
         // Procedure 3 picks up the stored tuple: start = max(10, 5) = 10,
         // but the true span is now [5, 10].
-        let actions =
-            handle_eval(&mut state, &ctx(&catalog, &config, 11), rewritten, &skey.hashed(), skey.level());
+        let actions = handle_eval(
+            &mut state,
+            &ctx(&catalog, &config, 11),
+            rewritten,
+            &skey.hashed(),
+            skey.level(),
+        );
         assert_eq!(actions.len(), 1);
         let child = match &actions[0] {
             Action::Reindex { pending } => pending.clone(),
@@ -729,10 +750,8 @@ mod tests {
         let mut state = NodeState::new(Id(1));
         let key = IndexKey::value("S", "B", Value::from(2));
         let input = pending("SELECT DISTINCT R.A, S.A FROM R, S WHERE R.B = S.B", 0);
-        let rewritten = input.child(
-            parse_query("SELECT DISTINCT 1, S.A FROM S WHERE S.B = 2").unwrap(),
-            Some(1),
-        );
+        let rewritten = input
+            .child(parse_query("SELECT DISTINCT 1, S.A FROM S WHERE S.B = 2").unwrap(), Some(1));
         handle_eval(&mut state, &ctx(&catalog, &config, 2), rewritten, &key.hashed(), key.level());
 
         // Two tuples with the same projection on S's referenced attributes
@@ -772,7 +791,13 @@ mod tests {
             IndexLevel::Attribute,
         );
         let p = pending("SELECT R.B, S.B FROM R, S WHERE R.A = S.A", 2);
-        let actions = handle_index_query(&mut state, &ctx(&catalog, &config, 9), p, &key.hashed(), key.level());
+        let actions = handle_index_query(
+            &mut state,
+            &ctx(&catalog, &config, 9),
+            p,
+            &key.hashed(),
+            key.level(),
+        );
         assert_eq!(actions.len(), 1, "the retained tuple must trigger the delayed query");
     }
 
@@ -790,7 +815,13 @@ mod tests {
             IndexLevel::Attribute,
         );
         let p = pending("SELECT R.B, S.B FROM R, S WHERE R.A = S.A", 2);
-        let actions = handle_index_query(&mut state, &ctx(&catalog, &config, 9), p, &key.hashed(), key.level());
+        let actions = handle_index_query(
+            &mut state,
+            &ctx(&catalog, &config, 9),
+            p,
+            &key.hashed(),
+            key.level(),
+        );
         assert!(actions.is_empty(), "base algorithm discards attribute-level tuples");
     }
 
@@ -837,7 +868,10 @@ mod tests {
                 assert_eq!(pending.subscriber_count(), 2);
                 assert_eq!(pending.id, QueryId { owner: Id(10), seq: 10 });
                 // Primary SELECT: R.B resolved to 9.
-                assert_eq!(pending.query.select()[0], rjoin_query::SelectItem::Const(Value::from(9)));
+                assert_eq!(
+                    pending.query.select()[0],
+                    rjoin_query::SelectItem::Const(Value::from(9))
+                );
                 // Subscriber continuation: S.C untouched, R.C resolved to 2.
                 let sub = &pending.extra_subscribers[0];
                 assert_eq!(sub.id, QueryId { owner: Id(20), seq: 20 });
@@ -888,15 +922,31 @@ mod tests {
             &vkey.hashed(),
             IndexLevel::Value,
         );
-        let answers = handle_eval(&mut state2, &ctx(&catalog, &config, 4), child, &vkey.hashed(), vkey.level());
+        let answers = handle_eval(
+            &mut state2,
+            &ctx(&catalog, &config, 4),
+            child,
+            &vkey.hashed(),
+            vkey.level(),
+        );
         assert_eq!(answers.len(), 2);
         match (&answers[0], &answers[1]) {
             (
                 Action::DeliverAnswer { query: q1, row: r1, owner: o1 },
                 Action::DeliverAnswer { query: q2, row: r2, owner: o2 },
             ) => {
-                assert_eq!((*q1, o1, r1.clone()), (QueryId { owner: Id(10), seq: 10 }, &Id(10), vec![Value::from(8)]));
-                assert_eq!((*q2, o2, r2.clone()), (QueryId { owner: Id(20), seq: 20 }, &Id(20), vec![Value::from(9), Value::from(8)]));
+                assert_eq!(
+                    (*q1, o1, r1.clone()),
+                    (QueryId { owner: Id(10), seq: 10 }, &Id(10), vec![Value::from(8)])
+                );
+                assert_eq!(
+                    (*q2, o2, r2.clone()),
+                    (
+                        QueryId { owner: Id(20), seq: 20 },
+                        &Id(20),
+                        vec![Value::from(9), Value::from(8)]
+                    )
+                );
             }
             other => panic!("unexpected actions {other:?}"),
         }
@@ -916,8 +966,20 @@ mod tests {
         // (insert_time 10): merge order makes the late one primary.
         let late = pending_from(10, "SELECT R.B, S.B FROM R, S WHERE R.A = S.A", 10);
         let early = pending_from(20, "SELECT R.C, S.C FROM R, S WHERE R.A = S.A", 0);
-        handle_index_query(&mut state, &ctx(&catalog, &config, 10), late, &key.hashed(), key.level());
-        handle_index_query(&mut state, &ctx(&catalog, &config, 10), early, &key.hashed(), key.level());
+        handle_index_query(
+            &mut state,
+            &ctx(&catalog, &config, 10),
+            late,
+            &key.hashed(),
+            key.level(),
+        );
+        handle_index_query(
+            &mut state,
+            &ctx(&catalog, &config, 10),
+            early,
+            &key.hashed(),
+            key.level(),
+        );
         assert_eq!(state.stored_query_count(), 1);
 
         // Published at time 5: before the primary's submission, after the
@@ -932,11 +994,18 @@ mod tests {
         assert_eq!(actions.len(), 1);
         match &actions[0] {
             Action::Reindex { pending } => {
-                assert_eq!(pending.id, QueryId { owner: Id(20), seq: 20 }, "eligible extra promoted");
+                assert_eq!(
+                    pending.id,
+                    QueryId { owner: Id(20), seq: 20 },
+                    "eligible extra promoted"
+                );
                 assert_eq!(pending.subscriber_count(), 1, "the ineligible primary must not ride");
                 assert_eq!(pending.insert_time, 0);
                 // The promoted SELECT (R.C, S.C) is the representative one.
-                assert_eq!(pending.query.select()[0], rjoin_query::SelectItem::Const(Value::from(2)));
+                assert_eq!(
+                    pending.query.select()[0],
+                    rjoin_query::SelectItem::Const(Value::from(2))
+                );
             }
             other => panic!("unexpected action {other:?}"),
         }

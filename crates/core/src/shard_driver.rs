@@ -45,26 +45,38 @@
 //!
 //! # Execution modes
 //!
-//! With more than one CPU core, every shard gets a persistent worker
-//! thread under [`std::thread::scope`]. On a single-core host the same
-//! shard structures are driven **cooperatively** by the calling thread —
-//! global-minimum tick by tick, all handler phases before all effect
-//! phases — which preserves the sharded semantics bit for bit while paying
-//! no context-switch or condvar cost. Both modes produce identical
-//! results by construction (the per-shard effect phases of one tick touch
-//! disjoint state and only perform pure watermark-gated reads), so a
-//! workload's outputs do not depend on the machine it ran on.
+//! The **worker count** is decoupled from the shard count: it comes from
+//! [`EngineConfig::workers`], falling back to the `RJOIN_WORKERS`
+//! environment variable and then to the machine's available parallelism.
+//!
+//! * `workers >= shards` — every shard gets its own persistent worker
+//!   thread under [`std::thread::scope`], coordinated purely through the
+//!   watermark protocol (the fully concurrent mode).
+//! * `1 < workers < shards` — a **pooled** scheduler drives the shards
+//!   global-minimum tick by tick, fanning each tick's handler phases and
+//!   then its effect phases across the worker pool; `mark_all_handled`
+//!   between the phases keeps remote RIC reads non-blocking.
+//! * `workers == 1` — the same tick loop runs **cooperatively** on the
+//!   calling thread, preserving the sharded semantics bit for bit while
+//!   paying no context-switch or condvar cost (the right mode for
+//!   single-core hosts).
+//!
+//! All three modes produce identical results by construction (the
+//! per-shard effect phases of one tick touch disjoint state and only
+//! perform pure watermark-gated reads), so a workload's outputs depend
+//! neither on the machine nor on the worker count.
 
 use crate::answers::AnswerRecord;
 use crate::config::{EngineConfig, PlacementStrategy};
 use crate::engine::{
-    handle_node_msg, perform_actions_in, EffectEnv, KeyLoadMap, NodeLoadMap, NodeMap,
-    RJoinEngine, TickEffect,
+    handle_node_msg, perform_actions_in, EffectEnv, KeyLoadMap, NodeLoadMap, NodeMap, RJoinEngine,
+    TickEffect,
 };
 use crate::error::EngineError;
 use crate::messages::RJoinMessage;
 use crate::node_state::RicEntry;
 use crate::placement::choose_candidate;
+use crate::split::SplitMap;
 use crate::RicTracker;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -76,7 +88,8 @@ use rjoin_net::{
 use rjoin_query::IndexKey;
 use rjoin_relation::Catalog;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
 
 /// Shared directory of every node's RIC tracker, the one piece of node
 /// state readable across shard workers (each tracker behind its own lock).
@@ -88,6 +101,13 @@ struct ShardEnv<'e, 'n, 'a> {
     handle: &'e mut ShardHandle<'n, 'a, RJoinMessage>,
     nodes: &'e mut NodeMap,
     ric_dir: &'e RicDirectory,
+    /// The engine's hot-key split registry — frozen for the whole drain
+    /// (splits only activate between drains), so shared read-only access
+    /// across workers is race-free and deterministic.
+    splits: &'e SplitMap,
+    /// This shard's share of the query fan-out counter (merged after the
+    /// drain).
+    query_fanout: &'e mut u64,
     engine_seed: u64,
     /// Lineage of the delivery whose effects are being applied.
     lineage: Lineage,
@@ -133,9 +153,7 @@ impl<'n, 'a> EffectEnv for ShardEnv<'_, 'n, 'a> {
         }
         self.ric_dir
             .get(&owner)
-            .map(|tracker| {
-                tracker.lock().expect("ric lock").rate_at(ring, now, window, self.tick)
-            })
+            .map(|tracker| tracker.lock().expect("ric lock").rate_at(ring, now, window, self.tick))
             .unwrap_or(0)
     }
 
@@ -150,6 +168,14 @@ impl<'n, 'a> EffectEnv for ShardEnv<'_, 'n, 'a> {
         let mut rng = StdRng::seed_from_u64(seed);
         choose_candidate(candidates, rates, strategy, &mut rng)
     }
+
+    fn splits(&self) -> &SplitMap {
+        self.splits
+    }
+
+    fn note_query_fanout(&mut self, extra: u64) {
+        *self.query_fanout += extra;
+    }
 }
 
 /// Per-shard buffers of engine-global observations, merged after the drain.
@@ -162,6 +188,8 @@ struct ShardTally {
     sl: NodeLoadMap,
     qpl_by_key: KeyLoadMap,
     sl_by_key: KeyLoadMap,
+    /// Extra query copies this shard sent to partitions of split hot keys.
+    query_fanout: u64,
     processed: u64,
     error: Option<EngineError>,
 }
@@ -191,9 +219,9 @@ fn run_handlers(
             continue;
         }
         let effect = match d.msg {
-            RJoinMessage::Answer { query, row, produced_at } => TickEffect::Answer(
-                AnswerRecord { query, row, produced_at, received_at: d.at },
-            ),
+            RJoinMessage::Answer { query, row, produced_at } => {
+                TickEffect::Answer(AnswerRecord { query, row, produced_at, received_at: d.at })
+            }
             msg => {
                 let state = nodes.get_mut(&d.to).expect("membership checked above");
                 handle_node_msg(state, catalog, config, now, d.at, d.to, msg)
@@ -214,6 +242,7 @@ fn apply_effects(
     catalog: &Catalog,
     config: &EngineConfig,
     ric_dir: &RicDirectory,
+    splits: &SplitMap,
     tick: SimTime,
     effects: Vec<(Lineage, TickEffect)>,
 ) -> bool {
@@ -240,6 +269,8 @@ fn apply_effects(
                     handle,
                     nodes,
                     ric_dir,
+                    splits,
+                    query_fanout: &mut tally.query_fanout,
                     engine_seed: config.seed,
                     lineage,
                     decisions: 0,
@@ -265,6 +296,7 @@ fn run_worker(
     catalog: &Catalog,
     config: &EngineConfig,
     ric_dir: &RicDirectory,
+    splits: &SplitMap,
 ) -> WorkerOutcome {
     let mut handle = ShardHandle::new(snet, local);
     let mut tally = ShardTally::default();
@@ -279,7 +311,15 @@ fn run_worker(
                 // Unblock remote readers before running our own effects.
                 handle.mark_handled(tick);
                 let ok = apply_effects(
-                    &mut handle, &mut nodes, &mut tally, catalog, config, ric_dir, tick, effects,
+                    &mut handle,
+                    &mut nodes,
+                    &mut tally,
+                    catalog,
+                    config,
+                    ric_dir,
+                    splits,
+                    tick,
+                    effects,
                 );
                 handle.finish_tick(count, now);
                 if !ok {
@@ -305,6 +345,7 @@ fn run_cooperative(
     catalog: &Catalog,
     config: &EngineConfig,
     ric_dir: &RicDirectory,
+    splits: &SplitMap,
 ) -> Vec<WorkerOutcome> {
     struct CoopShard<'n, 'a> {
         handle: ShardHandle<'n, 'a, RJoinMessage>,
@@ -335,8 +376,7 @@ fn run_cooperative(
             if let Some((now, deliveries)) = shard.handle.try_take_tick(tick) {
                 let count = deliveries.len();
                 shard.tally.processed += count as u64;
-                let effects =
-                    run_handlers(&mut shard.nodes, catalog, config, now, deliveries);
+                let effects = run_handlers(&mut shard.nodes, catalog, config, now, deliveries);
                 staged.push((i, now, count, effects));
             }
         }
@@ -353,6 +393,7 @@ fn run_cooperative(
                 catalog,
                 config,
                 ric_dir,
+                splits,
                 tick,
                 effects,
             );
@@ -368,6 +409,187 @@ fn run_cooperative(
         .into_iter()
         .map(|s| WorkerOutcome { local: s.handle.into_local(), nodes: s.nodes, tally: s.tally })
         .collect()
+}
+
+/// Pooled scheduler for `1 < workers < shards`: the cooperative
+/// global-minimum tick loop, executed by a pool of **persistent** worker
+/// threads (spawned once per drain, not per tick — per-tick spawn/join
+/// would dominate thin-tick workloads). Each worker owns a static chunk of
+/// shards; the rounds are coordinated by a reusable [`Barrier`]:
+///
+/// 1. every worker publishes its chunk's earliest event time, the barrier
+///    leader reduces them to the global minimum tick (or termination),
+/// 2. handler phase on every chunk, then `mark_all_handled(tick)` behind a
+///    barrier — so the concurrent effect phases' remote RIC reads never
+///    block,
+/// 3. effect phase + `finish_tick` on every chunk, and a final barrier so
+///    the next round's inbox drain observes every send of this tick.
+///
+/// Workers only touch their own shards and the schedule is the same
+/// global-minimum order the cooperative scheduler runs, so the results are
+/// byte-identical to every other execution mode.
+#[allow(clippy::too_many_arguments)]
+fn run_pooled(
+    snet: &ShardedNetwork<'_, RJoinMessage>,
+    locals: Vec<ShardLocal<RJoinMessage>>,
+    parts: Vec<NodeMap>,
+    catalog: &Catalog,
+    config: &EngineConfig,
+    ric_dir: &RicDirectory,
+    splits: &SplitMap,
+    workers: usize,
+) -> Vec<WorkerOutcome> {
+    /// Handler-phase output staged for this round's effect phase:
+    /// `(floor-clamped clock, delivery count, effects)`.
+    type StagedTick = (SimTime, usize, Vec<(Lineage, TickEffect)>);
+    struct PoolShard<'n, 'a> {
+        handle: ShardHandle<'n, 'a, RJoinMessage>,
+        nodes: NodeMap,
+        tally: ShardTally,
+        staged: Option<StagedTick>,
+        ok: bool,
+    }
+    // Nobody parks on the progress condvar: rounds are coordinated by the
+    // barrier alone, exactly like the cooperative scheduler.
+    snet.set_cooperative(true);
+    let shards: Vec<PoolShard<'_, '_>> = locals
+        .into_iter()
+        .zip(parts)
+        .map(|(local, nodes)| PoolShard {
+            handle: ShardHandle::new(snet, local),
+            nodes,
+            tally: ShardTally::default(),
+            staged: None,
+            ok: true,
+        })
+        .collect();
+    let chunk_size = shards.len().div_ceil(workers).max(1);
+    let mut chunks: Vec<Vec<PoolShard<'_, '_>>> = Vec::new();
+    {
+        let mut shards = shards;
+        while !shards.is_empty() {
+            let rest = shards.split_off(chunk_size.min(shards.len()));
+            chunks.push(shards);
+            shards = rest;
+        }
+    }
+    let pool = chunks.len();
+    let barrier = Barrier::new(pool);
+    // Per-worker earliest event times, reduced by the barrier leader into
+    // the shared next-tick word (`u64::MAX` = quiescent, stop).
+    let chunk_mins: Vec<AtomicU64> = (0..pool).map(|_| AtomicU64::new(u64::MAX)).collect();
+    let next_tick = AtomicU64::new(u64::MAX);
+    let failed = AtomicBool::new(false);
+
+    let outcomes: Vec<Vec<WorkerOutcome>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut chunk)| {
+                let (barrier, chunk_mins, next_tick, failed) =
+                    (&barrier, &chunk_mins, &next_tick, &failed);
+                scope.spawn(move || {
+                    loop {
+                        // Round start: publish this chunk's earliest event
+                        // time; the leader reduces to the global minimum.
+                        let local_min = chunk
+                            .iter_mut()
+                            .filter_map(|s| s.handle.next_event_time())
+                            .min()
+                            .unwrap_or(u64::MAX);
+                        chunk_mins[i].store(local_min, Ordering::SeqCst);
+                        if barrier.wait().is_leader() {
+                            let global = chunk_mins
+                                .iter()
+                                .map(|m| m.load(Ordering::SeqCst))
+                                .min()
+                                .unwrap_or(u64::MAX);
+                            let stop = failed.load(Ordering::SeqCst) || snet.is_aborted();
+                            next_tick.store(if stop { u64::MAX } else { global }, Ordering::SeqCst);
+                        }
+                        barrier.wait();
+                        let tick = next_tick.load(Ordering::SeqCst);
+                        if tick == u64::MAX {
+                            break;
+                        }
+                        // Handler phase on this chunk's shards at `tick`.
+                        for shard in chunk.iter_mut() {
+                            if let Some((now, deliveries)) = shard.handle.try_take_tick(tick) {
+                                let count = deliveries.len();
+                                shard.tally.processed += count as u64;
+                                let effects = run_handlers(
+                                    &mut shard.nodes,
+                                    catalog,
+                                    config,
+                                    now,
+                                    deliveries,
+                                );
+                                shard.staged = Some((now, count, effects));
+                            }
+                        }
+                        // All handlers of `tick` ran: remote rate reads in
+                        // the concurrent effect phases below never block.
+                        if barrier.wait().is_leader() {
+                            snet.mark_all_handled(tick);
+                        }
+                        barrier.wait();
+                        for shard in chunk.iter_mut() {
+                            if let Some((now, count, effects)) = shard.staged.take() {
+                                let ok = apply_effects(
+                                    &mut shard.handle,
+                                    &mut shard.nodes,
+                                    &mut shard.tally,
+                                    catalog,
+                                    config,
+                                    ric_dir,
+                                    splits,
+                                    tick,
+                                    effects,
+                                );
+                                shard.handle.finish_tick(count, now);
+                                if !ok {
+                                    shard.ok = false;
+                                    failed.store(true, Ordering::SeqCst);
+                                    snet.abort();
+                                }
+                            }
+                        }
+                        // Close the round: the next inbox drain must observe
+                        // every send of this tick.
+                        barrier.wait();
+                    }
+                    chunk
+                        .into_iter()
+                        .map(|s| WorkerOutcome {
+                            local: s.handle.into_local(),
+                            nodes: s.nodes,
+                            tally: s.tally,
+                        })
+                        .collect::<Vec<WorkerOutcome>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("pool worker must not panic")).collect()
+    });
+    outcomes.into_iter().flatten().collect()
+}
+
+/// Resolves how many worker threads a sharded drain may use: the explicit
+/// [`EngineConfig::workers`] pin, else the `RJOIN_WORKERS` environment
+/// variable, else the machine's available parallelism. Purely an execution
+/// choice — results are identical for every value.
+fn resolve_workers(config: &EngineConfig) -> usize {
+    if let Some(workers) = config.workers {
+        return workers.max(1);
+    }
+    if let Some(workers) =
+        std::env::var("RJOIN_WORKERS").ok().and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        if workers >= 1 {
+            return workers;
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 /// Drains the engine's event queue on the sharded runtime. See the module
@@ -410,10 +632,13 @@ pub(crate) fn drain_sharded(engine: &mut RJoinEngine) -> Result<u64, EngineError
     let config = &engine.config;
     let snet_ref = &snet;
     let ric_dir_ref = &ric_dir;
+    let splits_ref = &engine.splits;
 
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let outcomes: Vec<WorkerOutcome> = if cores <= 1 {
-        run_cooperative(snet_ref, locals, parts, catalog, config, ric_dir_ref)
+    let workers = resolve_workers(config);
+    let outcomes: Vec<WorkerOutcome> = if workers <= 1 {
+        run_cooperative(snet_ref, locals, parts, catalog, config, ric_dir_ref, splits_ref)
+    } else if workers < shard_count {
+        run_pooled(snet_ref, locals, parts, catalog, config, ric_dir_ref, splits_ref, workers)
     } else {
         std::thread::scope(|scope| {
             let handles: Vec<_> = locals
@@ -421,14 +646,11 @@ pub(crate) fn drain_sharded(engine: &mut RJoinEngine) -> Result<u64, EngineError
                 .zip(parts)
                 .map(|(local, part)| {
                     scope.spawn(move || {
-                        run_worker(snet_ref, local, part, catalog, config, ric_dir_ref)
+                        run_worker(snet_ref, local, part, catalog, config, ric_dir_ref, splits_ref)
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker must not panic"))
-                .collect()
+            handles.into_iter().map(|h| h.join().expect("shard worker must not panic")).collect()
         })
     };
 
@@ -450,6 +672,7 @@ pub(crate) fn drain_sharded(engine: &mut RJoinEngine) -> Result<u64, EngineError
         engine.sl.merge(&outcome.tally.sl);
         engine.qpl_by_key.merge(&outcome.tally.qpl_by_key);
         engine.sl_by_key.merge(&outcome.tally.sl_by_key);
+        engine.split_counters.query_fanout += outcome.tally.query_fanout;
         processed += outcome.tally.processed;
         ticks += outcome.local.ticks;
         deliveries += outcome.local.deliveries;

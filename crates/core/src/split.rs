@@ -1,0 +1,379 @@
+//! Hot-key splitting: share-based partitioning for heavy-hitter keys.
+//!
+//! Identifier movement (Karger & Ruhl, `rjoin_dht::balance`) balances load
+//! that is *spread over many keys* by letting lightly loaded nodes take over
+//! part of a heavy node's arc. It is powerless against a **point mass**: a
+//! single hot key hashes to one identifier, and whichever node owns that
+//! identifier carries the key's entire load. Afrati, Ullman &
+//! Vasilakopoulos's share-based partitioning solves exactly this case by
+//! giving the heavy hitter a *share* of the network: the key is split into
+//! `s` deterministic sub-keys ([`rjoin_dht::HashedKey::split_part`]), one
+//! side of the join is **partitioned** over the sub-keys and the other side
+//! is **replicated** to all of them.
+//!
+//! The share assignment follows the Shares/hypercube idea: a split key's
+//! `s` sub-keys form an `r × c` **grid** ([`SplitGrid`]). A tuple routes to
+//! one *row* by content hash ([`partition_for_tuple`]) and is indexed at
+//! that row's `c` cells; a query routes to one *column* by identity hash
+//! ([`partition_for_query`]) and registers at that column's `r` cells. The
+//! two sets intersect in exactly one cell, so every `(stored query, tuple)`
+//! pair still meets exactly once — the one rewrite/completion the unsplit
+//! run would have performed at the base key happens at exactly one
+//! sub-key, and the answer stream is the same multiset as the unsplit run
+//! (`DISTINCT` duplicates are removed by the owner-side filter as before).
+//! What changes is *where the work lands*: per cell, tuple deliveries
+//! divide by `r` and `Eval` deliveries divide by `c`.
+//!
+//! The grid shape is the share: [`choose_grid`] apportions `s` between the
+//! two dimensions in proportion to the key's observed tuple vs. `Eval`
+//! rates (minimizing the dominant per-cell stream), so a tuple-hot key
+//! gets an `(s, 1)` grid (pure tuple partitioning), an `Eval`-hot key gets
+//! `(1, s)` (pure query partitioning), and a key heavy on both sides gets
+//! a balanced rectangle — Afrati, Ullman & Vasilakopoulos's shares,
+//! specialized to RJoin's two delivery streams.
+//!
+//! [`SplitMap`] is the engine-global registry of active splits. It is
+//! mutated only between drains (split activation happens on the driver
+//! thread, when a publication observes that a key's rate crossed the
+//! configured threshold) and read-only during drains, which is what makes
+//! the sharded driver's concurrent dispatch safe and deterministic.
+
+use crate::messages::QueryId;
+use rjoin_dht::{HashedKey, RingMap};
+use rjoin_net::SimTime;
+use rjoin_relation::Tuple;
+
+/// The share grid of one split key: `rows × cols` sub-keys, tuples
+/// partitioned over rows, queries over columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitGrid {
+    /// Tuple-side partition count `r`.
+    pub rows: u32,
+    /// Query-side partition count `c`.
+    pub cols: u32,
+}
+
+impl SplitGrid {
+    /// A grid with the given dimensions.
+    ///
+    /// # Panics
+    /// Panics unless the grid has at least two cells (a 1×1 grid is not a
+    /// split) and both dimensions are non-zero.
+    pub fn new(rows: u32, cols: u32) -> Self {
+        assert!(rows >= 1 && cols >= 1, "grid dimensions must be non-zero");
+        assert!(rows * cols >= 2, "a split needs at least two cells");
+        SplitGrid { rows, cols }
+    }
+
+    /// Pure tuple partitioning: tuples route to one of `s` sub-keys,
+    /// queries register at all of them.
+    pub fn tuples(s: u32) -> Self {
+        SplitGrid::new(s, 1)
+    }
+
+    /// Pure query partitioning: queries route to one of `s` sub-keys,
+    /// tuples are indexed at all of them.
+    pub fn queries(s: u32) -> Self {
+        SplitGrid::new(1, s)
+    }
+
+    /// Total number of cells (sub-keys).
+    pub fn cells(&self) -> u32 {
+        self.rows * self.cols
+    }
+
+    /// The linear sub-key index of cell `(row, col)`.
+    fn cell(&self, row: u32, col: u32) -> u32 {
+        row * self.cols + col
+    }
+}
+
+/// How a delivery (tuple copy or query) reaches a split key's cells: its
+/// own partition's cell set — one cell when the other dimension is 1, a
+/// row/column of cells otherwise.
+pub type SplitRoute = Vec<HashedKey>;
+
+/// One active split: the base key and its share grid.
+#[derive(Debug, Clone)]
+pub struct SplitEntry {
+    /// The (unsplit) base key.
+    pub key: HashedKey,
+    /// The share grid.
+    pub grid: SplitGrid,
+    /// Simulation time at which the split was activated.
+    pub split_at: SimTime,
+}
+
+/// Apportions `s` cells between the tuple and query dimensions in
+/// proportion to the observed arrival rates: among the factor pairs
+/// `(r, c)` with `r · c = s`, picks the one minimizing the dominant
+/// per-cell stream `max(tuple_rate / r, eval_rate / c)`; ties break toward
+/// the tuple side (larger `r`), whose stream is unbounded in a continuous
+/// system. With a zero `Eval` rate this degenerates to [`SplitGrid::tuples`],
+/// with a zero tuple rate to [`SplitGrid::queries`].
+pub fn choose_grid(s: u32, tuple_rate: u64, eval_rate: u64) -> SplitGrid {
+    let s = s.max(2);
+    let mut best: Option<(u64, SplitGrid)> = None;
+    for rows in (1..=s).rev() {
+        if !s.is_multiple_of(rows) {
+            continue;
+        }
+        let cols = s / rows;
+        let cost = (tuple_rate / rows as u64).max(eval_rate / cols as u64);
+        if best.is_none_or(|(c, _)| cost < c) {
+            best = Some((cost, SplitGrid::new(rows, cols)));
+        }
+    }
+    best.expect("s >= 2 always has the (s, 1) factorization").1
+}
+
+/// The engine-global registry of split hot keys, indexed by the base key's
+/// ring identifier.
+#[derive(Debug, Clone, Default)]
+pub struct SplitMap {
+    entries: RingMap<SplitEntry>,
+}
+
+impl SplitMap {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the key with base ring identifier `base_ring` is split.
+    pub fn is_split(&self, base_ring: u64) -> bool {
+        self.entries.contains_key(&base_ring)
+    }
+
+    /// The split entry for `base_ring`, if the key is split.
+    pub fn get(&self, base_ring: u64) -> Option<&SplitEntry> {
+        self.entries.get(&base_ring)
+    }
+
+    /// Registers a split of `key` over the given share grid. Returns
+    /// `false` (and changes nothing) if the key was already split.
+    pub fn insert(&mut self, key: HashedKey, grid: SplitGrid, split_at: SimTime) -> bool {
+        if self.entries.contains_key(&key.ring()) {
+            return false;
+        }
+        assert!(key.partition().is_none(), "sub-keys cannot be split again");
+        self.entries.insert(key.ring(), SplitEntry { key, grid, split_at });
+        true
+    }
+
+    /// Number of split keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no key is split.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the active splits.
+    pub fn iter(&self) -> impl Iterator<Item = &SplitEntry> {
+        self.entries.values()
+    }
+
+    /// The cells a **tuple** index copy addressed to `key` must reach: its
+    /// content row's `c` cells. Returns `None` in the unsplit case so
+    /// callers pay nothing on the (overwhelmingly common) cold path.
+    pub fn route_tuple(&self, key: &HashedKey, tuple: &Tuple) -> Option<SplitRoute> {
+        let entry = self.entries.get(&key.ring())?;
+        let grid = entry.grid;
+        let row = partition_for_tuple(tuple, grid.rows);
+        Some((0..grid.cols).map(|col| key.split_part(grid.cell(row, col), grid.cells())).collect())
+    }
+
+    /// The cells a **query** (input or rewritten) dispatched to `key` must
+    /// register at: its identity column's `r` cells. `None` when unsplit.
+    pub fn route_query(&self, key: &HashedKey, id: QueryId) -> Option<SplitRoute> {
+        let entry = self.entries.get(&key.ring())?;
+        let grid = entry.grid;
+        let col = partition_for_query(id, grid.cols);
+        Some((0..grid.rows).map(|row| key.split_part(grid.cell(row, col), grid.cells())).collect())
+    }
+}
+
+/// The partition a tuple belongs to among `parts` sub-keys of a split key:
+/// an FNV-1a content hash over the tuple's relation, every attribute value
+/// and the publication time, reduced mod `parts`.
+///
+/// Hashing the *whole* tuple (rather than the split key's own attribute
+/// value) matters: for a value-level hot key every indexed tuple shares the
+/// key's value, so only the remaining content can spread them. Publication
+/// time is included so even fully identical payloads scatter. The function
+/// is a pure content hash — independent of drivers, shard counts and
+/// arrival order — so routing is deterministic everywhere.
+pub fn partition_for_tuple(tuple: &Tuple, parts: u32) -> u32 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    eat(tuple.relation().as_bytes());
+    for value in tuple.values() {
+        match value {
+            rjoin_relation::Value::Int(v) => {
+                eat(&[0x01]);
+                eat(&v.to_le_bytes());
+            }
+            rjoin_relation::Value::Str(s) => {
+                eat(&[0x02]);
+                eat(s.as_bytes());
+            }
+        }
+    }
+    eat(&tuple.pub_time().to_le_bytes());
+    (h % parts as u64) as u32
+}
+
+/// The partition a query belongs to among `parts` sub-keys of a
+/// query-partitioned split key: a mix of the query's identity (owner ring
+/// id and per-owner sequence number) reduced mod `parts`. All rewritten
+/// descendants of one input query share its [`QueryId`] and therefore its
+/// partition, so a query's state for one split key never straddles
+/// partitions; balance comes from the population of distinct queries.
+pub fn partition_for_query(id: QueryId, parts: u32) -> u32 {
+    (rjoin_dht::mix64(id.owner.0 ^ id.seq.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % parts as u64)
+        as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rjoin_relation::Value;
+
+    fn tuple(values: [i64; 3], pub_time: u64) -> Tuple {
+        Tuple::new("R", values.iter().map(|v| Value::from(*v)).collect(), pub_time)
+    }
+
+    #[test]
+    fn partitioning_is_deterministic_and_in_range() {
+        let t = tuple([1, 2, 3], 7);
+        let p = partition_for_tuple(&t, 8);
+        assert_eq!(p, partition_for_tuple(&t, 8));
+        assert!(p < 8);
+        assert_eq!(partition_for_tuple(&t, 1), 0);
+    }
+
+    #[test]
+    fn partitioning_spreads_distinct_tuples() {
+        // 64 tuples sharing the same value in attribute 0 (a value-level hot
+        // key scenario) must still spread over the partitions.
+        let mut seen = [false; 4];
+        for i in 0..64 {
+            let t = tuple([7, i, i * 3], 100 + i as u64);
+            seen[partition_for_tuple(&t, 4) as usize] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "content hashing must reach every partition");
+    }
+
+    fn qid(owner: u64, seq: u64) -> QueryId {
+        QueryId { owner: rjoin_dht::Id(owner), seq }
+    }
+
+    #[test]
+    fn tuple_grid_routes_tuples_single_and_replicates_queries() {
+        let mut splits = SplitMap::new();
+        let hot = HashedKey::new("R+A");
+        let cold = HashedKey::new("S+B");
+        assert!(splits.insert(hot.clone(), SplitGrid::tuples(4), 10));
+        assert!(!splits.insert(hot.clone(), SplitGrid::queries(8), 11), "double split is refused");
+        assert_eq!(splits.len(), 1);
+        assert!(splits.is_split(hot.ring()));
+        assert!(!splits.is_split(cold.ring()));
+        assert_eq!(splits.get(hot.ring()).unwrap().grid.cells(), 4);
+        assert_eq!(splits.get(hot.ring()).unwrap().split_at, 10);
+
+        let t = tuple([1, 2, 3], 5);
+        let tuple_route = splits.route_tuple(&hot, &t).unwrap();
+        assert_eq!(tuple_route.len(), 1, "an (s, 1) grid routes each tuple to one cell");
+        assert_eq!(tuple_route[0].partition(), Some((partition_for_tuple(&t, 4), 4)));
+        assert_eq!(tuple_route[0].base_ring(), hot.ring());
+        assert!(splits.route_tuple(&cold, &t).is_none(), "cold keys route unchanged");
+
+        let query_route = splits.route_query(&hot, qid(1, 1)).unwrap();
+        assert_eq!(query_route.len(), 4, "an (s, 1) grid registers each query everywhere");
+        for (p, sub) in query_route.iter().enumerate() {
+            assert_eq!(sub.partition(), Some((p as u32, 4)));
+        }
+        assert!(splits.route_query(&cold, qid(1, 1)).is_none());
+    }
+
+    #[test]
+    fn query_grid_routes_queries_single_and_replicates_tuples() {
+        let mut splits = SplitMap::new();
+        let hot = HashedKey::new("R+A+i:0");
+        assert!(splits.insert(hot.clone(), SplitGrid::queries(4), 3));
+
+        let query_route = splits.route_query(&hot, qid(7, 2)).unwrap();
+        assert_eq!(query_route.len(), 1);
+        assert_eq!(query_route[0].partition(), Some((partition_for_query(qid(7, 2), 4), 4)));
+        let t = tuple([0, 2, 3], 5);
+        assert_eq!(splits.route_tuple(&hot, &t).unwrap().len(), 4);
+    }
+
+    /// The hypercube property: whatever the grid shape, a tuple's cell set
+    /// and a query's cell set intersect in exactly one sub-key.
+    #[test]
+    fn rectangular_grid_meets_exactly_once() {
+        let mut splits = SplitMap::new();
+        let hot = HashedKey::new("R+A");
+        assert!(splits.insert(hot.clone(), SplitGrid::new(4, 2), 0));
+        for i in 0..24 {
+            let t = tuple([i, i * 7, 3], 50 + i as u64);
+            let t_cells = splits.route_tuple(&hot, &t).unwrap();
+            assert_eq!(t_cells.len(), 2, "a (4, 2) grid indexes each tuple at its row's cells");
+            for owner in 0..24u64 {
+                let q_cells = splits.route_query(&hot, qid(owner * 31, owner)).unwrap();
+                assert_eq!(q_cells.len(), 4, "each query registers at its column's cells");
+                let meets = t_cells.iter().filter(|cell| q_cells.contains(cell)).count();
+                assert_eq!(meets, 1, "every (query, tuple) pair must meet exactly once");
+            }
+        }
+    }
+
+    #[test]
+    fn query_partitioning_is_deterministic_and_spreads() {
+        assert_eq!(partition_for_query(qid(3, 9), 8), partition_for_query(qid(3, 9), 8));
+        assert_eq!(partition_for_query(qid(3, 9), 1), 0);
+        let mut seen = [false; 4];
+        for owner in 0..32u64 {
+            seen[partition_for_query(qid(owner * 977, owner), 4) as usize] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "query identities must reach every partition");
+    }
+
+    #[test]
+    fn choose_grid_apportions_shares_by_rate() {
+        // Pure tuple heat: all cells to the tuple side.
+        assert_eq!(choose_grid(8, 100, 0), SplitGrid::tuples(8));
+        // Pure Eval heat: all cells to the query side.
+        assert_eq!(choose_grid(8, 0, 100), SplitGrid::queries(8));
+        // Balanced heat: a balanced rectangle.
+        let g = choose_grid(8, 100, 100);
+        assert!(g.cells() == 8 && g.rows >= 2 && g.cols >= 2, "balanced heat gets a rectangle");
+        assert_eq!(g.rows, 4, "ties break toward the tuple side");
+        // Lopsided heat leans the grid accordingly.
+        assert_eq!(choose_grid(8, 400, 90), SplitGrid::new(8, 1));
+        assert_eq!(choose_grid(16, 400, 100), SplitGrid::new(8, 2));
+        // A prime cell count still has the two pure factorizations.
+        assert_eq!(choose_grid(7, 10, 1000), SplitGrid::queries(7));
+        // The clamp: s < 2 is raised to 2.
+        assert_eq!(choose_grid(1, 5, 0), SplitGrid::tuples(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "sub-keys cannot be split again")]
+    fn split_map_rejects_sub_keys() {
+        let mut splits = SplitMap::new();
+        let sub = HashedKey::new("R+A").split_part(0, 2);
+        splits.insert(sub, SplitGrid::tuples(2), 0);
+    }
+}

@@ -1,6 +1,6 @@
 //! Aggregated statistics of an engine run, in the units the paper reports.
 
-use rjoin_metrics::{Distribution, ShardRuntimeStats, SharingCounters};
+use rjoin_metrics::{Distribution, ShardRuntimeStats, SharingCounters, SplitCounters};
 use serde::{Deserialize, Serialize};
 
 /// A snapshot of the metrics the paper's figures are built from.
@@ -47,6 +47,14 @@ pub struct ExperimentStats {
     pub cross_shard_messages: u64,
     /// How the sharded runtime executed (zeroed for single-queue runs).
     pub shard_runtime: ShardRuntimeStats,
+    /// Per-key heat: the query-processing load of every index key that
+    /// received at least one delivery, ranked. `key_heat.max()` is the
+    /// heaviest hitter; under hot-key splitting the partitions of a split
+    /// key appear as separate (cooler) keys, so the drop in `max` and in
+    /// `key_heat.gini()` is the direct measure of the split's effect.
+    pub key_heat: Distribution,
+    /// What the hot-key splitting subsystem did (zeroed when disabled).
+    pub splits: SplitCounters,
 }
 
 impl ExperimentStats {
@@ -107,6 +115,8 @@ mod tests {
             intra_shard_messages: 0,
             cross_shard_messages: 0,
             shard_runtime: ShardRuntimeStats::default(),
+            key_heat: Distribution::from_values([6, 4]),
+            splits: SplitCounters::default(),
         }
     }
 

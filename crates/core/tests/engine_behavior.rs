@@ -96,8 +96,8 @@ fn tumbling_windows_partition_answers() {
     // buckets do not.
     let mut engine = RJoinEngine::new(EngineConfig::default(), catalog(), 24);
     let node = engine.node_ids()[0];
-    let q = parse_query("SELECT R.B, S.B FROM R, S WHERE R.A = S.A WINDOW TUMBLING 10 TIME")
-        .unwrap();
+    let q =
+        parse_query("SELECT R.B, S.B FROM R, S WHERE R.A = S.A WINDOW TUMBLING 10 TIME").unwrap();
     let qid = engine.submit_query(node, q).unwrap();
     engine.run_until_quiescent().unwrap();
 
@@ -219,9 +219,7 @@ fn parallel_tick_loop_matches_sequential_loop() {
         // into large ticks and the parallel driver spawns real workers.
         let publish_at = engine.now() + 1;
         for (i, t) in scenario.generate_tuples(publish_at).into_iter().enumerate() {
-            engine
-                .publish_tuple(nodes[i % nodes.len()], t.with_pub_time(publish_at))
-                .unwrap();
+            engine.publish_tuple(nodes[i % nodes.len()], t.with_pub_time(publish_at)).unwrap();
         }
         let processed = drain(&mut engine);
         let mut rows: Vec<_> = qids.iter().flat_map(|q| engine.answers().rows_for(*q)).collect();

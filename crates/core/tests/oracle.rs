@@ -185,10 +185,9 @@ fn sound_and_duplicate_free_under_all_strategies() {
             let actual = sorted(engine.answers().rows_for(*qid));
             // Multiset inclusion: every delivered row consumes one oracle row.
             for row in &actual {
-                let pos = expected
-                    .iter()
-                    .position(|e| e == row)
-                    .unwrap_or_else(|| panic!("unsound or duplicate answer {row:?} ({placement:?})"));
+                let pos = expected.iter().position(|e| e == row).unwrap_or_else(|| {
+                    panic!("unsound or duplicate answer {row:?} ({placement:?})")
+                });
                 expected.remove(pos);
             }
         }
@@ -267,10 +266,7 @@ fn distinct_queries_deliver_set_semantics() {
             assert!(expected_set.contains(row), "unsound DISTINCT answer {row:?}");
         }
     }
-    assert!(
-        any_duplicates_avoided,
-        "the workload should contain at least one potential duplicate"
-    );
+    assert!(any_duplicates_avoided, "the workload should contain at least one potential duplicate");
 }
 
 /// Windowed oracle: brute-force evaluation where a combination only counts
@@ -288,10 +284,7 @@ fn windowed_oracle_answers(
     let per_relation: Vec<Vec<&Tuple>> = relations
         .iter()
         .map(|r| {
-            tuples
-                .iter()
-                .filter(|t| t.relation() == r && t.pub_time() >= insert_time)
-                .collect()
+            tuples.iter().filter(|t| t.relation() == r && t.pub_time() >= insert_time).collect()
         })
         .collect();
     if per_relation.iter().any(|v| v.is_empty()) {
@@ -476,11 +469,9 @@ fn three_way_tumbling_window_matches_windowed_oracle() {
     }
     // A straddling pair: 18/19 sit in bucket 0, 21 in bucket 1. The sliding
     // test |start - now| + 1 <= 20 would join all three; tumbling must not.
-    for t in [
-        tuple("R0", [1, 0, 900], 18),
-        tuple("R1", [1, 2, 1], 19),
-        tuple("R2", [5, 2, 901], 21),
-    ] {
+    for t in
+        [tuple("R0", [1, 0, 900], 18), tuple("R1", [1, 2, 1], 19), tuple("R2", [5, 2, 901], 21)]
+    {
         published.push(t.clone());
         engine.publish_tuple(origin, t).unwrap();
     }
@@ -579,8 +570,7 @@ fn altt_under_churn_matches_windowed_oracle() {
 fn shared_subjoins_survive_churn() {
     let schema = WorkloadSchema::new(4, 3, 6);
     let catalog = schema.build_catalog();
-    let config =
-        EngineConfig::default().with_value_level_rewrites().with_shared_subjoins();
+    let config = EngineConfig::default().with_value_level_rewrites().with_shared_subjoins();
     let mut engine = RJoinEngine::new(config, catalog.clone(), 20);
     let origin = engine.node_ids()[0];
 

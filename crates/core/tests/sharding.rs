@@ -52,10 +52,7 @@ fn oracle_answers(
     let pools: Vec<Vec<&Tuple>> = relations
         .iter()
         .map(|rel| {
-            tuples
-                .iter()
-                .filter(|t| t.relation() == rel && t.pub_time() >= insert_time)
-                .collect()
+            tuples.iter().filter(|t| t.relation() == rel && t.pub_time() >= insert_time).collect()
         })
         .collect();
     let mut combos: Vec<Vec<&Tuple>> = vec![Vec::new()];

@@ -31,15 +31,16 @@ fn oracle_answers(catalog: &Catalog, query: &JoinQuery, tuples: &[Tuple]) -> Vec
         let combo: Vec<&Tuple> = indices.iter().zip(&per_relation).map(|(&i, v)| v[i]).collect();
         let earliest = combo.iter().map(|t| t.pub_time()).min().expect("non-empty combo");
         let latest = combo.iter().map(|t| t.pub_time()).max().expect("non-empty combo");
-        let ok = window.within(earliest, latest) && query.conjuncts().iter().all(|c| match c {
-            Conjunct::JoinEq(a, b) => {
-                attr_value(&combo, &a.relation, &a.attribute)
-                    == attr_value(&combo, &b.relation, &b.attribute)
-            }
-            Conjunct::ConstEq(a, v) => {
-                attr_value(&combo, &a.relation, &a.attribute).as_ref() == Some(v)
-            }
-        });
+        let ok = window.within(earliest, latest)
+            && query.conjuncts().iter().all(|c| match c {
+                Conjunct::JoinEq(a, b) => {
+                    attr_value(&combo, &a.relation, &a.attribute)
+                        == attr_value(&combo, &b.relation, &b.attribute)
+                }
+                Conjunct::ConstEq(a, v) => {
+                    attr_value(&combo, &a.relation, &a.attribute).as_ref() == Some(v)
+                }
+            });
         if ok {
             results.push(
                 query

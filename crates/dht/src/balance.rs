@@ -1,12 +1,32 @@
-//! Identifier-movement load balancing (Karger & Ruhl, SPAA'04).
+//! DHT-level load balancing: identifier movement for spread load, split
+//! planning for point-mass load.
 //!
-//! The RJoin paper's Figure 9 experiment plugs the low-level load-balancing
-//! technique of [19] under RJoin: a node may change its position on the
-//! identifier circle, thereby choosing which identifiers it is responsible
-//! for. This module implements the simulation-side version of that idea:
-//! given the observed load contributed by each *key*, it repeatedly moves
-//! the least-loaded node so that it splits the arc of the most-loaded node
-//! in half (by load, not by identifier span).
+//! Two different shapes of imbalance need two different tools:
+//!
+//! * **Spread load** — many keys, unevenly apportioned to nodes by the
+//!   accident of hashing. The Karger & Ruhl (SPAA'04) identifier-movement
+//!   technique of the paper's Figure 9 experiment fixes this *below* RJoin:
+//!   a node may change its position on the identifier circle, thereby
+//!   choosing which identifiers it is responsible for. [`rebalance`]
+//!   implements the simulation-side version: given the observed load
+//!   contributed by each *key*, it repeatedly moves the least-loaded node
+//!   so that it splits the arc of the most-loaded node in half (by load,
+//!   not by identifier span).
+//! * **Point-mass load** — one key hot enough to overwhelm its owner.
+//!   Identifier movement is structurally unable to help: a single key
+//!   occupies a single identifier, so wherever the arc is cut, the whole
+//!   key lands on one side ([`rebalance`] detects this and stops —
+//!   `split_point` returns `None` when the heavy node owns fewer than two
+//!   loaded keys). The remedy is one level *up*: [`plan_splits`] identifies
+//!   such heavy hitters and proposes a **share** for each (Afrati, Ullman &
+//!   Vasilakopoulos), i.e. a partition count for hot-key splitting, which
+//!   the RJoin engine executes by salting sub-keys onto the ring
+//!   (`rjoin_dht::HashedKey::split_part`, driven by `rjoin-core`'s split
+//!   subsystem).
+//!
+//! A balancing pass should therefore run [`rebalance`] for the spread tier
+//! and feed [`plan_splits`]'s output to the engine for the point-mass tier;
+//! the two compose, and neither subsumes the other.
 
 use crate::{ChordNetwork, DhtError, Id};
 use std::collections::BTreeMap;
@@ -38,18 +58,13 @@ pub fn node_loads(
 /// takes over (roughly) half of `heavy`'s load. Returns `None` if the heavy
 /// node owns fewer than two loaded keys (a single hot key cannot be split by
 /// moving identifiers).
-fn split_point(
-    network: &ChordNetwork,
-    key_loads: &BTreeMap<Id, u64>,
-    heavy: Id,
-) -> Option<Id> {
+fn split_point(network: &ChordNetwork, key_loads: &BTreeMap<Id, u64>, heavy: Id) -> Option<Id> {
     // Collect the heavy node's keys ordered clockwise from its predecessor.
     let pred = network.predecessor_of(heavy).ok()?;
     let mut owned: Vec<(Id, u64)> = key_loads
         .iter()
         .filter(|(k, load)| {
-            **load > 0
-                && network.successor_of(**k).map(|o| o == heavy).unwrap_or(false)
+            **load > 0 && network.successor_of(**k).map(|o| o == heavy).unwrap_or(false)
         })
         .map(|(k, l)| (*k, *l))
         .collect();
@@ -89,10 +104,8 @@ pub fn rebalance(
         if loads.len() < 3 {
             break;
         }
-        let (&heavy, &heavy_load) =
-            loads.iter().max_by_key(|(_, l)| **l).expect("non-empty loads");
-        let (&light, &light_load) =
-            loads.iter().min_by_key(|(_, l)| **l).expect("non-empty loads");
+        let (&heavy, &heavy_load) = loads.iter().max_by_key(|(_, l)| **l).expect("non-empty loads");
+        let (&light, &light_load) = loads.iter().min_by_key(|(_, l)| **l).expect("non-empty loads");
         if heavy == light || heavy_load == 0 {
             break;
         }
@@ -113,6 +126,52 @@ pub fn rebalance(
     }
     network.full_stabilize();
     Ok(movements)
+}
+
+/// A heavy hitter [`plan_splits`] proposes to partition: the key, its
+/// observed load, and the suggested number of sub-keys (its *share*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitPlan {
+    /// Ring identifier of the hot key.
+    pub key: Id,
+    /// The key's observed load.
+    pub load: u64,
+    /// Suggested partition count: enough sub-keys that each carries about
+    /// one fair (per-node) share, clamped to `[2, max_partitions]`.
+    pub partitions: u32,
+}
+
+/// Identifies the point-mass keys identifier movement cannot balance: every
+/// key whose individual load exceeds the fair per-node share (total load /
+/// node count) by more than 2× is proposed for splitting, with a partition
+/// count that brings its per-partition load back to roughly one fair share.
+/// Returned heaviest-first; an empty result means the spread tier
+/// ([`rebalance`]) is sufficient.
+pub fn plan_splits(
+    network: &ChordNetwork,
+    key_loads: &BTreeMap<Id, u64>,
+    max_partitions: u32,
+) -> Vec<SplitPlan> {
+    let nodes = network.len() as u64;
+    let total: u64 = key_loads.values().sum();
+    if nodes == 0 || total == 0 {
+        return Vec::new();
+    }
+    let fair_share = (total / nodes).max(1);
+    let max_partitions = max_partitions.max(2);
+    let mut plans: Vec<SplitPlan> = key_loads
+        .iter()
+        .filter(|(_, &load)| load > 2 * fair_share)
+        .map(|(&key, &load)| SplitPlan {
+            key,
+            load,
+            partitions: u32::try_from(load.div_ceil(fair_share))
+                .unwrap_or(max_partitions)
+                .clamp(2, max_partitions),
+        })
+        .collect();
+    plans.sort_by(|a, b| b.load.cmp(&a.load).then_with(|| a.key.cmp(&b.key)));
+    plans
 }
 
 #[cfg(test)]
@@ -146,10 +205,7 @@ mod tests {
         let net = build(16);
         let key_loads = skewed_key_loads(&net, 200);
         let loads = node_loads(&net, &key_loads).unwrap();
-        assert_eq!(
-            loads.values().sum::<u64>(),
-            key_loads.values().sum::<u64>()
-        );
+        assert_eq!(loads.values().sum::<u64>(), key_loads.values().sum::<u64>());
         assert_eq!(loads.len(), 16);
     }
 
@@ -170,10 +226,7 @@ mod tests {
             "max load should drop: before {max_before}, after {max_after}"
         );
         // Total load is preserved.
-        assert_eq!(
-            before.values().sum::<u64>(),
-            after.values().sum::<u64>()
-        );
+        assert_eq!(before.values().sum::<u64>(), after.values().sum::<u64>());
         // The ring still has the same number of nodes.
         assert_eq!(net.len(), 32);
     }
@@ -204,5 +257,109 @@ mod tests {
         // A single hot key cannot be split, so no movement should occur.
         assert!(movements.is_empty());
         assert_eq!(net.len(), 8);
+    }
+
+    /// The point-mass edge case at the `split_point` level: a heavy node
+    /// owning zero or one loaded key has no identifier at which its load
+    /// could be divided, so the planner must return `None` — this is
+    /// exactly the hole that hot-key splitting fills one level up.
+    #[test]
+    fn split_point_returns_none_for_a_single_loaded_key() {
+        let net = build(8);
+        let hot_key = Id::hash_key("the-one-hot-key");
+        let owner = net.successor_of(hot_key).unwrap();
+
+        let mut single = BTreeMap::new();
+        single.insert(hot_key, 1000u64);
+        assert_eq!(split_point(&net, &single, owner), None);
+
+        // No loaded key at all: same.
+        let empty = BTreeMap::new();
+        assert_eq!(split_point(&net, &empty, owner), None);
+
+        // A second loaded key owned by the same node makes the arc
+        // divisible again.
+        let mut two = single.clone();
+        let mut i = 0;
+        let second = loop {
+            let candidate = Id::hash_key(&format!("second-key-{i}"));
+            if net.successor_of(candidate).unwrap() == owner {
+                break candidate;
+            }
+            i += 1;
+        };
+        two.insert(second, 900u64);
+        let split = split_point(&net, &two, owner);
+        assert!(split.is_some(), "two loaded keys on one node are divisible");
+        assert!(
+            split == Some(hot_key) || split == Some(second),
+            "the split lands on one of the owned keys"
+        );
+    }
+
+    /// Identifier movement leaves the single-hot-key maximum untouched even
+    /// with light keys elsewhere: the hot key's whole load stays on one
+    /// node however many moves are allowed.
+    #[test]
+    fn rebalance_cannot_reduce_a_point_mass() {
+        let mut net = build(16);
+        let mut key_loads = BTreeMap::new();
+        key_loads.insert(Id::hash_key("viral-key"), 800u64);
+        for i in 0..30 {
+            key_loads.insert(Id::hash_key(&format!("light-{i}")), 1u64);
+        }
+        let _ = rebalance(&mut net, &key_loads, 12).unwrap();
+        let after = node_loads(&net, &key_loads).unwrap();
+        assert!(
+            *after.values().max().unwrap() >= 800,
+            "no identifier movement can divide a single key's load"
+        );
+    }
+
+    #[test]
+    fn plan_splits_flags_the_point_mass_with_a_share() {
+        let net = build(16);
+        let hot = Id::hash_key("viral-key");
+        let mut key_loads = BTreeMap::new();
+        key_loads.insert(hot, 800u64);
+        for i in 0..32 {
+            key_loads.insert(Id::hash_key(&format!("light-{i}")), 1u64);
+        }
+        let plans = plan_splits(&net, &key_loads, 8);
+        assert_eq!(plans.len(), 1, "only the point mass is flagged");
+        assert_eq!(plans[0].key, hot);
+        assert_eq!(plans[0].load, 800);
+        // 832 total over 16 nodes = fair share 52; 800 needs > 8 partitions,
+        // clamped to the maximum.
+        assert_eq!(plans[0].partitions, 8);
+        // A generous cap yields the exact share: ceil(800 / 52) = 16.
+        assert_eq!(plan_splits(&net, &key_loads, 64)[0].partitions, 16);
+    }
+
+    #[test]
+    fn plan_splits_is_empty_for_spread_load() {
+        let net = build(16);
+        let mut key_loads = BTreeMap::new();
+        for i in 0..160 {
+            key_loads.insert(Id::hash_key(&format!("uniform-{i}")), 3u64);
+        }
+        assert!(plan_splits(&net, &key_loads, 8).is_empty());
+        assert!(plan_splits(&net, &BTreeMap::new(), 8).is_empty());
+    }
+
+    #[test]
+    fn plan_splits_orders_heaviest_first() {
+        let net = build(8);
+        let mut key_loads = BTreeMap::new();
+        key_loads.insert(Id::hash_key("hot-a"), 400u64);
+        key_loads.insert(Id::hash_key("hot-b"), 900u64);
+        for i in 0..16 {
+            key_loads.insert(Id::hash_key(&format!("light-{i}")), 2u64);
+        }
+        let plans = plan_splits(&net, &key_loads, 16);
+        assert_eq!(plans.len(), 2);
+        assert_eq!(plans[0].key, Id::hash_key("hot-b"));
+        assert_eq!(plans[1].key, Id::hash_key("hot-a"));
+        assert!(plans[0].partitions >= plans[1].partitions);
     }
 }

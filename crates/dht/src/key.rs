@@ -8,6 +8,20 @@
 //! `Arc<str>` clone, so every downstream consumer can key its maps by the
 //! precomputed 64-bit ring identifier instead of the string.
 //!
+//! # Partitioned keys (hot-key splitting)
+//!
+//! A single hot key is a point mass on the identifier circle: no identifier
+//! movement can divide it, because all of its load lands on whichever node
+//! owns that one identifier. Share-based partitioning (Afrati, Ullman &
+//! Vasilakopoulos) splits such a key into `s` deterministic **sub-keys**:
+//! [`HashedKey::split_part`] derives partition `p` of `s` by salting the
+//! partition coordinates into the base ring identifier, so the `s` sub-keys
+//! scatter uniformly over the ring while all sharing the interned canonical
+//! text. Tuples indexed under the hot key are routed to exactly one sub-key
+//! and queries are registered at all `s` of them; the base identifier stays
+//! recoverable via [`HashedKey::base_ring`] so telemetry can aggregate the
+//! partitions back into one logical key.
+//!
 //! Ring identifiers are SHA-1 prefixes and therefore already uniformly
 //! distributed, so maps keyed by them do not need SipHash on top: the
 //! [`RingHasher`] build hasher passes the `u64` through (with a cheap
@@ -33,6 +47,29 @@ use std::sync::Arc;
 pub struct HashedKey {
     text: Arc<str>,
     id: Id,
+    /// Partition coordinates `(p, s)` for sub-keys of a split hot key
+    /// (`p < s`, `s >= 2`); `None` for ordinary unsplit keys. The partition
+    /// is salted into `id`, so two sub-keys of one base key have distinct
+    /// ring identifiers and distinct storage buckets.
+    partition: Option<(u32, u32)>,
+}
+
+/// Mixes a partition coordinate pair into a base ring identifier. One
+/// splitmix-style avalanche round over the packed `(p, s)` word keeps the
+/// sub-key identifiers uniform on the ring (partition 0 is *not* the base
+/// identifier: the base key retires entirely once split).
+fn salt_partition(base: u64, part: u32, parts: u32) -> u64 {
+    let packed = ((parts as u64) << 32) | part as u64;
+    mix64(base ^ packed.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// The splitmix64 finalizer: full 64-bit avalanche in three shifts and two
+/// multiplies. The one mixing primitive shared by [`RingHasher`], the
+/// partition salt and `rjoin-core`'s partition hashes.
+pub fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl HashedKey {
@@ -40,7 +77,7 @@ impl HashedKey {
     pub fn new(text: impl Into<Arc<str>>) -> Self {
         let text = text.into();
         let id = Id::hash_key(&text);
-        HashedKey { text, id }
+        HashedKey { text, id, partition: None }
     }
 
     /// The canonical key string.
@@ -53,7 +90,8 @@ impl HashedKey {
         &self.text
     }
 
-    /// The precomputed ring identifier `Hash(text)`.
+    /// The precomputed ring identifier: `Hash(text)` for unsplit keys, the
+    /// partition-salted identifier for sub-keys of a split hot key.
     pub fn id(&self) -> Id {
         self.id
     }
@@ -63,13 +101,48 @@ impl HashedKey {
     pub fn ring(&self) -> u64 {
         self.id.0
     }
+
+    /// Sub-key `part` of `parts` of this key: same interned text, ring
+    /// identifier salted with the partition coordinates. Splitting an
+    /// already-split key re-partitions from the base identifier (partitions
+    /// do not nest).
+    ///
+    /// # Panics
+    /// Panics unless `parts >= 2` and `part < parts`.
+    pub fn split_part(&self, part: u32, parts: u32) -> HashedKey {
+        assert!(parts >= 2, "a split needs at least two partitions");
+        assert!(part < parts, "partition index out of range");
+        let base = self.base_ring();
+        HashedKey {
+            text: Arc::clone(&self.text),
+            id: Id(salt_partition(base, part, parts)),
+            partition: Some((part, parts)),
+        }
+    }
+
+    /// The partition coordinates `(p, s)` of a sub-key, `None` for unsplit
+    /// keys.
+    pub fn partition(&self) -> Option<(u32, u32)> {
+        self.partition
+    }
+
+    /// The ring identifier of the *unsplit* base key — `ring()` for
+    /// ordinary keys, the pre-salt identifier for sub-keys. This is the
+    /// aggregation key that folds all partitions of one logical hot key
+    /// back together (telemetry, split-map lookups).
+    pub fn base_ring(&self) -> u64 {
+        match self.partition {
+            None => self.id.0,
+            Some(_) => Id::hash_key(&self.text).0,
+        }
+    }
 }
 
 impl PartialEq for HashedKey {
     fn eq(&self, other: &Self) -> bool {
-        // Fast path on the digest; fall back to the text so behaviour is
-        // correct even under digest collisions.
-        self.id == other.id && self.text == other.text
+        // Fast path on the digest; fall back to the text (and the partition
+        // coordinates) so behaviour is correct even under digest collisions.
+        self.id == other.id && self.partition == other.partition && self.text == other.text
     }
 }
 
@@ -91,13 +164,17 @@ impl PartialOrd for HashedKey {
 
 impl Ord for HashedKey {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.text.cmp(&other.text)
+        self.text.cmp(&other.text).then_with(|| self.partition.cmp(&other.partition))
     }
 }
 
 impl fmt::Display for HashedKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.text)
+        f.write_str(&self.text)?;
+        if let Some((part, parts)) = self.partition {
+            write!(f, "[{part}/{parts}]")?;
+        }
+        Ok(())
     }
 }
 
@@ -113,18 +190,41 @@ impl From<String> for HashedKey {
     }
 }
 
-// Serialized as the bare canonical string; the ring identifier is re-derived
-// on deserialization, so the wire format carries no redundancy.
+/// ASCII unit separator: joins the canonical text and the partition suffix
+/// in the serialized form. The canonical key grammar (`Rel+Attr[+value]`)
+/// never produces control characters, so the split form is unambiguous.
+const PARTITION_SEP: char = '\u{1f}';
+
+// Serialized as the bare canonical string (with a `\u{1f}p/s` suffix for
+// sub-keys of a split hot key); the ring identifier is re-derived on
+// deserialization, so the wire format carries no redundancy.
 impl Serialize for HashedKey {
     fn serialize_json(&self) -> JsonValue {
-        JsonValue::Str(self.text.to_string())
+        match self.partition {
+            None => JsonValue::Str(self.text.to_string()),
+            Some((part, parts)) => {
+                JsonValue::Str(format!("{}{PARTITION_SEP}{part}/{parts}", self.text))
+            }
+        }
     }
 }
 
 impl Deserialize for HashedKey {
     fn deserialize_json(v: &JsonValue) -> Result<Self, JsonError> {
         match v {
-            JsonValue::Str(s) => Ok(HashedKey::new(s.as_str())),
+            JsonValue::Str(s) => match s.split_once(PARTITION_SEP) {
+                None => Ok(HashedKey::new(s.as_str())),
+                Some((text, coords)) => {
+                    let parsed = coords
+                        .split_once('/')
+                        .and_then(|(p, n)| Some((p.parse().ok()?, n.parse().ok()?)))
+                        .filter(|&(p, n): &(u32, u32)| n >= 2 && p < n);
+                    match parsed {
+                        Some((part, parts)) => Ok(HashedKey::new(text).split_part(part, parts)),
+                        None => Err(JsonError::expected("key partition suffix", v)),
+                    }
+                }
+            },
             other => Err(JsonError::expected("string", other)),
         }
     }
@@ -155,12 +255,8 @@ impl Hasher for RingHasher {
     }
 
     fn write_u64(&mut self, i: u64) {
-        // splitmix64 finalizer: full avalanche in three shifts and two
-        // multiplies — far cheaper than SipHash for a single word.
-        let mut z = self.state ^ i;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        self.state = z ^ (z >> 31);
+        // splitmix64 finalizer: far cheaper than SipHash for a single word.
+        self.state = mix64(self.state ^ i);
     }
 }
 
@@ -227,6 +323,56 @@ mod tests {
         assert_eq!(back, k);
         assert_eq!(back.id(), k.id());
         assert!(HashedKey::deserialize_json(&JsonValue::Int(3)).is_err());
+    }
+
+    #[test]
+    fn split_parts_share_text_but_scatter_ring_ids() {
+        let base = HashedKey::new("R+A");
+        let parts: Vec<HashedKey> = (0..4).map(|p| base.split_part(p, 4)).collect();
+        for (p, key) in parts.iter().enumerate() {
+            assert!(Arc::ptr_eq(base.text(), key.text()), "sub-keys share the interned text");
+            assert_eq!(key.partition(), Some((p as u32, 4)));
+            assert_eq!(key.base_ring(), base.ring());
+            assert_ne!(key.ring(), base.ring(), "partition salt must move the identifier");
+            assert_ne!(*key, base);
+        }
+        // All sub-key identifiers are pairwise distinct.
+        let mut rings: Vec<u64> = parts.iter().map(HashedKey::ring).collect();
+        rings.sort_unstable();
+        rings.dedup();
+        assert_eq!(rings.len(), 4);
+        // Deterministic: the same coordinates always give the same sub-key.
+        assert_eq!(base.split_part(2, 4), parts[2]);
+        // Different partition counts are different splits.
+        assert_ne!(base.split_part(0, 2).ring(), base.split_part(0, 4).ring());
+        // Re-splitting a sub-key re-partitions from the base, not the salt.
+        assert_eq!(parts[1].split_part(3, 8), base.split_part(3, 8));
+    }
+
+    #[test]
+    fn split_part_display_shows_coordinates() {
+        let k = HashedKey::new("R+A").split_part(1, 3);
+        assert_eq!(k.to_string(), "R+A[1/3]");
+        assert_eq!(k.as_str(), "R+A");
+    }
+
+    #[test]
+    #[should_panic(expected = "partition index out of range")]
+    fn split_part_rejects_out_of_range_partitions() {
+        let _ = HashedKey::new("R+A").split_part(3, 3);
+    }
+
+    #[test]
+    fn serde_round_trips_partitioned_keys() {
+        let k = HashedKey::new("R+A+i:7").split_part(2, 5);
+        let v = k.serialize_json();
+        let back = HashedKey::deserialize_json(&v).unwrap();
+        assert_eq!(back, k);
+        assert_eq!(back.ring(), k.ring());
+        assert_eq!(back.partition(), Some((2, 5)));
+        // A malformed partition suffix is rejected, not silently dropped.
+        let bad = JsonValue::Str(format!("R+A{}9/2", '\u{1f}'));
+        assert!(HashedKey::deserialize_json(&bad).is_err());
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod sha1;
 
 pub use error::DhtError;
 pub use id::Id;
-pub use key::{HashedKey, RingBuildHasher, RingHasher, RingMap, RingSet};
+pub use key::{mix64, HashedKey, RingBuildHasher, RingHasher, RingMap, RingSet};
 pub use node::{ChordNode, FingerTable, SUCCESSOR_LIST_LEN};
 pub use ring::{ChordNetwork, LookupResult};
 

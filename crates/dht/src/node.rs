@@ -57,11 +57,7 @@ impl FingerTable {
     /// Iterates over the set fingers from the *highest* index down, which is
     /// the order `closest_preceding_finger` scans them.
     pub fn iter_desc(&self) -> impl Iterator<Item = (usize, Id)> + '_ {
-        self.entries
-            .iter()
-            .enumerate()
-            .rev()
-            .filter_map(|(k, entry)| entry.map(|id| (k, id)))
+        self.entries.iter().enumerate().rev().filter_map(|(k, entry)| entry.map(|id| (k, id)))
     }
 }
 

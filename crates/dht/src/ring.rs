@@ -202,20 +202,14 @@ impl ChordNetwork {
             if self.nodes.len() > 1 {
                 let true_succ = self
                     .nodes
-                    .range((
-                        std::ops::Bound::Excluded(id),
-                        std::ops::Bound::Unbounded,
-                    ))
+                    .range((std::ops::Bound::Excluded(id), std::ops::Bound::Unbounded))
                     .next()
                     .or_else(|| self.nodes.iter().next())
                     .map(|(i, _)| *i)
                     .expect("non-empty");
                 if true_succ != id {
                     successor = true_succ;
-                    self.nodes
-                        .get_mut(&id)
-                        .expect("node exists")
-                        .set_successors(vec![successor]);
+                    self.nodes.get_mut(&id).expect("node exists").set_successors(vec![successor]);
                 }
             }
         }
@@ -226,10 +220,7 @@ impl ChordNetwork {
             let succ_pred = self.nodes.get(&successor).and_then(|s| s.predecessor());
             if let Some(x) = succ_pred {
                 if self.nodes.contains_key(&x) && x.in_open_interval(id, successor) {
-                    self.nodes
-                        .get_mut(&id)
-                        .expect("node exists")
-                        .set_successors(vec![x]);
+                    self.nodes.get_mut(&id).expect("node exists").set_successors(vec![x]);
                 }
             }
             let successor = self.nodes.get(&id).expect("node exists").successor();
@@ -244,11 +235,8 @@ impl ChordNetwork {
                 }
             }
             // Refresh the successor list from the successor's list.
-            let succ_list: Vec<Id> = self
-                .nodes
-                .get(&successor)
-                .map(|s| s.successor_list().to_vec())
-                .unwrap_or_default();
+            let succ_list: Vec<Id> =
+                self.nodes.get(&successor).map(|s| s.successor_list().to_vec()).unwrap_or_default();
             let mut new_list = vec![successor];
             new_list.extend(succ_list.into_iter().filter(|s| *s != id));
             new_list.retain(|s| self.nodes.contains_key(s));
@@ -653,9 +641,6 @@ mod tests {
     fn lookup_from_unknown_node_errors() {
         let (mut net, _) = build(4);
         let foreign = Id::hash_key("not-a-member");
-        assert!(matches!(
-            net.lookup(foreign, Id(0)),
-            Err(DhtError::UnknownNode { .. })
-        ));
+        assert!(matches!(net.lookup(foreign, Id(0)), Err(DhtError::UnknownNode { .. })));
     }
 }

@@ -20,7 +20,9 @@
 //! * [`SharingCounters`] — how much indexing/storage work the shared
 //!   sub-join registry saved (multi-query optimization),
 //! * [`ShardRuntimeStats`] — how a sharded event-queue drain executed
-//!   (shard count, per-shard tick activations, blocked cross-shard reads).
+//!   (shard count, per-shard tick activations, blocked cross-shard reads),
+//! * [`SplitCounters`] — what the hot-key splitting subsystem did
+//!   (heavy hitters split, state migrated, routing/fan-out overhead).
 
 mod counters;
 mod distribution;
@@ -28,6 +30,7 @@ mod report;
 mod series;
 mod shard;
 mod sharing;
+mod split;
 
 pub use counters::LoadMap;
 pub use distribution::Distribution;
@@ -35,3 +38,4 @@ pub use report::Table;
 pub use series::CumulativeSeries;
 pub use shard::ShardRuntimeStats;
 pub use sharing::SharingCounters;
+pub use split::SplitCounters;

@@ -1,0 +1,99 @@
+//! Observability counters for hot-key splitting (share-based partitioning).
+
+use serde::{Deserialize, Serialize};
+
+/// Counters describing what the hot-key splitting subsystem did during a
+/// run: how many keys crossed the heavy-hitter threshold, how much state
+/// was migrated when their partitions were activated, and how much extra
+/// routing work the split cost (tuples steered to one sub-key, query copies
+/// fanned out to every sub-key).
+///
+/// All counters are cumulative over a run and stay zero when splitting is
+/// disabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SplitCounters {
+    /// Keys whose observed heat crossed the threshold and were split.
+    pub keys_split: u64,
+    /// Sub-keys created in total (`Σ` partition counts over split keys).
+    pub partitions_created: u64,
+    /// Tuple index copies routed through a split key's grid (whatever the
+    /// shape) instead of to the base key.
+    pub tuples_routed: u64,
+    /// Extra tuple copies sent because a tuple is indexed at every cell of
+    /// its content row (`cols - 1` per index copy; 0 for a pure
+    /// tuple-partitioned `(s, 1)` grid).
+    pub tuple_fanout: u64,
+    /// Extra query copies sent because a query registers at every cell of
+    /// its identity column (`rows - 1` per dispatch; 0 for a pure
+    /// query-partitioned `(1, s)` grid).
+    pub query_fanout: u64,
+    /// Stored-query replicas created when a split activated (each
+    /// pre-existing entry is cloned to the `rows` cells of its identity
+    /// column).
+    pub migrated_queries: u64,
+    /// Stored value-level tuple / ALTT replicas created when a split
+    /// activated (each entry is copied to the `cols` cells of its content
+    /// row).
+    pub migrated_tuples: u64,
+}
+
+impl SplitCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether any key was ever split.
+    pub fn any_splits(&self) -> bool {
+        self.keys_split > 0
+    }
+
+    /// Adds another instance's counts into this one (per-shard tallies →
+    /// run totals).
+    pub fn merge(&mut self, other: &SplitCounters) {
+        self.keys_split += other.keys_split;
+        self.partitions_created += other.partitions_created;
+        self.tuples_routed += other.tuples_routed;
+        self.tuple_fanout += other.tuple_fanout;
+        self.query_fanout += other.query_fanout;
+        self.migrated_queries += other.migrated_queries;
+        self.migrated_tuples += other.migrated_tuples;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = SplitCounters { keys_split: 1, partitions_created: 4, ..Default::default() };
+        let b = SplitCounters {
+            keys_split: 2,
+            partitions_created: 8,
+            tuples_routed: 10,
+            tuple_fanout: 12,
+            query_fanout: 30,
+            migrated_queries: 5,
+            migrated_tuples: 7,
+        };
+        a.merge(&b);
+        assert_eq!(a.keys_split, 3);
+        assert_eq!(a.partitions_created, 12);
+        assert_eq!(a.tuples_routed, 10);
+        assert_eq!(a.tuple_fanout, 12);
+        assert_eq!(a.query_fanout, 30);
+        assert_eq!(a.migrated_queries, 5);
+        assert_eq!(a.migrated_tuples, 7);
+        assert!(a.any_splits());
+        assert!(!SplitCounters::new().any_splits());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = SplitCounters { keys_split: 2, tuples_routed: 9, ..Default::default() };
+        let v = c.serialize_json();
+        let back = SplitCounters::deserialize_json(&v).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -258,11 +258,13 @@ impl<M> Network<M> {
     pub fn drain_in_flight(&mut self) -> Vec<Delivery<M>> {
         let mut drained = Vec::with_capacity(self.queue.len());
         while let Some((at, bucket)) = self.queue.pop_bucket() {
-            drained.extend(
-                bucket
-                    .into_iter()
-                    .map(|s| Delivery { at, seq: s.seq, to: s.to, from: s.from, msg: s.msg }),
-            );
+            drained.extend(bucket.into_iter().map(|s| Delivery {
+                at,
+                seq: s.seq,
+                to: s.to,
+                from: s.from,
+                msg: s.msg,
+            }));
         }
         drained
     }

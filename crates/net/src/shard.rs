@@ -71,7 +71,9 @@ pub type Lineage = u128;
 /// AST), so rather than letting a comparison sort shuffle them `n log n`
 /// times, the 24-byte `(lineage, index)` pairs are sorted and the payloads
 /// gathered once.
-fn sort_by_lineage<M>(bucket: std::collections::VecDeque<ShardDelivery<M>>) -> Vec<ShardDelivery<M>> {
+fn sort_by_lineage<M>(
+    bucket: std::collections::VecDeque<ShardDelivery<M>>,
+) -> Vec<ShardDelivery<M>> {
     if bucket.len() <= 1 {
         return bucket.into_iter().collect();
     }
@@ -467,8 +469,7 @@ impl<'n, 'a, M> ShardHandle<'n, 'a, M> {
     fn sync_low(&mut self) {
         loop {
             let drained: Vec<ShardDelivery<M>> = {
-                let mut inbox =
-                    self.net.inboxes[self.local.shard].lock().expect("inbox lock");
+                let mut inbox = self.net.inboxes[self.local.shard].lock().expect("inbox lock");
                 std::mem::take(&mut *inbox)
             };
             for d in drained {
@@ -724,8 +725,7 @@ mod tests {
         dht.join(b).unwrap();
         dht.full_stabilize();
 
-        let mut net: ShardedNetwork<'_, &str> =
-            ShardedNetwork::new(&dht, 1, 0, &[a, b], 1);
+        let mut net: ShardedNetwork<'_, &str> = ShardedNetwork::new(&dht, 1, 0, &[a, b], 1);
         net.seed(1, a, b, "r1");
         net.seed(1, b, a, "r0");
         let local = net.take_local(0);

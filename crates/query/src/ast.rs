@@ -356,8 +356,8 @@ mod tests {
 
     #[test]
     fn rejects_empty_select() {
-        let err = JoinQuery::new(false, vec![], vec!["R".into()], vec![], WindowSpec::None)
-            .unwrap_err();
+        let err =
+            JoinQuery::new(false, vec![], vec!["R".into()], vec![], WindowSpec::None).unwrap_err();
         assert_eq!(err, QueryError::EmptySelect);
     }
 

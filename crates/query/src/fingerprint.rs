@@ -69,12 +69,12 @@ pub fn subjoin_signature(query: &JoinQuery) -> String {
             let mut s = String::with_capacity(16);
             match c {
                 Conjunct::JoinEq(a, b) => {
-                    let (first, second) = if (&a.relation, &a.attribute) <= (&b.relation, &b.attribute)
-                    {
-                        (a, b)
-                    } else {
-                        (b, a)
-                    };
+                    let (first, second) =
+                        if (&a.relation, &a.attribute) <= (&b.relation, &b.attribute) {
+                            (a, b)
+                        } else {
+                            (b, a)
+                        };
                     s.push_str("j:");
                     push_attr(&mut s, first);
                     s.push('=');

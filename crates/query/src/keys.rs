@@ -56,7 +56,11 @@ impl IndexKey {
     }
 
     /// Value-level key constructor.
-    pub fn value<R: Into<String>, A: Into<String>>(relation: R, attribute: A, value: Value) -> Self {
+    pub fn value<R: Into<String>, A: Into<String>>(
+        relation: R,
+        attribute: A,
+        value: Value,
+    ) -> Self {
         IndexKey::Value { relation: relation.into(), attribute: attribute.into(), value }
     }
 
@@ -250,10 +254,7 @@ mod tests {
     fn key_string_forms() {
         assert_eq!(IndexKey::attribute("R", "A").to_key_string(), "R+A");
         assert_eq!(IndexKey::value("R", "A", Value::from(2)).to_key_string(), "R+A+i:2");
-        assert_eq!(
-            IndexKey::value("R", "A", Value::from("x")).to_key_string(),
-            "R+A+s:x"
-        );
+        assert_eq!(IndexKey::value("R", "A", Value::from("x")).to_key_string(), "R+A+s:x");
     }
 
     #[test]
@@ -276,10 +277,7 @@ mod tests {
     fn candidates_for_pure_join_query_are_attribute_level() {
         let q = parse_query("SELECT R.A FROM R, S WHERE R.A = S.B").unwrap();
         let keys = candidate_keys(&q);
-        assert_eq!(
-            keys,
-            vec![IndexKey::attribute("R", "A"), IndexKey::attribute("S", "B")]
-        );
+        assert_eq!(keys, vec![IndexKey::attribute("R", "A"), IndexKey::attribute("S", "B")]);
     }
 
     #[test]
@@ -301,10 +299,8 @@ mod tests {
     #[test]
     fn implied_closure_spans_chains() {
         // R.A = S.B AND S.B = P.C AND P.C = 9 implies R.A = 9.
-        let q = parse_query(
-            "SELECT R.A FROM R, S, P WHERE R.A = S.B AND S.B = P.C AND P.C = 9",
-        )
-        .unwrap();
+        let q = parse_query("SELECT R.A FROM R, S, P WHERE R.A = S.B AND S.B = P.C AND P.C = 9")
+            .unwrap();
         let keys = candidate_keys(&q);
         assert!(keys.contains(&IndexKey::value("R", "A", Value::from(9))));
         assert!(keys.contains(&IndexKey::value("S", "B", Value::from(9))));
@@ -315,8 +311,7 @@ mod tests {
     fn candidates_are_deduplicated() {
         let q = parse_query("SELECT R.A FROM R, S, P WHERE R.A = S.B AND R.A = P.C").unwrap();
         let keys = candidate_keys(&q);
-        let attr_r_a =
-            keys.iter().filter(|k| **k == IndexKey::attribute("R", "A")).count();
+        let attr_r_a = keys.iter().filter(|k| **k == IndexKey::attribute("R", "A")).count();
         assert_eq!(attr_r_a, 1);
     }
 }

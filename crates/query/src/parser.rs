@@ -102,7 +102,8 @@ impl<'a> Lexer<'a> {
             }
             b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
                 while self.pos < self.bytes.len()
-                    && (self.bytes[self.pos].is_ascii_alphanumeric() || self.bytes[self.pos] == b'_')
+                    && (self.bytes[self.pos].is_ascii_alphanumeric()
+                        || self.bytes[self.pos] == b'_')
                 {
                     self.pos += 1;
                 }
@@ -384,12 +385,12 @@ mod tests {
 
     #[test]
     fn parses_window_clauses() {
-        let q = parse_query("SELECT R.A FROM R, S WHERE R.A = S.A WINDOW SLIDING 100 TUPLES")
-            .unwrap();
+        let q =
+            parse_query("SELECT R.A FROM R, S WHERE R.A = S.A WINDOW SLIDING 100 TUPLES").unwrap();
         assert_eq!(*q.window(), WindowSpec::sliding_tuples(100));
 
-        let q = parse_query("SELECT R.A FROM R, S WHERE R.A = S.A WINDOW TUMBLING 60 TIME")
-            .unwrap();
+        let q =
+            parse_query("SELECT R.A FROM R, S WHERE R.A = S.A WINDOW TUMBLING 60 TIME").unwrap();
         assert_eq!(*q.window(), WindowSpec::tumbling_time(60));
 
         let q = parse_query("SELECT R.A FROM R, S WHERE R.A = S.A WINDOW NONE").unwrap();
@@ -441,8 +442,8 @@ mod tests {
 
     #[test]
     fn error_on_zero_window_duration() {
-        let err =
-            parse_query("SELECT R.A FROM R, S WHERE R.A = S.A WINDOW SLIDING 0 TUPLES").unwrap_err();
+        let err = parse_query("SELECT R.A FROM R, S WHERE R.A = S.A WINDOW SLIDING 0 TUPLES")
+            .unwrap_err();
         assert!(matches!(err, QueryError::Parse { .. }));
     }
 

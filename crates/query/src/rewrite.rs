@@ -270,18 +270,14 @@ mod tests {
         };
         assert_eq!(q1.join_count(), 0);
         assert_eq!(q1.conjuncts().len(), 2);
-        assert!(q1
-            .conjuncts()
-            .iter()
-            .all(|c| matches!(c, Conjunct::ConstEq(_, _))));
+        assert!(q1.conjuncts().iter().all(|c| matches!(c, Conjunct::ConstEq(_, _))));
     }
 
     #[test]
     fn rewriting_preserves_distinct_and_window() {
-        let q = parse_query(
-            "SELECT DISTINCT R.A FROM R, S WHERE R.A = S.A WINDOW SLIDING 100 TUPLES",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT DISTINCT R.A FROM R, S WHERE R.A = S.A WINDOW SLIDING 100 TUPLES")
+                .unwrap();
         let q1 = match rewrite(&q, &tuple("R", [1, 2, 3]), &schema("R")).unwrap() {
             RewriteResult::Partial(q1) => q1,
             other => panic!("unexpected {other:?}"),
@@ -373,11 +369,7 @@ mod tests {
     #[test]
     fn string_values_flow_through() {
         let q = parse_query("SELECT S.B FROM S WHERE S.A = 'abc'").unwrap();
-        let t = Tuple::new(
-            "S",
-            vec![Value::from("abc"), Value::from("out"), Value::from(0)],
-            0,
-        );
+        let t = Tuple::new("S", vec![Value::from("abc"), Value::from("out"), Value::from(0)], 0);
         match rewrite(&q, &t, &schema("S")).unwrap() {
             RewriteResult::Complete(row) => assert_eq!(row, vec![Value::from("out")]),
             other => panic!("unexpected {other:?}"),

@@ -152,7 +152,7 @@ mod tests {
         assert!(w.within(10, 10));
         assert!(w.within(10, 109)); // span 99 + 1 = 100
         assert!(!w.within(10, 110)); // span 100 + 1 = 101
-        // The test is symmetric in start/now (the paper uses an absolute value).
+                                     // The test is symmetric in start/now (the paper uses an absolute value).
         assert!(w.within(109, 10));
         assert!(!w.within(110, 10));
     }

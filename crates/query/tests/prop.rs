@@ -12,15 +12,15 @@ use rjoin_relation::{Schema, Tuple, Value};
 /// attributes `A0..A3`.
 fn arb_chain_query() -> impl Strategy<Value = JoinQuery> {
     (
-        2usize..=5,                       // number of relations in the chain
+        2usize..=5,                               // number of relations in the chain
         proptest::collection::vec(0usize..4, 10), // attribute picks
-        proptest::bool::ANY,              // distinct
+        proptest::bool::ANY,                      // distinct
         prop_oneof![
             Just(WindowSpec::None),
             (1u64..200).prop_map(WindowSpec::sliding_tuples),
             (1u64..200).prop_map(WindowSpec::sliding_time),
         ],
-        proptest::option::of(0i64..5),    // optional constant predicate value
+        proptest::option::of(0i64..5), // optional constant predicate value
     )
         .prop_map(|(relations, attrs, distinct, window, const_pred)| {
             let rels: Vec<String> = (0..relations).map(|i| format!("R{i}")).collect();
@@ -51,8 +51,9 @@ fn schema_for(relation: &str) -> Schema {
 }
 
 fn arb_tuple_for(relation: String) -> impl Strategy<Value = Tuple> {
-    proptest::collection::vec(0i64..5, 4)
-        .prop_map(move |vals| Tuple::new(relation.clone(), vals.into_iter().map(Value::from).collect(), 0))
+    proptest::collection::vec(0i64..5, 4).prop_map(move |vals| {
+        Tuple::new(relation.clone(), vals.into_iter().map(Value::from).collect(), 0)
+    })
 }
 
 proptest! {

@@ -24,7 +24,9 @@ impl Catalog {
     /// Registers a schema. Fails if a relation with the same name exists.
     pub fn register(&mut self, schema: Schema) -> Result<(), RelationError> {
         if self.schemas.contains_key(schema.relation()) {
-            return Err(RelationError::DuplicateRelation { relation: schema.relation().to_string() });
+            return Err(RelationError::DuplicateRelation {
+                relation: schema.relation().to_string(),
+            });
         }
         self.schemas.insert(schema.relation().to_string(), schema);
         Ok(())

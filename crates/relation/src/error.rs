@@ -89,10 +89,7 @@ mod tests {
 
     #[test]
     fn display_mentions_names() {
-        let err = RelationError::UnknownAttribute {
-            relation: "R".into(),
-            attribute: "Z".into(),
-        };
+        let err = RelationError::UnknownAttribute { relation: "R".into(), attribute: "Z".into() };
         let msg = err.to_string();
         assert!(msg.contains('R') && msg.contains('Z'));
     }

@@ -21,11 +21,7 @@ pub struct Schema {
 
 fn valid_identifier(name: &str) -> bool {
     !name.is_empty()
-        && name
-            .chars()
-            .next()
-            .map(|c| c.is_ascii_alphabetic() || c == '_')
-            .unwrap_or(false)
+        && name.chars().next().map(|c| c.is_ascii_alphabetic() || c == '_').unwrap_or(false)
         && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 

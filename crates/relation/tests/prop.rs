@@ -4,10 +4,7 @@ use proptest::prelude::*;
 use rjoin_relation::{Schema, Tuple, Value};
 
 fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        any::<i64>().prop_map(Value::Int),
-        "[a-z]{0,8}".prop_map(Value::Str),
-    ]
+    prop_oneof![any::<i64>().prop_map(Value::Int), "[a-z]{0,8}".prop_map(Value::Str),]
 }
 
 proptest! {

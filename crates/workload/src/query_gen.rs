@@ -182,10 +182,8 @@ mod tests {
             let conjuncts = q.conjuncts();
             for pair in conjuncts.windows(2) {
                 let (a, b) = (&pair[0], &pair[1]);
-                let shares = a
-                    .attrs()
-                    .iter()
-                    .any(|x| b.attrs().iter().any(|y| y.relation == x.relation));
+                let shares =
+                    a.attrs().iter().any(|x| b.attrs().iter().any(|y| y.relation == x.relation));
                 assert!(shares, "adjacent conjuncts must share a relation: {a} / {b}");
             }
         }

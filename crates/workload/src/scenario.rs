@@ -1,9 +1,9 @@
 //! Scenario descriptions: the workload side of an experiment.
 
 use crate::{QueryGenerator, TupleGenerator, WorkloadSchema};
+use rjoin_query::JoinQuery;
 use rjoin_query::WindowSpec;
 use rjoin_relation::Tuple;
-use rjoin_query::JoinQuery;
 use serde::{Deserialize, Serialize};
 
 /// A complete workload description for one experiment run: schema shape,
@@ -22,6 +22,11 @@ pub struct Scenario {
     pub joins: usize,
     /// Zipf skew θ used for relation and value choice.
     pub theta: f64,
+    /// Hot-key knob: this fraction of relation/value draws collapses onto
+    /// rank 0 on top of the Zipf skew, manufacturing a point-mass key
+    /// (0.0 = the plain paper workload; see
+    /// [`TupleGenerator::with_hot_fraction`]).
+    pub hot_fraction: f64,
     /// Window declaration attached to every query.
     pub window: WindowSpec,
     /// Whether queries use `SELECT DISTINCT` (set semantics).
@@ -46,6 +51,7 @@ impl Scenario {
             tuples: 400,
             joins: 3,
             theta: 0.9,
+            hot_fraction: 0.0,
             window: WindowSpec::None,
             distinct: false,
             relations: 10,
@@ -64,12 +70,36 @@ impl Scenario {
             tuples: 60,
             joins: 3,
             theta: 0.9,
+            hot_fraction: 0.0,
             window: WindowSpec::None,
             distinct: false,
             relations: 10,
             attributes: 10,
             domain: 100,
             seed: 7,
+        }
+    }
+
+    /// The skew scenario of the hot-key splitting experiments: a small
+    /// dense workload with the given Zipf θ **plus** a 50% hotspot mass, so
+    /// the head relation/value pair is a genuine point mass that identifier
+    /// movement cannot divide (at θ = 0.9 the hottest key carries a double-
+    /// digit share of the whole run's per-key load). Used by the `skew`
+    /// bench group, the Figure 9 extension and the split-vs-unsplit oracle
+    /// suite.
+    pub fn skew_test(theta: f64) -> Self {
+        Scenario {
+            nodes: 64,
+            queries: 120,
+            tuples: 100,
+            joins: 2,
+            theta,
+            hot_fraction: 0.5,
+            relations: 4,
+            attributes: 3,
+            domain: 32,
+            seed: 0x5EED_5111,
+            ..Scenario::small_test()
         }
     }
 
@@ -88,6 +118,7 @@ impl Scenario {
     /// Builds the tuple generator for this scenario.
     pub fn tuple_generator(&self) -> TupleGenerator {
         TupleGenerator::new(self.workload_schema(), self.theta, self.seed ^ 0x7e)
+            .with_hot_fraction(self.hot_fraction)
     }
 
     /// Generates the full list of queries for this scenario.
@@ -148,5 +179,17 @@ mod tests {
         let back: Scenario = serde_json::from_str(&json).unwrap();
         assert_eq!(back.queries, s.queries);
         assert_eq!(back.window, s.window);
+    }
+
+    #[test]
+    fn skew_preset_has_a_hotspot_and_stays_reproducible() {
+        let s = Scenario::skew_test(0.9);
+        assert!((s.theta - 0.9).abs() < f64::EPSILON);
+        assert!(s.hot_fraction > 0.0, "the skew preset must carry the hot-key knob");
+        assert_eq!(s.generate_tuples(0), s.generate_tuples(0));
+        // The hotspot shows: a large share of tuples is the head relation.
+        let tuples = s.generate_tuples(0);
+        let head = tuples.iter().filter(|t| t.relation() == "R0").count();
+        assert!(head * 2 > tuples.len(), "hotspot must dominate the relation choice");
     }
 }

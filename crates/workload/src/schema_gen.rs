@@ -25,7 +25,10 @@ impl WorkloadSchema {
     /// # Panics
     /// Panics if any dimension is zero.
     pub fn new(relations: usize, attributes: usize, domain: i64) -> Self {
-        assert!(relations > 0 && attributes > 0 && domain > 0, "schema dimensions must be positive");
+        assert!(
+            relations > 0 && attributes > 0 && domain > 0,
+            "schema dimensions must be positive"
+        );
         WorkloadSchema { relations, attributes, domain }
     }
 

@@ -8,11 +8,17 @@ use rjoin_relation::{Timestamp, Tuple, Value};
 /// Generates tuples the way the paper's experiments do: the relation is
 /// chosen with a Zipf distribution over the schema's relations, and every
 /// attribute value is chosen with a Zipf distribution over the value domain.
+///
+/// The optional **hot fraction** ([`with_hot_fraction`](Self::with_hot_fraction))
+/// additionally collapses that share of relation and value draws onto rank
+/// 0, manufacturing the point-mass keys the hot-key splitting experiments
+/// need (Zipf alone spreads even θ = 0.9 mass over several head ranks).
 #[derive(Debug, Clone)]
 pub struct TupleGenerator {
     schema: WorkloadSchema,
     relation_sampler: ZipfSampler,
     value_sampler: ZipfSampler,
+    hot_fraction: f64,
     rng: StdRng,
 }
 
@@ -22,7 +28,22 @@ impl TupleGenerator {
     pub fn new(schema: WorkloadSchema, theta: f64, seed: u64) -> Self {
         let relation_sampler = ZipfSampler::new(schema.relation_count(), theta);
         let value_sampler = ZipfSampler::new(schema.domain() as usize, theta);
-        TupleGenerator { schema, relation_sampler, value_sampler, rng: StdRng::seed_from_u64(seed) }
+        TupleGenerator {
+            schema,
+            relation_sampler,
+            value_sampler,
+            hot_fraction: 0.0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Sets the hot-key knob: this fraction of relation/value draws
+    /// collapses onto rank 0 (see [`ZipfSampler::sample_with_hotspot`]).
+    /// `0.0` (the default) is bit-identical to the plain paper workload.
+    pub fn with_hot_fraction(mut self, hot_fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&hot_fraction), "hot_fraction must be a probability");
+        self.hot_fraction = hot_fraction;
+        self
     }
 
     /// The workload schema this generator draws from.
@@ -32,10 +53,15 @@ impl TupleGenerator {
 
     /// Generates one tuple published at `pub_time`.
     pub fn generate(&mut self, pub_time: Timestamp) -> Tuple {
-        let relation_idx = self.relation_sampler.sample(&mut self.rng);
+        let relation_idx =
+            self.relation_sampler.sample_with_hotspot(&mut self.rng, self.hot_fraction);
         let relation = self.schema.relation_name(relation_idx);
         let values: Vec<Value> = (0..self.schema.attribute_count())
-            .map(|_| Value::Int(self.value_sampler.sample(&mut self.rng) as i64))
+            .map(|_| {
+                Value::Int(
+                    self.value_sampler.sample_with_hotspot(&mut self.rng, self.hot_fraction) as i64
+                )
+            })
             .collect();
         Tuple::new(relation, values, pub_time)
     }
@@ -89,5 +115,24 @@ mod tests {
         let mut a = TupleGenerator::new(WorkloadSchema::paper_default(), 0.9, 7);
         let mut b = TupleGenerator::new(WorkloadSchema::paper_default(), 0.9, 7);
         assert_eq!(a.generate_batch(50, 0), b.generate_batch(50, 0));
+    }
+
+    #[test]
+    fn hot_fraction_concentrates_the_head_key() {
+        let mut plain = TupleGenerator::new(WorkloadSchema::paper_default(), 0.9, 9);
+        let mut hot =
+            TupleGenerator::new(WorkloadSchema::paper_default(), 0.9, 9).with_hot_fraction(0.6);
+        let head = |batch: Vec<Tuple>| {
+            batch
+                .iter()
+                .filter(|t| t.relation() == "R0" && t.value(0) == Some(&Value::Int(0)))
+                .count()
+        };
+        let plain_head = head(plain.generate_batch(2000, 0));
+        let hot_head = head(hot.generate_batch(2000, 0));
+        assert!(
+            hot_head > plain_head * 3,
+            "the hot fraction must concentrate R0 value-0 tuples ({hot_head} vs {plain_head})"
+        );
     }
 }

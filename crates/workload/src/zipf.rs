@@ -77,6 +77,25 @@ impl ZipfSampler {
             Err(idx) => idx.min(self.cumulative.len() - 1),
         }
     }
+
+    /// Draws one rank, but with probability `hot_mass` collapses the draw
+    /// onto rank 0 — the **hot-key knob** of the skew scenarios: Zipf skew
+    /// alone concentrates *most* mass on the first ranks, while real
+    /// workloads often have one key that is categorically hotter than the
+    /// Zipf tail predicts (a viral item, a default value). `hot_mass = 0.0`
+    /// draws nothing extra from the RNG and is bit-identical to
+    /// [`sample`](Self::sample), so enabling the knob in one scenario never
+    /// perturbs another scenario's generated workload.
+    ///
+    /// # Panics
+    /// Panics if `hot_mass` is not within `[0.0, 1.0]`.
+    pub fn sample_with_hotspot<R: Rng + ?Sized>(&self, rng: &mut R, hot_mass: f64) -> usize {
+        assert!((0.0..=1.0).contains(&hot_mass), "hot_mass must be a probability");
+        if hot_mass > 0.0 && rng.gen_range(0.0..1.0) < hot_mass {
+            return 0;
+        }
+        self.sample(rng)
+    }
 }
 
 #[cfg(test)]
@@ -173,5 +192,38 @@ mod tests {
     #[should_panic(expected = "finite and non-negative")]
     fn negative_theta_panics() {
         let _ = ZipfSampler::new(5, -1.0);
+    }
+
+    #[test]
+    fn hotspot_zero_is_bit_identical_to_plain_sampling() {
+        let z = ZipfSampler::new(50, 0.7);
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        for _ in 0..500 {
+            assert_eq!(z.sample_with_hotspot(&mut a, 0.0), z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn hotspot_mass_concentrates_rank_zero() {
+        let z = ZipfSampler::new(50, 0.5);
+        let mut rng = StdRng::seed_from_u64(12);
+        let draws = 20_000;
+        let hot = (0..draws).filter(|_| z.sample_with_hotspot(&mut rng, 0.5) == 0).count();
+        // Rank 0 gets the 50% hotspot mass plus its own Zipf share.
+        let base = z.probability(0);
+        let expected = (0.5 + 0.5 * base) * draws as f64;
+        assert!(
+            (hot as f64 - expected).abs() < draws as f64 * 0.03,
+            "rank-0 frequency {hot} far from expected {expected:.0}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "hot_mass must be a probability")]
+    fn hotspot_mass_must_be_a_probability() {
+        let z = ZipfSampler::new(5, 0.5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = z.sample_with_hotspot(&mut rng, 1.5);
     }
 }

@@ -32,10 +32,9 @@ fn main() {
     let publisher = engine.node_ids()[1];
 
     // Event 1: node x submits the continuous query.
-    let query = parse_query(
-        "SELECT S.B, M.A FROM R, S, J, M WHERE R.A = S.A AND S.B = J.B AND J.C = M.C",
-    )
-    .expect("well-formed SQL");
+    let query =
+        parse_query("SELECT S.B, M.A FROM R, S, J, M WHERE R.A = S.A AND S.B = J.B AND J.C = M.C")
+            .expect("well-formed SQL");
     let query_id = engine.submit_query(querying_node, query).expect("query accepted");
     engine.run_until_quiescent().expect("indexing succeeds");
     println!("submitted continuous query {query_id}");
@@ -45,18 +44,12 @@ fn main() {
         [("R", [2, 5, 8]), ("S", [2, 6, 3]), ("M", [9, 1, 2]), ("J", [7, 6, 2])];
     for (i, (relation, values)) in events.iter().enumerate() {
         let pub_time = engine.now() + 1;
-        let tuple = Tuple::new(
-            *relation,
-            values.iter().map(|v| Value::from(*v)).collect(),
-            pub_time,
-        );
+        let tuple =
+            Tuple::new(*relation, values.iter().map(|v| Value::from(*v)).collect(), pub_time);
         println!("event {}: publishing {tuple}", i + 2);
         engine.publish_tuple(publisher, tuple).expect("tuple accepted");
         engine.run_until_quiescent().expect("processing succeeds");
-        println!(
-            "         answers delivered so far: {}",
-            engine.answers().count_for(query_id)
-        );
+        println!("         answers delivered so far: {}", engine.answers().count_for(query_id));
     }
 
     // The answer of Figure 1: S.B = 6, M.A = 9.

@@ -58,5 +58,7 @@ pub mod prelude {
     pub use rjoin_net::{Network, NetworkConfig};
     pub use rjoin_query::{parse_query, JoinQuery, WindowSpec};
     pub use rjoin_relation::{Catalog, Schema, Tuple, Value};
-    pub use rjoin_workload::{QueryGenerator, Scenario, TupleGenerator, WorkloadSchema, ZipfSampler};
+    pub use rjoin_workload::{
+        QueryGenerator, Scenario, TupleGenerator, WorkloadSchema, ZipfSampler,
+    };
 }

@@ -48,10 +48,7 @@ fn tuple_generator_is_byte_identical_across_runs() {
     let batch_a = TupleGenerator::new(schema.clone(), 0.9, 42).generate_batch(200, 1);
     let batch_b = TupleGenerator::new(schema, 0.9, 42).generate_batch(200, 1);
     assert_eq!(batch_a, batch_b);
-    assert_eq!(
-        serde_json::to_string(&batch_a).unwrap(),
-        serde_json::to_string(&batch_b).unwrap()
-    );
+    assert_eq!(serde_json::to_string(&batch_a).unwrap(), serde_json::to_string(&batch_b).unwrap());
 }
 
 fn run_engine_with(scenario: &Scenario, parallel: bool) -> (u64, u64, u64, Vec<Vec<Value>>) {
@@ -157,7 +154,8 @@ fn run_observables(
     let stats = engine.stats();
     let mut qpl_per_node: Vec<u64> = nodes.iter().map(|id| engine.qpl_per_node().get(id)).collect();
     qpl_per_node.sort_unstable();
-    let mut traffic_per_node: Vec<u64> = nodes.iter().map(|id| engine.traffic().sent_by(*id)).collect();
+    let mut traffic_per_node: Vec<u64> =
+        nodes.iter().map(|id| engine.traffic().sent_by(*id)).collect();
     traffic_per_node.sort_unstable();
     let mut all_rows: Vec<Vec<Value>> =
         qids.iter().flat_map(|qid| engine.answers().rows_for(*qid)).collect();
@@ -232,6 +230,21 @@ fn with_shards_one_is_the_sequential_driver() {
     let sequential = run_observables(&scenario, EngineConfig::default(), 0);
     let one_shard = run_observables(&scenario, EngineConfig::default(), 1);
     assert_eq!(sequential, one_shard);
+}
+
+/// The worker count is purely an execution choice: a 4-shard drain produces
+/// byte-identical observables whether it runs on the cooperative scheduler
+/// (1 worker), the pooled phase-parallel scheduler (2 or 3 workers — fewer
+/// workers than shards) or one persistent thread per shard (4 workers).
+#[test]
+fn worker_count_never_changes_sharded_results() {
+    let scenario = test_scenario();
+    let reference = run_observables(&scenario, EngineConfig::default().with_workers(1), 4);
+    assert!(reference.0 > 0, "the determinism scenario should produce answers");
+    for workers in [2usize, 3, 4, 16] {
+        let run = run_observables(&scenario, EngineConfig::default().with_workers(workers), 4);
+        assert_eq!(reference, run, "worker count {workers} must not change any observable");
+    }
 }
 
 /// Different seeds produce observably different workloads (sanity check that

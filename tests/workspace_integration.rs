@@ -20,10 +20,9 @@ fn figure_one_walkthrough_delivers_the_paper_answer() {
     let mut engine = RJoinEngine::new(EngineConfig::default(), catalog, 48);
     let node = engine.node_ids()[0];
 
-    let q = parse_query(
-        "SELECT S.B, M.A FROM R, S, J, M WHERE R.A = S.A AND S.B = J.B AND J.C = M.C",
-    )
-    .unwrap();
+    let q =
+        parse_query("SELECT S.B, M.A FROM R, S, J, M WHERE R.A = S.A AND S.B = J.B AND J.C = M.C")
+            .unwrap();
     let qid = engine.submit_query(node, q).unwrap();
     engine.run_until_quiescent().unwrap();
 
@@ -73,8 +72,11 @@ fn placement_strategies_rank_as_in_figure_two() {
     let catalog = scenario.workload_schema().build_catalog();
 
     let run = |placement| {
-        let mut engine =
-            RJoinEngine::new(EngineConfig::with_placement(placement), catalog.clone(), scenario.nodes);
+        let mut engine = RJoinEngine::new(
+            EngineConfig::with_placement(placement),
+            catalog.clone(),
+            scenario.nodes,
+        );
         let nodes = engine.node_ids().to_vec();
         for (i, q) in scenario.generate_queries().into_iter().enumerate() {
             engine.submit_query(nodes[i % nodes.len()], q).unwrap();

@@ -80,11 +80,7 @@ pub struct Criterion {}
 
 impl Criterion {
     /// Runs one stand-alone benchmark.
-    pub fn bench_function(
-        &mut self,
-        name: &str,
-        mut f: impl FnMut(&mut Bencher),
-    ) -> &mut Self {
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
         run_one(name, &mut f);
         self
     }

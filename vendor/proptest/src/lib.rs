@@ -3,7 +3,7 @@
 //! The build environment has no registry access, so the workspace vendors
 //! the property-testing surface its tests use: the [`proptest!`] macro,
 //! [`strategy::Strategy`] with `prop_map`, [`arbitrary::any`], range and
-//! regex-literal strategies, [`collection`], [`bool`](crate::bool),
+//! regex-literal strategies, [`collection`], `bool`,
 //! [`option`], [`prop_oneof!`], `Just`, and the `prop_assert*` /
 //! [`prop_assume!`] macros.
 //!
@@ -45,7 +45,9 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::TestCaseError;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Defines property tests: each `fn name(arg in strategy, ...) { body }`
@@ -109,7 +111,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             *__a != *__b,
             "assertion failed: `{} != {}`\n  both: {:?}",
-            stringify!($a), stringify!($b), __a
+            stringify!($a),
+            stringify!($b),
+            __a
         );
     }};
 }

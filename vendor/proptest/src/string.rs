@@ -27,11 +27,8 @@ pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
     let pieces = parse(pattern);
     let mut out = String::new();
     for piece in &pieces {
-        let count = if piece.min == piece.max {
-            piece.min
-        } else {
-            rng.gen_range(piece.min..=piece.max)
-        };
+        let count =
+            if piece.min == piece.max { piece.min } else { rng.gen_range(piece.min..=piece.max) };
         for _ in 0..count {
             match &piece.atom {
                 Atom::Literal(c) => out.push(*c),
@@ -62,9 +59,8 @@ fn parse(pattern: &str) -> Vec<Piece> {
             }
             '\\' => {
                 i += 1;
-                let c = *chars
-                    .get(i)
-                    .unwrap_or_else(|| panic!("dangling `\\` in pattern `{pattern}`"));
+                let c =
+                    *chars.get(i).unwrap_or_else(|| panic!("dangling `\\` in pattern `{pattern}`"));
                 i += 1;
                 Atom::Literal(c)
             }

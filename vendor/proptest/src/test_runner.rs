@@ -28,19 +28,14 @@ impl TestCaseError {
 /// Number of passing cases required per property (`PROPTEST_CASES`
 /// overrides; upstream defaults to 256, this harness to 64 for CI speed).
 fn case_count() -> usize {
-    std::env::var("PROPTEST_CASES")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(64)
+    std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(64)
 }
 
-/// Runs `case` until [`case_count`] draws pass, panicking on the first
+/// Runs `case` until the configured number of draws pass (the
+/// `PROPTEST_CASES` environment variable, default 64), panicking on the first
 /// failure. The RNG is seeded from the test's name (FNV-1a), so runs are
 /// deterministic and failures reproduce without a persistence file.
-pub fn run_cases(
-    name: &str,
-    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
-) {
+pub fn run_cases(name: &str, mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>) {
     let cases = case_count();
     let mut rng = TestRng::seed_from_u64(fnv1a(name.as_bytes()));
     let mut passed = 0usize;
@@ -57,9 +52,7 @@ pub fn run_cases(
                 );
             }
             Err(TestCaseError::Fail(message)) => {
-                panic!(
-                    "property `{name}` failed after {passed} passing case(s):\n{message}"
-                );
+                panic!("property `{name}` failed after {passed} passing case(s):\n{message}");
             }
         }
     }

@@ -50,8 +50,7 @@ impl JsonValue {
 
     /// Looks up a field of an object by name.
     pub fn get_field(&self, name: &str) -> Option<&JsonValue> {
-        self.as_object()
-            .and_then(|fields| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v))
+        self.as_object().and_then(|fields| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v))
     }
 
     /// A short tag naming the variant, for error messages.

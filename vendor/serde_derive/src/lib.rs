@@ -126,9 +126,8 @@ fn named_inits(ty: &str, fields: &[String], source: &str) -> String {
 /// Renders an expression deserializing a tuple payload of `n` items from the
 /// array behind `source`, applied to constructor path `ctor`.
 fn tuple_init(ty: &str, ctor: &str, n: usize, source: &str) -> String {
-    let items: Vec<String> = (0..n)
-        .map(|i| format!("::serde::Deserialize::deserialize_json(&__items[{i}])?"))
-        .collect();
+    let items: Vec<String> =
+        (0..n).map(|i| format!("::serde::Deserialize::deserialize_json(&__items[{i}])?")).collect();
     format!(
         "{{ let __items = {source}.as_array()\
          .ok_or_else(|| ::serde::json::JsonError::expected(\"array\", {source}))?; \
@@ -147,9 +146,7 @@ fn deserialize_body(item: &Input) -> String {
             "match __v {{ ::serde::json::JsonValue::Null => Ok(Self), \
              other => Err(::serde::json::JsonError::expected({ty:?}, other)) }}"
         ),
-        Data::NewtypeStruct => {
-            "Ok(Self(::serde::Deserialize::deserialize_json(__v)?))".to_string()
-        }
+        Data::NewtypeStruct => "Ok(Self(::serde::Deserialize::deserialize_json(__v)?))".to_string(),
         Data::TupleStruct(n) => tuple_init(ty, "Self", *n, "__v"),
         Data::NamedStruct(fields) => format!(
             "{{ if __v.as_object().is_none() {{ \

@@ -75,10 +75,9 @@ fn write_value(out: &mut String, v: &JsonValue, indent: Option<usize>, level: us
             }
         }
         JsonValue::Str(s) => write_string(out, s),
-        JsonValue::Array(items) =>
-            write_seq(out, items.iter(), items.len(), indent, level, ('[', ']'), |out, item, ind, lvl| {
-                write_value(out, item, ind, lvl)
-            }),
+        JsonValue::Array(items) => {
+            write_seq(out, items.iter(), items.len(), indent, level, ('[', ']'), write_value)
+        }
         JsonValue::Object(fields) => write_seq(
             out,
             fields.iter(),
@@ -202,12 +201,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue> {
     }
 }
 
-fn parse_literal(
-    bytes: &[u8],
-    pos: &mut usize,
-    word: &str,
-    value: JsonValue,
-) -> Result<JsonValue> {
+fn parse_literal(bytes: &[u8], pos: &mut usize, word: &str, value: JsonValue) -> Result<JsonValue> {
     if bytes[*pos..].starts_with(word.as_bytes()) {
         *pos += word.len();
         Ok(value)
@@ -222,10 +216,7 @@ fn expect_byte(bytes: &[u8], pos: &mut usize, expected: u8) -> Result<()> {
         *pos += 1;
         Ok(())
     } else {
-        Err(JsonError(format!(
-            "expected `{}` at byte {}",
-            expected as char, *pos
-        )))
+        Err(JsonError(format!("expected `{}` at byte {}", expected as char, *pos)))
     }
 }
 
