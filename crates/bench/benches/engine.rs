@@ -113,11 +113,46 @@ fn bench_sharding_runtime(c: &mut Criterion) {
     group.finish();
 }
 
+/// The overlapping multi-query workload driven by `run` (20 sub-join
+/// patterns shared by 300 queries, the workload where the fingerprint-keyed
+/// program cache sees the most reuse).
+fn run_overlap(config: EngineConfig, scenario: &Scenario) -> u64 {
+    let catalog = scenario.workload_schema().build_catalog();
+    let mut engine = RJoinEngine::new(config, catalog, scenario.nodes);
+    let origins: Vec<_> = engine.node_ids().to_vec();
+    for (i, q) in scenario.generate_overlapping_queries(20).into_iter().enumerate() {
+        engine.submit_query(origins[i % origins.len()], q).unwrap();
+    }
+    engine.run_until_quiescent().unwrap();
+    for (i, t) in scenario.generate_tuples(engine.now() + 1).into_iter().enumerate() {
+        engine.publish_tuple(origins[i % origins.len()], t).unwrap();
+    }
+    engine.run_until_quiescent().unwrap();
+    engine.total_qpl()
+}
+
+/// The compiled predicate-program hot loop versus the rewrite interpreter
+/// it replaces, on the overlapping workload: `interpreted` walks the AST
+/// per (tuple, stored query) pair, `compiled` executes the flat programs
+/// cached by sub-join fingerprint.
+fn bench_compiled_predicates(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let mut group = c.benchmark_group("compiled");
+    group.sample_size(10);
+    group.bench_function("interpreted", |b| {
+        b.iter(|| run_overlap(EngineConfig::default().with_compiled_predicates(false), &scenario))
+    });
+    group
+        .bench_function("compiled", |b| b.iter(|| run_overlap(EngineConfig::default(), &scenario)));
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_placement_strategies,
     bench_ric_reuse_ablation,
     bench_window_sizes,
-    bench_sharding_runtime
+    bench_sharding_runtime,
+    bench_compiled_predicates
 );
 criterion_main!(benches);

@@ -33,7 +33,7 @@ fn bench_chord_lookup(c: &mut Criterion) {
             b.iter(|| {
                 let key = keys[i % keys.len()];
                 i += 1;
-                net.lookup(black_box(from), black_box(key)).unwrap().hops
+                net.lookup(black_box(from), black_box(key)).unwrap().hops()
             })
         });
     }

@@ -1,0 +1,73 @@
+//! Scratch profiling harness for the rewrite hot loop. Mirrors the
+//! `bench_json` legs so `gprofng` profiles line up with the committed bench
+//! numbers:
+//!
+//! * default: the standard scenario under `RicAware` placement
+//!   (`placement_strategy/ric_aware`), compiled predicates off then on;
+//! * `PROFILE_OVERLAP=1`: the overlapping multi-query workload under the
+//!   default placement (the `sharing` / `compiled` groups), optionally with
+//!   `PROFILE_SHARED=1` for the shared sub-join registry.
+//!
+//! `PROFILE_ITERS` repeats the run to densify profiles on noisy hosts.
+
+use rjoin_core::{EngineConfig, PlacementStrategy, RJoinEngine};
+use rjoin_workload::Scenario;
+use std::time::Instant;
+
+/// Must match `OVERLAP_PATTERNS` in `bench_json.rs`.
+const OVERLAP_PATTERNS: usize = 20;
+
+fn run(
+    config: EngineConfig,
+    scenario: &Scenario,
+    overlap: bool,
+) -> (u64, rjoin_metrics::CompileCounters) {
+    let catalog = scenario.workload_schema().build_catalog();
+    let mut engine = RJoinEngine::new(config, catalog, scenario.nodes);
+    let origins: Vec<_> = engine.node_ids().to_vec();
+    let queries = if overlap {
+        scenario.generate_overlapping_queries(OVERLAP_PATTERNS)
+    } else {
+        scenario.generate_queries()
+    };
+    for (i, q) in queries.into_iter().enumerate() {
+        engine.submit_query(origins[i % origins.len()], q).unwrap();
+    }
+    engine.run_until_quiescent().unwrap();
+    for (i, t) in scenario.generate_tuples(engine.now() + 1).into_iter().enumerate() {
+        engine.publish_tuple(origins[i % origins.len()], t).unwrap();
+    }
+    engine.run_until_quiescent().unwrap();
+    (engine.total_qpl(), engine.compile_counters())
+}
+
+fn main() {
+    let iters: usize =
+        std::env::var("PROFILE_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(1);
+    let overlap = std::env::var("PROFILE_OVERLAP").is_ok_and(|v| v == "1");
+    let shared = std::env::var("PROFILE_SHARED").is_ok_and(|v| v == "1");
+    let scenario = Scenario { nodes: 48, queries: 300, tuples: 60, ..Scenario::small_test() };
+    for compiled in [false, true] {
+        let mut cfg = if overlap {
+            EngineConfig::default()
+        } else {
+            EngineConfig::with_placement(PlacementStrategy::RicAware)
+        };
+        cfg = cfg.with_compiled_predicates(compiled);
+        if shared {
+            cfg = cfg.with_shared_subjoins();
+        }
+        let start = Instant::now();
+        let mut last = None;
+        for _ in 0..iters {
+            last = Some(run(cfg.clone(), &scenario, overlap));
+        }
+        let wall = start.elapsed().as_secs_f64() * 1e3 / iters as f64;
+        let (_, c) = last.unwrap();
+        println!(
+            "overlap={overlap} shared={shared} compiled={compiled}: \
+             wall={wall:.1}ms eval={:.1}ms counters={c:?}",
+            c.eval_nanos as f64 / 1e6
+        );
+    }
+}

@@ -3,7 +3,7 @@
 //! track the performance trajectory across PRs.
 //!
 //! Usage: `cargo run --release -p rjoin-bench --bin bench_json -- [OUT.json]`
-//! (default output path `BENCH_5.json`). Environment variables:
+//! (default output path `BENCH_6.json`). Environment variables:
 //!
 //! * `BENCH_JSON_ITERS` — per-benchmark iteration count (default 5; CI uses
 //!   a small count — the point is trajectory, not statistics);
@@ -129,7 +129,7 @@ fn measure(group: &str, bench: &str, iters: u64, mut f: impl FnMut() -> u64) -> 
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_5.json".to_string());
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_6.json".to_string());
     let iters: u64 =
         std::env::var("BENCH_JSON_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(5);
     // Optional group filter: `BENCH_JSON_GROUPS=sharding_runtime,skew`.
@@ -194,6 +194,18 @@ fn main() {
             }));
         }
     }
+    // Compiled predicate programs on the overlapping workload (where the
+    // fingerprint cache sees the most reuse): the `interpreted` leg walks
+    // the rewrite AST per (tuple, stored query) pair, the `compiled` leg
+    // runs the flat programs. The delta is the tentpole win of PR 6.
+    if want("compiled") {
+        results.push(measure("compiled", "interpreted", iters, || {
+            run_overlap(EngineConfig::default().with_compiled_predicates(false), &scenario)
+        }));
+        results.push(measure("compiled", "compiled", iters, || {
+            run_overlap(EngineConfig::default(), &scenario)
+        }));
+    }
     // Hot-key splitting on the point-mass skew workload: the `split` leg
     // pays tuple routing, query fan-out and activation migration; the
     // answer stream is identical (oracle-checked in the split suite).
@@ -211,9 +223,9 @@ fn main() {
     }
 
     let report = BenchReport {
-        // v4 adds the `skew` group (hot-key splitting on the point-mass
-        // workload) and the group filter.
-        schema_version: 4,
+        // v5 adds the `compiled` group (flat predicate programs vs the
+        // rewrite interpreter on the overlapping workload).
+        schema_version: 5,
         nodes: scenario.nodes,
         queries: scenario.queries,
         tuples: scenario.tuples,

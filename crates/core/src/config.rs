@@ -110,6 +110,17 @@ pub struct EngineConfig {
     /// Afrati et al.'s terms). Ignored while
     /// [`hot_key_threshold`](Self::hot_key_threshold) is `None`.
     pub hot_key_partitions: u32,
+    /// When `true` (the default), per-tuple rewriting runs compiled
+    /// predicate programs: at first trigger the stored query's sub-join is
+    /// compiled into a flat rewrite template (attribute references resolved
+    /// to column offsets, constant filters pre-folded and hoisted before
+    /// join-residue emission), cached per node keyed by the sub-join
+    /// fingerprint so all subscribers of a shared shape compile once. When
+    /// `false`, every trigger walks the query AST through the
+    /// `rjoin_query::rewrite` interpreter — the semantics oracle the
+    /// differential tests compare against. Both paths produce byte-identical
+    /// answers.
+    pub compiled_predicates: bool,
 }
 
 impl Default for EngineConfig {
@@ -129,6 +140,7 @@ impl Default for EngineConfig {
             workers: None,
             hot_key_threshold: None,
             hot_key_partitions: 8,
+            compiled_predicates: true,
         }
     }
 }
@@ -205,6 +217,16 @@ impl EngineConfig {
         self
     }
 
+    /// Selects the per-tuple rewrite path: `true` (the default) executes
+    /// compiled predicate programs, `false` runs the AST interpreter on
+    /// every trigger. Results are byte-identical either way; the
+    /// interpreter is retained as the oracle for differential tests and the
+    /// `compiled` bench ablation.
+    pub fn with_compiled_predicates(mut self, compiled: bool) -> Self {
+        self.compiled_predicates = compiled;
+        self
+    }
+
     /// Enables hot-key splitting: a key observed to receive at least
     /// `threshold` tuples per RIC window is split into `partitions`
     /// deterministic sub-keys — tuples route to exactly one sub-key,
@@ -237,6 +259,8 @@ mod tests {
         assert_eq!(EngineConfig::default().with_workers(3).workers, Some(3));
         assert_eq!(EngineConfig::default().with_workers(0).workers, Some(1));
         assert!(c.hot_key_threshold.is_none(), "splitting is opt-in: the default is the paper");
+        assert!(c.compiled_predicates, "compiled predicate programs are the default hot path");
+        assert!(!EngineConfig::default().with_compiled_predicates(false).compiled_predicates);
     }
 
     #[test]

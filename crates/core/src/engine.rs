@@ -6,7 +6,7 @@ use crate::config::{EngineConfig, PlacementStrategy};
 use crate::error::EngineError;
 use crate::messages::{PendingQuery, QueryId, RJoinMessage, RicInfo};
 use crate::node_state::DrainedState;
-use crate::node_state::{NodeState, RicEntry};
+use crate::node_state::{NodeState, ProgramCache, RicEntry};
 use crate::placement::choose_candidate;
 use crate::procedures::{self, Action, ProcCtx};
 use crate::split::{choose_grid, partition_for_query, partition_for_tuple, SplitGrid, SplitMap};
@@ -15,12 +15,14 @@ use crate::traffic_class;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rjoin_dht::{HashedKey, Id, RingBuildHasher};
-use rjoin_metrics::{Distribution, LoadMap, ShardRuntimeStats, SharingCounters, SplitCounters};
+use rjoin_metrics::{
+    CompileCounters, Distribution, LoadMap, ShardRuntimeStats, SharingCounters, SplitCounters,
+};
 use rjoin_net::{Delivery, Network, NetworkConfig, SimTime, TrafficStats, Transport};
 use rjoin_query::{candidate_keys, tuple_index_keys, IndexKey, IndexLevel, JoinQuery};
 use rjoin_relation::{Catalog, Tuple};
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Per-key load maps are keyed by precomputed ring identifiers, so they use
 /// the cheap ring-id hasher instead of SipHash.
@@ -167,6 +169,9 @@ pub struct RJoinEngine {
     pub(crate) splits: SplitMap,
     /// Cumulative hot-key splitting counters.
     pub(crate) split_counters: SplitCounters,
+    /// The engine-wide compiled-program cache every [`NodeState`] holds a
+    /// handle to (kept here so nodes joining through churn adopt it too).
+    programs: Arc<Mutex<ProgramCache>>,
 }
 
 impl RJoinEngine {
@@ -177,7 +182,15 @@ impl RJoinEngine {
             successor_list_len: config.successor_list_len,
         });
         let node_ids = network.bootstrap(num_nodes, "rjoin-node");
-        let nodes = node_ids.iter().map(|id| (*id, NodeState::new(*id))).collect();
+        let programs = Arc::new(Mutex::new(ProgramCache::default()));
+        let nodes = node_ids
+            .iter()
+            .map(|id| {
+                let mut state = NodeState::new(*id);
+                state.share_programs(Arc::clone(&programs));
+                (*id, state)
+            })
+            .collect();
         let rng = StdRng::seed_from_u64(config.seed);
         RJoinEngine {
             config,
@@ -196,6 +209,7 @@ impl RJoinEngine {
             shard_runtime: ShardRuntimeStats::default(),
             splits: SplitMap::new(),
             split_counters: SplitCounters::new(),
+            programs,
         }
     }
 
@@ -518,7 +532,9 @@ impl RJoinEngine {
         let id = Id::hash_key(label);
         self.network.dht_mut().join(id)?;
         self.network.dht_mut().full_stabilize();
-        self.nodes.insert(id, NodeState::new(id));
+        let mut state = NodeState::new(id);
+        state.share_programs(Arc::clone(&self.programs));
+        self.nodes.insert(id, state);
         self.node_ids.push(id);
         self.rehome_misplaced_state()?;
         Ok(id)
@@ -832,6 +848,18 @@ impl RJoinEngine {
         total
     }
 
+    /// Cumulative compiled-predicate counters across all live nodes:
+    /// programs compiled, fingerprint-cache hits, how many triggers ran on
+    /// the compiled vs the interpreted path, and nanoseconds spent in the
+    /// per-delivery trigger walks.
+    pub fn compile_counters(&self) -> CompileCounters {
+        let mut total = CompileCounters::new();
+        for state in self.nodes.values() {
+            total.merge(state.compile_counters());
+        }
+        total
+    }
+
     /// Total number of queries (input + rewritten) currently stored across
     /// all live nodes. A shared entry counts once regardless of how many
     /// subscribers ride on it — this is the stored-query load that sharing
@@ -893,6 +921,7 @@ impl RJoinEngine {
             shard_runtime: self.shard_runtime.clone(),
             key_heat: Distribution::from_values(self.qpl_by_key.values()),
             splits: self.split_counters,
+            compile: self.compile_counters(),
         }
     }
 

@@ -5,9 +5,11 @@ use crate::messages::{PendingQuery, RicInfo};
 use crate::shared::SubJoinRegistry;
 use crate::RicTracker;
 use rjoin_dht::{HashedKey, Id, RingMap};
-use rjoin_metrics::SharingCounters;
+use rjoin_metrics::{CompileCounters, SharingCounters};
 use rjoin_net::SimTime;
-use rjoin_query::{fingerprint, subjoin_signature, Fingerprint, IndexLevel};
+use rjoin_query::{
+    fingerprint, subjoin_signature_eq, CompiledTrigger, Fingerprint, IndexLevel, SubJoinProgram,
+};
 use rjoin_relation::{Timestamp, Tuple};
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -26,15 +28,27 @@ pub struct StoredQuery {
     /// The sub-join fingerprint, computed when the entry was stored through
     /// the shared path (`None` for unshared or `DISTINCT` entries).
     pub(crate) fingerprint: Option<Fingerprint>,
+    /// The compiled trigger program for this entry, built lazily at first
+    /// trigger (the trigger relation is only known once a tuple arrives).
+    /// Stays valid for the entry's lifetime: nothing mutates the stored
+    /// query in place (merges only touch subscriber lists).
+    pub(crate) program: Option<CompiledTrigger>,
 }
 
 impl StoredQuery {
     /// Wraps a pending query for local storage.
     pub fn new(pending: PendingQuery, key: HashedKey, level: IndexLevel) -> Self {
         let dedup = if pending.query.distinct() { Some(DedupFilter::new()) } else { None };
-        StoredQuery { pending, key, level, dedup, fingerprint: None }
+        StoredQuery { pending, key, level, dedup, fingerprint: None, program: None }
     }
 }
+
+/// Node-level cache of compiled `WHERE`-side programs, keyed by sub-join
+/// fingerprint (the same abstraction shared sub-join entries merge under).
+/// A fingerprint hit is a candidate only — entries confirm structural
+/// equality via [`SubJoinProgram::matches_source`] before reuse, so a hash
+/// collision costs one extra compile, never a wrong program.
+pub(crate) type ProgramCache = RingMap<Vec<Arc<SubJoinProgram>>>;
 
 /// A cached RIC observation (an entry of the candidate table of Section 7).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +108,17 @@ pub struct NodeState {
     pub(crate) subjoins: SubJoinRegistry,
     /// Counters of the work the sub-join registry saved on this node.
     pub(crate) sharing: SharingCounters,
+    /// Cache of compiled `WHERE`-side programs, keyed by fingerprint.
+    /// Shared engine-wide (every node of one engine holds a handle to the
+    /// same cache): programs are pure functions of the sub-join structure
+    /// and the trigger relation's schema, both of which are identical on
+    /// every node of an engine, so a twin stored on another node reuses the
+    /// program instead of recompiling. The lock is only taken when a stored
+    /// entry's per-entry trigger slot misses — first trigger of an entry per
+    /// relation — so contention between shard workers is negligible.
+    pub(crate) programs: Arc<Mutex<ProgramCache>>,
+    /// Counters of the compiled-rewrite hot loop on this node.
+    pub(crate) compile: CompileCounters,
     /// Incremental count of stored queries (input + rewritten).
     query_count: usize,
     /// Incremental count of stored *rewritten* queries.
@@ -147,6 +172,8 @@ impl NodeState {
             eval_ric: RicTracker::new(),
             subjoins: SubJoinRegistry::new(),
             sharing: SharingCounters::new(),
+            programs: Arc::new(Mutex::new(ProgramCache::default())),
+            compile: CompileCounters::new(),
             query_count: 0,
             rewritten_count: 0,
             tuple_count: 0,
@@ -164,6 +191,13 @@ impl NodeState {
         Arc::clone(&self.ric)
     }
 
+    /// Points this node at `cache` as its compiled-program cache. The engine
+    /// calls this on every node it creates so the whole ring shares one
+    /// cache (see the field docs on [`programs`](Self::programs)).
+    pub(crate) fn share_programs(&mut self, cache: Arc<Mutex<ProgramCache>>) {
+        self.programs = cache;
+    }
+
     /// Read access to this node's `Eval`-arrival tracker (the query-side
     /// heat signal of hot-key splitting).
     pub fn eval_ric(&self) -> &RicTracker {
@@ -173,6 +207,11 @@ impl NodeState {
     /// Read access to this node's sharing counters.
     pub fn sharing(&self) -> &SharingCounters {
         &self.sharing
+    }
+
+    /// Read access to this node's compiled-rewrite counters.
+    pub fn compile_counters(&self) -> &CompileCounters {
+        &self.compile
     }
 
     /// Read access to this node's sub-join registry.
@@ -224,8 +263,7 @@ impl NodeState {
                     && entry.pending.window_min == stored.pending.window_min
                     && entry.pending.window_max == stored.pending.window_max
                     && !entry.pending.query.distinct()
-                    && subjoin_signature(&entry.pending.query)
-                        == subjoin_signature(&stored.pending.query);
+                    && subjoin_signature_eq(&entry.pending.query, &stored.pending.query);
                 if mergeable {
                     let added = stored.pending.subscriber_count() as u64;
                     entry.pending.extra_subscribers.push(stored.pending.primary_subscriber());

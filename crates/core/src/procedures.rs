@@ -9,12 +9,17 @@
 
 use crate::config::EngineConfig;
 use crate::messages::{PendingQuery, QueryId, Subscriber};
-use crate::node_state::{NodeState, StoredQuery};
+use crate::node_state::{NodeState, ProgramCache, StoredQuery};
 use rjoin_dht::HashedKey;
+use rjoin_metrics::{CompileCounters, SharingCounters};
 use rjoin_net::SimTime;
-use rjoin_query::{resolve_select_items, rewrite, IndexLevel, RewriteResult, SelectItem};
+use rjoin_query::{
+    compile_subjoin, fingerprint, resolve_select_items, rewrite, CompiledTrigger, Fingerprint,
+    IndexLevel, JoinQuery, RewriteResult, SelectItem,
+};
 use rjoin_relation::{Catalog, Schema, Timestamp, Tuple, Value};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// An outgoing action produced by a local handler.
 #[derive(Debug, Clone, PartialEq)]
@@ -133,6 +138,44 @@ fn shared_child(
     Some(child)
 }
 
+/// Returns the stored entry's compiled trigger program for the schema's
+/// relation, compiling (or fetching from the engine-wide fingerprint-keyed
+/// cache) on first use. `slot`/`query`/`known_fp` are disjoint borrows of
+/// one [`StoredQuery`].
+///
+/// Returns `None` when the query cannot be compiled — exactly the queries
+/// the interpreter would error on (unknown attribute, orphaned residue from
+/// unchecked construction), which map to "not triggered" either way.
+fn ensure_program<'a>(
+    slot: &'a mut Option<CompiledTrigger>,
+    query: &JoinQuery,
+    known_fp: Option<Fingerprint>,
+    schema: &Schema,
+    cache: &Mutex<ProgramCache>,
+    counters: &mut CompileCounters,
+) -> Option<&'a CompiledTrigger> {
+    let cached = slot.as_ref().is_some_and(|p| p.relation() == schema.relation());
+    if !cached {
+        let fp = known_fp.unwrap_or_else(|| fingerprint(query));
+        let mut cache = cache.lock().expect("program cache lock poisoned");
+        let bucket = cache.entry(fp.0).or_default();
+        let shared = match bucket.iter().find(|p| p.matches_source(query, schema.relation())) {
+            Some(shared) => {
+                counters.cache_hits += 1;
+                Arc::clone(shared)
+            }
+            None => {
+                let shared = Arc::new(compile_subjoin(query, schema).ok()?);
+                counters.programs_compiled += 1;
+                bucket.push(Arc::clone(&shared));
+                shared
+            }
+        };
+        *slot = Some(CompiledTrigger::new(shared, query, schema).ok()?);
+    }
+    slot.as_ref()
+}
+
 /// Applies one tuple to one stored query following the trigger rules:
 /// publication-time filter, window validity (Section 5), duplicate
 /// elimination (Section 4) and the rewriting step itself.
@@ -143,10 +186,19 @@ fn shared_child(
 ///
 /// For shared entries (subscriber count > 1) the `WHERE` clause is rewritten
 /// **once**; eligibility and `SELECT` resolution are applied per subscriber.
+///
+/// `schema` is the schema of `tuple`'s relation, resolved once per delivery
+/// by the caller (not per stored query). `programs` is the engine-wide
+/// compiled-program cache; `counters` are the node's compile counters,
+/// threaded in as a split borrow so the caller can keep iterating its
+/// stored-query bucket.
 fn try_trigger(
     stored: &mut StoredQuery,
     tuple: &Tuple,
+    schema: &Schema,
     ctx: &ProcCtx<'_>,
+    programs: &Mutex<ProgramCache>,
+    counters: &mut CompileCounters,
     start_rule: impl Fn(Option<Timestamp>, Timestamp) -> Option<Timestamp>,
 ) -> TriggerOutcome {
     let pending = &stored.pending;
@@ -180,17 +232,37 @@ fn try_trigger(
             }
         }
     }
-    let Ok(schema) = ctx.catalog.require_schema(tuple.relation()) else {
-        return TriggerOutcome::NotTriggered;
-    };
     // Duplicate elimination for DISTINCT queries (never shared, so the
     // projection is always the single subscriber's).
     if let Some(dedup) = stored.dedup.as_mut() {
-        if !dedup.admit(&pending.query, tuple, schema) {
+        if !dedup.admit(&stored.pending.query, tuple, schema) {
             return TriggerOutcome::NotTriggered;
         }
     }
-    match rewrite(&pending.query, tuple, schema) {
+    let result = if ctx.config.compiled_predicates {
+        // `program`, `pending` and `fingerprint` are disjoint fields of
+        // `stored`, so the compiled program can be cached on the entry while
+        // its query is borrowed.
+        match ensure_program(
+            &mut stored.program,
+            &stored.pending.query,
+            stored.fingerprint,
+            schema,
+            programs,
+            counters,
+        ) {
+            Some(program) => {
+                counters.compiled_rewrites += 1;
+                program.execute(tuple)
+            }
+            None => return TriggerOutcome::NotTriggered,
+        }
+    } else {
+        counters.interpreted_rewrites += 1;
+        rewrite(&stored.pending.query, tuple, schema)
+    };
+    let pending = &stored.pending;
+    match result {
         Ok(RewriteResult::Complete(row)) => {
             let mut actions = Vec::with_capacity(pending.subscriber_count());
             if tuple.pub_time() >= pending.insert_time {
@@ -229,14 +301,14 @@ fn try_trigger(
 /// each extra subscriber riding on a re-indexed child is one `Eval` message
 /// that was not sent, and each answer delivered to a non-primary subscriber
 /// is a fanned-out answer.
-fn record_sharing(state: &mut NodeState, primary: QueryId, actions: &[Action]) {
+fn record_sharing(sharing: &mut SharingCounters, primary: QueryId, actions: &[Action]) {
     for action in actions {
         match action {
             Action::Reindex { pending } => {
-                state.sharing.evals_saved += pending.extra_subscribers.len() as u64;
+                sharing.evals_saved += pending.extra_subscribers.len() as u64;
             }
             Action::DeliverAnswer { query, .. } if *query != primary => {
-                state.sharing.fanout_answers += 1;
+                sharing.fanout_answers += 1;
             }
             Action::DeliverAnswer { .. } => {}
         }
@@ -267,11 +339,25 @@ pub fn handle_new_tuple(
     let mut removed = 0usize;
     let mut removed_rewritten = 0usize;
     let mut sharing: Vec<(QueryId, usize, usize)> = Vec::new();
-    if let Some(stored_list) = state.stored_queries.get_mut(&ring) {
+    // The schema is resolved once per delivery, not once per stored query;
+    // published tuples are catalog-validated, so a missing schema cannot
+    // occur for tuples that entered through the engine.
+    let schema = ctx.catalog.schema(tuple.relation());
+    let stored_map = &mut state.stored_queries;
+    let programs = Arc::clone(&state.programs);
+    let counters = &mut state.compile;
+    if let (Some(schema), Some(stored_list)) = (schema, stored_map.get_mut(&ring)) {
+        let walk = Instant::now();
         let mut idx = 0;
         while idx < stored_list.len() {
-            let outcome =
-                try_trigger(&mut stored_list[idx], tuple.as_ref(), ctx, |start, pub_time| {
+            let outcome = try_trigger(
+                &mut stored_list[idx],
+                tuple.as_ref(),
+                schema,
+                ctx,
+                &programs,
+                counters,
+                |start, pub_time| {
                     // Procedure 2 rules (Section 5): a rewritten query created
                     // by triggering an *input* query records the tuple's
                     // publication time as its window start; a rewritten query
@@ -281,7 +367,8 @@ pub fn handle_new_tuple(
                         None => Some(pub_time),
                         Some(existing) => Some(existing),
                     }
-                });
+                },
+            );
             match outcome {
                 TriggerOutcome::Expired => {
                     let expired = stored_list.swap_remove(idx);
@@ -301,8 +388,9 @@ pub fn handle_new_tuple(
                 }
             }
         }
+        counters.eval_nanos += walk.elapsed().as_nanos() as u64;
         if stored_list.is_empty() {
-            state.stored_queries.remove(&ring);
+            stored_map.remove(&ring);
             state.subjoins.forget_ring(ring);
         } else if removed > 0 {
             // `swap_remove` shuffled bucket positions: re-point the sub-join
@@ -317,7 +405,7 @@ pub fn handle_new_tuple(
         state.debit_removed_queries(removed, removed_rewritten);
     }
     for (primary, start, len) in sharing {
-        record_sharing(state, primary, &actions[start..start + len]);
+        record_sharing(&mut state.sharing, primary, &actions[start..start + len]);
     }
 
     match level {
@@ -363,24 +451,42 @@ fn handle_query_arrival(
         already_here.extend(state.altt_matching(ring, ctx.now, stored.pending.min_insert_time()));
     }
 
+    let programs = Arc::clone(&state.programs);
+    let counters = &mut state.compile;
+    let walk = Instant::now();
     for tuple in &already_here {
-        let outcome = try_trigger(&mut stored, tuple.as_ref(), ctx, |start, pub_time| {
-            // Procedure 3 rule (Section 5): the produced rewritten query's
-            // start is the *maximum* of the stored query's start and the
-            // stored tuple's publication time. For input queries (start =
-            // None) this reduces to the Procedure 2 rule (start = pubT(τ)).
-            match start {
-                None => Some(pub_time),
-                Some(existing) => Some(existing.max(pub_time)),
-            }
-        });
+        // Stored tuples under one ring key can come from different
+        // relations, so the schema lookup cannot be hoisted out of the
+        // loop the way the tuple-delivery walk hoists it.
+        let Some(schema) = ctx.catalog.schema(tuple.relation()) else {
+            continue;
+        };
+        let outcome = try_trigger(
+            &mut stored,
+            tuple.as_ref(),
+            schema,
+            ctx,
+            &programs,
+            counters,
+            |start, pub_time| {
+                // Procedure 3 rule (Section 5): the produced rewritten query's
+                // start is the *maximum* of the stored query's start and the
+                // stored tuple's publication time. For input queries (start =
+                // None) this reduces to the Procedure 2 rule (start = pubT(τ)).
+                match start {
+                    None => Some(pub_time),
+                    Some(existing) => Some(existing.max(pub_time)),
+                }
+            },
+        );
         if let TriggerOutcome::Triggered(mut produced) = outcome {
-            record_sharing(state, stored.pending.id, &produced);
+            record_sharing(&mut state.sharing, stored.pending.id, &produced);
             actions.append(&mut produced);
         }
         // A stored tuple outside the window simply does not trigger; the
         // query itself stays, waiting for newer tuples.
     }
+    counters.eval_nanos += walk.elapsed().as_nanos() as u64;
 
     // Stored for future tuples — merged into a structurally identical entry
     // instead when the shared sub-join path is enabled and a twin exists.
@@ -1045,5 +1151,129 @@ mod tests {
         );
         assert_eq!(actions.len(), 1);
         assert_eq!(state.stored_query_count(), 1);
+    }
+
+    /// Builds a deliberately malformed query — `SELECT` referencing a
+    /// relation absent from `FROM` — by mutating the serialized form of a
+    /// valid query. `JoinQuery::new` and the parser both reject this shape,
+    /// but serde round-trips (like `from_parts_unchecked` inside the query
+    /// crate) are unvalidated, which is exactly the hole the rewrite paths
+    /// must stay robust against.
+    fn orphan_select_query() -> rjoin_query::JoinQuery {
+        use serde::json::JsonValue;
+        use serde::{Deserialize, Serialize};
+        let mut v = parse_query("SELECT R.B FROM R WHERE R.A = 7").unwrap().serialize_json();
+        let JsonValue::Object(fields) = &mut v else { panic!("queries serialize to objects") };
+        let (_, select) = fields.iter_mut().find(|(k, _)| k == "select").unwrap();
+        let JsonValue::Array(items) = select else { panic!("SELECT is an array") };
+        let JsonValue::Object(variant) = &mut items[0] else {
+            panic!("select items are externally tagged")
+        };
+        let JsonValue::Object(attr) = &mut variant[0].1 else {
+            panic!("attribute refs are objects")
+        };
+        let (_, relation) = attr.iter_mut().find(|(k, _)| k == "relation").unwrap();
+        *relation = JsonValue::Str("M".into());
+        rjoin_query::JoinQuery::deserialize_json(&v).unwrap()
+    }
+
+    /// Regression for the `Partial`-with-empty-`FROM` wart: a trigger that
+    /// resolves the whole `WHERE` clause but leaves a `SELECT` attribute
+    /// unresolvable must not re-index (and thus never store) an empty-`FROM`
+    /// child — on the interpreted *and* the compiled path.
+    #[test]
+    fn orphan_select_never_stores_an_empty_from_child() {
+        for compiled in [true, false] {
+            let catalog = catalog();
+            let config = EngineConfig::default().with_compiled_predicates(compiled);
+            let mut state = NodeState::new(Id(1));
+            let key = IndexKey::attribute("R", "A");
+            let p = PendingQuery::input(
+                QueryId { owner: Id(42), seq: 9 },
+                Id(42),
+                0,
+                orphan_select_query(),
+            );
+            handle_index_query(
+                &mut state,
+                &ctx(&catalog, &config, 0),
+                p,
+                &key.hashed(),
+                key.level(),
+            );
+            let actions = handle_new_tuple(
+                &mut state,
+                &ctx(&catalog, &config, 5),
+                &tuple("R", [7, 9, 0], 5),
+                &key.hashed(),
+                IndexLevel::Attribute,
+            );
+            assert!(
+                actions.is_empty(),
+                "an unresolvable SELECT must not trigger (compiled={compiled}): {actions:?}"
+            );
+            assert_eq!(state.stored_query_count(), 1);
+            for bucket in state.stored_queries.values() {
+                for stored in bucket {
+                    assert!(
+                        !stored.pending.query.relations().is_empty(),
+                        "no empty-FROM query may ever be stored (compiled={compiled})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The program cache is keyed by sub-join fingerprint and confirmed
+    /// structurally: two stored queries that differ only in `SELECT` share
+    /// one compiled program (one compile, one cache hit, two compiled
+    /// rewrites — and no interpreted ones).
+    #[test]
+    fn fingerprint_twins_share_one_compiled_program() {
+        let catalog = catalog();
+        let config = config();
+        let mut state = NodeState::new(Id(1));
+        let key = IndexKey::attribute("R", "A");
+        let a = pending_from(10, "SELECT R.B, S.B FROM R, S WHERE R.A = S.A", 0);
+        let b = pending_from(20, "SELECT R.C, S.C FROM R, S WHERE R.A = S.A", 0);
+        handle_index_query(&mut state, &ctx(&catalog, &config, 0), a, &key.hashed(), key.level());
+        handle_index_query(&mut state, &ctx(&catalog, &config, 0), b, &key.hashed(), key.level());
+        let actions = handle_new_tuple(
+            &mut state,
+            &ctx(&catalog, &config, 5),
+            &tuple("R", [7, 9, 0], 5),
+            &key.hashed(),
+            IndexLevel::Attribute,
+        );
+        assert_eq!(actions.len(), 2);
+        let counters = state.compile_counters();
+        assert_eq!(counters.programs_compiled, 1, "{counters:?}");
+        assert_eq!(counters.cache_hits, 1, "{counters:?}");
+        assert_eq!(counters.compiled_rewrites, 2, "{counters:?}");
+        assert_eq!(counters.interpreted_rewrites, 0, "{counters:?}");
+    }
+
+    /// With compiled predicates disabled every trigger takes the interpreter
+    /// path and no program is ever compiled.
+    #[test]
+    fn interpreter_config_never_compiles() {
+        let catalog = catalog();
+        let config = EngineConfig::default().with_compiled_predicates(false);
+        let mut state = NodeState::new(Id(1));
+        let key = IndexKey::attribute("R", "A");
+        let p = pending("SELECT R.B, S.B FROM R, S WHERE R.A = S.A", 0);
+        handle_index_query(&mut state, &ctx(&catalog, &config, 0), p, &key.hashed(), key.level());
+        let actions = handle_new_tuple(
+            &mut state,
+            &ctx(&catalog, &config, 5),
+            &tuple("R", [7, 9, 0], 5),
+            &key.hashed(),
+            IndexLevel::Attribute,
+        );
+        assert_eq!(actions.len(), 1);
+        let counters = state.compile_counters();
+        assert_eq!(counters.programs_compiled, 0, "{counters:?}");
+        assert_eq!(counters.compiled_rewrites, 0, "{counters:?}");
+        assert!(counters.interpreted_rewrites >= 1, "{counters:?}");
     }
 }

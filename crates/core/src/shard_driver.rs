@@ -27,6 +27,14 @@
 //! observable results are a pure function of the workload for every shard
 //! count.
 //!
+//! The handler phase runs the compiled predicate-program hot loop
+//! unchanged: each shard's `NodeState`s carry their own program caches and
+//! [`CompileCounters`](rjoin_metrics::CompileCounters), so compiled batch
+//! execution needs no cross-shard coordination and the engine's
+//! [`compile_counters`](crate::RJoinEngine::compile_counters) aggregate is
+//! a plain per-node merge after the drain, exactly like the sequential
+//! driver.
+//!
 //! Two ingredients replace the global mutable state of the sequential
 //! effect phase:
 //!

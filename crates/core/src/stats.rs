@@ -1,6 +1,8 @@
 //! Aggregated statistics of an engine run, in the units the paper reports.
 
-use rjoin_metrics::{Distribution, ShardRuntimeStats, SharingCounters, SplitCounters};
+use rjoin_metrics::{
+    CompileCounters, Distribution, ShardRuntimeStats, SharingCounters, SplitCounters,
+};
 use serde::{Deserialize, Serialize};
 
 /// A snapshot of the metrics the paper's figures are built from.
@@ -55,6 +57,11 @@ pub struct ExperimentStats {
     pub key_heat: Distribution,
     /// What the hot-key splitting subsystem did (zeroed when disabled).
     pub splits: SplitCounters,
+    /// How the compiled rewrite hot loop behaved: programs compiled, cache
+    /// hits, per-path rewrite counts and per-delivery eval time
+    /// (`interpreted_rewrites` counts triggers when compiled predicates are
+    /// disabled).
+    pub compile: CompileCounters,
 }
 
 impl ExperimentStats {
@@ -117,6 +124,7 @@ mod tests {
             shard_runtime: ShardRuntimeStats::default(),
             key_heat: Distribution::from_values([6, 4]),
             splits: SplitCounters::default(),
+            compile: CompileCounters::default(),
         }
     }
 

@@ -25,7 +25,7 @@ fn oracle_answers(
 
 fn attr_value<'a>(
     catalog: &Catalog,
-    relations: &[String],
+    relations: &[rjoin_relation::Name],
     combo: &[&'a Tuple],
     relation: &str,
     attribute: &str,
@@ -35,7 +35,12 @@ fn attr_value<'a>(
     combo[idx].value(schema.index_of(attribute)?)
 }
 
-fn satisfies(catalog: &Catalog, query: &JoinQuery, relations: &[String], combo: &[&Tuple]) -> bool {
+fn satisfies(
+    catalog: &Catalog,
+    query: &JoinQuery,
+    relations: &[rjoin_relation::Name],
+    combo: &[&Tuple],
+) -> bool {
     query.conjuncts().iter().all(|conjunct| match conjunct {
         Conjunct::JoinEq(a, b) => {
             attr_value(catalog, relations, combo, &a.relation, &a.attribute)
@@ -50,7 +55,7 @@ fn satisfies(catalog: &Catalog, query: &JoinQuery, relations: &[String], combo: 
 fn project(
     catalog: &Catalog,
     query: &JoinQuery,
-    relations: &[String],
+    relations: &[rjoin_relation::Name],
     combo: &[&Tuple],
 ) -> Vec<Value> {
     query

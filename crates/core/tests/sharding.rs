@@ -29,7 +29,7 @@ fn shard_counts() -> Vec<usize> {
 
 fn attr_value<'a>(
     catalog: &Catalog,
-    relations: &[String],
+    relations: &[rjoin_relation::Name],
     combo: &[&'a Tuple],
     relation: &str,
     attribute: &str,

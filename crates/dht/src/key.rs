@@ -31,10 +31,55 @@
 use crate::id::Id;
 use serde::json::{JsonError, JsonValue};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
+
+/// Upper bound on the per-thread intern table of [`HashedKey::intern`]. The
+/// key universe of a workload is small (relations × attributes × observed
+/// values), so the cap exists only as a backstop against adversarial key
+/// churn; when it is hit the table is cleared and re-fills.
+const INTERN_CAPACITY: usize = 1 << 16;
+
+/// FNV-1a over the key bytes: the intern table's probe hashes the full key
+/// string on every call, so the default SipHash (designed for DoS resistance
+/// the table does not need — it is per-thread, capped and cleared on
+/// overflow) would dominate the probe cost for the short canonical key
+/// strings the hot path uses.
+#[derive(Default)]
+pub struct StrHasher(u64);
+
+impl Hasher for StrHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        let mut hash = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = hash;
+    }
+
+    fn write_u8(&mut self, b: u8) {
+        // `str` hashing appends a length-prefix terminator byte; fold it in
+        // like any other byte.
+        self.write(&[b]);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+thread_local! {
+    /// Per-thread memo of canonical key text → ring identifier, so repeated
+    /// hashes of the same key skip both the SHA-1 digest and the `Arc<str>`
+    /// allocation. Thread-local (rather than shared) keeps the lookup
+    /// lock-free under the sharded runtime's worker threads.
+    static INTERN_TABLE: RefCell<HashMap<Arc<str>, Id, BuildHasherDefault<StrHasher>>> =
+        RefCell::new(HashMap::default());
+}
 
 /// A canonical index-key string together with its ring identifier.
 ///
@@ -78,6 +123,28 @@ impl HashedKey {
         let text = text.into();
         let id = Id::hash_key(&text);
         HashedKey { text, id, partition: None }
+    }
+
+    /// Like [`HashedKey::new`], but memoized through a per-thread intern
+    /// table: repeated calls with the same text reuse both the cached ring
+    /// identifier (skipping SHA-1) and the cached `Arc<str>` (skipping the
+    /// allocation). The hot path derives the same handful of canonical key
+    /// strings once per tuple per layer, so this turns the dominant digest
+    /// cost into a hash-map probe.
+    pub fn intern(text: &str) -> Self {
+        INTERN_TABLE.with(|table| {
+            let mut table = table.borrow_mut();
+            if let Some((cached, id)) = table.get_key_value(text) {
+                return HashedKey { text: Arc::clone(cached), id: *id, partition: None };
+            }
+            if table.len() >= INTERN_CAPACITY {
+                table.clear();
+            }
+            let text: Arc<str> = Arc::from(text);
+            let id = Id::hash_key(&text);
+            table.insert(Arc::clone(&text), id);
+            HashedKey { text, id, partition: None }
+        })
     }
 
     /// The canonical key string.

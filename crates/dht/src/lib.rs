@@ -30,7 +30,7 @@
 //! let key = Id::hash_key("R+A+i:17");
 //! let result = net.lookup(ids[0], key).unwrap();
 //! assert_eq!(result.owner, net.successor_of(key).unwrap());
-//! assert!(result.hops <= 32);
+//! assert!(result.hops() <= 32);
 //! ```
 
 pub mod balance;

@@ -1,19 +1,47 @@
 //! The Chord ring: membership, maintenance and lookups.
 
+use crate::key::RingBuildHasher;
 use crate::{ChordNode, DhtError, Id, ID_BITS, SUCCESSOR_LIST_LEN};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Result of routing a lookup through the ring.
+///
+/// The visited path is shared behind an [`Arc`] with the route cache: a
+/// memoized lookup hands out the cached walk without copying it, and the
+/// accessors slice into the shared vector. `start` is non-zero for results
+/// served from a cached suffix (the walk of a mid-path node).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LookupResult {
     /// The node responsible for the key (`Successor(key)`).
     pub owner: Id,
-    /// Every node the lookup visited, starting with the originating node and
-    /// ending with the owner.
-    pub path: Vec<Id>,
-    /// Number of routing hops (`path.len() - 1`).
-    pub hops: usize,
+    path: Arc<Vec<Id>>,
+    start: usize,
 }
+
+impl LookupResult {
+    fn from_walk(path: Vec<Id>) -> Self {
+        let owner = *path.last().expect("walked paths are non-empty");
+        LookupResult { owner, path: Arc::new(path), start: 0 }
+    }
+
+    /// Every node the lookup visited, starting with the originating node
+    /// and ending with the owner.
+    pub fn path(&self) -> &[Id] {
+        &self.path[self.start..]
+    }
+
+    /// Number of routing hops (`path().len() - 1`).
+    pub fn hops(&self) -> usize {
+        self.path.len() - 1 - self.start
+    }
+}
+
+/// Initial capacity of a walk's path vector: Chord walks are `O(log N)`
+/// hops, so a small up-front reservation makes per-hop pushes allocation
+/// free for every realistic ring size (growth still handles the pathological
+/// repair-heavy walks).
+const PATH_CAPACITY: usize = 16;
 
 /// A simulated Chord network.
 ///
@@ -30,6 +58,33 @@ pub struct ChordNetwork {
     /// Upper bound on lookup path length before declaring the routing state
     /// broken.
     max_hops: usize,
+    /// Memoized `(from, key)` lookup routes. On a stable ring the walk is
+    /// a pure function of the routing state, and greedy routing is
+    /// *memoryless* — each hop depends only on the current node and the
+    /// key — so every proper suffix of a walked path is exactly the walk
+    /// its first node would produce. One walk therefore seeds an entry for
+    /// every node it visited (all sharing one `Arc`'d path), and later
+    /// walks splice onto a cached tail the moment they touch any
+    /// previously visited node. The cache is cleared whenever anything
+    /// that can change a path changes: membership (join/leave/fail/move)
+    /// and every stabilization or in-walk repair step.
+    route_cache: HashMap<(Id, Id), CachedRoute, RingBuildHasher>,
+}
+
+/// One memoized route: a shared full walk plus the offset this entry's
+/// suffix starts at (`path[start]` is the entry's origin node, the final
+/// element is the owner).
+#[derive(Debug, Clone)]
+struct CachedRoute {
+    path: Arc<Vec<Id>>,
+    start: usize,
+}
+
+impl CachedRoute {
+    fn result(&self) -> LookupResult {
+        let owner = *self.path.last().expect("cached paths are non-empty");
+        LookupResult { owner, path: Arc::clone(&self.path), start: self.start }
+    }
 }
 
 impl ChordNetwork {
@@ -40,7 +95,14 @@ impl ChordNetwork {
             nodes: BTreeMap::new(),
             successor_list_len: successor_list_len.clamp(1, SUCCESSOR_LIST_LEN),
             max_hops: 4 * ID_BITS as usize,
+            route_cache: HashMap::default(),
         }
+    }
+
+    /// Drops every memoized route. Called by every operation that can
+    /// change a lookup path; cheap when the cache is already empty.
+    fn invalidate_routes(&mut self) {
+        self.route_cache.clear();
     }
 
     /// Number of live nodes.
@@ -109,6 +171,7 @@ impl ChordNetwork {
         if self.nodes.contains_key(&id) {
             return Err(DhtError::NodeExists { id });
         }
+        self.invalidate_routes();
         let mut node = ChordNode::new(id);
         if !self.nodes.is_empty() {
             let succ = self.successor_of(id)?;
@@ -137,6 +200,7 @@ impl ChordNetwork {
         if !self.nodes.contains_key(&id) {
             return Err(DhtError::UnknownNode { id });
         }
+        self.invalidate_routes();
         self.nodes.remove(&id);
         if self.nodes.is_empty() {
             return Ok(());
@@ -167,6 +231,7 @@ impl ChordNetwork {
         if self.nodes.remove(&id).is_none() {
             return Err(DhtError::UnknownNode { id });
         }
+        self.invalidate_routes();
         Ok(())
     }
 
@@ -174,6 +239,7 @@ impl ChordNetwork {
     /// (reconcile with the successor's predecessor pointer), successor-list
     /// refresh, failure detection, and one `fix_fingers` step.
     pub fn stabilize_round(&mut self) {
+        self.invalidate_routes();
         let ids: Vec<Id> = self.nodes.keys().copied().collect();
         for id in ids {
             self.stabilize_node(id);
@@ -271,6 +337,7 @@ impl ChordNetwork {
     /// to running enough stabilization rounds; used to set up experiments
     /// quickly.
     pub fn full_stabilize(&mut self) {
+        self.invalidate_routes();
         let ids: Vec<Id> = self.nodes.keys().copied().collect();
         for &id in &ids {
             let succ_list = self.truth_successor_list(id);
@@ -323,10 +390,47 @@ impl ChordNetwork {
     /// Returns the owner plus the full path taken, which the network layer
     /// uses to account routed messages per node.
     pub fn lookup(&mut self, from: Id, key: Id) -> Result<LookupResult, DhtError> {
+        if let Some(hit) = self.route_cache.get(&(from, key)) {
+            return Ok(hit.result());
+        }
+        let mut repaired = false;
+        let result = self.lookup_walk(from, key, &mut repaired);
+        if repaired {
+            // The walk repaired routing pointers: every memoized path may
+            // now be stale, including the one just computed (its early hops
+            // predate the repair). Drop them all; subsequent walks re-fill.
+            self.invalidate_routes();
+        } else if let Ok(result) = &result {
+            // Memoize every proper suffix of the walk under its first node:
+            // greedy routing is memoryless, so the tail starting at any
+            // visited node is exactly the walk that node would produce. The
+            // final element (the owner) is *not* a valid origin — a walk
+            // from the owner circles the ring rather than returning itself
+            // — except in the degenerate single-element path, which really
+            // was walked from that node. The entries share the result's own
+            // `Arc`'d path — no copies.
+            let path = &result.path;
+            let origins = path.len().max(2) - 1;
+            for start in 0..origins {
+                self.route_cache
+                    .entry((path[start], key))
+                    .or_insert_with(|| CachedRoute { path: Arc::clone(path), start });
+            }
+        }
+        result
+    }
+
+    fn lookup_walk(
+        &mut self,
+        from: Id,
+        key: Id,
+        repaired: &mut bool,
+    ) -> Result<LookupResult, DhtError> {
         if !self.nodes.contains_key(&from) {
             return Err(DhtError::UnknownNode { id: from });
         }
-        let mut path = vec![from];
+        let mut path = Vec::with_capacity(PATH_CAPACITY);
+        path.push(from);
         let mut current = from;
         for _ in 0..self.max_hops {
             let node = self.nodes.get(&current).expect("current node is live");
@@ -339,14 +443,14 @@ impl ChordNetwork {
                 } else {
                     // Successor died and has not been repaired yet: fall back
                     // to the ground truth after repairing the pointer.
+                    *repaired = true;
                     self.nodes.get_mut(&current).expect("live").forget(successor);
                     self.successor_of(key)?
                 };
                 if owner != current {
                     path.push(owner);
                 }
-                let hops = path.len() - 1;
-                return Ok(LookupResult { owner, path, hops });
+                return Ok(LookupResult::from_walk(path));
             }
 
             // Forward to the closest preceding live node.
@@ -364,6 +468,7 @@ impl ChordNetwork {
                     }
                     Some(dead) => {
                         // Detected a failure: repair and retry.
+                        *repaired = true;
                         self.nodes.get_mut(&current).expect("live").forget(dead);
                     }
                     None => break,
@@ -382,6 +487,17 @@ impl ChordNetwork {
             };
             path.push(next);
             current = next;
+            // Splice onto a memoized tail: a cached entry for the node just
+            // reached is exactly the remainder of this walk (routing is
+            // memoryless), so the concatenation equals the full cold walk.
+            // Skipped once a repair happened — the cache is stale then and
+            // is about to be dropped wholesale.
+            if !*repaired {
+                if let Some(hit) = self.route_cache.get(&(current, key)) {
+                    path.extend_from_slice(&hit.path[hit.start + 1..]);
+                    return Ok(LookupResult::from_walk(path));
+                }
+            }
         }
         Err(DhtError::LookupStuck { at: current, key })
     }
@@ -401,7 +517,8 @@ impl ChordNetwork {
         if !self.nodes.contains_key(&from) {
             return Err(DhtError::UnknownNode { id: from });
         }
-        let mut path = vec![from];
+        let mut path = Vec::with_capacity(PATH_CAPACITY);
+        path.push(from);
         let mut current = from;
         for _ in 0..self.max_hops {
             let node = self.nodes.get(&current).expect("current node is live");
@@ -418,8 +535,7 @@ impl ChordNetwork {
                 if owner != current {
                     path.push(owner);
                 }
-                let hops = path.len() - 1;
-                return Ok(LookupResult { owner, path, hops });
+                return Ok(LookupResult::from_walk(path));
             }
 
             // Forward to the closest preceding *live* node, skipping (but
@@ -465,7 +581,7 @@ impl ChordNetwork {
         for i in 0..samples {
             let key = Id::hash_key(&format!("sample-key-{i}"));
             if let Ok(res) = self.lookup(from, key) {
-                total += res.hops;
+                total += res.hops();
             }
         }
         total as f64 / samples.max(1) as f64
@@ -507,9 +623,9 @@ mod tests {
             for &from in ids.iter().step_by(7) {
                 let result = net.lookup(from, key).unwrap();
                 assert_eq!(result.owner, expected);
-                assert_eq!(result.path.first(), Some(&from));
-                assert_eq!(result.path.last(), Some(&expected));
-                assert_eq!(result.hops, result.path.len() - 1);
+                assert_eq!(result.path().first(), Some(&from));
+                assert_eq!(result.path().last(), Some(&expected));
+                assert_eq!(result.hops(), result.path().len() - 1);
             }
         }
     }
@@ -627,7 +743,7 @@ mod tests {
         assert_eq!(net.successor_of(Id(0)).unwrap(), id);
         let res = net.lookup(id, Id(12345)).unwrap();
         assert_eq!(res.owner, id);
-        assert_eq!(res.hops, 0);
+        assert_eq!(res.hops(), 0);
     }
 
     #[test]

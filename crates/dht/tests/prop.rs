@@ -63,9 +63,9 @@ proptest! {
         let expected = net.successor_of(key).unwrap();
         let result = net.lookup(from, key).unwrap();
         prop_assert_eq!(result.owner, expected);
-        prop_assert!(result.hops <= nodes, "hops {} exceed ring size {}", result.hops, nodes);
-        prop_assert_eq!(result.path.first().copied(), Some(from));
-        prop_assert_eq!(result.path.last().copied(), Some(expected));
+        prop_assert!(result.hops() <= nodes, "hops {} exceed ring size {}", result.hops(), nodes);
+        prop_assert_eq!(result.path().first().copied(), Some(from));
+        prop_assert_eq!(result.path().last().copied(), Some(expected));
     }
 
     /// Every key is owned by exactly one node, and ownership moves to the

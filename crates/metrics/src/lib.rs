@@ -19,11 +19,14 @@
 //!   to print the rows of each figure,
 //! * [`SharingCounters`] — how much indexing/storage work the shared
 //!   sub-join registry saved (multi-query optimization),
+//! * [`CompileCounters`] — how the compiled predicate-program hot loop
+//!   behaved (compiles, cache hits, per-path rewrite counts, eval time),
 //! * [`ShardRuntimeStats`] — how a sharded event-queue drain executed
 //!   (shard count, per-shard tick activations, blocked cross-shard reads),
 //! * [`SplitCounters`] — what the hot-key splitting subsystem did
 //!   (heavy hitters split, state migrated, routing/fan-out overhead).
 
+mod compile;
 mod counters;
 mod distribution;
 mod report;
@@ -32,6 +35,7 @@ mod shard;
 mod sharing;
 mod split;
 
+pub use compile::CompileCounters;
 pub use counters::LoadMap;
 pub use distribution::Distribution;
 pub use report::Table;

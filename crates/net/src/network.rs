@@ -166,7 +166,7 @@ impl<M> Network<M> {
         class: TrafficClass,
     ) -> Result<LookupResult, DhtError> {
         let result = self.dht.lookup(from, key_id)?;
-        self.account_path(&result.path, class);
+        self.account_path(result.path(), class);
         self.traffic.record_received(result.owner);
         let at = self.clock + self.config.delay;
         self.schedule(at, result.owner, from, msg);
@@ -209,7 +209,7 @@ impl<M> Network<M> {
         class: TrafficClass,
     ) -> Result<LookupResult, DhtError> {
         let result = self.dht.lookup(from, key_id)?;
-        self.account_path(&result.path, class);
+        self.account_path(result.path(), class);
         Ok(result)
     }
 
@@ -355,7 +355,7 @@ mod tests {
         let key = Id::hash_key("another-key");
         let result = net.send(ids[0], key, "payload", CLASS_A).unwrap();
         let total = net.traffic().total_sent();
-        assert_eq!(total, result.hops.max(1) as u64);
+        assert_eq!(total, result.hops().max(1) as u64);
         // The sender is charged at least one message.
         assert!(net.traffic().sent_by(ids[0]) >= 1);
     }

@@ -637,7 +637,7 @@ impl<M> Transport<M> for ShardHandle<'_, '_, M> {
         class: TrafficClass,
     ) -> Result<LookupResult, DhtError> {
         let result = self.net.dht.lookup_stable(from, key_id)?;
-        crate::traffic::account_route(&mut self.local.traffic, &result.path, class);
+        crate::traffic::account_route(&mut self.local.traffic, result.path(), class);
         self.local.traffic.record_received(result.owner);
         self.schedule(result.owner, from, msg);
         Ok(result)
@@ -656,7 +656,7 @@ impl<M> Transport<M> for ShardHandle<'_, '_, M> {
         class: TrafficClass,
     ) -> Result<LookupResult, DhtError> {
         let result = self.net.dht.lookup_stable(from, key_id)?;
-        crate::traffic::account_route(&mut self.local.traffic, &result.path, class);
+        crate::traffic::account_route(&mut self.local.traffic, result.path(), class);
         Ok(result)
     }
 

@@ -28,7 +28,7 @@ proptest! {
             let owner = net.owner_of(key).unwrap();
             let result = net.send(from, key, i, CLASS).unwrap();
             prop_assert_eq!(result.owner, owner);
-            total_hops += result.hops.max(1) as u64;
+            total_hops += result.hops().max(1) as u64;
             expected_owners.push(owner);
         }
         prop_assert_eq!(net.traffic().total_sent(), total_hops);

@@ -1,23 +1,27 @@
 //! Abstract syntax of continuous multi-way equi-join queries.
 
 use crate::{QueryError, WindowSpec};
-use rjoin_relation::{Catalog, Value};
+use rjoin_relation::{AttrIndex, Catalog, Name, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// A `Relation.Attribute` expression appearing in a query.
+///
+/// Both components are cheaply clonable [`Name`]s: attribute references are
+/// cloned on every rewrite step and every stored sub-join, so a clone must
+/// be a reference-count bump, not a pair of heap allocations.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct QualifiedAttr {
     /// Relation name.
-    pub relation: String,
+    pub relation: Name,
     /// Attribute name.
-    pub attribute: String,
+    pub attribute: Name,
 }
 
 impl QualifiedAttr {
     /// Convenience constructor.
-    pub fn new<R: Into<String>, A: Into<String>>(relation: R, attribute: A) -> Self {
+    pub fn new<R: Into<Name>, A: Into<Name>>(relation: R, attribute: A) -> Self {
         QualifiedAttr { relation: relation.into(), attribute: attribute.into() }
     }
 }
@@ -85,6 +89,42 @@ impl fmt::Display for Conjunct {
     }
 }
 
+/// One step of a compiled `WHERE` rewrite template (see
+/// [`crate::compile_subjoin`]).
+///
+/// A trigger program pre-computes, per source conjunct, what the rewrite of
+/// a tuple of the trigger relation does to it: constant and self-join
+/// conjuncts over the trigger relation become up-front filters (they never
+/// reach the emitted child), and everything else becomes one `EmitStep` in
+/// source order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmitStep {
+    /// Re-emit this conjunct unchanged — it does not mention the trigger
+    /// relation, so the rewrite cannot touch it.
+    Keep(Conjunct),
+    /// A join conjunct with exactly one side on the trigger relation: emit
+    /// `ConstEq(attr, tuple[offset])`, folding the trigger side to the
+    /// constant carried by the tuple.
+    ConstFrom {
+        /// The surviving (non-trigger) side of the join conjunct.
+        attr: QualifiedAttr,
+        /// Column offset of the trigger-relation side, resolved against the
+        /// catalog schema at compile time.
+        offset: AttrIndex,
+    },
+}
+
+/// One step of a compiled `SELECT` resolution plan (see [`crate::compile_subjoin`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectStep {
+    /// Re-emit this item unchanged (a constant, or an attribute of another
+    /// relation).
+    Keep(SelectItem),
+    /// An attribute of the trigger relation: resolve it to
+    /// `tuple[offset]`.
+    Resolve(AttrIndex),
+}
+
 /// A continuous multi-way equi-join query.
 ///
 /// The same structure represents both *input queries* (as submitted by a
@@ -96,7 +136,7 @@ impl fmt::Display for Conjunct {
 pub struct JoinQuery {
     distinct: bool,
     select: Vec<SelectItem>,
-    relations: Vec<String>,
+    relations: Vec<Name>,
     conjuncts: Vec<Conjunct>,
     window: WindowSpec,
 }
@@ -113,7 +153,7 @@ impl JoinQuery {
     pub fn new(
         distinct: bool,
         select: Vec<SelectItem>,
-        relations: Vec<String>,
+        relations: Vec<Name>,
         conjuncts: Vec<Conjunct>,
         window: WindowSpec,
     ) -> Result<Self, QueryError> {
@@ -123,7 +163,7 @@ impl JoinQuery {
         let mut seen = BTreeSet::new();
         for r in &relations {
             if !seen.insert(r.clone()) {
-                return Err(QueryError::DuplicateRelation { relation: r.clone() });
+                return Err(QueryError::DuplicateRelation { relation: r.to_string() });
             }
         }
         if select.is_empty() {
@@ -167,7 +207,7 @@ impl JoinQuery {
     }
 
     /// Relations still present in the `FROM` list.
-    pub fn relations(&self) -> &[String] {
+    pub fn relations(&self) -> &[Name] {
         &self.relations
     }
 
@@ -269,7 +309,7 @@ impl JoinQuery {
     pub(crate) fn from_parts_unchecked(
         distinct: bool,
         select: Vec<SelectItem>,
-        relations: Vec<String>,
+        relations: Vec<Name>,
         conjuncts: Vec<Conjunct>,
         window: WindowSpec,
     ) -> Self {

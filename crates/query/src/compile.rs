@@ -1,0 +1,493 @@
+//! Compilation of the per-tuple rewrite into flat predicate programs.
+//!
+//! [`rewrite`](crate::rewrite()) walks the query AST for every
+//! (tuple, stored query) pair: it compares relation names as strings,
+//! resolves attribute names against the schema by linear scan, and clones
+//! conjuncts one by one. That walk is the inner loop of Procedures 1–3 — a
+//! node with `n` stored queries on a ring key performs it `n` times per
+//! delivery.
+//!
+//! This module compiles the walk away. For a given (query, trigger relation)
+//! pair, the *shape* of the rewrite is fixed: which conjuncts drop, which
+//! become `ConstEq`, which `SELECT` slots resolve, and which column offsets
+//! feed them depend only on the query and the schema — not on the tuple.
+//! [`compile_subjoin`] precomputes that shape once into a [`SubJoinProgram`]:
+//!
+//! * constant selections over the trigger relation become
+//!   [`const_filters`](SubJoinProgram) — offset/value pairs checked first,
+//!   so a non-matching tuple is rejected before any allocation,
+//! * self-join conjuncts (`R.A = R.B`, from unchecked construction) become
+//!   offset/offset `self_filters`,
+//! * every surviving conjunct becomes an [`EmitStep`] and every `SELECT`
+//!   item a [`SelectStep`], so executing a tuple is a linear scan over flat
+//!   vectors instead of an AST walk.
+//!
+//! The `WHERE`-side program is `SELECT`-agnostic, mirroring the fingerprint
+//! abstraction of shared sub-joins: all subscribers of a structurally
+//! identical sub-join share one `SubJoinProgram` (cached by fingerprint in
+//! the node state), and each stored query pairs it with its own cheap
+//! [`CompiledTrigger`] select plan.
+//!
+//! Compilation also validates what unchecked construction (deserialization,
+//! the rewriting engine itself) cannot: every attribute reference must
+//! belong to a `FROM` relation. Orphaned residue — a conjunct or `SELECT`
+//! item over a relation absent from `FROM` — is rejected with
+//! [`QueryError::UnknownQueryRelation`] instead of being dragged along as a
+//! child query that can never complete.
+
+use crate::ast::{Conjunct, EmitStep, JoinQuery, QualifiedAttr, SelectItem, SelectStep};
+use crate::rewrite::RewriteResult;
+use crate::{QueryError, WindowSpec};
+use rjoin_relation::{AttrIndex, Name, Schema, Tuple, Value};
+use std::sync::Arc;
+
+/// The `SELECT`-agnostic half of a compiled trigger: the rewrite template
+/// for tuples of one relation against one sub-join shape.
+///
+/// Cacheable by fingerprint (see `rjoin_core`): fingerprints abstract the
+/// `SELECT` list exactly like this program does, so all subscribers of a
+/// shared sub-join reuse one program. Fingerprint hits are candidates only —
+/// use [`matches_source`](SubJoinProgram::matches_source) to confirm
+/// structural equality before reuse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubJoinProgram {
+    relation: String,
+    /// Minimum tuple arity required by the `WHERE`-side offsets, together
+    /// with the attribute reference that demands it (for error reporting).
+    min_arity: usize,
+    widest: Option<QualifiedAttr>,
+    /// `ConstEq` conjuncts over the trigger relation, pre-resolved to
+    /// column offsets. Checked before anything is allocated.
+    const_filters: Vec<(AttrIndex, Value)>,
+    /// Self-join conjuncts over the trigger relation (offset pairs).
+    self_filters: Vec<(AttrIndex, AttrIndex)>,
+    /// Surviving conjuncts in source order.
+    emit: Vec<EmitStep>,
+    /// The child's `FROM` list: the source `FROM` minus the trigger
+    /// relation, in source order.
+    remaining: Vec<Name>,
+    distinct: bool,
+    window: WindowSpec,
+    /// Source identity, retained so a fingerprint-cache hit can be
+    /// confirmed by direct comparison instead of re-walking signatures.
+    source_relations: Vec<Name>,
+    source_conjuncts: Vec<Conjunct>,
+}
+
+impl SubJoinProgram {
+    /// The trigger relation this program rewrites tuples of.
+    pub fn relation(&self) -> &str {
+        &self.relation
+    }
+
+    /// Whether this program was compiled from exactly this sub-join shape
+    /// for `relation`. `SELECT` lists are deliberately ignored — the
+    /// `WHERE`-side template is projection-agnostic.
+    pub fn matches_source(&self, query: &JoinQuery, relation: &str) -> bool {
+        self.relation == relation
+            && self.distinct == query.distinct()
+            && self.window == *query.window()
+            && self.source_relations == query.relations()
+            && self.source_conjuncts == query.conjuncts()
+    }
+}
+
+/// Compiles the `WHERE`-side rewrite template of `query` for tuples whose
+/// schema is `schema`.
+///
+/// Fails with the same errors the interpreter would raise on the first
+/// matching tuple ([`QueryError::IrrelevantTuple`],
+/// [`QueryError::UnknownAttribute`]) plus the orphaned-residue validation
+/// described in the module docs ([`QueryError::UnknownQueryRelation`]).
+pub fn compile_subjoin(query: &JoinQuery, schema: &Schema) -> Result<SubJoinProgram, QueryError> {
+    let relation = schema.relation();
+    if !query.references_relation(relation) {
+        return Err(QueryError::IrrelevantTuple { relation: relation.to_string() });
+    }
+
+    let mut min_arity = 0usize;
+    let mut widest = None;
+    let mut resolve = |attr: &QualifiedAttr| -> Result<AttrIndex, QueryError> {
+        let idx = schema
+            .index_of(&attr.attribute)
+            .ok_or_else(|| QueryError::UnknownAttribute { attr: attr.clone() })?;
+        if idx + 1 > min_arity {
+            min_arity = idx + 1;
+            widest = Some(attr.clone());
+        }
+        Ok(idx)
+    };
+    let check_in_from = |attr: &QualifiedAttr| -> Result<(), QueryError> {
+        if query.references_relation(&attr.relation) {
+            Ok(())
+        } else {
+            Err(QueryError::UnknownQueryRelation { attr: attr.clone() })
+        }
+    };
+
+    let mut const_filters = Vec::new();
+    let mut self_filters = Vec::new();
+    let mut emit = Vec::new();
+    for conjunct in query.conjuncts() {
+        match conjunct {
+            Conjunct::JoinEq(a, b) => {
+                let a_here = a.relation == relation;
+                let b_here = b.relation == relation;
+                if a_here && b_here {
+                    self_filters.push((resolve(a)?, resolve(b)?));
+                } else if a_here {
+                    check_in_from(b)?;
+                    emit.push(EmitStep::ConstFrom { attr: b.clone(), offset: resolve(a)? });
+                } else if b_here {
+                    check_in_from(a)?;
+                    emit.push(EmitStep::ConstFrom { attr: a.clone(), offset: resolve(b)? });
+                } else {
+                    check_in_from(a)?;
+                    check_in_from(b)?;
+                    emit.push(EmitStep::Keep(conjunct.clone()));
+                }
+            }
+            Conjunct::ConstEq(a, expected) => {
+                if a.relation == relation {
+                    const_filters.push((resolve(a)?, expected.clone()));
+                } else {
+                    check_in_from(a)?;
+                    emit.push(EmitStep::Keep(conjunct.clone()));
+                }
+            }
+        }
+    }
+
+    let remaining: Vec<Name> =
+        query.relations().iter().filter(|r| r.as_str() != relation).cloned().collect();
+
+    Ok(SubJoinProgram {
+        relation: relation.to_string(),
+        min_arity,
+        widest,
+        const_filters,
+        self_filters,
+        emit,
+        remaining,
+        distinct: query.distinct(),
+        window: *query.window(),
+        source_relations: query.relations().to_vec(),
+        source_conjuncts: query.conjuncts().to_vec(),
+    })
+}
+
+/// A complete compiled trigger: a shared [`SubJoinProgram`] plus the
+/// per-query `SELECT` resolution plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledTrigger {
+    shared: Arc<SubJoinProgram>,
+    select: Vec<SelectStep>,
+    /// Minimum tuple arity over *both* the `WHERE` and `SELECT` offsets.
+    min_arity: usize,
+    widest: Option<QualifiedAttr>,
+}
+
+impl CompiledTrigger {
+    /// Pairs an already compiled (possibly cache-shared) `WHERE` program
+    /// with the `SELECT` plan of `query`.
+    ///
+    /// The caller must have confirmed `shared`
+    /// [`matches_source`](SubJoinProgram::matches_source) for this query.
+    pub fn new(
+        shared: Arc<SubJoinProgram>,
+        query: &JoinQuery,
+        schema: &Schema,
+    ) -> Result<Self, QueryError> {
+        let relation = schema.relation();
+        let mut min_arity = shared.min_arity;
+        let mut widest = shared.widest.clone();
+        let mut select = Vec::with_capacity(query.select().len());
+        for item in query.select() {
+            match item {
+                SelectItem::Attr(a) if a.relation == relation => {
+                    let idx = schema
+                        .index_of(&a.attribute)
+                        .ok_or_else(|| QueryError::UnknownAttribute { attr: a.clone() })?;
+                    if idx + 1 > min_arity {
+                        min_arity = idx + 1;
+                        widest = Some(a.clone());
+                    }
+                    select.push(SelectStep::Resolve(idx));
+                }
+                SelectItem::Attr(a) => {
+                    if !query.references_relation(&a.relation) {
+                        return Err(QueryError::UnknownQueryRelation { attr: a.clone() });
+                    }
+                    select.push(SelectStep::Keep(item.clone()));
+                }
+                SelectItem::Const(_) => select.push(SelectStep::Keep(item.clone())),
+            }
+        }
+        Ok(CompiledTrigger { shared, select, min_arity, widest })
+    }
+
+    /// The trigger relation this program rewrites tuples of.
+    pub fn relation(&self) -> &str {
+        self.shared.relation()
+    }
+
+    /// The shared `WHERE`-side program (for cache bookkeeping).
+    pub fn shared(&self) -> &Arc<SubJoinProgram> {
+        &self.shared
+    }
+
+    /// Executes the program against one tuple of the trigger relation.
+    ///
+    /// Produces the same [`RewriteResult`] as the AST interpreter
+    /// ([`rewrite`](crate::rewrite())) on every valid (query, tuple) pair:
+    /// same mismatches, byte-identical child queries and answer rows. The
+    /// only divergence is on arity-short tuples, where the interpreter
+    /// reports the first out-of-range reference in conjunct order while the
+    /// compiled program reports the widest one.
+    pub fn execute(&self, tuple: &Tuple) -> Result<RewriteResult, QueryError> {
+        let p = &*self.shared;
+        let vals = tuple.values();
+        if vals.len() < self.min_arity {
+            let attr = self.widest.clone().expect("min_arity > 0 implies a widest reference");
+            return Err(QueryError::ArityMismatch {
+                attr,
+                index: self.min_arity - 1,
+                arity: vals.len(),
+            });
+        }
+        for (idx, expected) in &p.const_filters {
+            if vals[*idx] != *expected {
+                return Ok(RewriteResult::Mismatch);
+            }
+        }
+        for (a, b) in &p.self_filters {
+            if vals[*a] != vals[*b] {
+                return Ok(RewriteResult::Mismatch);
+            }
+        }
+
+        if p.emit.is_empty() && p.remaining.is_empty() {
+            // The child would be complete: build the answer row directly,
+            // skipping query construction entirely.
+            let mut row = Vec::with_capacity(self.select.len());
+            for step in &self.select {
+                match step {
+                    SelectStep::Resolve(idx) => row.push(vals[*idx].clone()),
+                    SelectStep::Keep(SelectItem::Const(v)) => row.push(v.clone()),
+                    SelectStep::Keep(SelectItem::Attr(a)) => {
+                        return Err(QueryError::UnresolvedSelect { attr: a.clone() });
+                    }
+                }
+            }
+            return Ok(RewriteResult::Complete(row));
+        }
+
+        let conjuncts: Vec<Conjunct> = p
+            .emit
+            .iter()
+            .map(|step| match step {
+                EmitStep::Keep(c) => c.clone(),
+                EmitStep::ConstFrom { attr, offset } => {
+                    Conjunct::ConstEq(attr.clone(), vals[*offset].clone())
+                }
+            })
+            .collect();
+        let select: Vec<SelectItem> = self
+            .select
+            .iter()
+            .map(|step| match step {
+                SelectStep::Keep(item) => item.clone(),
+                SelectStep::Resolve(idx) => SelectItem::Const(vals[*idx].clone()),
+            })
+            .collect();
+        Ok(RewriteResult::Partial(JoinQuery::from_parts_unchecked(
+            p.distinct,
+            select,
+            p.remaining.clone(),
+            conjuncts,
+            p.window,
+        )))
+    }
+}
+
+/// Convenience: compiles the full trigger program (shared `WHERE` template
+/// plus `SELECT` plan) for `query` and tuples of `schema` in one step.
+pub fn compile_trigger(query: &JoinQuery, schema: &Schema) -> Result<CompiledTrigger, QueryError> {
+    let shared = Arc::new(compile_subjoin(query, schema)?);
+    CompiledTrigger::new(shared, query, schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_query, rewrite};
+
+    fn schema(rel: &str) -> Schema {
+        Schema::new(rel, ["A", "B", "C"]).unwrap()
+    }
+
+    fn tuple(rel: &str, values: [i64; 3]) -> Tuple {
+        Tuple::new(rel, values.iter().map(|v| Value::from(*v)).collect(), 0)
+    }
+
+    fn attr(r: &str, a: &str) -> QualifiedAttr {
+        QualifiedAttr::new(r, a)
+    }
+
+    /// The Figure 1 chain of the paper, executed compiled and interpreted in
+    /// lockstep: every intermediate child must be byte-identical.
+    #[test]
+    fn figure_one_chain_matches_interpreter() {
+        let mut q = parse_query(
+            "SELECT S.B, M.A FROM R, S, J, M WHERE R.A = S.A AND S.B = J.B AND J.C = M.C",
+        )
+        .unwrap();
+        let steps = [
+            tuple("R", [2, 5, 8]),
+            tuple("S", [2, 6, 3]),
+            tuple("J", [7, 6, 2]),
+            tuple("M", [9, 1, 2]),
+        ];
+        for t in steps {
+            let s = schema(t.relation());
+            let interpreted = rewrite(&q, &t, &s).unwrap();
+            let compiled = compile_trigger(&q, &s).unwrap().execute(&t).unwrap();
+            assert_eq!(compiled, interpreted);
+            match interpreted {
+                RewriteResult::Partial(child) => q = child,
+                RewriteResult::Complete(row) => {
+                    assert_eq!(row, vec![Value::from(6), Value::from(9)]);
+                    return;
+                }
+                RewriteResult::Mismatch => panic!("chain must not mismatch"),
+            }
+        }
+        panic!("chain must complete");
+    }
+
+    #[test]
+    fn const_filter_short_circuits_to_mismatch() {
+        let q = parse_query("SELECT S.B FROM S, R WHERE S.A = 2 AND S.B = R.B").unwrap();
+        let program = compile_trigger(&q, &schema("S")).unwrap();
+        assert_eq!(program.execute(&tuple("S", [3, 6, 3])).unwrap(), RewriteResult::Mismatch);
+        match program.execute(&tuple("S", [2, 6, 3])).unwrap() {
+            RewriteResult::Partial(child) => {
+                assert_eq!(child.conjuncts(), &[Conjunct::ConstEq(attr("R", "B"), Value::from(6))]);
+                assert_eq!(child.relations(), &["R".to_string()]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_join_conjuncts_become_filters() {
+        let q = JoinQuery::from_parts_unchecked(
+            false,
+            vec![SelectItem::Attr(attr("S", "B"))],
+            vec!["R".into(), "S".into()],
+            vec![
+                Conjunct::JoinEq(attr("R", "A"), attr("R", "B")),
+                Conjunct::JoinEq(attr("R", "C"), attr("S", "C")),
+            ],
+            WindowSpec::None,
+        );
+        let program = compile_trigger(&q, &schema("R")).unwrap();
+        assert_eq!(program.execute(&tuple("R", [7, 8, 3])).unwrap(), RewriteResult::Mismatch);
+        assert_eq!(
+            program.execute(&tuple("R", [7, 7, 3])).unwrap(),
+            rewrite(&q, &tuple("R", [7, 7, 3]), &schema("R")).unwrap()
+        );
+    }
+
+    /// Satellite: orphaned residue — conjuncts over a relation absent from
+    /// FROM — must be rejected at compile time, not dragged into children.
+    #[test]
+    fn orphaned_conjunct_is_rejected_at_compile_time() {
+        let q = JoinQuery::from_parts_unchecked(
+            false,
+            vec![SelectItem::Const(Value::from(1))],
+            vec!["R".into(), "S".into()],
+            vec![
+                Conjunct::JoinEq(attr("R", "A"), attr("S", "A")),
+                Conjunct::ConstEq(attr("Z", "B"), Value::from(5)),
+            ],
+            WindowSpec::None,
+        );
+        let err = compile_subjoin(&q, &schema("R")).unwrap_err();
+        assert_eq!(err, QueryError::UnknownQueryRelation { attr: attr("Z", "B") });
+
+        let join_orphan = JoinQuery::from_parts_unchecked(
+            false,
+            vec![SelectItem::Const(Value::from(1))],
+            vec!["R".into()],
+            vec![Conjunct::JoinEq(attr("R", "A"), attr("Z", "A"))],
+            WindowSpec::None,
+        );
+        let err = compile_subjoin(&join_orphan, &schema("R")).unwrap_err();
+        assert_eq!(err, QueryError::UnknownQueryRelation { attr: attr("Z", "A") });
+    }
+
+    #[test]
+    fn orphaned_select_is_rejected_at_compile_time() {
+        let q = JoinQuery::from_parts_unchecked(
+            false,
+            vec![SelectItem::Attr(attr("Z", "B"))],
+            vec!["R".into()],
+            vec![],
+            WindowSpec::None,
+        );
+        let err = compile_trigger(&q, &schema("R")).unwrap_err();
+        assert_eq!(err, QueryError::UnknownQueryRelation { attr: attr("Z", "B") });
+    }
+
+    #[test]
+    fn arity_short_tuple_reports_arity_mismatch() {
+        let q = parse_query("SELECT S.B FROM S, R WHERE S.C = R.A").unwrap();
+        let program = compile_trigger(&q, &schema("S")).unwrap();
+        let short = Tuple::new("S", vec![Value::from(1), Value::from(2)], 0);
+        let err = program.execute(&short).unwrap_err();
+        assert!(matches!(err, QueryError::ArityMismatch { index: 2, arity: 2, .. }));
+    }
+
+    #[test]
+    fn irrelevant_relation_is_a_compile_error() {
+        let q = parse_query("SELECT S.B FROM S WHERE S.A = 2").unwrap();
+        let err = compile_subjoin(&q, &schema("Z")).unwrap_err();
+        assert!(matches!(err, QueryError::IrrelevantTuple { .. }));
+    }
+
+    #[test]
+    fn matches_source_confirms_structure_and_ignores_select() {
+        let q = parse_query("SELECT S.B FROM R, S WHERE R.A = S.A").unwrap();
+        let program = compile_subjoin(&q, &schema("R")).unwrap();
+        assert!(program.matches_source(&q, "R"));
+        // Different SELECT, same sub-join: still a match (the template is
+        // projection-agnostic, like the fingerprint).
+        let other_select = parse_query("SELECT S.C FROM R, S WHERE R.A = S.A").unwrap();
+        assert!(program.matches_source(&other_select, "R"));
+        // Different trigger relation or structure: no match.
+        assert!(!program.matches_source(&q, "S"));
+        let other_where = parse_query("SELECT S.B FROM R, S WHERE R.B = S.B").unwrap();
+        assert!(!program.matches_source(&other_where, "R"));
+        let windowed =
+            parse_query("SELECT S.B FROM R, S WHERE R.A = S.A WINDOW SLIDING 10 TUPLES").unwrap();
+        assert!(!program.matches_source(&windowed, "R"));
+    }
+
+    #[test]
+    fn unknown_attribute_is_a_compile_error() {
+        let q = parse_query("SELECT S.Z FROM S, R WHERE S.Z = R.A").unwrap();
+        let err = compile_trigger(&q, &schema("S")).unwrap_err();
+        assert!(matches!(err, QueryError::UnknownAttribute { .. }));
+    }
+
+    #[test]
+    fn complete_child_builds_answer_row_directly() {
+        let q = parse_query("SELECT S.B, S.A FROM S WHERE S.A = 2").unwrap();
+        let program = compile_trigger(&q, &schema("S")).unwrap();
+        assert_eq!(
+            program.execute(&tuple("S", [2, 6, 3])).unwrap(),
+            RewriteResult::Complete(vec![Value::from(6), Value::from(2)])
+        );
+    }
+}

@@ -54,6 +54,31 @@ pub enum QueryError {
         /// The offending attribute reference.
         attr: QualifiedAttr,
     },
+    /// A tuple carries fewer values than the resolved column offset of an
+    /// attribute requires. Distinct from [`UnknownAttribute`]: the attribute
+    /// name *is* part of the schema, but the tuple is arity-short, which
+    /// points at a malformed tuple (or a compiled-program offset bug), not a
+    /// schema typo.
+    ///
+    /// [`UnknownAttribute`]: QueryError::UnknownAttribute
+    ArityMismatch {
+        /// The attribute whose resolved offset was out of range.
+        attr: QualifiedAttr,
+        /// The column offset that was probed.
+        index: usize,
+        /// The tuple's actual arity.
+        arity: usize,
+    },
+    /// Rewriting resolved the whole `WHERE` clause (and emptied the `FROM`
+    /// list) while a `SELECT` item is still an unresolved attribute
+    /// reference — the query can never produce its answer row. Only queries
+    /// built without validation (deserialization, unchecked construction)
+    /// can reach this state; the constructor requires every `SELECT`
+    /// attribute to belong to a `FROM` relation.
+    UnresolvedSelect {
+        /// The `SELECT` item that can no longer be resolved.
+        attr: QualifiedAttr,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -85,6 +110,20 @@ impl fmt::Display for QueryError {
             }
             QueryError::UnknownAttribute { attr } => {
                 write!(f, "attribute `{attr}` does not exist in the relation schema")
+            }
+            QueryError::ArityMismatch { attr, index, arity } => {
+                write!(
+                    f,
+                    "attribute `{attr}` resolves to column {index} but the tuple only carries \
+                     {arity} values"
+                )
+            }
+            QueryError::UnresolvedSelect { attr } => {
+                write!(
+                    f,
+                    "WHERE clause is fully resolved but SELECT item `{attr}` is still an \
+                     attribute reference"
+                )
             }
         }
     }

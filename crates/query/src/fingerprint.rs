@@ -46,13 +46,42 @@ fn push_attr(out: &mut String, attr: &QualifiedAttr) {
     out.push_str(&attr.attribute);
 }
 
-/// The canonical string form of a query's sub-join structure. Stable across
-/// conjunct order, join-side order and `SELECT` list differences.
-pub fn subjoin_signature(query: &JoinQuery) -> String {
-    let mut out = String::with_capacity(64);
+fn push_conjunct(out: &mut String, c: &Conjunct) {
+    match c {
+        Conjunct::JoinEq(a, b) => {
+            let (first, second) = if (&a.relation, &a.attribute) <= (&b.relation, &b.attribute) {
+                (a, b)
+            } else {
+                (b, a)
+            };
+            out.push_str("j:");
+            push_attr(out, first);
+            out.push('=');
+            push_attr(out, second);
+        }
+        Conjunct::ConstEq(a, v) => {
+            out.push_str("c:");
+            push_attr(out, a);
+            out.push('=');
+            v.write_key_fragment(out);
+        }
+    }
+}
+
+/// Appends the canonical signature to `out`. Per-conjunct strings are
+/// rendered into a per-thread scratch pool (fingerprints are computed at
+/// every stored-entry first trigger, so the assembly must not allocate on
+/// repeat calls) and the pool entries are emitted in sorted order.
+fn write_signature(query: &JoinQuery, out: &mut String) {
+    use std::cell::RefCell;
+    use std::fmt::Write;
+    thread_local! {
+        static CONJ_POOL: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    }
+
     out.push_str(if query.distinct() { "D|" } else { "B|" });
 
-    let mut relations: Vec<&str> = query.relations().iter().map(String::as_str).collect();
+    let mut relations: Vec<&str> = query.relations().iter().map(|r| r.as_str()).collect();
     relations.sort_unstable();
     for (i, r) in relations.iter().enumerate() {
         if i > 0 {
@@ -62,59 +91,83 @@ pub fn subjoin_signature(query: &JoinQuery) -> String {
     }
     out.push('|');
 
-    let mut conjuncts: Vec<String> = query
-        .conjuncts()
-        .iter()
-        .map(|c| {
-            let mut s = String::with_capacity(16);
-            match c {
-                Conjunct::JoinEq(a, b) => {
-                    let (first, second) =
-                        if (&a.relation, &a.attribute) <= (&b.relation, &b.attribute) {
-                            (a, b)
-                        } else {
-                            (b, a)
-                        };
-                    s.push_str("j:");
-                    push_attr(&mut s, first);
-                    s.push('=');
-                    push_attr(&mut s, second);
-                }
-                Conjunct::ConstEq(a, v) => {
-                    s.push_str("c:");
-                    push_attr(&mut s, a);
-                    s.push('=');
-                    s.push_str(&v.key_fragment());
-                }
-            }
-            s
-        })
-        .collect();
-    conjuncts.sort_unstable();
-    for (i, c) in conjuncts.iter().enumerate() {
-        if i > 0 {
-            out.push('&');
+    CONJ_POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        let n = query.conjuncts().len();
+        if pool.len() < n {
+            pool.resize_with(n, String::new);
         }
-        out.push_str(c);
-    }
+        for (buf, c) in pool.iter_mut().zip(query.conjuncts()) {
+            buf.clear();
+            push_conjunct(buf, c);
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_unstable_by(|&a, &b| pool[a].cmp(&pool[b]));
+        for (i, &c) in order.iter().enumerate() {
+            if i > 0 {
+                out.push('&');
+            }
+            out.push_str(&pool[c]);
+        }
+    });
     out.push('|');
-    out.push_str(&query.window().to_string());
+    let _ = write!(out, "{}", query.window());
+}
+
+/// The canonical string form of a query's sub-join structure. Stable across
+/// conjunct order, join-side order and `SELECT` list differences.
+pub fn subjoin_signature(query: &JoinQuery) -> String {
+    let mut out = String::with_capacity(64);
+    write_signature(query, &mut out);
     out
+}
+
+/// Whether two queries have byte-identical canonical signatures — the
+/// structural confirmation behind a fingerprint match. Equivalent to
+/// `subjoin_signature(a) == subjoin_signature(b)` but renders both sides
+/// into per-thread scratch buffers, so the comparison does not allocate
+/// after warm-up (it runs on every candidate sharing merge).
+pub fn subjoin_signature_eq(a: &JoinQuery, b: &JoinQuery) -> bool {
+    use std::cell::RefCell;
+    thread_local! {
+        static EQ_BUFS: RefCell<(String, String)> =
+            const { RefCell::new((String::new(), String::new())) };
+    }
+    EQ_BUFS.with(|bufs| {
+        let mut bufs = bufs.borrow_mut();
+        let (left, right) = &mut *bufs;
+        left.clear();
+        right.clear();
+        write_signature(a, left);
+        write_signature(b, right);
+        left == right
+    })
 }
 
 /// Computes the sub-join [`Fingerprint`] of a query: an FNV-1a 64-bit hash
 /// of [`subjoin_signature`]. Deterministic across processes and runs (no
 /// per-process hasher randomness), so fingerprints can travel in messages
-/// and be compared across nodes.
+/// and be compared across nodes. The signature is assembled in a per-thread
+/// scratch buffer, so computing a fingerprint does not allocate after
+/// warm-up.
 pub fn fingerprint(query: &JoinQuery) -> Fingerprint {
+    use std::cell::RefCell;
+    thread_local! {
+        static SIG_BUF: RefCell<String> = const { RefCell::new(String::new()) };
+    }
     const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut hash = FNV_OFFSET;
-    for byte in subjoin_signature(query).bytes() {
-        hash ^= u64::from(byte);
-        hash = hash.wrapping_mul(FNV_PRIME);
-    }
-    Fingerprint(hash)
+    SIG_BUF.with(|buf| {
+        let mut buf = buf.borrow_mut();
+        buf.clear();
+        write_signature(query, &mut buf);
+        let mut hash = FNV_OFFSET;
+        for byte in buf.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        Fingerprint(hash)
+    })
 }
 
 #[cfg(test)]

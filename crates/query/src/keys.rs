@@ -14,9 +14,8 @@
 
 use crate::ast::{Conjunct, JoinQuery, QualifiedAttr};
 use rjoin_dht::HashedKey;
-use rjoin_relation::{Schema, Tuple, Value};
+use rjoin_relation::{Name, Schema, Tuple, Value};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// Whether an item is indexed at the attribute level or at the value level.
@@ -29,21 +28,25 @@ pub enum IndexLevel {
 }
 
 /// A key under which a query or tuple is indexed in the DHT.
+///
+/// The name components are cheaply clonable [`Name`]s: candidate keys are
+/// derived per dispatched query and per published tuple, so building one
+/// from an AST node must not copy the underlying strings.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum IndexKey {
     /// Attribute-level key.
     Attribute {
         /// Relation name.
-        relation: String,
+        relation: Name,
         /// Attribute name.
-        attribute: String,
+        attribute: Name,
     },
     /// Value-level key.
     Value {
         /// Relation name.
-        relation: String,
+        relation: Name,
         /// Attribute name.
-        attribute: String,
+        attribute: Name,
         /// Attribute value.
         value: Value,
     },
@@ -51,16 +54,12 @@ pub enum IndexKey {
 
 impl IndexKey {
     /// Attribute-level key constructor.
-    pub fn attribute<R: Into<String>, A: Into<String>>(relation: R, attribute: A) -> Self {
+    pub fn attribute<R: Into<Name>, A: Into<Name>>(relation: R, attribute: A) -> Self {
         IndexKey::Attribute { relation: relation.into(), attribute: attribute.into() }
     }
 
     /// Value-level key constructor.
-    pub fn value<R: Into<String>, A: Into<String>>(
-        relation: R,
-        attribute: A,
-        value: Value,
-    ) -> Self {
+    pub fn value<R: Into<Name>, A: Into<Name>>(relation: R, attribute: A, value: Value) -> Self {
         IndexKey::Value { relation: relation.into(), attribute: attribute.into(), value }
     }
 
@@ -98,10 +97,27 @@ impl IndexKey {
     /// onto the identifier ring. The `+` separator mirrors the notation of
     /// the paper (`Successor(Hash(R + A + '2'))`).
     pub fn to_key_string(&self) -> String {
+        let mut out = String::new();
+        self.write_key_string(&mut out);
+        out
+    }
+
+    /// Appends the canonical string form to `out` (the allocation-free core
+    /// of [`IndexKey::to_key_string`], reused by [`IndexKey::hashed`] with a
+    /// per-thread scratch buffer).
+    fn write_key_string(&self, out: &mut String) {
         match self {
-            IndexKey::Attribute { relation, attribute } => format!("{relation}+{attribute}"),
+            IndexKey::Attribute { relation, attribute } => {
+                out.push_str(relation);
+                out.push('+');
+                out.push_str(attribute);
+            }
             IndexKey::Value { relation, attribute, value } => {
-                format!("{relation}+{attribute}+{}", value.key_fragment())
+                out.push_str(relation);
+                out.push('+');
+                out.push_str(attribute);
+                out.push('+');
+                value.write_key_fragment(out);
             }
         }
     }
@@ -114,9 +130,21 @@ impl IndexKey {
     /// Interns this key: derives the canonical string and hashes it onto the
     /// identifier ring exactly once. All hot-path consumers (messages, node
     /// state, load accounting) carry the returned [`HashedKey`] instead of
-    /// re-deriving string + SHA-1 at every layer.
+    /// re-deriving string + SHA-1 at every layer. The string is assembled in
+    /// a per-thread scratch buffer and resolved through the
+    /// [`HashedKey::intern`] memo, so repeat derivations of the same key
+    /// cost a hash-map probe rather than an allocation plus a SHA-1 digest.
     pub fn hashed(&self) -> HashedKey {
-        HashedKey::new(self.to_key_string())
+        use std::cell::RefCell;
+        thread_local! {
+            static KEY_BUF: RefCell<String> = const { RefCell::new(String::new()) };
+        }
+        KEY_BUF.with(|buf| {
+            let mut buf = buf.borrow_mut();
+            buf.clear();
+            self.write_key_string(&mut buf);
+            HashedKey::intern(&buf)
+        })
     }
 }
 
@@ -141,23 +169,28 @@ pub fn tuple_index_keys(tuple: &Tuple, schema: &Schema) -> Vec<IndexKey> {
 
 /// A tiny union-find over attribute references used to compute the equality
 /// closure of a `WHERE` clause.
-struct AttrUnionFind {
+///
+/// Attribute references are borrowed from the query and resolved with a
+/// linear probe: the attribute sets involved are tiny (a handful per query),
+/// so a scan beats a map and the whole structure stays allocation-light on
+/// the per-tuple dispatch path.
+struct AttrUnionFind<'q> {
     parent: Vec<usize>,
-    ids: BTreeMap<QualifiedAttr, usize>,
+    ids: Vec<&'q QualifiedAttr>,
 }
 
-impl AttrUnionFind {
-    fn new() -> Self {
-        AttrUnionFind { parent: Vec::new(), ids: BTreeMap::new() }
+impl<'q> AttrUnionFind<'q> {
+    fn with_capacity(cap: usize) -> Self {
+        AttrUnionFind { parent: Vec::with_capacity(cap), ids: Vec::with_capacity(cap) }
     }
 
-    fn id(&mut self, attr: &QualifiedAttr) -> usize {
-        if let Some(&id) = self.ids.get(attr) {
+    fn id(&mut self, attr: &'q QualifiedAttr) -> usize {
+        if let Some(id) = self.ids.iter().position(|known| *known == attr) {
             return id;
         }
         let id = self.parent.len();
         self.parent.push(id);
-        self.ids.insert(attr.clone(), id);
+        self.ids.push(attr);
         id
     }
 
@@ -191,9 +224,12 @@ impl AttrUnionFind {
 /// value-level candidates listed after attribute-level ones for the same
 /// relation/attribute.
 pub fn candidate_keys(query: &JoinQuery) -> Vec<IndexKey> {
-    let mut uf = AttrUnionFind::new();
-    // Constants attached to equivalence classes (by representative id).
-    let mut pending_consts: Vec<(usize, Value)> = Vec::new();
+    // Each conjunct mentions at most two attributes, which bounds the
+    // distinct-attribute universe the union-find can see.
+    let mut uf = AttrUnionFind::with_capacity(query.conjuncts().len() * 2);
+    // Constants attached to equivalence classes (by member id, resolved to
+    // representatives once all unions are in).
+    let mut pending_consts: Vec<(usize, &Value)> = Vec::new();
 
     let mut keys: Vec<IndexKey> = Vec::new();
     for conjunct in query.conjuncts() {
@@ -207,24 +243,29 @@ pub fn candidate_keys(query: &JoinQuery) -> Vec<IndexKey> {
             }
             Conjunct::ConstEq(a, v) => {
                 let ia = uf.id(a);
-                pending_consts.push((ia, v.clone()));
+                pending_consts.push((ia, v));
             }
         }
     }
 
     // Resolve constants to class representatives *after* all unions so the
-    // closure covers chains like R.A = S.B AND S.B = 5  =>  R.A = 5.
-    let mut class_const: BTreeMap<usize, Value> = BTreeMap::new();
-    for (id, v) in pending_consts {
-        let root = uf.find(id);
-        class_const.entry(root).or_insert(v);
-    }
-    let attrs: Vec<(QualifiedAttr, usize)> =
-        uf.ids.iter().map(|(a, &id)| (a.clone(), id)).collect();
-    for (attr, id) in attrs {
-        let root = uf.find(id);
-        if let Some(v) = class_const.get(&root) {
-            keys.push(IndexKey::value(&attr.relation, &attr.attribute, v.clone()));
+    // closure covers chains like R.A = S.B AND S.B = 5  =>  R.A = 5. The
+    // pass is skipped outright for pure join queries (no constants — the
+    // common case on the dispatch hot path).
+    if !pending_consts.is_empty() {
+        let mut class_const: Vec<(usize, &Value)> = Vec::new();
+        for (id, v) in pending_consts {
+            let root = uf.find(id);
+            if !class_const.iter().any(|(r, _)| *r == root) {
+                class_const.push((root, v));
+            }
+        }
+        for id in 0..uf.ids.len() {
+            let root = uf.find(id);
+            if let Some((_, v)) = class_const.iter().find(|(r, _)| *r == root) {
+                let attr = uf.ids[id];
+                keys.push(IndexKey::value(&attr.relation, &attr.attribute, (*v).clone()));
+            }
         }
     }
 

@@ -12,6 +12,8 @@
 //! * [`rewrite`] — the incremental rewriting step at the heart of RJoin:
 //!   substituting an incoming tuple into a query produces either a smaller
 //!   query, a complete answer, or a mismatch,
+//! * [`compile_trigger`] / [`compile_subjoin`] — compilation of that
+//!   rewriting step into flat predicate programs,
 //! * [`IndexKey`] / [`candidate_keys`] — derivation of the attribute-level
 //!   and value-level DHT keys under which queries and tuples are indexed
 //!   (Sections 3 and 6 of the paper),
@@ -20,6 +22,32 @@
 //!   query's sub-join structure (`FROM` + `WHERE` + window, `SELECT`
 //!   abstracted away), the collision test used by shared multi-query
 //!   evaluation.
+//!
+//! # The compile pipeline
+//!
+//! Query evaluation goes through three representations:
+//!
+//! 1. **AST** — [`JoinQuery`], produced by [`parse_query`] or by a rewrite
+//!    step. Constructor-validated ([`JoinQuery::new`]) for user input;
+//!    unchecked for engine-internal construction.
+//! 2. **Validated IR** — at compile time every attribute reference is
+//!    checked against the `FROM` list (orphaned residue from unchecked
+//!    construction is rejected) and resolved to a column offset against the
+//!    catalog schema, yielding flat [`EmitStep`]/[`SelectStep`] sequences.
+//! 3. **Program** — a [`SubJoinProgram`] (the projection-agnostic `WHERE`
+//!    rewrite template, shareable across all subscribers of a fingerprinted
+//!    sub-join) paired with a per-query `SELECT` plan in a
+//!    [`CompiledTrigger`]. Executing a tuple is then a linear scan:
+//!    pre-folded constant filters first, then self-join filters, then
+//!    template emission — no AST walk, no string comparison, no schema
+//!    lookup.
+//!
+//! The AST interpreter ([`rewrite`]) remains the semantics oracle: engines
+//! run it when compiled predicates are disabled (`rjoin_core`'s
+//! `with_compiled_predicates(false)`), differential tests assert program
+//! results are byte-identical to it, and shared sub-join evaluation still
+//! uses the name-based [`resolve_select_items`] for per-subscriber
+//! projections.
 //!
 //! # Example
 //!
@@ -42,6 +70,7 @@
 //! ```
 
 mod ast;
+mod compile;
 mod error;
 mod fingerprint;
 mod keys;
@@ -49,9 +78,10 @@ mod parser;
 mod rewrite;
 mod window;
 
-pub use ast::{Conjunct, JoinQuery, QualifiedAttr, SelectItem};
+pub use ast::{Conjunct, EmitStep, JoinQuery, QualifiedAttr, SelectItem, SelectStep};
+pub use compile::{compile_subjoin, compile_trigger, CompiledTrigger, SubJoinProgram};
 pub use error::QueryError;
-pub use fingerprint::{fingerprint, subjoin_signature, Fingerprint};
+pub use fingerprint::{fingerprint, subjoin_signature, subjoin_signature_eq, Fingerprint};
 pub use keys::{candidate_keys, tuple_index_keys, IndexKey, IndexLevel};
 pub use parser::parse_query;
 pub use rewrite::{resolve_select_items, rewrite, RewriteResult};

@@ -17,7 +17,7 @@
 use crate::ast::{Conjunct, JoinQuery, QualifiedAttr, SelectItem};
 use crate::window::{WindowKind, WindowSpec};
 use crate::QueryError;
-use rjoin_relation::Value;
+use rjoin_relation::{Name, Value};
 
 #[derive(Debug, Clone, PartialEq)]
 enum Token {
@@ -182,7 +182,10 @@ impl<'a> Parser<'a> {
                 if *self.peek() == Token::Dot {
                     self.advance();
                     let attribute = self.expect_ident()?;
-                    Ok(Operand::Attr(QualifiedAttr { relation, attribute }))
+                    Ok(Operand::Attr(QualifiedAttr {
+                        relation: relation.into(),
+                        attribute: attribute.into(),
+                    }))
                 } else {
                     Err(self.error(format!(
                         "expected `.` after `{relation}` (attributes must be qualified as Relation.Attribute)"
@@ -216,10 +219,10 @@ impl<'a> Parser<'a> {
         Ok((distinct, items))
     }
 
-    fn parse_rel_list(&mut self) -> Result<Vec<String>, QueryError> {
+    fn parse_rel_list(&mut self) -> Result<Vec<Name>, QueryError> {
         let mut rels = Vec::new();
         loop {
-            rels.push(self.expect_ident()?);
+            rels.push(self.expect_ident()?.into());
             if *self.peek() == Token::Comma {
                 self.advance();
             } else {

@@ -13,7 +13,7 @@
 
 use crate::ast::{Conjunct, JoinQuery, SelectItem};
 use crate::QueryError;
-use rjoin_relation::{Schema, Tuple, Value};
+use rjoin_relation::{Name, Schema, Tuple, Value};
 
 /// Result of rewriting a query with an incoming tuple.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,8 +44,10 @@ fn tuple_value<'t>(
     let idx = schema.index_of(attribute).ok_or_else(|| QueryError::UnknownAttribute {
         attr: crate::ast::QualifiedAttr::new(tuple.relation(), attribute),
     })?;
-    tuple.value(idx).ok_or_else(|| QueryError::UnknownAttribute {
+    tuple.value(idx).ok_or_else(|| QueryError::ArityMismatch {
         attr: crate::ast::QualifiedAttr::new(tuple.relation(), attribute),
+        index: idx,
+        arity: tuple.arity(),
     })
 }
 
@@ -118,7 +120,7 @@ pub fn rewrite(
     let new_select = resolve_select_items(query.select(), tuple, schema)?;
 
     // Drop the relation from the FROM list.
-    let new_relations: Vec<String> =
+    let new_relations: Vec<Name> =
         query.relations().iter().filter(|r| r.as_str() != relation).cloned().collect();
 
     let rewritten = JoinQuery::from_parts_unchecked(
@@ -132,12 +134,31 @@ pub fn rewrite(
     if rewritten.is_complete() {
         match rewritten.answer_row() {
             Some(row) => Ok(RewriteResult::Complete(row)),
-            // Complete WHERE clause but unresolved SELECT items can only
-            // happen for queries that select attributes of relations absent
-            // from the (original) WHERE clause; the constructor prevents
-            // that, so treat it as partial work that can never finish.
-            None => Ok(RewriteResult::Partial(rewritten)),
+            // Complete WHERE clause but unresolved SELECT items: the query
+            // selects an attribute of a relation that is no longer (or was
+            // never) in FROM, so it can never produce its answer row. The
+            // constructor prevents this; only unchecked construction can
+            // reach it. Returning `Partial` here would store an empty-FROM
+            // query forever — report the caller bug instead.
+            None => {
+                let attr = rewritten
+                    .select()
+                    .iter()
+                    .find_map(|item| match item {
+                        SelectItem::Attr(a) => Some(a.clone()),
+                        SelectItem::Const(_) => None,
+                    })
+                    .expect("answer_row is None only when an Attr item remains");
+                Err(QueryError::UnresolvedSelect { attr })
+            }
         }
+    } else if rewritten.relations().is_empty() {
+        // Conjuncts survived the rewrite but no relation remains to resolve
+        // them: the source query carried residue over a relation absent from
+        // its FROM list (orphaned residue from unchecked construction). Such
+        // a query can never complete; reject it instead of storing it.
+        let attr = rewritten.conjuncts()[0].attrs()[0].clone();
+        Err(QueryError::UnknownQueryRelation { attr })
     } else {
         Ok(RewriteResult::Partial(rewritten))
     }
@@ -363,6 +384,65 @@ mod tests {
                 SelectItem::Attr(crate::ast::QualifiedAttr::new("S", "A")),
                 SelectItem::Const(Value::from(42)),
             ]
+        );
+    }
+
+    /// Regression: a bad attribute name and an arity-short tuple used to
+    /// both map to `UnknownAttribute`. They are different bugs (schema typo
+    /// vs malformed tuple) and must stay distinguishable.
+    #[test]
+    fn short_tuple_is_an_arity_mismatch_not_unknown_attribute() {
+        let q = parse_query("SELECT S.B FROM S, R WHERE S.C = R.A").unwrap();
+        // `S.C` exists in the schema, but the tuple only carries two values.
+        let short = Tuple::new("S", vec![Value::from(1), Value::from(2)], 0);
+        let err = rewrite(&q, &short, &schema("S")).unwrap_err();
+        assert_eq!(
+            err,
+            QueryError::ArityMismatch {
+                attr: crate::ast::QualifiedAttr::new("S", "C"),
+                index: 2,
+                arity: 2,
+            }
+        );
+    }
+
+    /// Regression: a complete WHERE clause with unresolved SELECT items used
+    /// to come back as `Partial` — an empty-FROM query that can never finish
+    /// and would be stored forever. It is a caller bug and must be an error.
+    #[test]
+    fn complete_where_with_unresolved_select_is_an_error() {
+        // Only unchecked construction can produce a SELECT over a relation
+        // absent from FROM.
+        let q = JoinQuery::from_parts_unchecked(
+            false,
+            vec![SelectItem::Attr(crate::ast::QualifiedAttr::new("S", "B"))],
+            vec!["R".into()],
+            vec![],
+            crate::WindowSpec::None,
+        );
+        let err = rewrite(&q, &tuple("R", [1, 2, 3]), &schema("R")).unwrap_err();
+        assert_eq!(
+            err,
+            QueryError::UnresolvedSelect { attr: crate::ast::QualifiedAttr::new("S", "B") }
+        );
+    }
+
+    /// Orphaned residue: a conjunct over a relation absent from FROM can
+    /// never be resolved once the FROM list empties. `rewrite` must reject
+    /// it rather than emit an empty-FROM partial query.
+    #[test]
+    fn orphaned_residue_with_empty_from_is_an_error() {
+        let q = JoinQuery::from_parts_unchecked(
+            false,
+            vec![SelectItem::Const(Value::from(1))],
+            vec!["R".into()],
+            vec![Conjunct::ConstEq(crate::ast::QualifiedAttr::new("Z", "A"), Value::from(5))],
+            crate::WindowSpec::None,
+        );
+        let err = rewrite(&q, &tuple("R", [1, 2, 3]), &schema("R")).unwrap_err();
+        assert_eq!(
+            err,
+            QueryError::UnknownQueryRelation { attr: crate::ast::QualifiedAttr::new("Z", "A") }
         );
     }
 

@@ -30,12 +30,14 @@
 
 mod catalog;
 mod error;
+mod name;
 mod schema;
 mod tuple;
 mod value;
 
 pub use catalog::Catalog;
 pub use error::RelationError;
+pub use name::Name;
 pub use schema::{AttrIndex, Schema};
 pub use tuple::Tuple;
 pub use value::Value;

@@ -1,6 +1,6 @@
 //! Relation schemas.
 
-use crate::RelationError;
+use crate::{Name, RelationError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
@@ -15,8 +15,8 @@ pub type AttrIndex = usize;
 /// [`Arc`]) because every tuple and query in the simulation refers to them.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Schema {
-    relation: String,
-    attributes: Arc<Vec<String>>,
+    relation: Name,
+    attributes: Arc<Vec<Name>>,
 }
 
 fn valid_identifier(name: &str) -> bool {
@@ -33,26 +33,26 @@ impl Schema {
     /// repeated.
     pub fn new<R, I, A>(relation: R, attributes: I) -> Result<Self, RelationError>
     where
-        R: Into<String>,
+        R: Into<Name>,
         I: IntoIterator<Item = A>,
-        A: Into<String>,
+        A: Into<Name>,
     {
         let relation = relation.into();
         if !valid_identifier(&relation) {
-            return Err(RelationError::InvalidIdentifier { name: relation });
+            return Err(RelationError::InvalidIdentifier { name: relation.to_string() });
         }
-        let attributes: Vec<String> = attributes.into_iter().map(Into::into).collect();
+        let attributes: Vec<Name> = attributes.into_iter().map(Into::into).collect();
         if attributes.is_empty() {
-            return Err(RelationError::EmptySchema { relation });
+            return Err(RelationError::EmptySchema { relation: relation.to_string() });
         }
         for (i, attr) in attributes.iter().enumerate() {
             if !valid_identifier(attr) {
-                return Err(RelationError::InvalidIdentifier { name: attr.clone() });
+                return Err(RelationError::InvalidIdentifier { name: attr.to_string() });
             }
             if attributes[..i].contains(attr) {
                 return Err(RelationError::DuplicateAttribute {
-                    relation,
-                    attribute: attr.clone(),
+                    relation: relation.to_string(),
+                    attribute: attr.to_string(),
                 });
             }
         }
@@ -70,13 +70,23 @@ impl Schema {
     }
 
     /// The ordered attribute names.
-    pub fn attributes(&self) -> &[String] {
+    pub fn attributes(&self) -> &[Name] {
         &self.attributes
     }
 
     /// Name of the attribute at `index`, if it exists.
     pub fn attribute(&self, index: AttrIndex) -> Option<&str> {
-        self.attributes.get(index).map(String::as_str)
+        self.attributes.get(index).map(Name::as_str)
+    }
+
+    /// Name of the attribute at `index` as a cheaply clonable [`Name`].
+    pub fn attribute_name(&self, index: AttrIndex) -> Option<&Name> {
+        self.attributes.get(index)
+    }
+
+    /// The relation name as a cheaply clonable [`Name`].
+    pub fn relation_name(&self) -> &Name {
+        &self.relation
     }
 
     /// Position of the attribute named `name`, if it exists.
@@ -87,7 +97,7 @@ impl Schema {
     /// Returns an error if `name` is not an attribute of this schema.
     pub fn require_attribute(&self, name: &str) -> Result<AttrIndex, RelationError> {
         self.index_of(name).ok_or_else(|| RelationError::UnknownAttribute {
-            relation: self.relation.clone(),
+            relation: self.relation.to_string(),
             attribute: name.to_string(),
         })
     }

@@ -1,6 +1,6 @@
 //! Published tuples.
 
-use crate::{Timestamp, Value};
+use crate::{Name, Timestamp, Value};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
@@ -17,19 +17,24 @@ use std::sync::Arc;
 /// (Procedure 1 in the paper) does not copy the payload 2k times.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Tuple {
-    relation: String,
+    relation: Name,
     values: Arc<Vec<Value>>,
     pub_time: Timestamp,
 }
 
 impl Tuple {
     /// Creates a new tuple of `relation` published at `pub_time`.
-    pub fn new<R: Into<String>>(relation: R, values: Vec<Value>, pub_time: Timestamp) -> Self {
+    pub fn new<R: Into<Name>>(relation: R, values: Vec<Value>, pub_time: Timestamp) -> Self {
         Tuple { relation: relation.into(), values: Arc::new(values), pub_time }
     }
 
     /// The relation this tuple belongs to.
     pub fn relation(&self) -> &str {
+        &self.relation
+    }
+
+    /// The relation name as a cheaply clonable [`Name`].
+    pub fn relation_name(&self) -> &Name {
         &self.relation
     }
 

@@ -38,9 +38,24 @@ impl Value {
     /// (`RelationName + AttributeName + Value` concatenation, Section 3 of
     /// the paper). Distinct values must map to distinct strings.
     pub fn key_fragment(&self) -> String {
+        let mut out = String::new();
+        self.write_key_fragment(&mut out);
+        out
+    }
+
+    /// Appends the canonical key fragment to `out` — the allocation-free
+    /// core of [`Value::key_fragment`] for callers that assemble full index
+    /// keys into a reused buffer.
+    pub fn write_key_fragment(&self, out: &mut String) {
+        use std::fmt::Write;
         match self {
-            Value::Int(v) => format!("i:{v}"),
-            Value::Str(s) => format!("s:{s}"),
+            Value::Int(v) => {
+                let _ = write!(out, "i:{v}");
+            }
+            Value::Str(s) => {
+                out.push_str("s:");
+                out.push_str(s);
+            }
         }
     }
 }

@@ -72,8 +72,8 @@ impl QueryGenerator {
         let mut relation_indices: Vec<usize> = (0..relation_count).collect();
         relation_indices.shuffle(&mut self.rng);
         relation_indices.truncate(self.joins + 1);
-        let relations: Vec<String> =
-            relation_indices.iter().map(|&i| self.schema.relation_name(i)).collect();
+        let relations: Vec<rjoin_relation::Name> =
+            relation_indices.iter().map(|&i| self.schema.relation_name(i).into()).collect();
 
         // Chain conjuncts between consecutive relations.
         let mut conjuncts = Vec::with_capacity(self.joins);
