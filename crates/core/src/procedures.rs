@@ -444,17 +444,21 @@ fn handle_query_arrival(
     let mut stored = StoredQuery::new(pending, key.clone(), level);
     let mut actions = Vec::new();
 
-    // Cloning the bucket clones `Arc` handles, not tuple payloads.
-    let mut already_here: Vec<Arc<Tuple>> =
-        state.stored_tuples.get(&ring).cloned().unwrap_or_default();
-    if ctx.config.altt_delta.is_some() {
-        already_here.extend(state.altt_matching(ring, ctx.now, stored.pending.min_insert_time()));
-    }
+    // ALTT matches are collected first (pruning expired entries needs
+    // `&mut`); the value-level bucket is then walked in place by shared
+    // reference, so the arrival allocates nothing per stored tuple.
+    let retained: Vec<Arc<Tuple>> = if ctx.config.altt_delta.is_some() {
+        state.altt_matching(ring, ctx.now, stored.pending.min_insert_time())
+    } else {
+        Vec::new()
+    };
 
     let programs = Arc::clone(&state.programs);
     let counters = &mut state.compile;
+    let sharing = &mut state.sharing;
+    let stored_here = state.stored_tuples.get(&ring).map(Vec::as_slice).unwrap_or_default();
     let walk = Instant::now();
-    for tuple in &already_here {
+    for tuple in stored_here.iter().chain(retained.iter()) {
         // Stored tuples under one ring key can come from different
         // relations, so the schema lookup cannot be hoisted out of the
         // loop the way the tuple-delivery walk hoists it.
@@ -480,7 +484,7 @@ fn handle_query_arrival(
             },
         );
         if let TriggerOutcome::Triggered(mut produced) = outcome {
-            record_sharing(&mut state.sharing, stored.pending.id, &produced);
+            record_sharing(sharing, stored.pending.id, &produced);
             actions.append(&mut produced);
         }
         // A stored tuple outside the window simply does not trigger; the
