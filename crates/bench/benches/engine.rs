@@ -147,12 +147,53 @@ fn bench_compiled_predicates(c: &mut Criterion) {
     group.finish();
 }
 
+/// The long-horizon `scale` workload — a reduced cut of
+/// [`Scenario::scale_test`], in lockstep with `bench_json` so the JSON
+/// numbers stay comparable: thousands of overlapping windowed queries
+/// (50 per shared sub-join pattern) over a publication horizon of ~125
+/// window-lengths, with sharing and the ALTT on so all three state
+/// families carry expiry pressure.
+fn run_scale(config: EngineConfig) -> u64 {
+    let scenario = Scenario { nodes: 256, queries: 2_000, tuples: 8_000, ..Scenario::scale_test() };
+    let catalog = scenario.workload_schema().build_catalog();
+    let mut engine = RJoinEngine::new(config, catalog, scenario.nodes);
+    let origins: Vec<_> = engine.node_ids().to_vec();
+    for (i, q) in
+        scenario.generate_overlapping_queries(scenario.queries / 50).into_iter().enumerate()
+    {
+        engine.submit_query(origins[i % origins.len()], q).unwrap();
+    }
+    engine.run_until_quiescent().unwrap();
+    for (i, t) in scenario.generate_tuples(engine.now() + 1).into_iter().enumerate() {
+        engine.publish_tuple(origins[i % origins.len()], t).unwrap();
+    }
+    engine.run_until_quiescent().unwrap();
+    engine.total_qpl()
+}
+
+/// Timer-wheel expiry (`engine`, the default) versus the contact-sweep
+/// oracle (`sweep`) on the scale workload. Both modes answer identically;
+/// the delta is the price of O(active) *memory* — sweep mode reclaims only
+/// on contact, so state at rings the workload stops touching survives the
+/// whole horizon (~70× the wheel's live stored-query count on this cut),
+/// while the wheel pays a per-delivery advance plus a pop per deadline to
+/// keep peak state proportional to what can still trigger.
+fn bench_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale");
+    group.sample_size(10);
+    let config = || EngineConfig::default().with_shared_subjoins().with_altt(256);
+    group.bench_function("engine", |b| b.iter(|| run_scale(config())));
+    group.bench_function("sweep", |b| b.iter(|| run_scale(config().with_wheel_expiry(false))));
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_placement_strategies,
     bench_ric_reuse_ablation,
     bench_window_sizes,
     bench_sharding_runtime,
-    bench_compiled_predicates
+    bench_compiled_predicates,
+    bench_scale
 );
 criterion_main!(benches);

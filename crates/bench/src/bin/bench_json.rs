@@ -3,7 +3,7 @@
 //! track the performance trajectory across PRs.
 //!
 //! Usage: `cargo run --release -p rjoin-bench --bin bench_json -- [OUT.json]`
-//! (default output path `BENCH_6.json`). Environment variables:
+//! (default output path `BENCH_7.json`). Environment variables:
 //!
 //! * `BENCH_JSON_ITERS` — per-benchmark iteration count (default 5; CI uses
 //!   a small count — the point is trajectory, not statistics);
@@ -77,6 +77,36 @@ fn run_overlap(config: EngineConfig, scenario: &Scenario) -> u64 {
     drive(&mut engine, scenario.generate_overlapping_queries(OVERLAP_PATTERNS), scenario)
 }
 
+/// A reduced cut of [`Scenario::scale_test`] sized for bench iteration:
+/// the same long-horizon shape (sliding windows, publication times spanning
+/// ~125 window-lengths), small enough to iterate in seconds. The full-size
+/// scenario is exercised by the `scale_smoke` example and the CI smoke step.
+fn scale_scenario() -> Scenario {
+    Scenario { nodes: 256, queries: 2_000, tuples: 8_000, ..Scenario::scale_test() }
+}
+
+/// Engine configuration of the `scale` group: sharing and the ALTT are on,
+/// so all three state families (stored queries, value tuples, ALTT buckets)
+/// carry load and expiry pressure.
+fn scale_config() -> EngineConfig {
+    EngineConfig::default().with_shared_subjoins().with_altt(256)
+}
+
+/// Queries per shared sub-join pattern in the scale workload. The scale
+/// regime is a *multi-query* population (Dossinger/Michel): thousands of
+/// standing queries over a few hundred distinct structures. Without the
+/// overlap every tuple would trigger every standing query at its ring —
+/// O(tuples × queries) rewrites, which no storage layout can absorb.
+const SCALE_OVERLAP: usize = 50;
+
+fn run_scale(config: EngineConfig) -> u64 {
+    let scenario = scale_scenario();
+    let catalog = scenario.workload_schema().build_catalog();
+    let mut engine = RJoinEngine::new(config, catalog, scenario.nodes);
+    let queries = scenario.generate_overlapping_queries(scenario.queries / SCALE_OVERLAP);
+    drive(&mut engine, queries, &scenario)
+}
+
 /// Heavy-hitter threshold / partition count of the `skew` group's split
 /// leg (the values the split-vs-unsplit oracle suite uses).
 const SKEW_THRESHOLD: u64 = 12;
@@ -129,7 +159,7 @@ fn measure(group: &str, bench: &str, iters: u64, mut f: impl FnMut() -> u64) -> 
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_6.json".to_string());
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_7.json".to_string());
     let iters: u64 =
         std::env::var("BENCH_JSON_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(5);
     // Optional group filter: `BENCH_JSON_GROUPS=sharding_runtime,skew`.
@@ -206,6 +236,17 @@ fn main() {
             run_overlap(EngineConfig::default(), &scenario)
         }));
     }
+    // The long-horizon scale workload: sliding windows over a publication
+    // horizon of ~125 window-lengths, sharing and ALTT on. `engine` is the
+    // default (timer-wheel) expiry path; `sweep` is the contact-sweep
+    // oracle — answer-identical, but reclaiming only on contact, so its
+    // stored state grows with the horizon while the wheel's stays O(active).
+    if want("scale") {
+        results.push(measure("scale", "engine", iters, || run_scale(scale_config())));
+        results.push(measure("scale", "sweep", iters, || {
+            run_scale(scale_config().with_wheel_expiry(false))
+        }));
+    }
     // Hot-key splitting on the point-mass skew workload: the `split` leg
     // pays tuple routing, query fan-out and activation migration; the
     // answer stream is identical (oracle-checked in the split suite).
@@ -223,9 +264,9 @@ fn main() {
     }
 
     let report = BenchReport {
-        // v5 adds the `compiled` group (flat predicate programs vs the
-        // rewrite interpreter on the overlapping workload).
-        schema_version: 5,
+        // v6 adds the `scale` group (the long-horizon windowed workload:
+        // timer-wheel expiry vs the contact-sweep oracle).
+        schema_version: 6,
         nodes: scenario.nodes,
         queries: scenario.queries,
         tuples: scenario.tuples,

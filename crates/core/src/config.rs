@@ -48,9 +48,11 @@ pub struct EngineConfig {
     /// described at the end of Section 7. `None` disables expiry.
     pub ct_validity: Option<SimTime>,
     /// Retention time Δ of the attribute-level tuple table (ALTT,
-    /// Section 4). `None` disables the ALTT, i.e. tuples received at the
-    /// attribute level are used to trigger stored queries and then
-    /// discarded, as in the base algorithm.
+    /// Section 4): a retained tuple stays matchable until Δ ticks past its
+    /// *publication* time, so a query delivered at tick `a` sees exactly the
+    /// recently published tuples with `pub + Δ >= a`. `None` disables the
+    /// ALTT, i.e. tuples received at the attribute level are used to trigger
+    /// stored queries and then discarded, as in the base algorithm.
     pub altt_delta: Option<SimTime>,
     /// When `true`, rewritten queries are only indexed under value-level
     /// keys, as in the base algorithm of Section 3. This guarantees that a
@@ -121,6 +123,20 @@ pub struct EngineConfig {
     /// differential tests compare against. Both paths produce byte-identical
     /// answers.
     pub compiled_predicates: bool,
+    /// When `true` (the default), each node indexes every windowed stored
+    /// query and ALTT entry by its deadline on a per-node timer wheel, and
+    /// the drivers pop expired entries as the clock crosses their deadline —
+    /// O(expired) reclamation, independent of how much state is stored.
+    /// When `false`, dead state is only reclaimed when a later arrival walks
+    /// the bucket it sits in (the legacy contact-driven sweep, retained as a
+    /// differential oracle). Answer streams are identical either way —
+    /// wheel deadlines are provably past the last tick at which an entry
+    /// could still trigger, **provided tuples enter the network at their
+    /// publication time** (`pub_time >= engine clock` when published, which
+    /// is how every driver in this workspace publishes). A publisher that
+    /// back-dates tuples behind the clock stretches delivery lag beyond the
+    /// delay bound the deadlines account for and should run in sweep mode.
+    pub wheel_expiry: bool,
 }
 
 impl Default for EngineConfig {
@@ -141,6 +157,7 @@ impl Default for EngineConfig {
             hot_key_threshold: None,
             hot_key_partitions: 8,
             compiled_predicates: true,
+            wheel_expiry: true,
         }
     }
 }
@@ -227,6 +244,16 @@ impl EngineConfig {
         self
     }
 
+    /// Selects the expiry machinery: `true` (the default) pops expired
+    /// windowed queries and ALTT entries from each node's timer wheel at
+    /// their deadline, `false` leaves dead state in place until a bucket
+    /// walk contacts it (the legacy sweep, retained as the oracle for
+    /// differential tests and the `scale/sweep` bench ablation).
+    pub fn with_wheel_expiry(mut self, wheel: bool) -> Self {
+        self.wheel_expiry = wheel;
+        self
+    }
+
     /// Enables hot-key splitting: a key observed to receive at least
     /// `threshold` tuples per RIC window is split into `partitions`
     /// deterministic sub-keys — tuples route to exactly one sub-key,
@@ -261,6 +288,8 @@ mod tests {
         assert!(c.hot_key_threshold.is_none(), "splitting is opt-in: the default is the paper");
         assert!(c.compiled_predicates, "compiled predicate programs are the default hot path");
         assert!(!EngineConfig::default().with_compiled_predicates(false).compiled_predicates);
+        assert!(c.wheel_expiry, "timer-wheel expiry is the default");
+        assert!(!EngineConfig::default().with_wheel_expiry(false).wheel_expiry);
     }
 
     #[test]

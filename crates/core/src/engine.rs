@@ -17,6 +17,7 @@ use rand::SeedableRng;
 use rjoin_dht::{HashedKey, Id, RingBuildHasher};
 use rjoin_metrics::{
     CompileCounters, Distribution, LoadMap, ShardRuntimeStats, SharingCounters, SplitCounters,
+    StateCounters,
 };
 use rjoin_net::{Delivery, Network, NetworkConfig, SimTime, TrafficStats, Transport};
 use rjoin_query::{candidate_keys, tuple_index_keys, IndexKey, IndexLevel, JoinQuery};
@@ -100,6 +101,11 @@ pub(crate) fn handle_node_msg(
     node: Id,
     msg: RJoinMessage,
 ) -> TickEffect {
+    // Pop expired state before the message is handled. The target is the
+    // delivery tick `at`, never the clock: a sharded handler's clock can run
+    // ahead of `at`, and a deadline is only provably unobservable for
+    // deliveries strictly after it.
+    state.advance_expiry(at);
     let ctx = ProcCtx { catalog, config, now, at };
     let (load, actions) = match msg {
         RJoinMessage::NewTuple { tuple, key, level, .. } => {
@@ -188,6 +194,7 @@ impl RJoinEngine {
             .map(|id| {
                 let mut state = NodeState::new(*id);
                 state.share_programs(Arc::clone(&programs));
+                state.configure_expiry(config.wheel_expiry, config.network_delay);
                 (*id, state)
             })
             .collect();
@@ -534,6 +541,7 @@ impl RJoinEngine {
         self.network.dht_mut().full_stabilize();
         let mut state = NodeState::new(id);
         state.share_programs(Arc::clone(&self.programs));
+        state.configure_expiry(self.config.wheel_expiry, self.config.network_delay);
         self.nodes.insert(id, state);
         self.node_ids.push(id);
         self.rehome_misplaced_state()?;
@@ -677,7 +685,34 @@ impl RJoinEngine {
             processed += batch.len() as u64;
             self.process_batch(batch, parallel)?;
         }
+        self.flush_expiry();
         Ok(processed)
+    }
+
+    /// Advances every node's timer wheel to the quiescent clock, so state
+    /// snapshots taken between drains (stats, stored-query counts) reflect
+    /// expiry up to now even on nodes the drained tick never delivered to.
+    /// Safe at quiescence: the clock is monotonic, so no delivery at or
+    /// before the current tick can still arrive.
+    pub(crate) fn flush_expiry(&mut self) {
+        let now = self.network.now();
+        for state in self.nodes.values_mut() {
+            state.advance_expiry(now);
+        }
+    }
+
+    /// Removes every expired stored query and ALTT entry across all nodes,
+    /// regardless of expiry mode: wheel-mode nodes advance to the current
+    /// clock (normally a no-op after a drain), sweep-mode nodes run the full
+    /// O(stored) scan the wheel replaces. Differential harnesses call this
+    /// on both engines before comparing stored-state counts; like churn it
+    /// requires a quiescent network.
+    pub fn gc_expired_state(&mut self) {
+        let now = self.network.now();
+        for state in self.nodes.values_mut() {
+            state.advance_expiry(now);
+            state.sweep_expired(now);
+        }
     }
 
     /// Processes one tick's deliveries: node-local phase (serial, or across
@@ -860,6 +895,17 @@ impl RJoinEngine {
         total
     }
 
+    /// Slab/wheel gauges and expiry counters summed across all live nodes:
+    /// live and peak slab occupancy per store, scheduled wheel entries, and
+    /// how many reclamations were wheel pops vs contact expirations.
+    pub fn state_counters(&self) -> StateCounters {
+        let mut total = StateCounters::new();
+        for state in self.nodes.values() {
+            total.merge(&state.state_counters());
+        }
+        total
+    }
+
     /// Total number of queries (input + rewritten) currently stored across
     /// all live nodes. A shared entry counts once regardless of how many
     /// subscribers ride on it — this is the stored-query load that sharing
@@ -922,6 +968,7 @@ impl RJoinEngine {
             key_heat: Distribution::from_values(self.qpl_by_key.values()),
             splits: self.split_counters,
             compile: self.compile_counters(),
+            state: self.state_counters(),
         }
     }
 

@@ -35,6 +35,19 @@
 //!   `2 × arity` keys; the payload travels as one shared `Arc<Tuple>` and
 //!   value-level stores/ALTT retain `Arc` handles, so publication performs a
 //!   single allocation regardless of arity.
+//! * **O(active) node state** — each node's stored queries, value-level
+//!   tuples and ALTT entries live in generational slabs with stable
+//!   handles (`slab` module), and every windowed query and ALTT entry is
+//!   additionally indexed by its deadline on a per-node hierarchical timer
+//!   wheel (`expiry` module). The drivers advance each node's wheel to the
+//!   delivery tick before handling a message, popping exactly the entries
+//!   whose window can no longer admit any future tuple — so expiry costs
+//!   O(popped), bucket walks only ever visit live entries, and removals
+//!   (expiry, churn drains) invalidate external references (wheel tokens,
+//!   sub-join registry slots) for free via the slab generation check
+//!   instead of rebuilding indexes. The legacy contact-driven sweep
+//!   remains available as a differential oracle via
+//!   [`EngineConfig::with_wheel_expiry`]`(false)`.
 //! * **Tick-batched delivery loop** — the network's event queue is a
 //!   constant-δ bucket queue ([`rjoin_net::Network::pop_tick`]); the engine
 //!   drains one tick at a time, runs the purely node-local Procedures 1–3
@@ -149,6 +162,7 @@ mod config;
 mod dedup;
 mod engine;
 mod error;
+mod expiry;
 mod messages;
 mod node_state;
 mod placement;
@@ -156,6 +170,7 @@ mod procedures;
 mod ric;
 mod shard_driver;
 mod shared;
+mod slab;
 pub mod split;
 mod stats;
 

@@ -1,14 +1,17 @@
 //! Per-node RJoin state.
 
 use crate::dedup::DedupFilter;
+use crate::expiry::TimerWheel;
 use crate::messages::{PendingQuery, RicInfo};
 use crate::shared::SubJoinRegistry;
+use crate::slab::{Handle, Slab};
 use crate::RicTracker;
 use rjoin_dht::{HashedKey, Id, RingMap};
-use rjoin_metrics::{CompileCounters, SharingCounters};
+use rjoin_metrics::{CompileCounters, SharingCounters, StateCounters};
 use rjoin_net::SimTime;
 use rjoin_query::{
     fingerprint, subjoin_signature_eq, CompiledTrigger, Fingerprint, IndexLevel, SubJoinProgram,
+    WindowSpec,
 };
 use rjoin_relation::{Timestamp, Tuple};
 use std::collections::VecDeque;
@@ -43,6 +46,61 @@ impl StoredQuery {
     }
 }
 
+/// One retained attribute-level tuple: its bucket's ring id (so a wheel pop
+/// can find the bucket), the shared payload and the retention deadline.
+#[derive(Debug, Clone)]
+pub(crate) struct AlttEntry {
+    pub(crate) ring: u64,
+    pub(crate) tuple: Arc<Tuple>,
+    pub(crate) expires_at: SimTime,
+}
+
+/// A deadline token on the node's timer wheel. Tokens carry slab handles,
+/// so a popped token whose entry was already removed (contact expiry,
+/// churn migration) fails the generation check and is skipped for free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum ExpiryToken {
+    /// A windowed stored query; pops when no future tuple can be inside its
+    /// window anymore.
+    Query(Handle),
+    /// An ALTT entry; pops when its retention Δ has elapsed.
+    Altt(Handle),
+}
+
+/// The last publication time a tuple may carry and still fall inside the
+/// window anchored at `start` — the wheel's expiry anchor. `None` for
+/// unwindowed queries (they never expire).
+pub(crate) fn last_window_pub(window: &WindowSpec, start: Timestamp) -> Option<Timestamp> {
+    match window {
+        WindowSpec::None => None,
+        // `within(start, p)` holds for p up to start + duration - 1.
+        WindowSpec::Sliding { duration, .. } => {
+            Some(start.saturating_add(duration.saturating_sub(1)))
+        }
+        // A tumbling window admits exactly `start`'s bucket: publications up
+        // to the bucket's last tick. Zero-length windows admit nothing; any
+        // deadline at or before `start` retires the dead entry promptly.
+        WindowSpec::Tumbling { duration, .. } => {
+            if *duration == 0 {
+                Some(start)
+            } else {
+                Some((start / duration + 1).saturating_mul(*duration).saturating_sub(1))
+            }
+        }
+    }
+}
+
+/// The wheel deadline of a stored query, if it can expire at all: the tick
+/// by which every tuple still able to trigger it has been delivered.
+/// Publication happens at `pub_time` and every message arrives within the
+/// network's delay bound, so `last admissible pub + 1 + slack` (slack = δ)
+/// is the first tick at which removal is provably unobservable.
+fn query_expiry_deadline(stored: &StoredQuery, slack: SimTime) -> Option<SimTime> {
+    let start = stored.pending.window_start?;
+    let last_pub = last_window_pub(stored.pending.query.window(), start)?;
+    Some(last_pub.saturating_add(1).saturating_add(slack))
+}
+
 /// Node-level cache of compiled `WHERE`-side programs, keyed by sub-join
 /// fingerprint (the same abstraction shared sub-join entries merge under).
 /// A fingerprint hit is a candidate only — entries confirm structural
@@ -66,6 +124,20 @@ pub struct RicEntry {
 /// tuples, the optional attribute-level tuple table (ALTT), the candidate
 /// table of cached RIC information, and the node's own RIC tracker.
 ///
+/// # O(active) storage layout
+///
+/// The three mutable tuple/query stores are **slab-backed**: entries live in
+/// per-node generational slabs (`crate::slab::Slab`) and the per-ring
+/// buckets hold stable `Handle`s. Removing one entry is O(1) in the slab
+/// plus O(bucket) to drop its handle — never O(all stored state): the
+/// sub-join registry points at handles (no positional re-registration when
+/// a bucket compacts) and the per-node **timer wheel** indexes every
+/// windowed query and ALTT entry by its deadline, so expiry pops exactly
+/// the dead entries instead of waiting for a walk to stumble over them.
+/// External references to removed entries (wheel tokens, registry slots)
+/// go stale atomically through the slab's generation counter and are
+/// skipped for free.
+///
 /// All tables are keyed by the 64-bit **ring identifier** of the index key
 /// (precomputed once in [`HashedKey`]), so the delivery hot path performs no
 /// string hashing or allocation. Storage counters are maintained
@@ -76,14 +148,35 @@ pub struct RicEntry {
 pub struct NodeState {
     /// The node's identifier.
     pub id: Id,
-    /// Queries stored at this node, grouped by the ring id of the key they
+    /// Slab of queries stored at this node.
+    pub(crate) queries: Slab<StoredQuery>,
+    /// Handles of stored queries, grouped by the ring id of the key they
     /// are indexed under.
-    pub(crate) stored_queries: RingMap<Vec<StoredQuery>>,
-    /// Value-level tuples stored at this node, grouped by index-key ring id.
-    pub(crate) stored_tuples: RingMap<Vec<Arc<Tuple>>>,
-    /// Attribute-level tuple table: tuples kept for Δ ticks so that input
-    /// queries delayed in the network do not miss them (Section 4).
-    pub(crate) altt: RingMap<VecDeque<(Arc<Tuple>, SimTime)>>,
+    pub(crate) stored_queries: RingMap<Vec<Handle>>,
+    /// Slab of value-level tuples stored at this node.
+    pub(crate) tuples: Slab<Arc<Tuple>>,
+    /// Handles of stored value-level tuples, grouped by index-key ring id.
+    pub(crate) stored_tuples: RingMap<Vec<Handle>>,
+    /// Slab of attribute-level tuple table entries: tuples kept for Δ ticks
+    /// so that input queries delayed in the network do not miss them
+    /// (Section 4).
+    pub(crate) altt_entries: Slab<AlttEntry>,
+    /// ALTT bucket order (insertion order per ring id, which is expiry
+    /// order — retention Δ is constant).
+    pub(crate) altt: RingMap<VecDeque<Handle>>,
+    /// The node's timer wheel: every windowed stored query and every ALTT
+    /// entry, indexed by the tick its removal becomes unobservable.
+    pub(crate) wheel: TimerWheel<ExpiryToken>,
+    /// Whether wheel-driven expiry is active (`false` runs the legacy
+    /// contact-sweep oracle: state is only reclaimed when a walk touches
+    /// it).
+    pub(crate) wheel_enabled: bool,
+    /// The network's delivery-delay bound δ: a tuple published at `p` can
+    /// arrive up to `p + slack`, so wheel deadlines are pushed out by it.
+    pub(crate) expiry_slack: SimTime,
+    /// Counters of the slab/wheel machinery (slab gauges are filled in at
+    /// snapshot time by [`state_counters`](Self::state_counters)).
+    pub(crate) state_counters: StateCounters,
     /// Candidate table: cached RIC information per candidate-key ring id.
     pub(crate) candidate_table: RingMap<RicEntry>,
     /// Tracker of tuple arrivals used to answer RIC requests.
@@ -119,6 +212,8 @@ pub struct NodeState {
     pub(crate) programs: Arc<Mutex<ProgramCache>>,
     /// Counters of the compiled-rewrite hot loop on this node.
     pub(crate) compile: CompileCounters,
+    /// Scratch buffer reused by [`advance_expiry`](Self::advance_expiry).
+    expiry_scratch: Vec<ExpiryToken>,
     /// Incremental count of stored queries (input + rewritten).
     query_count: usize,
     /// Incremental count of stored *rewritten* queries.
@@ -164,9 +259,16 @@ impl NodeState {
     pub fn new(id: Id) -> Self {
         NodeState {
             id,
+            queries: Slab::new(),
             stored_queries: RingMap::default(),
+            tuples: Slab::new(),
             stored_tuples: RingMap::default(),
+            altt_entries: Slab::new(),
             altt: RingMap::default(),
+            wheel: TimerWheel::new(),
+            wheel_enabled: true,
+            expiry_slack: 1,
+            state_counters: StateCounters::new(),
             candidate_table: RingMap::default(),
             ric: Arc::new(Mutex::new(RicTracker::new())),
             eval_ric: RicTracker::new(),
@@ -174,10 +276,18 @@ impl NodeState {
             sharing: SharingCounters::new(),
             programs: Arc::new(Mutex::new(ProgramCache::default())),
             compile: CompileCounters::new(),
+            expiry_scratch: Vec::new(),
             query_count: 0,
             rewritten_count: 0,
             tuple_count: 0,
         }
+    }
+
+    /// Selects the expiry mode and the deadline slack (the network's delay
+    /// bound δ). The engine calls this on every node it creates.
+    pub(crate) fn configure_expiry(&mut self, wheel: bool, slack: SimTime) {
+        self.wheel_enabled = wheel;
+        self.expiry_slack = slack;
     }
 
     /// Locked access to this node's RIC tracker.
@@ -214,18 +324,157 @@ impl NodeState {
         &self.compile
     }
 
+    /// Snapshot of this node's slab/wheel gauges and expiry counters.
+    pub fn state_counters(&self) -> StateCounters {
+        let mut counters = self.state_counters;
+        counters.query_slab_live = self.queries.len() as u64;
+        counters.query_slab_high_water = self.queries.high_water() as u64;
+        counters.tuple_slab_live = self.tuples.len() as u64;
+        counters.tuple_slab_high_water = self.tuples.high_water() as u64;
+        counters.altt_slab_live = self.altt_entries.len() as u64;
+        counters.altt_slab_high_water = self.altt_entries.high_water() as u64;
+        counters.wheel_scheduled = self.wheel.len() as u64;
+        counters
+    }
+
     /// Read access to this node's sub-join registry.
     pub fn subjoins(&self) -> &SubJoinRegistry {
         &self.subjoins
     }
 
+    /// Advances the node's timer wheel to `target` and removes every stored
+    /// query and ALTT entry whose deadline passed. Called by the drivers at
+    /// each delivery's tick (idempotent per tick) and once more at the end
+    /// of a drain; no-op in sweep mode.
+    ///
+    /// The target must never exceed the earliest tick of a delivery still
+    /// to be handled at this node: deadlines guarantee unobservability only
+    /// for deliveries strictly after them (which is why the drivers pass
+    /// the delivery tick `at`, not a clock that may run ahead of it).
+    pub(crate) fn advance_expiry(&mut self, target: SimTime) {
+        if !self.wheel_enabled || target <= self.wheel.now() {
+            return;
+        }
+        let mut due = std::mem::take(&mut self.expiry_scratch);
+        self.wheel.advance(target, &mut due);
+        for token in due.drain(..) {
+            match token {
+                ExpiryToken::Query(handle) => self.pop_expired_query(handle),
+                ExpiryToken::Altt(handle) => self.pop_expired_altt(handle),
+            }
+        }
+        self.expiry_scratch = due;
+    }
+
+    /// Applies one popped query deadline. A stale token (entry already
+    /// removed by contact expiry or churn migration) fails the slab's
+    /// generation check and costs nothing further.
+    fn pop_expired_query(&mut self, handle: Handle) {
+        let Some(expired) = self.queries.remove(handle) else { return };
+        let ring = expired.key.ring();
+        if let Some(bucket) = self.stored_queries.get_mut(&ring) {
+            if let Some(pos) = bucket.iter().position(|h| *h == handle) {
+                bucket.swap_remove(pos);
+            }
+            if bucket.is_empty() {
+                self.stored_queries.remove(&ring);
+            }
+        }
+        self.unregister_subjoin(ring, &expired, handle);
+        self.query_count -= 1;
+        if !expired.pending.is_input() {
+            self.rewritten_count -= 1;
+        }
+        self.state_counters.wheel_pops += 1;
+    }
+
+    /// Applies one popped ALTT deadline (stale tokens skipped as above).
+    fn pop_expired_altt(&mut self, handle: Handle) {
+        let Some(entry) = self.altt_entries.remove(handle) else { return };
+        if let Some(bucket) = self.altt.get_mut(&entry.ring) {
+            // Deadlines are monotonic per bucket and the wheel pops in
+            // deadline order, so the handle is at (or next to) the front.
+            if let Some(pos) = bucket.iter().position(|h| *h == handle) {
+                bucket.remove(pos);
+            }
+            if bucket.is_empty() {
+                self.altt.remove(&entry.ring);
+            }
+        }
+        self.state_counters.wheel_pops += 1;
+    }
+
+    /// Drops the registry slot of a removed entry, if it still points at it.
+    fn unregister_subjoin(&mut self, ring: u64, removed: &StoredQuery, handle: Handle) {
+        if let Some(fp) = removed.fingerprint {
+            let window = (
+                removed.pending.window_start,
+                removed.pending.window_min,
+                removed.pending.window_max,
+            );
+            self.subjoins.unregister(ring, fp, window, handle);
+        }
+    }
+
+    /// Removes every expired stored query and ALTT entry by scanning the
+    /// full tables — the O(stored) sweep the timer wheel replaces. Kept as
+    /// the sweep-mode garbage collector so differential harnesses can bring
+    /// a sweep-mode engine to the same post-expiry state a wheel-mode
+    /// engine maintains continuously (where it is a no-op after
+    /// [`advance_expiry`](Self::advance_expiry)).
+    pub(crate) fn sweep_expired(&mut self, now: SimTime) {
+        let rings: Vec<u64> = self.stored_queries.keys().copied().collect();
+        for ring in rings {
+            let mut bucket = self.stored_queries.remove(&ring).expect("ring collected above");
+            let mut idx = 0;
+            while idx < bucket.len() {
+                let handle = bucket[idx];
+                let expired = self
+                    .queries
+                    .get(handle)
+                    .and_then(|entry| query_expiry_deadline(entry, self.expiry_slack))
+                    .is_some_and(|deadline| deadline <= now);
+                if !expired {
+                    idx += 1;
+                    continue;
+                }
+                bucket.swap_remove(idx);
+                let removed = self.queries.remove(handle).expect("entry resolved above");
+                self.unregister_subjoin(ring, &removed, handle);
+                self.query_count -= 1;
+                if !removed.pending.is_input() {
+                    self.rewritten_count -= 1;
+                }
+            }
+            if !bucket.is_empty() {
+                self.stored_queries.insert(ring, bucket);
+            }
+        }
+        self.altt_gc(now);
+    }
+
     /// Stores a query under its key.
     pub fn store_query(&mut self, stored: StoredQuery) {
+        self.store_query_handle(stored);
+    }
+
+    fn store_query_handle(&mut self, stored: StoredQuery) -> Handle {
         self.query_count += 1;
         if !stored.pending.is_input() {
             self.rewritten_count += 1;
         }
-        self.stored_queries.entry(stored.key.ring()).or_default().push(stored);
+        let ring = stored.key.ring();
+        let deadline = if self.wheel_enabled {
+            query_expiry_deadline(&stored, self.expiry_slack)
+        } else {
+            None
+        };
+        let handle = self.queries.insert(stored);
+        self.stored_queries.entry(ring).or_default().push(handle);
+        if let Some(deadline) = deadline {
+            self.wheel.insert(deadline, ExpiryToken::Query(handle));
+        }
+        handle
     }
 
     /// Stores a query, merging it into a structurally identical entry when
@@ -248,10 +497,8 @@ impl NodeState {
         let fp = fingerprint(&stored.pending.query);
         let ws = stored.pending.window_start;
         let window = (ws, stored.pending.window_min, stored.pending.window_max);
-        if let Some(pos) = self.subjoins.candidate(ring, fp, window) {
-            if let Some(entry) =
-                self.stored_queries.get_mut(&ring).and_then(|bucket| bucket.get_mut(pos))
-            {
+        if let Some(handle) = self.subjoins.candidate(ring, fp, window) {
+            if let Some(entry) = self.queries.get_mut(handle) {
                 // A fingerprint hit is only a candidate: confirm structural
                 // equality so a hash collision can never corrupt answers.
                 // The full window state must match too — `window_start`
@@ -274,15 +521,14 @@ impl NodeState {
             }
         }
         stored.fingerprint = Some(fp);
-        let position = self.stored_queries.get(&ring).map_or(0, Vec::len);
-        self.subjoins.register(ring, fp, window, position);
-        self.store_query(stored);
+        let handle = self.store_query_handle(stored);
+        self.subjoins.register(ring, fp, window, handle);
         false
     }
 
     /// Debits the storage counters after queries were removed directly from
-    /// a bucket obtained via `stored_queries` (window-expiry sweeps in the
-    /// procedures).
+    /// a bucket obtained via `stored_queries` (window-expiry removals in the
+    /// procedures' trigger walks).
     pub(crate) fn debit_removed_queries(&mut self, total: usize, rewritten: usize) {
         self.query_count -= total;
         self.rewritten_count -= rewritten;
@@ -291,12 +537,37 @@ impl NodeState {
     /// Stores a value-level tuple under the key with ring id `key`.
     pub fn store_tuple(&mut self, key: u64, tuple: Arc<Tuple>) {
         self.tuple_count += 1;
-        self.stored_tuples.entry(key).or_default().push(tuple);
+        let handle = self.tuples.insert(tuple);
+        self.stored_tuples.entry(key).or_default().push(handle);
     }
 
     /// Inserts a tuple into the ALTT with the given expiry time.
     pub fn altt_insert(&mut self, key: u64, tuple: Arc<Tuple>, expires_at: SimTime) {
-        self.altt.entry(key).or_default().push_back((tuple, expires_at));
+        let handle = self.altt_entries.insert(AlttEntry { ring: key, tuple, expires_at });
+        self.altt.entry(key).or_default().push_back(handle);
+        if self.wheel_enabled {
+            // `expiry < now` is the removal rule: the first advance target
+            // past `expires_at` pops the entry, exactly when the legacy
+            // front-pop would have dropped it on contact.
+            self.wheel.insert(expires_at.saturating_add(1), ExpiryToken::Altt(handle));
+        }
+    }
+
+    /// Drops expired ALTT entries at the front of `key`'s bucket (entries
+    /// are in expiry order — retention Δ is constant). This is the legacy
+    /// contact-driven reclamation; under wheel expiry the same entries pop
+    /// at their deadline and this becomes a cheap no-op.
+    pub(crate) fn altt_prune(&mut self, key: u64, now: SimTime) {
+        let Some(entries) = self.altt.get_mut(&key) else { return };
+        while let Some(&handle) = entries.front() {
+            match self.altt_entries.get(handle) {
+                Some(entry) if entry.expires_at >= now => break,
+                _ => {
+                    entries.pop_front();
+                    self.altt_entries.remove(handle);
+                }
+            }
+        }
     }
 
     /// Drops expired ALTT entries for `key` and returns the tuples that are
@@ -307,29 +578,29 @@ impl NodeState {
         now: SimTime,
         min_pub_time: Timestamp,
     ) -> Vec<Arc<Tuple>> {
-        let Some(entries) = self.altt.get_mut(&key) else { return Vec::new() };
-        while let Some((_, expiry)) = entries.front() {
-            if *expiry < now {
-                entries.pop_front();
-            } else {
-                break;
-            }
-        }
+        self.altt_prune(key, now);
+        let Some(entries) = self.altt.get(&key) else { return Vec::new() };
         entries
             .iter()
-            .filter(|(t, _)| t.pub_time() >= min_pub_time)
-            .map(|(t, _)| Arc::clone(t))
+            .filter_map(|h| self.altt_entries.get(*h))
+            .filter(|e| e.tuple.pub_time() >= min_pub_time)
+            .map(|e| Arc::clone(&e.tuple))
             .collect()
     }
 
-    /// Garbage-collects every expired ALTT entry (called opportunistically).
+    /// Garbage-collects every expired ALTT entry by scanning all buckets
+    /// (the sweep-mode collector; a wheel-mode node reclaims the same
+    /// entries at their deadlines).
     pub fn altt_gc(&mut self, now: SimTime) {
+        let slab = &mut self.altt_entries;
         for entries in self.altt.values_mut() {
-            while let Some((_, expiry)) = entries.front() {
-                if *expiry < now {
-                    entries.pop_front();
-                } else {
-                    break;
+            while let Some(&handle) = entries.front() {
+                match slab.get(handle) {
+                    Some(entry) if entry.expires_at >= now => break,
+                    _ => {
+                        entries.pop_front();
+                        slab.remove(handle);
+                    }
                 }
             }
         }
@@ -383,25 +654,47 @@ impl NodeState {
     /// longer responsible for it after a membership change), adjusting the
     /// storage counters and the sub-join registry. The drained state is
     /// returned so the engine can hand it to the new owners.
+    ///
+    /// Wheel tokens of drained entries are left to lapse: the slab removal
+    /// bumps each entry's generation, so the tokens are skipped for free at
+    /// their deadline and can never touch the re-homed copies (which are
+    /// re-scheduled by their new node's [`absorb`](Self::absorb)).
     pub fn drain_misplaced(&mut self, mut keep: impl FnMut(u64) -> bool) -> DrainedState {
         let mut drained = DrainedState::default();
         let rings: Vec<u64> = self.stored_queries.keys().copied().filter(|r| !keep(*r)).collect();
         for ring in rings {
             let bucket = self.stored_queries.remove(&ring).expect("ring collected above");
-            let rewritten = bucket.iter().filter(|s| !s.pending.is_input()).count();
-            self.debit_removed_queries(bucket.len(), rewritten);
-            self.subjoins.forget_ring(ring);
-            drained.queries.extend(bucket);
+            for handle in bucket {
+                let stored = self.queries.remove(handle).expect("bucket handles are live");
+                self.unregister_subjoin(ring, &stored, handle);
+                self.query_count -= 1;
+                if !stored.pending.is_input() {
+                    self.rewritten_count -= 1;
+                }
+                drained.queries.push(stored);
+            }
         }
         let rings: Vec<u64> = self.stored_tuples.keys().copied().filter(|r| !keep(*r)).collect();
         for ring in rings {
             let bucket = self.stored_tuples.remove(&ring).expect("ring collected above");
-            self.tuple_count -= bucket.len();
-            drained.tuples.push((ring, bucket));
+            let tuples: Vec<Arc<Tuple>> = bucket
+                .into_iter()
+                .map(|h| self.tuples.remove(h).expect("bucket handles are live"))
+                .collect();
+            self.tuple_count -= tuples.len();
+            drained.tuples.push((ring, tuples));
         }
         let rings: Vec<u64> = self.altt.keys().copied().filter(|r| !keep(*r)).collect();
         for ring in rings {
-            drained.altt.push((ring, self.altt.remove(&ring).expect("ring collected above")));
+            let bucket = self.altt.remove(&ring).expect("ring collected above");
+            let entries: VecDeque<(Arc<Tuple>, SimTime)> = bucket
+                .into_iter()
+                .map(|h| {
+                    let e = self.altt_entries.remove(h).expect("bucket handles are live");
+                    (e.tuple, e.expires_at)
+                })
+                .collect();
+            drained.altt.push((ring, entries));
         }
         drained
     }
@@ -414,11 +707,12 @@ impl NodeState {
 
     /// Absorbs re-homed state from another node. Queries go through the
     /// shared path when `share` is enabled, so structurally identical
-    /// entries re-merge at their new home.
+    /// entries re-merge at their new home; every windowed query and ALTT
+    /// entry is re-scheduled on this node's wheel.
     pub fn absorb(&mut self, drained: DrainedState, share: bool) {
         for mut stored in drained.queries {
-            // The fingerprint slot is tied to the previous bucket position;
-            // the shared path recomputes and re-registers it here.
+            // The fingerprint slot is tied to the previous node's slab
+            // handle; the shared path recomputes and re-registers it here.
             stored.fingerprint = None;
             self.store_query_shared(stored, share);
         }
@@ -460,14 +754,17 @@ impl NodeState {
     /// incremental counters must always agree with a full scan).
     #[cfg(test)]
     fn recount(&self) -> (usize, usize, usize) {
-        let queries = self.stored_queries.values().map(Vec::len).sum();
-        let rewritten = self
-            .stored_queries
-            .values()
-            .flat_map(|v| v.iter())
-            .filter(|s| !s.pending.is_input())
-            .count();
+        let entries = || {
+            self.stored_queries
+                .values()
+                .flat_map(|v| v.iter())
+                .map(|h| self.queries.get(*h).expect("bucket handles are live"))
+        };
+        let queries = entries().count();
+        let rewritten = entries().filter(|s| !s.pending.is_input()).count();
         let tuples = self.stored_tuples.values().map(Vec::len).sum();
+        assert_eq!(queries, self.queries.len(), "bucket handles and slab agree");
+        assert_eq!(tuples, self.tuples.len(), "tuple handles and slab agree");
         (queries, rewritten, tuples)
     }
 }
@@ -535,9 +832,17 @@ mod tests {
         let k = key("S+A+i:5");
         state.store_query(StoredQuery::new(rewritten, k.clone(), IndexLevel::Value));
         state.store_query(StoredQuery::new(pending(false), k.clone(), IndexLevel::Value));
-        // Simulate the procedures' expiry sweep removing the rewritten one.
-        let bucket = state.stored_queries.get_mut(&k.ring()).unwrap();
-        bucket.retain(|s| s.pending.is_input());
+        // Simulate the procedures' expiry removal of the rewritten one: drop
+        // its handle from the bucket, its entry from the slab, then debit.
+        let handles = state.stored_queries.get(&k.ring()).unwrap().clone();
+        for handle in handles {
+            if !state.queries.get(handle).unwrap().pending.is_input() {
+                state.queries.remove(handle);
+                let bucket = state.stored_queries.get_mut(&k.ring()).unwrap();
+                let pos = bucket.iter().position(|h| *h == handle).unwrap();
+                bucket.swap_remove(pos);
+            }
+        }
         state.debit_removed_queries(1, 1);
 
         assert_eq!(state.stored_query_count(), 1);
@@ -579,9 +884,10 @@ mod tests {
         assert_eq!(state.stored_query_count(), 1);
         let bucket = state.stored_queries.get(&k.ring()).unwrap();
         assert_eq!(bucket.len(), 1);
-        assert_eq!(bucket[0].pending.subscriber_count(), 2);
-        assert_eq!(bucket[0].pending.min_insert_time(), 0);
-        assert_eq!(bucket[0].pending.extra_subscribers[0].insert_time, 5);
+        let entry = state.queries.get(bucket[0]).unwrap();
+        assert_eq!(entry.pending.subscriber_count(), 2);
+        assert_eq!(entry.pending.min_insert_time(), 0);
+        assert_eq!(entry.pending.extra_subscribers[0].insert_time, 5);
         assert_eq!(state.sharing().merged_queries, 1);
         assert_eq!(state.subjoins().len(), 1);
     }
@@ -726,6 +1032,7 @@ mod tests {
         // GC removes empty buckets.
         state.altt_gc(100);
         assert_eq!(state.altt_len(), 0);
+        assert_eq!(state.altt_entries.len(), 0, "slab reclaimed too");
     }
 
     #[test]
@@ -737,6 +1044,146 @@ mod tests {
         let matching = state.altt_matching(k, 10, 6);
         assert_eq!(matching.len(), 1);
         assert_eq!(matching[0].pub_time(), 9);
+    }
+
+    /// A rewritten query with a sliding window anchored at `start`
+    /// (`WINDOW SLIDING 8 TUPLES`, so `last_window_pub = start + 7` and the
+    /// wheel deadline is `start + 8 + slack`).
+    fn windowed_rewritten(owner: u64, start: u64) -> PendingQuery {
+        input_from(
+            owner,
+            0,
+            "SELECT R.B, J.A FROM R, S, J WHERE R.A = S.A AND S.B = J.B WINDOW SLIDING 8 TUPLES",
+        )
+        .child(
+            parse_query("SELECT 9, J.A FROM J WHERE J.B = 3 WINDOW SLIDING 8 TUPLES").unwrap(),
+            Some(start),
+        )
+    }
+
+    #[test]
+    fn wheel_pops_expired_windowed_queries() {
+        let mut state = NodeState::new(Id(7));
+        let k = key("J+B+i:3");
+        state.store_query_shared(
+            StoredQuery::new(windowed_rewritten(1, 10), k.clone(), IndexLevel::Value),
+            true,
+        );
+        assert_eq!(state.stored_query_count(), 1);
+        assert_eq!(state.subjoins().len(), 1);
+        // Deadline is 10 + 8 + 1 (slack): one tick earlier nothing pops.
+        state.advance_expiry(18);
+        assert_eq!(state.stored_query_count(), 1);
+        state.advance_expiry(19);
+        assert_eq!(state.stored_query_count(), 0);
+        assert_eq!(state.stored_rewritten_count(), 0);
+        assert_eq!(state.queries.len(), 0, "slab entry reclaimed");
+        assert!(!state.stored_queries.contains_key(&k.ring()), "empty bucket dropped");
+        assert_eq!(state.subjoins().len(), 0, "registry slot unregistered");
+        assert_eq!(state.state_counters().wheel_pops, 1);
+        assert_eq!(state.recount(), (0, 0, 0));
+    }
+
+    #[test]
+    fn wheel_pops_expired_altt_entries() {
+        let mut state = NodeState::new(Id(7));
+        let k = key("R+A").ring();
+        state.altt_insert(k, tuple(5), 10);
+        state.altt_insert(k, tuple(6), 20);
+        // `expiry < now` is the removal rule: at 10 both entries survive.
+        state.advance_expiry(10);
+        assert_eq!(state.altt_entries.len(), 2);
+        state.advance_expiry(11);
+        assert_eq!(state.altt_entries.len(), 1);
+        state.advance_expiry(21);
+        assert_eq!(state.altt_entries.len(), 0);
+        assert_eq!(state.altt_len(), 0, "empty bucket dropped");
+        assert_eq!(state.state_counters().wheel_pops, 2);
+    }
+
+    #[test]
+    fn stale_wheel_tokens_are_skipped() {
+        let mut state = NodeState::new(Id(7));
+        let k = key("J+B+i:3");
+        state.store_query(StoredQuery::new(
+            windowed_rewritten(1, 10),
+            k.clone(),
+            IndexLevel::Value,
+        ));
+        // Contact expiry got there first: the entry leaves through the
+        // bucket path, as the procedures' trigger walk would remove it.
+        let handle = state.stored_queries.get(&k.ring()).unwrap()[0];
+        state.queries.remove(handle);
+        state.stored_queries.remove(&k.ring());
+        state.debit_removed_queries(1, 1);
+        // The wheel still holds the token; popping it must be a no-op.
+        state.advance_expiry(100);
+        assert_eq!(state.stored_query_count(), 0);
+        assert_eq!(state.state_counters().wheel_pops, 0, "stale tokens do not count as pops");
+    }
+
+    #[test]
+    fn sweep_mode_matches_wheel_after_gc() {
+        let build = |wheel: bool| {
+            let mut state = NodeState::new(Id(7));
+            state.configure_expiry(wheel, 1);
+            let k = key("J+B+i:3");
+            state.store_query_shared(
+                StoredQuery::new(windowed_rewritten(1, 10), k.clone(), IndexLevel::Value),
+                true,
+            );
+            state.store_query_shared(
+                StoredQuery::new(windowed_rewritten(2, 40), k.clone(), IndexLevel::Value),
+                true,
+            );
+            state.altt_insert(k.ring(), tuple(5), 12);
+            state.altt_insert(k.ring(), tuple(6), 60);
+            // Advance + sweep: in wheel mode the sweep is a no-op after the
+            // advance; in sweep mode the sweep does all the work.
+            state.advance_expiry(30);
+            state.sweep_expired(30);
+            state
+        };
+        let wheel = build(true);
+        let sweep = build(false);
+        assert_eq!(wheel.stored_query_count(), 1);
+        assert_eq!(sweep.stored_query_count(), wheel.stored_query_count());
+        assert_eq!(sweep.stored_rewritten_count(), wheel.stored_rewritten_count());
+        assert_eq!(sweep.altt_entries.len(), wheel.altt_entries.len());
+        assert_eq!(wheel.state_counters().wheel_pops, 2, "one query + one ALTT entry popped");
+        assert_eq!(sweep.state_counters().wheel_pops, 0);
+        assert_eq!(sweep.state_counters().wheel_scheduled, 0, "sweep mode schedules nothing");
+    }
+
+    /// Churn re-homing through the slab: the donor's wheel tokens go stale
+    /// with the drain, and the receiver re-schedules the absorbed state on
+    /// its own wheel.
+    #[test]
+    fn absorbed_state_expires_on_the_receivers_wheel() {
+        let mut donor = NodeState::new(Id(1));
+        let k = key("J+B+i:3");
+        donor.store_query_shared(
+            StoredQuery::new(windowed_rewritten(1, 10), k.clone(), IndexLevel::Value),
+            true,
+        );
+        donor.altt_insert(k.ring(), tuple(5), 12);
+        let drained = donor.drain_misplaced(|_| false);
+        assert_eq!(donor.stored_query_count(), 0);
+
+        let mut receiver = NodeState::new(Id(2));
+        receiver.absorb(drained, true);
+        assert_eq!(receiver.stored_query_count(), 1);
+        assert_eq!(receiver.subjoins().len(), 1, "re-registered at the new home");
+        // The donor's wheel still holds tokens for the migrated entries;
+        // advancing it must not disturb anything (the slabs are empty).
+        donor.advance_expiry(1000);
+        assert_eq!(donor.state_counters().wheel_pops, 0);
+        // The receiver's wheel owns the deadlines now.
+        receiver.advance_expiry(1000);
+        assert_eq!(receiver.stored_query_count(), 0);
+        assert_eq!(receiver.altt_entries.len(), 0);
+        assert_eq!(receiver.subjoins().len(), 0);
+        assert_eq!(receiver.state_counters().wheel_pops, 2);
     }
 
     #[test]

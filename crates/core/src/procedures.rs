@@ -343,15 +343,24 @@ pub fn handle_new_tuple(
     // published tuples are catalog-validated, so a missing schema cannot
     // occur for tuples that entered through the engine.
     let schema = ctx.catalog.schema(tuple.relation());
+    // Disjoint field borrows: the walk resolves bucket handles against the
+    // query slab while expiry removals unregister their registry slot and
+    // the trigger path updates the compile counters, all in one pass.
     let stored_map = &mut state.stored_queries;
+    let queries = &mut state.queries;
+    let subjoins = &mut state.subjoins;
+    let state_counters = &mut state.state_counters;
     let programs = Arc::clone(&state.programs);
     let counters = &mut state.compile;
-    if let (Some(schema), Some(stored_list)) = (schema, stored_map.get_mut(&ring)) {
+    if let (Some(schema), Some(bucket)) = (schema, stored_map.get_mut(&ring)) {
         let walk = Instant::now();
         let mut idx = 0;
-        while idx < stored_list.len() {
+        while idx < bucket.len() {
+            let handle = bucket[idx];
+            let stored = queries.get_mut(handle).expect("bucket handles are live");
+            let primary = stored.pending.id;
             let outcome = try_trigger(
-                &mut stored_list[idx],
+                stored,
                 tuple.as_ref(),
                 schema,
                 ctx,
@@ -371,15 +380,25 @@ pub fn handle_new_tuple(
             );
             match outcome {
                 TriggerOutcome::Expired => {
-                    let expired = stored_list.swap_remove(idx);
+                    bucket.swap_remove(idx);
+                    let expired = queries.remove(handle).expect("resolved above");
                     removed += 1;
                     if !expired.pending.is_input() {
                         removed_rewritten += 1;
                     }
-                    // do not advance idx: swap_remove moved a new element here
+                    if let Some(fp) = expired.fingerprint {
+                        let window = (
+                            expired.pending.window_start,
+                            expired.pending.window_min,
+                            expired.pending.window_max,
+                        );
+                        subjoins.unregister(ring, fp, window, handle);
+                    }
+                    state_counters.contact_expirations += 1;
+                    // do not advance idx: swap_remove moved a new handle here
                 }
                 TriggerOutcome::Triggered(mut produced) => {
-                    sharing.push((stored_list[idx].pending.id, actions.len(), produced.len()));
+                    sharing.push((primary, actions.len(), produced.len()));
                     actions.append(&mut produced);
                     idx += 1;
                 }
@@ -389,16 +408,8 @@ pub fn handle_new_tuple(
             }
         }
         counters.eval_nanos += walk.elapsed().as_nanos() as u64;
-        if stored_list.is_empty() {
+        if bucket.is_empty() {
             stored_map.remove(&ring);
-            state.subjoins.forget_ring(ring);
-        } else if removed > 0 {
-            // `swap_remove` shuffled bucket positions: re-point the sub-join
-            // registry so future arrivals keep merging into live entries.
-            let (bucket, subjoins) = (&state.stored_queries, &mut state.subjoins);
-            if let Some(bucket) = bucket.get(&ring) {
-                subjoins.reindex_bucket(ring, bucket);
-            }
         }
     }
     if removed > 0 {
@@ -417,10 +428,14 @@ pub fn handle_new_tuple(
         }
         IndexLevel::Attribute => {
             // Attribute-level copies are normally discarded; with the ALTT
-            // extension (Section 4) they are retained for Δ ticks so delayed
-            // input queries cannot miss them.
+            // extension (Section 4) they are retained until Δ ticks past
+            // their publication so delayed input queries cannot miss them.
+            // Publication-anchored deadlines keep the table O(recent):
+            // anchoring at the handler clock instead would retain a burst-
+            // published backlog forever (the clock already sits at the last
+            // publication when the backlog drains).
             if let Some(delta) = ctx.config.altt_delta {
-                state.altt_insert(ring, Arc::clone(tuple), ctx.now + delta);
+                state.altt_insert(ring, Arc::clone(tuple), tuple.pub_time().saturating_add(delta));
             }
         }
     }
@@ -444,21 +459,38 @@ fn handle_query_arrival(
     let mut stored = StoredQuery::new(pending, key.clone(), level);
     let mut actions = Vec::new();
 
-    // ALTT matches are collected first (pruning expired entries needs
-    // `&mut`); the value-level bucket is then walked in place by shared
-    // reference, so the arrival allocates nothing per stored tuple.
-    let retained: Vec<Arc<Tuple>> = if ctx.config.altt_delta.is_some() {
-        state.altt_matching(ring, ctx.now, stored.pending.min_insert_time())
-    } else {
-        Vec::new()
-    };
+    if ctx.config.altt_delta.is_some() {
+        // Reclaim expired front entries before the walk (under wheel expiry
+        // they were already popped at their deadline and this is a no-op).
+        state.altt_prune(ring, ctx.at);
+    }
 
+    // Both walks run in place over slab handles by shared reference — the
+    // arrival allocates nothing per stored or retained tuple. The explicit
+    // `expires_at >= at` filter stays even under wheel expiry (physical
+    // removal timing must never decide an answer), and it is checked against
+    // the delivery tick, never the clock: the clock is driver-dependent (a
+    // burst publish parks it at the last publication; a sharded handler's
+    // local clock can run ahead of `at`), while the delivery tick is part of
+    // the deterministic message schedule.
     let programs = Arc::clone(&state.programs);
     let counters = &mut state.compile;
     let sharing = &mut state.sharing;
+    let tuples = &state.tuples;
     let stored_here = state.stored_tuples.get(&ring).map(Vec::as_slice).unwrap_or_default();
+    let min_insert = stored.pending.min_insert_time();
+    let retained = state
+        .altt
+        .get(&ring)
+        .filter(|_| ctx.config.altt_delta.is_some())
+        .into_iter()
+        .flatten()
+        .filter_map(|h| state.altt_entries.get(*h))
+        .filter(|e| e.expires_at >= ctx.at && e.tuple.pub_time() >= min_insert)
+        .map(|e| &e.tuple);
+    let value_tuples = stored_here.iter().filter_map(|h| tuples.get(*h));
     let walk = Instant::now();
-    for tuple in stored_here.iter().chain(retained.iter()) {
+    for tuple in value_tuples.chain(retained) {
         // Stored tuples under one ring key can come from different
         // relations, so the schema lookup cannot be hoisted out of the
         // loop the way the tuple-delivery walk hoists it.
@@ -1121,6 +1153,87 @@ mod tests {
         }
     }
 
+    /// Regression for the stale-slot-after-expiry path: when a contact
+    /// expiry removes one of several registered entries from a bucket, the
+    /// dying entry's registry slot must be unregistered (and only its own),
+    /// so a later twin of the survivor still merges and a twin of the
+    /// expired entry re-registers cleanly instead of resolving a dangling
+    /// reference. With positional slots this required revalidating every
+    /// slot on use; with slab handles the single `unregister` in the expiry
+    /// path is sufficient — which is exactly what this test pins.
+    #[test]
+    fn contact_expiry_unregisters_only_its_own_slot() {
+        let catalog = catalog();
+        let config = shared_config();
+        let mut state = NodeState::new(Id(1));
+        let key = IndexKey::value("J", "B", Value::from(3));
+        let rewritten = |owner: u64, start: u64| {
+            pending_from(
+                owner,
+                "SELECT R.B, J.A FROM R, S, J WHERE R.A = S.A AND S.B = J.B WINDOW SLIDING 8 TUPLES",
+                0,
+            )
+            .child(
+                parse_query(
+                    "SELECT 9, J.A FROM S, J WHERE S.A = 7 AND S.B = J.B WINDOW SLIDING 8 TUPLES",
+                )
+                .unwrap(),
+                Some(start),
+            )
+        };
+        // Two structurally identical entries with different window starts:
+        // they register two distinct slots under the same ring key.
+        handle_eval(
+            &mut state,
+            &ctx(&catalog, &config, 11),
+            rewritten(10, 10),
+            &key.hashed(),
+            key.level(),
+        );
+        handle_eval(
+            &mut state,
+            &ctx(&catalog, &config, 51),
+            rewritten(20, 50),
+            &key.hashed(),
+            key.level(),
+        );
+        assert_eq!(state.stored_query_count(), 2);
+        assert_eq!(state.subjoins().len(), 2);
+
+        // A tuple at 55 contact-expires the start-10 entry (|10-55|+1 > 8)
+        // while the start-50 entry stays within its window.
+        handle_new_tuple(
+            &mut state,
+            &ctx(&catalog, &config, 55),
+            &tuple("J", [1, 3, 0], 55),
+            &key.hashed(),
+            IndexLevel::Value,
+        );
+        assert_eq!(state.stored_query_count(), 1, "the start-10 entry expired by contact");
+        assert_eq!(state.subjoins().len(), 1, "the expired entry's slot was unregistered");
+
+        // A twin of the survivor still merges into it...
+        handle_eval(
+            &mut state,
+            &ctx(&catalog, &config, 56),
+            rewritten(30, 50),
+            &key.hashed(),
+            key.level(),
+        );
+        assert_eq!(state.stored_query_count(), 1, "the survivor's slot must still resolve");
+        assert_eq!(state.sharing().merged_queries, 1);
+        // ...and a twin of the expired entry re-registers a fresh slot.
+        handle_eval(
+            &mut state,
+            &ctx(&catalog, &config, 56),
+            rewritten(40, 10),
+            &key.hashed(),
+            key.level(),
+        );
+        assert_eq!(state.stored_query_count(), 2);
+        assert_eq!(state.subjoins().len(), 2);
+    }
+
     /// DISTINCT queries never share: their dedup projection depends on the
     /// SELECT list that sharing abstracts away.
     #[test]
@@ -1218,7 +1331,8 @@ mod tests {
             );
             assert_eq!(state.stored_query_count(), 1);
             for bucket in state.stored_queries.values() {
-                for stored in bucket {
+                for handle in bucket {
+                    let stored = state.queries.get(*handle).unwrap();
                     assert!(
                         !stored.pending.query.relations().is_empty(),
                         "no empty-FROM query may ever be stored (compiled={compiled})"

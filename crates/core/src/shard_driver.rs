@@ -693,6 +693,9 @@ pub(crate) fn drain_sharded(engine: &mut RJoinEngine) -> Result<u64, EngineError
         }
     }
     engine.network.advance_to(final_clock);
+    // Same post-drain expiry flush as the single-queue driver, so state
+    // snapshots are identical across drivers at quiescence.
+    engine.flush_expiry();
     engine.shard_runtime.absorb_drain(shard_count, ticks, deliveries, blocked);
 
     // Answers enter the global log in (arrival tick, lineage) order — the

@@ -46,13 +46,15 @@
 //!   before merging, so a 64-bit collision can cost a missed merge but never
 //!   a wrong answer.
 //!
-//! The registry itself is an index from `(key ring id, fingerprint, window
-//! state)` to the entry's position in the node's stored-query bucket. It is
-//! validated on every use, so a stale slot (e.g. after a window-expiry
-//! sweep compacted a bucket) degrades to a missed merge, never to a wrong
-//! one; sweeps re-register the bucket to keep hits warm.
+//! The registry maps `(key ring id, fingerprint, window state)` to the
+//! entry's **slab handle** ([`crate::slab::Handle`]). Handles are stable for
+//! the entry's whole lifetime, so nothing needs revalidation or rebuilding
+//! when a bucket compacts: expiry removals unregister their own slot (and
+//! only if it still points at the dying entry — a structurally distinct
+//! twin that took the slot over on a fingerprint collision is left alone),
+//! and every other slot stays exactly right.
 
-use crate::node_state::StoredQuery;
+use crate::slab::Handle;
 use rjoin_query::Fingerprint;
 use rjoin_relation::Timestamp;
 use std::collections::HashMap;
@@ -66,11 +68,10 @@ pub(crate) type WindowState = (Option<Timestamp>, Option<Timestamp>, Option<Time
 /// sub-join fingerprint and the full window state.
 pub(crate) type SlotKey = (u64, u64, WindowState);
 
-/// Index from sub-join identity to the entry's position in the node's
-/// stored-query bucket for that ring id.
+/// Index from sub-join identity to the stored entry's slab handle.
 #[derive(Debug, Clone, Default)]
 pub struct SubJoinRegistry {
-    slots: HashMap<SlotKey, usize>,
+    slots: HashMap<SlotKey, Handle>,
 }
 
 impl SubJoinRegistry {
@@ -89,14 +90,15 @@ impl SubJoinRegistry {
         self.slots.is_empty()
     }
 
-    /// The candidate bucket position for a sub-join, if one is registered.
-    /// Callers must validate the entry at that position before merging.
+    /// The candidate entry handle for a sub-join, if one is registered.
+    /// Callers must confirm structural equality of the entry before merging
+    /// (a fingerprint hit is only a candidate).
     pub(crate) fn candidate(
         &self,
         ring: u64,
         fp: Fingerprint,
         window: WindowState,
-    ) -> Option<usize> {
+    ) -> Option<Handle> {
         self.slots.get(&(ring, fp.0, window)).copied()
     }
 
@@ -106,31 +108,25 @@ impl SubJoinRegistry {
         ring: u64,
         fp: Fingerprint,
         window: WindowState,
-        position: usize,
+        handle: Handle,
     ) {
-        self.slots.insert((ring, fp.0, window), position);
+        self.slots.insert((ring, fp.0, window), handle);
     }
 
-    /// Drops every slot registered under `ring` (bucket removed or about to
-    /// be re-registered after compaction).
-    pub(crate) fn forget_ring(&mut self, ring: u64) {
-        self.slots.retain(|(r, _, _), _| *r != ring);
-    }
-
-    /// Re-registers every shareable entry of a bucket after its positions
-    /// changed (window-expiry sweeps use `swap_remove`). Entries without a
-    /// computed fingerprint (stored before sharing was enabled, or
-    /// `DISTINCT`) are skipped.
-    pub(crate) fn reindex_bucket(&mut self, ring: u64, bucket: &[StoredQuery]) {
-        self.forget_ring(ring);
-        for (position, entry) in bucket.iter().enumerate() {
-            if let Some(fp) = entry.fingerprint {
-                let window = (
-                    entry.pending.window_start,
-                    entry.pending.window_min,
-                    entry.pending.window_max,
-                );
-                self.register(ring, fp, window, position);
+    /// Removes the slot for a sub-join, but only if it still points at
+    /// `handle`: on a fingerprint collision two structurally distinct
+    /// entries contend for one slot, and the survivor's registration must
+    /// not be torn down by the loser's removal.
+    pub(crate) fn unregister(
+        &mut self,
+        ring: u64,
+        fp: Fingerprint,
+        window: WindowState,
+        handle: Handle,
+    ) {
+        if let Some(registered) = self.slots.get(&(ring, fp.0, window)) {
+            if *registered == handle {
+                self.slots.remove(&(ring, fp.0, window));
             }
         }
     }

@@ -1,0 +1,216 @@
+//! A minimal generational slab: stable handles over a free-list arena.
+//!
+//! # Why a slab
+//!
+//! `NodeState`'s hot tables used to store entries *inline* in per-ring
+//! `Vec` buckets. That layout makes every structural change positional:
+//! removing an expired entry (`swap_remove`) shuffles the positions of the
+//! survivors, so anything that referred to an entry by position — the
+//! sub-join registry, a would-be expiry index — had to be revalidated or
+//! rebuilt (`O(bucket)` re-registration plus an `O(all slots)` retain per
+//! expiring walk). The cost of *one* removal scaled with *total* stored
+//! state.
+//!
+//! With a slab, entries live at a fixed index for their whole lifetime and
+//! buckets hold copyable [`Handle`]s. Removing an entry is `O(1)` in the
+//! slab, the bucket fix-up touches only that bucket, and every external
+//! reference (registry slot, timer-wheel deadline) can be kept as a handle
+//! that is *checked*, not maintained: each slot carries a generation
+//! counter bumped on removal, so a stale handle reliably resolves to
+//! `None` instead of aliasing whatever reused the slot. Deferred
+//! invalidation is what makes `O(active)` expiry possible — nothing ever
+//! has to eagerly chase down every reference to a dying entry.
+//!
+//! Vendored-style: self-contained, no registry dependencies.
+
+/// A stable reference to a slab entry: slot index plus the generation the
+/// slot had when the entry was inserted. A handle outlives its entry
+/// safely — after removal (or slot reuse) it simply stops resolving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Handle {
+    index: u32,
+    generation: u32,
+}
+
+#[derive(Debug, Clone)]
+enum Slot<T> {
+    Occupied { generation: u32, value: T },
+    Vacant { generation: u32 },
+}
+
+/// A generational arena with O(1) insert/remove and stable handles.
+#[derive(Debug, Clone)]
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+    high_water: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab { slots: Vec::new(), free: Vec::new(), len: 0, high_water: 0 }
+    }
+}
+
+impl<T> Slab<T> {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slab holds no live entries.
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The most entries that were ever live at once (capacity gauge).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Inserts a value and returns its stable handle.
+    pub fn insert(&mut self, value: T) -> Handle {
+        self.len += 1;
+        self.high_water = self.high_water.max(self.len);
+        match self.free.pop() {
+            Some(index) => {
+                let slot = &mut self.slots[index as usize];
+                let generation = match slot {
+                    Slot::Vacant { generation } => *generation,
+                    Slot::Occupied { .. } => unreachable!("free list points at occupied slot"),
+                };
+                *slot = Slot::Occupied { generation, value };
+                Handle { index, generation }
+            }
+            None => {
+                let index =
+                    u32::try_from(self.slots.len()).expect("slab capacity exceeds u32 indices");
+                self.slots.push(Slot::Occupied { generation: 0, value });
+                Handle { index, generation: 0 }
+            }
+        }
+    }
+
+    /// The entry behind `handle`, if it is still live.
+    pub fn get(&self, handle: Handle) -> Option<&T> {
+        match self.slots.get(handle.index as usize) {
+            Some(Slot::Occupied { generation, value }) if *generation == handle.generation => {
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the entry behind `handle`, if it is still live.
+    pub fn get_mut(&mut self, handle: Handle) -> Option<&mut T> {
+        match self.slots.get_mut(handle.index as usize) {
+            Some(Slot::Occupied { generation, value }) if *generation == handle.generation => {
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether `handle` still resolves to a live entry.
+    #[cfg(test)]
+    pub fn contains(&self, handle: Handle) -> bool {
+        self.get(handle).is_some()
+    }
+
+    /// Removes and returns the entry behind `handle`. The slot's generation
+    /// is bumped, so every outstanding copy of the handle goes stale
+    /// atomically — including after the slot is reused.
+    pub fn remove(&mut self, handle: Handle) -> Option<T> {
+        let slot = self.slots.get_mut(handle.index as usize)?;
+        match slot {
+            Slot::Occupied { generation, .. } if *generation == handle.generation => {
+                let next_generation = generation.wrapping_add(1);
+                let old = std::mem::replace(slot, Slot::Vacant { generation: next_generation });
+                self.free.push(handle.index);
+                self.len -= 1;
+                match old {
+                    Slot::Occupied { value, .. } => Some(value),
+                    Slot::Vacant { .. } => unreachable!("matched occupied above"),
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a), Some(&"a"));
+        assert_eq!(slab.get(b), Some(&"b"));
+        assert_eq!(slab.remove(a), Some("a"));
+        assert_eq!(slab.len(), 1);
+        assert_eq!(slab.get(a), None);
+        assert_eq!(slab.get(b), Some(&"b"));
+    }
+
+    #[test]
+    fn stale_handles_never_alias_reused_slots() {
+        let mut slab = Slab::new();
+        let a = slab.insert(1);
+        slab.remove(a);
+        let b = slab.insert(2);
+        // The slot is reused but the generation moved on.
+        assert_eq!(slab.get(a), None);
+        assert!(!slab.contains(a));
+        assert_eq!(slab.remove(a), None, "double-remove must be a no-op");
+        assert_eq!(slab.get(b), Some(&2));
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut slab = Slab::new();
+        let h = slab.insert(vec![1]);
+        slab.get_mut(h).unwrap().push(2);
+        assert_eq!(slab.get(h), Some(&vec![1, 2]));
+    }
+
+    #[test]
+    fn high_water_tracks_peak_occupancy() {
+        let mut slab = Slab::new();
+        let handles: Vec<_> = (0..5).map(|i| slab.insert(i)).collect();
+        assert_eq!(slab.high_water(), 5);
+        for h in &handles {
+            slab.remove(*h);
+        }
+        assert_eq!(slab.len(), 0);
+        assert!(slab.is_empty());
+        assert_eq!(slab.high_water(), 5, "high water survives removals");
+        slab.insert(9);
+        assert_eq!(slab.high_water(), 5);
+    }
+
+    #[test]
+    fn free_slots_are_reused() {
+        let mut slab = Slab::new();
+        let handles: Vec<_> = (0..100).map(|i| slab.insert(i)).collect();
+        for h in handles {
+            slab.remove(h);
+        }
+        for i in 0..100 {
+            slab.insert(i);
+        }
+        assert_eq!(slab.len(), 100);
+        assert_eq!(slab.high_water(), 100, "reuse must not grow the arena");
+    }
+}

@@ -1,7 +1,7 @@
 //! Aggregated statistics of an engine run, in the units the paper reports.
 
 use rjoin_metrics::{
-    CompileCounters, Distribution, ShardRuntimeStats, SharingCounters, SplitCounters,
+    CompileCounters, Distribution, ShardRuntimeStats, SharingCounters, SplitCounters, StateCounters,
 };
 use serde::{Deserialize, Serialize};
 
@@ -62,6 +62,10 @@ pub struct ExperimentStats {
     /// (`interpreted_rewrites` counts triggers when compiled predicates are
     /// disabled).
     pub compile: CompileCounters,
+    /// How the O(active) state machinery behaved: live/peak slab occupancy
+    /// per store, scheduled wheel deadlines, and reclamations split into
+    /// wheel pops vs contact expirations (all-contact in sweep mode).
+    pub state: StateCounters,
 }
 
 impl ExperimentStats {
@@ -125,6 +129,7 @@ mod tests {
             key_heat: Distribution::from_values([6, 4]),
             splits: SplitCounters::default(),
             compile: CompileCounters::default(),
+            state: StateCounters::default(),
         }
     }
 

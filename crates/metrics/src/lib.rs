@@ -24,7 +24,9 @@
 //! * [`ShardRuntimeStats`] — how a sharded event-queue drain executed
 //!   (shard count, per-shard tick activations, blocked cross-shard reads),
 //! * [`SplitCounters`] — what the hot-key splitting subsystem did
-//!   (heavy hitters split, state migrated, routing/fan-out overhead).
+//!   (heavy hitters split, state migrated, routing/fan-out overhead),
+//! * [`StateCounters`] — how the slab-backed stores and timer-wheel expiry
+//!   behaved (slab occupancy and high water, wheel pops vs contact expiry).
 
 mod compile;
 mod counters;
@@ -34,6 +36,7 @@ mod series;
 mod shard;
 mod sharing;
 mod split;
+mod state;
 
 pub use compile::CompileCounters;
 pub use counters::LoadMap;
@@ -43,3 +46,4 @@ pub use series::CumulativeSeries;
 pub use shard::ShardRuntimeStats;
 pub use sharing::SharingCounters;
 pub use split::SplitCounters;
+pub use state::StateCounters;

@@ -1,0 +1,92 @@
+//! Gauges and counters of the slab-backed node stores and timer-wheel
+//! expiry.
+
+use serde::{Deserialize, Serialize};
+
+/// How the O(active) state machinery behaved.
+///
+/// Each node maintains one instance (the slab gauges are snapshotted from
+/// the slabs at read time, the pop counters accumulate); the engine sums
+/// them into the run-level statistics snapshot.
+///
+/// The pair to watch is `wheel_pops` vs `contact_expirations`: with the
+/// timer wheel on, almost every dead entry is reclaimed by a wheel pop at
+/// its deadline, and contact expiry only catches entries the wheel's
+/// conservative deadline (`+ δ` network slack) has not reached yet. In
+/// sweep mode `wheel_pops` is zero and every reclamation waits for a bucket
+/// walk to stumble over the corpse — the O(stored) regime the wheel
+/// replaces. The `*_high_water` gauges bound peak state: with expiry
+/// working, high water tracks the *active* working set rather than the
+/// run's cumulative volume.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateCounters {
+    /// Stored queries live in the slab right now.
+    pub query_slab_live: u64,
+    /// Peak simultaneously live stored queries.
+    pub query_slab_high_water: u64,
+    /// Value-level tuples live in the slab right now.
+    pub tuple_slab_live: u64,
+    /// Peak simultaneously live value-level tuples.
+    pub tuple_slab_high_water: u64,
+    /// ALTT entries live in the slab right now.
+    pub altt_slab_live: u64,
+    /// Peak simultaneously live ALTT entries.
+    pub altt_slab_high_water: u64,
+    /// Deadline entries currently scheduled on the timer wheel (including
+    /// stale tokens of already-removed entries, skipped for free at pop).
+    pub wheel_scheduled: u64,
+    /// Entries reclaimed by a wheel pop at their deadline.
+    pub wheel_pops: u64,
+    /// Entries reclaimed because a bucket walk contacted them after their
+    /// window had closed (the only reclamation path in sweep mode).
+    pub contact_expirations: u64,
+}
+
+impl StateCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds another instance's counts into this one (per-node → run totals;
+    /// `*_high_water` sums too, bounding total peak state across nodes).
+    pub fn merge(&mut self, other: &StateCounters) {
+        self.query_slab_live += other.query_slab_live;
+        self.query_slab_high_water += other.query_slab_high_water;
+        self.tuple_slab_live += other.tuple_slab_live;
+        self.tuple_slab_high_water += other.tuple_slab_high_water;
+        self.altt_slab_live += other.altt_slab_live;
+        self.altt_slab_high_water += other.altt_slab_high_water;
+        self.wheel_scheduled += other.wheel_scheduled;
+        self.wheel_pops += other.wheel_pops;
+        self.contact_expirations += other.contact_expirations;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = StateCounters { query_slab_live: 1, wheel_pops: 2, ..Default::default() };
+        let b = StateCounters {
+            query_slab_live: 10,
+            wheel_pops: 20,
+            contact_expirations: 5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.query_slab_live, 11);
+        assert_eq!(a.wheel_pops, 22);
+        assert_eq!(a.contact_expirations, 5);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = StateCounters { altt_slab_high_water: 7, wheel_scheduled: 3, ..Default::default() };
+        let json = serde_json::to_string(&c).unwrap();
+        let back: StateCounters = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -103,6 +103,32 @@ impl Scenario {
         }
     }
 
+    /// The long-horizon scale scenario of ROADMAP Open item 4: 512 nodes,
+    /// 10⁴ standing queries and 10⁵ tuples whose publication times span 10⁵
+    /// in-simulation ticks — over a thousand window-lengths of history, so
+    /// by the end of the run almost all state ever stored is *expired* state. Engines
+    /// whose per-trigger cost scales with total stored state (bucket clones,
+    /// registry rebuilds, unswept ALTT buckets) degrade over the horizon;
+    /// an O(active) engine stays flat. Windows are sliding so expiry is
+    /// continuous rather than bucketed, and the domain is kept small enough
+    /// that keys stay collision-rich (buckets hold many entries).
+    pub fn scale_test() -> Self {
+        Scenario {
+            nodes: 512,
+            queries: 10_000,
+            tuples: 100_000,
+            joins: 2,
+            theta: 0.9,
+            hot_fraction: 0.0,
+            window: WindowSpec::sliding_tuples(64),
+            distinct: false,
+            relations: 10,
+            attributes: 10,
+            domain: 200,
+            seed: 0x5CA1_E007,
+        }
+    }
+
     /// The schema shape of this scenario.
     pub fn workload_schema(&self) -> WorkloadSchema {
         WorkloadSchema::new(self.relations, self.attributes, self.domain)
@@ -179,6 +205,23 @@ mod tests {
         let back: Scenario = serde_json::from_str(&json).unwrap();
         assert_eq!(back.queries, s.queries);
         assert_eq!(back.window, s.window);
+    }
+
+    #[test]
+    fn scale_preset_is_a_long_horizon_windowed_workload() {
+        let s = Scenario::scale_test();
+        assert_eq!(s.nodes, 512);
+        assert_eq!(s.queries, 10_000);
+        assert_eq!(s.tuples, 100_000);
+        // One tuple per tick: the horizon spans tuples/window ≫ 1 window-
+        // lengths, so expired state dominates stored state by the end.
+        match s.window {
+            WindowSpec::Sliding { kind: _, duration } => {
+                assert!(duration > 0 && s.tuples as u64 / duration > 1_000);
+            }
+            other => panic!("scale preset must use a sliding window, got {other:?}"),
+        }
+        assert!(!s.distinct, "dedup would cap answer growth and mask state pressure");
     }
 
     #[test]
