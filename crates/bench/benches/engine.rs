@@ -187,6 +187,21 @@ fn bench_scale(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cyclic query shapes under the two-plan planner, in lockstep with
+/// `bench_json`'s `cyclic` group: the `pipeline` leg is the matched acyclic
+/// chain workload (cycle knob off, same schema and counts), the `hypercube`
+/// leg is the triangle workload evaluated as replicated cells with
+/// cell-local partials. The delta is the price of cyclic shapes.
+fn bench_cyclic_shapes(c: &mut Criterion) {
+    let scenario =
+        |cycle: usize| Scenario { cycle, queries: 60, tuples: 120, ..Scenario::cyclic_test() };
+    let mut group = c.benchmark_group("cyclic");
+    group.sample_size(10);
+    group.bench_function("pipeline", |b| b.iter(|| run(EngineConfig::default(), &scenario(0))));
+    group.bench_function("hypercube", |b| b.iter(|| run(EngineConfig::default(), &scenario(3))));
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_placement_strategies,
@@ -194,6 +209,7 @@ criterion_group!(
     bench_window_sizes,
     bench_sharding_runtime,
     bench_compiled_predicates,
-    bench_scale
+    bench_scale,
+    bench_cyclic_shapes
 );
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! track the performance trajectory across PRs.
 //!
 //! Usage: `cargo run --release -p rjoin-bench --bin bench_json -- [OUT.json]`
-//! (default output path `BENCH_7.json`). Environment variables:
+//! (default output path `BENCH_8.json`). Environment variables:
 //!
 //! * `BENCH_JSON_ITERS` — per-benchmark iteration count (default 5; CI uses
 //!   a small count — the point is trajectory, not statistics);
@@ -132,6 +132,16 @@ fn run_skew(config: EngineConfig) -> u64 {
     engine.total_qpl()
 }
 
+/// The cyclic-shape workload pair of the two-plan planner. Both legs share
+/// the dense 4-relation schema and counts of [`Scenario::cyclic_test`]; the
+/// `pipeline` leg turns the cycle knob off (3-conjunct chain queries → the
+/// rewrite pipeline), the `hypercube` leg keeps it on (every query takes
+/// the hypercube plan). The delta is the price of cyclic shapes: replicated
+/// cell placement plus tuple-copy fan-out instead of one rewrite chain.
+fn cyclic_scenario(cycle: usize) -> Scenario {
+    Scenario { cycle, queries: 60, tuples: 120, ..Scenario::cyclic_test() }
+}
+
 fn measure(group: &str, bench: &str, iters: u64, mut f: impl FnMut() -> u64) -> BenchResult {
     // One untimed warm-up iteration.
     std::hint::black_box(f());
@@ -159,7 +169,7 @@ fn measure(group: &str, bench: &str, iters: u64, mut f: impl FnMut() -> u64) -> 
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_7.json".to_string());
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_8.json".to_string());
     let iters: u64 =
         std::env::var("BENCH_JSON_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(5);
     // Optional group filter: `BENCH_JSON_GROUPS=sharding_runtime,skew`.
@@ -263,10 +273,24 @@ fn main() {
         }));
     }
 
+    // Cyclic query shapes under the two-plan planner: the `pipeline` leg is
+    // the matched acyclic chain workload (cycle knob off, same schema and
+    // counts) evaluated by the rewrite pipeline; the `hypercube` leg is the
+    // triangle workload evaluated as replicated cells with cell-local
+    // partials. The cost model routes each leg to its plan automatically.
+    if want("cyclic") {
+        results.push(measure("cyclic", "pipeline", iters, || {
+            run(EngineConfig::default(), &cyclic_scenario(0))
+        }));
+        results.push(measure("cyclic", "hypercube", iters, || {
+            run(EngineConfig::default(), &cyclic_scenario(3))
+        }));
+    }
+
     let report = BenchReport {
-        // v6 adds the `scale` group (the long-horizon windowed workload:
-        // timer-wheel expiry vs the contact-sweep oracle).
-        schema_version: 6,
+        // v7 adds the `cyclic` group (chain pipeline vs triangle hypercube
+        // under the two-plan planner).
+        schema_version: 7,
         nodes: scenario.nodes,
         queries: scenario.queries,
         tuples: scenario.tuples,

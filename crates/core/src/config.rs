@@ -137,6 +137,18 @@ pub struct EngineConfig {
     /// back-dates tuples behind the clock stretches delivery lag beyond the
     /// delay bound the deadlines account for and should run in sweep mode.
     pub wheel_expiry: bool,
+    /// When `true` (the default), submitted queries go through the two-plan
+    /// cost model (`rjoin_query::plan`): cyclic join graphs are placed as a
+    /// replicated hypercube of cells, acyclic ones stay on the paper's
+    /// rewrite pipeline unless the hypercube is strictly cheaper. When
+    /// `false`, cyclic queries are rejected with
+    /// `QueryError::CyclicShape` — the rewrite pipeline cannot express
+    /// them, and silently dropping the cycle-closing conjunct would change
+    /// answers.
+    pub hypercube_planner: bool,
+    /// Cell budget of a hypercube plan: the planner allocates per-axis
+    /// shares `s_1 × … × s_k` with `∏ s_i` at most this value.
+    pub hypercube_cells: u32,
 }
 
 impl Default for EngineConfig {
@@ -158,6 +170,8 @@ impl Default for EngineConfig {
             hot_key_partitions: 8,
             compiled_predicates: true,
             wheel_expiry: true,
+            hypercube_planner: true,
+            hypercube_cells: 8,
         }
     }
 }
@@ -254,6 +268,22 @@ impl EngineConfig {
         self
     }
 
+    /// Selects whether the hypercube planner is available: `true` (the
+    /// default) lets the cost model place cyclic queries as replicated
+    /// hypercube cells, `false` rejects cyclic shapes at submission with
+    /// `QueryError::CyclicShape` (the paper's pipeline-only system).
+    pub fn with_hypercube_planner(mut self, enabled: bool) -> Self {
+        self.hypercube_planner = enabled;
+        self
+    }
+
+    /// Sets the hypercube cell budget (clamped to at least 2 — a one-cell
+    /// budget would centralize every hypercube-planned query).
+    pub fn with_hypercube_cells(mut self, cells: u32) -> Self {
+        self.hypercube_cells = cells.max(2);
+        self
+    }
+
     /// Enables hot-key splitting: a key observed to receive at least
     /// `threshold` tuples per RIC window is split into `partitions`
     /// deterministic sub-keys — tuples route to exactly one sub-key,
@@ -290,6 +320,15 @@ mod tests {
         assert!(!EngineConfig::default().with_compiled_predicates(false).compiled_predicates);
         assert!(c.wheel_expiry, "timer-wheel expiry is the default");
         assert!(!EngineConfig::default().with_wheel_expiry(false).wheel_expiry);
+        assert!(c.hypercube_planner, "cyclic shapes are a supported workload by default");
+        assert_eq!(c.hypercube_cells, 8);
+        assert!(!EngineConfig::default().with_hypercube_planner(false).hypercube_planner);
+        assert_eq!(EngineConfig::default().with_hypercube_cells(16).hypercube_cells, 16);
+        assert_eq!(
+            EngineConfig::default().with_hypercube_cells(0).hypercube_cells,
+            2,
+            "the cell budget clamps to >= 2"
+        );
     }
 
     #[test]

@@ -4,24 +4,28 @@
 use crate::answers::{AnswerLog, AnswerRecord};
 use crate::config::{EngineConfig, PlacementStrategy};
 use crate::error::EngineError;
-use crate::messages::{PendingQuery, QueryId, RJoinMessage, RicInfo};
+use crate::messages::{HypercubeRef, PendingQuery, QueryId, RJoinMessage, RicInfo};
 use crate::node_state::DrainedState;
 use crate::node_state::{NodeState, ProgramCache, RicEntry};
 use crate::placement::choose_candidate;
 use crate::procedures::{self, Action, ProcCtx};
-use crate::split::{choose_grid, partition_for_query, partition_for_tuple, SplitGrid, SplitMap};
+use crate::split::{
+    choose_grid, partition_for_query, partition_for_tuple, partition_for_value, HypercubeGrid,
+    SplitGrid, SplitMap,
+};
 use crate::stats::ExperimentStats;
 use crate::traffic_class;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rjoin_dht::{HashedKey, Id, RingBuildHasher};
 use rjoin_metrics::{
-    CompileCounters, Distribution, LoadMap, ShardRuntimeStats, SharingCounters, SplitCounters,
-    StateCounters,
+    CompileCounters, Distribution, LoadMap, PlannerCounters, ShardRuntimeStats, SharingCounters,
+    SplitCounters, StateCounters,
 };
 use rjoin_net::{Delivery, Network, NetworkConfig, SimTime, TrafficStats, Transport};
-use rjoin_query::{candidate_keys, tuple_index_keys, IndexKey, IndexLevel, JoinQuery};
-use rjoin_relation::{Catalog, Tuple};
+use rjoin_query::plan::{self, QueryShape};
+use rjoin_query::{candidate_keys, tuple_index_keys, IndexKey, IndexLevel, JoinQuery, QueryError};
+use rjoin_relation::{Catalog, Name, Tuple};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 
@@ -38,6 +42,24 @@ pub(crate) type NodeMap = HashMap<Id, NodeState, RingBuildHasher>;
 /// driver spawns worker threads; smaller ticks are processed inline because
 /// thread startup would dominate.
 const PARALLEL_TICK_MIN_DELIVERIES: usize = 24;
+
+/// One registered hypercube plan: the cell space of a hypercube-planned
+/// query and how tuples of each participating relation pin coordinates in
+/// it. Registered at submission (driver thread, between drains — the same
+/// discipline as [`SplitMap`]) and read-only afterwards, so publication-time
+/// routing is deterministic across drivers.
+#[derive(Debug)]
+struct HypercubePlacement {
+    /// The plan's cell key space, as carried on its [`PendingQuery`].
+    hcref: HypercubeRef,
+    /// The share grid cells are linearized through.
+    grid: HypercubeGrid,
+    /// Per `FROM` relation, the `(axis, column offset)` pairs a tuple of
+    /// that relation binds. A relation absent from this list does not
+    /// participate in the plan; one with an empty list replicates to every
+    /// cell (it pins no axis).
+    bindings: Vec<(Name, Vec<(usize, usize)>)>,
+}
 
 /// The query-processing / storage-load counter increments one delivery
 /// charges, resolved during the node-local phase and applied in the
@@ -175,6 +197,14 @@ pub struct RJoinEngine {
     pub(crate) splits: SplitMap,
     /// Cumulative hot-key splitting counters.
     pub(crate) split_counters: SplitCounters,
+    /// Active hypercube plans, in submission order. Like [`SplitMap`],
+    /// mutated only on the driver thread (at query submission, between
+    /// drains) and read-only during drains.
+    hypercubes: Vec<HypercubePlacement>,
+    /// Cumulative two-plan planner counters. Updated only on the driver
+    /// thread (plan choice at submission, tuple routing at publication), so
+    /// no per-shard tally is needed.
+    planner_counters: PlannerCounters,
     /// The engine-wide compiled-program cache every [`NodeState`] holds a
     /// handle to (kept here so nodes joining through churn adopt it too).
     programs: Arc<Mutex<ProgramCache>>,
@@ -216,6 +246,8 @@ impl RJoinEngine {
             shard_runtime: ShardRuntimeStats::default(),
             splits: SplitMap::new(),
             split_counters: SplitCounters::new(),
+            hypercubes: Vec::new(),
+            planner_counters: PlannerCounters::new(),
             programs,
         }
     }
@@ -299,20 +331,93 @@ impl RJoinEngine {
     }
 
     /// Submits a continuous query from node `origin`. The query is validated
-    /// against the catalog and indexed in the network; returns its id.
+    /// against the catalog, planned (pipeline of rewrites vs hypercube
+    /// placement, `rjoin_query::plan`) and indexed in the network; returns
+    /// its id.
+    ///
+    /// A query with a cyclic join graph is rejected with
+    /// [`QueryError::CyclicShape`] when the hypercube planner is disabled
+    /// ([`EngineConfig::with_hypercube_planner`]) — the rewrite pipeline
+    /// cannot express cyclic shapes.
     pub fn submit_query(&mut self, origin: Id, query: JoinQuery) -> Result<QueryId, EngineError> {
         if !self.nodes.contains_key(&origin) {
             return Err(EngineError::UnknownNode { id: origin });
         }
         query.validate(&self.catalog)?;
         let id = QueryId { owner: origin, seq: self.next_query_seq };
+        let hypercube = self.plan_submission(&query, id)?;
         self.next_query_seq += 1;
         if query.distinct() {
             self.distinct_queries.insert(id);
         }
-        let pending = PendingQuery::input(id, origin, self.network.now(), query);
+        let mut pending = PendingQuery::input(id, origin, self.network.now(), query);
+        pending.hypercube = hypercube;
         self.dispatch_query(origin, pending, true)?;
         Ok(id)
+    }
+
+    /// Runs the two-plan cost model for a validated query about to be
+    /// submitted under `id`. Returns `None` when the query stays on the
+    /// rewrite pipeline; otherwise registers the hypercube placement
+    /// (resolving each axis member to its column offset) and returns the
+    /// cell-space reference to carry on the [`PendingQuery`].
+    fn plan_submission(
+        &mut self,
+        query: &JoinQuery,
+        id: QueryId,
+    ) -> Result<Option<HypercubeRef>, EngineError> {
+        let graph = plan::JoinGraph::build(query);
+        if graph.classes.is_empty() {
+            self.planner_counters.pipeline_plans += 1;
+            return Ok(None);
+        }
+        let shape = graph.shape();
+        if !self.config.hypercube_planner {
+            if shape == QueryShape::Cyclic {
+                return Err(EngineError::Query(QueryError::CyclicShape));
+            }
+            self.planner_counters.pipeline_plans += 1;
+            return Ok(None);
+        }
+        let hc_plan = graph.hypercube_plan(self.config.hypercube_cells.max(2));
+        let take_hypercube = match plan::pipeline_cost(query, shape) {
+            None => true,
+            Some(pipe) => plan::hypercube_cost(&hc_plan) < pipe,
+        };
+        if !take_hypercube {
+            self.planner_counters.pipeline_plans += 1;
+            return Ok(None);
+        }
+
+        let grid = HypercubeGrid::new(hc_plan.shares());
+        // A per-query synthetic base key: the `+` separator and hex owner
+        // id keep it disjoint from every relation-derived index key.
+        let base = HashedKey::new(format!("hcube+{:016x}+{}", id.owner.0, id.seq));
+        let hcref = HypercubeRef { base, cells: grid.cells() };
+        let mut bindings: Vec<(Name, Vec<(usize, usize)>)> =
+            query.relations().iter().map(|rel| (rel.clone(), Vec::new())).collect();
+        for (axis, hc_axis) in hc_plan.axes.iter().enumerate() {
+            for member in &hc_axis.members {
+                let schema = self.catalog.require_schema(&member.relation)?;
+                let Some(col) = schema.index_of(&member.attribute) else {
+                    // `validate` checked every attribute, so this is
+                    // unreachable; losing one binding only costs replication.
+                    continue;
+                };
+                if let Some((_, binds)) =
+                    bindings.iter_mut().find(|(rel, _)| *rel == member.relation)
+                {
+                    binds.push((axis, col));
+                }
+            }
+        }
+        self.planner_counters.hypercube_plans += 1;
+        self.planner_counters.cells_allocated += u64::from(grid.cells());
+        self.planner_counters.shares_allocated +=
+            grid.shares().iter().map(|&s| u64::from(s)).sum::<u64>();
+        self.planner_counters.replicated_evals += u64::from(grid.cells());
+        self.hypercubes.push(HypercubePlacement { hcref: hcref.clone(), grid, bindings });
+        Ok(Some(hcref))
     }
 
     /// Publishes a tuple from node `origin`: the tuple is validated and
@@ -364,6 +469,52 @@ impl RJoinEngine {
                         tuple: Arc::clone(&tuple),
                         key,
                         level,
+                        publisher: origin,
+                    },
+                ));
+            }
+        }
+        // Hypercube routing: for every registered plan this tuple's relation
+        // participates in, hash its bound attributes to pin coordinates and
+        // send one value-level copy to each cell of the resulting subcube
+        // (replication across the axes the relation leaves unbound).
+        for placement in &self.hypercubes {
+            let Some((_, binds)) =
+                placement.bindings.iter().find(|(rel, _)| rel.as_str() == tuple.relation())
+            else {
+                continue;
+            };
+            let mut bound: Vec<Option<u32>> = vec![None; placement.grid.dims()];
+            let mut joinable = true;
+            for &(axis, col) in binds {
+                let coord =
+                    partition_for_value(&tuple.values()[col], placement.grid.shares()[axis]);
+                match bound[axis] {
+                    None => bound[axis] = Some(coord),
+                    Some(c) if c == coord => {}
+                    Some(_) => {
+                        // Two attributes of this tuple sit on one axis with
+                        // different values: the closure forces them equal in
+                        // any answer, so the tuple can never join this plan.
+                        joinable = false;
+                        break;
+                    }
+                }
+            }
+            if !joinable {
+                continue;
+            }
+            let cells = placement.grid.subcube(&bound);
+            self.planner_counters.tuples_routed += 1;
+            self.planner_counters.tuple_copies += cells.len() as u64;
+            for cell in cells {
+                let key = placement.hcref.cell_key(cell);
+                items.push((
+                    key.id(),
+                    RJoinMessage::NewTuple {
+                        tuple: Arc::clone(&tuple),
+                        key,
+                        level: IndexLevel::Value,
                         publisher: origin,
                     },
                 ));
@@ -936,6 +1087,14 @@ impl RJoinEngine {
         &self.split_counters
     }
 
+    /// Cumulative two-plan planner counters: plans chosen per kind,
+    /// hypercube cells/shares allocated, and the replication the hypercube
+    /// plans cost (query copies per cell, tuple copies across unbound
+    /// axes).
+    pub fn planner_counters(&self) -> &PlannerCounters {
+        &self.planner_counters
+    }
+
     /// Builds a statistics snapshot in the units the paper's figures use.
     pub fn stats(&self) -> ExperimentStats {
         let traffic = self.network.traffic();
@@ -967,6 +1126,7 @@ impl RJoinEngine {
             shard_runtime: self.shard_runtime.clone(),
             key_heat: Distribution::from_values(self.qpl_by_key.values()),
             splits: self.split_counters,
+            planner: self.planner_counters,
             compile: self.compile_counters(),
             state: self.state_counters(),
         }
@@ -1138,7 +1298,7 @@ pub(crate) fn perform_actions_in<E: EffectEnv>(
                 );
             }
             Action::Reindex { pending } => {
-                dispatch_query_in(env, config, catalog, from, pending, false)?;
+                dispatch_query_in(env, config, catalog, from, *pending, false)?;
             }
         }
     }
@@ -1157,6 +1317,30 @@ pub(crate) fn dispatch_query_in<E: EffectEnv>(
     pending: PendingQuery,
     is_input: bool,
 ) -> Result<(), EngineError> {
+    // A hypercube-planned input query bypasses candidate placement
+    // entirely: it registers one replicated copy at every cell of its plan
+    // (the Eval side of the hypercube), and all further evaluation is
+    // cell-local. Rewritten descendants of such a query are stored in
+    // place by the node procedures and never come back through dispatch.
+    if pending.hypercube.is_some() {
+        debug_assert!(is_input, "hypercube descendants are cell-local, never re-dispatched");
+        let hc = pending.hypercube.clone().expect("checked above");
+        let mut pending = Some(pending);
+        for cell in 0..hc.cells {
+            let key = hc.cell_key(cell);
+            let p = if cell + 1 == hc.cells {
+                pending.take().expect("taken once, on the last cell")
+            } else {
+                pending.as_ref().expect("taken only on the last cell").clone()
+            };
+            let msg =
+                RJoinMessage::IndexQuery { pending: p, key: key.clone(), level: IndexLevel::Value };
+            // No RIC exchange happens for cell placement, so the copy pays
+            // the full routed path to the cell owner.
+            env.net().send(from, key.id(), msg, traffic_class::QUERY_INDEX)?;
+        }
+        return Ok(());
+    }
     let mut candidates = candidate_keys(&pending.query);
     if candidates.is_empty() {
         // A query with no conjuncts left but remaining relations (e.g. a

@@ -107,6 +107,29 @@
 //! lands* rather than how fast it runs; identifier movement
 //! (`rjoin_dht::balance`) composes with it as the lower tier.
 //!
+//! # Two-plan query planner (hypercube placement for cyclic shapes)
+//!
+//! Every submitted query is classified at the driver by its join graph
+//! ([`rjoin_query::plan::JoinGraph`], GYO ear removal): **acyclic** shapes
+//! — everything the paper's figures use — run on the pipeline of rewrites
+//! above, while **cyclic** shapes (triangles, 4-cycles, cliques), whose
+//! rewriting cascade the pipeline cannot finish without re-visiting an
+//! attribute, are placed as an *n-dimensional hypercube*
+//! ([`split::HypercubeGrid`], generalizing the 2-D split grid): per-axis
+//! shares `s_1 × … × s_k` are allocated from a cell budget
+//! ([`EngineConfig::with_hypercube_cells`]), one query replica registers in
+//! every cell at submission, and each published tuple is routed to the
+//! subcube fixed by hashing its bound attributes
+//! ([`split::partition_for_value`]) — so any joining combination meets in
+//! exactly one cell and completes exactly once. Cell-local evaluation keeps
+//! the partials in the cell (no `Eval` traffic); `DISTINCT` collapses at
+//! the owner. A cost model picks between the two plans for acyclic shapes
+//! (pipeline ≈ one hop per join; hypercube ≈ one registration per cell);
+//! cyclic shapes always take the hypercube, or are rejected with
+//! [`rjoin_query::QueryError::CyclicShape`] when the planner is disabled
+//! ([`EngineConfig::with_hypercube_planner`]`(false)`). Planner decisions
+//! and replication costs are reported in [`ExperimentStats::planner`].
+//!
 //! # Shared sub-join evaluation (multi-query optimization)
 //!
 //! With [`EngineConfig::with_shared_subjoins`] enabled, every node keeps a
@@ -179,11 +202,11 @@ pub use config::{EngineConfig, PlacementStrategy};
 pub use dedup::DedupFilter;
 pub use engine::RJoinEngine;
 pub use error::EngineError;
-pub use messages::{PendingQuery, QueryId, RJoinMessage, RicInfo, Subscriber};
+pub use messages::{HypercubeRef, PendingQuery, QueryId, RJoinMessage, RicInfo, Subscriber};
 pub use node_state::{DrainedState, NodeState, RicEntry, StoredQuery};
 pub use ric::RicTracker;
 pub use shared::SubJoinRegistry;
-pub use split::{partition_for_tuple, SplitEntry, SplitMap};
+pub use split::{partition_for_tuple, partition_for_value, HypercubeGrid, SplitEntry, SplitMap};
 pub use stats::ExperimentStats;
 
 /// Traffic classes used when accounting messages, so that the share of

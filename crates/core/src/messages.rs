@@ -46,6 +46,37 @@ pub struct Subscriber {
     pub select: Vec<SelectItem>,
 }
 
+/// A hypercube-planned query's cell space: the synthetic base key its cells
+/// are derived from and the total cell count.
+///
+/// The planner (`rjoin_query::plan`) gives a cyclic query a per-query
+/// hypercube instead of a rewrite chain; the engine mints a synthetic base
+/// key for it and every cell becomes one deterministic sub-key
+/// ([`HashedKey::split_part`]), reusing the hot-key splitting key space.
+/// Carrying the reference on the [`PendingQuery`] is what tells the node
+/// procedures to evaluate rewritten descendants *inside* the cell instead
+/// of re-indexing them across the network.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HypercubeRef {
+    /// The per-query synthetic base key.
+    pub base: HashedKey,
+    /// Total number of cells (`∏ s_i` of the plan's shares).
+    pub cells: u32,
+}
+
+impl HypercubeRef {
+    /// The interned key of cell `cell` (the base key itself for the
+    /// degenerate single-cell plan — `split_part` requires at least two
+    /// partitions).
+    pub fn cell_key(&self, cell: u32) -> HashedKey {
+        if self.cells <= 1 {
+            self.base.clone()
+        } else {
+            self.base.split_part(cell, self.cells)
+        }
+    }
+}
+
 /// A query in flight: an input query or one of its rewritten descendants,
 /// together with the metadata RJoin needs to evaluate it.
 ///
@@ -87,6 +118,11 @@ pub struct PendingQuery {
     /// Additional input queries sharing this sub-join (empty when sharing is
     /// disabled or no structurally identical query was merged).
     pub extra_subscribers: Vec<Subscriber>,
+    /// The hypercube cell space this query evaluates in, when the planner
+    /// chose a hypercube plan over the rewrite pipeline. `None` for
+    /// pipeline-planned queries. Inherited by every rewritten descendant:
+    /// it marks the whole evaluation as cell-local.
+    pub hypercube: Option<HypercubeRef>,
 }
 
 impl PendingQuery {
@@ -102,6 +138,7 @@ impl PendingQuery {
             window_max: None,
             query,
             extra_subscribers: Vec::new(),
+            hypercube: None,
         }
     }
 
@@ -130,6 +167,7 @@ impl PendingQuery {
             window_max: self.window_max,
             query,
             extra_subscribers: Vec::new(),
+            hypercube: self.hypercube.clone(),
         }
     }
 
@@ -307,6 +345,29 @@ mod tests {
         // Children never inherit extras implicitly.
         let child = p.child(parse_query("SELECT 5, S.B FROM S WHERE S.A = 5").unwrap(), Some(1));
         assert!(child.extra_subscribers.is_empty());
+    }
+
+    #[test]
+    fn hypercube_ref_cell_keys_are_deterministic_sub_keys() {
+        let hc = HypercubeRef { base: HashedKey::new("hcube+0000000000000001+0"), cells: 8 };
+        let k0 = hc.cell_key(0);
+        let k7 = hc.cell_key(7);
+        assert_eq!(k0.partition(), Some((0, 8)));
+        assert_eq!(k7.partition(), Some((7, 8)));
+        assert_eq!(k0.base_ring(), hc.base.ring());
+        assert_ne!(k0.ring(), k7.ring());
+        // The single-cell plan degenerates to the base key itself.
+        let unit = HypercubeRef { base: hc.base.clone(), cells: 1 };
+        assert_eq!(unit.cell_key(0), unit.base);
+    }
+
+    #[test]
+    fn children_inherit_the_hypercube_reference() {
+        let mut p = pending();
+        assert!(p.hypercube.is_none());
+        p.hypercube = Some(HypercubeRef { base: HashedKey::new("hcube+x+1"), cells: 4 });
+        let child = p.child(parse_query("SELECT 5, S.B FROM S WHERE S.A = 5").unwrap(), Some(2));
+        assert_eq!(child.hypercube, p.hypercube);
     }
 
     #[test]

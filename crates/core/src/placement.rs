@@ -17,6 +17,13 @@
 //!   ([`crate::split`]): the key becomes `s` sub-keys, tuples route to one
 //!   of them, queries register at all of them.
 //!
+//! Both tiers assume the query reached placement at all: cyclic join
+//! graphs never do. They are diverted at submission by the two-plan
+//! planner onto an n-dimensional cell grid
+//! ([`crate::split::HypercubeGrid`]) whose per-cell replicas are fixed at
+//! plan time — RIC-aware candidate choice only ever sees the pipeline's
+//! rewritten queries.
+//!
 //! Candidate enumeration stays split-aware through
 //! [`split_effective_rate`]: once a key is split, the unit that carries its
 //! load is one *partition*, so the rate the placement decision should see

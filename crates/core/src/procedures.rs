@@ -37,8 +37,9 @@ pub enum Action {
     /// Re-index a rewritten query at another node (the `Eval` message of
     /// Procedures 2 and 3). The engine chooses the target key.
     Reindex {
-        /// The rewritten query and its metadata.
-        pending: PendingQuery,
+        /// The rewritten query and its metadata (boxed: a `PendingQuery`
+        /// dwarfs the answer variant, and actions move through `Vec`s).
+        pending: Box<PendingQuery>,
     },
 }
 
@@ -132,6 +133,7 @@ fn shared_child(
             window_max: pending.window_max,
             query,
             extra_subscribers: extras.collect(),
+            hypercube: pending.hypercube.clone(),
         }
     };
     child.note_contribution(tuple.pub_time());
@@ -289,7 +291,9 @@ fn try_trigger(
         Ok(RewriteResult::Partial(q1)) => {
             let new_start = start_rule(pending.window_start, tuple.pub_time());
             match shared_child(pending, q1, new_start, tuple, schema) {
-                Some(child) => TriggerOutcome::Triggered(vec![Action::Reindex { pending: child }]),
+                Some(child) => {
+                    TriggerOutcome::Triggered(vec![Action::Reindex { pending: Box::new(child) }])
+                }
                 None => TriggerOutcome::NotTriggered,
             }
         }
@@ -339,6 +343,11 @@ pub fn handle_new_tuple(
     let mut removed = 0usize;
     let mut removed_rewritten = 0usize;
     let mut sharing: Vec<(QueryId, usize, usize)> = Vec::new();
+    // Children produced by hypercube-tagged entries stay in this cell: they
+    // are collected during the walk and stored afterwards, so a child never
+    // triggers on the tuple that created it (newest-tuple-drives: each tuple
+    // subset forms exactly one partial, at its latest member's arrival).
+    let mut cell_children: Vec<StoredQuery> = Vec::new();
     // The schema is resolved once per delivery, not once per stored query;
     // published tuples are catalog-validated, so a missing schema cannot
     // occur for tuples that entered through the engine.
@@ -359,6 +368,8 @@ pub fn handle_new_tuple(
             let handle = bucket[idx];
             let stored = queries.get_mut(handle).expect("bucket handles are live");
             let primary = stored.pending.id;
+            let hypercube_parent =
+                stored.pending.hypercube.is_some().then(|| (stored.key.clone(), stored.level));
             let outcome = try_trigger(
                 stored,
                 tuple.as_ref(),
@@ -397,7 +408,31 @@ pub fn handle_new_tuple(
                     state_counters.contact_expirations += 1;
                     // do not advance idx: swap_remove moved a new handle here
                 }
-                TriggerOutcome::Triggered(mut produced) => {
+                TriggerOutcome::Triggered(produced) => {
+                    let mut produced = match hypercube_parent {
+                        Some((key, level)) => {
+                            // A hypercube partial is cell-local: its child is
+                            // stored under the same cell key instead of being
+                            // re-indexed over the network, and duplicate
+                            // elimination for DISTINCT collapses owner-side
+                            // (the meeting property makes completions unique,
+                            // but equal *rows* can complete in other cells).
+                            let mut kept = Vec::with_capacity(produced.len());
+                            for action in produced {
+                                match action {
+                                    Action::Reindex { pending } => {
+                                        let mut child =
+                                            StoredQuery::new(*pending, key.clone(), level);
+                                        child.dedup = None;
+                                        cell_children.push(child);
+                                    }
+                                    deliver => kept.push(deliver),
+                                }
+                            }
+                            kept
+                        }
+                        None => produced,
+                    };
                     sharing.push((primary, actions.len(), produced.len()));
                     actions.append(&mut produced);
                     idx += 1;
@@ -417,6 +452,9 @@ pub fn handle_new_tuple(
     }
     for (primary, start, len) in sharing {
         record_sharing(&mut state.sharing, primary, &actions[start..start + len]);
+    }
+    for child in cell_children {
+        state.store_query(child);
     }
 
     match level {
@@ -532,11 +570,105 @@ fn handle_query_arrival(
     actions
 }
 
+/// Registers a hypercube cell replica of an input query: the replica is
+/// cascaded over the tuples already stored in this cell (copies that were
+/// routed here before the registration arrived) and every partial the
+/// cascade builds is stored locally.
+///
+/// The cascade replays the newest-tuple-drives discipline: walking the
+/// stored tuples in arrival order, each tuple triggers exactly the partials
+/// that existed *before* it was processed (`upto` snapshot), so every tuple
+/// subset forms exactly one partial — at its latest member's position — and
+/// a full combination completes exactly once. Combined with the meeting
+/// property of the grid (a joining combination co-occurs in exactly one
+/// cell) this yields bag-exact answers without any cross-cell coordination;
+/// `DISTINCT` collapses owner-side, so per-entry dedup filters are disabled.
+fn handle_hypercube_arrival(
+    state: &mut NodeState,
+    ctx: &ProcCtx<'_>,
+    pending: PendingQuery,
+    key: &HashedKey,
+    level: IndexLevel,
+) -> Vec<Action> {
+    let ring = key.ring();
+    let mut actions = Vec::new();
+    // Snapshot the cell's stored tuples in arrival order. Payloads are
+    // shared `Arc` handles; the clone frees `state` for the partial store
+    // below without copying tuple data.
+    let tuples: Vec<Arc<Tuple>> = state
+        .stored_tuples
+        .get(&ring)
+        .map(Vec::as_slice)
+        .unwrap_or_default()
+        .iter()
+        .filter_map(|h| state.tuples.get(*h).cloned())
+        .collect();
+    let mut seed = StoredQuery::new(pending, key.clone(), level);
+    seed.dedup = None;
+    let mut partials: Vec<StoredQuery> = vec![seed];
+    let mut alive: Vec<bool> = vec![true];
+    let programs = Arc::clone(&state.programs);
+    let counters = &mut state.compile;
+    let walk = Instant::now();
+    for tuple in &tuples {
+        let Some(schema) = ctx.catalog.schema(tuple.relation()) else {
+            continue;
+        };
+        let upto = partials.len();
+        for idx in 0..upto {
+            if !alive[idx] {
+                continue;
+            }
+            let outcome = try_trigger(
+                &mut partials[idx],
+                tuple.as_ref(),
+                schema,
+                ctx,
+                &programs,
+                counters,
+                |start, pub_time| {
+                    // Procedure 3 rule, as in `handle_query_arrival`: the
+                    // arrival is matching tuples that were stored first.
+                    match start {
+                        None => Some(pub_time),
+                        Some(existing) => Some(existing.max(pub_time)),
+                    }
+                },
+            );
+            match outcome {
+                TriggerOutcome::Expired => alive[idx] = false,
+                TriggerOutcome::Triggered(produced) => {
+                    for action in produced {
+                        match action {
+                            Action::Reindex { pending } => {
+                                let mut child = StoredQuery::new(*pending, key.clone(), level);
+                                child.dedup = None;
+                                partials.push(child);
+                                alive.push(true);
+                            }
+                            deliver => actions.push(deliver),
+                        }
+                    }
+                }
+                TriggerOutcome::NotTriggered => {}
+            }
+        }
+    }
+    counters.eval_nanos += walk.elapsed().as_nanos() as u64;
+    for (stored, alive) in partials.into_iter().zip(alive) {
+        if alive {
+            state.store_query(stored);
+        }
+    }
+    actions
+}
+
 /// Handles the arrival of an *input* query at the node it was indexed at.
 ///
 /// The base algorithm simply stores it; with the ALTT extension the node
 /// also searches the attribute-level tuple table for tuples that arrived
-/// before the query did (Section 4, rule 2).
+/// before the query did (Section 4, rule 2). Hypercube cell replicas take
+/// the cascade path instead: their partials live and die inside the cell.
 pub fn handle_index_query(
     state: &mut NodeState,
     ctx: &ProcCtx<'_>,
@@ -544,6 +676,9 @@ pub fn handle_index_query(
     key: &HashedKey,
     level: IndexLevel,
 ) -> Vec<Action> {
+    if pending.hypercube.is_some() {
+        return handle_hypercube_arrival(state, ctx, pending, key, level);
+    }
     handle_query_arrival(state, ctx, pending, key, level)
 }
 
@@ -566,6 +701,10 @@ pub fn handle_eval(
     // retention horizon.
     let horizon = ctx.config.ric_window + 2 * ctx.config.network_delay.max(1);
     state.eval_ric.record_arrival_bounded(key.ring(), ctx.now, ctx.at, horizon);
+    debug_assert!(
+        pending.hypercube.is_none(),
+        "hypercube partials are cell-local and never travel as Eval messages"
+    );
     handle_query_arrival(state, ctx, pending, key, level)
 }
 
@@ -864,7 +1003,7 @@ mod tests {
         // but the combination's span [5, 13] = 9 exceeds the window.
         let jkey = IndexKey::value("J", "B", Value::from(3));
         let mut state2 = NodeState::new(Id(2));
-        handle_eval(&mut state2, &ctx(&catalog, &config, 12), child, &jkey.hashed(), jkey.level());
+        handle_eval(&mut state2, &ctx(&catalog, &config, 12), *child, &jkey.hashed(), jkey.level());
         let actions = handle_new_tuple(
             &mut state2,
             &ctx(&catalog, &config, 13),
@@ -1067,7 +1206,7 @@ mod tests {
         let answers = handle_eval(
             &mut state2,
             &ctx(&catalog, &config, 4),
-            child,
+            *child,
             &vkey.hashed(),
             vkey.level(),
         );

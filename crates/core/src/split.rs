@@ -37,6 +37,28 @@
 //! thread, when a publication observes that a key's rate crossed the
 //! configured threshold) and read-only during drains, which is what makes
 //! the sharded driver's concurrent dispatch safe and deterministic.
+//!
+//! # From 2-D grids to N-dimensional hypercubes
+//!
+//! [`SplitGrid`] is the degenerate two-axis case of the general **shares**
+//! model. [`HypercubeGrid`] lifts it to `k` axes for the hypercube query
+//! plan (`rjoin_query::plan`): each axis is one join-attribute equivalence
+//! class with share `s_i`, the grid spans `s_1 × … × s_k` cells, and the
+//! share vector comes from the planner's `allocate_shares` — the
+//! k-dimensional generalization of [`choose_grid`]'s rule of minimizing the
+//! dominant per-cell stream.
+//!
+//! Routing generalizes the row/column rule to *subcubes*. A tuple hashes
+//! each attribute its relation binds ([`partition_for_value`]) to pin a
+//! coordinate on that axis, and is replicated across the axes it leaves
+//! unbound: its copies land on the axis-aligned subcube
+//! ([`HypercubeGrid::subcube`]) fixed by its bound coordinates. The
+//! hypercube-planned query (the Eval side) replicates to **all** cells —
+//! the `k`-axis analogue of a query registering at its column's whole row
+//! set. Any full joining combination agrees on every class value, so it
+//! pins every coordinate and its tuples co-occur in **exactly one** cell:
+//! each answer is produced once globally, with no cross-cell coordination
+//! and no per-cell dedup (`DISTINCT` still collapses owner-side).
 
 use crate::messages::QueryId;
 use rjoin_dht::{HashedKey, RingMap};
@@ -85,6 +107,98 @@ impl SplitGrid {
     /// The linear sub-key index of cell `(row, col)`.
     fn cell(&self, row: u32, col: u32) -> u32 {
         row * self.cols + col
+    }
+}
+
+/// An N-dimensional share grid: the cell space of a hypercube-planned
+/// query, one axis per join-attribute equivalence class.
+///
+/// [`SplitGrid`] is the two-axis special case (`rows × cols` with tuples
+/// pinned on axis 0 and queries on axis 1); `HypercubeGrid` carries an
+/// arbitrary share vector `s_1 … s_k` and linearizes cells in row-major
+/// (mixed-radix, last axis fastest) order, matching `SplitGrid::cell`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HypercubeGrid {
+    shares: Vec<u32>,
+}
+
+impl HypercubeGrid {
+    /// A grid with the given per-axis shares.
+    ///
+    /// # Panics
+    /// Panics if any share is zero (an axis with no partitions has no
+    /// coordinates). A zero-axis grid is allowed: it has one cell, the
+    /// centralized degenerate case.
+    pub fn new(shares: Vec<u32>) -> Self {
+        assert!(shares.iter().all(|&s| s >= 1), "every axis share must be non-zero");
+        HypercubeGrid { shares }
+    }
+
+    /// Number of axes.
+    pub fn dims(&self) -> usize {
+        self.shares.len()
+    }
+
+    /// The per-axis shares.
+    pub fn shares(&self) -> &[u32] {
+        &self.shares
+    }
+
+    /// Total number of cells (`∏ s_i`; `1` for a zero-axis grid).
+    pub fn cells(&self) -> u32 {
+        self.shares.iter().product()
+    }
+
+    /// The linear index of the cell at `coords` (row-major, last axis
+    /// fastest).
+    ///
+    /// # Panics
+    /// Panics if `coords` has the wrong arity or a coordinate is out of its
+    /// axis range.
+    pub fn cell_of(&self, coords: &[u32]) -> u32 {
+        assert_eq!(coords.len(), self.dims(), "coordinate arity must match the axis count");
+        let mut cell = 0u32;
+        for (i, (&c, &s)) in coords.iter().zip(&self.shares).enumerate() {
+            assert!(c < s, "coordinate {c} out of range on axis {i} (share {s})");
+            cell = cell * s + c;
+        }
+        cell
+    }
+
+    /// The linear indices of the axis-aligned subcube fixed by the bound
+    /// coordinates: axes with `Some(c)` are pinned to `c`, axes with `None`
+    /// range over their whole share. This is where a tuple's index copies
+    /// land — `∏ s_i` over its unbound axes cells, in ascending linear
+    /// order (deterministic everywhere).
+    ///
+    /// # Panics
+    /// Panics if `bound` has the wrong arity or a pinned coordinate is out
+    /// of range.
+    pub fn subcube(&self, bound: &[Option<u32>]) -> Vec<u32> {
+        assert_eq!(bound.len(), self.dims(), "binding arity must match the axis count");
+        let copies: u32 =
+            bound.iter().zip(&self.shares).map(|(b, &s)| if b.is_some() { 1 } else { s }).product();
+        let mut cells = Vec::with_capacity(copies as usize);
+        let mut coords: Vec<u32> = bound.iter().map(|b| b.unwrap_or(0)).collect();
+        loop {
+            cells.push(self.cell_of(&coords));
+            // Odometer over the unbound axes, last axis fastest.
+            let mut axis = self.dims();
+            loop {
+                if axis == 0 {
+                    return cells;
+                }
+                axis -= 1;
+                if bound[axis].is_some() {
+                    continue;
+                }
+                coords[axis] += 1;
+                if coords[axis] < self.shares[axis] {
+                    break;
+                }
+                coords[axis] = 0;
+            }
+        }
     }
 }
 
@@ -233,6 +347,36 @@ pub fn partition_for_tuple(tuple: &Tuple, parts: u32) -> u32 {
     (h % parts as u64) as u32
 }
 
+/// The axis coordinate a single attribute value pins among `share`
+/// partitions: an FNV-1a hash over the tagged value bytes, reduced mod
+/// `share`. This is the hypercube routing hash — two tuples agreeing on a
+/// join attribute's value always pin the same coordinate on that class's
+/// axis, whatever relation they come from, which is what makes a joining
+/// combination meet in exactly one cell. Pure content hash: deterministic
+/// across drivers, shard counts and arrival order.
+pub fn partition_for_value(value: &rjoin_relation::Value, share: u32) -> u32 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    match value {
+        rjoin_relation::Value::Int(v) => {
+            eat(&[0x01]);
+            eat(&v.to_le_bytes());
+        }
+        rjoin_relation::Value::Str(s) => {
+            eat(&[0x02]);
+            eat(s.as_bytes());
+        }
+    }
+    (h % share as u64) as u32
+}
+
 /// The partition a query belongs to among `parts` sub-keys of a
 /// query-partitioned split key: a mix of the query's identity (owner ring
 /// id and per-owner sequence number) reduced mod `parts`. All rewritten
@@ -367,6 +511,89 @@ mod tests {
         assert_eq!(choose_grid(7, 10, 1000), SplitGrid::queries(7));
         // The clamp: s < 2 is raised to 2.
         assert_eq!(choose_grid(1, 5, 0), SplitGrid::tuples(2));
+    }
+
+    #[test]
+    fn hypercube_grid_linearizes_row_major() {
+        let g = HypercubeGrid::new(vec![2, 3, 2]);
+        assert_eq!(g.dims(), 3);
+        assert_eq!(g.cells(), 12);
+        assert_eq!(g.cell_of(&[0, 0, 0]), 0);
+        assert_eq!(g.cell_of(&[0, 0, 1]), 1);
+        assert_eq!(g.cell_of(&[0, 1, 0]), 2);
+        assert_eq!(g.cell_of(&[1, 2, 1]), 11);
+    }
+
+    #[test]
+    fn hypercube_grid_matches_split_grid_linearization() {
+        // A two-axis hypercube is exactly a SplitGrid: same cell numbering.
+        let sg = SplitGrid::new(4, 2);
+        let hg = HypercubeGrid::new(vec![4, 2]);
+        assert_eq!(sg.cells(), hg.cells());
+        for row in 0..4 {
+            for col in 0..2 {
+                assert_eq!(sg.cell(row, col), hg.cell_of(&[row, col]));
+            }
+        }
+        // A tuple pinned on axis 0 covers the same cells as its grid row;
+        // a query pinned on axis 1 covers the same cells as its column.
+        assert_eq!(hg.subcube(&[Some(2), None]), vec![4, 5]);
+        assert_eq!(hg.subcube(&[None, Some(1)]), vec![1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn subcube_enumerates_unbound_axes() {
+        let g = HypercubeGrid::new(vec![2, 2, 2]);
+        assert_eq!(g.subcube(&[Some(1), Some(0), Some(1)]), vec![5]);
+        assert_eq!(g.subcube(&[Some(0), None, Some(1)]), vec![1, 3]);
+        assert_eq!(g.subcube(&[None, None, None]), (0..8).collect::<Vec<_>>());
+        // The degenerate zero-axis grid has the single centralized cell.
+        let unit = HypercubeGrid::new(Vec::new());
+        assert_eq!(unit.cells(), 1);
+        assert_eq!(unit.subcube(&[]), vec![0]);
+    }
+
+    /// The meeting property in k dimensions: tuples bound on complementary
+    /// axis subsets co-occur in exactly one cell when their pins agree.
+    #[test]
+    fn hypercube_subcubes_meet_exactly_once() {
+        let g = HypercubeGrid::new(vec![3, 2, 4]);
+        for a in 0..3 {
+            for b in 0..2 {
+                for c in 0..4 {
+                    let t1 = g.subcube(&[Some(a), Some(b), None]);
+                    let t2 = g.subcube(&[None, Some(b), Some(c)]);
+                    let meets = t1.iter().filter(|cell| t2.contains(cell)).count();
+                    assert_eq!(meets, 1, "agreeing pins must intersect in one cell");
+                    let full = g.subcube(&[Some(a), Some(b), Some(c)]);
+                    assert_eq!(full.len(), 1);
+                    assert!(t1.contains(&full[0]) && t2.contains(&full[0]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn value_partitioning_is_deterministic_and_spreads() {
+        let v = Value::from(42);
+        assert_eq!(partition_for_value(&v, 8), partition_for_value(&v, 8));
+        assert_eq!(partition_for_value(&v, 1), 0);
+        assert_eq!(
+            partition_for_value(&Value::from(7), 8),
+            partition_for_value(&Value::from(7), 8),
+            "the coordinate depends only on the value, not the carrying tuple"
+        );
+        let mut seen = [false; 4];
+        for i in 0..64 {
+            seen[partition_for_value(&Value::from(i), 4) as usize] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "value hashing must reach every partition");
+        // Int and Str never alias (tagged hashing).
+        assert!(
+            (0..32).any(|i| partition_for_value(&Value::from(i), 64)
+                != partition_for_value(&Value::from(i.to_string().as_str()), 64)),
+            "tagged hashing must distinguish representations somewhere"
+        );
     }
 
     #[test]

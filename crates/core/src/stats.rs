@@ -1,7 +1,8 @@
 //! Aggregated statistics of an engine run, in the units the paper reports.
 
 use rjoin_metrics::{
-    CompileCounters, Distribution, ShardRuntimeStats, SharingCounters, SplitCounters, StateCounters,
+    CompileCounters, Distribution, PlannerCounters, ShardRuntimeStats, SharingCounters,
+    SplitCounters, StateCounters,
 };
 use serde::{Deserialize, Serialize};
 
@@ -57,6 +58,11 @@ pub struct ExperimentStats {
     pub key_heat: Distribution,
     /// What the hot-key splitting subsystem did (zeroed when disabled).
     pub splits: SplitCounters,
+    /// What the two-plan query planner decided: plans chosen per kind,
+    /// hypercube cells/shares allocated, replicated query registrations and
+    /// tuple copies routed into cell spaces (hypercube-side counters stay
+    /// zero for purely acyclic workloads).
+    pub planner: PlannerCounters,
     /// How the compiled rewrite hot loop behaved: programs compiled, cache
     /// hits, per-path rewrite counts and per-delivery eval time
     /// (`interpreted_rewrites` counts triggers when compiled predicates are
@@ -128,6 +134,7 @@ mod tests {
             shard_runtime: ShardRuntimeStats::default(),
             key_heat: Distribution::from_values([6, 4]),
             splits: SplitCounters::default(),
+            planner: PlannerCounters::default(),
             compile: CompileCounters::default(),
             state: StateCounters::default(),
         }

@@ -25,12 +25,15 @@
 //!   (shard count, per-shard tick activations, blocked cross-shard reads),
 //! * [`SplitCounters`] — what the hot-key splitting subsystem did
 //!   (heavy hitters split, state migrated, routing/fan-out overhead),
+//! * [`PlannerCounters`] — what the two-plan query planner decided
+//!   (pipeline vs hypercube plans, shares allocated, replication cost),
 //! * [`StateCounters`] — how the slab-backed stores and timer-wheel expiry
 //!   behaved (slab occupancy and high water, wheel pops vs contact expiry).
 
 mod compile;
 mod counters;
 mod distribution;
+mod planner;
 mod report;
 mod series;
 mod shard;
@@ -41,6 +44,7 @@ mod state;
 pub use compile::CompileCounters;
 pub use counters::LoadMap;
 pub use distribution::Distribution;
+pub use planner::PlannerCounters;
 pub use report::Table;
 pub use series::CumulativeSeries;
 pub use shard::ShardRuntimeStats;

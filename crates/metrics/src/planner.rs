@@ -1,0 +1,93 @@
+//! Observability counters for the two-plan query planner.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters describing what the query planner decided during a run: how
+/// many queries took each plan, how many hypercube cells/shares were
+/// allocated, and how much replication the hypercube plans cost (query
+/// copies registered per cell, tuple copies fanned across unbound axes).
+///
+/// All counters are cumulative over a run; the hypercube-side counters stay
+/// zero when every submitted query is acyclic and the cost model keeps them
+/// on the rewrite pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlannerCounters {
+    /// Queries placed on the paper's pipeline-of-rewrites plan.
+    pub pipeline_plans: u64,
+    /// Queries placed as a replicated hypercube of cells.
+    pub hypercube_plans: u64,
+    /// Total cells allocated across hypercube plans (`Σ ∏ s_i`).
+    pub cells_allocated: u64,
+    /// Total per-axis shares allocated across hypercube plans (`Σ Σ s_i`).
+    pub shares_allocated: u64,
+    /// Query copies sent to register a hypercube plan (one per cell — the
+    /// replicated-Eval side of the hypercube).
+    pub replicated_evals: u64,
+    /// Tuples that matched at least one hypercube plan's relations and were
+    /// routed into its cell space.
+    pub tuples_routed: u64,
+    /// Tuple index copies sent into hypercube cells (subcube sizes summed;
+    /// the excess over `tuples_routed` is the replication across unbound
+    /// axes).
+    pub tuple_copies: u64,
+}
+
+impl PlannerCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether any query took the hypercube plan.
+    pub fn any_hypercube(&self) -> bool {
+        self.hypercube_plans > 0
+    }
+
+    /// Adds another instance's counts into this one.
+    pub fn merge(&mut self, other: &PlannerCounters) {
+        self.pipeline_plans += other.pipeline_plans;
+        self.hypercube_plans += other.hypercube_plans;
+        self.cells_allocated += other.cells_allocated;
+        self.shares_allocated += other.shares_allocated;
+        self.replicated_evals += other.replicated_evals;
+        self.tuples_routed += other.tuples_routed;
+        self.tuple_copies += other.tuple_copies;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = PlannerCounters { pipeline_plans: 3, ..Default::default() };
+        let b = PlannerCounters {
+            pipeline_plans: 1,
+            hypercube_plans: 2,
+            cells_allocated: 16,
+            shares_allocated: 12,
+            replicated_evals: 16,
+            tuples_routed: 40,
+            tuple_copies: 100,
+        };
+        a.merge(&b);
+        assert_eq!(a.pipeline_plans, 4);
+        assert_eq!(a.hypercube_plans, 2);
+        assert_eq!(a.cells_allocated, 16);
+        assert_eq!(a.shares_allocated, 12);
+        assert_eq!(a.replicated_evals, 16);
+        assert_eq!(a.tuples_routed, 40);
+        assert_eq!(a.tuple_copies, 100);
+        assert!(a.any_hypercube());
+        assert!(!PlannerCounters::new().any_hypercube());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = PlannerCounters { hypercube_plans: 2, tuple_copies: 9, ..Default::default() };
+        let v = c.serialize_json();
+        let back = PlannerCounters::deserialize_json(&v).unwrap();
+        assert_eq!(back, c);
+    }
+}

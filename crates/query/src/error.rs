@@ -69,6 +69,12 @@ pub enum QueryError {
         /// The tuple's actual arity.
         arity: usize,
     },
+    /// The query's join graph contains a cycle (e.g. `R.A = S.A AND
+    /// S.B = T.B AND T.C = R.C`) and the hypercube planner is disabled: the
+    /// rewrite pipeline has no plan for cyclic shapes, so the query is
+    /// rejected outright rather than silently dropping the cycle-closing
+    /// conjunct or looping through rewrite stages.
+    CyclicShape,
     /// Rewriting resolved the whole `WHERE` clause (and emptied the `FROM`
     /// list) while a `SELECT` item is still an unresolved attribute
     /// reference — the query can never produce its answer row. Only queries
@@ -117,6 +123,9 @@ impl fmt::Display for QueryError {
                     "attribute `{attr}` resolves to column {index} but the tuple only carries \
                      {arity} values"
                 )
+            }
+            QueryError::CyclicShape => {
+                write!(f, "the query's join graph is cyclic and the hypercube planner is disabled")
             }
             QueryError::UnresolvedSelect { attr } => {
                 write!(

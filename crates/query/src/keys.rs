@@ -168,23 +168,25 @@ pub fn tuple_index_keys(tuple: &Tuple, schema: &Schema) -> Vec<IndexKey> {
 }
 
 /// A tiny union-find over attribute references used to compute the equality
-/// closure of a `WHERE` clause.
+/// closure of a `WHERE` clause. Shared with the planner
+/// ([`crate::plan::JoinGraph`]), which runs the same closure to derive the
+/// join-graph vertices — one equivalence semantics for keys and plans.
 ///
 /// Attribute references are borrowed from the query and resolved with a
 /// linear probe: the attribute sets involved are tiny (a handful per query),
 /// so a scan beats a map and the whole structure stays allocation-light on
 /// the per-tuple dispatch path.
-struct AttrUnionFind<'q> {
+pub(crate) struct AttrUnionFind<'q> {
     parent: Vec<usize>,
     ids: Vec<&'q QualifiedAttr>,
 }
 
 impl<'q> AttrUnionFind<'q> {
-    fn with_capacity(cap: usize) -> Self {
+    pub(crate) fn with_capacity(cap: usize) -> Self {
         AttrUnionFind { parent: Vec::with_capacity(cap), ids: Vec::with_capacity(cap) }
     }
 
-    fn id(&mut self, attr: &'q QualifiedAttr) -> usize {
+    pub(crate) fn id(&mut self, attr: &'q QualifiedAttr) -> usize {
         if let Some(id) = self.ids.iter().position(|known| *known == attr) {
             return id;
         }
@@ -194,7 +196,7 @@ impl<'q> AttrUnionFind<'q> {
         id
     }
 
-    fn find(&mut self, mut x: usize) -> usize {
+    pub(crate) fn find(&mut self, mut x: usize) -> usize {
         while self.parent[x] != x {
             self.parent[x] = self.parent[self.parent[x]];
             x = self.parent[x];
@@ -202,12 +204,22 @@ impl<'q> AttrUnionFind<'q> {
         x
     }
 
-    fn union(&mut self, a: usize, b: usize) {
+    pub(crate) fn union(&mut self, a: usize, b: usize) {
         let ra = self.find(a);
         let rb = self.find(b);
         if ra != rb {
             self.parent[ra] = rb;
         }
+    }
+
+    /// Number of distinct attribute references interned so far.
+    pub(crate) fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// The attribute reference interned under `id`.
+    pub(crate) fn attr(&self, id: usize) -> &'q QualifiedAttr {
+        self.ids[id]
     }
 }
 
@@ -346,6 +358,61 @@ mod tests {
         assert!(keys.contains(&IndexKey::value("R", "A", Value::from(9))));
         assert!(keys.contains(&IndexKey::value("S", "B", Value::from(9))));
         assert!(keys.contains(&IndexKey::value("P", "C", Value::from(9))));
+    }
+
+    #[test]
+    fn cyclic_conjunct_closure_does_not_duplicate_keys() {
+        // The cycle-closing conjunct T.C = R.C revisits relations already in
+        // the chain; every candidate must still appear exactly once.
+        let q = parse_query("SELECT R.A FROM R, S, T WHERE R.A = S.A AND S.B = T.B AND T.C = R.C")
+            .unwrap();
+        let keys = candidate_keys(&q);
+        let mut deduped = keys.clone();
+        deduped.dedup();
+        assert_eq!(keys, deduped);
+        assert_eq!(keys.len(), 6, "three join classes x two members, attribute level only");
+        for k in &keys {
+            assert_eq!(k.level(), IndexLevel::Attribute);
+        }
+    }
+
+    #[test]
+    fn cyclic_closure_with_constant_covers_the_whole_class() {
+        // A constant attached anywhere on a cycle edge must imply value-level
+        // candidates for every member of that class — and only that class.
+        let q = parse_query(
+            "SELECT R.A FROM R, S, T \
+             WHERE R.A = S.A AND S.B = T.B AND T.C = R.C AND R.C = 4",
+        )
+        .unwrap();
+        let keys = candidate_keys(&q);
+        assert!(keys.contains(&IndexKey::value("R", "C", Value::from(4))));
+        assert!(keys.contains(&IndexKey::value("T", "C", Value::from(4))));
+        assert!(!keys.contains(&IndexKey::value("R", "A", Value::from(4))));
+        assert!(!keys.contains(&IndexKey::value("S", "B", Value::from(4))));
+        let value_keys = keys.iter().filter(|k| k.level() == IndexLevel::Value).count();
+        assert_eq!(value_keys, 2);
+    }
+
+    #[test]
+    fn single_class_cycle_collapses_without_duplicates() {
+        // R.A = S.A AND S.A = T.A AND T.A = R.A closes a "cycle" on one
+        // equivalence class; the closure must neither duplicate attribute
+        // keys nor, with a constant attached, miss any implied value key.
+        let q = parse_query(
+            "SELECT R.A FROM R, S, T \
+             WHERE R.A = S.A AND S.A = T.A AND T.A = R.A AND S.A = 2",
+        )
+        .unwrap();
+        let keys = candidate_keys(&q);
+        let mut deduped = keys.clone();
+        deduped.dedup();
+        assert_eq!(keys, deduped);
+        for (rel, attr) in [("R", "A"), ("S", "A"), ("T", "A")] {
+            assert!(keys.contains(&IndexKey::attribute(rel, attr)));
+            assert!(keys.contains(&IndexKey::value(rel, attr, Value::from(2))));
+        }
+        assert_eq!(keys.len(), 6);
     }
 
     #[test]

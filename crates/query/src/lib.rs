@@ -17,6 +17,10 @@
 //! * [`IndexKey`] / [`candidate_keys`] — derivation of the attribute-level
 //!   and value-level DHT keys under which queries and tuples are indexed
 //!   (Sections 3 and 6 of the paper),
+//! * [`plan`] — join-graph shape classification (GYO
+//!   ear-removal, acyclic vs cyclic) and the per-query cost model choosing
+//!   between the paper's pipeline-of-rewrites and a one-shot hypercube
+//!   placement with per-attribute shares ([`plan_query`]),
 //! * [`WindowSpec`] — sliding/tumbling window declarations (Section 5),
 //! * [`fingerprint`] / [`subjoin_signature`] — canonical fingerprints of a
 //!   query's sub-join structure (`FROM` + `WHERE` + window, `SELECT`
@@ -75,6 +79,7 @@ mod error;
 mod fingerprint;
 mod keys;
 mod parser;
+pub mod plan;
 mod rewrite;
 mod window;
 
@@ -84,5 +89,9 @@ pub use error::QueryError;
 pub use fingerprint::{fingerprint, subjoin_signature, subjoin_signature_eq, Fingerprint};
 pub use keys::{candidate_keys, tuple_index_keys, IndexKey, IndexLevel};
 pub use parser::parse_query;
+pub use plan::{
+    allocate_shares, classify_shape, plan_query, HypercubeAxis, HypercubePlan, JoinGraph,
+    QueryPlan, QueryShape,
+};
 pub use rewrite::{resolve_select_items, rewrite, RewriteResult};
 pub use window::{WindowKind, WindowSpec};

@@ -110,6 +110,122 @@ impl QueryGenerator {
         (0..count).map(|_| self.generate()).collect()
     }
 
+    /// Generates one *cyclic* query: `length` pairwise distinct relations
+    /// joined in a closed cycle (`length` = 3 is the triangle
+    /// `R.x = S.y AND S.z = T.u AND T.v = R.w`). Each relation's two
+    /// incident conjuncts use **different** attributes of that relation, so
+    /// every join-attribute equivalence class has exactly two members and
+    /// sits in exactly two relations — the join graph has no GYO ear and is
+    /// genuinely cyclic, never a star that collapses into one class.
+    ///
+    /// # Panics
+    /// Panics if `length < 3`, if the schema has fewer than `length`
+    /// relations, or fewer than 2 attributes per relation.
+    pub fn generate_cycle(&mut self, length: usize) -> JoinQuery {
+        assert!(length >= 3, "a cycle needs at least three relations");
+        assert!(
+            length <= self.schema.relation_count(),
+            "a {length}-cycle needs {length} distinct relations but the schema has {}",
+            self.schema.relation_count()
+        );
+        let attribute_count = self.schema.attribute_count();
+        assert!(attribute_count >= 2, "cycles need two distinct attributes per relation");
+        let relations = self.pick_relations(length);
+        // For relation i: `inbound[i]` receives the closing edge from its
+        // predecessor, `outbound[i]` opens the edge to its successor.
+        let mut conjuncts = Vec::with_capacity(length);
+        let attrs: Vec<(usize, usize)> = (0..length)
+            .map(|_| {
+                let inbound = self.rng.gen_range(0..attribute_count);
+                let outbound =
+                    (inbound + 1 + self.rng.gen_range(0..attribute_count - 1)) % attribute_count;
+                (inbound, outbound)
+            })
+            .collect();
+        for i in 0..length {
+            let next = (i + 1) % length;
+            conjuncts.push(Conjunct::JoinEq(
+                QualifiedAttr::new(relations[i].clone(), self.schema.attribute_name(attrs[i].1)),
+                QualifiedAttr::new(
+                    relations[next].clone(),
+                    self.schema.attribute_name(attrs[next].0),
+                ),
+            ));
+        }
+        let select = self.random_cyclic_select(&relations);
+        JoinQuery::new(self.distinct, select, relations, conjuncts, self.window)
+            .expect("generated cycles are well-formed")
+    }
+
+    /// Generates one *clique* query: every pair of `size` pairwise distinct
+    /// relations is joined (`size` = 3 coincides with the triangle). The
+    /// conjunct between relations at positions `i < j` uses attribute `j` on
+    /// relation `i` and attribute `i` on relation `j`, so each relation's
+    /// `size - 1` incident conjuncts use distinct attributes and the join
+    /// graph is cyclic for every `size >= 3`.
+    ///
+    /// # Panics
+    /// Panics if `size < 3`, or if the schema has fewer than `size`
+    /// relations or fewer than `size` attributes per relation.
+    pub fn generate_clique(&mut self, size: usize) -> JoinQuery {
+        assert!(size >= 3, "a clique needs at least three relations");
+        assert!(
+            size <= self.schema.relation_count(),
+            "a {size}-clique needs {size} distinct relations but the schema has {}",
+            self.schema.relation_count()
+        );
+        assert!(
+            size <= self.schema.attribute_count(),
+            "a {size}-clique needs {size} attributes per relation but the schema has {}",
+            self.schema.attribute_count()
+        );
+        let relations = self.pick_relations(size);
+        let mut conjuncts = Vec::with_capacity(size * (size - 1) / 2);
+        for i in 0..size {
+            for j in (i + 1)..size {
+                conjuncts.push(Conjunct::JoinEq(
+                    QualifiedAttr::new(relations[i].clone(), self.schema.attribute_name(j)),
+                    QualifiedAttr::new(relations[j].clone(), self.schema.attribute_name(i)),
+                ));
+            }
+        }
+        let select = self.random_cyclic_select(&relations);
+        JoinQuery::new(self.distinct, select, relations, conjuncts, self.window)
+            .expect("generated cliques are well-formed")
+    }
+
+    /// Generates `count` cyclic queries of the given cycle length.
+    pub fn generate_cycle_batch(&mut self, count: usize, length: usize) -> Vec<JoinQuery> {
+        (0..count).map(|_| self.generate_cycle(length)).collect()
+    }
+
+    /// Picks `n` pairwise distinct relations in random order.
+    fn pick_relations(&mut self, n: usize) -> Vec<rjoin_relation::Name> {
+        let mut relation_indices: Vec<usize> = (0..self.schema.relation_count()).collect();
+        relation_indices.shuffle(&mut self.rng);
+        relation_indices.truncate(n);
+        relation_indices.iter().map(|&i| self.schema.relation_name(i).into()).collect()
+    }
+
+    /// A random two-attribute `SELECT` list over two distinct relations of a
+    /// cyclic query (cycles have no "ends", so any two positions serve).
+    fn random_cyclic_select(&mut self, relations: &[rjoin_relation::Name]) -> Vec<SelectItem> {
+        let attribute_count = self.schema.attribute_count();
+        let first = self.rng.gen_range(0..relations.len());
+        let offset = 1 + self.rng.gen_range(0..relations.len() - 1);
+        let second = (first + offset) % relations.len();
+        vec![
+            SelectItem::Attr(QualifiedAttr::new(
+                relations[first].clone(),
+                self.schema.attribute_name(self.rng.gen_range(0..attribute_count)),
+            )),
+            SelectItem::Attr(QualifiedAttr::new(
+                relations[second].clone(),
+                self.schema.attribute_name(self.rng.gen_range(0..attribute_count)),
+            )),
+        ]
+    }
+
     /// Generates `count` queries that share `patterns` distinct sub-join
     /// structures — the overlap knob of a multi-query workload.
     ///
@@ -247,6 +363,51 @@ mod tests {
         for q in &queries {
             q.validate(&catalog).unwrap();
         }
+    }
+
+    #[test]
+    fn cycles_are_cyclic_valid_and_reproducible() {
+        let schema = WorkloadSchema::new(5, 3, 10);
+        let catalog = schema.build_catalog();
+        let mut g = QueryGenerator::new(schema.clone(), 1, 31);
+        for length in [3, 4, 5] {
+            for q in g.generate_cycle_batch(40, length) {
+                assert_eq!(q.join_count(), length);
+                assert_eq!(q.relations().len(), length);
+                q.validate(&catalog).unwrap();
+                assert_eq!(
+                    rjoin_query::classify_shape(&q),
+                    rjoin_query::QueryShape::Cyclic,
+                    "generated {length}-cycle must classify as cyclic: {q}"
+                );
+            }
+        }
+        let mut a = QueryGenerator::new(schema.clone(), 1, 9);
+        let mut b = QueryGenerator::new(schema, 1, 9);
+        assert_eq!(a.generate_cycle_batch(10, 4), b.generate_cycle_batch(10, 4));
+    }
+
+    #[test]
+    fn cliques_are_cyclic_and_valid() {
+        let schema = WorkloadSchema::new(5, 5, 10);
+        let catalog = schema.build_catalog();
+        let mut g = QueryGenerator::new(schema, 1, 17);
+        for size in [3, 4, 5] {
+            let q = g.generate_clique(size);
+            assert_eq!(q.join_count(), size * (size - 1) / 2);
+            q.validate(&catalog).unwrap();
+            assert_eq!(
+                rjoin_query::classify_shape(&q),
+                rjoin_query::QueryShape::Cyclic,
+                "generated {size}-clique must classify as cyclic: {q}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three")]
+    fn two_cycles_are_rejected() {
+        let _ = QueryGenerator::new(WorkloadSchema::new(4, 3, 10), 1, 0).generate_cycle(2);
     }
 
     #[test]

@@ -20,6 +20,10 @@ pub struct Scenario {
     pub tuples: usize,
     /// Join conjuncts per query (`joins + 1`-way joins).
     pub joins: usize,
+    /// Cyclic-shape knob: `0` generates the paper's acyclic chain joins;
+    /// `k >= 3` generates `k`-cycle queries instead (`joins` is then
+    /// ignored — a `k`-cycle always has `k` conjuncts).
+    pub cycle: usize,
     /// Zipf skew θ used for relation and value choice.
     pub theta: f64,
     /// Hot-key knob: this fraction of relation/value draws collapses onto
@@ -50,6 +54,7 @@ impl Scenario {
             queries: 20_000,
             tuples: 400,
             joins: 3,
+            cycle: 0,
             theta: 0.9,
             hot_fraction: 0.0,
             window: WindowSpec::None,
@@ -69,6 +74,7 @@ impl Scenario {
             queries: 100,
             tuples: 60,
             joins: 3,
+            cycle: 0,
             theta: 0.9,
             hot_fraction: 0.0,
             window: WindowSpec::None,
@@ -118,6 +124,7 @@ impl Scenario {
             queries: 10_000,
             tuples: 100_000,
             joins: 2,
+            cycle: 0,
             theta: 0.9,
             hot_fraction: 0.0,
             window: WindowSpec::sliding_tuples(64),
@@ -126,6 +133,30 @@ impl Scenario {
             attributes: 10,
             domain: 200,
             seed: 0x5CA1_E007,
+        }
+    }
+
+    /// A small cyclic-workload preset: triangle queries over a dense
+    /// 4-relation schema with a tiny value domain, so the three-way cyclic
+    /// matches actually occur within a 60-tuple run. This is the workload
+    /// of the `cyclic` bench group and the hypercube oracle suite — every
+    /// generated query is rejected by the rewrite pipeline's planner leg
+    /// and must take the hypercube plan.
+    pub fn cyclic_test() -> Self {
+        Scenario {
+            nodes: 32,
+            queries: 12,
+            tuples: 60,
+            joins: 3,
+            cycle: 3,
+            theta: 0.9,
+            hot_fraction: 0.0,
+            window: WindowSpec::None,
+            distinct: false,
+            relations: 4,
+            attributes: 3,
+            domain: 6,
+            seed: 0xC1C1_E007,
         }
     }
 
@@ -147,9 +178,14 @@ impl Scenario {
             .with_hot_fraction(self.hot_fraction)
     }
 
-    /// Generates the full list of queries for this scenario.
+    /// Generates the full list of queries for this scenario: chain joins by
+    /// default, `cycle`-length cyclic queries when the cyclic knob is set.
     pub fn generate_queries(&self) -> Vec<JoinQuery> {
-        self.query_generator().generate_batch(self.queries)
+        if self.cycle >= 3 {
+            self.query_generator().generate_cycle_batch(self.queries, self.cycle)
+        } else {
+            self.query_generator().generate_batch(self.queries)
+        }
     }
 
     /// Generates this scenario's queries with an **overlap knob**: the
@@ -222,6 +258,22 @@ mod tests {
             other => panic!("scale preset must use a sliding window, got {other:?}"),
         }
         assert!(!s.distinct, "dedup would cap answer growth and mask state pressure");
+    }
+
+    #[test]
+    fn cyclic_preset_generates_triangles() {
+        let s = Scenario::cyclic_test();
+        assert_eq!(s.cycle, 3);
+        let queries = s.generate_queries();
+        assert_eq!(queries.len(), s.queries);
+        let catalog = s.workload_schema().build_catalog();
+        for q in &queries {
+            assert_eq!(q.join_count(), 3);
+            assert_eq!(q.relations().len(), 3);
+            q.validate(&catalog).unwrap();
+            assert_eq!(rjoin_query::classify_shape(q), rjoin_query::QueryShape::Cyclic);
+        }
+        assert_eq!(queries, s.generate_queries(), "cyclic workloads must be reproducible");
     }
 
     #[test]
