@@ -187,6 +187,22 @@ fn bench_scale(c: &mut Criterion) {
     group.finish();
 }
 
+/// The value-partitioned trigger index on the scale workload, in lockstep
+/// with `bench_json`'s `probe` group: the `linear` leg walks every stored
+/// query under the contacted attribute-level key per tuple and every stored
+/// tuple per arriving query (the differential oracle), the `indexed` leg
+/// probes only pin-matching stored queries plus the admissible publication
+/// span of stored tuples. Answer streams are identical; the delta is the
+/// cost of O(bucket) walks versus O(matching) probes.
+fn bench_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probe");
+    group.sample_size(10);
+    let config = || EngineConfig::default().with_shared_subjoins().with_altt(256);
+    group.bench_function("linear", |b| b.iter(|| run_scale(config().with_trigger_index(false))));
+    group.bench_function("indexed", |b| b.iter(|| run_scale(config())));
+    group.finish();
+}
+
 /// Cyclic query shapes under the two-plan planner, in lockstep with
 /// `bench_json`'s `cyclic` group: the `pipeline` leg is the matched acyclic
 /// chain workload (cycle knob off, same schema and counts), the `hypercube`
@@ -210,6 +226,7 @@ criterion_group!(
     bench_sharding_runtime,
     bench_compiled_predicates,
     bench_scale,
+    bench_probe,
     bench_cyclic_shapes
 );
 criterion_main!(benches);

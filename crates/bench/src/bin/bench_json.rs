@@ -3,7 +3,7 @@
 //! track the performance trajectory across PRs.
 //!
 //! Usage: `cargo run --release -p rjoin-bench --bin bench_json -- [OUT.json]`
-//! (default output path `BENCH_8.json`). Environment variables:
+//! (default output path `BENCH_9.json`). Environment variables:
 //!
 //! * `BENCH_JSON_ITERS` — per-benchmark iteration count (default 5; CI uses
 //!   a small count — the point is trajectory, not statistics);
@@ -169,7 +169,7 @@ fn measure(group: &str, bench: &str, iters: u64, mut f: impl FnMut() -> u64) -> 
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_8.json".to_string());
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_9.json".to_string());
     let iters: u64 =
         std::env::var("BENCH_JSON_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(5);
     // Optional group filter: `BENCH_JSON_GROUPS=sharding_runtime,skew`.
@@ -257,6 +257,19 @@ fn main() {
             run_scale(scale_config().with_wheel_expiry(false))
         }));
     }
+    // Value-partitioned trigger index on the scale workload: the `linear`
+    // leg walks every stored query under the contacted attribute-level key
+    // per tuple and every stored tuple per arriving query (the differential
+    // oracle), the `indexed` leg probes only pin-matching stored queries
+    // plus the admissible publication span of stored tuples. Both legs
+    // produce identical answer streams (oracle-checked in the
+    // trigger_index suite); the delta is the tentpole win of PR 9.
+    if want("probe") {
+        results.push(measure("probe", "linear", iters, || {
+            run_scale(scale_config().with_trigger_index(false))
+        }));
+        results.push(measure("probe", "indexed", iters, || run_scale(scale_config())));
+    }
     // Hot-key splitting on the point-mass skew workload: the `split` leg
     // pays tuple routing, query fan-out and activation migration; the
     // answer stream is identical (oracle-checked in the split suite).
@@ -288,9 +301,9 @@ fn main() {
     }
 
     let report = BenchReport {
-        // v7 adds the `cyclic` group (chain pipeline vs triangle hypercube
-        // under the two-plan planner).
-        schema_version: 7,
+        // v8 adds the `probe` group (linear-walk oracle vs value-partitioned
+        // trigger index + span-bounded eval walk on the scale workload).
+        schema_version: 8,
         nodes: scenario.nodes,
         queries: scenario.queries,
         tuples: scenario.tuples,

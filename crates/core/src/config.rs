@@ -149,6 +149,17 @@ pub struct EngineConfig {
     /// Cell budget of a hypercube plan: the planner allocates per-axis
     /// shares `s_1 × … × s_k` with `∏ s_i` at most this value.
     pub hypercube_cells: u32,
+    /// When `true` (the default), each node partitions its stored-query
+    /// buckets by the entries' discriminating probe value (the first
+    /// tuple-resolvable constant equality of the compiled rewrite) and a
+    /// tuple arrival contacts only the residual entries plus its own value
+    /// slice — O(matching) instead of O(bucket). When `false`, every
+    /// arrival walks the whole bucket (the linear-walk oracle the
+    /// differential suite compares against). Answers are byte-identical
+    /// either way: skipped entries would have rewritten to `Mismatch`, and
+    /// skipped contact-expiry removals are provably unobservable (see
+    /// `trigger_index` module docs).
+    pub trigger_index: bool,
 }
 
 impl Default for EngineConfig {
@@ -172,6 +183,7 @@ impl Default for EngineConfig {
             wheel_expiry: true,
             hypercube_planner: true,
             hypercube_cells: 8,
+            trigger_index: true,
         }
     }
 }
@@ -268,6 +280,15 @@ impl EngineConfig {
         self
     }
 
+    /// Selects the tuple-arrival probe path: `true` (the default) probes
+    /// the value-partitioned trigger index, `false` walks the whole stored-
+    /// query bucket on every arrival (the linear-walk oracle, retained for
+    /// differential tests and the `probe/linear` bench ablation).
+    pub fn with_trigger_index(mut self, enabled: bool) -> Self {
+        self.trigger_index = enabled;
+        self
+    }
+
     /// Selects whether the hypercube planner is available: `true` (the
     /// default) lets the cost model place cyclic queries as replicated
     /// hypercube cells, `false` rejects cyclic shapes at submission with
@@ -320,6 +341,8 @@ mod tests {
         assert!(!EngineConfig::default().with_compiled_predicates(false).compiled_predicates);
         assert!(c.wheel_expiry, "timer-wheel expiry is the default");
         assert!(!EngineConfig::default().with_wheel_expiry(false).wheel_expiry);
+        assert!(c.trigger_index, "indexed tuple-arrival probing is the default");
+        assert!(!EngineConfig::default().with_trigger_index(false).trigger_index);
         assert!(c.hypercube_planner, "cyclic shapes are a supported workload by default");
         assert_eq!(c.hypercube_cells, 8);
         assert!(!EngineConfig::default().with_hypercube_planner(false).hypercube_planner);

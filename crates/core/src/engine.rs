@@ -19,8 +19,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rjoin_dht::{HashedKey, Id, RingBuildHasher};
 use rjoin_metrics::{
-    CompileCounters, Distribution, LoadMap, PlannerCounters, ShardRuntimeStats, SharingCounters,
-    SplitCounters, StateCounters,
+    CompileCounters, Distribution, LoadMap, PlannerCounters, ProbeCounters, ShardRuntimeStats,
+    SharingCounters, SplitCounters, StateCounters,
 };
 use rjoin_net::{Delivery, Network, NetworkConfig, SimTime, TrafficStats, Transport};
 use rjoin_query::plan::{self, QueryShape};
@@ -127,7 +127,7 @@ pub(crate) fn handle_node_msg(
     // delivery tick `at`, never the clock: a sharded handler's clock can run
     // ahead of `at`, and a deadline is only provably unobservable for
     // deliveries strictly after it.
-    state.advance_expiry(at);
+    state.advance_expiry_batched(at);
     let ctx = ProcCtx { catalog, config, now, at };
     let (load, actions) = match msg {
         RJoinMessage::NewTuple { tuple, key, level, .. } => {
@@ -225,6 +225,7 @@ impl RJoinEngine {
                 let mut state = NodeState::new(*id);
                 state.share_programs(Arc::clone(&programs));
                 state.configure_expiry(config.wheel_expiry, config.network_delay);
+                state.configure_trigger_index(config.trigger_index);
                 (*id, state)
             })
             .collect();
@@ -693,6 +694,7 @@ impl RJoinEngine {
         let mut state = NodeState::new(id);
         state.share_programs(Arc::clone(&self.programs));
         state.configure_expiry(self.config.wheel_expiry, self.config.network_delay);
+        state.configure_trigger_index(self.config.trigger_index);
         self.nodes.insert(id, state);
         self.node_ids.push(id);
         self.rehome_misplaced_state()?;
@@ -1057,6 +1059,18 @@ impl RJoinEngine {
         total
     }
 
+    /// Trigger-index probe counters summed across all live nodes: how many
+    /// arrivals probed the index vs walked linearly, candidates handed out
+    /// vs the bucket lengths a linear walk would have scanned, the residual
+    /// share, and the peak number of indexed handles.
+    pub fn probe_counters(&self) -> ProbeCounters {
+        let mut total = ProbeCounters::new();
+        for state in self.nodes.values() {
+            total.merge(&state.probe_counters());
+        }
+        total
+    }
+
     /// Total number of queries (input + rewritten) currently stored across
     /// all live nodes. A shared entry counts once regardless of how many
     /// subscribers ride on it — this is the stored-query load that sharing
@@ -1129,6 +1143,7 @@ impl RJoinEngine {
             planner: self.planner_counters,
             compile: self.compile_counters(),
             state: self.state_counters(),
+            probe: self.probe_counters(),
         }
     }
 

@@ -196,6 +196,7 @@ mod shared;
 mod slab;
 pub mod split;
 mod stats;
+mod trigger_index;
 
 pub use answers::{AnswerLog, AnswerRecord};
 pub use config::{EngineConfig, PlacementStrategy};

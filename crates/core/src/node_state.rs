@@ -1,13 +1,27 @@
 //! Per-node RJoin state.
+//!
+//! # Trigger-index maintenance contract
+//!
+//! The stored-query buckets are shadowed by a value-partitioned
+//! [`TriggerIndex`] (see [`crate::trigger_index`]): every site that links
+//! a handle into a bucket must file it in the index, and **every** site
+//! that unlinks one — wheel pops ([`NodeState::advance_expiry`]), the
+//! sweep-mode collector ([`NodeState::sweep_expired`]), churn drains
+//! ([`NodeState::drain_misplaced`]) and the procedures' contact-expiry
+//! removals — must unfile it with the removed entry, or indexed probes
+//! would hand out stale handles and miss live entries. Bucket compaction
+//! is `swap_remove`-based; each removal site also fixes the moved entry's
+//! [`StoredQuery::bucket_pos`] so unlinking stays O(1).
 
 use crate::dedup::DedupFilter;
 use crate::expiry::TimerWheel;
 use crate::messages::{PendingQuery, RicInfo};
 use crate::shared::SubJoinRegistry;
 use crate::slab::{Handle, Slab};
+use crate::trigger_index::TriggerIndex;
 use crate::RicTracker;
 use rjoin_dht::{HashedKey, Id, RingMap};
-use rjoin_metrics::{CompileCounters, SharingCounters, StateCounters};
+use rjoin_metrics::{CompileCounters, ProbeCounters, SharingCounters, StateCounters};
 use rjoin_net::SimTime;
 use rjoin_query::{
     fingerprint, subjoin_signature_eq, CompiledTrigger, Fingerprint, IndexLevel, SubJoinProgram,
@@ -16,6 +30,13 @@ use rjoin_query::{
 use rjoin_relation::{Timestamp, Tuple};
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex, MutexGuard};
+
+/// How many ticks the per-delivery wheel advance may lag behind the
+/// delivery clock (see [`NodeState::advance_expiry_batched`]). Physical
+/// removal timing never decides an answer, so the stride only trades a few
+/// ticks of extra retained state for one slot crossing per stride instead
+/// of one per delivery tick.
+const EXPIRY_STRIDE: SimTime = 32;
 
 /// A query (input or rewritten) stored at a node, waiting for tuples.
 #[derive(Debug, Clone)]
@@ -36,13 +57,17 @@ pub struct StoredQuery {
     /// Stays valid for the entry's lifetime: nothing mutates the stored
     /// query in place (merges only touch subscriber lists).
     pub(crate) program: Option<CompiledTrigger>,
+    /// The entry's current position in its ring bucket, kept up to date by
+    /// every bucket mutation (`swap_remove` sites fix the moved entry), so
+    /// unlinking one handle is O(1) instead of an O(bucket) rescan.
+    pub(crate) bucket_pos: usize,
 }
 
 impl StoredQuery {
     /// Wraps a pending query for local storage.
     pub fn new(pending: PendingQuery, key: HashedKey, level: IndexLevel) -> Self {
         let dedup = if pending.query.distinct() { Some(DedupFilter::new()) } else { None };
-        StoredQuery { pending, key, level, dedup, fingerprint: None, program: None }
+        StoredQuery { pending, key, level, dedup, fingerprint: None, program: None, bucket_pos: 0 }
     }
 }
 
@@ -157,6 +182,14 @@ pub struct NodeState {
     pub(crate) tuples: Slab<Arc<Tuple>>,
     /// Handles of stored value-level tuples, grouped by index-key ring id.
     pub(crate) stored_tuples: RingMap<Vec<Handle>>,
+    /// Publication-time sidecar of `stored_tuples`: per ring, the bucket
+    /// positions sorted by `(pub_time, position)`. Tuple buckets are
+    /// append-only between whole-ring drains (see
+    /// [`store_tuple`](Self::store_tuple)), so positions are stable and an
+    /// arriving query can binary-search the admissible publication span
+    /// instead of walking the full bucket (see
+    /// [`crate::trigger_index`] — the eval-side twin of the trigger index).
+    pub(crate) stored_tuple_times: RingMap<Vec<(Timestamp, u32)>>,
     /// Slab of attribute-level tuple table entries: tuples kept for Δ ticks
     /// so that input queries delayed in the network do not miss them
     /// (Section 4).
@@ -212,14 +245,46 @@ pub struct NodeState {
     pub(crate) programs: Arc<Mutex<ProgramCache>>,
     /// Counters of the compiled-rewrite hot loop on this node.
     pub(crate) compile: CompileCounters,
+    /// Value-partitioned trigger index over `stored_queries` (see
+    /// [`crate::trigger_index`] for the maintenance contract): every site
+    /// that links or unlinks a bucket handle mirrors the change here, so a
+    /// tuple arrival probes O(matching) entries instead of O(bucket).
+    pub(crate) trigger_index: TriggerIndex,
     /// Scratch buffer reused by [`advance_expiry`](Self::advance_expiry).
     expiry_scratch: Vec<ExpiryToken>,
+    /// Scratch buffer reused by the span-bounded eval walk in
+    /// [`crate::procedures`] (bucket positions inside the admissible span).
+    pub(crate) span_scratch: Vec<u32>,
     /// Incremental count of stored queries (input + rewritten).
     query_count: usize,
     /// Incremental count of stored *rewritten* queries.
     rewritten_count: usize,
     /// Incremental count of stored value-level tuples.
     tuple_count: usize,
+}
+
+/// Unlinks `handle` from its ring bucket in O(1): `expected_pos` is the
+/// entry's maintained [`StoredQuery::bucket_pos`], verified before use (a
+/// positional scan remains as a defensive fallback for externally mutated
+/// buckets). The entry `swap_remove` moves into the freed slot gets its
+/// `bucket_pos` fixed up, preserving the invariant for later unlinks.
+pub(crate) fn unlink_from_bucket(
+    bucket: &mut Vec<Handle>,
+    queries: &mut Slab<StoredQuery>,
+    handle: Handle,
+    expected_pos: usize,
+) {
+    let pos = match bucket.get(expected_pos) {
+        Some(h) if *h == handle => Some(expected_pos),
+        _ => bucket.iter().position(|h| *h == handle),
+    };
+    let Some(pos) = pos else { return };
+    bucket.swap_remove(pos);
+    if let Some(&moved) = bucket.get(pos) {
+        if let Some(entry) = queries.get_mut(moved) {
+            entry.bucket_pos = pos;
+        }
+    }
 }
 
 /// One drained ALTT bucket: the key ring id and its retained
@@ -263,6 +328,7 @@ impl NodeState {
             stored_queries: RingMap::default(),
             tuples: Slab::new(),
             stored_tuples: RingMap::default(),
+            stored_tuple_times: RingMap::default(),
             altt_entries: Slab::new(),
             altt: RingMap::default(),
             wheel: TimerWheel::new(),
@@ -276,7 +342,9 @@ impl NodeState {
             sharing: SharingCounters::new(),
             programs: Arc::new(Mutex::new(ProgramCache::default())),
             compile: CompileCounters::new(),
+            trigger_index: TriggerIndex::new(),
             expiry_scratch: Vec::new(),
+            span_scratch: Vec::new(),
             query_count: 0,
             rewritten_count: 0,
             tuple_count: 0,
@@ -288,6 +356,18 @@ impl NodeState {
     pub(crate) fn configure_expiry(&mut self, wheel: bool, slack: SimTime) {
         self.wheel_enabled = wheel;
         self.expiry_slack = slack;
+    }
+
+    /// Selects indexed tuple-arrival probing or the linear-walk oracle.
+    /// The engine calls this on every node it creates, before any state is
+    /// stored.
+    pub(crate) fn configure_trigger_index(&mut self, enabled: bool) {
+        self.trigger_index.configure(enabled);
+    }
+
+    /// Snapshot of this node's trigger-index probe counters.
+    pub fn probe_counters(&self) -> ProbeCounters {
+        self.trigger_index.counters()
     }
 
     /// Locked access to this node's RIC tracker.
@@ -342,6 +422,21 @@ impl NodeState {
         &self.subjoins
     }
 
+    /// Per-delivery wheel advance, batched: deadline pops only reclaim
+    /// memory early — answer validity is decided by the explicit window and
+    /// retention filters on every walk (sweep mode never pops at all and is
+    /// differentially verified equivalent) — so the delivery hot path lets
+    /// the wheel lag up to [`EXPIRY_STRIDE`] ticks and pays the slot
+    /// crossing once per stride instead of once per delivery tick.
+    /// Drain-end flushes and the differential GC advance fully via
+    /// [`advance_expiry`](Self::advance_expiry).
+    pub(crate) fn advance_expiry_batched(&mut self, target: SimTime) {
+        if target.saturating_sub(self.wheel.now()) < EXPIRY_STRIDE {
+            return;
+        }
+        self.advance_expiry(target);
+    }
+
     /// Advances the node's timer wheel to `target` and removes every stored
     /// query and ALTT entry whose deadline passed. Called by the drivers at
     /// each delivery's tick (idempotent per tick) and once more at the end
@@ -373,13 +468,12 @@ impl NodeState {
         let Some(expired) = self.queries.remove(handle) else { return };
         let ring = expired.key.ring();
         if let Some(bucket) = self.stored_queries.get_mut(&ring) {
-            if let Some(pos) = bucket.iter().position(|h| *h == handle) {
-                bucket.swap_remove(pos);
-            }
+            unlink_from_bucket(bucket, &mut self.queries, handle, expired.bucket_pos);
             if bucket.is_empty() {
                 self.stored_queries.remove(&ring);
             }
         }
+        self.trigger_index.remove(ring, handle, &expired);
         self.unregister_subjoin(ring, &expired, handle);
         self.query_count -= 1;
         if !expired.pending.is_input() {
@@ -392,9 +486,14 @@ impl NodeState {
     fn pop_expired_altt(&mut self, handle: Handle) {
         let Some(entry) = self.altt_entries.remove(handle) else { return };
         if let Some(bucket) = self.altt.get_mut(&entry.ring) {
-            // Deadlines are monotonic per bucket and the wheel pops in
-            // deadline order, so the handle is at (or next to) the front.
-            if let Some(pos) = bucket.iter().position(|h| *h == handle) {
+            // Deadlines are monotone per bucket (retention Δ is constant)
+            // and the wheel pops in deadline order, so the handle is the
+            // front entry in all but pathological interleavings: pop it in
+            // O(1) instead of scanning the bucket. The positional scan
+            // stays as the fallback for out-of-order pops.
+            if bucket.front() == Some(&handle) {
+                bucket.pop_front();
+            } else if let Some(pos) = bucket.iter().position(|h| *h == handle) {
                 bucket.remove(pos);
             }
             if bucket.is_empty() {
@@ -439,7 +538,13 @@ impl NodeState {
                     continue;
                 }
                 bucket.swap_remove(idx);
+                if let Some(&moved) = bucket.get(idx) {
+                    if let Some(entry) = self.queries.get_mut(moved) {
+                        entry.bucket_pos = idx;
+                    }
+                }
                 let removed = self.queries.remove(handle).expect("entry resolved above");
+                self.trigger_index.remove(ring, handle, &removed);
                 self.unregister_subjoin(ring, &removed, handle);
                 self.query_count -= 1;
                 if !removed.pending.is_input() {
@@ -458,7 +563,7 @@ impl NodeState {
         self.store_query_handle(stored);
     }
 
-    fn store_query_handle(&mut self, stored: StoredQuery) -> Handle {
+    fn store_query_handle(&mut self, mut stored: StoredQuery) -> Handle {
         self.query_count += 1;
         if !stored.pending.is_input() {
             self.rewritten_count += 1;
@@ -469,8 +574,11 @@ impl NodeState {
         } else {
             None
         };
+        let bucket = self.stored_queries.entry(ring).or_default();
+        stored.bucket_pos = bucket.len();
         let handle = self.queries.insert(stored);
-        self.stored_queries.entry(ring).or_default().push(handle);
+        bucket.push(handle);
+        self.trigger_index.insert(ring, handle, self.queries.get(handle).expect("inserted above"));
         if let Some(deadline) = deadline {
             self.wheel.insert(deadline, ExpiryToken::Query(handle));
         }
@@ -535,10 +643,29 @@ impl NodeState {
     }
 
     /// Stores a value-level tuple under the key with ring id `key`.
+    ///
+    /// Buckets are append-only: tuples are only ever removed ring-at-a-time
+    /// ([`drain_misplaced`](Self::drain_misplaced)), so a tuple's bucket
+    /// position is stable for its lifetime and the publication-time sidecar
+    /// can refer to it by position.
     pub fn store_tuple(&mut self, key: u64, tuple: Arc<Tuple>) {
         self.tuple_count += 1;
+        let pub_time = tuple.pub_time();
         let handle = self.tuples.insert(tuple);
-        self.stored_tuples.entry(key).or_default().push(handle);
+        let bucket = self.stored_tuples.entry(key).or_default();
+        let pos = bucket.len() as u32;
+        bucket.push(handle);
+        let times = self.stored_tuple_times.entry(key).or_default();
+        // Publications usually arrive in publication order, so appending is
+        // the common case; a late tuple is binary-inserted. Equal pub_times
+        // stay in position order because the new position is the largest.
+        match times.last() {
+            Some(&(t, _)) if t > pub_time => {
+                let at = times.partition_point(|&(t2, _)| t2 <= pub_time);
+                times.insert(at, (pub_time, pos));
+            }
+            _ => times.push((pub_time, pos)),
+        }
     }
 
     /// Inserts a tuple into the ALTT with the given expiry time.
@@ -664,6 +791,7 @@ impl NodeState {
         let rings: Vec<u64> = self.stored_queries.keys().copied().filter(|r| !keep(*r)).collect();
         for ring in rings {
             let bucket = self.stored_queries.remove(&ring).expect("ring collected above");
+            self.trigger_index.remove_ring(ring);
             for handle in bucket {
                 let stored = self.queries.remove(handle).expect("bucket handles are live");
                 self.unregister_subjoin(ring, &stored, handle);
@@ -677,6 +805,7 @@ impl NodeState {
         let rings: Vec<u64> = self.stored_tuples.keys().copied().filter(|r| !keep(*r)).collect();
         for ring in rings {
             let bucket = self.stored_tuples.remove(&ring).expect("ring collected above");
+            self.stored_tuple_times.remove(&ring);
             let tuples: Vec<Arc<Tuple>> = bucket
                 .into_iter()
                 .map(|h| self.tuples.remove(h).expect("bucket handles are live"))

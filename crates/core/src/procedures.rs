@@ -6,10 +6,19 @@
 //! — including the RIC-aware placement decision — is the engine's job, which
 //! keeps these handlers purely local, exactly like the pseudo-code in the
 //! paper.
+//!
+//! Tuple arrivals ([`handle_new_tuple`]) contact stored queries through the
+//! node's value-partitioned trigger index by default (`O(matching)` probes;
+//! see [`crate::trigger_index`]), falling back to the linear bucket walk
+//! when `EngineConfig::with_trigger_index(false)` selects the oracle mode.
+//! Either way, a contact-expiry removal here is a handle-unlink site under
+//! the index's maintenance contract: it must unfile the removed entry
+//! (`TriggerIndex::remove`) and fix the moved entry's `bucket_pos`
+//! ([`unlink_from_bucket`]) like every other removal path.
 
 use crate::config::EngineConfig;
 use crate::messages::{PendingQuery, QueryId, Subscriber};
-use crate::node_state::{NodeState, ProgramCache, StoredQuery};
+use crate::node_state::{unlink_from_bucket, NodeState, ProgramCache, StoredQuery};
 use rjoin_dht::HashedKey;
 use rjoin_metrics::{CompileCounters, SharingCounters};
 use rjoin_net::SimTime;
@@ -352,21 +361,32 @@ pub fn handle_new_tuple(
     // published tuples are catalog-validated, so a missing schema cannot
     // occur for tuples that entered through the engine.
     let schema = ctx.catalog.schema(tuple.relation());
-    // Disjoint field borrows: the walk resolves bucket handles against the
-    // query slab while expiry removals unregister their registry slot and
-    // the trigger path updates the compile counters, all in one pass.
+    // Disjoint field borrows: the walk resolves candidate handles against
+    // the query slab while expiry removals unlink their bucket slot, unfile
+    // their index entry and unregister their registry slot, all in one pass.
     let stored_map = &mut state.stored_queries;
     let queries = &mut state.queries;
     let subjoins = &mut state.subjoins;
     let state_counters = &mut state.state_counters;
+    let tindex = &mut state.trigger_index;
     let programs = Arc::clone(&state.programs);
     let counters = &mut state.compile;
     if let (Some(schema), Some(bucket)) = (schema, stored_map.get_mut(&ring)) {
         let walk = Instant::now();
-        let mut idx = 0;
-        while idx < bucket.len() {
-            let handle = bucket[idx];
-            let stored = queries.get_mut(handle).expect("bucket handles are live");
+        // The contact set of this arrival: with the trigger index on, the
+        // residual list plus the tuple's value slice of every pinned column
+        // (entries skipped here would have rewritten to `Mismatch` — see
+        // the `trigger_index` module docs for the soundness argument); with
+        // it off, a snapshot of the whole bucket (the linear-walk oracle).
+        let mut candidates = tindex.take_scratch();
+        if tindex.enabled() {
+            tindex.collect_candidates(ring, tuple.as_ref(), schema, bucket.len(), &mut candidates);
+        } else {
+            tindex.note_linear_walk();
+            candidates.extend_from_slice(bucket);
+        }
+        for handle in candidates.drain(..) {
+            let Some(stored) = queries.get_mut(handle) else { continue };
             let primary = stored.pending.id;
             let hypercube_parent =
                 stored.pending.hypercube.is_some().then(|| (stored.key.clone(), stored.level));
@@ -391,8 +411,9 @@ pub fn handle_new_tuple(
             );
             match outcome {
                 TriggerOutcome::Expired => {
-                    bucket.swap_remove(idx);
                     let expired = queries.remove(handle).expect("resolved above");
+                    unlink_from_bucket(bucket, queries, handle, expired.bucket_pos);
+                    tindex.remove(ring, handle, &expired);
                     removed += 1;
                     if !expired.pending.is_input() {
                         removed_rewritten += 1;
@@ -406,7 +427,6 @@ pub fn handle_new_tuple(
                         subjoins.unregister(ring, fp, window, handle);
                     }
                     state_counters.contact_expirations += 1;
-                    // do not advance idx: swap_remove moved a new handle here
                 }
                 TriggerOutcome::Triggered(produced) => {
                     let mut produced = match hypercube_parent {
@@ -435,13 +455,11 @@ pub fn handle_new_tuple(
                     };
                     sharing.push((primary, actions.len(), produced.len()));
                     actions.append(&mut produced);
-                    idx += 1;
                 }
-                TriggerOutcome::NotTriggered => {
-                    idx += 1;
-                }
+                TriggerOutcome::NotTriggered => {}
             }
         }
+        tindex.put_scratch(candidates);
         counters.eval_nanos += walk.elapsed().as_nanos() as u64;
         if bucket.is_empty() {
             stored_map.remove(&ring);
@@ -512,11 +530,31 @@ fn handle_query_arrival(
     // local clock can run ahead of `at`), while the delivery tick is part of
     // the deterministic message schedule.
     let programs = Arc::clone(&state.programs);
+    let indexed = state.trigger_index.enabled();
+    let mut span = std::mem::take(&mut state.span_scratch);
+    span.clear();
     let counters = &mut state.compile;
     let sharing = &mut state.sharing;
     let tuples = &state.tuples;
     let stored_here = state.stored_tuples.get(&ring).map(Vec::as_slice).unwrap_or_default();
+    let bucket_len = stored_here.len();
     let min_insert = stored.pending.min_insert_time();
+    if indexed {
+        // Bound the stored-tuple walk to the publication span the arriving
+        // query could possibly combine with (see [`admissible_pub_span`]):
+        // binary-search the publication-sorted sidecar, then restore bucket
+        // (arrival) order so answers and partials come out exactly as the
+        // linear oracle's would.
+        let (lo, hi) = admissible_pub_span(&stored.pending);
+        if lo <= hi {
+            let times = state.stored_tuple_times.get(&ring).map(Vec::as_slice).unwrap_or_default();
+            let from = times.partition_point(|&(t, _)| t < lo);
+            let to = times.partition_point(|&(t, _)| t <= hi);
+            span.extend(times[from..to].iter().map(|&(_, pos)| pos));
+            span.sort_unstable();
+        }
+    }
+    let probed = span.len();
     let retained = state
         .altt
         .get(&ring)
@@ -526,7 +564,15 @@ fn handle_query_arrival(
         .filter_map(|h| state.altt_entries.get(*h))
         .filter(|e| e.expires_at >= ctx.at && e.tuple.pub_time() >= min_insert)
         .map(|e| &e.tuple);
-    let value_tuples = stored_here.iter().filter_map(|h| tuples.get(*h));
+    let mut bounded_tuples;
+    let mut all_tuples;
+    let value_tuples: &mut dyn Iterator<Item = &Arc<Tuple>> = if indexed {
+        bounded_tuples = span.iter().filter_map(|&pos| tuples.get(stored_here[pos as usize]));
+        &mut bounded_tuples
+    } else {
+        all_tuples = stored_here.iter().filter_map(|h| tuples.get(*h));
+        &mut all_tuples
+    };
     let walk = Instant::now();
     for tuple in value_tuples.chain(retained) {
         // Stored tuples under one ring key can come from different
@@ -561,6 +607,13 @@ fn handle_query_arrival(
         // query itself stays, waiting for newer tuples.
     }
     counters.eval_nanos += walk.elapsed().as_nanos() as u64;
+    if indexed {
+        state.trigger_index.note_span_probe(bucket_len, probed);
+    } else {
+        state.trigger_index.note_linear_walk();
+    }
+    span.clear();
+    state.span_scratch = span;
 
     // Stored for future tuples — merged into a structurally identical entry
     // instead when the shared sub-join path is enabled and a twin exists.
@@ -568,6 +621,52 @@ fn handle_query_arrival(
     // twin already consumed the stored tuples for its own subscribers.
     state.store_query_shared(stored, ctx.config.share_subjoins);
     actions
+}
+
+/// The closed publication-time span `[lo, hi]` outside of which no stored
+/// tuple can pass the pre-dedup gates of [`try_trigger`] for `pending`: the
+/// `min_insert_time` floor, the window-validity test against `window_start`,
+/// and the sliding contribution-span test against
+/// `[window_min, window_max]`. Every gate ahead of the dedup admission is a
+/// pure predicate over the tuple's publication time — nothing before
+/// `dedup.admit` mutates the entry — so skipping out-of-span tuples is
+/// unobservable, which is what lets an arriving query binary-search the
+/// publication-sorted sidecar instead of scanning its whole bucket. The
+/// span is a *superset* of what the gates admit (they still run for every
+/// walked tuple); `lo > hi` means no stored tuple can trigger.
+fn admissible_pub_span(pending: &PendingQuery) -> (Timestamp, Timestamp) {
+    let mut lo = pending.min_insert_time();
+    let mut hi = Timestamp::MAX;
+    match *pending.query.window() {
+        rjoin_query::WindowSpec::None => {}
+        rjoin_query::WindowSpec::Sliding { duration, .. } => {
+            // `within(a, b)` is `|a - b| + 1 <= duration`, so a tuple can
+            // only pass with a publication time within `duration - 1` of
+            // the window start, and within `duration - 1` of both ends of
+            // the partial combination's contribution span.
+            let reach = duration.saturating_sub(1);
+            if let Some(start) = pending.window_start {
+                lo = lo.max(start.saturating_sub(reach));
+                hi = hi.min(start.saturating_add(reach));
+            }
+            if let (Some(min), Some(max)) = (pending.window_min, pending.window_max) {
+                lo = lo.max(max.saturating_sub(reach));
+                hi = hi.min(min.saturating_add(reach));
+            }
+        }
+        rjoin_query::WindowSpec::Tumbling { duration, .. } => {
+            if let Some(start) = pending.window_start {
+                if duration == 0 {
+                    // `within` rejects everything for a zero-length bucket.
+                    return (1, 0);
+                }
+                let base = start - start % duration;
+                lo = lo.max(base);
+                hi = hi.min(base.saturating_add(duration - 1));
+            }
+        }
+    }
+    (lo, hi)
 }
 
 /// Registers a hypercube cell replica of an input query: the replica is

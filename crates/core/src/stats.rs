@@ -1,8 +1,8 @@
 //! Aggregated statistics of an engine run, in the units the paper reports.
 
 use rjoin_metrics::{
-    CompileCounters, Distribution, PlannerCounters, ShardRuntimeStats, SharingCounters,
-    SplitCounters, StateCounters,
+    CompileCounters, Distribution, PlannerCounters, ProbeCounters, ShardRuntimeStats,
+    SharingCounters, SplitCounters, StateCounters,
 };
 use serde::{Deserialize, Serialize};
 
@@ -72,6 +72,12 @@ pub struct ExperimentStats {
     /// per store, scheduled wheel deadlines, and reclamations split into
     /// wheel pops vs contact expirations (all-contact in sweep mode).
     pub state: StateCounters,
+    /// How tuple-arrival probing behaved: indexed probes vs linear walks,
+    /// candidates handed out vs the bucket lengths a linear walk would have
+    /// scanned, the residual share, and the summed per-node peak of indexed
+    /// handles. `candidates_probed / bucket_len_total` is the direct measure
+    /// of what the value-partitioned trigger index saves.
+    pub probe: ProbeCounters,
 }
 
 impl ExperimentStats {
@@ -137,6 +143,7 @@ mod tests {
             planner: PlannerCounters::default(),
             compile: CompileCounters::default(),
             state: StateCounters::default(),
+            probe: ProbeCounters::default(),
         }
     }
 

@@ -28,12 +28,16 @@
 //! * [`PlannerCounters`] — what the two-plan query planner decided
 //!   (pipeline vs hypercube plans, shares allocated, replication cost),
 //! * [`StateCounters`] — how the slab-backed stores and timer-wheel expiry
-//!   behaved (slab occupancy and high water, wheel pops vs contact expiry).
+//!   behaved (slab occupancy and high water, wheel pops vs contact expiry),
+//! * [`ProbeCounters`] — how the value-partitioned trigger index narrowed
+//!   tuple-arrival probes (candidates vs bucket length, residual share,
+//!   index size high water).
 
 mod compile;
 mod counters;
 mod distribution;
 mod planner;
+mod probe;
 mod report;
 mod series;
 mod shard;
@@ -45,6 +49,7 @@ pub use compile::CompileCounters;
 pub use counters::LoadMap;
 pub use distribution::Distribution;
 pub use planner::PlannerCounters;
+pub use probe::ProbeCounters;
 pub use report::Table;
 pub use series::CumulativeSeries;
 pub use shard::ShardRuntimeStats;

@@ -80,6 +80,23 @@ impl SubJoinProgram {
         &self.relation
     }
 
+    /// The program's discriminating probe key, if it has one: the first
+    /// pre-folded constant filter, as a (column offset, expected value)
+    /// pair. A tuple whose column `offset` differs from `value` is rejected
+    /// by [`execute`](CompiledTrigger::execute) before anything else runs,
+    /// so a trigger index that partitions stored entries by this pin only
+    /// has to probe the entries whose pin matches the arriving tuple.
+    /// `None` for unpinned programs (no tuple-resolvable equality over the
+    /// trigger relation) — those must still be walked.
+    ///
+    /// Agrees with [`probe_pins`] by construction: [`compile_subjoin`]
+    /// folds exactly the `ConstEq` conjuncts over the trigger relation into
+    /// `const_filters`, in conjunct source order, so the first filter here
+    /// is the first pin there resolved against the schema.
+    pub fn probe_key(&self) -> Option<(AttrIndex, &Value)> {
+        self.const_filters.first().map(|(offset, value)| (*offset, value))
+    }
+
     /// Whether this program was compiled from exactly this sub-join shape
     /// for `relation`. `SELECT` lists are deliberately ignored — the
     /// `WHERE`-side template is projection-agnostic.
@@ -173,6 +190,27 @@ pub fn compile_subjoin(query: &JoinQuery, schema: &Schema) -> Result<SubJoinProg
         window: *query.window(),
         source_relations: query.relations().to_vec(),
         source_conjuncts: query.conjuncts().to_vec(),
+    })
+}
+
+/// The tuple-resolvable equality pins of `query` for tuples of `relation`,
+/// in conjunct source order: every `ConstEq` conjunct over `relation`, as
+/// the (attribute, expected value) pairs a trigger index can partition
+/// stored queries by. A tuple of `relation` can only trigger `query` if it
+/// carries every listed value at the listed attribute — the same pre-folded
+/// filters [`compile_subjoin`] hoists to the front of the compiled program
+/// (and in the same order, which is what keeps the AST-level extraction
+/// here and [`SubJoinProgram::probe_key`] in agreement).
+///
+/// Usable before any program exists: stored queries are indexed at store
+/// time, while programs are compiled lazily at first trigger.
+pub fn probe_pins<'a>(
+    query: &'a JoinQuery,
+    relation: &'a str,
+) -> impl Iterator<Item = (&'a QualifiedAttr, &'a Value)> + 'a {
+    query.conjuncts().iter().filter_map(move |conjunct| match conjunct {
+        Conjunct::ConstEq(attr, value) if attr.relation == relation => Some((attr, value)),
+        _ => None,
     })
 }
 
@@ -479,6 +517,32 @@ mod tests {
         let q = parse_query("SELECT S.Z FROM S, R WHERE S.Z = R.A").unwrap();
         let err = compile_trigger(&q, &schema("S")).unwrap_err();
         assert!(matches!(err, QueryError::UnknownAttribute { .. }));
+    }
+
+    /// The AST-level pin extraction and the compiled program's probe key
+    /// must agree: same conjunct picked first, same value, and the offset
+    /// is the schema resolution of the picked attribute.
+    #[test]
+    fn probe_pins_agree_with_compiled_probe_key() {
+        let q =
+            parse_query("SELECT S.C FROM S, R WHERE S.B = R.B AND S.A = 2 AND S.C = 7 AND R.A = 1")
+                .unwrap();
+        let s = schema("S");
+        let pins: Vec<_> = probe_pins(&q, "S").collect();
+        assert_eq!(pins.len(), 2);
+        assert_eq!(pins[0], (&attr("S", "A"), &Value::from(2)));
+        assert_eq!(pins[1], (&attr("S", "C"), &Value::from(7)));
+        let program = compile_subjoin(&q, &s).unwrap();
+        let (offset, value) = program.probe_key().expect("pinned program");
+        assert_eq!(offset, s.index_of(&pins[0].0.attribute).unwrap());
+        assert_eq!(value, pins[0].1);
+        // The R-side pin belongs to R-triggered programs only.
+        let r_pins: Vec<_> = probe_pins(&q, "R").collect();
+        assert_eq!(r_pins, vec![(&attr("R", "A"), &Value::from(1))]);
+        // A pure join query has no pins and an unpinned program.
+        let unpinned = parse_query("SELECT S.B FROM S, R WHERE S.A = R.A").unwrap();
+        assert_eq!(probe_pins(&unpinned, "S").count(), 0);
+        assert!(compile_subjoin(&unpinned, &s).unwrap().probe_key().is_none());
     }
 
     #[test]

@@ -84,7 +84,7 @@ mod rewrite;
 mod window;
 
 pub use ast::{Conjunct, EmitStep, JoinQuery, QualifiedAttr, SelectItem, SelectStep};
-pub use compile::{compile_subjoin, compile_trigger, CompiledTrigger, SubJoinProgram};
+pub use compile::{compile_subjoin, compile_trigger, probe_pins, CompiledTrigger, SubJoinProgram};
 pub use error::QueryError;
 pub use fingerprint::{fingerprint, subjoin_signature, subjoin_signature_eq, Fingerprint};
 pub use keys::{candidate_keys, tuple_index_keys, IndexKey, IndexLevel};

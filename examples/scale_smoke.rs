@@ -4,8 +4,9 @@
 //! generator the O(active) state machinery (slab-backed stores + timer-wheel
 //! expiry) is sized for. Running it in full takes minutes; this example runs
 //! a reduced cut end-to-end and prints the run's statistics as CSV — answer
-//! and traffic totals plus the slab/wheel gauges — so CI can archive the
-//! state-machinery trajectory next to the bench numbers.
+//! and traffic totals plus the slab/wheel gauges and the trigger-index
+//! probe counters — so CI can archive the state-machinery trajectory next
+//! to the bench numbers.
 //!
 //! Run with: `cargo run --release --example scale_smoke`
 //!
@@ -61,6 +62,13 @@ fn main() {
     println!("wheel_scheduled,{}", state.wheel_scheduled);
     println!("wheel_pops,{}", state.wheel_pops);
     println!("contact_expirations,{}", state.contact_expirations);
+    let probe = stats.probe;
+    println!("indexed_probes,{}", probe.indexed_probes);
+    println!("linear_walks,{}", probe.linear_walks);
+    println!("candidates_probed,{}", probe.candidates_probed);
+    println!("residual_probed,{}", probe.residual_probed);
+    println!("bucket_len_total,{}", probe.bucket_len_total);
+    println!("index_entries_high_water,{}", probe.index_entries_high_water);
 
     // The point of the machinery, asserted where CI will trip on it: with
     // the wheel on, reclamation is deadline pops, and peak live state stays
@@ -70,8 +78,18 @@ fn main() {
         state.query_slab_high_water < stats.qpl_total,
         "peak live stored queries must stay below cumulative processing volume"
     );
+    assert!(probe.indexed_probes > 0, "the trigger index must serve tuple arrivals by default");
+    assert!(
+        probe.candidates_probed <= probe.bucket_len_total,
+        "the index must never hand out more candidates than a linear walk would scan"
+    );
     eprintln!(
-        "scale smoke ok: {} answers, {} wheel pops vs {} contact expirations",
-        stats.answers, state.wheel_pops, state.contact_expirations
+        "scale smoke ok: {} answers, {} wheel pops vs {} contact expirations, \
+         {} candidates probed of {} bucket entries",
+        stats.answers,
+        state.wheel_pops,
+        state.contact_expirations,
+        probe.candidates_probed,
+        probe.bucket_len_total
     );
 }
