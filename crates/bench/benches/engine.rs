@@ -66,7 +66,7 @@ fn bench_ric_reuse_ablation(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("with_reuse", |b| b.iter(|| run(EngineConfig::default(), &scenario)));
     group.bench_function("without_reuse", |b| {
-        b.iter(|| run(EngineConfig::default().without_ric_reuse(), &scenario))
+        b.iter(|| run(EngineConfig::default().with_ric_reuse(false), &scenario))
     });
     group.finish();
 }
@@ -181,7 +181,7 @@ fn run_scale(config: EngineConfig) -> u64 {
 fn bench_scale(c: &mut Criterion) {
     let mut group = c.benchmark_group("scale");
     group.sample_size(10);
-    let config = || EngineConfig::default().with_shared_subjoins().with_altt(256);
+    let config = || EngineConfig::default().with_subjoin_sharing(true).with_altt(256);
     group.bench_function("engine", |b| b.iter(|| run_scale(config())));
     group.bench_function("sweep", |b| b.iter(|| run_scale(config().with_wheel_expiry(false))));
     group.finish();
@@ -197,7 +197,7 @@ fn bench_scale(c: &mut Criterion) {
 fn bench_probe(c: &mut Criterion) {
     let mut group = c.benchmark_group("probe");
     group.sample_size(10);
-    let config = || EngineConfig::default().with_shared_subjoins().with_altt(256);
+    let config = || EngineConfig::default().with_subjoin_sharing(true).with_altt(256);
     group.bench_function("linear", |b| b.iter(|| run_scale(config().with_trigger_index(false))));
     group.bench_function("indexed", |b| b.iter(|| run_scale(config())));
     group.finish();

@@ -55,7 +55,7 @@ fn main() {
         };
         cfg = cfg.with_compiled_predicates(compiled);
         if shared {
-            cfg = cfg.with_shared_subjoins();
+            cfg = cfg.with_subjoin_sharing(true);
         }
         let start = Instant::now();
         let mut last = None;

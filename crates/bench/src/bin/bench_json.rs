@@ -89,7 +89,7 @@ fn scale_scenario() -> Scenario {
 /// so all three state families (stored queries, value tuples, ALTT buckets)
 /// carry load and expiry pressure.
 fn scale_config() -> EngineConfig {
-    EngineConfig::default().with_shared_subjoins().with_altt(256)
+    EngineConfig::default().with_subjoin_sharing(true).with_altt(256)
 }
 
 /// Queries per shared sub-join pattern in the scale workload. The scale
@@ -197,7 +197,7 @@ fn main() {
             run(EngineConfig::default(), &scenario)
         }));
         results.push(measure("ric_reuse", "without_reuse", iters, || {
-            run(EngineConfig::default().without_ric_reuse(), &scenario)
+            run(EngineConfig::default().with_ric_reuse(false), &scenario)
         }));
     }
     if want("window_size") {
@@ -216,7 +216,7 @@ fn main() {
             run_overlap(EngineConfig::default(), &scenario)
         }));
         results.push(measure("sharing", "shared", iters, || {
-            run_overlap(EngineConfig::default().with_shared_subjoins(), &scenario)
+            run_overlap(EngineConfig::default().with_subjoin_sharing(true), &scenario)
         }));
     }
     // Sharded event-queue runtime on the cascade-heavy standard workload:

@@ -525,7 +525,7 @@ pub fn ablation_ric_reuse(scale: Scale) -> Vec<Table> {
     scenario.tuples = scale.tuples(400);
 
     let with = run_experiment(&scenario, EngineConfig::default(), &[]);
-    let without = run_experiment(&scenario, EngineConfig::default().without_ric_reuse(), &[]);
+    let without = run_experiment(&scenario, EngineConfig::default().with_ric_reuse(false), &[]);
 
     let mut table = Table::new(
         "Ablation: RIC piggy-backing and candidate-table caching (Section 7)",
@@ -605,7 +605,7 @@ pub fn sharing_modes(scale: Scale) -> Vec<Table> {
     );
     for (name, scenario) in figure_scenarios(scale) {
         let off = run_experiment(&scenario, EngineConfig::default(), &[]);
-        let on = run_experiment(&scenario, EngineConfig::default().with_shared_subjoins(), &[]);
+        let on = run_experiment(&scenario, EngineConfig::default().with_subjoin_sharing(true), &[]);
         let answers_equal = off.answers == on.answers;
         let wins = answers_equal
             && on.stats.traffic_total <= off.stats.traffic_total

@@ -188,6 +188,11 @@ impl Default for EngineConfig {
     }
 }
 
+/// Construction and quantitative tuning knobs.
+///
+/// Boolean feature toggles live in the [Features](#features) block below;
+/// this block holds the constructors and the setters that take a magnitude
+/// (a tick count, a shard count, a cell budget, …).
 impl EngineConfig {
     /// The configuration used for the paper's main experiments: RIC-aware
     /// placement with reuse, no windows-specific settings (windows are per
@@ -215,29 +220,6 @@ impl EngineConfig {
         self
     }
 
-    /// Disables RIC reuse (piggy-backing and candidate-table caching), the
-    /// ablation discussed in Section 7.
-    pub fn without_ric_reuse(mut self) -> Self {
-        self.reuse_ric = false;
-        self
-    }
-
-    /// Restricts rewritten queries to value-level placement (the Section 3
-    /// base algorithm), which guarantees eventual completeness without the
-    /// ALTT.
-    pub fn with_value_level_rewrites(mut self) -> Self {
-        self.rewritten_value_level_only = true;
-        self
-    }
-
-    /// Enables shared sub-join evaluation (the multi-query optimization):
-    /// structurally identical queries are stored, rewritten and re-indexed
-    /// once, with answers fanned back out per subscriber.
-    pub fn with_shared_subjoins(mut self) -> Self {
-        self.share_subjoins = true;
-        self
-    }
-
     /// Sets the number of event-queue shards the parallel driver uses
     /// (clamped to at least 1). `with_shards(1)` keeps the single global
     /// queue and is byte-identical to the sequential driver.
@@ -257,6 +239,63 @@ impl EngineConfig {
     /// the machine's available parallelism.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Sets the hypercube cell budget (clamped to at least 2 — a one-cell
+    /// budget would centralize every hypercube-planned query).
+    pub fn with_hypercube_cells(mut self, cells: u32) -> Self {
+        self.hypercube_cells = cells.max(2);
+        self
+    }
+
+    /// Enables hot-key splitting: a key observed to receive at least
+    /// `threshold` tuples per RIC window is split into `partitions`
+    /// deterministic sub-keys — tuples route to exactly one sub-key,
+    /// queries register at all of them, and the answer stream is identical
+    /// to the unsplit run while the hot key's load spreads over
+    /// `partitions` nodes. `partitions` is clamped to at least 2.
+    pub fn with_hot_key_splitting(mut self, threshold: u64, partitions: u32) -> Self {
+        self.hot_key_threshold = Some(threshold);
+        self.hot_key_partitions = partitions.max(2);
+        self
+    }
+}
+
+/// # Features
+///
+/// Every boolean feature toggle has the same shape: `with_<feature>(bool)`,
+/// where `true` enables the feature and `false` selects the baseline the
+/// differential suites compare against. Each setter documents which of the
+/// two is the default; chaining setters is order-independent because each
+/// writes exactly one field.
+impl EngineConfig {
+    /// Selects RIC reuse (Section 7): `true` (the default) piggy-backs RIC
+    /// information on rewritten queries and caches it in each node's
+    /// candidate table, `false` pays the full RIC-request cost on every
+    /// (re-)indexing decision — the ablation discussed in Section 7.
+    pub fn with_ric_reuse(mut self, enabled: bool) -> Self {
+        self.reuse_ric = enabled;
+        self
+    }
+
+    /// Selects where rewritten queries may be indexed: `true` restricts
+    /// them to value-level keys (the Section 3 base algorithm, which
+    /// guarantees eventual completeness without the ALTT), `false` (the
+    /// default) allows attribute-level placement when RIC information
+    /// favours it (the Section 6 generalisation).
+    pub fn with_value_level_only(mut self, enabled: bool) -> Self {
+        self.rewritten_value_level_only = enabled;
+        self
+    }
+
+    /// Selects shared sub-join evaluation (the multi-query optimization):
+    /// `true` stores, rewrites and re-indexes structurally identical
+    /// queries once, fanning answers back out per subscriber; `false` (the
+    /// default) keeps the unshared path that reproduces the paper's
+    /// per-query accounting exactly.
+    pub fn with_subjoin_sharing(mut self, enabled: bool) -> Self {
+        self.share_subjoins = enabled;
         self
     }
 
@@ -297,24 +336,32 @@ impl EngineConfig {
         self.hypercube_planner = enabled;
         self
     }
+}
 
-    /// Sets the hypercube cell budget (clamped to at least 2 — a one-cell
-    /// budget would centralize every hypercube-planned query).
-    pub fn with_hypercube_cells(mut self, cells: u32) -> Self {
-        self.hypercube_cells = cells.max(2);
-        self
+/// # Deprecated setter shims
+///
+/// Earlier revisions grew feature toggles by accretion, so some took no
+/// argument (`with_shared_subjoins()`) while others took an explicit
+/// `bool` (`with_compiled_predicates(false)`). The argument-less shapes
+/// survive here as shims over the consolidated
+/// [Features](#features) setters.
+impl EngineConfig {
+    /// Disables RIC reuse (piggy-backing and candidate-table caching).
+    #[deprecated(note = "use `with_ric_reuse(false)`")]
+    pub fn without_ric_reuse(self) -> Self {
+        self.with_ric_reuse(false)
     }
 
-    /// Enables hot-key splitting: a key observed to receive at least
-    /// `threshold` tuples per RIC window is split into `partitions`
-    /// deterministic sub-keys — tuples route to exactly one sub-key,
-    /// queries register at all of them, and the answer stream is identical
-    /// to the unsplit run while the hot key's load spreads over
-    /// `partitions` nodes. `partitions` is clamped to at least 2.
-    pub fn with_hot_key_splitting(mut self, threshold: u64, partitions: u32) -> Self {
-        self.hot_key_threshold = Some(threshold);
-        self.hot_key_partitions = partitions.max(2);
-        self
+    /// Restricts rewritten queries to value-level placement.
+    #[deprecated(note = "use `with_value_level_only(true)`")]
+    pub fn with_value_level_rewrites(self) -> Self {
+        self.with_value_level_only(true)
+    }
+
+    /// Enables shared sub-join evaluation.
+    #[deprecated(note = "use `with_subjoin_sharing(true)`")]
+    pub fn with_shared_subjoins(self) -> Self {
+        self.with_subjoin_sharing(true)
     }
 }
 
@@ -329,7 +376,7 @@ mod tests {
         assert!(c.reuse_ric);
         assert!(c.altt_delta.is_none());
         assert!(!c.share_subjoins, "sharing is opt-in: the default reproduces the paper");
-        assert!(EngineConfig::default().with_shared_subjoins().share_subjoins);
+        assert!(EngineConfig::default().with_subjoin_sharing(true).share_subjoins);
         assert_eq!(c.shards, 1, "the default driver is the single-queue one");
         assert_eq!(EngineConfig::default().with_shards(8).shards, 8);
         assert_eq!(EngineConfig::default().with_shards(0).shards, 1, "shards clamp to >= 1");
@@ -355,6 +402,33 @@ mod tests {
     }
 
     #[test]
+    fn feature_setters_take_explicit_bool() {
+        let c = EngineConfig::default()
+            .with_ric_reuse(false)
+            .with_value_level_only(true)
+            .with_subjoin_sharing(true);
+        assert!(!c.reuse_ric);
+        assert!(c.rewritten_value_level_only);
+        assert!(c.share_subjoins);
+        let back = c.with_ric_reuse(true).with_value_level_only(false).with_subjoin_sharing(false);
+        assert!(back.reuse_ric);
+        assert!(!back.rewritten_value_level_only);
+        assert!(!back.share_subjoins);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_forward_to_bool_setters() {
+        let c = EngineConfig::default()
+            .without_ric_reuse()
+            .with_value_level_rewrites()
+            .with_shared_subjoins();
+        assert!(!c.reuse_ric);
+        assert!(c.rewritten_value_level_only);
+        assert!(c.share_subjoins);
+    }
+
+    #[test]
     fn hot_key_splitting_builder_sets_and_clamps() {
         let c = EngineConfig::default().with_hot_key_splitting(25, 4);
         assert_eq!(c.hot_key_threshold, Some(25));
@@ -368,7 +442,7 @@ mod tests {
         let c = EngineConfig::with_placement(PlacementStrategy::Worst)
             .with_altt(50)
             .with_delay(9)
-            .without_ric_reuse();
+            .with_ric_reuse(false);
         assert_eq!(c.placement, PlacementStrategy::Worst);
         assert_eq!(c.altt_delta, Some(50));
         assert_eq!(c.network_delay, 9);

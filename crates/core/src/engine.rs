@@ -5,6 +5,7 @@ use crate::answers::{AnswerLog, AnswerRecord};
 use crate::config::{EngineConfig, PlacementStrategy};
 use crate::error::EngineError;
 use crate::messages::{HypercubeRef, PendingQuery, QueryId, RJoinMessage, RicInfo};
+use crate::node_id::NodeId;
 use crate::node_state::DrainedState;
 use crate::node_state::{NodeState, ProgramCache, RicEntry};
 use crate::placement::choose_candidate;
@@ -22,7 +23,7 @@ use rjoin_metrics::{
     CompileCounters, Distribution, LoadMap, PlannerCounters, ProbeCounters, ShardRuntimeStats,
     SharingCounters, SplitCounters, StateCounters,
 };
-use rjoin_net::{Delivery, Network, NetworkConfig, SimTime, TrafficStats, Transport};
+use rjoin_net::{Delivery, KeyRouter, Network, NetworkConfig, SimTime, TrafficStats, Transport};
 use rjoin_query::plan::{self, QueryShape};
 use rjoin_query::{candidate_keys, tuple_index_keys, IndexKey, IndexLevel, JoinQuery, QueryError};
 use rjoin_relation::{Catalog, Name, Tuple};
@@ -64,19 +65,19 @@ struct HypercubePlacement {
 /// The query-processing / storage-load counter increments one delivery
 /// charges, resolved during the node-local phase and applied in the
 /// deterministic effect phase.
-pub(crate) struct LoadDelta {
+pub struct LoadDelta {
     /// Ring id of the index key the delivery was addressed to.
-    pub(crate) key: u64,
+    pub key: u64,
     /// Whether the delivery also adds storage load (value-level tuple copy
     /// or a rewritten query being stored).
-    pub(crate) sl: bool,
+    pub sl: bool,
 }
 
 /// The deferred, engine-global effect of one delivery. Produced during the
 /// node-local phase (possibly on a worker thread), applied strictly in
 /// `(at, seq)` order afterwards (per shard, in `(at, lineage)` order under
 /// the sharded driver) so all drivers observe the same event order.
-pub(crate) enum TickEffect {
+pub enum TickEffect {
     /// The destination node left the ring; the message is lost.
     Lost,
     /// An answer reached the node that submitted the query.
@@ -114,7 +115,7 @@ impl NodeGroup {
 /// Runs the node-local part of one delivery (Procedures 1–3): mutates only
 /// `state`, reads only the shared catalog/config. Shared by the serial, the
 /// tick-parallel and the sharded drivers so all produce identical effects.
-pub(crate) fn handle_node_msg(
+pub fn handle_node_msg(
     state: &mut NodeState,
     catalog: &Catalog,
     config: &EngineConfig,
@@ -156,6 +157,19 @@ pub(crate) fn handle_node_msg(
         }
     };
     TickEffect::Node { node, load, actions }
+}
+
+/// Builds a [`NodeState`] configured the way the engine constructors
+/// configure theirs — expiry machinery and trigger index per the config,
+/// with a node-private compiled-program cache — for out-of-process drivers
+/// (such as `rjoin_transport`'s node processes) that run
+/// [`handle_node_msg`] themselves. Nodes built this way do not share a
+/// program cache; each compiles its own rewrite templates on first trigger.
+pub fn standalone_node_state(id: Id, config: &EngineConfig) -> NodeState {
+    let mut state = NodeState::new(id);
+    state.configure_expiry(config.wheel_expiry, config.network_delay);
+    state.configure_trigger_index(config.trigger_index);
+    state
 }
 
 /// The RJoin engine.
@@ -212,12 +226,54 @@ pub struct RJoinEngine {
 
 impl RJoinEngine {
     /// Creates an engine with `num_nodes` Chord nodes, all fully stabilized.
+    ///
+    /// Equivalent to [`simulated`](Self::simulated); kept as the historical
+    /// name so existing drivers keep compiling.
     pub fn new(config: EngineConfig, catalog: Catalog, num_nodes: usize) -> Self {
+        Self::simulated(config, catalog, num_nodes)
+    }
+
+    /// The embedded-simulation convenience constructor: builds a simulated
+    /// network from the configuration (delay bound, successor-list length),
+    /// bootstraps `num_nodes` fully stabilized Chord nodes named
+    /// `rjoin-node-{i}`, and hands it to
+    /// [`with_transport`](Self::with_transport).
+    pub fn simulated(config: EngineConfig, catalog: Catalog, num_nodes: usize) -> Self {
         let mut network = Network::new(NetworkConfig {
             delay: config.network_delay,
             successor_list_len: config.successor_list_len,
         });
         let node_ids = network.bootstrap(num_nodes, "rjoin-node");
+        Self::with_transport_and_nodes(config, catalog, network, node_ids)
+    }
+
+    /// Creates an engine over an injected transport. The caller builds and
+    /// configures the network (membership, delay bound) however it likes —
+    /// the engine adopts the ring's current members as its nodes, in ring
+    /// order, and the transport's clock/delay govern delivery from then on.
+    ///
+    /// The embedded-simulation path ([`simulated`](Self::simulated)) is a
+    /// thin wrapper over this constructor. Real networked deployments run
+    /// the same per-node pipeline out of process instead — see the
+    /// [`pipeline`](crate::pipeline) module, which `rjoin_transport` drives
+    /// over TCP; both modes are served through one facade surface.
+    pub fn with_transport(
+        config: EngineConfig,
+        catalog: Catalog,
+        network: Network<RJoinMessage>,
+    ) -> Self {
+        let node_ids: Vec<Id> = network.dht().node_ids().collect();
+        Self::with_transport_and_nodes(config, catalog, network, node_ids)
+    }
+
+    /// Shared tail of the constructors: one program cache and one configured
+    /// [`NodeState`] per member, adopting `node_ids` in the given order.
+    fn with_transport_and_nodes(
+        config: EngineConfig,
+        catalog: Catalog,
+        network: Network<RJoinMessage>,
+        node_ids: Vec<Id>,
+    ) -> Self {
         let programs = Arc::new(Mutex::new(ProgramCache::default()));
         let nodes = node_ids
             .iter()
@@ -340,7 +396,12 @@ impl RJoinEngine {
     /// [`QueryError::CyclicShape`] when the hypercube planner is disabled
     /// ([`EngineConfig::with_hypercube_planner`]) — the rewrite pipeline
     /// cannot express cyclic shapes.
-    pub fn submit_query(&mut self, origin: Id, query: JoinQuery) -> Result<QueryId, EngineError> {
+    pub fn submit_query(
+        &mut self,
+        origin: impl Into<NodeId>,
+        query: JoinQuery,
+    ) -> Result<QueryId, EngineError> {
+        let origin = origin.into().id();
         if !self.nodes.contains_key(&origin) {
             return Err(EngineError::UnknownNode { id: origin });
         }
@@ -435,7 +496,12 @@ impl RJoinEngine {
     /// against the threshold and crossing keys are split before this tuple
     /// is routed. Index copies for a split key go to exactly one sub-key,
     /// chosen by a deterministic content hash of the tuple.
-    pub fn publish_tuple(&mut self, origin: Id, tuple: Tuple) -> Result<(), EngineError> {
+    pub fn publish_tuple(
+        &mut self,
+        origin: impl Into<NodeId>,
+        tuple: Tuple,
+    ) -> Result<(), EngineError> {
+        let origin = origin.into().id();
         if !self.nodes.contains_key(&origin) {
             return Err(EngineError::UnknownNode { id: origin });
         }
@@ -687,7 +753,7 @@ impl RJoinEngine {
     /// [`run_until_quiescent`](Self::run_until_quiescent) phases. A message
     /// already in flight to a node that subsequently leaves is lost, exactly
     /// as in a real deployment.
-    pub fn join_node(&mut self, label: &str) -> Result<Id, EngineError> {
+    pub fn join_node(&mut self, label: &str) -> Result<NodeId, EngineError> {
         let id = Id::hash_key(label);
         self.network.dht_mut().join(id)?;
         self.network.dht_mut().full_stabilize();
@@ -698,7 +764,7 @@ impl RJoinEngine {
         self.nodes.insert(id, state);
         self.node_ids.push(id);
         self.rehome_misplaced_state()?;
-        Ok(id)
+        Ok(NodeId(id))
     }
 
     /// Gracefully removes a node from the network (churn): the ring is
@@ -708,7 +774,8 @@ impl RJoinEngine {
     /// history and cached candidate-table entries are dropped (they only
     /// affect placement quality, not soundness). Returns the number of
     /// re-homed items.
-    pub fn leave_node(&mut self, id: Id) -> Result<usize, EngineError> {
+    pub fn leave_node(&mut self, id: impl Into<NodeId>) -> Result<usize, EngineError> {
+        let id = id.into().id();
         if !self.nodes.contains_key(&id) {
             return Err(EngineError::UnknownNode { id });
         }
@@ -1181,14 +1248,14 @@ impl RJoinEngine {
 /// sends through, the RIC information it reads, and the randomness its
 /// placement decisions draw from.
 ///
-/// Two implementations exist: [`SeqEnv`] (the single-queue drivers — global
+/// Two implementations exist: `SeqEnv` (the single-queue drivers — global
 /// RNG stream, lossy in-place RIC reads) and the sharded driver's per-worker
 /// environment (per-decision RNG derived from the triggering message's
 /// lineage, pure watermark-synchronized RIC reads). Keeping the *entire*
 /// Sections 6–7 dispatch logic in [`dispatch_query_in`], generic over this
 /// trait, is what guarantees the drivers can never drift apart in cost
 /// accounting or placement rules.
-pub(crate) trait EffectEnv {
+pub trait EffectEnv {
     /// The transport this environment sends through.
     type Net: Transport<RJoinMessage>;
 
@@ -1294,7 +1361,7 @@ impl EffectEnv for SeqEnv<'_> {
 /// `sendDirect`, rewritten queries are re-indexed through the full
 /// placement pipeline. Generic over [`EffectEnv`] so the single-queue and
 /// sharded drivers share it verbatim.
-pub(crate) fn perform_actions_in<E: EffectEnv>(
+pub fn perform_actions_in<E: EffectEnv>(
     env: &mut E,
     config: &EngineConfig,
     catalog: &Catalog,
@@ -1324,7 +1391,7 @@ pub(crate) fn perform_actions_in<E: EffectEnv>(
 /// there, charging RIC traffic according to Sections 6 and 7. The complete
 /// dispatch pipeline — candidate derivation, RIC collection and caching,
 /// placement, piggy-backing, send — shared by every driver.
-pub(crate) fn dispatch_query_in<E: EffectEnv>(
+pub fn dispatch_query_in<E: EffectEnv>(
     env: &mut E,
     config: &EngineConfig,
     catalog: &Catalog,

@@ -132,7 +132,7 @@
 //!
 //! # Shared sub-join evaluation (multi-query optimization)
 //!
-//! With [`EngineConfig::with_shared_subjoins`] enabled, every node keeps a
+//! With [`EngineConfig::with_subjoin_sharing`] enabled, every node keeps a
 //! [`SubJoinRegistry`]: queries whose canonical sub-join structure
 //! ([`rjoin_query::fingerprint`] — `FROM` + `WHERE` + window, `SELECT`
 //! abstracted) matches an entry already stored under the same key are merged
@@ -187,6 +187,7 @@ mod engine;
 mod error;
 mod expiry;
 mod messages;
+mod node_id;
 mod node_state;
 mod placement;
 mod procedures;
@@ -204,11 +205,36 @@ pub use dedup::DedupFilter;
 pub use engine::RJoinEngine;
 pub use error::EngineError;
 pub use messages::{HypercubeRef, PendingQuery, QueryId, RJoinMessage, RicInfo, Subscriber};
-pub use node_state::{DrainedState, NodeState, RicEntry, StoredQuery};
+pub use node_id::NodeId;
+pub use node_state::{DrainedAlttBucket, DrainedState, NodeState, RicEntry, StoredQuery};
 pub use ric::RicTracker;
 pub use shared::SubJoinRegistry;
 pub use split::{partition_for_tuple, partition_for_value, HypercubeGrid, SplitEntry, SplitMap};
 pub use stats::ExperimentStats;
+
+/// The per-node processing pipeline, exposed for out-of-process drivers.
+///
+/// The engine's delivery loop is split into a *node-local* phase
+/// ([`handle_node_msg`](pipeline::handle_node_msg): Procedures 1–3 against
+/// one [`NodeState`]) and an *effect* phase
+/// ([`perform_actions_in`](pipeline::perform_actions_in) /
+/// [`dispatch_query_in`](pipeline::dispatch_query_in): answer delivery and
+/// the complete Sections 6–7 placement pipeline, generic over an
+/// [`EffectEnv`](pipeline::EffectEnv) that supplies the transport, clock,
+/// RIC reads and randomness). The embedded engine drives both phases over
+/// the simulated network; a networked deployment (the `rjoin_transport`
+/// crate) drives the *same* functions over TCP — one node process per
+/// [`NodeState`] built with
+/// [`standalone_node_state`](pipeline::standalone_node_state), so the two
+/// modes can never drift apart in algorithm or cost accounting.
+pub mod pipeline {
+    pub use crate::engine::{
+        dispatch_query_in, handle_node_msg, perform_actions_in, standalone_node_state, EffectEnv,
+        LoadDelta, TickEffect,
+    };
+    pub use crate::placement::choose_candidate;
+    pub use crate::procedures::Action;
+}
 
 /// Traffic classes used when accounting messages, so that the share of
 /// traffic spent on RIC requests can be reported separately (as the paper's

@@ -1,0 +1,101 @@
+//! The public identity of an engine node.
+
+use rjoin_dht::Id;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Deref;
+
+/// The identity of a node participating in an RJoin deployment.
+///
+/// Engine entry points ([`submit_query`](crate::RJoinEngine::submit_query),
+/// [`publish_tuple`](crate::RJoinEngine::publish_tuple),
+/// [`leave_node`](crate::RJoinEngine::leave_node)) address nodes through
+/// this newtype instead of exposing the raw ring identifier type. It wraps
+/// the node's position on the identifier ring ([`Id`]) and converts freely
+/// in both directions, so existing code that holds `Id`s (returned by
+/// [`RJoinEngine::node_ids`](crate::RJoinEngine::node_ids), stored in
+/// answer records, compared in tests) keeps working: every entry point
+/// takes `impl Into<NodeId>`, and `NodeId` compares equal to the `Id` it
+/// wraps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub Id);
+
+impl NodeId {
+    /// The node identity derived from hashing a textual label, the way
+    /// engine constructors name their nodes (`"rjoin-node-3"`).
+    pub fn from_label(label: &str) -> Self {
+        NodeId(Id::hash_key(label))
+    }
+
+    /// The wrapped ring identifier.
+    pub fn id(self) -> Id {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node:{}", self.0)
+    }
+}
+
+impl From<Id> for NodeId {
+    fn from(id: Id) -> Self {
+        NodeId(id)
+    }
+}
+
+impl From<u64> for NodeId {
+    fn from(raw: u64) -> Self {
+        NodeId(Id(raw))
+    }
+}
+
+impl From<&Id> for NodeId {
+    fn from(id: &Id) -> Self {
+        NodeId(*id)
+    }
+}
+
+impl From<NodeId> for Id {
+    fn from(node: NodeId) -> Self {
+        node.0
+    }
+}
+
+impl Deref for NodeId {
+    type Target = Id;
+
+    fn deref(&self) -> &Id {
+        &self.0
+    }
+}
+
+impl PartialEq<Id> for NodeId {
+    fn eq(&self, other: &Id) -> bool {
+        self.0 == *other
+    }
+}
+
+impl PartialEq<NodeId> for Id {
+    fn eq(&self, other: &NodeId) -> bool {
+        *self == other.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converts_and_compares_with_raw_ids() {
+        let id = Id::hash_key("rjoin-node-0");
+        let node: NodeId = id.into();
+        assert_eq!(node, id);
+        assert_eq!(id, node);
+        assert_eq!(Id::from(node), id);
+        assert_eq!(NodeId::from_label("rjoin-node-0"), node);
+        assert_eq!(*node, id, "deref reaches the wrapped ring identifier");
+        assert_eq!(node.to_string(), format!("node:{id}"));
+    }
+}

@@ -777,6 +777,13 @@ impl NodeState {
         }
     }
 
+    /// Caches one RIC estimate for a candidate key. Out-of-crate runtimes
+    /// (the networked transport) cache through this; in-crate runtimes
+    /// write the candidate table directly.
+    pub fn cache_ric(&mut self, ring: u64, entry: RicEntry) {
+        self.candidate_table.insert(ring, entry);
+    }
+
     /// Drains every bucket whose key ring id fails `keep` (the node is no
     /// longer responsible for it after a membership change), adjusting the
     /// storage counters and the sub-join registry. The drained state is

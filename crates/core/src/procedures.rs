@@ -1206,7 +1206,7 @@ mod tests {
     }
 
     fn shared_config() -> EngineConfig {
-        EngineConfig::default().with_shared_subjoins()
+        EngineConfig::default().with_subjoin_sharing(true)
     }
 
     fn pending_from(owner: u64, sql: &str, insert_time: u64) -> PendingQuery {

@@ -52,8 +52,8 @@ fn workload() -> (Scenario, Vec<JoinQuery>, Vec<Tuple>) {
 fn variants() -> Vec<(&'static str, EngineConfig)> {
     vec![
         ("default", EngineConfig::default()),
-        ("value_level", EngineConfig::default().with_value_level_rewrites()),
-        ("shared", EngineConfig::default().with_value_level_rewrites().with_shared_subjoins()),
+        ("value_level", EngineConfig::default().with_value_level_only(true)),
+        ("shared", EngineConfig::default().with_value_level_only(true).with_subjoin_sharing(true)),
         ("altt", EngineConfig::default().with_altt(200)),
         ("split", EngineConfig::default().with_hot_key_splitting(4, 2)),
     ]

@@ -34,7 +34,7 @@ fn ric_reuse_reduces_ric_traffic() {
     let mut with_reuse = RJoinEngine::new(EngineConfig::default(), catalog.clone(), scenario.nodes);
     drive(&mut with_reuse, &scenario);
     let mut without_reuse =
-        RJoinEngine::new(EngineConfig::default().without_ric_reuse(), catalog, scenario.nodes);
+        RJoinEngine::new(EngineConfig::default().with_ric_reuse(false), catalog, scenario.nodes);
     drive(&mut without_reuse, &scenario);
 
     let ric_with = with_reuse.traffic().total_sent_class(traffic_class::RIC);

@@ -104,7 +104,7 @@ fn wheel_expiry_matches_sweep_differentially() {
             ("tumbling", WindowSpec::tumbling_time(16)),
         ] {
             for (variant, config) in [
-                ("shared+altt", EngineConfig::default().with_shared_subjoins().with_altt(64)),
+                ("shared+altt", EngineConfig::default().with_subjoin_sharing(true).with_altt(64)),
                 ("split+altt", EngineConfig::default().with_altt(32).with_hot_key_splitting(4, 2)),
             ] {
                 let tag = format!("shards={shards} window={kind} variant={variant}");
@@ -163,8 +163,10 @@ fn forced_split_and_churn_rehome_wheel_deadlines() {
     let window = WindowSpec::sliding_tuples(16);
     let run_split = |wheel: bool| -> (RJoinEngine, Vec<QueryId>) {
         let scenario = scenario(window);
-        let config =
-            EngineConfig::default().with_shared_subjoins().with_altt(64).with_wheel_expiry(wheel);
+        let config = EngineConfig::default()
+            .with_subjoin_sharing(true)
+            .with_altt(64)
+            .with_wheel_expiry(wheel);
         let catalog = scenario.workload_schema().build_catalog();
         let mut engine = RJoinEngine::new(config, catalog, scenario.nodes);
         let origins: Vec<_> = engine.node_ids().to_vec();
@@ -229,7 +231,7 @@ fn forced_split_and_churn_rehome_wheel_deadlines() {
 #[test]
 fn wheel_retires_state_the_sweep_leaves_behind() {
     let window = WindowSpec::sliding_tuples(16);
-    let config = EngineConfig::default().with_shared_subjoins().with_altt(64);
+    let config = EngineConfig::default().with_subjoin_sharing(true).with_altt(64);
     let (with_wheel, _) = run(window, config.clone(), 1, true);
     let (with_sweep, _) = run(window, config, 1, false);
     // Before any explicit GC: the sweep engine still stores every entry a

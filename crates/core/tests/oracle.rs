@@ -124,7 +124,7 @@ fn small_scenario(joins: usize, queries: usize, tuples: usize) -> Scenario {
 #[test]
 fn matches_oracle_exactly_two_way() {
     let scenario = small_scenario(1, 30, 60);
-    let config = EngineConfig::default().with_value_level_rewrites();
+    let config = EngineConfig::default().with_value_level_only(true);
     let (engine, qids, queries, tuples) = run_scenario(config, &scenario);
     let catalog = scenario.workload_schema().build_catalog();
 
@@ -141,7 +141,7 @@ fn matches_oracle_exactly_two_way() {
 #[test]
 fn matches_oracle_exactly_three_way() {
     let scenario = small_scenario(2, 20, 50);
-    let config = EngineConfig::default().with_value_level_rewrites();
+    let config = EngineConfig::default().with_value_level_only(true);
     let (engine, qids, queries, tuples) = run_scenario(config, &scenario);
     let catalog = scenario.workload_schema().build_catalog();
 
@@ -158,7 +158,7 @@ fn matches_oracle_exactly_three_way() {
 #[test]
 fn matches_oracle_exactly_four_way() {
     let scenario = small_scenario(3, 12, 48);
-    let config = EngineConfig::default().with_value_level_rewrites();
+    let config = EngineConfig::default().with_value_level_only(true);
     let (engine, qids, queries, tuples) = run_scenario(config, &scenario);
     let catalog = scenario.workload_schema().build_catalog();
 
@@ -205,7 +205,7 @@ fn sound_and_duplicate_free_under_all_strategies() {
 fn earlier_tuples_do_not_count() {
     let schema = WorkloadSchema::new(4, 3, 5);
     let catalog = schema.build_catalog();
-    let config = EngineConfig::default().with_value_level_rewrites();
+    let config = EngineConfig::default().with_value_level_only(true);
     let mut engine = RJoinEngine::new(config, catalog.clone(), 16);
     let origin = engine.node_ids()[0];
 
@@ -249,7 +249,7 @@ fn distinct_queries_deliver_set_semantics() {
     scenario.distinct = true;
     // A tiny domain maximises the chance of duplicate joins.
     scenario.domain = 3;
-    let config = EngineConfig::default().with_value_level_rewrites();
+    let config = EngineConfig::default().with_value_level_only(true);
     let (engine, qids, queries, tuples) = run_scenario(config, &scenario);
     let catalog = scenario.workload_schema().build_catalog();
 
@@ -339,7 +339,7 @@ fn windowed_oracle_answers(
 fn four_way_distinct_sliding_window_matches_windowed_oracle() {
     let schema = WorkloadSchema::new(4, 3, 64);
     let catalog = schema.build_catalog();
-    let config = EngineConfig::default().with_value_level_rewrites();
+    let config = EngineConfig::default().with_value_level_only(true);
     let mut engine = RJoinEngine::new(config, catalog.clone(), 24);
     let origin = engine.node_ids()[0];
 
@@ -426,7 +426,7 @@ fn four_way_distinct_sliding_window_matches_windowed_oracle() {
 fn three_way_tumbling_window_matches_windowed_oracle() {
     let schema = WorkloadSchema::new(3, 3, 64);
     let catalog = schema.build_catalog();
-    let config = EngineConfig::default().with_value_level_rewrites();
+    let config = EngineConfig::default().with_value_level_only(true);
     let mut engine = RJoinEngine::new(config, catalog.clone(), 24);
     let origin = engine.node_ids()[0];
 
@@ -575,7 +575,7 @@ fn altt_under_churn_matches_windowed_oracle() {
 fn shared_subjoins_survive_churn() {
     let schema = WorkloadSchema::new(4, 3, 6);
     let catalog = schema.build_catalog();
-    let config = EngineConfig::default().with_value_level_rewrites().with_shared_subjoins();
+    let config = EngineConfig::default().with_value_level_only(true).with_subjoin_sharing(true);
     let mut engine = RJoinEngine::new(config, catalog.clone(), 20);
     let origin = engine.node_ids()[0];
 
@@ -627,7 +627,7 @@ fn altt_recovers_from_message_delays() {
     let catalog = schema.build_catalog();
 
     let run = |altt: Option<u64>| -> usize {
-        let mut config = EngineConfig::default().with_value_level_rewrites().with_delay(5);
+        let mut config = EngineConfig::default().with_value_level_only(true).with_delay(5);
         config.altt_delta = altt;
         let mut engine = RJoinEngine::new(config, catalog.clone(), 12);
         let origin = engine.node_ids()[0];

@@ -99,9 +99,9 @@ fn run(share: bool) -> (RJoinEngine, Vec<QueryId>, Vec<JoinQuery>, Vec<Tuple>) {
     // Value-level placement of rewrites guarantees exact oracle equality
     // (Theorems 1 and 2), so shared and unshared runs are comparable
     // answer-for-answer.
-    let mut config = EngineConfig::default().with_value_level_rewrites();
+    let mut config = EngineConfig::default().with_value_level_only(true);
     if share {
-        config = config.with_shared_subjoins();
+        config = config.with_subjoin_sharing(true);
     }
     let catalog = scenario.workload_schema().build_catalog();
     let mut engine = RJoinEngine::new(config, catalog, scenario.nodes);
@@ -191,9 +191,9 @@ fn shared_registry_matches_windowed_oracle() {
     let catalog = scenario.workload_schema().build_catalog();
 
     let run_with = |share: bool| {
-        let mut config = EngineConfig::default().with_value_level_rewrites();
+        let mut config = EngineConfig::default().with_value_level_only(true);
         if share {
-            config = config.with_shared_subjoins();
+            config = config.with_subjoin_sharing(true);
         }
         let mut engine = RJoinEngine::new(config, catalog.clone(), scenario.nodes);
         let origins: Vec<_> = engine.node_ids().to_vec();
@@ -240,7 +240,7 @@ fn shared_registry_is_sound_under_default_placement() {
     let run_with = |share: bool| {
         let mut config = EngineConfig::default();
         if share {
-            config = config.with_shared_subjoins();
+            config = config.with_subjoin_sharing(true);
         }
         let catalog = scenario.workload_schema().build_catalog();
         let mut engine = RJoinEngine::new(config, catalog, scenario.nodes);

@@ -142,7 +142,7 @@ fn indexed_probing_matches_linear_walk_differentially() {
             ("tumbling", WindowSpec::tumbling_time(16)),
         ] {
             for (variant, config) in [
-                ("shared+altt", EngineConfig::default().with_shared_subjoins().with_altt(64)),
+                ("shared+altt", EngineConfig::default().with_subjoin_sharing(true).with_altt(64)),
                 ("unshared+altt", EngineConfig::default().with_altt(64)),
                 ("split+altt", EngineConfig::default().with_altt(32).with_hot_key_splitting(4, 2)),
             ] {
@@ -170,7 +170,7 @@ fn forced_split_and_churn_keep_the_index_consistent() {
     let run_split = |indexed: bool| -> (RJoinEngine, Vec<QueryId>) {
         let scenario = scenario(window);
         let config = EngineConfig::default()
-            .with_shared_subjoins()
+            .with_subjoin_sharing(true)
             .with_altt(64)
             .with_trigger_index(indexed);
         let catalog = scenario.workload_schema().build_catalog();

@@ -25,6 +25,19 @@ impl LookupResult {
         LookupResult { owner, path: Arc::new(path), start: 0 }
     }
 
+    /// A single-hop result: `from` resolved `owner` without walking the
+    /// overlay. This is what a transport backed by a full membership view
+    /// (every node knows every owner) reports — one hop, `path = [from,
+    /// owner]` — and the degenerate self-lookup collapses to a zero-hop
+    /// path.
+    pub fn direct(from: Id, owner: Id) -> Self {
+        if from == owner {
+            LookupResult::from_walk(vec![owner])
+        } else {
+            LookupResult::from_walk(vec![from, owner])
+        }
+    }
+
     /// Every node the lookup visited, starting with the originating node
     /// and ending with the owner.
     pub fn path(&self) -> &[Id] {

@@ -9,12 +9,21 @@
 //!   to the successors of a set of identifiers,
 //! * `sendDirect(msg, addr)` — deliver `msg` to a known address in one hop.
 //!
-//! The [`Transport`] trait captures those primitives (plus the cost-only
-//! `charge_*` variants used to model synchronous request/response
-//! exchanges), accounting **network traffic the way the paper measures
-//! it**: every hop of a routed message is one message sent by the node at
-//! the start of the hop, attributed to a caller-chosen [`TrafficClass`].
-//! Two runtimes implement it:
+//! Two traits capture the messaging surface. [`KeyRouter`] is the *pure
+//! routing* half — resolving which node is responsible for a ring
+//! identifier, with no clock and no delivery. [`Transport`] (a supertrait
+//! of which is `KeyRouter`) adds the *delivery and clock* half: those three
+//! primitives plus the cost-only `charge_*` variants used to model
+//! synchronous request/response exchanges, accounting **network traffic the
+//! way the paper measures it**: every hop of a routed message is one
+//! message sent by the node at the start of the hop, attributed to a
+//! caller-chosen [`TrafficClass`]. The split exists because a real
+//! deployment resolves ownership from a membership view (no event queue in
+//! sight) while re-homing state or placing queries — see the [`transport`
+//! module](crate::Transport) docs for the per-implementation guarantee
+//! table (ordering, clocks). Two simulated runtimes implement the full
+//! trait in this crate; the `rjoin_transport` crate adds the real one over
+//! TCP:
 //!
 //! # The single-queue runtime ([`Network`])
 //!
@@ -66,4 +75,4 @@ pub use shard::{
 };
 pub use time::SimTime;
 pub use traffic::{account_route, TrafficClass, TrafficStats};
-pub use transport::Transport;
+pub use transport::{KeyRouter, Transport};

@@ -1,7 +1,7 @@
 //! The simulated network: DHT-routed delivery with bounded delay.
 
 use crate::queue::BucketQueue;
-use crate::{SimTime, TrafficClass, TrafficStats, Transport};
+use crate::{KeyRouter, SimTime, TrafficClass, TrafficStats, Transport};
 use rjoin_dht::{ChordNetwork, DhtError, Id, LookupResult};
 
 /// Configuration of the simulated network.
@@ -270,6 +270,12 @@ impl<M> Network<M> {
     }
 }
 
+impl<M> KeyRouter for Network<M> {
+    fn owner_of(&self, key_id: Id) -> Result<Id, DhtError> {
+        Network::owner_of(self, key_id)
+    }
+}
+
 impl<M> Transport<M> for Network<M> {
     fn now(&self) -> SimTime {
         Network::now(self)
@@ -277,10 +283,6 @@ impl<M> Transport<M> for Network<M> {
 
     fn delay(&self) -> SimTime {
         Network::delay(self)
-    }
-
-    fn owner_of(&self, key_id: Id) -> Result<Id, DhtError> {
-        Network::owner_of(self, key_id)
     }
 
     fn send(

@@ -54,7 +54,7 @@
 //! [`Network`]: crate::Network
 
 use crate::queue::BucketQueue;
-use crate::{SimTime, TrafficClass, Transport};
+use crate::{KeyRouter, SimTime, TrafficClass, Transport};
 use rjoin_dht::{ChordNetwork, DhtError, Id, LookupResult};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -616,6 +616,12 @@ impl<'n, 'a, M> ShardHandle<'n, 'a, M> {
     }
 }
 
+impl<M> KeyRouter for ShardHandle<'_, '_, M> {
+    fn owner_of(&self, key_id: Id) -> Result<Id, DhtError> {
+        self.net.dht.successor_of(key_id)
+    }
+}
+
 impl<M> Transport<M> for ShardHandle<'_, '_, M> {
     fn now(&self) -> SimTime {
         self.local.clock
@@ -623,10 +629,6 @@ impl<M> Transport<M> for ShardHandle<'_, '_, M> {
 
     fn delay(&self) -> SimTime {
         self.net.delay
-    }
-
-    fn owner_of(&self, key_id: Id) -> Result<Id, DhtError> {
-        self.net.dht.successor_of(key_id)
     }
 
     fn send(

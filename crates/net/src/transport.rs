@@ -1,38 +1,64 @@
-//! The transport abstraction: the messaging API a simulation driver sees.
+//! The transport abstraction: the messaging API a driver sees.
 //!
 //! The paper's system model needs exactly three primitives — `send`,
 //! `multiSend` and `sendDirect` — plus the cost-only accounting variants the
-//! engine uses to model synchronous RIC exchanges. [`Transport`] captures
-//! them behind one trait so the engine's effect phase can be written once
-//! and run against either event-queue runtime:
+//! engine uses to model synchronous RIC exchanges. Two traits capture them:
 //!
-//! * [`Network`](crate::Network) — the single global bucket queue, driven by
-//!   one thread in strict `(at, seq)` order, and
-//! * the per-shard sender handles of [`ShardedNetwork`](crate::ShardedNetwork)
-//!   — each shard schedules into its own queue and exchanges cross-shard
-//!   messages through outbox/inbox handoff under conservative clock
-//!   synchronization.
+//! * [`KeyRouter`] is the *pure routing* concern: mapping a ring identifier
+//!   to the node currently responsible for it, with no clock, no delivery
+//!   and no traffic accounting. Anything that knows the membership of the
+//!   ring can implement it — the simulated Chord ring resolves successors
+//!   through (possibly stale) per-node routing state, while a deployment
+//!   can resolve them from a replicated membership view.
+//! * [`Transport`] adds the *delivery and clock* concerns on top: a sender
+//!   clock, the delay bound δ, scheduled delivery of messages and per-class
+//!   traffic accounting. The engine's effect phase is written once against
+//!   this trait and runs unchanged on every implementation.
+//!
+//! # Implementations and their guarantees
+//!
+//! | impl | clock | ordering | routing |
+//! |------|-------|----------|---------|
+//! | [`Network`](crate::Network) | virtual ticks, one global monotone clock | total `(at, seq)` order: every delivery of a run is totally ordered and replayed identically | Chord lookups over per-node routing state (`O(log N)` hops, each hop accounted) |
+//! | [`ShardedNetwork`](crate::ShardedNetwork) handles | virtual ticks, one clock per shard under conservative watermark sync | total `(at, lineage)` order, identical across shard counts | same Chord lookups (stable ground-truth membership) |
+//! | `rjoin_transport::TcpTransport` (separate crate) | real wall clock, coarse ticks, monotone via high-water marking | per-peer FIFO only (TCP streams); *no* global order — cross-node interleaving is nondeterministic | one hop to the owner from a full-membership view (no overlay hops) |
+//!
+//! The simulated runtimes deliver every message exactly once and in a
+//! deterministic global order, which is what makes them usable as
+//! correctness oracles. A real transport only guarantees per-connection
+//! FIFO and at-most-once delivery (a crashed peer loses messages), so
+//! protocols built on this trait must not rely on cross-peer ordering —
+//! the record/replay harness in the facade crate checks exactly that.
 
 use crate::{SimTime, TrafficClass};
 use rjoin_dht::{DhtError, Id, LookupResult};
 
-/// The messaging surface of a simulated network runtime.
+/// The pure routing concern: who is responsible for a ring identifier.
+///
+/// Split out of [`Transport`] so ownership can be resolved — by placement
+/// logic, by state re-homing, by harnesses — without dragging in a clock or
+/// a delivery queue. Resolving ownership sends nothing and accounts no
+/// traffic (an ownership oracle).
+pub trait KeyRouter {
+    /// Resolves the node currently responsible for `key_id`.
+    fn owner_of(&self, key_id: Id) -> Result<Id, DhtError>;
+}
+
+/// The messaging surface of a network runtime: [`KeyRouter`] plus clocks,
+/// scheduled delivery and traffic accounting.
 ///
 /// All implementations share the same cost model: a routed message is one
-/// message sent per hop of its DHT lookup path (creation + routing), a
-/// direct message is one message, and every delivery is scheduled exactly
-/// the delay bound δ after the sender's current clock.
-pub trait Transport<M> {
-    /// The sender-side clock: the simulation time deliveries are scheduled
-    /// relative to.
+/// message sent per hop of its lookup path (creation + routing), a direct
+/// message is one message, and every delivery is scheduled the delay bound
+/// δ after the sender's current clock.
+pub trait Transport<M>: KeyRouter {
+    /// The sender-side clock: the time deliveries are scheduled relative
+    /// to. Virtual ticks under simulation, a coarse-ticked wall clock on a
+    /// real transport.
     fn now(&self) -> SimTime;
 
     /// The configured per-message delay bound δ.
     fn delay(&self) -> SimTime;
-
-    /// Resolves the node currently responsible for `key_id` without sending
-    /// anything and without accounting traffic (an ownership oracle).
-    fn owner_of(&self, key_id: Id) -> Result<Id, DhtError>;
 
     /// `send(msg, id)`: routes `msg` from `from` to `Successor(key_id)`,
     /// accounting one message per hop under `class`, and schedules delivery

@@ -1,0 +1,44 @@
+//! A standalone RJoin node process.
+//!
+//! Usage: `rjoin_node <label> <listen-addr>`
+//!
+//! The process binds the listener and waits for a
+//! [`ServiceMessage::Configure`](rjoin_transport::ServiceMessage::Configure)
+//! frame carrying the engine configuration, the schema catalog and the
+//! initial membership view; engine traffic arriving before it is stashed.
+//! The label must match the member entry other processes route by (the
+//! ring identifier is the label's hash). The process exits when a
+//! `Shutdown` frame arrives.
+
+use rjoin_transport::NodeProcess;
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(label), Some(addr)) = (args.next(), args.next()) else {
+        eprintln!("usage: rjoin_node <label> <listen-addr>");
+        return ExitCode::FAILURE;
+    };
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("rjoin_node: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match listener.local_addr() {
+        Ok(bound) => println!("rjoin_node: {label} listening on {bound}"),
+        Err(_) => println!("rjoin_node: {label} listening on {addr}"),
+    }
+    match NodeProcess::spawn(listener, &label, None) {
+        Ok(process) => {
+            process.join();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("rjoin_node: spawn failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

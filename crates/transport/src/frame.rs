@@ -1,0 +1,153 @@
+//! Length-prefixed message frames.
+//!
+//! The wire format is deliberately boring: a 4-byte little-endian payload
+//! length followed by that many bytes of JSON (the workspace's serde
+//! encoding of [`ServiceMessage`](crate::ServiceMessage)). TCP gives
+//! per-connection FIFO and the prefix gives message boundaries; everything
+//! else — ordering across connections, retransmission after a crash — is
+//! the protocol's problem, not the frame layer's.
+//!
+//! [`read_frame`] distinguishes the three ways a stream can end:
+//!
+//! * clean EOF on a frame boundary → `Ok(None)` (the peer closed politely),
+//! * EOF inside the prefix or payload → [`TransportError::Truncated`]
+//!   (the peer died mid-frame),
+//! * a complete frame that fails to parse →
+//!   [`TransportError::Malformed`].
+
+use crate::error::TransportError;
+use serde::{Deserialize, Serialize};
+use std::io::{ErrorKind, Read, Write};
+
+/// Sanity limit on a single frame's payload (64 MiB). A peer announcing
+/// more is treated as corrupt rather than allocated for.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Writes one length-prefixed frame.
+pub fn write_frame<W: Write, T: Serialize + ?Sized>(
+    w: &mut W,
+    msg: &T,
+) -> Result<(), TransportError> {
+    let payload = serde_json::to_string(msg).map_err(TransportError::Malformed)?;
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME_LEN {
+        return Err(TransportError::TooLarge { len: bytes.len() });
+    }
+    let len = (bytes.len() as u32).to_le_bytes();
+    w.write_all(&len)?;
+    w.write_all(bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame. `Ok(None)` means the peer closed the
+/// stream cleanly on a frame boundary.
+pub fn read_frame<R: Read, T: Deserialize>(r: &mut R) -> Result<Option<T>, TransportError> {
+    let mut prefix = [0u8; 4];
+    match read_exact_or_eof(r, &mut prefix)? {
+        ReadOutcome::CleanEof => return Ok(None),
+        ReadOutcome::Partial(got) => {
+            return Err(TransportError::Truncated { expected: 4 - got, got })
+        }
+        ReadOutcome::Full => {}
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(TransportError::TooLarge { len });
+    }
+    let mut payload = vec![0u8; len];
+    match read_exact_or_eof(r, &mut payload)? {
+        ReadOutcome::Full => {}
+        ReadOutcome::CleanEof => return Err(TransportError::Truncated { expected: len, got: 0 }),
+        ReadOutcome::Partial(got) => {
+            return Err(TransportError::Truncated { expected: len - got, got })
+        }
+    }
+    let text = std::str::from_utf8(&payload).map_err(|_| {
+        TransportError::Malformed(serde_json::Error("frame payload is not UTF-8".into()))
+    })?;
+    let msg = serde_json::from_str(text).map_err(TransportError::Malformed)?;
+    Ok(Some(msg))
+}
+
+enum ReadOutcome {
+    /// The buffer was filled completely.
+    Full,
+    /// EOF before the first byte.
+    CleanEof,
+    /// EOF after this many bytes.
+    Partial(usize),
+}
+
+/// Like `read_exact`, but reports *where* the stream ended instead of
+/// collapsing everything into `UnexpectedEof`.
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<ReadOutcome, TransportError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    ReadOutcome::CleanEof
+                } else {
+                    ReadOutcome::Partial(filled)
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(TransportError::Io(e)),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trips_a_message() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "forty-two").unwrap();
+        let mut cur = Cursor::new(buf);
+        let back: Option<String> = read_frame(&mut cur).unwrap();
+        assert_eq!(back.as_deref(), Some("forty-two"));
+        let end: Option<String> = read_frame(&mut cur).unwrap();
+        assert!(end.is_none(), "a second read hits clean EOF");
+    }
+
+    #[test]
+    fn truncated_payload_is_reported_with_missing_byte_count() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "forty-two").unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = read_frame::<_, String>(&mut Cursor::new(buf)).unwrap_err();
+        match err {
+            TransportError::Truncated { expected: 3, got } => assert!(got > 0),
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_prefix_is_reported() {
+        let buf = vec![0x05, 0x00];
+        let err = read_frame::<_, String>(&mut Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, TransportError::Truncated { expected: 2, got: 2 }));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let buf = (u32::MAX).to_le_bytes().to_vec();
+        let err = read_frame::<_, String>(&mut Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, TransportError::TooLarge { .. }));
+    }
+
+    #[test]
+    fn malformed_payload_is_distinguished_from_truncation() {
+        let payload = b"not json";
+        let mut buf = (payload.len() as u32).to_le_bytes().to_vec();
+        buf.extend_from_slice(payload);
+        let err = read_frame::<_, String>(&mut Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, TransportError::Malformed(_)));
+    }
+}

@@ -1,0 +1,61 @@
+//! Outbound connection cache.
+
+use crate::error::TransportError;
+use crate::frame::write_frame;
+use crate::wire::ServiceMessage;
+use rjoin_dht::Id;
+use std::collections::HashMap;
+use std::net::TcpStream;
+
+/// One TCP connection per peer, dialled on first use and re-dialled once
+/// per send after a write failure (a restarted peer picks up where it left
+/// off; a dead one surfaces as [`TransportError::Connect`] or
+/// [`TransportError::Io`]).
+#[derive(Debug, Default)]
+pub struct PeerLinks {
+    conns: HashMap<Id, TcpStream>,
+}
+
+impl PeerLinks {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sends one frame to `id` at `addr`, connecting if no live connection
+    /// is cached. A write failure on a cached connection drops it and
+    /// retries once on a fresh dial.
+    pub fn send_to(
+        &mut self,
+        id: Id,
+        addr: &str,
+        msg: &ServiceMessage,
+    ) -> Result<(), TransportError> {
+        if let Some(conn) = self.conns.get_mut(&id) {
+            match write_frame(conn, msg) {
+                Ok(()) => return Ok(()),
+                Err(_) => {
+                    // Stale connection (peer restarted or hung up): drop it
+                    // and fall through to a fresh dial.
+                    self.conns.remove(&id);
+                }
+            }
+        }
+        let mut conn = TcpStream::connect(addr)
+            .map_err(|source| TransportError::Connect { addr: addr.to_string(), source })?;
+        let _ = conn.set_nodelay(true);
+        write_frame(&mut conn, msg)?;
+        self.conns.insert(id, conn);
+        Ok(())
+    }
+
+    /// Drops the cached connection to `id`, if any.
+    pub fn disconnect(&mut self, id: Id) {
+        self.conns.remove(&id);
+    }
+
+    /// Drops every cached connection (closing the write halves).
+    pub fn close_all(&mut self) {
+        self.conns.clear();
+    }
+}

@@ -1,0 +1,159 @@
+//! The replicated membership view a deployment routes by.
+//!
+//! The simulated runtimes resolve key ownership through Chord routing
+//! state. A small deployment does not need overlay hops: every process
+//! holds the full member list and resolves the successor locally — the
+//! same ownership function (first member identifier at or clockwise after
+//! the key), so a state snapshot re-homed under a view lands exactly where
+//! the simulated engine would have put it, given the same node labels.
+//!
+//! The view also carries *clients*: addressable endpoints (query
+//! submitters collecting answers) that are **not** ring members — keys are
+//! never routed to them, but `sendDirect` can reach them.
+
+use rjoin_dht::{DhtError, Id};
+use rjoin_net::KeyRouter;
+use serde::{Deserialize, Serialize};
+
+/// One addressable process: its ring identifier, the label the identifier
+/// was hashed from, and its socket address.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Member {
+    /// Ring identifier (`Id::hash_key(label)`).
+    pub id: Id,
+    /// The textual label the identifier derives from.
+    pub label: String,
+    /// The `host:port` address the process listens on.
+    pub addr: String,
+}
+
+impl Member {
+    /// A member whose identifier is derived from its label.
+    pub fn new(label: impl Into<String>, addr: impl Into<String>) -> Self {
+        let label = label.into();
+        Member { id: Id::hash_key(&label), label, addr: addr.into() }
+    }
+}
+
+/// A full-membership snapshot: ring members (sorted by identifier) plus
+/// non-ring clients. Cheap to clone and to ship in `View` messages.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterView {
+    members: Vec<Member>,
+    clients: Vec<Member>,
+}
+
+impl ClusterView {
+    /// Builds a view, sorting ring members into identifier order.
+    pub fn new(mut members: Vec<Member>, clients: Vec<Member>) -> Self {
+        members.sort_by_key(|m| m.id);
+        ClusterView { members, clients }
+    }
+
+    /// Re-establishes the sorted-members invariant after deserialization.
+    pub fn normalize(&mut self) {
+        self.members.sort_by_key(|m| m.id);
+    }
+
+    /// The ring members, in identifier order.
+    pub fn members(&self) -> &[Member] {
+        &self.members
+    }
+
+    /// The non-ring clients.
+    pub fn clients(&self) -> &[Member] {
+        &self.clients
+    }
+
+    /// Number of ring members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Adds (or replaces) a ring member, keeping identifier order.
+    pub fn add_member(&mut self, member: Member) {
+        self.members.retain(|m| m.id != member.id);
+        self.members.push(member);
+        self.normalize();
+    }
+
+    /// Removes a ring member by identifier. Returns the removed entry.
+    pub fn remove_member(&mut self, id: Id) -> Option<Member> {
+        let pos = self.members.iter().position(|m| m.id == id)?;
+        Some(self.members.remove(pos))
+    }
+
+    /// Finds a ring member by label.
+    pub fn member_by_label(&self, label: &str) -> Option<&Member> {
+        self.members.iter().find(|m| m.label == label)
+    }
+
+    /// The address of any addressable process (ring member or client).
+    pub fn addr_of(&self, id: Id) -> Option<&str> {
+        self.members.iter().chain(self.clients.iter()).find(|m| m.id == id).map(|m| m.addr.as_str())
+    }
+
+    /// Successor resolution over the sorted member list: the first member
+    /// whose identifier is at or clockwise after `key_id`, wrapping to the
+    /// smallest identifier — the same ownership function the Chord ring
+    /// converges to.
+    pub fn successor_of(&self, key_id: Id) -> Result<Id, DhtError> {
+        if self.members.is_empty() {
+            return Err(DhtError::EmptyRing);
+        }
+        let at = self.members.partition_point(|m| m.id < key_id);
+        let member = self.members.get(at).unwrap_or(&self.members[0]);
+        Ok(member.id)
+    }
+}
+
+impl KeyRouter for ClusterView {
+    fn owner_of(&self, key_id: Id) -> Result<Id, DhtError> {
+        self.successor_of(key_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn successor_matches_the_chord_ring_on_the_same_labels() {
+        let labels: Vec<String> = (0..16).map(|i| format!("rjoin-node-{i}")).collect();
+        let view = ClusterView::new(
+            labels.iter().map(|l| Member::new(l.clone(), "127.0.0.1:0")).collect(),
+            Vec::new(),
+        );
+        let mut ring = rjoin_dht::ChordNetwork::new(4);
+        for label in &labels {
+            ring.join(Id::hash_key(label)).unwrap();
+        }
+        ring.full_stabilize();
+        for probe in 0..200u64 {
+            let key = Id::hash_key(&format!("probe-{probe}"));
+            assert_eq!(
+                view.successor_of(key).unwrap(),
+                ring.successor_of(key).unwrap(),
+                "view and Chord ring must agree on ownership"
+            );
+        }
+    }
+
+    #[test]
+    fn clients_are_addressable_but_never_own_keys() {
+        let mut view = ClusterView::new(
+            vec![Member::new("rjoin-node-0", "127.0.0.1:1")],
+            vec![Member::new("rjoin-client", "127.0.0.1:2")],
+        );
+        let client = Id::hash_key("rjoin-client");
+        assert_eq!(view.addr_of(client), Some("127.0.0.1:2"));
+        assert_eq!(view.successor_of(client).unwrap(), Id::hash_key("rjoin-node-0"));
+        view.remove_member(Id::hash_key("rjoin-node-0"));
+        assert!(matches!(view.successor_of(client), Err(DhtError::EmptyRing)));
+    }
+}

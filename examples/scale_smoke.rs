@@ -27,7 +27,7 @@ fn main() {
     } else {
         Scenario { nodes: 128, queries: 1_000, tuples: 4_000, ..Scenario::scale_test() }
     };
-    let config = EngineConfig::default().with_shared_subjoins().with_altt(256);
+    let config = EngineConfig::default().with_subjoin_sharing(true).with_altt(256);
     let catalog = scenario.workload_schema().build_catalog();
     let mut engine = RJoinEngine::new(config, catalog, scenario.nodes);
     let origins: Vec<_> = engine.node_ids().to_vec();

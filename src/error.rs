@@ -1,0 +1,75 @@
+//! The facade's unified error type.
+
+use rjoin_core::EngineError;
+use rjoin_query::QueryError;
+use rjoin_transport::TransportError;
+use std::fmt;
+
+/// Any error an RJoin deployment can raise: algorithm/validation errors
+/// from the engine and connection-level errors from the TCP transport,
+/// unified so service code holds one error type regardless of which
+/// transport backs it.
+///
+/// `#[non_exhaustive]`: future transports add variants without a breaking
+/// release.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// An engine error: validation, planning, routing
+    /// ([`QueryError`] and `DhtError` chain through here as sources).
+    Engine(EngineError),
+    /// A transport error: connection, framing, timeout.
+    Transport(TransportError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Engine(e) => write!(f, "engine error: {e}"),
+            Error::Transport(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Engine(e) => Some(e),
+            Error::Transport(e) => Some(e),
+        }
+    }
+}
+
+impl From<EngineError> for Error {
+    fn from(e: EngineError) -> Self {
+        Error::Engine(e)
+    }
+}
+
+impl From<TransportError> for Error {
+    fn from(e: TransportError) -> Self {
+        Error::Transport(e)
+    }
+}
+
+impl From<QueryError> for Error {
+    fn from(e: QueryError) -> Self {
+        Error::Engine(EngineError::Query(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn sources_chain_through_both_arms() {
+        let e: Error = QueryError::EmptyFrom.into();
+        let engine = e.source().expect("engine layer");
+        assert!(engine.source().is_some(), "QueryError chains below EngineError");
+
+        let e: Error = TransportError::Timeout { what: "settle".into() }.into();
+        assert!(e.to_string().contains("transport"));
+    }
+}

@@ -1,0 +1,91 @@
+//! The record/replay harness: the deterministic simulator as an oracle
+//! for the TCP transport.
+//!
+//! Each test records a scenario on the simulated engine, replays the same
+//! queries and tuples over a loopback-TCP cluster, and asserts per-query
+//! answer-**set** equality (keyed by submission index — the two runs own
+//! queries differently). The per-query comparison is written as CSV under
+//! `target/net_smoke/` — the artifact the `net-smoke` CI job uploads.
+
+use rjoin::prelude::*;
+use rjoin::replay::{replay_over_tcp, ChurnEvent, ChurnOp, ReplaySpec};
+use rjoin::transport::ClusterConfig as TransportClusterConfig;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// The oracle suite's 4-way-join workload shape, shrunk to a node count a
+/// single test process can host as TCP listeners.
+fn net_scenario(queries: usize, tuples: usize) -> Scenario {
+    Scenario {
+        nodes: 6,
+        queries,
+        tuples,
+        joins: 3,
+        theta: 0.9,
+        relations: 6,
+        attributes: 4,
+        domain: 8,
+        ..Scenario::small_test()
+    }
+}
+
+fn cluster_config() -> TransportClusterConfig {
+    TransportClusterConfig {
+        settle_timeout: Duration::from_secs(120),
+        ..TransportClusterConfig::default()
+    }
+}
+
+fn csv_path(name: &str) -> PathBuf {
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string());
+    PathBuf::from(target).join("net_smoke").join(format!("{name}.csv"))
+}
+
+/// Simulated and TCP runs of the oracle's 4-way-join scenario must deliver
+/// identical per-query answer sets.
+#[test]
+fn tcp_replay_matches_the_simulated_oracle_four_way() {
+    let spec = ReplaySpec {
+        scenario: net_scenario(12, 48),
+        config: EngineConfig::default().with_value_level_only(true),
+        churn: Vec::new(),
+        cluster: cluster_config(),
+    };
+    let report = replay_over_tcp(&spec).expect("replay");
+    report.write_csv(&csv_path("four_way")).expect("csv artifact");
+    assert!(
+        report.all_equal(),
+        "answer sets diverge: sim={} tcp={} ({:?})",
+        report.total_sim_rows(),
+        report.total_tcp_rows(),
+        report.outcomes.iter().filter(|o| !o.equal).collect::<Vec<_>>(),
+    );
+    assert!(report.total_sim_rows() > 0, "the workload should produce at least one answer");
+}
+
+/// The same equality must survive graceful churn on both sides: a join and
+/// a leave interleaved with the tuple stream re-home live state without
+/// losing or duplicating a single answer.
+#[test]
+fn tcp_replay_matches_the_simulated_oracle_under_graceful_churn() {
+    let spec = ReplaySpec {
+        scenario: net_scenario(15, 40),
+        config: EngineConfig::default().with_value_level_only(true),
+        churn: vec![
+            ChurnEvent { after_tuple: 13, op: ChurnOp::Join },
+            ChurnEvent { after_tuple: 27, op: ChurnOp::Leave },
+        ],
+        cluster: cluster_config(),
+    };
+    let report = replay_over_tcp(&spec).expect("replay");
+    report.write_csv(&csv_path("churn")).expect("csv artifact");
+    assert!(
+        report.all_equal(),
+        "answer sets diverge under churn: sim={} tcp={} ({:?})",
+        report.total_sim_rows(),
+        report.total_tcp_rows(),
+        report.outcomes.iter().filter(|o| !o.equal).collect::<Vec<_>>(),
+    );
+    assert!(report.total_sim_rows() > 0, "the workload should produce at least one answer");
+    assert!(report.moved > 0, "the graceful leave should re-home live state");
+}
